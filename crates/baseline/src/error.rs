@@ -1,0 +1,41 @@
+//! Baseline engine errors.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum BaselineError {
+    Xml(flux_xml::XmlError),
+    XQuery(flux_xquery::XQueryError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Xml(e) => write!(f, "{e}"),
+            BaselineError::XQuery(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Xml(e) => Some(e),
+            BaselineError::XQuery(e) => Some(e),
+        }
+    }
+}
+
+impl From<flux_xml::XmlError> for BaselineError {
+    fn from(e: flux_xml::XmlError) -> Self {
+        BaselineError::Xml(e)
+    }
+}
+
+impl From<flux_xquery::XQueryError> for BaselineError {
+    fn from(e: flux_xquery::XQueryError) -> Self {
+        BaselineError::XQuery(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,21 @@
+//! # flux-baseline
+//!
+//! The two comparison engines of the paper's evaluation:
+//!
+//! * [`DomEngine`] — materialise the whole document, then evaluate (the
+//!   memory architecture of conventional main-memory XQuery engines);
+//! * [`ProjectionEngine`] — stream, materialise only the query's projection
+//!   paths, then evaluate (Marian & Siméon, the paper's reference \[10\]).
+//!
+//! Both use the same parser, tree and interpreter as the FluXQuery engine,
+//! so measured differences reflect the *architecture* (what must be
+//! buffered), not incidental implementation differences. Neither validates
+//! against the DTD nor exploits it — that is precisely what FluXQuery adds.
+
+pub mod dom;
+pub mod error;
+pub mod projection;
+
+pub use dom::DomEngine;
+pub use error::{BaselineError, Result};
+pub use projection::ProjectionEngine;

@@ -1,0 +1,192 @@
+//! The projection baseline, in the style of Marian & Siméon ("Projecting
+//! XML Documents", VLDB 2003) — reference \[10\] of the paper.
+//!
+//! The engine statically derives the query's projection paths, streams the
+//! input keeping only nodes on those paths (with their required subtrees),
+//! and evaluates the query over the projected document. Peak memory is the
+//! projected document size: smaller than full DOM, but still growing
+//! linearly with document size — the paper's Sec. 2 contrasts FluX with
+//! exactly this architecture ("all title and all author nodes of each
+//! book").
+
+use crate::error::Result;
+use flux_runtime::bdf::{collect_needs, SpecArena, SpecView};
+use flux_runtime::RunStats;
+use flux_xml::tree::{Document, NodeId};
+use flux_xml::{XmlEvent, XmlReader, XmlWriter};
+use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
+use std::io::{Read, Write};
+use std::time::Instant;
+
+/// Compiled projection-baseline query.
+pub struct ProjectionEngine {
+    query: Expr,
+    specs: SpecArena,
+    root_spec: flux_runtime::SpecId,
+}
+
+impl ProjectionEngine {
+    /// Derives projection paths from the normalized query.
+    pub fn compile(query: &str) -> Result<Self> {
+        let parsed = parse_query(query)?;
+        let query = normalize(&parsed)?;
+        let mut specs = SpecArena::new();
+        let root_spec = specs.new_root();
+        collect_needs(&mut specs, &query, &[(ROOT_VAR.to_string(), root_spec)]);
+        Ok(ProjectionEngine {
+            query,
+            specs,
+            root_spec,
+        })
+    }
+
+    /// A rendering of the derived projection paths (for explain output).
+    pub fn projection_paths(&self) -> String {
+        self.specs.render(self.root_spec)
+    }
+
+    /// Streams the input, materialising only projected nodes, then
+    /// evaluates over the projected document.
+    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        let start = Instant::now();
+        let mut reader = XmlReader::new(input);
+        let mut doc = Document::new();
+        let mut events: u64 = 0;
+        // Stack entry: insertion target when the element is kept.
+        let mut stack: Vec<Option<(NodeId, SpecView)>> = vec![Some((
+            doc.document_node(),
+            SpecView::Project(self.root_spec),
+        ))];
+        loop {
+            let ev = reader.next_event()?;
+            events += 1;
+            match ev {
+                XmlEvent::EndDocument => break,
+                XmlEvent::StartElement { name, attributes } => {
+                    let child = match stack.last().expect("document entry") {
+                        Some((parent, view)) => {
+                            view.descend(&self.specs, &name).map(|child_view| {
+                                let id = doc.create_element(name.clone(), attributes);
+                                (*parent, id, child_view)
+                            })
+                        }
+                        None => None,
+                    };
+                    match child {
+                        Some((parent, id, view)) => {
+                            doc.append_child(parent, id);
+                            stack.push(Some((id, view)));
+                        }
+                        None => stack.push(None),
+                    }
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) => {
+                    if let Some((node, view)) = stack.last().expect("inside document") {
+                        if view.keeps_text(&self.specs) {
+                            let id = doc.create_text(t);
+                            doc.append_child(*node, id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let peak = doc.memory_bytes();
+        let nodes = doc.node_count();
+
+        let mut writer = XmlWriter::new(output);
+        let evaluator = TreeEvaluator::new(&doc);
+        let mut env = Env::new();
+        env.insert(ROOT_VAR.to_string(), doc.document_node());
+        evaluator.eval(&self.query, &mut env, &mut writer)?;
+        writer.finish()?;
+
+        Ok(RunStats {
+            peak_buffer_bytes: peak,
+            peak_buffer_nodes: nodes,
+            total_buffered_bytes: peak as u64,
+            output_bytes: writer.bytes_written(),
+            events,
+            duration: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomEngine;
+
+    const Q3: &str = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#;
+
+    fn doc_with_publishers(n: usize) -> String {
+        let mut s = String::from("<bib>");
+        for i in 0..n {
+            s.push_str(&format!(
+                "<book><title>T{i}</title><author>A{i}</author><publisher>{}</publisher></book>",
+                "P".repeat(1000)
+            ));
+        }
+        s.push_str("</bib>");
+        s
+    }
+
+    #[test]
+    fn same_answers_as_dom() {
+        let doc = doc_with_publishers(5);
+        let projection = ProjectionEngine::compile(Q3).unwrap();
+        let dom = DomEngine::compile(Q3).unwrap();
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        projection.run(doc.as_bytes(), &mut out1).unwrap();
+        dom.run(doc.as_bytes(), &mut out2).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn projects_away_unused_branches() {
+        // Q3 never touches publishers: projection memory must be far below
+        // DOM memory on publisher-heavy documents.
+        let doc = doc_with_publishers(50);
+        let projection = ProjectionEngine::compile(Q3).unwrap();
+        let dom = DomEngine::compile(Q3).unwrap();
+        let mut sink = Vec::new();
+        let p = projection.run(doc.as_bytes(), &mut sink).unwrap();
+        sink.clear();
+        let d = dom.run(doc.as_bytes(), &mut sink).unwrap();
+        assert!(
+            p.peak_buffer_bytes * 3 < d.peak_buffer_bytes,
+            "projection {} must be well below DOM {}",
+            p.peak_buffer_bytes,
+            d.peak_buffer_bytes
+        );
+    }
+
+    #[test]
+    fn projection_still_scales_with_document() {
+        // Unlike FluX, projection keeps ALL titles and authors: memory
+        // grows with the number of books.
+        let projection = ProjectionEngine::compile(Q3).unwrap();
+        let mut sink = Vec::new();
+        let small = projection.run(doc_with_publishers(5).as_bytes(), &mut sink).unwrap();
+        sink.clear();
+        let large = projection.run(doc_with_publishers(100).as_bytes(), &mut sink).unwrap();
+        assert!(
+            large.peak_buffer_bytes > small.peak_buffer_bytes * 10,
+            "{} vs {}",
+            large.peak_buffer_bytes,
+            small.peak_buffer_bytes
+        );
+    }
+
+    #[test]
+    fn projection_paths_rendered() {
+        let projection = ProjectionEngine::compile(Q3).unwrap();
+        let paths = projection.projection_paths();
+        assert!(paths.contains("bib"), "{paths}");
+        assert!(paths.contains("book"), "{paths}");
+    }
+}

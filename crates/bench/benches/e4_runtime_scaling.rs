@@ -1,0 +1,37 @@
+//! E4 — runtime vs. document size for the three engine architectures
+//! (the [8]-style runtime curve). Criterion timing companion to the
+//! `experiments --e4` table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flux_bench::{Domain, Q3};
+use fluxquery_core::{AnyEngine, EngineKind};
+
+fn runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_runtime_scaling");
+    for &scale in &[1.0f64, 4.0, 16.0] {
+        let doc = Domain::BibWeak.document(scale, 42);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        for kind in EngineKind::all() {
+            let engine = AnyEngine::compile(kind, Q3, Domain::BibWeak.dtd()).expect("compile");
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("scale-{scale}")),
+                &doc,
+                |b, doc| {
+                    b.iter(|| {
+                        let mut out = Vec::new();
+                        engine.run(doc.as_bytes(), &mut out).expect("run");
+                        out.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = runtime_scaling
+}
+criterion_main!(benches);

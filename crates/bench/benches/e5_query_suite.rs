@@ -1,0 +1,32 @@
+//! E5 — per-query runtime across the catalog for the three engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flux_bench::catalog;
+use fluxquery_core::{AnyEngine, EngineKind};
+
+fn query_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_query_suite");
+    for q in catalog() {
+        let doc = q.domain.document(1.0, 42);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        for kind in EngineKind::all() {
+            let engine =
+                AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
+            group.bench_with_input(BenchmarkId::new(q.id, kind.label()), &doc, |b, doc| {
+                b.iter(|| {
+                    let mut out = Vec::new();
+                    engine.run(doc.as_bytes(), &mut out).expect("run");
+                    out.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = query_suite
+}
+criterion_main!(benches);

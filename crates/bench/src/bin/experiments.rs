@@ -1,0 +1,335 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p flux-bench --bin experiments [--eN ...]`
+//! With no arguments, all experiments run.
+
+use flux_bench::{catalog, fmt_bytes, run_engine, Domain, Q3};
+use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
+use flux_xmlgen::{bib_string, BibConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("--e1") {
+        e1_buffer_q3();
+    }
+    if want("--e2") {
+        e2_strong_dtd();
+    }
+    if want("--e3") {
+        e3_memory_scaling();
+    }
+    if want("--e4") {
+        e4_runtime_scaling();
+    }
+    if want("--e5") {
+        e5_query_suite();
+    }
+    if want("--e6") {
+        e6_ablation_merge();
+    }
+    if want("--e7") {
+        e7_ablation_unsat();
+    }
+    if want("--e8") {
+        e8_xsax_throughput();
+    }
+    if want("--e9") {
+        e9_ablation_scheduling();
+    }
+}
+
+fn header(id: &str, title: &str, source: &str) {
+    println!("\n=== {id}: {title} ===");
+    println!("    (paper source: {source})\n");
+}
+
+/// E1 — Q3 under the weak DTD: per-engine peak memory (Sec. 2 claim:
+/// FluXQuery buffers the authors of one book at a time).
+fn e1_buffer_q3() {
+    header(
+        "E1",
+        "buffer use for XMP Q3, weak DTD",
+        "Sec. 2: 'we only need to buffer the author children of one book node at a time'",
+    );
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>14}",
+        "books", "input", "fluxquery", "projection", "dom"
+    );
+    for &books in &[100usize, 500, 2_500] {
+        let doc = bib_string(&BibConfig::weak(books, 42));
+        let mut row = format!("{books:<10} {:>8}", fmt_bytes(doc.len()));
+        for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
+            let outcome =
+                run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
+            row.push_str(&format!(" {:>14}", fmt_bytes(outcome.stats.peak_buffer_bytes)));
+        }
+        println!("{row}");
+    }
+    println!("\nshape: fluxquery flat (one book's authors); projection and dom grow linearly.");
+}
+
+/// E2 — Q3 under Figure 1's DTD: zero buffering (Sec. 2).
+fn e2_strong_dtd() {
+    header(
+        "E2",
+        "Q3 under the strong Figure 1 DTD",
+        "Sec. 2: 'no buffering is required to execute query Q'",
+    );
+    for (label, dtd, domain) in [
+        ("weak DTD", Domain::BibWeak.dtd(), Domain::BibWeak),
+        ("Fig. 1 DTD", Domain::BibFig1.dtd(), Domain::BibFig1),
+    ] {
+        let engine = FluxEngine::compile(Q3, dtd, &Options::default()).expect("compile");
+        let doc = domain.document(5.0, 42);
+        let (_, stats) = engine.run_to_string(&doc).expect("run");
+        println!(
+            "{label:<12} buffered handlers: {}   peak content buffered: {:>10}   (input {})",
+            engine.buffered_handler_count(),
+            fmt_bytes(stats.peak_buffer_bytes),
+            fmt_bytes(doc.len()),
+        );
+    }
+    println!("\nshape: Fig. 1 eliminates the on-first handler; the residual peak is scope shells only.");
+}
+
+/// E3 — peak memory vs. document size (the companion paper's memory curve).
+fn e3_memory_scaling() {
+    header(
+        "E3",
+        "peak buffered memory vs. document size (Q3, weak DTD)",
+        "[8]-style evaluation: 'far less memory than other XQuery systems'",
+    );
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>14}",
+        "scale", "input", "fluxquery", "projection", "dom"
+    );
+    for &scale in &[0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let doc = Domain::BibWeak.document(scale, 42);
+        let mut row = format!("{scale:<8} {:>10}", fmt_bytes(doc.len()));
+        for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
+            let outcome =
+                run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
+            row.push_str(&format!(" {:>14}", fmt_bytes(outcome.stats.peak_buffer_bytes)));
+        }
+        println!("{row}");
+    }
+}
+
+/// E4 — runtime vs. document size (the companion paper's runtime curve).
+fn e4_runtime_scaling() {
+    header(
+        "E4",
+        "runtime vs. document size (Q3, weak DTD)",
+        "[8]-style evaluation: 'far less runtime'",
+    );
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>14}",
+        "scale", "input", "fluxquery", "projection", "dom"
+    );
+    for &scale in &[1.0f64, 4.0, 16.0, 64.0] {
+        let doc = Domain::BibWeak.document(scale, 42);
+        let mut row = format!("{scale:<8} {:>10}", fmt_bytes(doc.len()));
+        for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
+            let engine = AnyEngine::compile(kind, Q3, Domain::BibWeak.dtd()).expect("compile");
+            // Best of three runs to dampen noise.
+            let mut best = std::time::Duration::MAX;
+            for _ in 0..3 {
+                let mut out = Vec::new();
+                let start = Instant::now();
+                engine.run(doc.as_bytes(), &mut out).expect("run");
+                best = best.min(start.elapsed());
+            }
+            row.push_str(&format!(" {:>14.2?}", best));
+        }
+        println!("{row}");
+    }
+}
+
+/// E5 — the full query catalog: memory and runtime per engine.
+fn e5_query_suite() {
+    header(
+        "E5",
+        "per-query peak memory and runtime across the catalog",
+        "[8]-style evaluation over XMP/XMark-style workloads",
+    );
+    println!(
+        "{:<10} {:>10} | {:>12} {:>12} {:>12} | {:>10} {:>10} {:>10}",
+        "query", "input", "flux-mem", "proj-mem", "dom-mem", "flux-t", "proj-t", "dom-t"
+    );
+    for q in catalog() {
+        let doc = q.domain.document(2.0, 42);
+        let mut mems = Vec::new();
+        let mut times = Vec::new();
+        for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
+            let engine = AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
+            let mut out = Vec::new();
+            let start = Instant::now();
+            let stats = engine.run(doc.as_bytes(), &mut out).expect("run");
+            times.push(start.elapsed());
+            mems.push(stats.peak_buffer_bytes);
+        }
+        println!(
+            "{:<10} {:>10} | {:>12} {:>12} {:>12} | {:>10.1?} {:>10.1?} {:>10.1?}",
+            q.id,
+            fmt_bytes(doc.len()),
+            fmt_bytes(mems[0]),
+            fmt_bytes(mems[1]),
+            fmt_bytes(mems[2]),
+            times[0],
+            times[1],
+            times[2],
+        );
+    }
+}
+
+/// E6 — ablation: loop merging (R1) on/off (Sec. 3.1 cardinality rule).
+fn e6_ablation_merge() {
+    header(
+        "E6",
+        "ablation: for-loop merging under cardinality constraints",
+        "Sec. 3.1: merging two publisher loops into one",
+    );
+    let q = r#"<out>{ for $b in $ROOT/bib/book return
+        <r>{ for $x in $b/publisher return <a>{$x}</a> }
+           { for $y in $b/publisher return <bb>{$y}</bb> }</r> }</out>"#;
+    let doc = Domain::BibFig1.document(8.0, 42);
+    for (label, options) in [
+        ("optimizer on ", Options::default()),
+        ("optimizer off", Options::without_algebraic_optimizer()),
+    ] {
+        let engine =
+            FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
+        let start = Instant::now();
+        let (_, stats) = engine.run_to_string(&doc).expect("run");
+        println!(
+            "{label}  R1 fired: {:<5}  buffered handlers: {}  peak: {:>10}  total buffered: {:>10}  runtime: {:.2?}",
+            engine.query().algebra_trace.iter().any(|r| r.rule == "R1"),
+            engine.buffered_handler_count(),
+            fmt_bytes(stats.peak_buffer_bytes),
+            fmt_bytes(stats.total_buffered_bytes as usize),
+            start.elapsed(),
+        );
+    }
+    println!("\nshape: with R1 one publisher pass; without it the second loop buffers publishers.");
+}
+
+/// E7 — ablation: unsatisfiable-conditional elimination (R2, Sec. 3.1).
+fn e7_ablation_unsat() {
+    header(
+        "E7",
+        "ablation: unsatisfiable conditional elimination",
+        "Sec. 3.1: author = 'Goedel' and editor = 'Goedel' can never hold",
+    );
+    let q = r#"<out>{ for $b in $ROOT/bib/book return
+        if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit>{$b}</hit> else () }</out>"#;
+    let doc = Domain::BibFig1.document(8.0, 42);
+    for (label, options) in [
+        ("optimizer on ", Options::default()),
+        ("optimizer off", Options::without_algebraic_optimizer()),
+    ] {
+        let engine =
+            FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
+        let start = Instant::now();
+        let (out, stats) = engine.run_to_string(&doc).expect("run");
+        println!(
+            "{label}  R2 fired: {:<5}  buffered handlers: {}  peak: {:>10}  runtime: {:.2?}  output: {} bytes",
+            engine.query().algebra_trace.iter().any(|r| r.rule == "R2"),
+            engine.buffered_handler_count(),
+            fmt_bytes(stats.peak_buffer_bytes),
+            start.elapsed(),
+            out.len(),
+        );
+    }
+    println!("\nshape: both produce the same (hit-free) output; with R2 the whole-book buffer disappears.");
+}
+
+/// E9 — ablation: the order-constraint scheduler itself. A FluX engine
+/// that buffers everything (no streaming handlers) vs. the real scheduler.
+fn e9_ablation_scheduling() {
+    header(
+        "E9",
+        "ablation: order-constraint scheduling vs. buffer-everything FluX",
+        "the paper's primary contribution (Sec. 3.1, step 3)",
+    );
+    println!(
+        "{:<22} {:>10} | {:>12} {:>14} {:>10}",
+        "configuration", "handlers", "peak-mem", "buffer-traffic", "runtime"
+    );
+    for (domain, label) in [(Domain::BibWeak, "weak DTD"), (Domain::BibFig1, "Fig. 1 DTD")] {
+        let doc = domain.document(8.0, 42);
+        for (config, options) in [
+            ("scheduled", Options::default()),
+            ("buffer-everything", Options::without_streaming()),
+        ] {
+            let engine = FluxEngine::compile(Q3, domain.dtd(), &options).expect("compile");
+            let start = Instant::now();
+            let (_, stats) = engine.run_to_string(&doc).expect("run");
+            println!(
+                "{:<22} {:>10} | {:>12} {:>14} {:>10.1?}",
+                format!("{config} ({label})"),
+                engine.buffered_handler_count(),
+                fmt_bytes(stats.peak_buffer_bytes),
+                fmt_bytes(stats.total_buffered_bytes as usize),
+                start.elapsed(),
+            );
+        }
+    }
+    println!("\nshape: without scheduling, FluX degenerates to per-node buffering — the order");
+    println!("constraints are what make the difference, not the FluX representation itself.");
+}
+
+/// E8 — XSAX overhead: raw parsing vs. validation vs. validation with
+/// registered past queries (Sec. 3.2).
+fn e8_xsax_throughput() {
+    header(
+        "E8",
+        "XSAX throughput: parse vs. validate vs. validate + on-first",
+        "Sec. 3.2: the XSAX validating parser",
+    );
+    use flux_dtd::Dtd;
+    use flux_xsax::{PastLabels, XsaxParser};
+    let doc = Domain::BibFig1.document(32.0, 42);
+    let dtd = Dtd::parse(Domain::BibFig1.dtd()).expect("dtd");
+
+    // Raw well-formedness parsing.
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
+    while let Some(_ev) = reader.next().expect("parse") {
+        events += 1;
+    }
+    let raw = start.elapsed();
+    println!("raw parse:           {events:>8} events in {raw:.2?}");
+
+    // Validating parse.
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
+    while parser.next().expect("validate").is_some() {
+        events += 1;
+    }
+    let validated = start.elapsed();
+    println!("xsax validate:       {events:>8} events in {validated:.2?}");
+
+    // Validation plus a past query on every book.
+    let book = dtd.lookup("book").expect("book");
+    let title = dtd.lookup("title").expect("title");
+    let author = dtd.lookup("author").expect("author");
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
+    parser
+        .register_past(book, PastLabels::labels([title, author]))
+        .expect("register");
+    while parser.next().expect("validate").is_some() {
+        events += 1;
+    }
+    let with_past = start.elapsed();
+    println!("xsax + on-first:     {events:>8} events in {with_past:.2?}");
+    println!(
+        "\nshape: validation costs a small constant factor over raw parsing; past tracking is nearly free."
+    );
+}

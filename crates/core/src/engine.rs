@@ -1,0 +1,321 @@
+//! The engine facade: one type that compiles once and runs many times,
+//! plus a uniform wrapper over the three architectures for experiments.
+
+use crate::error::Result;
+use flux_baseline::{DomEngine, ProjectionEngine};
+use flux_dtd::Dtd;
+use flux_lang::{compile as compile_flux, CompileOptions, FluxQuery, OptimizerConfig};
+use flux_runtime::{compile_plan, execute_plan, Plan, RunStats};
+use flux_xsax::XsaxConfig;
+use std::io::{Read, Write};
+
+/// Compilation and execution options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Algebraic optimizer configuration (all rules on by default).
+    pub optimizer: OptimizerConfig,
+    /// Verify the scheduled FluX query against the DTD (on by default).
+    pub verify_safety: bool,
+    /// Ablation: compile without streaming handlers (buffer everything).
+    pub disable_streaming: bool,
+    /// XSAX validation options.
+    pub xsax: XsaxConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            optimizer: OptimizerConfig::default(),
+            verify_safety: true,
+            disable_streaming: false,
+            xsax: XsaxConfig::default(),
+        }
+    }
+}
+
+impl Options {
+    pub fn new() -> Options {
+        Options::default()
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            optimizer: self.optimizer,
+            verify_safety: self.verify_safety,
+            disable_streaming: self.disable_streaming,
+        }
+    }
+
+    /// Options with streaming disabled (the scheduling ablation).
+    pub fn without_streaming() -> Options {
+        Options {
+            disable_streaming: true,
+            ..Options::default()
+        }
+    }
+
+    /// Options with the algebraic optimizer disabled (for ablations).
+    pub fn without_algebraic_optimizer() -> Options {
+        Options {
+            optimizer: OptimizerConfig::disabled(),
+            ..Options::default()
+        }
+    }
+}
+
+/// The FluXQuery engine: a query compiled against a DTD, ready to run over
+/// any number of input streams.
+pub struct FluxEngine {
+    dtd: Dtd,
+    query: FluxQuery,
+    plan: Plan,
+    xsax: XsaxConfig,
+}
+
+impl FluxEngine {
+    /// Compiles `query` against `dtd_text` (standalone DTD syntax).
+    pub fn compile(query: &str, dtd_text: &str, options: &Options) -> Result<FluxEngine> {
+        let dtd = Dtd::parse(dtd_text)?;
+        Self::compile_with_dtd(query, dtd, options)
+    }
+
+    /// Compiles `query` against a schema in either DTD or XML Schema
+    /// syntax, auto-detected (the paper's footnote 1: constraints can be
+    /// derived from XML Schema just as well).
+    pub fn compile_with_schema(
+        query: &str,
+        schema_text: &str,
+        options: &Options,
+    ) -> Result<FluxEngine> {
+        let trimmed = schema_text.trim_start();
+        let looks_like_xsd = trimmed.starts_with('<')
+            && !trimmed.starts_with("<!")
+            && schema_text.contains("schema");
+        let dtd = if looks_like_xsd {
+            flux_dtd::parse_xsd(schema_text)?
+        } else {
+            Dtd::parse(schema_text)?
+        };
+        Self::compile_with_dtd(query, dtd, options)
+    }
+
+    /// Compiles against an already-parsed DTD.
+    pub fn compile_with_dtd(query: &str, dtd: Dtd, options: &Options) -> Result<FluxEngine> {
+        let compiled = compile_flux(query, &dtd, &options.compile_options())?;
+        let plan = compile_plan(&compiled, &dtd)?;
+        Ok(FluxEngine {
+            dtd,
+            query: compiled,
+            plan,
+            xsax: options.xsax.clone(),
+        })
+    }
+
+    /// Runs the query over `input`, streaming results to `output`.
+    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        Ok(execute_plan(
+            &self.plan,
+            &self.dtd,
+            input,
+            output,
+            self.xsax.clone(),
+        )?)
+    }
+
+    /// Convenience: runs over a string, returning the output string.
+    pub fn run_to_string(&self, input: &str) -> Result<(String, RunStats)> {
+        let mut out = Vec::new();
+        let stats = self.run(input.as_bytes(), &mut out)?;
+        Ok((
+            String::from_utf8(out).expect("output writer emits UTF-8"),
+            stats,
+        ))
+    }
+
+    /// The DTD this engine validates against.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The compiled query with all intermediate stages.
+    pub fn query(&self) -> &FluxQuery {
+        &self.query
+    }
+
+    /// Number of buffering (`on-first`) handlers in the plan.
+    pub fn buffered_handler_count(&self) -> usize {
+        self.query.buffered_handler_count()
+    }
+
+    /// A multi-stage compilation report: normal form, applied algebraic
+    /// rules, scheduling decisions, the FluX query, and the BDF.
+    pub fn explain(&self) -> String {
+        let mut out = self.query.explain();
+        out.push_str("\n== buffer description forest ==\n");
+        out.push_str(&self.plan.render_bdf());
+        out
+    }
+}
+
+/// Which engine architecture to use (for the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// FluXQuery with full optimization.
+    Flux,
+    /// FluXQuery with the algebraic optimizer disabled (scheduling only).
+    FluxNoAlgebra,
+    /// Full-document DOM materialisation.
+    Dom,
+    /// Marian & Siméon-style projection.
+    Projection,
+}
+
+impl EngineKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Flux => "fluxquery",
+            EngineKind::FluxNoAlgebra => "fluxquery-noalg",
+            EngineKind::Dom => "dom",
+            EngineKind::Projection => "projection",
+        }
+    }
+
+    pub fn all() -> [EngineKind; 3] {
+        [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom]
+    }
+}
+
+/// A uniform wrapper over the three architectures.
+pub enum AnyEngine {
+    Flux(Box<FluxEngine>),
+    Dom(DomEngine),
+    Projection(ProjectionEngine),
+}
+
+impl AnyEngine {
+    /// Compiles `query` for the chosen architecture. The DTD is used only
+    /// by the FluX variants — the baselines cannot exploit it, which is
+    /// the paper's point.
+    pub fn compile(kind: EngineKind, query: &str, dtd_text: &str) -> Result<AnyEngine> {
+        match kind {
+            EngineKind::Flux => Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
+                query,
+                dtd_text,
+                &Options::new(),
+            )?))),
+            EngineKind::FluxNoAlgebra => {
+                let mut options = Options::new();
+                options.optimizer = OptimizerConfig::disabled();
+                Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
+                    query, dtd_text, &options,
+                )?)))
+            }
+            EngineKind::Dom => Ok(AnyEngine::Dom(DomEngine::compile(query)?)),
+            EngineKind::Projection => {
+                Ok(AnyEngine::Projection(ProjectionEngine::compile(query)?))
+            }
+        }
+    }
+
+    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        match self {
+            AnyEngine::Flux(e) => e.run(input, output),
+            AnyEngine::Dom(e) => Ok(e.run(input, output)?),
+            AnyEngine::Projection(e) => Ok(e.run(input, output)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_dtd::{PAPER_FIG1_DTD, PAPER_WEAK_DTD};
+
+    const Q3: &str = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#;
+
+    #[test]
+    fn compile_and_run() {
+        let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::new()).unwrap();
+        let (out, stats) = engine
+            .run_to_string("<bib><book><author>A</author><title>T</title></book></bib>")
+            .unwrap();
+        assert_eq!(
+            out,
+            "<results><result><title>T</title><author>A</author></result></results>"
+        );
+        assert!(stats.peak_buffer_bytes > 0);
+        assert_eq!(engine.buffered_handler_count(), 1);
+    }
+
+    #[test]
+    fn explain_has_all_stages() {
+        let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::new()).unwrap();
+        let explain = engine.explain();
+        for section in [
+            "== normalized query ==",
+            "== scheduling ==",
+            "== FluX query ==",
+            "== buffer description forest ==",
+        ] {
+            assert!(explain.contains(section), "missing {section}:\n{explain}");
+        }
+        assert!(explain.contains("process-stream"), "{explain}");
+        assert!(explain.contains("{author:*}"), "{explain}");
+    }
+
+    #[test]
+    fn engine_reusable_across_runs() {
+        let engine = FluxEngine::compile(Q3, PAPER_FIG1_DTD, &Options::new()).unwrap();
+        let doc = "<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>1</price></book></bib>";
+        let (out1, _) = engine.run_to_string(doc).unwrap();
+        let (out2, _) = engine.run_to_string(doc).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let doc = "<bib><book><title>T1</title><author>A1</author></book><book><title>T2</title><author>A2</author><author>A3</author></book></bib>";
+        let mut outputs = Vec::new();
+        for kind in EngineKind::all() {
+            let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD).unwrap();
+            let mut out = Vec::new();
+            engine.run(doc.as_bytes(), &mut out).unwrap();
+            outputs.push((kind.label(), String::from_utf8(out).unwrap()));
+        }
+        let first = outputs[0].1.clone();
+        for (label, out) in &outputs {
+            assert_eq!(*out, first, "{label} diverged");
+        }
+    }
+
+    #[test]
+    fn memory_hierarchy_flux_below_projection_below_dom() {
+        // Generate a document large enough for the architecture to dominate.
+        let mut doc = String::from("<bib>");
+        for i in 0..200 {
+            doc.push_str(&format!(
+                "<book><author>Author{i:04}</author><title>Title number {i:04}</title></book>"
+            ));
+        }
+        doc.push_str("</bib>");
+        let mut peaks = std::collections::HashMap::new();
+        for kind in EngineKind::all() {
+            let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD).unwrap();
+            let mut out = Vec::new();
+            let stats = engine.run(doc.as_bytes(), &mut out).unwrap();
+            peaks.insert(kind.label(), stats.peak_buffer_bytes);
+        }
+        assert!(
+            peaks["fluxquery"] < peaks["projection"],
+            "flux {} < projection {}",
+            peaks["fluxquery"],
+            peaks["projection"]
+        );
+        assert!(
+            peaks["projection"] <= peaks["dom"],
+            "projection {} <= dom {}",
+            peaks["projection"],
+            peaks["dom"]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Unified error type for the public API.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum Error {
+    /// DTD parsing or schema construction failed.
+    Dtd(flux_dtd::DtdError),
+    /// Query compilation failed (parse, normalize, schedule, safety).
+    Compile(flux_lang::FluxError),
+    /// Execution failed (validation, evaluation, output).
+    Runtime(flux_runtime::RuntimeError),
+    /// A baseline engine failed.
+    Baseline(flux_baseline::BaselineError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dtd(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dtd(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Baseline(e) => Some(e),
+        }
+    }
+}
+
+impl From<flux_dtd::DtdError> for Error {
+    fn from(e: flux_dtd::DtdError) -> Self {
+        Error::Dtd(e)
+    }
+}
+
+impl From<flux_lang::FluxError> for Error {
+    fn from(e: flux_lang::FluxError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<flux_runtime::RuntimeError> for Error {
+    fn from(e: flux_runtime::RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<flux_baseline::BaselineError> for Error {
+    fn from(e: flux_baseline::BaselineError) -> Self {
+        Error::Baseline(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;

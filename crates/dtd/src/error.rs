@@ -1,0 +1,40 @@
+//! Error type for DTD parsing and schema construction.
+
+use std::fmt;
+
+/// An error found while parsing or assembling a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdError {
+    pub message: String,
+    /// Byte offset into the DTD text, when known.
+    pub offset: Option<usize>,
+}
+
+impl DtdError {
+    pub fn new(message: impl Into<String>) -> Self {
+        DtdError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    pub fn at(message: impl Into<String>, offset: usize) -> Self {
+        DtdError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "DTD error at byte {off}: {}", self.message),
+            None => write!(f, "DTD error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+pub type Result<T> = std::result::Result<T, DtdError>;

@@ -1,0 +1,249 @@
+//! Differential testing of the content-model pipeline: a naive backtracking
+//! regular-expression matcher serves as the oracle for the Glushkov →
+//! subset-construction DFA, and the enumerated language serves as the
+//! oracle for every derived schema constraint.
+
+use flux_dtd::{glushkov, Dfa, Particle, Symbol, SymbolTable};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Naive oracle: the set of word positions reachable after matching
+/// `particle` starting at `pos`.
+fn naive_match(particle: &Particle, word: &[Symbol], pos: usize) -> BTreeSet<usize> {
+    match particle {
+        Particle::Epsilon => BTreeSet::from([pos]),
+        Particle::Name(s) => {
+            if word.get(pos) == Some(s) {
+                BTreeSet::from([pos + 1])
+            } else {
+                BTreeSet::new()
+            }
+        }
+        Particle::Seq(parts) => {
+            let mut current = BTreeSet::from([pos]);
+            for part in parts {
+                let mut next = BTreeSet::new();
+                for &p in &current {
+                    next.extend(naive_match(part, word, p));
+                }
+                current = next;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            current
+        }
+        Particle::Choice(parts) => {
+            let mut out = BTreeSet::new();
+            for part in parts {
+                out.extend(naive_match(part, word, pos));
+            }
+            out
+        }
+        Particle::Opt(inner) => {
+            let mut out = naive_match(inner, word, pos);
+            out.insert(pos);
+            out
+        }
+        Particle::Star(inner) => {
+            let mut out = BTreeSet::from([pos]);
+            loop {
+                let mut added = false;
+                let frontier: Vec<usize> = out.iter().copied().collect();
+                for p in frontier {
+                    for q in naive_match(inner, word, p) {
+                        // Guard against epsilon loops.
+                        if q > p && out.insert(q) {
+                            added = true;
+                        }
+                    }
+                }
+                if !added {
+                    return out;
+                }
+            }
+        }
+        Particle::Plus(inner) => {
+            // inner, inner*
+            let after_one = naive_match(inner, word, pos);
+            let star = Particle::Star(inner.clone());
+            let mut out = BTreeSet::new();
+            for p in after_one {
+                out.extend(naive_match(&star, word, p));
+            }
+            out
+        }
+    }
+}
+
+fn oracle_accepts(particle: &Particle, word: &[Symbol]) -> bool {
+    naive_match(particle, word, 0).contains(&word.len())
+}
+
+/// Random particle over `alphabet`, depth-bounded.
+fn random_particle(rng: &mut SmallRng, alphabet: &[Symbol], depth: usize) -> Particle {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return Particle::Name(alphabet[rng.gen_range(0..alphabet.len())]);
+    }
+    match rng.gen_range(0..5) {
+        0 => {
+            let n = rng.gen_range(2..=3);
+            Particle::Seq((0..n).map(|_| random_particle(rng, alphabet, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2..=3);
+            Particle::Choice((0..n).map(|_| random_particle(rng, alphabet, depth - 1)).collect())
+        }
+        2 => Particle::Opt(Box::new(random_particle(rng, alphabet, depth - 1))),
+        3 => Particle::Star(Box::new(random_particle(rng, alphabet, depth - 1))),
+        _ => Particle::Plus(Box::new(random_particle(rng, alphabet, depth - 1))),
+    }
+}
+
+/// All words over `alphabet` up to `max_len`.
+fn all_words(alphabet: &[Symbol], max_len: usize) -> Vec<Vec<Symbol>> {
+    let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &s in alphabet {
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+fn setup(seed: u64) -> (Particle, Dfa, Vec<Symbol>) {
+    let mut table = SymbolTable::new();
+    let alphabet: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| table.intern(s)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let particle = random_particle(&mut rng, &alphabet, 3);
+    let dfa = Dfa::from_glushkov(&glushkov(&particle));
+    (particle, dfa, alphabet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 120,
+        ..ProptestConfig::default()
+    })]
+
+    /// The DFA accepts exactly the words the naive matcher accepts.
+    #[test]
+    fn dfa_agrees_with_naive_matcher(seed in 0u64..1_000_000) {
+        let (particle, dfa, alphabet) = setup(seed);
+        for word in all_words(&alphabet, 5) {
+            let expected = oracle_accepts(&particle, &word);
+            let got = dfa.accepts(word.iter().copied());
+            prop_assert_eq!(
+                got,
+                expected,
+                "word {:?} disagreement for particle {:?} (seed {})",
+                word,
+                particle,
+                seed
+            );
+        }
+    }
+
+    /// Every derived constraint is sound with respect to the enumerated
+    /// language, and every enumerated counterexample forces the constraint
+    /// off.
+    #[test]
+    fn constraints_sound_on_enumerated_language(seed in 0u64..1_000_000) {
+        let (particle, dfa, alphabet) = setup(seed);
+        let accepted: Vec<Vec<Symbol>> = all_words(&alphabet, 6)
+            .into_iter()
+            .filter(|w| oracle_accepts(&particle, w))
+            .collect();
+        for &x in &alphabet {
+            let count_gt1 = accepted.iter().any(|w| w.iter().filter(|&&s| s == x).count() > 1);
+            if dfa.at_most_one(x) {
+                prop_assert!(!count_gt1, "at_most_one({x:?}) but {particle:?} has a word with two");
+            } else {
+                // exists_order(x,x) promised a witness; it may be longer
+                // than the enumeration bound, so only check the converse.
+            }
+            if count_gt1 {
+                prop_assert!(!dfa.at_most_one(x));
+            }
+
+            let empty_word_free = accepted.iter().any(|w| !w.contains(&x));
+            if dfa.at_least_one(x) {
+                prop_assert!(!empty_word_free, "at_least_one({x:?}) violated in {particle:?}");
+            }
+            if empty_word_free {
+                prop_assert!(!dfa.at_least_one(x));
+            }
+
+            let occurs = accepted.iter().any(|w| w.contains(&x));
+            if dfa.never_occurs(x) {
+                prop_assert!(!occurs);
+            }
+            if occurs {
+                prop_assert!(!dfa.never_occurs(x));
+            }
+        }
+        for &x in &alphabet {
+            for &y in &alphabet {
+                // all_before(x, y): no accepted word has y strictly before x.
+                let violated = accepted.iter().any(|w| {
+                    w.iter().enumerate().any(|(i, &s)| {
+                        s == y && w[i + 1..].contains(&x)
+                    })
+                });
+                if dfa.all_before(x, y) {
+                    prop_assert!(
+                        !violated,
+                        "all_before({x:?},{y:?}) violated in {particle:?}"
+                    );
+                }
+                if violated {
+                    prop_assert!(!dfa.all_before(x, y));
+                }
+                if x != y {
+                    let together = accepted.iter().any(|w| w.contains(&x) && w.contains(&y));
+                    if dfa.never_together(x, y) {
+                        prop_assert!(!together);
+                    }
+                    if together {
+                        prop_assert!(!dfa.never_together(x, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `still_possible` is an upper bound on what actually follows in any
+    /// accepted continuation, and every actually-following symbol is in it.
+    #[test]
+    fn still_possible_covers_suffixes(seed in 0u64..1_000_000) {
+        let (particle, dfa, alphabet) = setup(seed);
+        let accepted: Vec<Vec<Symbol>> = all_words(&alphabet, 6)
+            .into_iter()
+            .filter(|w| oracle_accepts(&particle, w))
+            .collect();
+        for word in &accepted {
+            let mut state = dfa.start();
+            for (i, &sym) in word.iter().enumerate() {
+                // Everything in the actual suffix must be still possible
+                // before consuming it.
+                for &suffix_sym in &word[i..] {
+                    prop_assert!(
+                        dfa.still_possible(state).contains(&suffix_sym),
+                        "{suffix_sym:?} follows at {i} but not in still_possible for {particle:?}"
+                    );
+                }
+                state = dfa.transition(state, sym).expect("accepted word");
+            }
+        }
+    }
+}

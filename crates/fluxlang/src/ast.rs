@@ -1,0 +1,210 @@
+//! Abstract syntax of **FluX**, the paper's internal query language: XQuery
+//! extended with the event-based `process-stream` construct (Sec. 2).
+
+use flux_xquery::{AttrConstructor, Expr, VarName};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The label set of an `on-first past(...)` handler, at the string level
+/// (symbols are resolved when the runtime registers the query with XSAX).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PastSet {
+    /// Child element labels that must all be "past".
+    pub labels: BTreeSet<String>,
+    /// Whether character data must be past as well.
+    pub text: bool,
+    /// Whether the whole subtree must be complete (fires at the closing
+    /// tag); subsumes `labels` and `text`.
+    pub all: bool,
+}
+
+impl PastSet {
+    pub fn all() -> PastSet {
+        PastSet {
+            all: true,
+            ..PastSet::default()
+        }
+    }
+
+    pub fn union(&mut self, other: &PastSet) {
+        self.labels.extend(other.labels.iter().cloned());
+        self.text |= other.text;
+        self.all |= other.all;
+    }
+
+    pub fn insert_label(&mut self, label: impl Into<String>) {
+        self.labels.insert(label.into());
+    }
+
+    /// An empty set fires immediately when the element opens.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty() && !self.text && !self.all
+    }
+}
+
+impl fmt::Display for PastSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all {
+            return write!(f, "past(*)");
+        }
+        write!(f, "past(")?;
+        let mut first = true;
+        for label in &self.labels {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{label}")?;
+            first = false;
+        }
+        if self.text {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "text()")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A handler inside a `process-stream` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Handler {
+    /// `on label as $var return body` — fires on each child with the label,
+    /// in document order, with `$var` bound to the child.
+    On {
+        label: String,
+        var: VarName,
+        body: FluxExpr,
+    },
+    /// `on-first past(L) return body` — fires exactly once, at the earliest
+    /// stream position where the DTD implies no further `L`-child can
+    /// occur; the body is XQuery evaluated over buffered data.
+    OnFirstPast { labels: PastSet, body: FluxExpr },
+}
+
+/// A FluX expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluxExpr {
+    Empty,
+    /// Adjacent expressions (element content).
+    Sequence(Vec<FluxExpr>),
+    StringLit(String),
+    /// Copy the current handler variable's subtree to the output as its
+    /// events arrive — the zero-buffer path (`on title as $t return {$t}`).
+    StreamCopy(VarName),
+    /// Direct element constructor around further FluX.
+    Element {
+        name: String,
+        attributes: Vec<AttrConstructor>,
+        content: Box<FluxExpr>,
+    },
+    /// `process-stream $var: handlers` — consume the children of the node
+    /// bound to `$var`, dispatching to handlers.
+    ProcessStream {
+        var: VarName,
+        handlers: Vec<Handler>,
+    },
+    /// A normal-form XQuery expression evaluated over buffered data (the
+    /// bodies of `on-first` handlers, and constants).
+    Buffered(Expr),
+}
+
+impl FluxExpr {
+    /// Counts `process-stream` constructs (for tests and explain output).
+    pub fn process_stream_count(&self) -> usize {
+        match self {
+            FluxExpr::Empty | FluxExpr::StringLit(_) | FluxExpr::StreamCopy(_) | FluxExpr::Buffered(_) => 0,
+            FluxExpr::Sequence(items) => items.iter().map(FluxExpr::process_stream_count).sum(),
+            FluxExpr::Element { content, .. } => content.process_stream_count(),
+            FluxExpr::ProcessStream { handlers, .. } => {
+                1 + handlers
+                    .iter()
+                    .map(|h| match h {
+                        Handler::On { body, .. } | Handler::OnFirstPast { body, .. } => {
+                            body.process_stream_count()
+                        }
+                    })
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Whether this expression consumes a stream region: it contains a
+    /// `process-stream` or stream-copy, so its output is produced over the
+    /// *duration* of the current child rather than instantly at its start.
+    pub fn has_spine(&self) -> bool {
+        match self {
+            FluxExpr::Empty | FluxExpr::StringLit(_) | FluxExpr::Buffered(_) => false,
+            FluxExpr::StreamCopy(_) | FluxExpr::ProcessStream { .. } => true,
+            FluxExpr::Sequence(items) => items.iter().any(FluxExpr::has_spine),
+            FluxExpr::Element { content, .. } => content.has_spine(),
+        }
+    }
+
+    /// Counts buffered (`on-first`) handlers — the buffering obligations of
+    /// the query. Zero means fully streaming execution.
+    pub fn buffered_handler_count(&self) -> usize {
+        match self {
+            FluxExpr::Empty | FluxExpr::StringLit(_) | FluxExpr::StreamCopy(_) | FluxExpr::Buffered(_) => 0,
+            FluxExpr::Sequence(items) => items.iter().map(FluxExpr::buffered_handler_count).sum(),
+            FluxExpr::Element { content, .. } => content.buffered_handler_count(),
+            FluxExpr::ProcessStream { handlers, .. } => handlers
+                .iter()
+                .map(|h| match h {
+                    Handler::On { body, .. } => body.buffered_handler_count(),
+                    Handler::OnFirstPast { body, .. } => 1 + body.buffered_handler_count(),
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn past_set_display() {
+        let mut set = PastSet::default();
+        set.insert_label("title");
+        set.insert_label("author");
+        assert_eq!(set.to_string(), "past(author,title)");
+        set.text = true;
+        assert_eq!(set.to_string(), "past(author,title,text())");
+        assert_eq!(PastSet::all().to_string(), "past(*)");
+        assert_eq!(PastSet::default().to_string(), "past()");
+    }
+
+    #[test]
+    fn past_set_union() {
+        let mut a = PastSet::default();
+        a.insert_label("x");
+        let mut b = PastSet::default();
+        b.insert_label("y");
+        b.text = true;
+        a.union(&b);
+        assert!(a.labels.contains("x") && a.labels.contains("y"));
+        assert!(a.text);
+        assert!(!a.all);
+    }
+
+    #[test]
+    fn counting() {
+        let ps = FluxExpr::ProcessStream {
+            var: "x".into(),
+            handlers: vec![
+                Handler::On {
+                    label: "a".into(),
+                    var: "v".into(),
+                    body: FluxExpr::StreamCopy("v".into()),
+                },
+                Handler::OnFirstPast {
+                    labels: PastSet::all(),
+                    body: FluxExpr::Buffered(Expr::Empty),
+                },
+            ],
+        };
+        assert_eq!(ps.process_stream_count(), 1);
+        assert_eq!(ps.buffered_handler_count(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Errors of the FluX compilation pipeline.
+
+use flux_xquery::XQueryError;
+use std::fmt;
+
+#[derive(Debug)]
+pub enum FluxError {
+    /// Frontend error (parse/normalize).
+    XQuery(XQueryError),
+    /// The scheduler could not produce a plan (internal invariant broken —
+    /// scheduling itself always succeeds by falling back to buffering).
+    Schedule { message: String },
+    /// The produced FluX query failed the independent safety check against
+    /// the DTD. This indicates a scheduler bug and is always reported
+    /// rather than silently producing wrong answers.
+    Unsafe { message: String },
+}
+
+impl fmt::Display for FluxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluxError::XQuery(e) => write!(f, "{e}"),
+            FluxError::Schedule { message } => write!(f, "scheduling error: {message}"),
+            FluxError::Unsafe { message } => write!(f, "unsafe FluX query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FluxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FluxError::XQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XQueryError> for FluxError {
+    fn from(e: XQueryError) -> Self {
+        FluxError::XQuery(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, FluxError>;

@@ -1,0 +1,166 @@
+//! Pretty printer for FluX queries, using the paper's surface syntax:
+//!
+//! ```text
+//! <results>
+//!   { process-stream $ROOT: on bib as $bib return
+//!     { process-stream $bib: on book as $book return
+//!       <result>
+//!         { process-stream $book:
+//!             on title as $t return {$t};
+//!             on-first past(title,author) return
+//!               { for $a in $book/author return {$a} } }
+//!       </result> } }
+//! </results>
+//! ```
+
+use crate::ast::{FluxExpr, Handler};
+use flux_xquery::{pretty as xquery_pretty, AttrPart};
+use std::fmt::Write;
+
+/// Renders a FluX expression in paper-style syntax.
+pub fn pretty_flux(expr: &FluxExpr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_expr(expr: &FluxExpr, level: usize, out: &mut String) {
+    match expr {
+        FluxExpr::Empty => out.push_str("()"),
+        FluxExpr::StringLit(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        FluxExpr::StreamCopy(var) => {
+            let _ = write!(out, "{{${var}}}");
+        }
+        FluxExpr::Sequence(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_expr(item, level, out);
+            }
+        }
+        FluxExpr::Element {
+            name,
+            attributes,
+            content,
+        } => {
+            let _ = write!(out, "<{name}");
+            for attr in attributes {
+                let _ = write!(out, " {}=\"", attr.name);
+                for part in &attr.value {
+                    match part {
+                        AttrPart::Literal(t) => out.push_str(t),
+                        AttrPart::Expr(e) => {
+                            out.push('{');
+                            out.push_str(&xquery_pretty(e));
+                            out.push('}');
+                        }
+                    }
+                }
+                out.push('"');
+            }
+            match &**content {
+                FluxExpr::Empty => out.push_str("/>"),
+                content => {
+                    out.push_str(">\n");
+                    indent(out, level + 1);
+                    write_expr(content, level + 1, out);
+                    out.push('\n');
+                    indent(out, level);
+                    let _ = write!(out, "</{name}>");
+                }
+            }
+        }
+        FluxExpr::ProcessStream { var, handlers } => {
+            let _ = write!(out, "{{ process-stream ${var}:");
+            for (i, handler) in handlers.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                out.push('\n');
+                indent(out, level + 1);
+                match handler {
+                    Handler::On { label, var, body } => {
+                        let _ = write!(out, "on {label} as ${var} return ");
+                        write_expr(body, level + 1, out);
+                    }
+                    Handler::OnFirstPast { labels, body } => {
+                        let _ = write!(out, "on-first {labels} return ");
+                        write_expr(body, level + 1, out);
+                    }
+                }
+            }
+            out.push_str(" }");
+        }
+        FluxExpr::Buffered(e) => {
+            out.push_str("{ ");
+            let one_line = xquery_pretty(e).replace('\n', " ");
+            let compact: String = one_line.split_whitespace().collect::<Vec<_>>().join(" ");
+            out.push_str(&compact);
+            out.push_str(" }");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PastSet;
+    use flux_xquery::Expr;
+
+    #[test]
+    fn renders_paper_shape() {
+        let mut past = PastSet::default();
+        past.insert_label("title");
+        past.insert_label("author");
+        let flux = FluxExpr::Element {
+            name: "results".into(),
+            attributes: vec![],
+            content: Box::new(FluxExpr::ProcessStream {
+                var: "ROOT".into(),
+                handlers: vec![Handler::On {
+                    label: "bib".into(),
+                    var: "bib".into(),
+                    body: FluxExpr::ProcessStream {
+                        var: "bib".into(),
+                        handlers: vec![Handler::On {
+                            label: "book".into(),
+                            var: "book".into(),
+                            body: FluxExpr::Element {
+                                name: "result".into(),
+                                attributes: vec![],
+                                content: Box::new(FluxExpr::ProcessStream {
+                                    var: "book".into(),
+                                    handlers: vec![
+                                        Handler::On {
+                                            label: "title".into(),
+                                            var: "t".into(),
+                                            body: FluxExpr::StreamCopy("t".into()),
+                                        },
+                                        Handler::OnFirstPast {
+                                            labels: past,
+                                            body: FluxExpr::Buffered(Expr::Empty),
+                                        },
+                                    ],
+                                }),
+                            },
+                        }],
+                    },
+                }],
+            }),
+        };
+        let printed = pretty_flux(&flux);
+        assert!(printed.contains("process-stream $ROOT:"), "{printed}");
+        assert!(printed.contains("on bib as $bib return"), "{printed}");
+        assert!(printed.contains("on title as $t return {$t}"), "{printed}");
+        assert!(printed.contains("on-first past(author,title) return"), "{printed}");
+    }
+}

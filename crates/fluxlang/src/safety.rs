@@ -1,0 +1,462 @@
+//! Safety checking of FluX queries against a DTD (paper Sec. 2).
+//!
+//! A FluX query is **safe** when every XQuery subexpression only refers to
+//! paths whose data is guaranteed complete at the moment the expression
+//! runs:
+//!
+//! * inside `on-first past(L)`, a path `$x/c` on the process-stream
+//!   variable is safe iff the DTD implies *past(L) ⟹ past(c)* — at every
+//!   reachable automaton state where no `L`-label can occur, `c` cannot
+//!   occur either (the paper's example: replacing `$book/author` by
+//!   `$book/price` under `((title|author)*, price)` is unsafe);
+//! * outer-variable paths `$w/q` read while the stream is inside a
+//!   `g`-child of `$w` are safe iff `all_before(type(w), q, g)` with
+//!   `q ≠ g`;
+//! * whole-subtree uses require `past(*)`; text reads require the element
+//!   to forbid text, or the handler to wait for text.
+//!
+//! The checker is deliberately **independent** of the scheduler: it
+//! re-derives every guarantee from the DTD, so scheduler bugs surface as
+//! safety errors instead of wrong answers.
+
+use crate::ast::{FluxExpr, Handler, PastSet};
+use crate::error::{FluxError, Result};
+use flux_dtd::{Dfa, Dtd, Symbol, SymbolTable};
+use flux_xquery::{deps_on, paths_rooted_at, AttrPart, DepSet, Expr, VarName, ROOT_VAR};
+
+#[derive(Debug, Clone)]
+struct Scope {
+    var: VarName,
+    symbol: Option<Symbol>,
+    trigger: Option<String>,
+    /// The past-set in force for buffered evaluation at this position
+    /// (`None` while streaming, `Some` inside an `on-first` body).
+    past: Option<PastSet>,
+}
+
+/// Checks a FluX query; returns all violations.
+pub fn check_safety(flux: &FluxExpr, dtd: &Dtd) -> Result<()> {
+    let mut checker = Checker {
+        dtd,
+        violations: Vec::new(),
+    };
+    let mut scopes = vec![Scope {
+        var: ROOT_VAR.to_string(),
+        symbol: Some(SymbolTable::DOCUMENT),
+        trigger: None,
+        past: None,
+    }];
+    checker.check(flux, &mut scopes);
+    if checker.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(FluxError::Unsafe {
+            message: checker.violations.join("; "),
+        })
+    }
+}
+
+struct Checker<'d> {
+    dtd: &'d Dtd,
+    violations: Vec<String>,
+}
+
+impl<'d> Checker<'d> {
+    fn check(&mut self, expr: &FluxExpr, scopes: &mut Vec<Scope>) {
+        match expr {
+            FluxExpr::Empty | FluxExpr::StringLit(_) => {}
+            FluxExpr::StreamCopy(v) => {
+                let innermost = scopes.last().expect("nonempty");
+                if *v != innermost.var || innermost.trigger.is_none() {
+                    self.violations.push(format!(
+                        "stream-copy of ${v} outside its own on-handler"
+                    ));
+                }
+            }
+            FluxExpr::Sequence(items) => {
+                for item in items {
+                    self.check(item, scopes);
+                }
+            }
+            FluxExpr::Element {
+                attributes,
+                content,
+                ..
+            } => {
+                for attr in attributes {
+                    for part in &attr.value {
+                        if let AttrPart::Expr(e) = part {
+                            self.check_buffered(e, scopes, "attribute template");
+                        }
+                    }
+                }
+                self.check(content, scopes);
+            }
+            FluxExpr::ProcessStream { var, handlers } => {
+                let innermost = scopes.last().expect("nonempty");
+                if *var != innermost.var {
+                    self.violations.push(format!(
+                        "process-stream ${var} does not match the innermost scope ${}",
+                        innermost.var
+                    ));
+                    return;
+                }
+                // A child's stream region can feed at most one spine body:
+                // once an `on` handler with a process-stream/stream-copy
+                // body consumed a label, no later `on` handler may share it.
+                let mut spine_labels: std::collections::BTreeSet<&str> =
+                    std::collections::BTreeSet::new();
+                for handler in handlers {
+                    if let Handler::On { label, body, .. } = handler {
+                        if spine_labels.contains(label.as_str()) {
+                            self.violations.push(format!(
+                                "two on-handlers stream label `{label}`, but an earlier one consumes the region"
+                            ));
+                        }
+                        if body.has_spine() {
+                            spine_labels.insert(label.as_str());
+                        }
+                    }
+                }
+                for handler in handlers {
+                    match handler {
+                        Handler::On { label, var: v, body } => {
+                            scopes.push(Scope {
+                                var: v.clone(),
+                                symbol: self.dtd.lookup(label),
+                                trigger: Some(label.clone()),
+                                past: None,
+                            });
+                            self.check(body, scopes);
+                            scopes.pop();
+                        }
+                        Handler::OnFirstPast { labels, body } => {
+                            let saved = scopes.last().expect("nonempty").past.clone();
+                            scopes.last_mut().expect("nonempty").past = Some(labels.clone());
+                            self.check(body, scopes);
+                            scopes.last_mut().expect("nonempty").past = saved;
+                        }
+                    }
+                }
+            }
+            FluxExpr::Buffered(e) => {
+                self.check_buffered(e, scopes, "buffered expression");
+            }
+        }
+    }
+
+    /// Checks an XQuery expression evaluated at the current position.
+    fn check_buffered(&mut self, e: &Expr, scopes: &[Scope], what: &str) {
+        // Innermost scope: data must be implied-past by the active past-set.
+        let innermost = scopes.last().expect("nonempty");
+        let deps = deps_on(e, &innermost.var);
+        let past = innermost.past.clone().unwrap_or_default();
+        if let Some(problem) = self.past_gap(&deps, &past, innermost) {
+            self.violations.push(format!(
+                "{what} reads {problem} of ${} not implied past by {past}",
+                innermost.var
+            ));
+        }
+        // Outer scopes: static order constraints.
+        for i in 0..scopes.len() - 1 {
+            let w = &scopes[i];
+            let next = &scopes[i + 1];
+            let wdeps = deps_on(e, &w.var);
+            if !self.outer_complete(&wdeps, w, next) {
+                let paths: Vec<String> = paths_rooted_at(e, &w.var)
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect();
+                self.violations.push(format!(
+                    "{what} reads {} while inside a child of ${}, with no order constraint guaranteeing completeness",
+                    paths.join(", "),
+                    w.var
+                ));
+            }
+        }
+    }
+
+    /// Returns a description of the first dependency not implied past.
+    fn past_gap(&self, deps: &DepSet, past: &PastSet, scope: &Scope) -> Option<String> {
+        if deps.needs_no_children() {
+            return None;
+        }
+        if past.all {
+            return None; // fires at close: everything is complete
+        }
+        if deps.whole {
+            return Some("the whole subtree".to_string());
+        }
+        let Some(sym) = scope.symbol else {
+            return Some("children of an undeclared element".to_string());
+        };
+        let decl = match self.dtd.element(sym) {
+            Some(d) => Some(d),
+            None if sym == SymbolTable::DOCUMENT => None,
+            None => return Some("children of an undeclared element".to_string()),
+        };
+        let text_allowed = decl.is_some_and(|d| d.text_allowed);
+        let dfa = match self.dtd.content_dfa(sym) {
+            Some(d) => d,
+            None => return Some("children of an element with no content model".to_string()),
+        };
+        // A past-set that waits for text in a text-allowed element can only
+        // fire at the closing tag — everything is complete then.
+        let fires_only_at_close = past.text && text_allowed;
+        if fires_only_at_close {
+            return None;
+        }
+        if deps.text && text_allowed {
+            return Some("text content".to_string());
+        }
+        for label in &deps.labels {
+            let Some(c) = self.dtd.lookup(label) else {
+                continue; // undeclared: never occurs, trivially past
+            };
+            if !self.past_implies(dfa, past, c) {
+                return Some(format!("`$…/{label}`"));
+            }
+        }
+        None
+    }
+
+    /// Does `past(L)` imply that all `c` children are **complete** at every
+    /// possible firing seam of the `on-first past(L)` event?
+    ///
+    /// The check walks firing seams rather than states: the event fires at
+    /// the first seam where `L` becomes impossible — either at the start
+    /// tag, *before* a child whose label is outside `L` (that child is
+    /// still unread!), *after* a child whose label is in `L`, or at the
+    /// closing tag. `c` is complete at a seam iff no `c` can occur at or
+    /// after it.
+    fn past_implies(&self, dfa: &Dfa, past: &PastSet, c: Symbol) -> bool {
+        let l_syms: Vec<Symbol> = past
+            .labels
+            .iter()
+            .filter_map(|l| self.dtd.lookup(l))
+            .collect();
+        // Undeclared labels in L never occur and are dropped: they impose
+        // no wait. An effectively-empty L fires right at the start tag.
+        let l_impossible = |q: flux_dtd::StateId| -> bool {
+            let still = dfa.still_possible(q);
+            l_syms.iter().all(|l| !still.contains(l))
+        };
+        // Seam at the start tag.
+        if l_impossible(dfa.start()) && dfa.still_possible(dfa.start()).contains(&c) {
+            return false;
+        }
+        // Seams at child transitions: first-fire happens on edges where L
+        // flips from possible to impossible.
+        for q in 0..dfa.state_count() as flux_dtd::StateId {
+            if l_impossible(q) {
+                continue; // the event fired earlier on this run
+            }
+            for &(d, q_next) in dfa.transitions(q) {
+                if !dfa.is_co_accessible(q_next) || !l_impossible(q_next) {
+                    continue;
+                }
+                let fires_before_child = !l_syms.contains(&d);
+                if fires_before_child && (c == d || dfa.still_possible(q_next).contains(&c)) {
+                    // Fires before <d> is read; d itself or later children
+                    // could be c's whose data is not yet buffered.
+                    return false;
+                }
+                if !fires_before_child && dfa.still_possible(q_next).contains(&c) {
+                    // Fires after </d>; only later c's are a problem.
+                    return false;
+                }
+            }
+        }
+        // Runs where L stays possible to the end fire at the closing tag,
+        // where everything is complete.
+        true
+    }
+
+    /// Mirror of the scheduler's completeness rule for outer scopes.
+    fn outer_complete(&self, deps: &DepSet, w: &Scope, next: &Scope) -> bool {
+        if deps.needs_no_children() {
+            return true;
+        }
+        if deps.whole {
+            return false;
+        }
+        let Some(tw) = w.symbol else {
+            return false;
+        };
+        let Some(g_label) = next.trigger.as_deref() else {
+            return false;
+        };
+        let Some(g) = self.dtd.lookup(g_label) else {
+            return false;
+        };
+        for q_label in &deps.labels {
+            let Some(q) = self.dtd.lookup(q_label) else {
+                continue;
+            };
+            if q == g || !self.dtd.all_before(tw, q, g) {
+                return false;
+            }
+        }
+        if deps.text && !self.dtd.all_before(tw, SymbolTable::TEXT, g) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Rewriter;
+    use flux_dtd::{PAPER_FIG1_DTD, PAPER_UNSAFE_DTD, PAPER_WEAK_DTD};
+    use flux_xquery::{normalize, parse_query, Path};
+
+    fn scheduled(q: &str, dtd: &Dtd) -> FluxExpr {
+        let nf = normalize(&parse_query(q).unwrap()).unwrap();
+        Rewriter::new(dtd).rewrite(&nf).unwrap()
+    }
+
+    const Q3: &str = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#;
+
+    #[test]
+    fn scheduler_output_is_safe() {
+        for dtd_text in [PAPER_WEAK_DTD, PAPER_FIG1_DTD, PAPER_UNSAFE_DTD] {
+            let dtd = Dtd::parse(dtd_text).unwrap();
+            let flux = scheduled(Q3, &dtd);
+            check_safety(&flux, &dtd).expect("scheduled Q3 must be safe");
+        }
+    }
+
+    #[test]
+    fn paper_unsafe_example_detected() {
+        // Hand-built unsafe FluX: under ((title|author)*, price), an
+        // on-first past(title, author) handler reading $book/price fires
+        // while the price buffer is still empty.
+        let dtd = Dtd::parse(PAPER_UNSAFE_DTD).unwrap();
+        let mut past = PastSet::default();
+        past.insert_label("title");
+        past.insert_label("author");
+        let bad = FluxExpr::ProcessStream {
+            var: "ROOT".into(),
+            handlers: vec![Handler::On {
+                label: "bib".into(),
+                var: "bib".into(),
+                body: FluxExpr::ProcessStream {
+                    var: "bib".into(),
+                    handlers: vec![Handler::On {
+                        label: "book".into(),
+                        var: "book".into(),
+                        body: FluxExpr::ProcessStream {
+                            var: "book".into(),
+                            handlers: vec![Handler::OnFirstPast {
+                                labels: past,
+                                body: FluxExpr::Buffered(Expr::Path(
+                                    Path::var("book").child("price"),
+                                )),
+                            }],
+                        },
+                    }],
+                },
+            }],
+        };
+        let err = check_safety(&bad, &dtd).unwrap_err();
+        assert!(err.to_string().contains("price"), "{err}");
+    }
+
+    #[test]
+    fn same_query_safe_under_fig1() {
+        // Under Figure 1 (title,(author+|editor+),publisher,price), price
+        // comes last... past(title,author) does NOT imply past(price):
+        // price can still occur. Still unsafe!
+        let dtd = Dtd::parse(PAPER_FIG1_DTD).unwrap();
+        let mut past = PastSet::default();
+        past.insert_label("title");
+        past.insert_label("author");
+        let q = FluxExpr::ProcessStream {
+            var: "ROOT".into(),
+            handlers: vec![Handler::On {
+                label: "bib".into(),
+                var: "bib".into(),
+                body: FluxExpr::ProcessStream {
+                    var: "bib".into(),
+                    handlers: vec![Handler::On {
+                        label: "book".into(),
+                        var: "book".into(),
+                        body: FluxExpr::ProcessStream {
+                            var: "book".into(),
+                            handlers: vec![Handler::OnFirstPast {
+                                labels: past.clone(),
+                                body: FluxExpr::Buffered(Expr::Path(
+                                    Path::var("book").child("price"),
+                                )),
+                            }],
+                        },
+                    }],
+                },
+            }],
+        };
+        assert!(check_safety(&q, &dtd).is_err());
+
+        // Reading $book/author under past(title,author) IS safe (the
+        // paper's safe example).
+        let safe = FluxExpr::ProcessStream {
+            var: "ROOT".into(),
+            handlers: vec![Handler::On {
+                label: "bib".into(),
+                var: "bib".into(),
+                body: FluxExpr::ProcessStream {
+                    var: "bib".into(),
+                    handlers: vec![Handler::On {
+                        label: "book".into(),
+                        var: "book".into(),
+                        body: FluxExpr::ProcessStream {
+                            var: "book".into(),
+                            handlers: vec![Handler::OnFirstPast {
+                                labels: past,
+                                body: FluxExpr::Buffered(Expr::Path(
+                                    Path::var("book").child("author"),
+                                )),
+                            }],
+                        },
+                    }],
+                },
+            }],
+        };
+        check_safety(&safe, &dtd).expect("author read is safe");
+    }
+
+    #[test]
+    fn stream_copy_outside_handler_rejected() {
+        let dtd = Dtd::parse(PAPER_WEAK_DTD).unwrap();
+        let bad = FluxExpr::StreamCopy("ROOT".into());
+        assert!(check_safety(&bad, &dtd).is_err());
+    }
+
+    #[test]
+    fn mismatched_process_stream_rejected() {
+        let dtd = Dtd::parse(PAPER_WEAK_DTD).unwrap();
+        let bad = FluxExpr::ProcessStream {
+            var: "nobody".into(),
+            handlers: vec![],
+        };
+        assert!(check_safety(&bad, &dtd).is_err());
+    }
+
+    #[test]
+    fn scheduler_outputs_safe_across_catalog() {
+        let queries = [
+            r#"<r>{ for $b in $ROOT/bib/book return <x>{$b/author}{$b/title}</x> }</r>"#,
+            r#"<r>{ for $b in $ROOT/bib/book return <x>{$b}{$b/title}</x> }</r>"#,
+            r#"<r>{ for $b in $ROOT/bib/book return if ($b/author = "K") then $b/title else () }</r>"#,
+            r#"<r>{ for $b in $ROOT/bib/book return for $t in $b/title return <y>{$t}{$b/author}</y> }</r>"#,
+        ];
+        for dtd_text in [PAPER_WEAK_DTD, PAPER_FIG1_DTD] {
+            let dtd = Dtd::parse(dtd_text).unwrap();
+            for q in queries {
+                let flux = scheduled(q, &dtd);
+                check_safety(&flux, &dtd)
+                    .unwrap_or_else(|e| panic!("unsafe schedule for {q} under:\n{dtd_text}\n{e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The **Buffer Description Forest** (BDF, paper Sec. 3.2): for every
+//! streaming scope variable, a projection tree describing which descendant
+//! paths of that variable must be buffered, and how deeply.
+//!
+//! This is what improves on pure projection (\[10\] in the paper): data
+//! consumed on the fly by streaming handlers never enters the BDF, and
+//! buffered paths are projected further (only the descendants the buffered
+//! expressions actually read are stored).
+
+use flux_xquery::{AttrPart, Cond, Expr, Operand, Path, Step, VarName};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node in the [`SpecArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpecId(u32);
+
+impl SpecId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the buffer description forest.
+#[derive(Debug, Clone, Default)]
+pub struct SpecNode {
+    /// Keep the entire subtree below this point.
+    pub whole: bool,
+    /// Keep text children at this point.
+    pub text: bool,
+    /// Child labels to keep, with their own projections.
+    pub children: BTreeMap<String, SpecId>,
+}
+
+/// Arena of spec nodes; scope variables own root specs.
+#[derive(Debug, Clone, Default)]
+pub struct SpecArena {
+    nodes: Vec<SpecNode>,
+}
+
+impl SpecArena {
+    pub fn new() -> Self {
+        SpecArena { nodes: Vec::new() }
+    }
+
+    pub fn new_root(&mut self) -> SpecId {
+        self.push(SpecNode::default())
+    }
+
+    fn push(&mut self, node: SpecNode) -> SpecId {
+        let id = SpecId(u32::try_from(self.nodes.len()).expect("too many spec nodes"));
+        self.nodes.push(node);
+        id
+    }
+
+    pub fn node(&self, id: SpecId) -> &SpecNode {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: SpecId) -> &mut SpecNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Gets or creates the child spec under `id` for `label`.
+    pub fn child(&mut self, id: SpecId, label: &str) -> SpecId {
+        if let Some(&existing) = self.nodes[id.index()].children.get(label) {
+            return existing;
+        }
+        let child = self.push(SpecNode::default());
+        self.node_mut(id).children.insert(label.to_string(), child);
+        child
+    }
+
+    pub fn mark_whole(&mut self, id: SpecId) {
+        self.node_mut(id).whole = true;
+    }
+
+    pub fn mark_text(&mut self, id: SpecId) {
+        self.node_mut(id).text = true;
+    }
+
+    /// True when nothing below this spec needs buffering.
+    pub fn is_empty_spec(&self, id: SpecId) -> bool {
+        let n = self.node(id);
+        !n.whole && !n.text && n.children.is_empty()
+    }
+
+    /// Renders a spec subtree, for `explain` output.
+    pub fn render(&self, id: SpecId) -> String {
+        let mut out = String::new();
+        self.render_into(id, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: SpecId, out: &mut String) {
+        let n = self.node(id);
+        if n.whole {
+            out.push('*');
+            return;
+        }
+        out.push('{');
+        let mut first = true;
+        if n.text {
+            out.push_str("text()");
+            first = false;
+        }
+        for (label, &child) in &n.children {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(label);
+            if !self.is_empty_spec(child) {
+                out.push(':');
+                self.render_into(child, out);
+            }
+            first = false;
+        }
+        out.push('}');
+    }
+}
+
+impl fmt::Display for SpecArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpecArena({} nodes)", self.nodes.len())
+    }
+}
+
+/// How a buffer-population step should treat a child element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecView {
+    /// Copy everything below.
+    Whole,
+    /// Project per this spec node.
+    Project(SpecId),
+}
+
+impl SpecView {
+    /// Descends into a child labelled `label`: `None` means the child is
+    /// projected away entirely.
+    pub fn descend(self, arena: &SpecArena, label: &str) -> Option<SpecView> {
+        match self {
+            SpecView::Whole => Some(SpecView::Whole),
+            SpecView::Project(id) => {
+                let n = arena.node(id);
+                if n.whole {
+                    return Some(SpecView::Whole);
+                }
+                n.children.get(label).map(|&c| SpecView::Project(c))
+            }
+        }
+    }
+
+    /// Whether text children are kept at this point.
+    pub fn keeps_text(self, arena: &SpecArena) -> bool {
+        match self {
+            SpecView::Whole => true,
+            SpecView::Project(id) => {
+                let n = arena.node(id);
+                n.whole || n.text
+            }
+        }
+    }
+}
+
+/// Collects the buffering needs of a normal-form XQuery expression into the
+/// spec roots of the in-scope variables.
+///
+/// `scopes` maps streaming-scope variables to their spec roots; loop
+/// variables bound *inside* `expr` are tracked locally and resolve to spec
+/// nodes reached through their source paths.
+pub fn collect_needs(
+    arena: &mut SpecArena,
+    expr: &Expr,
+    scopes: &[(VarName, SpecId)],
+) {
+    let mut local: Vec<(VarName, SpecId)> = Vec::new();
+    collect(arena, expr, scopes, &mut local);
+}
+
+fn lookup(
+    scopes: &[(VarName, SpecId)],
+    local: &[(VarName, SpecId)],
+    var: &str,
+) -> Option<SpecId> {
+    local
+        .iter()
+        .rev()
+        .chain(scopes.iter().rev())
+        .find(|(v, _)| v == var)
+        .map(|&(_, id)| id)
+}
+
+/// Resolves the element-step prefix of a path, materialising spec nodes
+/// along the way; returns the spec node of the final element position and
+/// the trailing non-element step, if any.
+fn resolve<'p>(
+    arena: &mut SpecArena,
+    path: &'p Path,
+    scopes: &[(VarName, SpecId)],
+    local: &[(VarName, SpecId)],
+) -> Option<(SpecId, Option<&'p Step>)> {
+    let mut current = lookup(scopes, local, &path.start)?;
+    let (element_steps, tail) = match path.steps.last() {
+        Some(s @ (Step::Attribute(_) | Step::Text)) => {
+            (&path.steps[..path.steps.len() - 1], Some(s))
+        }
+        _ => (&path.steps[..], None),
+    };
+    for step in element_steps {
+        let Step::Child(label) = step else {
+            return None; // non-final attribute/text: rejected upstream
+        };
+        current = arena.child(current, label);
+    }
+    Some((current, tail))
+}
+
+fn note_path(
+    arena: &mut SpecArena,
+    path: &Path,
+    scopes: &[(VarName, SpecId)],
+    local: &[(VarName, SpecId)],
+    string_valued: bool,
+) {
+    let Some((node, tail)) = resolve(arena, path, scopes, local) else {
+        return;
+    };
+    match tail {
+        Some(Step::Text) => arena.mark_text(node),
+        Some(Step::Attribute(_)) => {
+            // Attributes ride along with materialised element shells.
+        }
+        _ => {
+            if string_valued {
+                // String values need all descendant text: keep the subtree.
+                arena.mark_whole(node);
+            }
+        }
+    }
+}
+
+fn collect_cond(
+    arena: &mut SpecArena,
+    cond: &Cond,
+    scopes: &[(VarName, SpecId)],
+    local: &[(VarName, SpecId)],
+) {
+    match cond {
+        Cond::Cmp { lhs, rhs, .. } => {
+            for operand in [lhs, rhs] {
+                if let Operand::Path(p) = operand {
+                    note_path(arena, p, scopes, local, true);
+                }
+            }
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_cond(arena, a, scopes, local);
+            collect_cond(arena, b, scopes, local);
+        }
+        Cond::Not(c) => collect_cond(arena, c, scopes, local),
+        // Existence checks only need the element shells materialised.
+        Cond::Exists(p) | Cond::Empty(p) => note_path(arena, p, scopes, local, false),
+        Cond::True | Cond::False => {}
+    }
+}
+
+fn collect(
+    arena: &mut SpecArena,
+    expr: &Expr,
+    scopes: &[(VarName, SpecId)],
+    local: &mut Vec<(VarName, SpecId)>,
+) {
+    match expr {
+        Expr::Empty | Expr::StringLit(_) => {}
+        Expr::Var(v) => {
+            if let Some(id) = lookup(scopes, local, v) {
+                arena.mark_whole(id);
+            }
+        }
+        Expr::Path(p) => {
+            // Output position: nodes are copied (whole), attribute/text
+            // reads are cheaper.
+            note_path(arena, p, scopes, local, true);
+        }
+        Expr::Sequence(items) => {
+            for item in items {
+                collect(arena, item, scopes, local);
+            }
+        }
+        Expr::Element {
+            attributes,
+            content,
+            ..
+        } => {
+            for attr in attributes {
+                for part in &attr.value {
+                    if let AttrPart::Expr(e) = part {
+                        collect(arena, e, scopes, local);
+                    }
+                }
+            }
+            collect(arena, content, scopes, local);
+        }
+        Expr::For {
+            var,
+            source,
+            where_clause,
+            body,
+        } => {
+            let bound = resolve(arena, source, scopes, local)
+                .and_then(|(node, tail)| if tail.is_none() { Some(node) } else { None });
+            if let Some(cond) = where_clause {
+                collect_cond(arena, cond, scopes, local);
+            }
+            match bound {
+                Some(node) => {
+                    local.push((var.clone(), node));
+                    collect(arena, body, scopes, local);
+                    local.pop();
+                }
+                None => {
+                    // Unresolvable source (shadowing weirdness): be safe and
+                    // keep everything reachable from the body's roots.
+                    collect(arena, body, scopes, local);
+                }
+            }
+        }
+        Expr::Let { value, body, .. } => {
+            collect(arena, value, scopes, local);
+            collect(arena, body, scopes, local);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_cond(arena, cond, scopes, local);
+            collect(arena, then_branch, scopes, local);
+            collect(arena, else_branch, scopes, local);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_xquery::{normalize, parse_query};
+
+    fn needs_of(query_body: &str) -> (SpecArena, SpecId) {
+        // The expression is a buffered body referencing $book.
+        let expr = normalize(&parse_query(query_body).unwrap()).unwrap();
+        let mut arena = SpecArena::new();
+        let root = arena.new_root();
+        collect_needs(&mut arena, &expr, &[("book".to_string(), root)]);
+        (arena, root)
+    }
+
+    #[test]
+    fn author_loop_needs_whole_authors() {
+        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a }</r>");
+        assert_eq!(arena.render(root), "{author:*}");
+    }
+
+    #[test]
+    fn text_read_projects_to_text() {
+        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
+        assert_eq!(arena.render(root), "{author:{text()}}");
+    }
+
+    #[test]
+    fn attribute_read_keeps_shell_only() {
+        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/@id }</r>");
+        assert_eq!(arena.render(root), "{author}");
+    }
+
+    #[test]
+    fn comparison_operands_keep_subtree() {
+        let (arena, root) =
+            needs_of(r#"<r>{ if ($book/publisher = "AW") then "y" else () }</r>"#);
+        assert_eq!(arena.render(root), "{publisher:*}");
+    }
+
+    #[test]
+    fn exists_materialises_shell() {
+        let (arena, root) = needs_of("<r>{ if (exists($book/editor)) then \"y\" else () }</r>");
+        assert_eq!(arena.render(root), "{editor}");
+    }
+
+    #[test]
+    fn whole_var_marks_root() {
+        let (arena, root) = needs_of("<r>{$book}</r>");
+        assert_eq!(arena.render(root), "*");
+    }
+
+    #[test]
+    fn nested_projection() {
+        let (arena, root) = needs_of(
+            "<r>{ for $a in $book/author return for $n in $a/last return $n/text() }</r>",
+        );
+        assert_eq!(arena.render(root), "{author:{last:{text()}}}");
+    }
+
+    #[test]
+    fn multiple_needs_union() {
+        let (arena, root) = needs_of(
+            r#"<r>{ for $a in $book/author return $a }{ $book/title/text() }{ if ($book/price < 10) then "c" else () }</r>"#,
+        );
+        assert_eq!(arena.render(root), "{author:*,price:*,title:{text()}}");
+    }
+
+    #[test]
+    fn spec_view_descend() {
+        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
+        let view = SpecView::Project(root);
+        let author = view.descend(&arena, "author").unwrap();
+        assert!(author.keeps_text(&arena));
+        assert!(view.descend(&arena, "title").is_none(), "title projected away");
+        assert!(!view.keeps_text(&arena));
+        // Whole view keeps descending as whole.
+        assert_eq!(SpecView::Whole.descend(&arena, "anything"), Some(SpecView::Whole));
+    }
+}

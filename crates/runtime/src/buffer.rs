@@ -1,0 +1,200 @@
+//! The memory-accounted buffer store.
+//!
+//! One arena [`Document`] holds every buffered node: scope shells (one per
+//! active `on` handler binding), projected subtree copies, and text. Scope
+//! subtrees are freed when their scope closes; freed slots are recycled, so
+//! physical memory is bounded by *peak live buffered data* — the quantity
+//! the paper's evaluation measures — and never by document size.
+
+use crate::stats::MemoryTracker;
+use flux_xml::tree::{Document, NodeId, NodeKind};
+use flux_xml::Attribute;
+
+/// Arena of buffered nodes with recycling and byte accounting.
+pub struct BufferArena {
+    doc: Document,
+    free_slots: Vec<NodeId>,
+    tracker: MemoryTracker,
+}
+
+impl Default for BufferArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferArena {
+    pub fn new() -> Self {
+        BufferArena {
+            doc: Document::new(),
+            free_slots: Vec::new(),
+            tracker: MemoryTracker::new(),
+        }
+    }
+
+    /// Read access for the interpreter.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    pub fn tracker(&self) -> &MemoryTracker {
+        &self.tracker
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.doc.reset_node(slot, kind);
+                slot
+            }
+            None => match kind {
+                NodeKind::Element { name, attributes } => self.doc.create_element(name, attributes),
+                NodeKind::Text(t) => self.doc.create_text(t),
+                NodeKind::Document => unreachable!("arena never allocates document nodes"),
+            },
+        };
+        self.tracker.allocate(self.doc.node_heap_bytes(id));
+        id
+    }
+
+    /// Creates a detached element node (a scope shell or a buffered copy).
+    pub fn create_element(&mut self, name: &str, attributes: &[Attribute]) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: name.to_string(),
+            attributes: attributes.to_vec(),
+        })
+    }
+
+    /// Appends a new element under `parent`.
+    pub fn append_element(&mut self, parent: NodeId, name: &str, attributes: &[Attribute]) -> NodeId {
+        let id = self.create_element(name, attributes);
+        self.doc.append_child(parent, id);
+        id
+    }
+
+    /// Appends text under `parent`, merging with a trailing text sibling.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) {
+        if let Some(&last) = self.doc.children(parent).last() {
+            if matches!(self.doc.kind(last), NodeKind::Text(_)) {
+                self.doc.append_to_text(last, text);
+                self.tracker.grow(text.len());
+                return;
+            }
+        }
+        let id = self.alloc(NodeKind::Text(text.to_string()));
+        self.doc.append_child(parent, id);
+    }
+
+    /// Frees a detached scope subtree, recycling every node.
+    pub fn free_scope(&mut self, root: NodeId) {
+        debug_assert!(
+            self.doc.parent(root).is_none(),
+            "scope roots are detached"
+        );
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            stack.extend(self.doc.children(id).iter().copied());
+            self.tracker.release(self.doc.node_heap_bytes(id));
+            // Shrink the payload so the accounted release is real.
+            self.doc.reset_node(id, NodeKind::Text(String::new()));
+            self.free_slots.push(id);
+        }
+    }
+
+    /// Current live buffered bytes.
+    pub fn current_bytes(&self) -> usize {
+        self.tracker.current_bytes()
+    }
+
+    /// Peak live buffered bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.tracker.peak_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let mut arena = BufferArena::new();
+        let book = arena.create_element("book", &[Attribute::new("year", "1994")]);
+        let title = arena.append_element(book, "title", &[]);
+        arena.append_text(title, "TCP/IP");
+        let author = arena.append_element(book, "author", &[]);
+        arena.append_text(author, "Stevens");
+        let doc = arena.doc();
+        assert_eq!(doc.children(book).len(), 2);
+        assert_eq!(doc.string_value(book), "TCP/IPStevens");
+        assert_eq!(doc.attribute(book, "year"), Some("1994"));
+    }
+
+    #[test]
+    fn text_merging_accounts_growth() {
+        let mut arena = BufferArena::new();
+        let e = arena.create_element("t", &[]);
+        arena.append_text(e, "ab");
+        let before = arena.current_bytes();
+        arena.append_text(e, "cd");
+        assert_eq!(arena.doc().children(e).len(), 1, "merged into one text node");
+        assert_eq!(arena.current_bytes(), before + 2);
+        assert_eq!(arena.doc().string_value(e), "abcd");
+    }
+
+    #[test]
+    fn free_releases_and_recycles() {
+        let mut arena = BufferArena::new();
+        let scope = arena.create_element("book", &[]);
+        let t = arena.append_element(scope, "title", &[]);
+        arena.append_text(t, "X");
+        let live = arena.current_bytes();
+        assert!(live > 0);
+        let node_count_before = arena.doc().node_count();
+        arena.free_scope(scope);
+        assert_eq!(arena.current_bytes(), 0);
+        // New allocations reuse the freed slots: arena does not grow.
+        let scope2 = arena.create_element("book", &[]);
+        let t2 = arena.append_element(scope2, "title", &[]);
+        arena.append_text(t2, "Y");
+        assert_eq!(arena.doc().node_count(), node_count_before, "slots recycled");
+        assert_eq!(arena.doc().string_value(scope2), "Y");
+    }
+
+    #[test]
+    fn peak_tracks_maximum_live() {
+        let mut arena = BufferArena::new();
+        // Simulate: 3 books one at a time, each with one author.
+        let mut peak_each = 0;
+        for i in 0..3 {
+            let scope = arena.create_element("book", &[]);
+            let a = arena.append_element(scope, "author", &[]);
+            arena.append_text(a, &format!("Author {i}"));
+            peak_each = peak_each.max(arena.current_bytes());
+            arena.free_scope(scope);
+        }
+        assert_eq!(arena.current_bytes(), 0);
+        assert_eq!(arena.peak_bytes(), peak_each, "peak ≈ one book, not three");
+    }
+
+    #[test]
+    fn interleaved_scopes_free_correctly() {
+        // Outer buffer keeps growing while an inner scope lives and dies —
+        // the regression the subtree-walking free exists for.
+        let mut arena = BufferArena::new();
+        let outer = arena.create_element("outer", &[]);
+        arena.append_element(outer, "kept1", &[]);
+        let inner = arena.create_element("inner", &[]);
+        arena.append_element(inner, "tmp", &[]);
+        arena.append_element(outer, "kept2", &[]); // interleaved with inner's life
+        arena.free_scope(inner);
+        arena.append_element(outer, "kept3", &[]);
+        let doc = arena.doc();
+        let names: Vec<_> = doc
+            .children(outer)
+            .iter()
+            .map(|&c| doc.name(c).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["kept1", "kept2", "kept3"]);
+    }
+}

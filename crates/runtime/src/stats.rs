@@ -1,0 +1,124 @@
+//! Deterministic memory accounting and run statistics.
+//!
+//! The paper's evaluation metric is *buffer consumption*. We account every
+//! byte that enters the buffer store (element shells, projected subtree
+//! copies, text) and track the peak — a deterministic, allocator-independent
+//! measure of what the engine architecture must hold in memory.
+
+use std::time::Duration;
+
+/// Tracks current and peak buffered memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    current_bytes: usize,
+    peak_bytes: usize,
+    current_nodes: usize,
+    peak_nodes: usize,
+    total_allocated_bytes: u64,
+}
+
+impl MemoryTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn allocate(&mut self, bytes: usize) {
+        self.current_bytes += bytes;
+        self.current_nodes += 1;
+        self.total_allocated_bytes += bytes as u64;
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+        self.peak_nodes = self.peak_nodes.max(self.current_nodes);
+    }
+
+    /// Accounts growth of an existing node (e.g. text appended to a merged
+    /// text node).
+    pub fn grow(&mut self, bytes: usize) {
+        self.current_bytes += bytes;
+        self.total_allocated_bytes += bytes as u64;
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+    }
+
+    pub fn release(&mut self, bytes: usize) {
+        debug_assert!(self.current_bytes >= bytes, "released more than allocated");
+        self.current_bytes = self.current_bytes.saturating_sub(bytes);
+        self.current_nodes = self.current_nodes.saturating_sub(1);
+    }
+
+    pub fn current_bytes(&self) -> usize {
+        self.current_bytes
+    }
+
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    pub fn current_nodes(&self) -> usize {
+        self.current_nodes
+    }
+
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Total bytes ever allocated (allocation traffic, not residency).
+    pub fn total_allocated_bytes(&self) -> u64 {
+        self.total_allocated_bytes
+    }
+}
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Peak bytes held in buffers at any point during execution.
+    pub peak_buffer_bytes: usize,
+    /// Peak number of buffered nodes.
+    pub peak_buffer_nodes: usize,
+    /// Total buffer allocation traffic in bytes.
+    pub total_buffered_bytes: u64,
+    /// Bytes written to the output stream.
+    pub output_bytes: u64,
+    /// Input events processed (SAX + on-first).
+    pub events: u64,
+    /// Wall-clock execution time.
+    pub duration: Duration,
+}
+
+impl RunStats {
+    /// Rough throughput in events per second.
+    pub fn events_per_second(&self) -> f64 {
+        if self.duration.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_peak_survives_release() {
+        let mut t = MemoryTracker::new();
+        t.allocate(100);
+        t.allocate(50);
+        assert_eq!(t.current_bytes(), 150);
+        assert_eq!(t.peak_bytes(), 150);
+        t.release(100);
+        assert_eq!(t.current_bytes(), 50);
+        assert_eq!(t.peak_bytes(), 150);
+        t.allocate(30);
+        assert_eq!(t.peak_bytes(), 150, "peak unchanged below the high-water mark");
+        assert_eq!(t.total_allocated_bytes(), 180);
+    }
+
+    #[test]
+    fn grow_counts_bytes_not_nodes() {
+        let mut t = MemoryTracker::new();
+        t.allocate(10);
+        t.grow(5);
+        assert_eq!(t.current_bytes(), 15);
+        assert_eq!(t.current_nodes(), 1);
+        assert_eq!(t.peak_nodes(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by the XML reader, writer and tree builder.
+
+use std::fmt;
+
+/// Position of an error in the input byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// Byte offset from the start of the stream.
+    pub offset: u64,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not characters).
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced while reading or writing XML.
+#[derive(Debug)]
+pub enum XmlError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input ended in the middle of a construct.
+    UnexpectedEof { expected: &'static str, pos: Position },
+    /// A syntactic error in the input.
+    Syntax { message: String, pos: Position },
+    /// A well-formedness violation (mismatched tags, duplicate attributes, ...).
+    WellFormedness { message: String, pos: Position },
+    /// An undefined entity reference such as `&foo;`.
+    UnknownEntity { name: String, pos: Position },
+    /// Invalid UTF-8 in element content or names.
+    InvalidUtf8 { pos: Position },
+    /// The writer was used out of order (e.g. closing an element that is not open).
+    WriterMisuse { message: String },
+}
+
+impl XmlError {
+    /// Position of the error in the input, when known.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            XmlError::Io(_) | XmlError::WriterMisuse { .. } => None,
+            XmlError::UnexpectedEof { pos, .. }
+            | XmlError::Syntax { pos, .. }
+            | XmlError::WellFormedness { pos, .. }
+            | XmlError::UnknownEntity { pos, .. }
+            | XmlError::InvalidUtf8 { pos } => Some(*pos),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+            XmlError::UnexpectedEof { expected, pos } => {
+                write!(f, "unexpected end of input at {pos}, expected {expected}")
+            }
+            XmlError::Syntax { message, pos } => write!(f, "XML syntax error at {pos}: {message}"),
+            XmlError::WellFormedness { message, pos } => {
+                write!(f, "not well-formed at {pos}: {message}")
+            }
+            XmlError::UnknownEntity { name, pos } => {
+                write!(f, "unknown entity `&{name};` at {pos}")
+            }
+            XmlError::InvalidUtf8 { pos } => write!(f, "invalid UTF-8 at {pos}"),
+            XmlError::WriterMisuse { message } => write!(f, "writer misuse: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::Io(e)
+    }
+}
+
+/// Convenient result alias for XML operations.
+pub type Result<T> = std::result::Result<T, XmlError>;

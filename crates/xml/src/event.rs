@@ -1,0 +1,138 @@
+//! The SAX-style event model shared by the reader, writer and higher layers.
+
+use std::fmt;
+
+/// A single attribute of a start-element tag. Values are stored unescaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A parsed XML event.
+///
+/// Text content is delivered unescaped (entity references already resolved);
+/// CDATA sections are delivered as [`XmlEvent::Text`] with a flag-free,
+/// already-literal payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// Start of the document. Emitted exactly once, before everything else.
+    StartDocument,
+    /// A `<!DOCTYPE name ...>` declaration. `internal_subset` holds the raw
+    /// text between `[` and `]` when present; it can be fed to a DTD parser.
+    DoctypeDecl {
+        name: String,
+        internal_subset: Option<String>,
+    },
+    /// `<name attr="v" ...>` (also emitted for the opening half of an
+    /// empty-element tag `<name/>`, which is immediately followed by the
+    /// matching [`XmlEvent::EndElement`]).
+    StartElement {
+        name: String,
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` (or the synthetic close of `<name/>`).
+    EndElement { name: String },
+    /// Character data between tags, unescaped. Consecutive runs are merged
+    /// by the reader (a single text node per gap between tags).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<?target data?>` (the XML declaration itself is consumed silently).
+    ProcessingInstruction { target: String, data: String },
+    /// End of the document. Emitted exactly once, after the root closes.
+    EndDocument,
+}
+
+impl XmlEvent {
+    /// Returns the element name for start/end element events.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            XmlEvent::StartElement { name, .. } | XmlEvent::EndElement { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True for [`XmlEvent::Text`] consisting only of XML whitespace.
+    pub fn is_whitespace_text(&self) -> bool {
+        matches!(self, XmlEvent::Text(t) if t.bytes().all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n')))
+    }
+
+    /// A short tag for diagnostics ("start-element", "text", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            XmlEvent::StartDocument => "start-document",
+            XmlEvent::DoctypeDecl { .. } => "doctype",
+            XmlEvent::StartElement { .. } => "start-element",
+            XmlEvent::EndElement { .. } => "end-element",
+            XmlEvent::Text(_) => "text",
+            XmlEvent::Comment(_) => "comment",
+            XmlEvent::ProcessingInstruction { .. } => "processing-instruction",
+            XmlEvent::EndDocument => "end-document",
+        }
+    }
+}
+
+impl fmt::Display for XmlEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlEvent::StartDocument => write!(f, "<start-document>"),
+            XmlEvent::DoctypeDecl { name, .. } => write!(f, "<!DOCTYPE {name}>"),
+            XmlEvent::StartElement { name, attributes } => {
+                write!(f, "<{name}")?;
+                for a in attributes {
+                    write!(f, " {}=\"{}\"", a.name, a.value)?;
+                }
+                write!(f, ">")
+            }
+            XmlEvent::EndElement { name } => write!(f, "</{name}>"),
+            XmlEvent::Text(t) => write!(f, "{t:?}"),
+            XmlEvent::Comment(c) => write!(f, "<!--{c}-->"),
+            XmlEvent::ProcessingInstruction { target, data } => write!(f, "<?{target} {data}?>"),
+            XmlEvent::EndDocument => write!(f, "<end-document>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_detection() {
+        assert!(XmlEvent::Text("  \t\r\n".into()).is_whitespace_text());
+        assert!(!XmlEvent::Text("  x ".into()).is_whitespace_text());
+        assert!(!XmlEvent::StartDocument.is_whitespace_text());
+        assert!(XmlEvent::Text(String::new()).is_whitespace_text());
+    }
+
+    #[test]
+    fn element_name_access() {
+        let start = XmlEvent::StartElement {
+            name: "book".into(),
+            attributes: vec![],
+        };
+        assert_eq!(start.element_name(), Some("book"));
+        let end = XmlEvent::EndElement { name: "book".into() };
+        assert_eq!(end.element_name(), Some("book"));
+        assert_eq!(XmlEvent::Text("x".into()).element_name(), None);
+    }
+
+    #[test]
+    fn display_start_element() {
+        let e = XmlEvent::StartElement {
+            name: "a".into(),
+            attributes: vec![Attribute::new("k", "v")],
+        };
+        assert_eq!(e.to_string(), "<a k=\"v\">");
+    }
+}

@@ -1,0 +1,26 @@
+//! # flux-xml
+//!
+//! Streaming XML infrastructure for the FluXQuery engine: a from-scratch
+//! pull parser ([`XmlReader`]), a streaming serialiser ([`XmlWriter`]), the
+//! shared SAX-style event model ([`XmlEvent`]), entity escaping, and a
+//! memory-accounted arena document tree ([`Document`]).
+//!
+//! The reader never materialises the document; its memory use is bounded by
+//! the largest single token. That property is load-bearing for the paper's
+//! claims: FluXQuery's buffer consumption is determined by the query and the
+//! DTD, not by the document size, and the parsing layer must not undermine
+//! that.
+
+pub mod error;
+pub mod escape;
+pub mod event;
+pub mod reader;
+mod scanner;
+pub mod tree;
+pub mod writer;
+
+pub use error::{Position, Result, XmlError};
+pub use event::{Attribute, XmlEvent};
+pub use reader::{parse_to_events, ReaderConfig, XmlReader};
+pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
+pub use writer::{events_to_string, WriterConfig, XmlWriter};

@@ -1,0 +1,845 @@
+//! A streaming, pull-based XML parser.
+//!
+//! [`XmlReader`] turns a byte stream into a sequence of [`XmlEvent`]s without
+//! buffering the document: memory use is bounded by the largest single token,
+//! which is what makes the FluXQuery runtime's memory guarantees meaningful.
+//!
+//! The reader checks well-formedness (tag balance, a single root element,
+//! attribute uniqueness, entity definedness) but performs no validation —
+//! validation against a DTD is layered on top by the `flux-xsax` crate.
+
+use crate::error::{Position, Result, XmlError};
+use crate::escape::unescape;
+use crate::event::{Attribute, XmlEvent};
+use crate::scanner::Scanner;
+use std::io::Read;
+
+/// Configuration for [`XmlReader`].
+#[derive(Debug, Clone)]
+pub struct ReaderConfig {
+    /// Emit [`XmlEvent::Comment`] events (default: false — comments are skipped).
+    pub emit_comments: bool,
+    /// Emit [`XmlEvent::ProcessingInstruction`] events (default: false).
+    pub emit_processing_instructions: bool,
+    /// Hard limit on element nesting depth, to bound stack growth on
+    /// adversarial input.
+    pub max_depth: usize,
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        ReaderConfig {
+            emit_comments: false,
+            emit_processing_instructions: false,
+            max_depth: 10_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Before `StartDocument` has been emitted.
+    Fresh,
+    /// In the prolog: before the root element has opened.
+    Prolog,
+    /// Inside the root element.
+    InRoot,
+    /// After the root element closed, before `EndDocument`.
+    Epilog,
+    /// `EndDocument` emitted.
+    Done,
+}
+
+/// Streaming pull parser over any [`Read`] source.
+pub struct XmlReader<R: Read> {
+    scanner: Scanner<R>,
+    config: ReaderConfig,
+    state: State,
+    /// Names of currently open elements.
+    stack: Vec<String>,
+    /// Second half of an empty-element tag, emitted on the next call.
+    pending_end: Option<String>,
+    /// Scratch buffer reused between tokens.
+    scratch: Vec<u8>,
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+impl<R: Read> XmlReader<R> {
+    /// Creates a reader with default configuration.
+    pub fn new(src: R) -> Self {
+        Self::with_config(src, ReaderConfig::default())
+    }
+
+    /// Creates a reader with the given configuration.
+    pub fn with_config(src: R, config: ReaderConfig) -> Self {
+        XmlReader {
+            scanner: Scanner::new(src),
+            config,
+            state: State::Fresh,
+            stack: Vec::new(),
+            pending_end: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current input position (useful for error reporting in callers).
+    pub fn position(&self) -> Position {
+        self.scanner.position()
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            message: message.into(),
+            pos: self.scanner.position(),
+        }
+    }
+
+    fn wf(&self, message: impl Into<String>) -> XmlError {
+        XmlError::WellFormedness {
+            message: message.into(),
+            pos: self.scanner.position(),
+        }
+    }
+
+    /// Pulls the next event. After [`XmlEvent::EndDocument`], returns `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XmlEvent>> {
+        if self.state == State::Done {
+            return Ok(None);
+        }
+        self.next_event().map(Some)
+    }
+
+    /// Pulls the next event; calling after `EndDocument` is an error.
+    pub fn next_event(&mut self) -> Result<XmlEvent> {
+        if self.state == State::Fresh {
+            self.state = State::Prolog;
+            self.skip_bom()?;
+            self.maybe_skip_xml_decl()?;
+            return Ok(XmlEvent::StartDocument);
+        }
+        if let Some(name) = self.pending_end.take() {
+            self.leave_element();
+            return Ok(XmlEvent::EndElement { name });
+        }
+        loop {
+            match self.state {
+                State::Done => {
+                    return Err(self.syntax("next_event called after end of document"))
+                }
+                State::Prolog | State::Epilog => {
+                    self.scanner.skip_whitespace()?;
+                    match self.scanner.peek()? {
+                        None => {
+                            if self.state == State::Prolog {
+                                return Err(XmlError::UnexpectedEof {
+                                    expected: "root element",
+                                    pos: self.scanner.position(),
+                                });
+                            }
+                            self.state = State::Done;
+                            return Ok(XmlEvent::EndDocument);
+                        }
+                        Some(b'<') => {
+                            if let Some(ev) = self.parse_markup()? {
+                                return Ok(ev);
+                            }
+                        }
+                        Some(_) => {
+                            return Err(self.wf(if self.state == State::Prolog {
+                                "character data before the root element"
+                            } else {
+                                "character data after the root element"
+                            }))
+                        }
+                    }
+                }
+                State::InRoot => match self.scanner.peek()? {
+                    None => {
+                        return Err(XmlError::UnexpectedEof {
+                            expected: "closing tags for open elements",
+                            pos: self.scanner.position(),
+                        })
+                    }
+                    Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
+                        if let Some(ev) = self.parse_markup()? {
+                            return Ok(ev);
+                        }
+                    }
+                    Some(_) => return self.parse_text(),
+                },
+                State::Fresh => unreachable!("handled above"),
+            }
+        }
+    }
+
+    fn skip_bom(&mut self) -> Result<()> {
+        if self.scanner.looking_at(&[0xEF, 0xBB, 0xBF])? {
+            self.scanner.expect_str(&[0xEF, 0xBB, 0xBF], "BOM")?;
+        }
+        Ok(())
+    }
+
+    fn maybe_skip_xml_decl(&mut self) -> Result<()> {
+        if self.scanner.looking_at(b"<?xml")? {
+            // Require whitespace after the target so `<?xml-stylesheet?>` is
+            // treated as an ordinary PI.
+            let slice = self.scanner.peek_slice(6)?;
+            if slice.len() == 6 && !slice[5].is_ascii_whitespace() {
+                return Ok(());
+            }
+            self.scratch.clear();
+            self.scanner.expect_str(b"<?xml", "xml declaration")?;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let res = self.scanner.read_until(b"?>", &mut scratch, "end of xml declaration");
+            self.scratch = scratch;
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Parses one `<...>` construct. Returns `None` when the construct was
+    /// consumed silently (skipped comment/PI/doctype handling below).
+    fn parse_markup(&mut self) -> Result<Option<XmlEvent>> {
+        if self.scanner.looking_at(b"<!--")? {
+            return self.parse_comment();
+        }
+        if self.scanner.looking_at(b"<![CDATA[")? {
+            // Only valid inside the root; parse_text handles merging. Getting
+            // here means CDATA appeared in the prolog or epilog.
+            return Err(self.wf("CDATA section outside the root element"));
+        }
+        if self.scanner.looking_at(b"<!DOCTYPE")? {
+            return self.parse_doctype().map(Some);
+        }
+        if self.scanner.looking_at(b"<?")? {
+            return self.parse_pi();
+        }
+        if self.scanner.looking_at(b"</")? {
+            return self.parse_end_tag().map(Some);
+        }
+        self.parse_start_tag().map(Some)
+    }
+
+    fn parse_comment(&mut self) -> Result<Option<XmlEvent>> {
+        self.scanner.expect_str(b"<!--", "comment")?;
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.scanner.read_until(b"-->", &mut scratch, "end of comment `-->`");
+        let out = res.and_then(|()| {
+            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
+                pos: self.scanner.position(),
+            })
+        });
+        self.scratch = scratch;
+        let text = out?;
+        if self.config.emit_comments {
+            Ok(Some(XmlEvent::Comment(text)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_pi(&mut self) -> Result<Option<XmlEvent>> {
+        self.scanner.expect_str(b"<?", "processing instruction")?;
+        let target = self.parse_name("processing instruction target")?;
+        self.scanner.skip_whitespace()?;
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.scanner.read_until(b"?>", &mut scratch, "end of processing instruction");
+        let out = res.and_then(|()| {
+            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
+                pos: self.scanner.position(),
+            })
+        });
+        self.scratch = scratch;
+        let data = out?;
+        if target.eq_ignore_ascii_case("xml") {
+            // XML declaration not at document start.
+            return Err(self.syntax("xml declaration is only allowed at the start of the document"));
+        }
+        if self.config.emit_processing_instructions {
+            Ok(Some(XmlEvent::ProcessingInstruction { target, data }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_doctype(&mut self) -> Result<XmlEvent> {
+        if self.state != State::Prolog {
+            return Err(self.wf("DOCTYPE declaration after the root element has started"));
+        }
+        self.scanner.expect_str(b"<!DOCTYPE", "DOCTYPE declaration")?;
+        if self.scanner.skip_whitespace()? == 0 {
+            return Err(self.syntax("whitespace required after <!DOCTYPE"));
+        }
+        let name = self.parse_name("doctype root name")?;
+        self.scanner.skip_whitespace()?;
+        // Optional external id: SYSTEM "..." | PUBLIC "..." "..."
+        if self.scanner.looking_at(b"SYSTEM")? {
+            self.scanner.expect_str(b"SYSTEM", "SYSTEM keyword")?;
+            self.scanner.skip_whitespace()?;
+            self.skip_quoted("system literal")?;
+            self.scanner.skip_whitespace()?;
+        } else if self.scanner.looking_at(b"PUBLIC")? {
+            self.scanner.expect_str(b"PUBLIC", "PUBLIC keyword")?;
+            self.scanner.skip_whitespace()?;
+            self.skip_quoted("public literal")?;
+            self.scanner.skip_whitespace()?;
+            self.skip_quoted("system literal")?;
+            self.scanner.skip_whitespace()?;
+        }
+        let internal_subset = if self.scanner.peek()? == Some(b'[') {
+            self.scanner.next_byte()?;
+            Some(self.read_internal_subset()?)
+        } else {
+            None
+        };
+        self.scanner.skip_whitespace()?;
+        self.scanner.expect_byte(b'>', "`>` closing the DOCTYPE declaration")?;
+        Ok(XmlEvent::DoctypeDecl {
+            name,
+            internal_subset,
+        })
+    }
+
+    /// Reads the internal DTD subset up to the matching `]`, honouring
+    /// quoted literals and comments so `]` inside them does not terminate
+    /// the subset.
+    fn read_internal_subset(&mut self) -> Result<String> {
+        let mut out = Vec::new();
+        loop {
+            let b = self.scanner.peek()?.ok_or_else(|| XmlError::UnexpectedEof {
+                expected: "`]` closing the internal DTD subset",
+                pos: self.scanner.position(),
+            })?;
+            match b {
+                b']' => {
+                    self.scanner.next_byte()?;
+                    break;
+                }
+                b'"' | b'\'' => {
+                    self.scanner.next_byte()?;
+                    out.push(b);
+                    let delim = [b];
+                    self.scanner.read_until(&delim, &mut out, "closing quote")?;
+                    out.push(b);
+                }
+                b'<' if self.scanner.looking_at(b"<!--")? => {
+                    self.scanner.expect_str(b"<!--", "comment")?;
+                    out.extend_from_slice(b"<!--");
+                    self.scanner.read_until(b"-->", &mut out, "end of comment")?;
+                    out.extend_from_slice(b"-->");
+                }
+                _ => {
+                    self.scanner.next_byte()?;
+                    out.push(b);
+                }
+            }
+        }
+        String::from_utf8(out).map_err(|_| XmlError::InvalidUtf8 {
+            pos: self.scanner.position(),
+        })
+    }
+
+    fn skip_quoted(&mut self, what: &'static str) -> Result<()> {
+        let quote = match self.scanner.peek()? {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.syntax(format!("expected quoted {what}"))),
+        };
+        self.scanner.next_byte()?;
+        let mut sink = Vec::new();
+        let delim = [quote];
+        self.scanner.read_until(&delim, &mut sink, "closing quote")?;
+        Ok(())
+    }
+
+    fn parse_name(&mut self, what: &'static str) -> Result<String> {
+        match self.scanner.peek()? {
+            Some(b) if is_name_start(b) => {}
+            Some(_) => return Err(self.syntax(format!("invalid {what}"))),
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    expected: what,
+                    pos: self.scanner.position(),
+                })
+            }
+        }
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.scanner.read_while(is_name_char, &mut scratch);
+        let out = res.and_then(|()| {
+            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
+                pos: self.scanner.position(),
+            })
+        });
+        self.scratch = scratch;
+        out
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent> {
+        if self.state == State::Epilog {
+            return Err(self.wf("multiple root elements"));
+        }
+        self.scanner.expect_byte(b'<', "`<`")?;
+        let name = self.parse_name("element name")?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let had_ws = self.scanner.skip_whitespace()? > 0;
+            match self.scanner.peek()? {
+                Some(b'>') => {
+                    self.scanner.next_byte()?;
+                    self.enter_element(&name)?;
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b'/') => {
+                    self.scanner.next_byte()?;
+                    self.scanner.expect_byte(b'>', "`>` after `/` in empty-element tag")?;
+                    self.enter_element(&name)?;
+                    self.pending_end = Some(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b) if is_name_start(b) => {
+                    if !had_ws {
+                        return Err(self.syntax("whitespace required before attribute"));
+                    }
+                    let attr_name = self.parse_name("attribute name")?;
+                    self.scanner.skip_whitespace()?;
+                    self.scanner.expect_byte(b'=', "`=` after attribute name")?;
+                    self.scanner.skip_whitespace()?;
+                    let value = self.parse_attr_value()?;
+                    if attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(self.wf(format!("duplicate attribute `{attr_name}`")));
+                    }
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                Some(_) => return Err(self.syntax("malformed start tag")),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "`>` closing the start tag",
+                        pos: self.scanner.position(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.scanner.peek()? {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(_) => return Err(self.syntax("attribute value must be quoted")),
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "attribute value",
+                    pos: self.scanner.position(),
+                })
+            }
+        };
+        self.scanner.next_byte()?;
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let delim = [quote];
+        let res = self.scanner.read_until(&delim, &mut scratch, "closing attribute quote");
+        let out = res.and_then(|()| {
+            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
+                pos: self.scanner.position(),
+            })
+        });
+        self.scratch = scratch;
+        let raw = out?;
+        if raw.contains('<') {
+            return Err(self.wf("`<` is not allowed in attribute values"));
+        }
+        unescape(&raw, self.scanner.position())
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent> {
+        self.scanner.expect_str(b"</", "end tag")?;
+        let name = self.parse_name("element name in end tag")?;
+        self.scanner.skip_whitespace()?;
+        self.scanner.expect_byte(b'>', "`>` closing the end tag")?;
+        match self.stack.last() {
+            Some(open) if *open == name => {}
+            Some(open) => {
+                let open = open.clone();
+                return Err(self.wf(format!("mismatched end tag: expected </{open}>, found </{name}>")));
+            }
+            None => return Err(self.wf(format!("end tag </{name}> with no open element"))),
+        }
+        self.leave_element();
+        Ok(XmlEvent::EndElement { name })
+    }
+
+    fn enter_element(&mut self, name: &str) -> Result<()> {
+        if self.stack.len() >= self.config.max_depth {
+            return Err(self.wf(format!(
+                "element nesting deeper than the configured limit of {}",
+                self.config.max_depth
+            )));
+        }
+        if self.state == State::Prolog {
+            self.state = State::InRoot;
+        }
+        self.stack.push(name.to_string());
+        Ok(())
+    }
+
+    fn leave_element(&mut self) {
+        self.stack.pop();
+        if self.stack.is_empty() && self.state == State::InRoot {
+            self.state = State::Epilog;
+        }
+    }
+
+    /// Parses a maximal run of character data, merging adjacent CDATA
+    /// sections, and resolving entity references.
+    fn parse_text(&mut self) -> Result<XmlEvent> {
+        let mut text = String::new();
+        loop {
+            match self.scanner.peek()? {
+                Some(b'<') => {
+                    if self.scanner.looking_at(b"<![CDATA[")? {
+                        self.scanner.expect_str(b"<![CDATA[", "CDATA section")?;
+                        let mut raw = Vec::new();
+                        self.scanner.read_until(b"]]>", &mut raw, "`]]>` ending CDATA")?;
+                        let chunk =
+                            String::from_utf8(raw).map_err(|_| XmlError::InvalidUtf8 {
+                                pos: self.scanner.position(),
+                            })?;
+                        text.push_str(&chunk);
+                    } else {
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.scratch.clear();
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    let res = self.scanner.read_while(|b| b != b'<', &mut scratch);
+                    let out = res.and_then(|()| {
+                        String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
+                            pos: self.scanner.position(),
+                        })
+                    });
+                    self.scratch = scratch;
+                    let raw = out?;
+                    let unescaped = unescape(&raw, self.scanner.position())?;
+                    text.push_str(&unescaped);
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "closing tags for open elements",
+                        pos: self.scanner.position(),
+                    })
+                }
+            }
+        }
+        Ok(XmlEvent::Text(text))
+    }
+}
+
+/// Convenience: parses a complete document from a string into an event list.
+/// Intended for tests and small inputs.
+pub fn parse_to_events(input: &str) -> Result<Vec<XmlEvent>> {
+    let mut reader = XmlReader::new(input.as_bytes());
+    let mut events = Vec::new();
+    loop {
+        let ev = reader.next_event()?;
+        let done = ev == XmlEvent::EndDocument;
+        events.push(ev);
+        if done {
+            return Ok(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        parse_to_events(input).expect("parse failed")
+    }
+
+    fn kinds(input: &str) -> Vec<&'static str> {
+        events(input).iter().map(|e| e.kind()).collect()
+    }
+
+    #[test]
+    fn minimal_document() {
+        assert_eq!(
+            kinds("<a/>"),
+            vec!["start-document", "start-element", "end-element", "end-document"]
+        );
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let evs = events("<a><b>hi</b><c/></a>");
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartDocument,
+                XmlEvent::StartElement { name: "a".into(), attributes: vec![] },
+                XmlEvent::StartElement { name: "b".into(), attributes: vec![] },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::EndElement { name: "b".into() },
+                XmlEvent::StartElement { name: "c".into(), attributes: vec![] },
+                XmlEvent::EndElement { name: "c".into() },
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::EndDocument,
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_parsed_and_unescaped() {
+        let evs = events(r#"<a x="1" y='two &amp; three'/>"#);
+        match &evs[1] {
+            XmlEvent::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0], Attribute::new("x", "1"));
+                assert_eq!(attributes[1], Attribute::new("y", "two & three"));
+            }
+            other => panic!("expected start element, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse_to_events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err, XmlError::WellFormedness { .. }), "{err}");
+    }
+
+    #[test]
+    fn text_entities_unescaped() {
+        let evs = events("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+        assert_eq!(evs[2], XmlEvent::Text("1 < 2 && 3 > 2".into()));
+    }
+
+    #[test]
+    fn char_refs_in_text() {
+        let evs = events("<a>&#65;&#x42;</a>");
+        assert_eq!(evs[2], XmlEvent::Text("AB".into()));
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let err = parse_to_events("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err, XmlError::UnknownEntity { ref name, .. } if name == "nope"));
+    }
+
+    #[test]
+    fn cdata_merged_with_text() {
+        let evs = events("<a>one <![CDATA[<raw> & ]]>two</a>");
+        assert_eq!(evs[2], XmlEvent::Text("one <raw> & two".into()));
+    }
+
+    #[test]
+    fn comments_skipped_by_default() {
+        let evs = events("<a><!-- hello -->x</a>");
+        assert_eq!(evs[2], XmlEvent::Text("x".into()));
+    }
+
+    #[test]
+    fn comments_emitted_when_configured() {
+        let mut reader = XmlReader::with_config(
+            "<a><!--c--></a>".as_bytes(),
+            ReaderConfig {
+                emit_comments: true,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut found = false;
+        loop {
+            match reader.next_event().unwrap() {
+                XmlEvent::Comment(c) => {
+                    assert_eq!(c, "c");
+                    found = true;
+                }
+                XmlEvent::EndDocument => break,
+                _ => {}
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn xml_declaration_skipped() {
+        assert_eq!(
+            kinds("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a/>"),
+            vec!["start-document", "start-element", "end-element", "end-document"]
+        );
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let evs = events("<!DOCTYPE bib [<!ELEMENT bib (book)*>]><bib/>");
+        match &evs[1] {
+            XmlEvent::DoctypeDecl { name, internal_subset } => {
+                assert_eq!(name, "bib");
+                assert_eq!(internal_subset.as_deref(), Some("<!ELEMENT bib (book)*>"));
+            }
+            other => panic!("expected doctype, got {other}"),
+        }
+    }
+
+    #[test]
+    fn doctype_system_id() {
+        let evs = events(r#"<!DOCTYPE bib SYSTEM "bib.dtd"><bib/>"#);
+        assert!(matches!(&evs[1], XmlEvent::DoctypeDecl { name, internal_subset: None } if name == "bib"));
+    }
+
+    #[test]
+    fn doctype_subset_with_bracket_in_quotes() {
+        let evs = events(r#"<!DOCTYPE a [<!ENTITY x "]">]><a/>"#);
+        match &evs[1] {
+            XmlEvent::DoctypeDecl { internal_subset, .. } => {
+                assert_eq!(internal_subset.as_deref(), Some(r#"<!ENTITY x "]">"#));
+            }
+            other => panic!("expected doctype, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse_to_events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::WellFormedness { .. }));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        let err = parse_to_events("<a><b></b>").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = parse_to_events("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::WellFormedness { .. }));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(parse_to_events("hello<a/>").is_err());
+        assert!(parse_to_events("<a/>hello").is_err());
+    }
+
+    #[test]
+    fn whitespace_around_root_ok() {
+        assert_eq!(
+            kinds("  \n<a/>\n  "),
+            vec!["start-document", "start-element", "end-element", "end-document"]
+        );
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        assert!(parse_to_events("<a x=1/>").is_err());
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(parse_to_events(r#"<a x="a<b"/>"#).is_err());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut input = String::new();
+        for _ in 0..50 {
+            input.push_str("<d>");
+        }
+        let mut reader = XmlReader::with_config(
+            input.as_bytes(),
+            ReaderConfig {
+                max_depth: 10,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut err = None;
+        loop {
+            match reader.next_event() {
+                Ok(XmlEvent::EndDocument) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(XmlError::WellFormedness { .. })));
+    }
+
+    #[test]
+    fn unicode_content() {
+        let evs = events("<a>grüße 💡</a>");
+        assert_eq!(evs[2], XmlEvent::Text("grüße 💡".into()));
+    }
+
+    #[test]
+    fn unicode_element_names() {
+        let evs = events("<bücher><büch/></bücher>");
+        assert_eq!(evs[1].element_name(), Some("bücher"));
+    }
+
+    #[test]
+    fn whitespace_in_end_tag() {
+        assert_eq!(
+            kinds("<a></a  >"),
+            vec!["start-document", "start-element", "end-element", "end-document"]
+        );
+    }
+
+    #[test]
+    fn large_text_spanning_chunks() {
+        let body = "y".repeat(100_000);
+        let input = format!("<a>{body}</a>");
+        let evs = events(&input);
+        assert_eq!(evs[2], XmlEvent::Text(body));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        let err = parse_to_events("").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn pi_emitted_when_configured() {
+        let mut reader = XmlReader::with_config(
+            "<a><?target some data?></a>".as_bytes(),
+            ReaderConfig {
+                emit_processing_instructions: true,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut found = false;
+        loop {
+            match reader.next_event().unwrap() {
+                XmlEvent::ProcessingInstruction { target, data } => {
+                    assert_eq!(target, "target");
+                    assert_eq!(data, "some data");
+                    found = true;
+                }
+                XmlEvent::EndDocument => break,
+                _ => {}
+            }
+        }
+        assert!(found);
+    }
+}

@@ -1,0 +1,346 @@
+//! Low-level incremental byte scanner used by the XML reader.
+//!
+//! Maintains a small refillable window over the underlying [`Read`] so the
+//! reader never materialises the whole input — memory use is bounded by the
+//! longest single token (tag, text run, comment), not by document size.
+
+use crate::error::{Position, Result, XmlError};
+use std::io::Read;
+
+const CHUNK: usize = 8 * 1024;
+
+/// Incremental scanner with single-byte and small-slice lookahead.
+pub struct Scanner<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    eof: bool,
+    offset: u64,
+    line: u32,
+    column: u32,
+}
+
+impl<R: Read> Scanner<R> {
+    pub fn new(src: R) -> Self {
+        Scanner {
+            src,
+            buf: vec![0; CHUNK],
+            start: 0,
+            end: 0,
+            eof: false,
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Current position (next unread byte).
+    pub fn position(&self) -> Position {
+        Position {
+            offset: self.offset,
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Ensures at least `n` unread bytes are buffered, or EOF was reached.
+    fn fill(&mut self, n: usize) -> Result<()> {
+        if self.available() >= n || self.eof {
+            return Ok(());
+        }
+        // Compact the consumed prefix away.
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < n {
+            self.buf.resize(n.max(CHUNK), 0);
+        }
+        while self.available() < n && !self.eof {
+            if self.end == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            let read = self.src.read(&mut self.buf[self.end..])?;
+            if read == 0 {
+                self.eof = true;
+            } else {
+                self.end += read;
+            }
+        }
+        Ok(())
+    }
+
+    /// Next byte without consuming it.
+    pub fn peek(&mut self) -> Result<Option<u8>> {
+        self.fill(1)?;
+        Ok(if self.available() == 0 {
+            None
+        } else {
+            Some(self.buf[self.start])
+        })
+    }
+
+    /// Up to `n` upcoming bytes without consuming them (shorter at EOF).
+    pub fn peek_slice(&mut self, n: usize) -> Result<&[u8]> {
+        self.fill(n)?;
+        let len = self.available().min(n);
+        Ok(&self.buf[self.start..self.start + len])
+    }
+
+    /// True if the upcoming bytes start with `s` (without consuming).
+    pub fn looking_at(&mut self, s: &[u8]) -> Result<bool> {
+        Ok(self.peek_slice(s.len())? == s)
+    }
+
+    fn advance_position(&mut self, b: u8) {
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+
+    /// Consumes and returns the next byte.
+    pub fn next_byte(&mut self) -> Result<Option<u8>> {
+        self.fill(1)?;
+        if self.available() == 0 {
+            return Ok(None);
+        }
+        let b = self.buf[self.start];
+        self.start += 1;
+        self.advance_position(b);
+        Ok(Some(b))
+    }
+
+    /// Consumes `s`, which must be the upcoming input (checked with
+    /// `looking_at` by the caller or enforced here).
+    pub fn expect_str(&mut self, s: &'static [u8], what: &'static str) -> Result<()> {
+        if !self.looking_at(s)? {
+            let pos = self.position();
+            if self.available() < s.len() && self.eof {
+                return Err(XmlError::UnexpectedEof { expected: what, pos });
+            }
+            return Err(XmlError::Syntax {
+                message: format!("expected {what}"),
+                pos,
+            });
+        }
+        for _ in 0..s.len() {
+            self.next_byte()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes a single expected byte.
+    pub fn expect_byte(&mut self, b: u8, what: &'static str) -> Result<()> {
+        match self.peek()? {
+            Some(got) if got == b => {
+                self.next_byte()?;
+                Ok(())
+            }
+            Some(_) => Err(XmlError::Syntax {
+                message: format!("expected {what}"),
+                pos: self.position(),
+            }),
+            None => Err(XmlError::UnexpectedEof {
+                expected: what,
+                pos: self.position(),
+            }),
+        }
+    }
+
+    /// Skips XML whitespace; returns how many bytes were skipped.
+    pub fn skip_whitespace(&mut self) -> Result<usize> {
+        let mut n = 0;
+        while let Some(b) = self.peek()? {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.next_byte()?;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Consumes bytes while `pred` holds, appending them to `out`.
+    pub fn read_while(&mut self, mut pred: impl FnMut(u8) -> bool, out: &mut Vec<u8>) -> Result<()> {
+        loop {
+            self.fill(1)?;
+            if self.available() == 0 {
+                return Ok(());
+            }
+            // Scan the buffered window directly for speed.
+            let window_len = self.end - self.start;
+            let mut taken = 0;
+            for i in self.start..self.end {
+                if pred(self.buf[i]) {
+                    taken += 1;
+                } else {
+                    break;
+                }
+            }
+            out.extend_from_slice(&self.buf[self.start..self.start + taken]);
+            // Update position bookkeeping for the consumed run.
+            for i in self.start..self.start + taken {
+                let b = self.buf[i];
+                self.advance_position(b);
+            }
+            self.start += taken;
+            if taken < window_len || self.eof && self.available() == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Consumes bytes up to and including the delimiter string `delim`,
+    /// appending everything before the delimiter to `out`.
+    pub fn read_until(&mut self, delim: &[u8], out: &mut Vec<u8>, what: &'static str) -> Result<()> {
+        debug_assert!(!delim.is_empty());
+        loop {
+            self.fill(delim.len())?;
+            if self.available() < delim.len() {
+                return Err(XmlError::UnexpectedEof {
+                    expected: what,
+                    pos: self.position(),
+                });
+            }
+            let window = &self.buf[self.start..self.end];
+            // Find the first byte of the delimiter in the window, check the rest.
+            let mut found: Option<usize> = None;
+            let mut i = 0;
+            while i + delim.len() <= window.len() {
+                if window[i] == delim[0] && &window[i..i + delim.len()] == delim {
+                    found = Some(i);
+                    break;
+                }
+                i += 1;
+            }
+            match found {
+                Some(at) => {
+                    out.extend_from_slice(&self.buf[self.start..self.start + at]);
+                    for j in self.start..self.start + at + delim.len() {
+                        let b = self.buf[j];
+                        self.advance_position(b);
+                    }
+                    self.start += at + delim.len();
+                    return Ok(());
+                }
+                None => {
+                    // Keep the last delim.len()-1 bytes: they may begin the
+                    // delimiter continued in the next chunk.
+                    let keep = delim.len() - 1;
+                    let consumable = window.len().saturating_sub(keep);
+                    out.extend_from_slice(&self.buf[self.start..self.start + consumable]);
+                    for j in self.start..self.start + consumable {
+                        let b = self.buf[j];
+                        self.advance_position(b);
+                    }
+                    self.start += consumable;
+                    if self.eof {
+                        return Err(XmlError::UnexpectedEof {
+                            expected: what,
+                            pos: self.position(),
+                        });
+                    }
+                    self.fill(self.available() + 1)?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanner(s: &str) -> Scanner<&[u8]> {
+        Scanner::new(s.as_bytes())
+    }
+
+    #[test]
+    fn peek_and_next() {
+        let mut sc = scanner("ab");
+        assert_eq!(sc.peek().unwrap(), Some(b'a'));
+        assert_eq!(sc.next_byte().unwrap(), Some(b'a'));
+        assert_eq!(sc.next_byte().unwrap(), Some(b'b'));
+        assert_eq!(sc.next_byte().unwrap(), None);
+        assert_eq!(sc.peek().unwrap(), None);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut sc = scanner("a\nbc");
+        sc.next_byte().unwrap();
+        sc.next_byte().unwrap();
+        let pos = sc.position();
+        assert_eq!(pos.line, 2);
+        assert_eq!(pos.column, 1);
+        assert_eq!(pos.offset, 2);
+        sc.next_byte().unwrap();
+        assert_eq!(sc.position().column, 2);
+    }
+
+    #[test]
+    fn looking_at_and_expect() {
+        let mut sc = scanner("<!--x-->");
+        assert!(sc.looking_at(b"<!--").unwrap());
+        assert!(!sc.looking_at(b"<!DO").unwrap());
+        sc.expect_str(b"<!--", "comment start").unwrap();
+        assert_eq!(sc.peek().unwrap(), Some(b'x'));
+    }
+
+    #[test]
+    fn read_until_simple() {
+        let mut sc = scanner("hello-->rest");
+        let mut out = Vec::new();
+        sc.read_until(b"-->", &mut out, "comment end").unwrap();
+        assert_eq!(out, b"hello");
+        assert_eq!(sc.peek().unwrap(), Some(b'r'));
+    }
+
+    #[test]
+    fn read_until_delimiter_spanning_chunks() {
+        // Force the delimiter to straddle refill boundaries by using a large prefix.
+        let prefix = "x".repeat(CHUNK * 2 + 3);
+        let input = format!("{prefix}-->tail");
+        let mut sc = Scanner::new(input.as_bytes());
+        let mut out = Vec::new();
+        sc.read_until(b"-->", &mut out, "end").unwrap();
+        assert_eq!(out.len(), prefix.len());
+        assert_eq!(sc.peek().unwrap(), Some(b't'));
+    }
+
+    #[test]
+    fn read_until_eof_errors() {
+        let mut sc = scanner("no delimiter here");
+        let mut out = Vec::new();
+        let err = sc.read_until(b"-->", &mut out, "comment end").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn read_while_stops_at_boundary() {
+        let mut sc = scanner("abc<def");
+        let mut out = Vec::new();
+        sc.read_while(|b| b != b'<', &mut out).unwrap();
+        assert_eq!(out, b"abc");
+        assert_eq!(sc.peek().unwrap(), Some(b'<'));
+    }
+
+    #[test]
+    fn skip_whitespace_counts() {
+        let mut sc = scanner("  \t\n x");
+        assert_eq!(sc.skip_whitespace().unwrap(), 5);
+        assert_eq!(sc.peek().unwrap(), Some(b'x'));
+        assert_eq!(sc.skip_whitespace().unwrap(), 0);
+    }
+}

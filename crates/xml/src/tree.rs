@@ -1,0 +1,485 @@
+//! A lightweight arena-based document tree.
+//!
+//! Used by the baseline engines (which materialise documents or projected
+//! fragments) and by the FluXQuery runtime's buffer store (which materialises
+//! only BDF-selected subtrees). Every structure reports its heap footprint so
+//! experiments can account buffered memory deterministically.
+
+use crate::error::{Result, XmlError};
+use crate::event::{Attribute, XmlEvent};
+use crate::reader::XmlReader;
+use crate::writer::XmlWriter;
+use std::io::Read;
+
+/// Index of a node inside a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document node; always the arena's first entry.
+    Document,
+    /// An element with its attributes.
+    Element {
+        name: String,
+        attributes: Vec<Attribute>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Deterministic content bytes of this node: string lengths and
+    /// attribute payloads, excluding the child-pointer vector (which grows
+    /// independently of this node's own data). Length-based rather than
+    /// capacity-based so the number is stable across allocator behaviour.
+    fn content_bytes(&self) -> usize {
+        match &self.kind {
+            NodeKind::Document => 0,
+            NodeKind::Element { name, attributes } => {
+                name.len()
+                    + attributes.len() * std::mem::size_of::<Attribute>()
+                    + attributes
+                        .iter()
+                        .map(|a| a.name.len() + a.value.len())
+                        .sum::<usize>()
+            }
+            NodeKind::Text(t) => t.len(),
+        }
+    }
+
+    /// Content bytes plus the child-pointer vector.
+    fn heap_bytes(&self) -> usize {
+        self.content_bytes() + self.children.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// An arena-allocated XML document or document fragment.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates a document containing only the virtual document node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The virtual document node.
+    pub fn document_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root element, if the document has one.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(self.document_node())
+            .iter()
+            .copied()
+            .find(|&id| matches!(self.kind(id), NodeKind::Element { .. }))
+    }
+
+    /// Number of nodes, including the document node.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deterministic estimate of heap memory held by the whole tree, in
+    /// bytes (length-based, so independent of allocator growth policies).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.nodes.iter().map(Node::heap_bytes).sum::<usize>()
+    }
+
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Element name, or `None` for text/document nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Text content, or `None` for element/document nodes.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Attributes of an element node (empty slice otherwise).
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match self.kind(id) {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Value of the named attribute, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Child elements with the given name, in document order.
+    pub fn children_named<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.name(c) == Some(name))
+    }
+
+    /// The XPath string value: concatenated descendant text in document order.
+    pub fn string_value(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match self.kind(id) {
+            NodeKind::Text(t) => out.push_str(t),
+            _ => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>, attributes: Vec<Attribute>) -> NodeId {
+        self.push_node(NodeKind::Element {
+            name: name.into(),
+            attributes,
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text(text.into()))
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends `child` (which must be detached) to `parent`'s children.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.nodes[child.index()].parent.is_none(), "child already attached");
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Deterministic bytes owned by one node (its strings and attribute
+    /// payloads plus the node struct), excluding the child-pointer vector
+    /// so the value is identical at allocation and free time. Used for
+    /// buffer accounting.
+    pub fn node_heap_bytes(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].content_bytes() + std::mem::size_of::<Node>()
+    }
+
+    /// Resets a node for reuse: clears parent and children and replaces the
+    /// payload. Used by the runtime's buffer arena to recycle freed slots;
+    /// the caller is responsible for ensuring nothing references `id`.
+    pub fn reset_node(&mut self, id: NodeId, kind: NodeKind) {
+        let node = &mut self.nodes[id.index()];
+        node.kind = kind;
+        node.parent = None;
+        node.children = Vec::new();
+    }
+
+    /// Appends text to an existing text node (buffer population merges
+    /// adjacent text chunks); returns false if the node is not a text node.
+    pub fn append_to_text(&mut self, id: NodeId, more: &str) -> bool {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Text(t) => {
+                t.push_str(more);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses a complete document from a reader.
+    pub fn parse_reader<R: Read>(reader: &mut XmlReader<R>) -> Result<Document> {
+        let mut builder = TreeBuilder::new();
+        loop {
+            let ev = reader.next_event()?;
+            if ev == XmlEvent::EndDocument {
+                return builder.finish();
+            }
+            builder.event(&ev)?;
+        }
+    }
+
+    /// Parses a complete document from a string.
+    pub fn parse_str(input: &str) -> Result<Document> {
+        let mut reader = XmlReader::new(input.as_bytes());
+        Self::parse_reader(&mut reader)
+    }
+
+    /// Serialises the subtree rooted at `id` to the writer.
+    pub fn serialize_node<W: std::io::Write>(
+        &self,
+        id: NodeId,
+        writer: &mut XmlWriter<W>,
+    ) -> Result<()> {
+        match self.kind(id) {
+            NodeKind::Document => {
+                for &c in self.children(id) {
+                    self.serialize_node(c, writer)?;
+                }
+                Ok(())
+            }
+            NodeKind::Element { name, attributes } => {
+                writer.start_element(name, attributes)?;
+                for &c in self.children(id) {
+                    self.serialize_node(c, writer)?;
+                }
+                writer.end_element()
+            }
+            NodeKind::Text(t) => writer.text(t),
+        }
+    }
+
+    /// Serialises the whole document to a string.
+    pub fn to_xml_string(&self) -> Result<String> {
+        let mut writer = XmlWriter::new(Vec::new());
+        self.serialize_node(self.document_node(), &mut writer)?;
+        writer.finish()?;
+        String::from_utf8(writer.into_inner()).map_err(|_| XmlError::WriterMisuse {
+            message: "serialiser produced invalid UTF-8".to_string(),
+        })
+    }
+}
+
+/// Incremental tree construction from a stream of events.
+///
+/// Also usable for fragments: feed any balanced event sequence; the nodes end
+/// up as children of the virtual document node.
+pub struct TreeBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    pub fn new() -> Self {
+        let doc = Document::new();
+        let root = doc.document_node();
+        TreeBuilder {
+            doc,
+            stack: vec![root],
+        }
+    }
+
+    /// Current insertion parent.
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Feeds one event into the tree.
+    pub fn event(&mut self, ev: &XmlEvent) -> Result<()> {
+        match ev {
+            XmlEvent::StartDocument
+            | XmlEvent::EndDocument
+            | XmlEvent::DoctypeDecl { .. }
+            | XmlEvent::Comment(_)
+            | XmlEvent::ProcessingInstruction { .. } => Ok(()),
+            XmlEvent::StartElement { name, attributes } => {
+                let id = self.doc.create_element(name.clone(), attributes.clone());
+                let parent = self.top();
+                self.doc.append_child(parent, id);
+                self.stack.push(id);
+                Ok(())
+            }
+            XmlEvent::EndElement { .. } => {
+                if self.stack.len() <= 1 {
+                    return Err(XmlError::WriterMisuse {
+                        message: "unbalanced end element fed to TreeBuilder".to_string(),
+                    });
+                }
+                self.stack.pop();
+                Ok(())
+            }
+            XmlEvent::Text(t) => {
+                // Merge with a preceding text sibling to keep string values
+                // independent of how the input was chunked.
+                let parent = self.top();
+                if let Some(&last) = self.doc.children(parent).last() {
+                    if let NodeKind::Text(existing) = &mut self.doc.nodes[last.index()].kind {
+                        existing.push_str(t);
+                        return Ok(());
+                    }
+                }
+                let id = self.doc.create_text(t.clone());
+                self.doc.append_child(parent, id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Completes the build; fails if elements are still open.
+    pub fn finish(self) -> Result<Document> {
+        if self.stack.len() != 1 {
+            return Err(XmlError::WriterMisuse {
+                message: format!("{} element(s) still open in TreeBuilder", self.stack.len() - 1),
+            });
+        }
+        Ok(self.doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP</title><author>Stevens</author><author>Wright</author></book><book year="2000"><title>Data</title></book></bib>"#;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse_str(BIB).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("bib"));
+        let books: Vec<_> = doc.children_named(root, "book").collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(doc.attribute(books[0], "year"), Some("1994"));
+        let authors: Vec<_> = doc.children_named(books[0], "author").collect();
+        assert_eq!(authors.len(), 2);
+        assert_eq!(doc.string_value(authors[0]), "Stevens");
+    }
+
+    #[test]
+    fn string_value_concatenates() {
+        let doc = Document::parse_str("<a>one<b>two</b>three</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.string_value(root), "onetwothree");
+    }
+
+    #[test]
+    fn round_trip() {
+        let doc = Document::parse_str(BIB).unwrap();
+        assert_eq!(doc.to_xml_string().unwrap(), BIB);
+    }
+
+    #[test]
+    fn parent_links() {
+        let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.children(a)[0];
+        let c = doc.children(b)[0];
+        assert_eq!(doc.parent(c), Some(b));
+        assert_eq!(doc.parent(b), Some(a));
+        assert_eq!(doc.parent(a), Some(doc.document_node()));
+        assert_eq!(doc.parent(doc.document_node()), None);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_content() {
+        let small = Document::parse_str("<a/>").unwrap();
+        let big = Document::parse_str(&format!("<a>{}</a>", "x".repeat(10_000))).unwrap();
+        assert!(big.memory_bytes() > small.memory_bytes() + 9_000);
+    }
+
+    #[test]
+    fn builder_fragment() {
+        let mut b = TreeBuilder::new();
+        b.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::Text("hi".into())).unwrap();
+        b.event(&XmlEvent::EndElement { name: "x".into() }).unwrap();
+        b.event(&XmlEvent::StartElement { name: "y".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::EndElement { name: "y".into() }).unwrap();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.children(doc.document_node()).len(), 2);
+    }
+
+    #[test]
+    fn builder_merges_adjacent_text() {
+        let mut b = TreeBuilder::new();
+        b.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::Text("a".into())).unwrap();
+        b.event(&XmlEvent::Text("b".into())).unwrap();
+        b.event(&XmlEvent::EndElement { name: "x".into() }).unwrap();
+        let doc = b.finish().unwrap();
+        let x = doc.root_element().unwrap();
+        assert_eq!(doc.children(x).len(), 1);
+        assert_eq!(doc.string_value(x), "ab");
+    }
+
+    #[test]
+    fn builder_unbalanced_rejected() {
+        let mut b = TreeBuilder::new();
+        assert!(b.event(&XmlEvent::EndElement { name: "x".into() }).is_err());
+        let mut b2 = TreeBuilder::new();
+        b2.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        assert!(b2.finish().is_err());
+    }
+
+    #[test]
+    fn detached_create_and_append() {
+        let mut doc = Document::new();
+        let e = doc.create_element("root", vec![Attribute::new("k", "v")]);
+        let t = doc.create_text("body");
+        let docnode = doc.document_node();
+        doc.append_child(docnode, e);
+        doc.append_child(e, t);
+        assert_eq!(doc.to_xml_string().unwrap(), r#"<root k="v">body</root>"#);
+    }
+
+    #[test]
+    fn root_element_skips_nothing_but_finds_element() {
+        let doc = Document::parse_str("<only/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("only"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Serialisation of XML events back to a byte stream.
+//!
+//! [`XmlWriter`] is the output side of the streamed query evaluator: result
+//! events are written as soon as they are produced, so the output is itself
+//! a stream.
+
+use crate::error::{Result, XmlError};
+use crate::escape::{escape_attr_into, escape_text_into};
+use crate::event::{Attribute, XmlEvent};
+use std::io::Write;
+
+/// Configuration for [`XmlWriter`].
+#[derive(Debug, Clone, Default)]
+pub struct WriterConfig {
+    /// Pretty-print with two-space indentation. Only safe for data-oriented
+    /// documents (it inserts whitespace between elements).
+    pub indent: bool,
+    /// Write an `<?xml version="1.0" encoding="UTF-8"?>` declaration first.
+    pub xml_declaration: bool,
+}
+
+/// Streaming XML serialiser with well-formedness checking.
+pub struct XmlWriter<W: Write> {
+    sink: W,
+    config: WriterConfig,
+    stack: Vec<String>,
+    /// Whether anything was written inside the current element (affects
+    /// indentation only).
+    had_child: Vec<bool>,
+    /// Bytes written so far.
+    bytes_written: u64,
+    scratch: String,
+    wrote_declaration: bool,
+}
+
+impl<W: Write> XmlWriter<W> {
+    pub fn new(sink: W) -> Self {
+        Self::with_config(sink, WriterConfig::default())
+    }
+
+    pub fn with_config(sink: W, config: WriterConfig) -> Self {
+        XmlWriter {
+            sink,
+            config,
+            stack: Vec::new(),
+            had_child: Vec::new(),
+            bytes_written: 0,
+            scratch: String::new(),
+            wrote_declaration: false,
+        }
+    }
+
+    /// Number of bytes written so far (after escaping).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    fn raw(&mut self, s: &str) -> Result<()> {
+        self.sink.write_all(s.as_bytes())?;
+        self.bytes_written += s.len() as u64;
+        Ok(())
+    }
+
+    fn newline_indent(&mut self) -> Result<()> {
+        if self.config.indent && (!self.stack.is_empty() || self.bytes_written > 0) {
+            let depth = self.stack.len();
+            self.raw("\n")?;
+            for _ in 0..depth {
+                self.raw("  ")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_declaration(&mut self) -> Result<()> {
+        if self.config.xml_declaration && !self.wrote_declaration {
+            self.raw("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
+            if self.config.indent {
+                self.raw("\n")?;
+            }
+            self.wrote_declaration = true;
+        }
+        Ok(())
+    }
+
+    /// Writes a start tag.
+    pub fn start_element(&mut self, name: &str, attributes: &[Attribute]) -> Result<()> {
+        self.maybe_declaration()?;
+        if let Some(flag) = self.had_child.last_mut() {
+            *flag = true;
+        }
+        self.newline_indent()?;
+        self.raw("<")?;
+        self.raw(name)?;
+        for attr in attributes {
+            self.raw(" ")?;
+            self.raw(&attr.name)?;
+            self.raw("=\"")?;
+            self.scratch.clear();
+            let mut scratch = std::mem::take(&mut self.scratch);
+            escape_attr_into(&attr.value, &mut scratch);
+            let res = self.raw(&scratch);
+            scratch.clear();
+            self.scratch = scratch;
+            res?;
+            self.raw("\"")?;
+        }
+        self.raw(">")?;
+        self.stack.push(name.to_string());
+        self.had_child.push(false);
+        Ok(())
+    }
+
+    /// Writes an end tag for the innermost open element.
+    pub fn end_element(&mut self) -> Result<()> {
+        let name = self.stack.pop().ok_or_else(|| XmlError::WriterMisuse {
+            message: "end_element with no open element".to_string(),
+        })?;
+        let had_child = self.had_child.pop().unwrap_or(false);
+        if had_child {
+            self.newline_indent()?;
+        }
+        self.raw("</")?;
+        self.raw(&name)?;
+        self.raw(">")?;
+        Ok(())
+    }
+
+    /// Writes character data (escaped).
+    pub fn text(&mut self, text: &str) -> Result<()> {
+        if text.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        escape_text_into(text, &mut scratch);
+        let res = self.raw(&scratch);
+        scratch.clear();
+        self.scratch = scratch;
+        res
+    }
+
+    /// Writes a comment.
+    pub fn comment(&mut self, text: &str) -> Result<()> {
+        if text.contains("--") {
+            return Err(XmlError::WriterMisuse {
+                message: "`--` is not allowed inside comments".to_string(),
+            });
+        }
+        self.raw("<!--")?;
+        self.raw(text)?;
+        self.raw("-->")
+    }
+
+    /// Writes one event. `StartDocument`/`EndDocument` are accepted and
+    /// ignored so an event stream can be piped through unchanged.
+    pub fn write_event(&mut self, event: &XmlEvent) -> Result<()> {
+        match event {
+            XmlEvent::StartDocument | XmlEvent::EndDocument | XmlEvent::DoctypeDecl { .. } => Ok(()),
+            XmlEvent::StartElement { name, attributes } => self.start_element(name, attributes),
+            XmlEvent::EndElement { .. } => self.end_element(),
+            XmlEvent::Text(t) => self.text(t),
+            XmlEvent::Comment(c) => self.comment(c),
+            XmlEvent::ProcessingInstruction { target, data } => {
+                self.raw("<?")?;
+                self.raw(target)?;
+                if !data.is_empty() {
+                    self.raw(" ")?;
+                    self.raw(data)?;
+                }
+                self.raw("?>")
+            }
+        }
+    }
+
+    /// Checks that all elements are closed and flushes the sink.
+    pub fn finish(&mut self) -> Result<()> {
+        if !self.stack.is_empty() {
+            return Err(XmlError::WriterMisuse {
+                message: format!("{} element(s) still open at finish", self.stack.len()),
+            });
+        }
+        self.sink.flush()?;
+        Ok(())
+    }
+}
+
+/// Serialises a list of events to a string (tests and small outputs).
+pub fn events_to_string(events: &[XmlEvent]) -> Result<String> {
+    let mut writer = XmlWriter::new(Vec::new());
+    for ev in events {
+        writer.write_event(ev)?;
+    }
+    writer.finish()?;
+    let bytes = writer.into_inner();
+    String::from_utf8(bytes).map_err(|_| XmlError::WriterMisuse {
+        message: "writer produced invalid UTF-8".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_to_events;
+
+    #[test]
+    fn simple_output() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a", &[Attribute::new("k", "v")]).unwrap();
+        w.text("x < y").unwrap();
+        w.end_element().unwrap();
+        w.finish().unwrap();
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(out, r#"<a k="v">x &lt; y</a>"#);
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a", &[Attribute::new("k", "say \"hi\" & <go>")]).unwrap();
+        w.end_element().unwrap();
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(out, r#"<a k="say &quot;hi&quot; &amp; &lt;go>"></a>"#);
+    }
+
+    #[test]
+    fn unbalanced_end_rejected() {
+        let mut w = XmlWriter::new(Vec::new());
+        assert!(w.end_element().is_err());
+    }
+
+    #[test]
+    fn unclosed_at_finish_rejected() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a", &[]).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn bytes_written_counts_escapes() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a", &[]).unwrap();
+        w.text("&").unwrap();
+        w.end_element().unwrap();
+        // <a>&amp;</a> = 12 bytes
+        assert_eq!(w.bytes_written(), 12);
+    }
+
+    #[test]
+    fn round_trip_through_reader() {
+        let original = r#"<bib><book year="1994"><title>TCP/IP &amp; co</title><author>Stevens</author></book></bib>"#;
+        let events = parse_to_events(original).unwrap();
+        let written = events_to_string(&events).unwrap();
+        assert_eq!(written, original);
+        // And a second round trip is a fixpoint.
+        let events2 = parse_to_events(&written).unwrap();
+        assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn indentation() {
+        let mut w = XmlWriter::with_config(
+            Vec::new(),
+            WriterConfig {
+                indent: true,
+                xml_declaration: false,
+            },
+        );
+        w.start_element("a", &[]).unwrap();
+        w.start_element("b", &[]).unwrap();
+        w.end_element().unwrap();
+        w.end_element().unwrap();
+        w.finish().unwrap();
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(out, "<a>\n  <b></b>\n</a>");
+    }
+
+    #[test]
+    fn xml_declaration_written_once() {
+        let mut w = XmlWriter::with_config(
+            Vec::new(),
+            WriterConfig {
+                indent: false,
+                xml_declaration: true,
+            },
+        );
+        w.start_element("a", &[]).unwrap();
+        w.end_element().unwrap();
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a></a>");
+    }
+
+    #[test]
+    fn comment_with_double_dash_rejected() {
+        let mut w = XmlWriter::new(Vec::new());
+        assert!(w.comment("a--b").is_err());
+    }
+
+    #[test]
+    fn event_pipe_through() {
+        let input = r#"<r><x a="1">t</x><y/></r>"#;
+        let events = parse_to_events(input).unwrap();
+        let out = events_to_string(&events).unwrap();
+        assert_eq!(out, r#"<r><x a="1">t</x><y></y></r>"#);
+    }
+}

@@ -1,0 +1,215 @@
+//! XMark-style auction-site generator.
+//!
+//! A compact version of the XMark benchmark schema (the standard workload
+//! for streaming XQuery evaluation in 2004): people, open items, and closed
+//! auctions that reference both. Document order puts `people` and `items`
+//! before `closed_auctions`, so reference-joins probe data that a schema-
+//! aware engine has already seen — the situation FluXQuery's buffered
+//! handlers with projection exploit.
+
+use crate::text;
+use flux_xml::{Attribute, Result, XmlWriter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+/// The DTD for generated auction documents.
+pub const AUCTION_DTD: &str = "<!ELEMENT site (people, items, closed_auctions)>\n\
+     <!ELEMENT people (person)*>\n\
+     <!ELEMENT person (name, emailaddress, country)>\n\
+     <!ATTLIST person id CDATA #REQUIRED>\n\
+     <!ELEMENT name (#PCDATA)>\n\
+     <!ELEMENT emailaddress (#PCDATA)>\n\
+     <!ELEMENT country (#PCDATA)>\n\
+     <!ELEMENT items (item)*>\n\
+     <!ELEMENT item (itemname, description, quantity)>\n\
+     <!ATTLIST item id CDATA #REQUIRED>\n\
+     <!ELEMENT itemname (#PCDATA)>\n\
+     <!ELEMENT description (#PCDATA)>\n\
+     <!ELEMENT quantity (#PCDATA)>\n\
+     <!ELEMENT closed_auctions (closed_auction)*>\n\
+     <!ELEMENT closed_auction (buyer, itemref, price, date)>\n\
+     <!ELEMENT buyer (#PCDATA)>\n\
+     <!ELEMENT itemref (#PCDATA)>\n\
+     <!ELEMENT price (#PCDATA)>\n\
+     <!ELEMENT date (#PCDATA)>";
+
+/// Generator configuration. Sizes follow XMark's habit of one scale knob.
+#[derive(Debug, Clone)]
+pub struct AuctionConfig {
+    pub people: usize,
+    pub items: usize,
+    pub auctions: usize,
+    pub seed: u64,
+    /// Words in each item description (the bulky part of the document).
+    pub description_words: usize,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig {
+            people: 50,
+            items: 100,
+            auctions: 150,
+            seed: 42,
+            description_words: 20,
+        }
+    }
+}
+
+impl AuctionConfig {
+    /// XMark-style scaling: `scale(1.0)` ≈ the default sizes.
+    pub fn scale(factor: f64, seed: u64) -> Self {
+        let base = AuctionConfig::default();
+        AuctionConfig {
+            people: ((base.people as f64) * factor).ceil() as usize,
+            items: ((base.items as f64) * factor).ceil() as usize,
+            auctions: ((base.auctions as f64) * factor).ceil() as usize,
+            seed,
+            ..base
+        }
+    }
+}
+
+/// Writes an auction document to `out`.
+pub fn write_auction<W: Write>(config: &AuctionConfig, out: W) -> Result<u64> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut w = XmlWriter::new(out);
+    w.start_element("site", &[])?;
+
+    w.start_element("people", &[])?;
+    for i in 0..config.people {
+        w.start_element("person", &[Attribute::new("id", format!("p{i}"))])?;
+        simple(&mut w, "name", &text::name(&mut rng))?;
+        simple(
+            &mut w,
+            "emailaddress",
+            &format!("{}@example.com", text::word(&mut rng)),
+        )?;
+        simple(&mut w, "country", &text::name(&mut rng))?;
+        w.end_element()?;
+    }
+    w.end_element()?;
+
+    w.start_element("items", &[])?;
+    for i in 0..config.items {
+        w.start_element("item", &[Attribute::new("id", format!("i{i}"))])?;
+        simple(&mut w, "itemname", &text::sentence(&mut rng, 2))?;
+        simple(
+            &mut w,
+            "description",
+            &text::sentence(&mut rng, config.description_words),
+        )?;
+        simple(&mut w, "quantity", &rng.gen_range(1..10).to_string())?;
+        w.end_element()?;
+    }
+    w.end_element()?;
+
+    w.start_element("closed_auctions", &[])?;
+    for _ in 0..config.auctions {
+        w.start_element("closed_auction", &[])?;
+        simple(
+            &mut w,
+            "buyer",
+            &format!("p{}", rng.gen_range(0..config.people.max(1))),
+        )?;
+        simple(
+            &mut w,
+            "itemref",
+            &format!("i{}", rng.gen_range(0..config.items.max(1))),
+        )?;
+        simple(
+            &mut w,
+            "price",
+            &format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100)),
+        )?;
+        simple(
+            &mut w,
+            "date",
+            &format!(
+                "{:04}-{:02}-{:02}",
+                rng.gen_range(1999..2004),
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+        )?;
+        w.end_element()?;
+    }
+    w.end_element()?;
+
+    w.end_element()?;
+    w.finish()?;
+    Ok(w.bytes_written())
+}
+
+fn simple<W: Write>(w: &mut XmlWriter<W>, tag: &str, content: &str) -> Result<()> {
+    w.start_element(tag, &[])?;
+    w.text(content)?;
+    w.end_element()
+}
+
+/// Generates an auction document as a string.
+pub fn auction_string(config: &AuctionConfig) -> String {
+    let mut out = Vec::new();
+    write_auction(config, &mut out).expect("in-memory generation cannot fail");
+    String::from_utf8(out).expect("generator emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = AuctionConfig::default();
+        assert_eq!(auction_string(&c), auction_string(&c));
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let c = AuctionConfig {
+            people: 3,
+            items: 4,
+            auctions: 5,
+            seed: 1,
+            description_words: 3,
+        };
+        let doc = auction_string(&c);
+        assert_eq!(doc.matches("<person ").count(), 3);
+        assert_eq!(doc.matches("<item ").count(), 4);
+        assert_eq!(doc.matches("<closed_auction>").count(), 5);
+    }
+
+    #[test]
+    fn buyer_references_valid_people() {
+        let c = AuctionConfig {
+            people: 5,
+            items: 5,
+            auctions: 20,
+            seed: 9,
+            description_words: 2,
+        };
+        let doc = auction_string(&c);
+        for chunk in doc.split("<buyer>").skip(1) {
+            let id = &chunk[..chunk.find("</buyer>").unwrap()];
+            let n: usize = id[1..].parse().unwrap();
+            assert!(n < 5, "buyer {id} out of range");
+        }
+    }
+
+    #[test]
+    fn scaling() {
+        let s1 = auction_string(&AuctionConfig::scale(0.2, 1)).len();
+        let s2 = auction_string(&AuctionConfig::scale(2.0, 1)).len();
+        assert!(s2 > s1 * 5);
+    }
+
+    #[test]
+    fn sections_in_schema_order() {
+        let doc = auction_string(&AuctionConfig::scale(0.1, 3));
+        let people = doc.find("<people>").unwrap();
+        let items = doc.find("<items>").unwrap();
+        let auctions = doc.find("<closed_auctions>").unwrap();
+        assert!(people < items && items < auctions);
+    }
+}

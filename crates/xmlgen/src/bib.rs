@@ -1,0 +1,231 @@
+//! Bibliography document generator — the paper's running domain (the XMP
+//! use cases of the XML Query Use Cases).
+//!
+//! Two modes matching the paper's two DTDs:
+//! * [`BibMode::Weak`] — `book (title|author)*`: titles and authors in
+//!   arbitrary order and number (Sec. 2's weak DTD);
+//! * [`BibMode::Fig1`] — `book (title,(author+|editor+),publisher,price)`
+//!   (Figure 1's strong DTD).
+
+use crate::text;
+use flux_xml::{Attribute, Result, XmlWriter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+/// Which content model generated books follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BibMode {
+    Weak,
+    Fig1,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct BibConfig {
+    pub mode: BibMode,
+    /// Number of `book` elements.
+    pub books: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+    /// Authors per book, inclusive range.
+    pub authors: (usize, usize),
+    /// In weak mode: titles per book, inclusive range. Fig. 1 always has 1.
+    pub titles: (usize, usize),
+    /// In Fig. 1 mode: probability (percent) a book has editors instead of
+    /// authors.
+    pub editor_percent: u32,
+    /// Words per title.
+    pub title_words: usize,
+    /// Emit `year` attributes on books.
+    pub year_attributes: bool,
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig {
+            mode: BibMode::Fig1,
+            books: 100,
+            seed: 42,
+            authors: (1, 4),
+            titles: (1, 2),
+            editor_percent: 20,
+            title_words: 3,
+            year_attributes: true,
+        }
+    }
+}
+
+impl BibConfig {
+    pub fn weak(books: usize, seed: u64) -> Self {
+        BibConfig {
+            mode: BibMode::Weak,
+            books,
+            seed,
+            ..BibConfig::default()
+        }
+    }
+
+    pub fn fig1(books: usize, seed: u64) -> Self {
+        BibConfig {
+            mode: BibMode::Fig1,
+            books,
+            seed,
+            ..BibConfig::default()
+        }
+    }
+}
+
+/// Writes a bibliography document to `out`.
+pub fn write_bib<W: Write>(config: &BibConfig, out: W) -> Result<u64> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut writer = XmlWriter::new(out);
+    writer.start_element("bib", &[])?;
+    for _ in 0..config.books {
+        let attrs = if config.year_attributes {
+            vec![Attribute::new(
+                "year",
+                rng.gen_range(1970..2005).to_string(),
+            )]
+        } else {
+            vec![]
+        };
+        writer.start_element("book", &attrs)?;
+        match config.mode {
+            BibMode::Weak => write_weak_book(config, &mut rng, &mut writer)?,
+            BibMode::Fig1 => write_fig1_book(config, &mut rng, &mut writer)?,
+        }
+        writer.end_element()?;
+    }
+    writer.end_element()?;
+    writer.finish()?;
+    Ok(writer.bytes_written())
+}
+
+fn write_simple<W: Write>(
+    writer: &mut XmlWriter<W>,
+    tag: &str,
+    content: &str,
+) -> Result<()> {
+    writer.start_element(tag, &[])?;
+    writer.text(content)?;
+    writer.end_element()
+}
+
+fn write_weak_book<W: Write>(
+    config: &BibConfig,
+    rng: &mut SmallRng,
+    writer: &mut XmlWriter<W>,
+) -> Result<()> {
+    // Interleave titles and authors randomly: the weak DTD permits any
+    // order, and FluXQuery must cope with authors arriving first.
+    let titles = rng.gen_range(config.titles.0..=config.titles.1);
+    let authors = rng.gen_range(config.authors.0..=config.authors.1);
+    let mut items: Vec<bool> = Vec::with_capacity(titles + authors);
+    items.extend(std::iter::repeat(true).take(titles));
+    items.extend(std::iter::repeat(false).take(authors));
+    // Fisher-Yates with the seeded generator.
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+    for is_title in items {
+        if is_title {
+            write_simple(writer, "title", &text::sentence(rng, config.title_words))?;
+        } else {
+            write_simple(writer, "author", &text::name(rng))?;
+        }
+    }
+    Ok(())
+}
+
+fn write_fig1_book<W: Write>(
+    config: &BibConfig,
+    rng: &mut SmallRng,
+    writer: &mut XmlWriter<W>,
+) -> Result<()> {
+    write_simple(writer, "title", &text::sentence(rng, config.title_words))?;
+    let use_editors = rng.gen_range(0..100) < config.editor_percent;
+    let n = rng.gen_range(config.authors.0.max(1)..=config.authors.1.max(1));
+    for _ in 0..n {
+        if use_editors {
+            write_simple(writer, "editor", &text::name(rng))?;
+        } else {
+            write_simple(writer, "author", &text::name(rng))?;
+        }
+    }
+    write_simple(writer, "publisher", &text::name(rng))?;
+    write_simple(
+        writer,
+        "price",
+        &format!("{}.{:02}", rng.gen_range(5..120), rng.gen_range(0..100)),
+    )?;
+    Ok(())
+}
+
+/// Generates a bibliography document as a string.
+pub fn bib_string(config: &BibConfig) -> String {
+    let mut out = Vec::new();
+    write_bib(config, &mut out).expect("in-memory generation cannot fail");
+    String::from_utf8(out).expect("generator emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = BibConfig::fig1(10, 7);
+        assert_eq!(bib_string(&c), bib_string(&c));
+        let c2 = BibConfig::fig1(10, 8);
+        assert_ne!(bib_string(&c), bib_string(&c2));
+    }
+
+    #[test]
+    fn weak_interleaves() {
+        let c = BibConfig {
+            titles: (2, 3),
+            authors: (2, 4),
+            ..BibConfig::weak(30, 3)
+        };
+        let doc = bib_string(&c);
+        // Some book must have an author before a title (shuffled order).
+        let has_author_first = doc
+            .split("<book")
+            .skip(1)
+            .any(|b| match (b.find("<author>"), b.find("<title>")) {
+                (Some(a), Some(t)) => a < t,
+                _ => false,
+            });
+        assert!(has_author_first, "expected interleaved order somewhere");
+    }
+
+    #[test]
+    fn fig1_structure_strict() {
+        let c = BibConfig::fig1(20, 5);
+        let doc = bib_string(&c);
+        for book in doc.split("<book").skip(1) {
+            let title = book.find("<title>").unwrap();
+            let publisher = book.find("<publisher>").unwrap();
+            let price = book.find("<price>").unwrap();
+            assert!(title < publisher && publisher < price);
+            let has_author = book.find("<author>").is_some();
+            let has_editor = book.find("<editor>").is_some();
+            assert!(has_author ^ has_editor, "author xor editor per book");
+        }
+    }
+
+    #[test]
+    fn size_scales_with_books() {
+        let small = bib_string(&BibConfig::fig1(10, 1)).len();
+        let large = bib_string(&BibConfig::fig1(100, 1)).len();
+        assert!(large > small * 8);
+    }
+
+    #[test]
+    fn book_count_correct() {
+        let doc = bib_string(&BibConfig::fig1(25, 2));
+        assert_eq!(doc.matches("<book").count(), 25);
+    }
+}

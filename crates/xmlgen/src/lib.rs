@@ -1,0 +1,18 @@
+//! # flux-xmlgen
+//!
+//! Deterministic synthetic data for tests, examples and benchmarks:
+//!
+//! * [`bib`] — bibliography documents in the paper's two content models
+//!   (Sec. 2 weak DTD and Figure 1), standing in for the XML Query Use
+//!   Cases' XMP data;
+//! * [`auction`] — a compact XMark-style auction site for join workloads.
+//!
+//! All generation is seeded; the same configuration always yields the same
+//! bytes, so experiments are reproducible.
+
+pub mod auction;
+pub mod bib;
+pub mod text;
+
+pub use auction::{auction_string, write_auction, AuctionConfig, AUCTION_DTD};
+pub use bib::{bib_string, write_bib, BibConfig, BibMode};

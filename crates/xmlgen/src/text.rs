@@ -1,0 +1,68 @@
+//! Deterministic pseudo-natural text for generated documents.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "da", "ta", "flu", "x", "que", "ry", "sto", "re", "mem", "buf", "fer", "log", "mi", "ni",
+    "str", "eam", "no", "va", "lex", "or", "pra", "gma", "zen", "kol", "tur", "bi", "na",
+];
+
+/// A pseudo-word of 2–4 syllables.
+pub fn word(rng: &mut SmallRng) -> String {
+    let syllables = rng.gen_range(2..=4);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    w
+}
+
+/// A capitalised pseudo-name.
+pub fn name(rng: &mut SmallRng) -> String {
+    let mut w = word(rng);
+    if let Some(first) = w.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    w
+}
+
+/// A sentence of `words` pseudo-words.
+pub fn sentence(rng: &mut SmallRng, words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&word(rng));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(word(&mut a), word(&mut b));
+        assert_eq!(sentence(&mut a, 5), sentence(&mut b, 5));
+    }
+
+    #[test]
+    fn name_capitalised() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = name(&mut rng);
+        assert!(n.chars().next().unwrap().is_ascii_uppercase());
+    }
+
+    #[test]
+    fn sentence_word_count() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = sentence(&mut rng, 7);
+        assert_eq!(s.split(' ').count(), 7);
+    }
+}

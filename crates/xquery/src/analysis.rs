@@ -1,0 +1,311 @@
+//! Static analysis over query expressions: free variables and per-variable
+//! dependency sets. The FluX scheduler and the BDF construction are built on
+//! these primitives.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// What an expression reads from the children/attributes of one variable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepSet {
+    /// Child element labels (first steps of paths rooted at the variable).
+    pub labels: BTreeSet<String>,
+    /// Whether `$v/text()` is read.
+    pub text: bool,
+    /// Attribute names read directly off the variable (`$v/@a`).
+    pub attributes: BTreeSet<String>,
+    /// Whether the variable is copied wholesale (`$v` in content position),
+    /// which requires the entire subtree.
+    pub whole: bool,
+}
+
+impl DepSet {
+    /// True when nothing below the variable is needed (attributes are
+    /// available at the start tag and don't count as child data).
+    pub fn needs_no_children(&self) -> bool {
+        self.labels.is_empty() && !self.text && !self.whole
+    }
+
+    pub fn union(&mut self, other: &DepSet) {
+        self.labels.extend(other.labels.iter().cloned());
+        self.text |= other.text;
+        self.attributes.extend(other.attributes.iter().cloned());
+        self.whole |= other.whole;
+    }
+}
+
+/// Free variables of an expression (variables used but not bound inside).
+pub fn free_vars(expr: &Expr) -> BTreeSet<VarName> {
+    let mut out = BTreeSet::new();
+    collect_free(expr, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(expr: &Expr, bound: &mut Vec<VarName>, out: &mut BTreeSet<VarName>) {
+    let note = |var: &str, bound: &[VarName], out: &mut BTreeSet<VarName>| {
+        if !bound.iter().any(|b| b == var) {
+            out.insert(var.to_string());
+        }
+    };
+    match expr {
+        Expr::Empty | Expr::StringLit(_) => {}
+        Expr::Var(v) => note(v, bound, out),
+        Expr::Path(p) => note(&p.start, bound, out),
+        Expr::Sequence(items) => {
+            for item in items {
+                collect_free(item, bound, out);
+            }
+        }
+        Expr::Element {
+            attributes,
+            content,
+            ..
+        } => {
+            for attr in attributes {
+                for part in &attr.value {
+                    if let AttrPart::Expr(e) = part {
+                        collect_free(e, bound, out);
+                    }
+                }
+            }
+            collect_free(content, bound, out);
+        }
+        Expr::For {
+            var,
+            source,
+            where_clause,
+            body,
+        } => {
+            note(&source.start, bound, out);
+            bound.push(var.clone());
+            if let Some(cond) = where_clause {
+                collect_free_cond(cond, bound, out);
+            }
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::Let { var, value, body } => {
+            collect_free(value, bound, out);
+            bound.push(var.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_free_cond(cond, bound, out);
+            collect_free(then_branch, bound, out);
+            collect_free(else_branch, bound, out);
+        }
+    }
+}
+
+fn collect_free_cond(cond: &Cond, bound: &mut Vec<VarName>, out: &mut BTreeSet<VarName>) {
+    let mut paths = Vec::new();
+    cond.paths(&mut paths);
+    for p in paths {
+        if !bound.contains(&p.start) {
+            out.insert(p.start.clone());
+        }
+    }
+}
+
+/// All paths in `expr` rooted at `var` (respecting shadowing), including
+/// for-loop sources and condition operands.
+pub fn paths_rooted_at(expr: &Expr, var: &str) -> Vec<Path> {
+    let mut out = Vec::new();
+    collect_paths(expr, var, &mut out);
+    out
+}
+
+fn collect_paths(expr: &Expr, var: &str, out: &mut Vec<Path>) {
+    match expr {
+        Expr::Empty | Expr::StringLit(_) => {}
+        Expr::Var(v) => {
+            if v == var {
+                out.push(Path::var(var));
+            }
+        }
+        Expr::Path(p) => {
+            if p.start == var {
+                out.push(p.clone());
+            }
+        }
+        Expr::Sequence(items) => {
+            for item in items {
+                collect_paths(item, var, out);
+            }
+        }
+        Expr::Element {
+            attributes,
+            content,
+            ..
+        } => {
+            for attr in attributes {
+                for part in &attr.value {
+                    if let AttrPart::Expr(e) = part {
+                        collect_paths(e, var, out);
+                    }
+                }
+            }
+            collect_paths(content, var, out);
+        }
+        Expr::For {
+            var: bound,
+            source,
+            where_clause,
+            body,
+        } => {
+            if source.start == var {
+                out.push(source.clone());
+            }
+            if bound == var {
+                return; // shadowed below
+            }
+            if let Some(cond) = where_clause {
+                let mut paths = Vec::new();
+                cond.paths(&mut paths);
+                out.extend(paths.into_iter().filter(|p| p.start == var));
+            }
+            collect_paths(body, var, out);
+        }
+        Expr::Let {
+            var: bound,
+            value,
+            body,
+        } => {
+            collect_paths(value, var, out);
+            if bound != var {
+                collect_paths(body, var, out);
+            }
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut paths = Vec::new();
+            cond.paths(&mut paths);
+            out.extend(paths.into_iter().filter(|p| p.start == var));
+            collect_paths(then_branch, var, out);
+            collect_paths(else_branch, var, out);
+        }
+    }
+}
+
+/// Summarises what `expr` needs from `var`'s children and attributes.
+pub fn deps_on(expr: &Expr, var: &str) -> DepSet {
+    let mut deps = DepSet::default();
+    for path in paths_rooted_at(expr, var) {
+        match path.steps.first() {
+            None => deps.whole = true,
+            Some(Step::Child(label)) => {
+                deps.labels.insert(label.clone());
+            }
+            Some(Step::Attribute(name)) => {
+                deps.attributes.insert(name.clone());
+            }
+            Some(Step::Text) => deps.text = true,
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn free_vars_basic() {
+        let e = parse_query("<r>{ for $b in $ROOT/bib/book return $b/title }</r>").unwrap();
+        let fv = free_vars(&e);
+        assert_eq!(fv, BTreeSet::from(["ROOT".to_string()]));
+    }
+
+    #[test]
+    fn free_vars_join_and_shadowing() {
+        let e = parse_query(
+            "<r>{ for $b in $ROOT/a/x return ( $b/t, $outer/k, for $b in $ROOT/a/y return $b ) }</r>",
+        )
+        .unwrap();
+        let fv = free_vars(&e);
+        assert!(fv.contains("ROOT"));
+        assert!(fv.contains("outer"));
+        assert!(!fv.contains("b"));
+    }
+
+    #[test]
+    fn free_vars_in_where() {
+        let e = parse_query(
+            "<r>{ for $x in $ROOT/r/a where $x/k = $y/k return $x }</r>",
+        )
+        .unwrap();
+        assert!(free_vars(&e).contains("y"));
+    }
+
+    #[test]
+    fn deps_labels_and_whole() {
+        let e = parse_query(
+            r#"<result>{ $b/title }{ for $a in $b/author return $a }{ $b }</result>"#,
+        )
+        .unwrap();
+        let deps = deps_on(&e, "b");
+        assert_eq!(
+            deps.labels,
+            BTreeSet::from(["title".to_string(), "author".to_string()])
+        );
+        assert!(deps.whole);
+        assert!(!deps.text);
+    }
+
+    #[test]
+    fn deps_attributes_do_not_count_as_children() {
+        let e = parse_query(r#"<r year="{$b/@year}"/>"#).unwrap();
+        let deps = deps_on(&e, "b");
+        assert!(deps.needs_no_children());
+        assert_eq!(deps.attributes, BTreeSet::from(["year".to_string()]));
+    }
+
+    #[test]
+    fn deps_respect_shadowing() {
+        // The inner loop rebinds $b; its body's $b/x is not an outer dep.
+        let e = parse_query(
+            "<r>{ $b/t, for $b in $ROOT/q/z return $b/x }</r>",
+        )
+        .unwrap();
+        let deps = deps_on(&e, "b");
+        assert_eq!(deps.labels, BTreeSet::from(["t".to_string()]));
+    }
+
+    #[test]
+    fn deps_in_conditions() {
+        let e = parse_query(
+            r#"<r>{ if ($b/author = "X" and exists($b/editor)) then "y" else () }</r>"#,
+        )
+        .unwrap();
+        let deps = deps_on(&e, "b");
+        assert_eq!(
+            deps.labels,
+            BTreeSet::from(["author".to_string(), "editor".to_string()])
+        );
+    }
+
+    #[test]
+    fn deps_text() {
+        let e = parse_query("<r>{$t/text()}</r>").unwrap();
+        let deps = deps_on(&e, "t");
+        assert!(deps.text);
+        assert!(deps.labels.is_empty());
+        assert!(!deps.whole);
+    }
+
+    #[test]
+    fn deps_multi_step_counts_first_label() {
+        let e = parse_query("<r>{$b/title/sub/text()}</r>").unwrap();
+        let deps = deps_on(&e, "b");
+        assert_eq!(deps.labels, BTreeSet::from(["title".to_string()]));
+    }
+}

@@ -1,0 +1,328 @@
+//! Abstract syntax of the supported XQuery fragment.
+//!
+//! The fragment follows the paper: arbitrarily nested for-loops with joins,
+//! `let`, `where`/`if` conditions with existential comparisons, direct
+//! element constructors, child/attribute/`text()` steps, and the `$ROOT`
+//! document variable. No aggregation, no descendant axis, no positional
+//! predicates (Sec. 4 of the paper).
+
+use std::fmt;
+
+/// A variable name, stored without the leading `$`.
+pub type VarName = String;
+
+/// The reserved document variable.
+pub const ROOT_VAR: &str = "ROOT";
+
+/// Prefix for normalizer-generated variables; rejected in user queries.
+pub const GENERATED_VAR_PREFIX: &str = "__flux";
+
+/// A single path step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// `/name` — child elements with this label.
+    Child(String),
+    /// `/@name` — an attribute of the current element.
+    Attribute(String),
+    /// `/text()` — the text children of the current element.
+    Text,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Child(n) => write!(f, "{n}"),
+            Step::Attribute(n) => write!(f, "@{n}"),
+            Step::Text => write!(f, "text()"),
+        }
+    }
+}
+
+/// A rooted path `$var/step/step/...`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    pub start: VarName,
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    pub fn var(start: impl Into<VarName>) -> Path {
+        Path {
+            start: start.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    pub fn child(mut self, name: impl Into<String>) -> Path {
+        self.steps.push(Step::Child(name.into()));
+        self
+    }
+
+    /// The trailing step, if any.
+    pub fn last_step(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// True when every step is a child step (an element-valued path).
+    pub fn is_element_path(&self) -> bool {
+        self.steps.iter().all(|s| matches!(s, Step::Child(_)))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.start)?;
+        for step in &self.steps {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators. General comparisons with existential semantics:
+/// `A op B` is true iff some pair of items from A and B satisfies `op`
+/// (numeric when both sides parse as numbers, string otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Path(Path),
+    StringLit(String),
+    /// Numeric literal, stored as written.
+    NumberLit(String),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Path(p) => write!(f, "{p}"),
+            Operand::StringLit(s) => write!(f, "\"{s}\""),
+            Operand::NumberLit(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A boolean condition (`where` clauses and `if` tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    Cmp {
+        lhs: Operand,
+        op: CmpOp,
+        rhs: Operand,
+    },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    /// `exists(path)` (also the effective boolean value of a bare path).
+    Exists(Path),
+    /// `empty(path)`.
+    Empty(Path),
+    True,
+    False,
+}
+
+/// One part of an attribute value template: `year="{$b/@year}-ed"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    Literal(String),
+    Expr(Expr),
+}
+
+/// An attribute constructor inside a direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrConstructor {
+    pub name: String,
+    pub value: Vec<AttrPart>,
+}
+
+/// An XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The empty sequence `()`.
+    Empty,
+    /// A sequence `e1, e2, ...` (also adjacency inside constructors).
+    Sequence(Vec<Expr>),
+    /// A string literal.
+    StringLit(String),
+    /// A bare variable (copies the bound node to the output).
+    Var(VarName),
+    /// A path expression (copies matching nodes / attribute text).
+    Path(Path),
+    /// A direct element constructor.
+    Element {
+        name: String,
+        attributes: Vec<AttrConstructor>,
+        content: Box<Expr>,
+    },
+    /// `for $var in source (where cond)? return body`.
+    For {
+        var: VarName,
+        source: Path,
+        where_clause: Option<Box<Cond>>,
+        body: Box<Expr>,
+    },
+    /// `let $var := value return body`.
+    Let {
+        var: VarName,
+        value: Box<Expr>,
+        body: Box<Expr>,
+    },
+    /// `if (cond) then .. else ..`.
+    If {
+        cond: Box<Cond>,
+        then_branch: Box<Expr>,
+        else_branch: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Wraps a list of expressions as a sequence, flattening trivial cases.
+    pub fn seq(mut items: Vec<Expr>) -> Expr {
+        items.retain(|e| !matches!(e, Expr::Empty));
+        match items.len() {
+            0 => Expr::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Expr::Sequence(items),
+        }
+    }
+
+    /// Visits every sub-expression (pre-order), including conditions'
+    /// operand paths via the callback `on_path`.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Empty | Expr::StringLit(_) | Expr::Var(_) | Expr::Path(_) => {}
+            Expr::Sequence(items) => {
+                for item in items {
+                    item.visit(f);
+                }
+            }
+            Expr::Element {
+                attributes,
+                content,
+                ..
+            } => {
+                for attr in attributes {
+                    for part in &attr.value {
+                        if let AttrPart::Expr(e) = part {
+                            e.visit(f);
+                        }
+                    }
+                }
+                content.visit(f);
+            }
+            Expr::For { body, .. } => body.visit(f),
+            Expr::Let { value, body, .. } => {
+                value.visit(f);
+                body.visit(f);
+            }
+            Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+        }
+    }
+}
+
+impl Cond {
+    /// All paths mentioned in the condition.
+    pub fn paths(&self, out: &mut Vec<Path>) {
+        match self {
+            Cond::Cmp { lhs, rhs, .. } => {
+                if let Operand::Path(p) = lhs {
+                    out.push(p.clone());
+                }
+                if let Operand::Path(p) = rhs {
+                    out.push(p.clone());
+                }
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.paths(out);
+                b.paths(out);
+            }
+            Cond::Not(c) => c.paths(out),
+            Cond::Exists(p) | Cond::Empty(p) => out.push(p.clone()),
+            Cond::True | Cond::False => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display() {
+        let p = Path::var("b").child("title");
+        assert_eq!(p.to_string(), "$b/title");
+        let mut p2 = Path::var("b");
+        p2.steps.push(Step::Attribute("year".into()));
+        assert_eq!(p2.to_string(), "$b/@year");
+        let mut p3 = Path::var("t");
+        p3.steps.push(Step::Text);
+        assert_eq!(p3.to_string(), "$t/text()");
+    }
+
+    #[test]
+    fn seq_flattening() {
+        assert_eq!(Expr::seq(vec![]), Expr::Empty);
+        assert_eq!(Expr::seq(vec![Expr::Empty, Expr::Empty]), Expr::Empty);
+        assert_eq!(
+            Expr::seq(vec![Expr::StringLit("x".into())]),
+            Expr::StringLit("x".into())
+        );
+        let two = Expr::seq(vec![Expr::StringLit("x".into()), Expr::StringLit("y".into())]);
+        assert!(matches!(two, Expr::Sequence(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn cond_paths_collected() {
+        let c = Cond::And(
+            Box::new(Cond::Cmp {
+                lhs: Operand::Path(Path::var("b").child("author")),
+                op: CmpOp::Eq,
+                rhs: Operand::StringLit("Goedel".into()),
+            }),
+            Box::new(Cond::Exists(Path::var("b").child("editor"))),
+        );
+        let mut paths = Vec::new();
+        c.paths(&mut paths);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].to_string(), "$b/author");
+        assert_eq!(paths[1].to_string(), "$b/editor");
+    }
+
+    #[test]
+    fn is_element_path() {
+        assert!(Path::var("b").child("a").child("c").is_element_path());
+        let mut p = Path::var("b");
+        p.steps.push(Step::Text);
+        assert!(!p.is_element_path());
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors for XQuery parsing, normalization and evaluation.
+
+use std::fmt;
+
+/// Where in the query text an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPos {
+    /// Byte offset into the query text.
+    pub offset: usize,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl QueryPos {
+    /// Computes line/column for `offset` in `input`.
+    pub fn of(input: &str, offset: usize) -> QueryPos {
+        let mut line = 1;
+        let mut column = 1;
+        for b in input.as_bytes()[..offset.min(input.len())].iter() {
+            if *b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        QueryPos {
+            offset,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for QueryPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// An error in query processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XQueryError {
+    /// Syntax error while parsing.
+    Parse { message: String, pos: QueryPos },
+    /// The query is syntactically fine but outside the supported fragment.
+    Unsupported { message: String },
+    /// Normalization failure (e.g. a `let` variable used as a path root for
+    /// a non-path value).
+    Normalize { message: String },
+    /// Evaluation failure (unbound variable, broken invariants).
+    Eval { message: String },
+}
+
+impl XQueryError {
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        XQueryError::Unsupported {
+            message: message.into(),
+        }
+    }
+
+    pub fn eval(message: impl Into<String>) -> Self {
+        XQueryError::Eval {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::Parse { message, pos } => {
+                write!(f, "XQuery syntax error at {pos}: {message}")
+            }
+            XQueryError::Unsupported { message } => {
+                write!(f, "unsupported XQuery feature: {message}")
+            }
+            XQueryError::Normalize { message } => write!(f, "normalization error: {message}"),
+            XQueryError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+pub type Result<T> = std::result::Result<T, XQueryError>;

@@ -1,0 +1,581 @@
+//! Reference interpreter: evaluates the XQuery fragment over an in-memory
+//! [`Document`].
+//!
+//! Shared by three consumers with identical semantics:
+//! * the DOM baseline engine (whole document materialised),
+//! * the projection baseline engine (projected document materialised),
+//! * the FluXQuery runtime's buffered execution (`on-first` handler bodies
+//!   run over the buffer arena).
+//!
+//! Comparison semantics are XPath-style *general comparisons*: `A op B`
+//! holds iff some pair of items satisfies `op`, numerically when both
+//! values parse as numbers, else by string comparison.
+
+use crate::ast::*;
+use crate::error::{Result, XQueryError};
+use flux_xml::tree::{Document, NodeId, NodeKind};
+use flux_xml::{Attribute, XmlWriter};
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Output receiver for query results.
+pub trait QuerySink {
+    fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()>;
+    fn end_element(&mut self) -> Result<()>;
+    fn text(&mut self, text: &str) -> Result<()>;
+}
+
+impl<W: Write> QuerySink for XmlWriter<W> {
+    fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()> {
+        XmlWriter::start_element(self, name, attrs)
+            .map_err(|e| XQueryError::eval(format!("output error: {e}")))
+    }
+
+    fn end_element(&mut self) -> Result<()> {
+        XmlWriter::end_element(self).map_err(|e| XQueryError::eval(format!("output error: {e}")))
+    }
+
+    fn text(&mut self, text: &str) -> Result<()> {
+        XmlWriter::text(self, text).map_err(|e| XQueryError::eval(format!("output error: {e}")))
+    }
+}
+
+/// A sink that counts output bytes without storing them (benchmarks).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    pub bytes: u64,
+    pub events: u64,
+    depth: usize,
+}
+
+impl QuerySink for CountingSink {
+    fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()> {
+        self.bytes += 2 + name.len() as u64;
+        for a in attrs {
+            self.bytes += 4 + a.name.len() as u64 + a.value.len() as u64;
+        }
+        self.events += 1;
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn end_element(&mut self) -> Result<()> {
+        if self.depth == 0 {
+            return Err(XQueryError::eval("unbalanced end element in output"));
+        }
+        self.depth -= 1;
+        self.bytes += 3;
+        self.events += 1;
+        Ok(())
+    }
+
+    fn text(&mut self, text: &str) -> Result<()> {
+        self.bytes += text.len() as u64;
+        self.events += 1;
+        Ok(())
+    }
+}
+
+/// Variable bindings: every variable is bound to a single node.
+pub type Env = HashMap<VarName, NodeId>;
+
+/// One item of an evaluated sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Node(NodeId),
+    Str(String),
+}
+
+/// Evaluator over one document arena.
+pub struct TreeEvaluator<'d> {
+    doc: &'d Document,
+}
+
+impl<'d> TreeEvaluator<'d> {
+    pub fn new(doc: &'d Document) -> Self {
+        TreeEvaluator { doc }
+    }
+
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Evaluates `expr` under `env`, emitting results to `sink`.
+    pub fn eval(&self, expr: &Expr, env: &mut Env, sink: &mut impl QuerySink) -> Result<()> {
+        match expr {
+            Expr::Empty => Ok(()),
+            Expr::StringLit(s) => sink.text(s),
+            Expr::Var(v) => {
+                let node = self.bound(env, v)?;
+                self.copy_node(node, sink)
+            }
+            Expr::Path(p) => {
+                for item in self.resolve_items(p, env)? {
+                    match item {
+                        Item::Node(n) => self.copy_node(n, sink)?,
+                        Item::Str(s) => sink.text(&s)?,
+                    }
+                }
+                Ok(())
+            }
+            Expr::Sequence(items) => {
+                for item in items {
+                    self.eval(item, env, sink)?;
+                }
+                Ok(())
+            }
+            Expr::Element {
+                name,
+                attributes,
+                content,
+            } => {
+                let mut attrs = Vec::with_capacity(attributes.len());
+                for attr in attributes {
+                    attrs.push(Attribute::new(
+                        attr.name.clone(),
+                        self.eval_attr_template(&attr.value, env)?,
+                    ));
+                }
+                sink.start_element(name, &attrs)?;
+                self.eval(content, env, sink)?;
+                sink.end_element()
+            }
+            Expr::For {
+                var,
+                source,
+                where_clause,
+                body,
+            } => {
+                let nodes = self.resolve_nodes(source, env)?;
+                for node in nodes {
+                    let shadowed = env.insert(var.clone(), node);
+                    let keep = match where_clause {
+                        Some(cond) => self.eval_cond(cond, env)?,
+                        None => true,
+                    };
+                    if keep {
+                        self.eval(body, env, sink)?;
+                    }
+                    match shadowed {
+                        Some(old) => {
+                            env.insert(var.clone(), old);
+                        }
+                        None => {
+                            env.remove(var);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Expr::Let { .. } => Err(XQueryError::eval(
+                "let must be inlined by normalization before evaluation",
+            )),
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval_cond(cond, env)? {
+                    self.eval(then_branch, env, sink)
+                } else {
+                    self.eval(else_branch, env, sink)
+                }
+            }
+        }
+    }
+
+    fn bound(&self, env: &Env, var: &str) -> Result<NodeId> {
+        env.get(var)
+            .copied()
+            .ok_or_else(|| XQueryError::eval(format!("unbound variable `${var}`")))
+    }
+
+    /// Resolves an element path to nodes in document order.
+    pub fn resolve_nodes(&self, path: &Path, env: &Env) -> Result<Vec<NodeId>> {
+        let mut current = vec![self.bound(env, &path.start)?];
+        for step in &path.steps {
+            match step {
+                Step::Child(name) => {
+                    let mut next = Vec::new();
+                    for node in current {
+                        next.extend(self.doc.children_named(node, name));
+                    }
+                    current = next;
+                }
+                Step::Attribute(_) | Step::Text => {
+                    return Err(XQueryError::eval(format!(
+                        "path {path} used where element nodes are required"
+                    )))
+                }
+            }
+        }
+        Ok(current)
+    }
+
+    /// Resolves any path to items (nodes, attribute strings, text pieces).
+    pub fn resolve_items(&self, path: &Path, env: &Env) -> Result<Vec<Item>> {
+        let (element_steps, tail) = match path.steps.last() {
+            Some(Step::Attribute(_)) | Some(Step::Text) => (
+                &path.steps[..path.steps.len() - 1],
+                path.steps.last(),
+            ),
+            _ => (&path.steps[..], None),
+        };
+        let mut current = vec![self.bound(env, &path.start)?];
+        for step in element_steps {
+            let Step::Child(name) = step else {
+                return Err(XQueryError::eval(format!(
+                    "non-final attribute/text step in {path}"
+                )));
+            };
+            let mut next = Vec::new();
+            for node in current {
+                next.extend(self.doc.children_named(node, name));
+            }
+            current = next;
+        }
+        match tail {
+            None => Ok(current.into_iter().map(Item::Node).collect()),
+            Some(Step::Attribute(name)) => Ok(current
+                .into_iter()
+                .filter_map(|n| self.doc.attribute(n, name).map(|v| Item::Str(v.to_string())))
+                .collect()),
+            Some(Step::Text) => {
+                let mut items = Vec::new();
+                for node in current {
+                    for &child in self.doc.children(node) {
+                        if let NodeKind::Text(t) = self.doc.kind(child) {
+                            items.push(Item::Str(t.clone()));
+                        }
+                    }
+                }
+                Ok(items)
+            }
+            Some(Step::Child(_)) => unreachable!("handled above"),
+        }
+    }
+
+    /// Copies a node's subtree to the sink.
+    pub fn copy_node(&self, node: NodeId, sink: &mut impl QuerySink) -> Result<()> {
+        match self.doc.kind(node) {
+            NodeKind::Document => {
+                for &c in self.doc.children(node) {
+                    self.copy_node(c, sink)?;
+                }
+                Ok(())
+            }
+            NodeKind::Element { name, attributes } => {
+                sink.start_element(name, attributes)?;
+                for &c in self.doc.children(node) {
+                    self.copy_node(c, sink)?;
+                }
+                sink.end_element()
+            }
+            NodeKind::Text(t) => sink.text(t),
+        }
+    }
+
+    /// Evaluates an attribute value template to its string value (multiple
+    /// items joined with single spaces, per XQuery attribute semantics).
+    pub fn eval_attr_template(&self, parts: &[AttrPart], env: &mut Env) -> Result<String> {
+        let mut out = String::new();
+        for part in parts {
+            match part {
+                AttrPart::Literal(t) => out.push_str(t),
+                AttrPart::Expr(e) => {
+                    let values = self.atomize(e, env)?;
+                    for (i, v) in values.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        out.push_str(v);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// String values of an atomizable expression (paths, strings, vars).
+    fn atomize(&self, expr: &Expr, env: &Env) -> Result<Vec<String>> {
+        match expr {
+            Expr::Empty => Ok(vec![]),
+            Expr::StringLit(s) => Ok(vec![s.clone()]),
+            Expr::Var(v) => {
+                let node = self.bound(env, v)?;
+                Ok(vec![self.doc.string_value(node)])
+            }
+            Expr::Path(p) => Ok(self
+                .resolve_items(p, env)?
+                .into_iter()
+                .map(|item| match item {
+                    Item::Node(n) => self.doc.string_value(n),
+                    Item::Str(s) => s,
+                })
+                .collect()),
+            Expr::Sequence(items) => {
+                let mut out = Vec::new();
+                for item in items {
+                    out.extend(self.atomize(item, env)?);
+                }
+                Ok(out)
+            }
+            other => Err(XQueryError::eval(format!(
+                "expression cannot be atomized: {other:?}"
+            ))),
+        }
+    }
+
+    /// Evaluates a condition to a boolean.
+    pub fn eval_cond(&self, cond: &Cond, env: &Env) -> Result<bool> {
+        match cond {
+            Cond::True => Ok(true),
+            Cond::False => Ok(false),
+            Cond::And(a, b) => Ok(self.eval_cond(a, env)? && self.eval_cond(b, env)?),
+            Cond::Or(a, b) => Ok(self.eval_cond(a, env)? || self.eval_cond(b, env)?),
+            Cond::Not(c) => Ok(!self.eval_cond(c, env)?),
+            Cond::Exists(p) => Ok(!self.resolve_items(p, env)?.is_empty()),
+            Cond::Empty(p) => Ok(self.resolve_items(p, env)?.is_empty()),
+            Cond::Cmp { lhs, op, rhs } => {
+                let left = self.operand_values(lhs, env)?;
+                let right = self.operand_values(rhs, env)?;
+                Ok(left
+                    .iter()
+                    .any(|a| right.iter().any(|b| compare(a, b, *op))))
+            }
+        }
+    }
+
+    fn operand_values(&self, op: &Operand, env: &Env) -> Result<Vec<String>> {
+        match op {
+            Operand::StringLit(s) => Ok(vec![s.clone()]),
+            Operand::NumberLit(n) => Ok(vec![n.clone()]),
+            Operand::Path(p) => {
+                if p.steps.is_empty() {
+                    let node = self.bound(env, &p.start)?;
+                    return Ok(vec![self.doc.string_value(node)]);
+                }
+                Ok(self
+                    .resolve_items(p, env)?
+                    .into_iter()
+                    .map(|item| match item {
+                        Item::Node(n) => self.doc.string_value(n),
+                        Item::Str(s) => s,
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+/// General-comparison of two string values: numeric when both sides parse
+/// as numbers, string comparison otherwise.
+pub fn compare(a: &str, b: &str, op: CmpOp) -> bool {
+    match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+        _ => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        },
+    }
+}
+
+/// Convenience for tests and baselines: evaluates `query` (already parsed)
+/// against a document, binding `$ROOT` to the document node, and returns
+/// the serialized output.
+pub fn eval_to_string(doc: &Document, expr: &Expr) -> Result<String> {
+    let evaluator = TreeEvaluator::new(doc);
+    let mut env = Env::new();
+    env.insert(ROOT_VAR.to_string(), doc.document_node());
+    let mut writer = XmlWriter::new(Vec::new());
+    evaluator.eval(expr, &mut env, &mut writer)?;
+    writer
+        .finish()
+        .map_err(|e| XQueryError::eval(format!("output error: {e}")))?;
+    String::from_utf8(writer.into_inner()).map_err(|_| XQueryError::eval("invalid UTF-8 output"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::parse_query;
+
+    const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP</title><author>Stevens</author><author>Wright</author><publisher>AW</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author>Abiteboul</author><publisher>MK</publisher><price>39.95</price></book></bib>"#;
+
+    fn run(query: &str, doc_text: &str) -> String {
+        let doc = Document::parse_str(doc_text).unwrap();
+        let expr = parse_query(query).unwrap();
+        eval_to_string(&doc, &expr).unwrap()
+    }
+
+    fn run_normalized(query: &str, doc_text: &str) -> String {
+        let doc = Document::parse_str(doc_text).unwrap();
+        let expr = normalize(&parse_query(query).unwrap()).unwrap();
+        eval_to_string(&doc, &expr).unwrap()
+    }
+
+    #[test]
+    fn q3_direct() {
+        let out = run(
+            r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#,
+            BIB,
+        );
+        assert_eq!(
+            out,
+            "<results><result><title>TCP/IP</title><author>Stevens</author><author>Wright</author></result><result><title>Data on the Web</title><author>Abiteboul</author></result></results>"
+        );
+    }
+
+    #[test]
+    fn normalized_equals_direct() {
+        let q = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#;
+        assert_eq!(run(q, BIB), run_normalized(q, BIB));
+    }
+
+    #[test]
+    fn where_filtering() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/publisher = "AW" return $b/title }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><title>TCP/IP</title></r>");
+    }
+
+    #[test]
+    fn numeric_comparison_on_attribute() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/@year > 1994 return $b/title }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><title>Data on the Web</title></r>");
+    }
+
+    #[test]
+    fn numeric_vs_string_comparison() {
+        // 65.95 < 100 numerically (string comparison would say otherwise).
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/price < 100 return $b/title }</r>"#,
+            BIB,
+        );
+        assert!(out.contains("TCP/IP") && out.contains("Data on the Web"));
+    }
+
+    #[test]
+    fn existential_comparison_any_pair() {
+        // Second author matches even though the first doesn't.
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/author = "Wright" return $b/title }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><title>TCP/IP</title></r>");
+    }
+
+    #[test]
+    fn attribute_output() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book return <y>{$b/@year}</y> }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><y>1994</y><y>2000</y></r>");
+    }
+
+    #[test]
+    fn attribute_value_template() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book return <book y="{$b/@year}-ed"/> }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, r#"<r><book y="1994-ed"></book><book y="2000-ed"></book></r>"#);
+    }
+
+    #[test]
+    fn text_step() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book return <t>{$b/title/text()}</t> }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><t>TCP/IP</t><t>Data on the Web</t></r>");
+    }
+
+    #[test]
+    fn whole_variable_copy() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/@year = 2000 return $b }</r>"#,
+            BIB,
+        );
+        assert!(out.contains(r#"<book year="2000">"#));
+        assert!(out.contains("<publisher>MK</publisher>"));
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book return if ($b/author = "Stevens") then <s/> else <o/> }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><s></s><o></o></r>");
+    }
+
+    #[test]
+    fn exists_and_empty() {
+        let out = run(
+            r#"<r>{ for $b in $ROOT/bib/book return if (exists($b/editor)) then <e/> else if (empty($b/editor)) then <n/> else () }</r>"#,
+            BIB,
+        );
+        assert_eq!(out, "<r><n></n><n></n></r>");
+    }
+
+    #[test]
+    fn join_across_branches() {
+        let doc = r#"<top><bib><book><title>A</title></book><book><title>B</title></book></bib><reviews><entry><title>B</title><rating>5</rating></entry></reviews></top>"#;
+        let out = run(
+            r#"<out>{ for $b in $ROOT/top/bib/book, $e in $ROOT/top/reviews/entry where $b/title = $e/title return <hit>{$b/title}{$e/rating}</hit> }</out>"#,
+            doc,
+        );
+        assert_eq!(out, "<out><hit><title>B</title><rating>5</rating></hit></out>");
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let doc = Document::parse_str("<a/>").unwrap();
+        let expr = parse_query("<r>{$nope/x}</r>").unwrap();
+        assert!(eval_to_string(&doc, &expr).is_err());
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let doc = Document::parse_str(BIB).unwrap();
+        let expr = parse_query(
+            r#"<r>{ for $b in $ROOT/bib/book return $b/title }</r>"#,
+        )
+        .unwrap();
+        let evaluator = TreeEvaluator::new(&doc);
+        let mut env = Env::new();
+        env.insert(ROOT_VAR.to_string(), doc.document_node());
+        let mut sink = CountingSink::default();
+        evaluator.eval(&expr, &mut env, &mut sink).unwrap();
+        assert!(sink.bytes > 0);
+        assert!(sink.events >= 6);
+    }
+
+    #[test]
+    fn compare_function_directly() {
+        assert!(compare("10", "9", CmpOp::Gt), "numeric comparison");
+        assert!(!compare("10", "9", CmpOp::Lt));
+        assert!(compare("abc", "abd", CmpOp::Lt), "string comparison");
+        assert!(compare("1.5", "1.50", CmpOp::Eq), "numeric equality");
+        assert!(!compare("1.5x", "1.50", CmpOp::Eq), "falls back to string");
+    }
+}

@@ -1,0 +1,29 @@
+//! # flux-xquery
+//!
+//! The XQuery frontend of FluXQuery: parser, AST, normal form, static
+//! analysis, pretty printer, and the reference tree interpreter shared by
+//! the baseline engines and the runtime's buffered execution.
+//!
+//! The supported fragment follows the paper (Sec. 4): arbitrarily nested
+//! for-loops and joins, conditionals with existential general comparisons,
+//! direct element constructors, `let` (inlined during normalization), and
+//! child/attribute/`text()` steps — no aggregation.
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod normalize;
+pub mod parser;
+pub mod pretty;
+
+pub use analysis::{deps_on, free_vars, paths_rooted_at, DepSet};
+pub use ast::{
+    AttrConstructor, AttrPart, CmpOp, Cond, Expr, Operand, Path, Step, VarName,
+    GENERATED_VAR_PREFIX, ROOT_VAR,
+};
+pub use error::{QueryPos, Result, XQueryError};
+pub use eval::{compare, eval_to_string, CountingSink, Env, Item, QuerySink, TreeEvaluator};
+pub use normalize::{is_normal_form, normalize};
+pub use parser::parse_query;
+pub use pretty::{pretty, pretty_cond};

@@ -1,0 +1,548 @@
+//! Rewriting into the scheduling normal form (paper Sec. 3.1, step 1).
+//!
+//! The normal form is the common input language of the algebraic optimizer
+//! and the FluX rewriter:
+//!
+//! * `let` bindings are inlined (values restricted to paths and strings);
+//! * every `for` binds over a **single child step** (`for $x in $y/a`);
+//!   multi-step sources become nested loops over fresh variables;
+//! * `where` clauses become `if` expressions in the loop body;
+//! * element-valued paths in content position become single-variable
+//!   for-loops (`{$b/title}` ⇒ `for $t in $b/title return $t`), so the only
+//!   remaining `Path` expressions are one-step `@attr` / `text()` reads;
+//! * sequences are flat and contain no empty expressions.
+//!
+//! [`is_normal_form`] checks these invariants.
+
+use crate::ast::*;
+use crate::error::{Result, XQueryError};
+
+/// Normalizes a query.
+pub fn normalize(expr: &Expr) -> Result<Expr> {
+    let mut n = Normalizer { counter: 0 };
+    let inlined = inline_lets(expr, &mut Vec::new())?;
+    n.normalize_expr(&inlined)
+}
+
+struct Normalizer {
+    counter: u32,
+}
+
+impl Normalizer {
+    fn fresh(&mut self) -> VarName {
+        self.counter += 1;
+        format!("{GENERATED_VAR_PREFIX}{}", self.counter)
+    }
+
+    fn normalize_expr(&mut self, expr: &Expr) -> Result<Expr> {
+        match expr {
+            Expr::Empty => Ok(Expr::Empty),
+            Expr::StringLit(s) => Ok(Expr::StringLit(s.clone())),
+            Expr::Var(v) => Ok(Expr::Var(v.clone())),
+            Expr::Path(p) => self.normalize_path_expr(p),
+            Expr::Sequence(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match self.normalize_expr(item)? {
+                        Expr::Sequence(inner) => out.extend(inner),
+                        Expr::Empty => {}
+                        other => out.push(other),
+                    }
+                }
+                Ok(Expr::seq(out))
+            }
+            Expr::Element {
+                name,
+                attributes,
+                content,
+            } => {
+                for attr in attributes {
+                    for part in &attr.value {
+                        if let AttrPart::Expr(e) = part {
+                            ensure_atomic(e)?;
+                        }
+                    }
+                }
+                Ok(Expr::Element {
+                    name: name.clone(),
+                    attributes: attributes.clone(),
+                    content: Box::new(self.normalize_expr(content)?),
+                })
+            }
+            Expr::For {
+                var,
+                source,
+                where_clause,
+                body,
+            } => {
+                let mut body = self.normalize_expr(body)?;
+                if let Some(cond) = where_clause {
+                    body = Expr::If {
+                        cond: cond.clone(),
+                        then_branch: Box::new(body),
+                        else_branch: Box::new(Expr::Empty),
+                    };
+                }
+                Ok(self.split_for(var.clone(), source.clone(), body))
+            }
+            Expr::Let { .. } => Err(XQueryError::Normalize {
+                message: "let should have been inlined before normalization".to_string(),
+            }),
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Ok(Expr::If {
+                cond: cond.clone(),
+                then_branch: Box::new(self.normalize_expr(then_branch)?),
+                else_branch: Box::new(self.normalize_expr(else_branch)?),
+            }),
+        }
+    }
+
+    /// Splits `for $var in $s/a/b/c return body` into nested one-step loops.
+    fn split_for(&mut self, var: VarName, source: Path, body: Expr) -> Expr {
+        debug_assert!(!source.steps.is_empty());
+        let mut hops: Vec<(VarName, Path)> = Vec::new();
+        let mut current_start = source.start.clone();
+        let n = source.steps.len();
+        for (i, step) in source.steps.iter().enumerate() {
+            let bind_var = if i + 1 == n {
+                var.clone()
+            } else {
+                self.fresh()
+            };
+            hops.push((
+                bind_var.clone(),
+                Path {
+                    start: current_start.clone(),
+                    steps: vec![step.clone()],
+                },
+            ));
+            current_start = bind_var;
+        }
+        let mut expr = body;
+        for (bind_var, path) in hops.into_iter().rev() {
+            expr = Expr::For {
+                var: bind_var,
+                source: path,
+                where_clause: None,
+                body: Box::new(expr),
+            };
+        }
+        expr
+    }
+
+    /// Element-valued paths in content position become loops that copy the
+    /// matched nodes; attribute/text tails stay as one-step path reads.
+    fn normalize_path_expr(&mut self, path: &Path) -> Result<Expr> {
+        if path.steps.is_empty() {
+            return Ok(Expr::Var(path.start.clone()));
+        }
+        let last = path.steps.last().expect("nonempty");
+        match last {
+            Step::Child(_) => {
+                let var = self.fresh();
+                Ok(self.split_for(var.clone(), path.clone(), Expr::Var(var)))
+            }
+            Step::Attribute(_) | Step::Text => {
+                let element_prefix = Path {
+                    start: path.start.clone(),
+                    steps: path.steps[..path.steps.len() - 1].to_vec(),
+                };
+                if element_prefix.steps.is_empty() {
+                    return Ok(Expr::Path(path.clone()));
+                }
+                let var = self.fresh();
+                let tail = Expr::Path(Path {
+                    start: var.clone(),
+                    steps: vec![last.clone()],
+                });
+                Ok(self.split_for(var, element_prefix, tail))
+            }
+        }
+    }
+}
+
+/// Attribute value template expressions must be atomizable without loops.
+fn ensure_atomic(expr: &Expr) -> Result<()> {
+    match expr {
+        Expr::Path(_) | Expr::Var(_) | Expr::StringLit(_) | Expr::Empty => Ok(()),
+        Expr::Sequence(items) => {
+            for item in items {
+                ensure_atomic(item)?;
+            }
+            Ok(())
+        }
+        other => Err(XQueryError::unsupported(format!(
+            "attribute value templates may only contain paths and strings, found {other:?}"
+        ))),
+    }
+}
+
+/// Inlines `let` bindings. Values are restricted to paths, variables and
+/// string literals so substitution into path roots stays well-defined.
+fn inline_lets(expr: &Expr, scope: &mut Vec<(VarName, LetValue)>) -> Result<Expr> {
+    match expr {
+        Expr::Let { var, value, body } => {
+            let value = inline_lets(value, scope)?;
+            let lv = match value {
+                Expr::Path(p) => LetValue::Path(p),
+                Expr::Var(v) => LetValue::Path(Path::var(v)),
+                Expr::StringLit(s) => LetValue::Str(s),
+                other => {
+                    return Err(XQueryError::unsupported(format!(
+                        "let values must be paths or strings in this fragment, found {other:?}"
+                    )))
+                }
+            };
+            scope.push((var.clone(), lv));
+            let result = inline_lets(body, scope);
+            scope.pop();
+            result
+        }
+        Expr::Var(v) => match lookup(scope, v) {
+            Some(LetValue::Path(p)) => Ok(if p.steps.is_empty() {
+                Expr::Var(p.start.clone())
+            } else {
+                Expr::Path(p.clone())
+            }),
+            Some(LetValue::Str(s)) => Ok(Expr::StringLit(s.clone())),
+            None => Ok(expr.clone()),
+        },
+        Expr::Path(p) => Ok(Expr::Path(subst_path(p, scope)?)),
+        Expr::Empty | Expr::StringLit(_) => Ok(expr.clone()),
+        Expr::Sequence(items) => {
+            let items = items
+                .iter()
+                .map(|e| inline_lets(e, scope))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Expr::Sequence(items))
+        }
+        Expr::Element {
+            name,
+            attributes,
+            content,
+        } => {
+            let mut new_attrs = Vec::with_capacity(attributes.len());
+            for attr in attributes {
+                let mut parts = Vec::with_capacity(attr.value.len());
+                for part in &attr.value {
+                    parts.push(match part {
+                        AttrPart::Literal(t) => AttrPart::Literal(t.clone()),
+                        AttrPart::Expr(e) => AttrPart::Expr(inline_lets(e, scope)?),
+                    });
+                }
+                new_attrs.push(AttrConstructor {
+                    name: attr.name.clone(),
+                    value: parts,
+                });
+            }
+            Ok(Expr::Element {
+                name: name.clone(),
+                attributes: new_attrs,
+                content: Box::new(inline_lets(content, scope)?),
+            })
+        }
+        Expr::For {
+            var,
+            source,
+            where_clause,
+            body,
+        } => {
+            let source = subst_path(source, scope)?;
+            let where_clause = match where_clause {
+                Some(c) => Some(Box::new(subst_cond(c, scope)?)),
+                None => None,
+            };
+            // The loop variable shadows any outer let of the same name.
+            let shadow = shadow_out(scope, var);
+            let body = inline_lets(body, scope)?;
+            restore(scope, shadow);
+            Ok(Expr::For {
+                var: var.clone(),
+                source,
+                where_clause,
+                body: Box::new(body),
+            })
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Ok(Expr::If {
+            cond: Box::new(subst_cond(cond, scope)?),
+            then_branch: Box::new(inline_lets(then_branch, scope)?),
+            else_branch: Box::new(inline_lets(else_branch, scope)?),
+        }),
+    }
+}
+
+enum LetValue {
+    Path(Path),
+    Str(String),
+}
+
+fn lookup<'s>(scope: &'s [(VarName, LetValue)], var: &str) -> Option<&'s LetValue> {
+    scope.iter().rev().find(|(v, _)| v == var).map(|(_, lv)| lv)
+}
+
+/// Temporarily removes bindings shadowed by a loop variable.
+fn shadow_out(scope: &mut Vec<(VarName, LetValue)>, var: &str) -> Vec<(usize, (VarName, LetValue))> {
+    let mut removed = Vec::new();
+    let mut i = 0;
+    while i < scope.len() {
+        if scope[i].0 == var {
+            removed.push((i, scope.remove(i)));
+        } else {
+            i += 1;
+        }
+    }
+    removed
+}
+
+fn restore(scope: &mut Vec<(VarName, LetValue)>, removed: Vec<(usize, (VarName, LetValue))>) {
+    for (idx, binding) in removed {
+        let at = idx.min(scope.len());
+        scope.insert(at, binding);
+    }
+}
+
+fn subst_path(path: &Path, scope: &[(VarName, LetValue)]) -> Result<Path> {
+    match lookup(scope, &path.start) {
+        None => Ok(path.clone()),
+        Some(LetValue::Path(base)) => {
+            let mut steps = base.steps.clone();
+            steps.extend(path.steps.iter().cloned());
+            Ok(Path {
+                start: base.start.clone(),
+                steps,
+            })
+        }
+        Some(LetValue::Str(_)) => {
+            if path.steps.is_empty() {
+                Err(XQueryError::Normalize {
+                    message: format!(
+                        "internal: string-valued variable `${}` used as bare path",
+                        path.start
+                    ),
+                })
+            } else {
+                Err(XQueryError::unsupported(format!(
+                    "path steps on string-valued variable `${}`",
+                    path.start
+                )))
+            }
+        }
+    }
+}
+
+fn subst_operand(op: &Operand, scope: &[(VarName, LetValue)]) -> Result<Operand> {
+    Ok(match op {
+        Operand::Path(p) => {
+            if p.steps.is_empty() {
+                if let Some(LetValue::Str(s)) = lookup(scope, &p.start) {
+                    return Ok(Operand::StringLit(s.clone()));
+                }
+            }
+            Operand::Path(subst_path(p, scope)?)
+        }
+        other => other.clone(),
+    })
+}
+
+fn subst_cond(cond: &Cond, scope: &[(VarName, LetValue)]) -> Result<Cond> {
+    Ok(match cond {
+        Cond::Cmp { lhs, op, rhs } => Cond::Cmp {
+            lhs: subst_operand(lhs, scope)?,
+            op: *op,
+            rhs: subst_operand(rhs, scope)?,
+        },
+        Cond::And(a, b) => Cond::And(
+            Box::new(subst_cond(a, scope)?),
+            Box::new(subst_cond(b, scope)?),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(subst_cond(a, scope)?),
+            Box::new(subst_cond(b, scope)?),
+        ),
+        Cond::Not(c) => Cond::Not(Box::new(subst_cond(c, scope)?)),
+        Cond::Exists(p) => Cond::Exists(subst_path(p, scope)?),
+        Cond::Empty(p) => Cond::Empty(subst_path(p, scope)?),
+        Cond::True => Cond::True,
+        Cond::False => Cond::False,
+    })
+}
+
+/// Checks the normal-form invariants.
+pub fn is_normal_form(expr: &Expr) -> bool {
+    match expr {
+        Expr::Empty | Expr::StringLit(_) | Expr::Var(_) => true,
+        Expr::Path(p) => {
+            // Only one-step attribute/text reads survive normalization.
+            p.steps.len() == 1 && matches!(p.steps[0], Step::Attribute(_) | Step::Text)
+        }
+        Expr::Sequence(items) => {
+            items.len() >= 2
+                && items
+                    .iter()
+                    .all(|i| !matches!(i, Expr::Sequence(_) | Expr::Empty) && is_normal_form(i))
+        }
+        Expr::Element { content, .. } => is_normal_form(content),
+        Expr::For {
+            source,
+            where_clause,
+            body,
+            ..
+        } => {
+            where_clause.is_none()
+                && source.steps.len() == 1
+                && matches!(source.steps[0], Step::Child(_))
+                && is_normal_form(body)
+        }
+        Expr::Let { .. } => false,
+        Expr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => is_normal_form(then_branch) && is_normal_form(else_branch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::pretty::pretty;
+
+    fn norm(q: &str) -> Expr {
+        let ast = parse_query(q).unwrap();
+        let nf = normalize(&ast).unwrap();
+        assert!(is_normal_form(&nf), "not in normal form:\n{}", pretty(&nf));
+        nf
+    }
+
+    #[test]
+    fn q3_normalizes() {
+        let nf = norm(
+            r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#,
+        );
+        let printed = pretty(&nf);
+        // The multi-step source splits, and the content paths become loops.
+        assert!(printed.contains("in $ROOT/bib return"), "{printed}");
+        assert!(printed.contains("/book return"), "{printed}");
+        assert!(printed.contains("in $b/title"), "{printed}");
+        assert!(printed.contains("in $b/author"), "{printed}");
+    }
+
+    #[test]
+    fn where_becomes_if() {
+        let nf = norm(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/publisher = "X" return $b/title }</r>"#,
+        );
+        let printed = pretty(&nf);
+        assert!(printed.contains("if ($b/publisher = \"X\")"), "{printed}");
+        assert!(!printed.contains("where"), "{printed}");
+    }
+
+    #[test]
+    fn let_inlined_path() {
+        let nf = norm(r#"let $books := $ROOT/bib/book return <r>{ for $b in $books/title return $b }</r>"#);
+        let printed = pretty(&nf);
+        assert!(printed.contains("$ROOT/bib"), "{printed}");
+        assert!(!printed.contains("let"), "{printed}");
+    }
+
+    #[test]
+    fn let_inlined_string() {
+        let nf = norm(r#"let $name := "Goedel" return <r>{ if ($ROOT/bib/book/author = $name) then $name else () }</r>"#);
+        let printed = pretty(&nf);
+        assert!(printed.contains("\"Goedel\""), "{printed}");
+    }
+
+    #[test]
+    fn let_shadowed_by_for() {
+        let nf = norm(
+            r#"let $x := "s" return <r>{ for $x in $ROOT/bib/book return $x }</r>"#,
+        );
+        let printed = pretty(&nf);
+        // The for-bound $x must not be replaced by "s".
+        assert!(printed.contains("return $x"), "{printed}");
+        assert!(!printed.contains("return \"s\""), "{printed}");
+    }
+
+    #[test]
+    fn attribute_tail_preserved() {
+        let nf = norm(r#"<r>{$ROOT/bib/book/@year}</r>"#);
+        let printed = pretty(&nf);
+        assert!(printed.contains("/@year"), "{printed}");
+        // And it hangs off a fresh loop variable, not a multi-step path.
+        assert!(printed.contains("$__flux"), "{printed}");
+    }
+
+    #[test]
+    fn text_tail_preserved() {
+        let nf = norm(r#"<r>{$ROOT/bib/book/title/text()}</r>"#);
+        let printed = pretty(&nf);
+        assert!(printed.contains("/text()"), "{printed}");
+    }
+
+    #[test]
+    fn direct_attr_path_stays() {
+        let nf = norm(r#"<r>{ for $b in $ROOT/bib/book return $b/@year }</r>"#);
+        let printed = pretty(&nf);
+        assert!(printed.contains("$b/@year"), "{printed}");
+    }
+
+    #[test]
+    fn sequences_flattened() {
+        let nf = norm(r#"<r>{ ("a", ("b", "c"), ()) }</r>"#);
+        match nf {
+            Expr::Element { content, .. } => match *content {
+                Expr::Sequence(items) => assert_eq!(items.len(), 3),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_constructor_value_rejected() {
+        let ast = parse_query(r#"let $v := <x/> return <r>{$v}</r>"#).unwrap();
+        assert!(normalize(&ast).is_err());
+    }
+
+    #[test]
+    fn join_query_normalizes() {
+        let nf = norm(
+            r#"<out>{ for $b in $ROOT/top/bib/book, $e in $ROOT/top/reviews/entry
+                      where $b/title = $e/title
+                      return <hit>{$b/title}{$e/price}</hit> }</out>"#,
+        );
+        let printed = pretty(&nf);
+        assert!(printed.contains("if ($b/title = $e/title)"), "{printed}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}</result> }</results>"#;
+        let once = normalize(&parse_query(q).unwrap()).unwrap();
+        let twice = normalize(&once).unwrap();
+        // Fresh-variable numbering differs, so compare shapes via NF check
+        // and loop count.
+        assert!(is_normal_form(&twice));
+        let mut count_once = 0;
+        once.visit(&mut |e| {
+            if matches!(e, Expr::For { .. }) {
+                count_once += 1;
+            }
+        });
+        let mut count_twice = 0;
+        twice.visit(&mut |e| {
+            if matches!(e, Expr::For { .. }) {
+                count_twice += 1;
+            }
+        });
+        assert_eq!(count_once, count_twice);
+    }
+}

@@ -1,0 +1,969 @@
+//! Recursive-descent parser for the supported XQuery fragment.
+//!
+//! Handles FLWOR expressions (`for`/`let`/`where`/`return`), conditionals,
+//! direct element constructors with attribute value templates, paths,
+//! string literals with doubled-quote escapes, `(: ... :)` comments, and
+//! both symbolic (`=`, `<=`) and word (`eq`, `le`) comparison operators.
+//!
+//! Boundary whitespace in element constructors is stripped, as in XQuery's
+//! default mode: `<r> {$x} </r>` has no text nodes around `{$x}`.
+
+use crate::ast::*;
+use crate::error::{QueryPos, Result, XQueryError};
+
+pub struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete query.
+pub fn parse_query(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let expr = p.parse_expr_seq()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(expr)
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XQueryError {
+        XQueryError::Parse {
+            message: message.into(),
+            pos: QueryPos::of(self.input, self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.pos + n).copied()
+    }
+
+    fn looking_at(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.looking_at(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Skips whitespace and `(: ... :)` comments (which may nest).
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.looking_at("(:") {
+                let mut depth = 0;
+                while self.pos < self.bytes.len() {
+                    if self.looking_at("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.looking_at(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || matches!(b, b'-' | b'.' | b':')
+    }
+
+    /// Consumes the keyword `kw` only when followed by a non-name character.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if !self.looking_at(kw) {
+            return false;
+        }
+        match self.peek_at(kw.len()) {
+            Some(b) if Self::is_name_char(b) => false,
+            _ => {
+                self.pos += kw.len();
+                true
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if Self::is_name_char(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_var_name(&mut self) -> Result<VarName> {
+        self.expect("$")?;
+        let name = self.parse_name()?;
+        if name.starts_with(GENERATED_VAR_PREFIX) {
+            return Err(self.err(format!(
+                "variable names starting with `{GENERATED_VAR_PREFIX}` are reserved"
+            )));
+        }
+        Ok(name)
+    }
+
+    /// String literal with XQuery-style doubled-quote escapes:
+    /// `"say ""hi"""` is `say "hi"`.
+    fn parse_string_lit(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        let start = self.pos;
+        let mut run_start = start;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b) if b == quote => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    if self.peek() == Some(quote) {
+                        // Doubled quote: literal quote character.
+                        out.push(quote as char);
+                        self.pos += 1;
+                        run_start = self.pos;
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    pub fn parse_expr_seq(&mut self) -> Result<Expr> {
+        let mut items = vec![self.parse_expr()?];
+        loop {
+            self.skip_ws();
+            if self.eat(",") {
+                self.skip_ws();
+                items.push(self.parse_expr()?);
+            } else {
+                return Ok(Expr::seq(items));
+            }
+        }
+    }
+
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        if self.eat_keyword("for") {
+            return self.parse_for();
+        }
+        if self.eat_keyword("let") {
+            return self.parse_let();
+        }
+        if self.eat_keyword("if") {
+            return self.parse_if();
+        }
+        match self.peek() {
+            Some(b'<') => self.parse_constructor(),
+            Some(b'"') | Some(b'\'') => Ok(Expr::StringLit(self.parse_string_lit()?)),
+            Some(b'(') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.eat(")") {
+                    return Ok(Expr::Empty);
+                }
+                let inner = self.parse_expr_seq()?;
+                self.skip_ws();
+                self.expect(")")?;
+                Ok(inner)
+            }
+            Some(b'$') => {
+                let path = self.parse_path()?;
+                if path.steps.is_empty() {
+                    Ok(Expr::Var(path.start))
+                } else {
+                    Ok(Expr::Path(path))
+                }
+            }
+            Some(b) if b.is_ascii_digit() => Err(self.err(
+                "numeric literals are only supported inside conditions; \
+                 wrap output numbers in a string literal",
+            )),
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<Expr> {
+        // `for` already consumed. Parse comma-separated bindings, an
+        // optional where clause, and the return body; desugar to nested
+        // single-binding loops with the where on the innermost.
+        let mut bindings: Vec<(VarName, Path)> = Vec::new();
+        loop {
+            self.skip_ws();
+            let var = self.parse_var_name()?;
+            self.skip_ws();
+            if !self.eat_keyword("in") {
+                return Err(self.err("expected `in`"));
+            }
+            self.skip_ws();
+            let source = self.parse_path()?;
+            if source.steps.is_empty() {
+                return Err(self.err("for-loop source must have at least one step"));
+            }
+            if !source.is_element_path() {
+                return Err(XQueryError::unsupported(
+                    "for-loop over attribute or text() steps",
+                ));
+            }
+            bindings.push((var, source));
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.skip_ws();
+        let where_clause = if self.eat_keyword("where") {
+            Some(Box::new(self.parse_cond()?))
+        } else {
+            None
+        };
+        self.skip_ws();
+        if !self.eat_keyword("return") {
+            return Err(self.err("expected `return`"));
+        }
+        let body = self.parse_expr()?;
+        // Fold right-to-left; the innermost binding carries the where clause.
+        let last = bindings.len() - 1;
+        let mut expr = body;
+        let mut pending_where = where_clause;
+        for (i, (var, source)) in bindings.into_iter().enumerate().rev() {
+            let wc = if i == last { pending_where.take() } else { None };
+            expr = Expr::For {
+                var,
+                source,
+                where_clause: wc,
+                body: Box::new(expr),
+            };
+        }
+        Ok(expr)
+    }
+
+    fn parse_let(&mut self) -> Result<Expr> {
+        // `let` already consumed: `$v := expr (, $w := expr)* return body`.
+        let mut bindings: Vec<(VarName, Expr)> = Vec::new();
+        loop {
+            self.skip_ws();
+            let var = self.parse_var_name()?;
+            self.skip_ws();
+            self.expect(":=")?;
+            let value = self.parse_expr()?;
+            bindings.push((var, value));
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.eat_keyword("return") {
+            return Err(self.err("expected `return`"));
+        }
+        let body = self.parse_expr()?;
+        let mut expr = body;
+        for (var, value) in bindings.into_iter().rev() {
+            expr = Expr::Let {
+                var,
+                value: Box::new(value),
+                body: Box::new(expr),
+            };
+        }
+        Ok(expr)
+    }
+
+    fn parse_if(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        self.expect("(")?;
+        let cond = self.parse_cond()?;
+        self.skip_ws();
+        self.expect(")")?;
+        self.skip_ws();
+        if !self.eat_keyword("then") {
+            return Err(self.err("expected `then`"));
+        }
+        let then_branch = self.parse_expr()?;
+        self.skip_ws();
+        if !self.eat_keyword("else") {
+            return Err(self.err("expected `else` (XQuery requires an else branch)"));
+        }
+        let else_branch = self.parse_expr()?;
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    fn parse_path(&mut self) -> Result<Path> {
+        self.expect("$")?;
+        let start = self.parse_name()?;
+        if start.starts_with(GENERATED_VAR_PREFIX) {
+            return Err(self.err(format!(
+                "variable names starting with `{GENERATED_VAR_PREFIX}` are reserved"
+            )));
+        }
+        let mut steps = Vec::new();
+        while self.peek() == Some(b'/') {
+            if self.looking_at("//") {
+                return Err(XQueryError::unsupported(
+                    "the descendant axis `//` (the optimizing engine schedules child steps only)",
+                ));
+            }
+            self.pos += 1;
+            if let Some(last) = steps.last() {
+                if !matches!(last, Step::Child(_)) {
+                    return Err(self.err("no steps may follow @attribute or text()"));
+                }
+            }
+            if self.eat("@") {
+                let name = self.parse_name()?;
+                steps.push(Step::Attribute(name));
+            } else if self.eat("text()") {
+                steps.push(Step::Text);
+            } else {
+                let name = self.parse_name()?;
+                if name == "text" {
+                    return Err(self.err("write `text()` for the text step"));
+                }
+                steps.push(Step::Child(name));
+            }
+        }
+        Ok(Path { start, steps })
+    }
+
+    // ----- element constructors -----
+
+    fn parse_constructor(&mut self) -> Result<Expr> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("/>") {
+                return Ok(Expr::Element {
+                    name,
+                    attributes,
+                    content: Box::new(Expr::Empty),
+                });
+            }
+            if self.eat(">") {
+                break;
+            }
+            let attr_name = self.parse_name()?;
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let value = self.parse_attr_value()?;
+            attributes.push(AttrConstructor {
+                name: attr_name,
+                value,
+            });
+        }
+        let content = self.parse_content(&name)?;
+        Ok(Expr::Element {
+            name,
+            attributes,
+            content: Box::new(content),
+        })
+    }
+
+    fn parse_attr_value(&mut self) -> Result<Vec<AttrPart>> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut parts = Vec::new();
+        let mut literal = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    if !literal.is_empty() {
+                        parts.push(AttrPart::Literal(std::mem::take(&mut literal)));
+                    }
+                    let expr = self.parse_expr_seq()?;
+                    self.skip_ws();
+                    self.expect("}")?;
+                    parts.push(AttrPart::Expr(expr));
+                }
+                Some(b'&') => {
+                    let entity = self.parse_entity()?;
+                    literal.push(entity);
+                }
+                Some(b) => {
+                    literal.push(b as char);
+                    self.pos += 1;
+                    // Multi-byte UTF-8: copy the continuation bytes verbatim.
+                    if b >= 0x80 {
+                        literal.pop();
+                        let s = &self.input[self.pos - 1..];
+                        let ch = s.chars().next().expect("valid UTF-8");
+                        literal.push(ch);
+                        self.pos += ch.len_utf8() - 1;
+                    }
+                }
+            }
+        }
+        if !literal.is_empty() {
+            parts.push(AttrPart::Literal(literal));
+        }
+        Ok(parts)
+    }
+
+    fn parse_entity(&mut self) -> Result<char> {
+        self.expect("&")?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let name = &self.input[start..self.pos];
+                self.pos += 1;
+                return flux_xml::escape::resolve_entity(name)
+                    .ok_or_else(|| self.err(format!("unknown entity `&{name};`")));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated entity reference"))
+    }
+
+    fn parse_content(&mut self, element_name: &str) -> Result<Expr> {
+        let mut items: Vec<Expr> = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated <{element_name}> constructor"))),
+                Some(b'<') => {
+                    if self.looking_at("</") {
+                        flush_text(&mut text, &mut items);
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != element_name {
+                            return Err(self.err(format!(
+                                "mismatched constructor tags: <{element_name}> closed by </{close}>"
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(">")?;
+                        return Ok(Expr::seq(items));
+                    }
+                    flush_text(&mut text, &mut items);
+                    items.push(self.parse_constructor()?);
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    flush_text(&mut text, &mut items);
+                    self.skip_ws();
+                    let expr = self.parse_expr_seq()?;
+                    self.skip_ws();
+                    self.expect("}")?;
+                    items.push(expr);
+                }
+                Some(b'&') => {
+                    let entity = self.parse_entity()?;
+                    text.push(entity);
+                }
+                Some(b) => {
+                    if b >= 0x80 {
+                        let s = &self.input[self.pos..];
+                        let ch = s.chars().next().expect("valid UTF-8");
+                        text.push(ch);
+                        self.pos += ch.len_utf8();
+                    } else {
+                        text.push(b as char);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- conditions -----
+
+    pub fn parse_cond(&mut self) -> Result<Cond> {
+        let mut lhs = self.parse_cond_and()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("or") {
+                let rhs = self.parse_cond_and()?;
+                lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_cond_and(&mut self) -> Result<Cond> {
+        let mut lhs = self.parse_cond_primary()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                let rhs = self.parse_cond_primary()?;
+                lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_cond_primary(&mut self) -> Result<Cond> {
+        self.skip_ws();
+        if self.eat_keyword("not") {
+            self.skip_ws();
+            self.expect("(")?;
+            let inner = self.parse_cond()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Cond::Not(Box::new(inner)));
+        }
+        if self.eat_keyword("exists") {
+            self.skip_ws();
+            self.expect("(")?;
+            self.skip_ws();
+            let path = self.parse_path()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Cond::Exists(path));
+        }
+        if self.eat_keyword("empty") {
+            self.skip_ws();
+            self.expect("(")?;
+            self.skip_ws();
+            let path = self.parse_path()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Cond::Empty(path));
+        }
+        if self.eat_keyword("true") {
+            self.skip_ws();
+            self.expect("(")?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Cond::True);
+        }
+        if self.eat_keyword("false") {
+            self.skip_ws();
+            self.expect("(")?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Cond::False);
+        }
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let inner = self.parse_cond()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        // Comparison or bare path (effective boolean value).
+        let lhs = self.parse_operand()?;
+        self.skip_ws();
+        if let Some(op) = self.parse_cmp_op() {
+            self.skip_ws();
+            let rhs = self.parse_operand()?;
+            return Ok(Cond::Cmp { lhs, op, rhs });
+        }
+        match lhs {
+            Operand::Path(p) => Ok(Cond::Exists(p)),
+            _ => Err(self.err("expected a comparison operator")),
+        }
+    }
+
+    fn parse_cmp_op(&mut self) -> Option<CmpOp> {
+        for (text, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(text) {
+                return Some(op);
+            }
+        }
+        for (kw, op) in [
+            ("eq", CmpOp::Eq),
+            ("ne", CmpOp::Ne),
+            ("lt", CmpOp::Lt),
+            ("le", CmpOp::Le),
+            ("gt", CmpOp::Gt),
+            ("ge", CmpOp::Ge),
+        ] {
+            if self.eat_keyword(kw) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'$') => Ok(Operand::Path(self.parse_path()?)),
+            Some(b'"') | Some(b'\'') => Ok(Operand::StringLit(self.parse_string_lit()?)),
+            Some(b) if b.is_ascii_digit() || b == b'-' => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                let mut saw_digit = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        saw_digit = true;
+                        self.pos += 1;
+                    } else if c == b'.' && saw_digit {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if !saw_digit {
+                    return Err(self.err("expected a number"));
+                }
+                Ok(Operand::NumberLit(self.input[start..self.pos].to_string()))
+            }
+            _ => Err(self.err("expected a path, string or number")),
+        }
+    }
+}
+
+fn flush_text(text: &mut String, items: &mut Vec<Expr>) {
+    if text.is_empty() {
+        return;
+    }
+    let content = std::mem::take(text);
+    // XQuery boundary-whitespace stripping: whitespace-only runs between
+    // constructor items carry no text node.
+    if content
+        .bytes()
+        .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+    {
+        return;
+    }
+    items.push(Expr::StringLit(content));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XMP Q3 from the paper.
+    const Q3: &str = r#"<results>
+      { for $b in $ROOT/bib/book return
+          <result> { $b/title } { $b/author } </result> }
+    </results>"#;
+
+    #[test]
+    fn parse_paper_q3() {
+        let expr = parse_query(Q3).unwrap();
+        match &expr {
+            Expr::Element { name, content, .. } => {
+                assert_eq!(name, "results");
+                match &**content {
+                    Expr::For { var, source, body, .. } => {
+                        assert_eq!(var, "b");
+                        assert_eq!(source.to_string(), "$ROOT/bib/book");
+                        match &**body {
+                            Expr::Element { name, content, .. } => {
+                                assert_eq!(name, "result");
+                                match &**content {
+                                    Expr::Sequence(items) => {
+                                        assert_eq!(items.len(), 2);
+                                        assert_eq!(items[0], Expr::Path(Path::var("b").child("title")));
+                                        assert_eq!(items[1], Expr::Path(Path::var("b").child("author")));
+                                    }
+                                    other => panic!("expected sequence, got {other:?}"),
+                                }
+                            }
+                            other => panic!("expected result constructor, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected for, got {other:?}"),
+                }
+            }
+            other => panic!("expected results constructor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_whitespace_stripped() {
+        let expr = parse_query("<r> <a/> <b/> </r>").unwrap();
+        match expr {
+            Expr::Element { content, .. } => match *content {
+                Expr::Sequence(items) => assert_eq!(items.len(), 2),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn significant_text_kept() {
+        let expr = parse_query("<r>hello <b/></r>").unwrap();
+        match expr {
+            Expr::Element { content, .. } => match *content {
+                Expr::Sequence(items) => {
+                    assert_eq!(items[0], Expr::StringLit("hello ".into()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_binding_for_desugars() {
+        let expr = parse_query(
+            "for $a in $ROOT/r/x, $b in $ROOT/r/y where $a/k = $b/k return <p>{$a}{$b}</p>",
+        )
+        .unwrap();
+        match expr {
+            Expr::For { var, where_clause, body, .. } => {
+                assert_eq!(var, "a");
+                assert!(where_clause.is_none(), "where belongs to the inner loop");
+                match *body {
+                    Expr::For { var, where_clause, .. } => {
+                        assert_eq!(var, "b");
+                        assert!(where_clause.is_some());
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_chain() {
+        let expr = parse_query("let $x := \"1\", $y := \"2\" return <r>{$x}{$y}</r>").unwrap();
+        match expr {
+            Expr::Let { var, body, .. } => {
+                assert_eq!(var, "x");
+                assert!(matches!(*body, Expr::Let { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_condition() {
+        let expr = parse_query(
+            r#"if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit/> else ()"#,
+        )
+        .unwrap();
+        match expr {
+            Expr::If { cond, else_branch, .. } => {
+                assert!(matches!(*cond, Cond::And(_, _)));
+                assert_eq!(*else_branch, Expr::Empty);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (q, op) in [
+            ("if ($a/x = 1) then () else ()", CmpOp::Eq),
+            ("if ($a/x != 1) then () else ()", CmpOp::Ne),
+            ("if ($a/x < 1) then () else ()", CmpOp::Lt),
+            ("if ($a/x <= 1) then () else ()", CmpOp::Le),
+            ("if ($a/x > 1) then () else ()", CmpOp::Gt),
+            ("if ($a/x >= 1) then () else ()", CmpOp::Ge),
+            ("if ($a/x eq 1) then () else ()", CmpOp::Eq),
+            ("if ($a/x lt 1) then () else ()", CmpOp::Lt),
+        ] {
+            let expr = parse_query(q).unwrap();
+            match expr {
+                Expr::If { cond, .. } => match *cond {
+                    Cond::Cmp { op: got, .. } => assert_eq!(got, op, "{q}"),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bare_path_condition_is_exists() {
+        let expr = parse_query("if ($b/author) then <x/> else ()").unwrap();
+        match expr {
+            Expr::If { cond, .. } => {
+                assert_eq!(*cond, Cond::Exists(Path::var("b").child("author")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_and_text_paths() {
+        let expr = parse_query("<r>{$b/@year}{$b/title/text()}</r>").unwrap();
+        match expr {
+            Expr::Element { content, .. } => match *content {
+                Expr::Sequence(items) => {
+                    assert!(matches!(&items[0], Expr::Path(p) if p.to_string() == "$b/@year"));
+                    assert!(
+                        matches!(&items[1], Expr::Path(p) if p.to_string() == "$b/title/text()")
+                    );
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_value_templates() {
+        let expr = parse_query(r#"<r year="{$b/@year}!"/>"#).unwrap();
+        match expr {
+            Expr::Element { attributes, .. } => {
+                assert_eq!(attributes.len(), 1);
+                assert_eq!(attributes[0].value.len(), 2);
+                assert!(matches!(&attributes[0].value[0], AttrPart::Expr(_)));
+                assert_eq!(
+                    attributes[0].value[1],
+                    AttrPart::Literal("!".to_string())
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendant_axis_rejected() {
+        let err = parse_query("<r>{$ROOT//book}</r>").unwrap_err();
+        assert!(matches!(err, XQueryError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn steps_after_attribute_rejected() {
+        assert!(parse_query("<r>{$b/@year/x}</r>").is_err());
+    }
+
+    #[test]
+    fn reserved_prefix_rejected() {
+        assert!(parse_query("<r>{$__flux1}</r>").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let expr = parse_query("(: outer (: nested :) still comment :) <r/>").unwrap();
+        assert!(matches!(expr, Expr::Element { .. }));
+    }
+
+    #[test]
+    fn doubled_quotes_in_strings() {
+        let expr = parse_query(r#"<r>{"say ""hi"""}</r>"#).unwrap();
+        match expr {
+            Expr::Element { content, .. } => {
+                assert_eq!(*content, Expr::StringLit("say \"hi\"".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_content() {
+        let expr = parse_query("<r>a &amp; b</r>").unwrap();
+        match expr {
+            Expr::Element { content, .. } => {
+                assert_eq!(*content, Expr::StringLit("a & b".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert_eq!(parse_query("()").unwrap(), Expr::Empty);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("<r/> extra").is_err());
+    }
+
+    #[test]
+    fn mismatched_constructor_tags_rejected() {
+        let err = parse_query("<r></s>").unwrap_err();
+        assert!(err.to_string().contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn exists_empty_not() {
+        let expr = parse_query(
+            "if (not(empty($b/author)) and exists($b/title)) then <x/> else ()",
+        )
+        .unwrap();
+        assert!(matches!(expr, Expr::If { .. }));
+    }
+
+    #[test]
+    fn nested_constructors_in_content() {
+        let expr = parse_query("<a><b><c/></b></a>").unwrap();
+        match expr {
+            Expr::Element { name, content, .. } => {
+                assert_eq!(name, "a");
+                assert!(matches!(*content, Expr::Element { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Pretty printer for XQuery expressions.
+//!
+//! The output re-parses to the same AST (modulo `Expr::seq` flattening),
+//! which the round-trip tests rely on.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders an expression as query text.
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_string_lit(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        if ch == '"' {
+            out.push_str("\"\"");
+        } else {
+            out.push(ch);
+        }
+    }
+    out.push('"');
+}
+
+fn write_expr(expr: &Expr, level: usize, out: &mut String) {
+    match expr {
+        Expr::Empty => out.push_str("()"),
+        Expr::StringLit(s) => write_string_lit(s, out),
+        Expr::Var(v) => {
+            let _ = write!(out, "${v}");
+        }
+        Expr::Path(p) => {
+            let _ = write!(out, "{p}");
+        }
+        Expr::Sequence(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(item, level, out);
+            }
+            out.push(')');
+        }
+        Expr::Element {
+            name,
+            attributes,
+            content,
+        } => {
+            let _ = write!(out, "<{name}");
+            for attr in attributes {
+                let _ = write!(out, " {}=\"", attr.name);
+                for part in &attr.value {
+                    match part {
+                        AttrPart::Literal(text) => {
+                            for ch in text.chars() {
+                                match ch {
+                                    '"' => out.push_str("&quot;"),
+                                    '&' => out.push_str("&amp;"),
+                                    '<' => out.push_str("&lt;"),
+                                    '{' => out.push_str("{{"),
+                                    _ => out.push(ch),
+                                }
+                            }
+                        }
+                        AttrPart::Expr(e) => {
+                            out.push('{');
+                            write_expr(e, level, out);
+                            out.push('}');
+                        }
+                    }
+                }
+                out.push('"');
+            }
+            match &**content {
+                Expr::Empty => out.push_str("/>"),
+                content => {
+                    out.push('>');
+                    write_content(content, level + 1, out);
+                    let _ = write!(out, "</{name}>");
+                }
+            }
+        }
+        Expr::For {
+            var,
+            source,
+            where_clause,
+            body,
+        } => {
+            let _ = write!(out, "for ${var} in {source}");
+            if let Some(cond) = where_clause {
+                out.push_str(" where ");
+                write_cond(cond, out);
+            }
+            out.push_str(" return ");
+            write_wrapped(body, level, out);
+        }
+        Expr::Let { var, value, body } => {
+            let _ = write!(out, "let ${var} := ");
+            write_wrapped(value, level, out);
+            out.push_str(" return ");
+            write_wrapped(body, level, out);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str("if (");
+            write_cond(cond, out);
+            out.push_str(") then ");
+            write_wrapped(then_branch, level, out);
+            out.push_str(" else ");
+            write_wrapped(else_branch, level, out);
+        }
+    }
+}
+
+/// Writes sub-expressions that require parentheses when they are sequences.
+fn write_wrapped(expr: &Expr, level: usize, out: &mut String) {
+    match expr {
+        Expr::Sequence(_) => write_expr(expr, level, out),
+        _ => write_expr(expr, level, out),
+    }
+}
+
+/// Writes constructor content: constructors inline, everything else enclosed.
+fn write_content(content: &Expr, level: usize, out: &mut String) {
+    let items: &[Expr] = match content {
+        Expr::Sequence(items) => items,
+        single => std::slice::from_ref(single),
+    };
+    for item in items {
+        match item {
+            Expr::Element { .. } => {
+                out.push('\n');
+                indent(out, level);
+                write_expr(item, level, out);
+            }
+            _ => {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("{ ");
+                write_expr(item, level, out);
+                out.push_str(" }");
+            }
+        }
+    }
+    out.push('\n');
+    indent(out, level.saturating_sub(1));
+}
+
+fn write_operand(op: &Operand, out: &mut String) {
+    match op {
+        Operand::Path(p) => {
+            let _ = write!(out, "{p}");
+        }
+        Operand::StringLit(s) => write_string_lit(s, out),
+        Operand::NumberLit(n) => out.push_str(n),
+    }
+}
+
+/// Renders a condition.
+pub fn write_cond(cond: &Cond, out: &mut String) {
+    match cond {
+        Cond::Cmp { lhs, op, rhs } => {
+            write_operand(lhs, out);
+            let _ = write!(out, " {} ", op.as_str());
+            write_operand(rhs, out);
+        }
+        Cond::And(a, b) => {
+            write_cond_nested(a, out);
+            out.push_str(" and ");
+            write_cond_nested(b, out);
+        }
+        Cond::Or(a, b) => {
+            write_cond_nested(a, out);
+            out.push_str(" or ");
+            write_cond_nested(b, out);
+        }
+        Cond::Not(c) => {
+            out.push_str("not(");
+            write_cond(c, out);
+            out.push(')');
+        }
+        Cond::Exists(p) => {
+            let _ = write!(out, "exists({p})");
+        }
+        Cond::Empty(p) => {
+            let _ = write!(out, "empty({p})");
+        }
+        Cond::True => out.push_str("true()"),
+        Cond::False => out.push_str("false()"),
+    }
+}
+
+fn write_cond_nested(cond: &Cond, out: &mut String) {
+    match cond {
+        Cond::And(..) | Cond::Or(..) => {
+            out.push('(');
+            write_cond(cond, out);
+            out.push(')');
+        }
+        _ => write_cond(cond, out),
+    }
+}
+
+/// Renders a condition to a string.
+pub fn pretty_cond(cond: &Cond) -> String {
+    let mut out = String::new();
+    write_cond(cond, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(q: &str) {
+        let ast1 = parse_query(q).unwrap_or_else(|e| panic!("parse 1 failed for {q}: {e}"));
+        let printed = pretty(&ast1);
+        let ast2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("parse 2 failed for:\n{printed}\n{e}"));
+        assert_eq!(ast1, ast2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_q3() {
+        round_trip(
+            r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}{$b/author}</result> }</results>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_join() {
+        round_trip(
+            r#"<pairs>{ for $a in $ROOT/r/x, $b in $ROOT/r/y where $a/k = $b/k return <pair>{$a}{$b}</pair> }</pairs>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_conditionals() {
+        round_trip(
+            r#"<out>{ for $b in $ROOT/bib/book return if ($b/author = "Goedel" and not(empty($b/title))) then $b/title else () }</out>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_attributes() {
+        round_trip(r#"<book year="{$b/@year}" fixed="v"><t>body text</t></book>"#);
+    }
+
+    #[test]
+    fn round_trip_let() {
+        round_trip(r#"let $t := $ROOT/bib/book return <r>{$t}</r>"#);
+    }
+
+    #[test]
+    fn round_trip_nested_ifs() {
+        round_trip(
+            r#"if ($x/a < 10 or $x/b >= 2.5) then <y/> else if (exists($x/c)) then <z/> else ()"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_strings_with_quotes() {
+        round_trip(r#"<r>{ "say ""hi"" & <ok>" }</r>"#);
+    }
+
+    #[test]
+    fn round_trip_text_steps() {
+        round_trip(r#"<r>{$b/title/text()}{$b/@year}</r>"#);
+    }
+
+    #[test]
+    fn cond_pretty() {
+        let c = Cond::And(
+            Box::new(Cond::Exists(Path::var("b").child("a"))),
+            Box::new(Cond::Or(Box::new(Cond::True), Box::new(Cond::False))),
+        );
+        assert_eq!(pretty_cond(&c), "exists($b/a) and (true() or false())");
+    }
+}

@@ -1,0 +1,104 @@
+//! XSAX events and past-query registrations.
+
+use flux_dtd::{Symbol, SymbolTable};
+use flux_xml::XmlEvent;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Handle for a registered past query, assigned by
+/// [`crate::XsaxParser::register_past`] in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PastId(pub u32);
+
+impl PastId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The label set of a past query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PastLabels {
+    /// A finite set of child labels; may include [`SymbolTable::TEXT`],
+    /// which can only become "past" at the closing tag when the element
+    /// allows character data.
+    Labels(BTreeSet<Symbol>),
+    /// Everything below the element — fires only at the closing tag. Used
+    /// when a handler needs the whole subtree (e.g. `{$x}`).
+    All,
+}
+
+impl PastLabels {
+    pub fn labels(syms: impl IntoIterator<Item = Symbol>) -> Self {
+        PastLabels::Labels(syms.into_iter().collect())
+    }
+
+    /// True when the set mentions the text pseudo-label.
+    pub fn mentions_text(&self) -> bool {
+        match self {
+            PastLabels::Labels(set) => set.contains(&SymbolTable::TEXT),
+            PastLabels::All => true,
+        }
+    }
+}
+
+impl fmt::Display for PastLabels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PastLabels::Labels(set) => {
+                write!(f, "past(")?;
+                for (i, s) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            PastLabels::All => write!(f, "past(*)"),
+        }
+    }
+}
+
+/// An event produced by the XSAX parser: either an ordinary SAX event or a
+/// fired past query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsaxEvent {
+    Sax(XmlEvent),
+    /// The registered query `id` fired for the instance of its element type
+    /// at nesting `depth` (the depth of the element whose children are being
+    /// tracked, root = 1).
+    OnFirstPast { id: PastId, depth: usize },
+}
+
+impl XsaxEvent {
+    pub fn as_sax(&self) -> Option<&XmlEvent> {
+        match self {
+            XsaxEvent::Sax(ev) => Some(ev),
+            XsaxEvent::OnFirstPast { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn past_labels_text_detection() {
+        assert!(PastLabels::All.mentions_text());
+        assert!(PastLabels::labels([SymbolTable::TEXT]).mentions_text());
+        assert!(!PastLabels::labels([]).mentions_text());
+    }
+
+    #[test]
+    fn as_sax_projection() {
+        let ev = XsaxEvent::Sax(XmlEvent::StartDocument);
+        assert!(ev.as_sax().is_some());
+        let fire = XsaxEvent::OnFirstPast {
+            id: PastId(0),
+            depth: 1,
+        };
+        assert!(fire.as_sax().is_none());
+    }
+}

@@ -1,0 +1,814 @@
+//! The XSAX parser: DTD validation + `on-first` event generation.
+
+use crate::error::{Result, XsaxError};
+use crate::event::{PastId, PastLabels, XsaxEvent};
+use flux_dtd::{AttDefault, Dfa, Dtd, StateId, Symbol, SymbolTable};
+use flux_xml::{Attribute, XmlEvent, XmlReader};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+
+/// Configuration for [`XsaxParser`].
+#[derive(Debug, Clone)]
+pub struct XsaxConfig {
+    /// Reject attributes that are not declared in an `ATTLIST` and require
+    /// `#REQUIRED` attributes to be present. Defaults to `false`.
+    pub strict_attributes: bool,
+    /// Drop whitespace-only text between children of element-content
+    /// elements ("ignorable whitespace"). Defaults to `true`.
+    pub suppress_ignorable_whitespace: bool,
+}
+
+impl Default for XsaxConfig {
+    fn default() -> Self {
+        XsaxConfig {
+            strict_attributes: false,
+            suppress_ignorable_whitespace: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registration {
+    /// Element type the query is registered on (kept for diagnostics).
+    #[allow(dead_code)]
+    element: Symbol,
+    labels: PastLabels,
+}
+
+/// Per-instance tracker of one registration.
+#[derive(Debug)]
+struct Tracker {
+    id: PastId,
+    fired: bool,
+}
+
+struct OpenElement<'d> {
+    symbol: Symbol,
+    dfa: &'d Dfa,
+    state: StateId,
+    text_allowed: bool,
+    /// Depth of this element (document = 0, root = 1).
+    depth: usize,
+    trackers: Vec<Tracker>,
+}
+
+/// The XSAX validating parser. See the crate docs for the event-ordering
+/// contract.
+pub struct XsaxParser<'d, R: Read> {
+    reader: XmlReader<R>,
+    dtd: &'d Dtd,
+    config: XsaxConfig,
+    registrations: Vec<Registration>,
+    by_element: HashMap<Symbol, Vec<PastId>>,
+    stack: Vec<OpenElement<'d>>,
+    pending: VecDeque<XsaxEvent>,
+    started: bool,
+    finished: bool,
+}
+
+impl<'d, R: Read> XsaxParser<'d, R> {
+    /// Creates a parser over `src` validating against `dtd`.
+    ///
+    /// Fails when the DTD has no known root element (parse it with
+    /// [`Dtd::parse_with_root`] in that case).
+    pub fn new(src: R, dtd: &'d Dtd) -> Result<Self> {
+        Self::with_config(src, dtd, XsaxConfig::default())
+    }
+
+    pub fn with_config(src: R, dtd: &'d Dtd, config: XsaxConfig) -> Result<Self> {
+        if dtd.content_dfa(SymbolTable::DOCUMENT).is_none() {
+            return Err(XsaxError::Config {
+                message: "the DTD has no unambiguous root element".to_string(),
+            });
+        }
+        Ok(XsaxParser {
+            reader: XmlReader::new(src),
+            dtd,
+            config,
+            registrations: Vec::new(),
+            by_element: HashMap::new(),
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+            started: false,
+            finished: false,
+        })
+    }
+
+    /// Registers a past query: fire once per `element` instance as soon as
+    /// no child with a label in `labels` can occur any more. Must be called
+    /// before the first event is pulled.
+    pub fn register_past(&mut self, element: Symbol, labels: PastLabels) -> Result<PastId> {
+        if self.started {
+            return Err(XsaxError::Config {
+                message: "register_past called after streaming started".to_string(),
+            });
+        }
+        let id = PastId(u32::try_from(self.registrations.len()).expect("too many registrations"));
+        self.by_element.entry(element).or_default().push(id);
+        self.registrations.push(Registration { element, labels });
+        Ok(id)
+    }
+
+    /// Number of registered past queries.
+    pub fn registration_count(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Current input position.
+    pub fn position(&self) -> flux_xml::Position {
+        self.reader.position()
+    }
+
+    fn validation(&self, message: impl Into<String>) -> XsaxError {
+        XsaxError::Validation {
+            message: message.into(),
+            pos: self.reader.position(),
+        }
+    }
+
+    /// Fires all trackers of `elem` whose past condition holds at `state`
+    /// (or unconditionally with `force`), appending events to `out`.
+    fn fire_ready(
+        registrations: &[Registration],
+        elem: &mut OpenElement<'_>,
+        state: StateId,
+        force: bool,
+        out: &mut Vec<XsaxEvent>,
+    ) {
+        let dfa = elem.dfa;
+        let text_allowed = elem.text_allowed;
+        let depth = elem.depth;
+        for tracker in &mut elem.trackers {
+            if tracker.fired {
+                continue;
+            }
+            let reg = &registrations[tracker.id.index()];
+            if force || is_past_at(dfa, text_allowed, &reg.labels, state) {
+                tracker.fired = true;
+                out.push(XsaxEvent::OnFirstPast {
+                    id: tracker.id,
+                    depth,
+                });
+            }
+        }
+    }
+
+    /// Pulls the next event, or `None` after `EndDocument`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XsaxEvent>> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(Some(ev));
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        self.started = true;
+        loop {
+            let ev = self.reader.next_event()?;
+            match ev {
+                XmlEvent::StartDocument => {
+                    return Ok(Some(XsaxEvent::Sax(XmlEvent::StartDocument)));
+                }
+                XmlEvent::DoctypeDecl { ref name, .. } => {
+                    if let Some(root) = self.dtd.root() {
+                        if self.dtd.lookup(name) != Some(root) {
+                            return Err(self.validation(format!(
+                                "DOCTYPE names `{name}` but the DTD root is `{}`",
+                                self.dtd.name(root)
+                            )));
+                        }
+                    }
+                    return Ok(Some(XsaxEvent::Sax(ev)));
+                }
+                XmlEvent::StartElement { name, attributes } => {
+                    return self.handle_start(name, attributes).map(Some);
+                }
+                XmlEvent::EndElement { name } => {
+                    return self.handle_end(name).map(Some);
+                }
+                XmlEvent::Text(text) => {
+                    match self.handle_text(text)? {
+                        Some(ev) => return Ok(Some(ev)),
+                        None => continue, // suppressed ignorable whitespace
+                    }
+                }
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => continue,
+                XmlEvent::EndDocument => {
+                    self.finished = true;
+                    return Ok(Some(XsaxEvent::Sax(XmlEvent::EndDocument)));
+                }
+            }
+        }
+    }
+
+    fn handle_start(&mut self, name: String, mut attributes: Vec<Attribute>) -> Result<XsaxEvent> {
+        let sym = self.dtd.lookup(&name).ok_or_else(|| {
+            self.validation(format!("element `{name}` is not declared in the DTD"))
+        })?;
+        let decl = self
+            .dtd
+            .element(sym)
+            .ok_or_else(|| self.validation(format!("element `{name}` is not declared in the DTD")))?;
+
+        // Transition the parent's content automaton (the document automaton
+        // for the root).
+        let mut before_start: Vec<XsaxEvent> = Vec::new();
+        if let Some(parent) = self.stack.last_mut() {
+            let next = parent.dfa.transition(parent.state, sym).ok_or_else(|| {
+                let expected: Vec<String> = parent
+                    .dfa
+                    .transitions(parent.state)
+                    .iter()
+                    .map(|&(s, _)| self.dtd.name(s).to_string())
+                    .collect();
+                XsaxError::Validation {
+                    message: format!(
+                        "element `{name}` not allowed here inside `{}` (expected one of: {})",
+                        self.dtd.name(parent.symbol),
+                        if expected.is_empty() {
+                            "end of element".to_string()
+                        } else {
+                            expected.join(", ")
+                        }
+                    ),
+                    pos: self.reader.position(),
+                }
+            })?;
+            parent.state = next;
+            // Fire parent trackers whose guarantee starts at this seam,
+            // except those that mention this very child's label (they fire
+            // once the child completes).
+            let regs = &self.registrations;
+            let parent_state = parent.state;
+            let dfa = parent.dfa;
+            let text_allowed = parent.text_allowed;
+            let depth = parent.depth;
+            for tracker in &mut parent.trackers {
+                if tracker.fired {
+                    continue;
+                }
+                let reg = &regs[tracker.id.index()];
+                let involves_child = match &reg.labels {
+                    PastLabels::All => true,
+                    PastLabels::Labels(set) => set.contains(&sym),
+                };
+                if !involves_child && is_past_at(dfa, text_allowed, &reg.labels, parent_state) {
+                    tracker.fired = true;
+                    before_start.push(XsaxEvent::OnFirstPast {
+                        id: tracker.id,
+                        depth,
+                    });
+                }
+            }
+        } else {
+            // Root element: validate against the virtual document model.
+            let doc_dfa = self
+                .dtd
+                .content_dfa(SymbolTable::DOCUMENT)
+                .expect("checked in constructor");
+            if doc_dfa.transition(doc_dfa.start(), sym).is_none() {
+                return Err(self.validation(format!(
+                    "root element `{name}` does not match the DTD root `{}`",
+                    self.dtd.root().map(|r| self.dtd.name(r)).unwrap_or("?")
+                )));
+            }
+        }
+
+        self.validate_attributes(sym, &name, &mut attributes)?;
+
+        // Open the element and instantiate its trackers.
+        let depth = self.stack.len() + 1;
+        let mut elem = OpenElement {
+            symbol: sym,
+            dfa: &decl.dfa,
+            state: decl.dfa.start(),
+            text_allowed: decl.text_allowed,
+            depth,
+            trackers: self
+                .by_element
+                .get(&sym)
+                .map(|ids| {
+                    ids.iter()
+                        .map(|&id| Tracker { id, fired: false })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        };
+
+        // Trackers that are past right at the start tag (labels that can
+        // never occur in this element) fire immediately after it.
+        let mut after_start: Vec<XsaxEvent> = Vec::new();
+        let start_state = elem.dfa.start();
+        Self::fire_ready(&self.registrations, &mut elem, start_state, false, &mut after_start);
+
+        self.stack.push(elem);
+
+        // Delivery order: parent seam fires, then the start tag, then
+        // immediately-past fires of the new element.
+        let mut queue = before_start;
+        queue.push(XsaxEvent::Sax(XmlEvent::StartElement {
+            name,
+            attributes,
+        }));
+        queue.extend(after_start);
+        let first = queue.remove(0);
+        self.pending.extend(queue);
+        Ok(first)
+    }
+
+    fn handle_end(&mut self, name: String) -> Result<XsaxEvent> {
+        let elem = self.stack.last_mut().expect("reader guarantees balance");
+        if !elem.dfa.is_accepting(elem.state) {
+            let expected: Vec<String> = elem
+                .dfa
+                .transitions(elem.state)
+                .iter()
+                .map(|&(s, _)| self.dtd.name(s).to_string())
+                .collect();
+            return Err(XsaxError::Validation {
+                message: format!(
+                    "content of `{}` is incomplete (expected one of: {})",
+                    self.dtd.name(elem.symbol),
+                    expected.join(", ")
+                ),
+                pos: self.reader.position(),
+            });
+        }
+
+        // Everything is past at the closing tag: fire all remaining trackers
+        // before the end event.
+        let mut queue: Vec<XsaxEvent> = Vec::new();
+        let state = elem.state;
+        Self::fire_ready(&self.registrations, elem, state, true, &mut queue);
+        self.stack.pop();
+
+        queue.push(XsaxEvent::Sax(XmlEvent::EndElement { name }));
+
+        // A completed child may release parent trackers that were deferred
+        // because the child's own label was in their set.
+        if let Some(parent) = self.stack.last_mut() {
+            let parent_state = parent.state;
+            Self::fire_ready(&self.registrations, parent, parent_state, false, &mut queue);
+        }
+
+        let first = queue.remove(0);
+        self.pending.extend(queue);
+        Ok(first)
+    }
+
+    fn handle_text(&mut self, text: String) -> Result<Option<XsaxEvent>> {
+        let elem = self.stack.last().expect("reader guarantees text is inside the root");
+        let whitespace_only = text
+            .bytes()
+            .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
+        if !elem.text_allowed {
+            if !whitespace_only {
+                return Err(self.validation(format!(
+                    "character data is not allowed inside `{}` (element content)",
+                    self.dtd.name(elem.symbol)
+                )));
+            }
+            if self.config.suppress_ignorable_whitespace {
+                return Ok(None);
+            }
+        }
+        Ok(Some(XsaxEvent::Sax(XmlEvent::Text(text))))
+    }
+
+    fn validate_attributes(
+        &self,
+        sym: Symbol,
+        name: &str,
+        attributes: &mut Vec<Attribute>,
+    ) -> Result<()> {
+        let decl = self.dtd.element(sym).expect("caller checked");
+        if self.config.strict_attributes {
+            for attr in attributes.iter() {
+                if !decl.attlist.iter().any(|d| d.name == attr.name) {
+                    return Err(self.validation(format!(
+                        "attribute `{}` is not declared for element `{name}`",
+                        attr.name
+                    )));
+                }
+            }
+            for def in &decl.attlist {
+                if matches!(def.default, AttDefault::Required)
+                    && !attributes.iter().any(|a| a.name == def.name)
+                {
+                    return Err(self.validation(format!(
+                        "required attribute `{}` missing on element `{name}`",
+                        def.name
+                    )));
+                }
+            }
+        }
+        // Inject declared defaults, as a validating parser must.
+        for def in &decl.attlist {
+            let value = match &def.default {
+                AttDefault::Default(v) | AttDefault::Fixed(v) => v,
+                _ => continue,
+            };
+            if !attributes.iter().any(|a| a.name == def.name) {
+                attributes.push(Attribute::new(def.name.clone(), value.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether `labels` is "past" at `state`: no label in the set can occur on
+/// any continuation (text counts as always-possible while the element allows
+/// character data).
+fn is_past_at(dfa: &Dfa, text_allowed: bool, labels: &PastLabels, state: StateId) -> bool {
+    match labels {
+        PastLabels::All => false,
+        PastLabels::Labels(set) => {
+            if set.contains(&SymbolTable::TEXT) && text_allowed {
+                return false;
+            }
+            let still = dfa.still_possible(state);
+            set.iter()
+                .filter(|&&s| s != SymbolTable::TEXT)
+                .all(|s| !still.contains(s))
+        }
+    }
+}
+
+/// Convenience: validates a complete document, returning the number of
+/// delivered events.
+pub fn validate<R: Read>(src: R, dtd: &Dtd) -> Result<u64> {
+    let mut parser = XsaxParser::new(src, dtd)?;
+    let mut n = 0;
+    while parser.next()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Convenience for tests: runs a document through XSAX with the given past
+/// registrations, returning a rendered event trace.
+pub fn trace(
+    input: &str,
+    dtd: &Dtd,
+    registrations: &[(Symbol, PastLabels)],
+) -> Result<Vec<String>> {
+    let mut parser = XsaxParser::new(input.as_bytes(), dtd)?;
+    for (sym, labels) in registrations {
+        parser.register_past(*sym, labels.clone())?;
+    }
+    let mut out = Vec::new();
+    while let Some(ev) = parser.next()? {
+        match ev {
+            XsaxEvent::Sax(XmlEvent::StartDocument)
+            | XsaxEvent::Sax(XmlEvent::EndDocument)
+            | XsaxEvent::Sax(XmlEvent::DoctypeDecl { .. }) => {}
+            XsaxEvent::Sax(XmlEvent::StartElement { name, .. }) => out.push(format!("<{name}>")),
+            XsaxEvent::Sax(XmlEvent::EndElement { name }) => out.push(format!("</{name}>")),
+            XsaxEvent::Sax(XmlEvent::Text(t)) => out.push(format!("{t:?}")),
+            XsaxEvent::Sax(other) => out.push(other.kind().to_string()),
+            XsaxEvent::OnFirstPast { id, .. } => out.push(format!("past#{}", id.0)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_dtd::{PAPER_FIG1_DTD, PAPER_WEAK_DTD};
+
+    const FIG1_DOC: &str = "<bib><book><title>T1</title><author>A1</author><author>A2</author><publisher>P</publisher><price>9</price></book></bib>";
+    const WEAK_DOC: &str =
+        "<bib><book><author>A1</author><title>T1</title><author>A2</author></book></bib>";
+
+    fn fig1() -> Dtd {
+        Dtd::parse(PAPER_FIG1_DTD).unwrap()
+    }
+
+    fn weak() -> Dtd {
+        Dtd::parse(PAPER_WEAK_DTD).unwrap()
+    }
+
+    #[test]
+    fn validates_conforming_document() {
+        let dtd = fig1();
+        assert!(validate(FIG1_DOC.as_bytes(), &dtd).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_child_order() {
+        let dtd = fig1();
+        let doc = "<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>9</price></book></bib>";
+        let err = validate(doc.as_bytes(), &dtd).unwrap_err();
+        assert!(matches!(err, XsaxError::Validation { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_incomplete_content() {
+        let dtd = fig1();
+        let doc = "<bib><book><title>T</title><author>A</author></book></bib>";
+        let err = validate(doc.as_bytes(), &dtd).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("incomplete"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_undeclared_element() {
+        let dtd = fig1();
+        let doc = "<bib><pamphlet/></bib>";
+        let err = validate(doc.as_bytes(), &dtd).unwrap_err();
+        assert!(err.to_string().contains("not declared"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let dtd = fig1();
+        let err = validate("<book/>".as_bytes(), &dtd).unwrap_err();
+        assert!(err.to_string().contains("root"), "{err}");
+    }
+
+    #[test]
+    fn rejects_text_in_element_content() {
+        let dtd = fig1();
+        let doc = "<bib>stray text</bib>";
+        let err = validate(doc.as_bytes(), &dtd).unwrap_err();
+        assert!(err.to_string().contains("character data"), "{err}");
+    }
+
+    #[test]
+    fn ignorable_whitespace_suppressed() {
+        let dtd = fig1();
+        let doc = "<bib>\n  <book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book>\n</bib>";
+        let events = trace(doc, &dtd, &[]).unwrap();
+        assert!(!events.iter().any(|e| e.contains("\\n")), "{events:?}");
+    }
+
+    #[test]
+    fn rejects_author_and_editor_together() {
+        let dtd = fig1();
+        let doc = "<bib><book><title>T</title><author>A</author><editor>E</editor><publisher>P</publisher><price>9</price></book></bib>";
+        assert!(validate(doc.as_bytes(), &dtd).is_err());
+    }
+
+    #[test]
+    fn strong_dtd_past_fires_before_editor_branch() {
+        // past(title, author) fires as soon as the first editor arrives:
+        // the editor branch excludes authors.
+        let dtd = fig1();
+        let book = dtd.lookup("book").unwrap();
+        let title = dtd.lookup("title").unwrap();
+        let author = dtd.lookup("author").unwrap();
+        let doc = "<bib><book><title>T</title><editor>E</editor><publisher>P</publisher><price>9</price></book></bib>";
+        let events = trace(doc, &dtd, &[(book, PastLabels::labels([title, author]))]).unwrap();
+        let fire = events.iter().position(|e| e == "past#0").unwrap();
+        let editor_start = events.iter().position(|e| e == "<editor>").unwrap();
+        assert!(
+            fire < editor_start,
+            "past must fire before <editor> is delivered: {events:?}"
+        );
+    }
+
+    #[test]
+    fn strong_dtd_past_fires_after_last_author() {
+        // Under Fig. 1, past(title, author) fires when <publisher> opens —
+        // before its start event is delivered.
+        let dtd = fig1();
+        let book = dtd.lookup("book").unwrap();
+        let title = dtd.lookup("title").unwrap();
+        let author = dtd.lookup("author").unwrap();
+        let events = trace(FIG1_DOC, &dtd, &[(book, PastLabels::labels([title, author]))]).unwrap();
+        let fire = events.iter().position(|e| e == "past#0").unwrap();
+        let last_author_end = events.iter().rposition(|e| e == "</author>").unwrap();
+        let publisher_start = events.iter().position(|e| e == "<publisher>").unwrap();
+        assert!(fire > last_author_end, "{events:?}");
+        assert!(fire < publisher_start, "{events:?}");
+    }
+
+    #[test]
+    fn weak_dtd_past_fires_only_at_close() {
+        // (title|author)*: another title/author can always arrive, so the
+        // guarantee only holds at </book>.
+        let dtd = weak();
+        let book = dtd.lookup("book").unwrap();
+        let title = dtd.lookup("title").unwrap();
+        let author = dtd.lookup("author").unwrap();
+        let events = trace(WEAK_DOC, &dtd, &[(book, PastLabels::labels([title, author]))]).unwrap();
+        let fire = events.iter().position(|e| e == "past#0").unwrap();
+        let book_end = events.iter().position(|e| e == "</book>").unwrap();
+        assert_eq!(fire + 1, book_end, "fires immediately before </book>: {events:?}");
+    }
+
+    #[test]
+    fn past_of_impossible_label_fires_at_open() {
+        // `publisher` can never occur under the weak DTD's book.
+        let dtd = weak();
+        let book = dtd.lookup("book").unwrap();
+        let mut parser = XsaxParser::new(WEAK_DOC.as_bytes(), &dtd).unwrap();
+        // An undeclared label: intern it through a second DTD is impossible,
+        // so use a label declared elsewhere — `bib` never occurs below book.
+        let bib = dtd.lookup("bib").unwrap();
+        parser.register_past(book, PastLabels::labels([bib])).unwrap();
+        let mut events = Vec::new();
+        while let Some(ev) = parser.next().unwrap() {
+            match ev {
+                XsaxEvent::Sax(XmlEvent::StartElement { ref name, .. }) => {
+                    events.push(format!("<{name}>"))
+                }
+                XsaxEvent::Sax(XmlEvent::EndElement { ref name }) => {
+                    events.push(format!("</{name}>"))
+                }
+                XsaxEvent::OnFirstPast { .. } => events.push("fire".to_string()),
+                _ => {}
+            }
+        }
+        let book_start = events.iter().position(|e| e == "<book>").unwrap();
+        assert_eq!(events[book_start + 1], "fire", "{events:?}");
+    }
+
+    #[test]
+    fn fires_once_per_instance() {
+        let dtd = weak();
+        let book = dtd.lookup("book").unwrap();
+        let author = dtd.lookup("author").unwrap();
+        let doc = "<bib><book><author>A</author></book><book><title>T</title></book><book/></bib>";
+        let events = trace(doc, &dtd, &[(book, PastLabels::labels([author]))]).unwrap();
+        let fires = events.iter().filter(|e| *e == "past#0").count();
+        assert_eq!(fires, 3, "one fire per book: {events:?}");
+    }
+
+    #[test]
+    fn all_labels_fire_at_close_only() {
+        let dtd = fig1();
+        let book = dtd.lookup("book").unwrap();
+        let events = trace(FIG1_DOC, &dtd, &[(book, PastLabels::All)]).unwrap();
+        let fire = events.iter().position(|e| e == "past#0").unwrap();
+        let book_end = events.iter().position(|e| e == "</book>").unwrap();
+        assert_eq!(fire + 1, book_end, "{events:?}");
+    }
+
+    #[test]
+    fn multiple_registrations_fire_in_order() {
+        let dtd = fig1();
+        let book = dtd.lookup("book").unwrap();
+        let title = dtd.lookup("title").unwrap();
+        let events = trace(
+            FIG1_DOC,
+            &dtd,
+            &[
+                (book, PastLabels::labels([title])),
+                (book, PastLabels::labels([title])),
+            ],
+        )
+        .unwrap();
+        let p0 = events.iter().position(|e| e == "past#0").unwrap();
+        let p1 = events.iter().position(|e| e == "past#1").unwrap();
+        assert!(p0 < p1, "{events:?}");
+        // Both fire after </title> and before <author>.
+        let title_end = events.iter().position(|e| e == "</title>").unwrap();
+        let author_start = events.iter().position(|e| e == "<author>").unwrap();
+        assert!(title_end < p0 && p1 < author_start, "{events:?}");
+    }
+
+    #[test]
+    fn past_with_own_label_defers_to_child_end() {
+        // past({title}) under Fig. 1 (title, ...): when <title> opens the
+        // DFA already implies no second title, but the title itself is not
+        // yet complete — the fire must come after </title>.
+        let dtd = fig1();
+        let book = dtd.lookup("book").unwrap();
+        let title = dtd.lookup("title").unwrap();
+        let events = trace(FIG1_DOC, &dtd, &[(book, PastLabels::labels([title]))]).unwrap();
+        let fire = events.iter().position(|e| e == "past#0").unwrap();
+        let title_end = events.iter().position(|e| e == "</title>").unwrap();
+        assert_eq!(fire, title_end + 1, "fires right after </title>: {events:?}");
+    }
+
+    #[test]
+    fn text_label_with_mixed_content_fires_at_close() {
+        let dtd = Dtd::parse("<!ELEMENT note (#PCDATA)>").unwrap();
+        let note = dtd.lookup("note").unwrap();
+        let events = trace(
+            "<note>some text</note>",
+            &dtd,
+            &[(note, PastLabels::labels([SymbolTable::TEXT]))],
+        )
+        .unwrap();
+        assert_eq!(events, vec!["<note>", "\"some text\"", "past#0", "</note>"]);
+    }
+
+    #[test]
+    fn text_label_with_element_content_fires_at_open() {
+        let dtd = Dtd::parse("<!ELEMENT a (b*)>\n<!ELEMENT b EMPTY>").unwrap();
+        let a = dtd.lookup("a").unwrap();
+        let events = trace(
+            "<a><b/></a>",
+            &dtd,
+            &[(a, PastLabels::labels([SymbolTable::TEXT]))],
+        )
+        .unwrap();
+        assert_eq!(events[0], "<a>");
+        assert_eq!(events[1], "past#0", "text can never occur: fires at open");
+    }
+
+    #[test]
+    fn attribute_defaults_injected() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\" rel CDATA #FIXED \"x\">",
+        )
+        .unwrap();
+        let mut parser = XsaxParser::new("<a/>".as_bytes(), &dtd).unwrap();
+        let mut found = false;
+        while let Some(ev) = parser.next().unwrap() {
+            if let XsaxEvent::Sax(XmlEvent::StartElement { attributes, .. }) = ev {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].value, "en");
+                assert_eq!(attributes[1].value, "x");
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn explicit_attribute_beats_default() {
+        let dtd =
+            Dtd::parse("<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\">").unwrap();
+        let mut parser = XsaxParser::new(r#"<a lang="de"/>"#.as_bytes(), &dtd).unwrap();
+        while let Some(ev) = parser.next().unwrap() {
+            if let XsaxEvent::Sax(XmlEvent::StartElement { attributes, .. }) = ev {
+                assert_eq!(attributes.len(), 1);
+                assert_eq!(attributes[0].value, "de");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_attributes_enforced() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT a EMPTY>\n<!ATTLIST a id CDATA #REQUIRED>",
+        )
+        .unwrap();
+        let config = XsaxConfig {
+            strict_attributes: true,
+            ..XsaxConfig::default()
+        };
+        // Missing required attribute.
+        let mut p = XsaxParser::with_config("<a/>".as_bytes(), &dtd, config.clone()).unwrap();
+        let err = loop {
+            match p.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected validation error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("required"), "{err}");
+        // Undeclared attribute.
+        let mut p =
+            XsaxParser::with_config(r#"<a id="1" bogus="2"/>"#.as_bytes(), &dtd, config).unwrap();
+        let err = loop {
+            match p.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected validation error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("not declared"), "{err}");
+    }
+
+    #[test]
+    fn register_after_start_rejected() {
+        let dtd = weak();
+        let book = dtd.lookup("book").unwrap();
+        let mut parser = XsaxParser::new(WEAK_DOC.as_bytes(), &dtd).unwrap();
+        parser.next().unwrap();
+        assert!(parser
+            .register_past(book, PastLabels::All)
+            .is_err());
+    }
+
+    #[test]
+    fn doctype_mismatch_rejected() {
+        let dtd = fig1();
+        let doc = "<!DOCTYPE book><bib></bib>";
+        let err = validate(doc.as_bytes(), &dtd).unwrap_err();
+        assert!(err.to_string().contains("DOCTYPE"), "{err}");
+    }
+
+    #[test]
+    fn nested_instances_tracked_independently() {
+        // Recursive DTD: section contains sections.
+        let dtd = Dtd::parse(
+            "<!ELEMENT doc (section)>\n<!ELEMENT section (head, section?, tail?)>\n<!ELEMENT head EMPTY>\n<!ELEMENT tail EMPTY>",
+        )
+        .unwrap();
+        let section = dtd.lookup("section").unwrap();
+        let head = dtd.lookup("head").unwrap();
+        let doc = "<doc><section><head/><section><head/></section><tail/></section></doc>";
+        let events = trace(doc, &dtd, &[(section, PastLabels::labels([head]))]).unwrap();
+        let fires = events.iter().filter(|e| *e == "past#0").count();
+        assert_eq!(fires, 2, "inner and outer section each fire once: {events:?}");
+        // The first fire (outer section) comes right after the first </head>.
+        let first_head_end = events.iter().position(|e| e == "</head>").unwrap();
+        assert_eq!(events[first_head_end + 1], "past#0", "{events:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's bibliography scenario at scale: generate documents with the
+//! seeded generator and compare the three engine architectures on memory
+//! and runtime.
+//!
+//! Run with: `cargo run --release --example bibliography`
+
+use fluxquery::xmlgen::{bib_string, BibConfig};
+use fluxquery::{AnyEngine, EngineKind, PAPER_WEAK_DTD};
+
+const Q3: &str = r#"<results>{ for $b in $ROOT/bib/book return
+    <result>{$b/title}{$b/author}</result> }</results>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("engine        books    input-bytes    peak-buffer    runtime");
+    println!("------        -----    -----------    -----------    -------");
+    for &books in &[100usize, 1_000, 10_000] {
+        let doc = bib_string(&BibConfig::weak(books, 42));
+        for kind in EngineKind::all() {
+            let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD)?;
+            let mut out = Vec::new();
+            let stats = engine.run(doc.as_bytes(), &mut out)?;
+            println!(
+                "{:<12} {:>6}    {:>11}    {:>11}    {:>7.1?}",
+                kind.label(),
+                books,
+                doc.len(),
+                stats.peak_buffer_bytes,
+                stats.duration
+            );
+        }
+        println!();
+    }
+    println!("FluXQuery's peak buffer stays flat while DOM and projection grow");
+    println!("linearly with the document — the paper's central claim.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Using XSAX standalone: validate a stream against a DTD and watch
+//! `on-first` events fire at the earliest schema-implied positions.
+//!
+//! Run with: `cargo run --example validate_stream`
+
+use fluxquery::dtd::{Dtd, PAPER_FIG1_DTD};
+use fluxquery::xml::XmlEvent;
+use fluxquery::xsax::{PastLabels, XsaxEvent, XsaxParser};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dtd = Dtd::parse(PAPER_FIG1_DTD)?;
+    let book = dtd.lookup("book").expect("declared");
+    let title = dtd.lookup("title").expect("declared");
+    let author = dtd.lookup("author").expect("declared");
+
+    let doc = "<bib><book><title>Streams</title><author>Koch</author>\
+               <author>Scherzinger</author><publisher>VLDB</publisher>\
+               <price>10</price></book></bib>";
+
+    let mut parser = XsaxParser::new(doc.as_bytes(), &dtd)?;
+    let past = parser.register_past(book, PastLabels::labels([title, author]))?;
+    println!("registered past(title, author) on book as {past:?}\n");
+
+    while let Some(event) = parser.next()? {
+        match event {
+            XsaxEvent::Sax(XmlEvent::StartElement { name, .. }) => println!("<{name}>"),
+            XsaxEvent::Sax(XmlEvent::EndElement { name }) => println!("</{name}>"),
+            XsaxEvent::Sax(XmlEvent::Text(t)) => println!("  {t:?}"),
+            XsaxEvent::OnFirstPast { id, depth } => {
+                println!(">>> on-first past(title,author) fired ({id:?}, depth {depth})");
+                println!(">>> the DTD now guarantees: no more titles or authors in this book");
+            }
+            _ => {}
+        }
+    }
+
+    // An invalid document: author before title violates Figure 1.
+    let bad = "<bib><book><author>A</author><title>T</title>\
+               <publisher>P</publisher><price>1</price></book></bib>";
+    let mut parser = XsaxParser::new(bad.as_bytes(), &dtd)?;
+    let err = loop {
+        match parser.next() {
+            Ok(Some(_)) => continue,
+            Ok(None) => unreachable!("document is invalid"),
+            Err(e) => break e,
+        }
+    };
+    println!("\nvalidation rejects reordered input:\n  {err}");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # fluxquery
+//!
+//! A Rust implementation of **FluXQuery** — *an optimizing XQuery processor
+//! for streaming XML data* (Koch, Scherzinger, Schweikardt, Stegmaier,
+//! VLDB 2004).
+//!
+//! FluXQuery compiles XQuery into **FluX**, an internal language whose
+//! `process-stream` construct makes buffering explicit, and uses DTD-derived
+//! constraints — order, cardinality, and language (co-occurrence)
+//! constraints — to schedule as much of the query as possible as pure
+//! streaming handlers. What cannot stream is buffered with projection, and
+//! only for the lifetime of its scope.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fluxquery::{FluxEngine, Options};
+//!
+//! // The paper's Figure 1 DTD: titles always precede authors.
+//! let dtd = fluxquery::PAPER_FIG1_DTD;
+//! let query = r#"<results>{ for $b in $ROOT/bib/book return
+//!                  <result>{$b/title}{$b/author}</result> }</results>"#;
+//!
+//! let engine = FluxEngine::compile(query, dtd, &Options::default()).unwrap();
+//! assert_eq!(engine.buffered_handler_count(), 0); // fully streaming!
+//!
+//! let doc = "<bib><book><title>T</title><author>A</author>\
+//!            <publisher>P</publisher><price>9</price></book></bib>";
+//! let (out, stats) = engine.run_to_string(doc).unwrap();
+//! assert_eq!(out, "<results><result><title>T</title><author>A</author></result></results>");
+//! # let _ = stats;
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`xml`] | streaming parser, writer, arena tree |
+//! | [`dtd`] | content-model automata and schema constraints |
+//! | [`xsax`] | validating SAX parser with `on-first` events |
+//! | [`xquery`] | frontend, normal form, tree interpreter |
+//! | [`lang`] | FluX, algebraic optimizer, scheduler, safety |
+//! | [`runtime`] | BDF, buffer store, streamed evaluator |
+//! | [`baseline`] | DOM and projection comparison engines |
+//! | [`xmlgen`] | seeded data generators |
+
+pub use fluxquery_core::*;
+
+pub use flux_baseline as baseline;
+pub use flux_dtd as dtd;
+pub use flux_lang as lang;
+pub use flux_runtime as runtime;
+pub use flux_xml as xml;
+pub use flux_xmlgen as xmlgen;
+pub use flux_xquery as xquery;
+pub use flux_xsax as xsax;

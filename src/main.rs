@@ -1,0 +1,163 @@
+//! The `fluxquery` command-line tool: compile an XQuery against a DTD and
+//! run it over an XML stream.
+//!
+//! ```text
+//! fluxquery --query q.xq --dtd bib.dtd [--input doc.xml] [OPTIONS]
+//!
+//! Options:
+//!   --query <FILE|STRING>   query file, or inline text when no such file exists
+//!   --dtd <FILE|STRING>     DTD file, or inline DTD text
+//!   --input <FILE>          input document (default: stdin)
+//!   --output <FILE>         result stream (default: stdout)
+//!   --engine <flux|dom|projection>   engine architecture (default: flux)
+//!   --explain               print the compilation report instead of running
+//!   --stats                 print run statistics to stderr
+//!   --no-optimizer          disable the algebraic optimizer (ablation)
+//! ```
+
+use fluxquery::{AnyEngine, EngineKind, FluxEngine, Options};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+struct Args {
+    query: Option<String>,
+    dtd: Option<String>,
+    input: Option<String>,
+    output: Option<String>,
+    engine: EngineKind,
+    explain: bool,
+    stats: bool,
+    no_optimizer: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fluxquery --query <FILE|STRING> --dtd <FILE|STRING> \
+         [--input FILE] [--output FILE] [--engine flux|dom|projection] \
+         [--explain] [--stats] [--no-optimizer]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        query: None,
+        dtd: None,
+        input: None,
+        output: None,
+        engine: EngineKind::Flux,
+        explain: false,
+        stats: false,
+        no_optimizer: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--query" | "-q" => args.query = Some(value(&mut it)),
+            "--dtd" | "-d" => args.dtd = Some(value(&mut it)),
+            "--input" | "-i" => args.input = Some(value(&mut it)),
+            "--output" | "-o" => args.output = Some(value(&mut it)),
+            "--engine" | "-e" => {
+                args.engine = match value(&mut it).as_str() {
+                    "flux" => EngineKind::Flux,
+                    "dom" => EngineKind::Dom,
+                    "projection" => EngineKind::Projection,
+                    other => {
+                        eprintln!("unknown engine `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--explain" => args.explain = true,
+            "--stats" => args.stats = true,
+            "--no-optimizer" => args.no_optimizer = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Treats the value as a file path when such a file exists, inline text
+/// otherwise.
+fn file_or_inline(value: &str) -> std::io::Result<String> {
+    if std::path::Path::new(value).is_file() {
+        std::fs::read_to_string(value)
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args();
+    let (Some(query_arg), Some(dtd_arg)) = (&args.query, &args.dtd) else {
+        usage();
+    };
+    let query = file_or_inline(query_arg).map_err(|e| format!("reading query: {e}"))?;
+    let dtd = file_or_inline(dtd_arg).map_err(|e| format!("reading DTD: {e}"))?;
+
+    if args.explain {
+        let mut options = Options::default();
+        if args.no_optimizer {
+            options = Options::without_algebraic_optimizer();
+        }
+        let engine =
+            FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
+        println!("{}", engine.explain());
+        return Ok(());
+    }
+
+    let input: Box<dyn Read> = match &args.input {
+        Some(path) => Box::new(
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdin()),
+    };
+    let output: Box<dyn Write> = match &args.output {
+        Some(path) => Box::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+
+    let stats = if args.engine == EngineKind::Flux {
+        let mut options = Options::default();
+        if args.no_optimizer {
+            options = Options::without_algebraic_optimizer();
+        }
+        let engine =
+            FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
+        engine.run(input, output).map_err(|e| e.to_string())?
+    } else {
+        let engine =
+            AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
+        engine.run(input, output).map_err(|e| e.to_string())?
+    };
+
+    if args.stats {
+        eprintln!();
+        eprintln!("engine:            {}", args.engine.label());
+        eprintln!("events processed:  {}", stats.events);
+        eprintln!("output bytes:      {}", stats.output_bytes);
+        eprintln!("peak buffer:       {} bytes ({} nodes)", stats.peak_buffer_bytes, stats.peak_buffer_nodes);
+        eprintln!("buffer traffic:    {} bytes", stats.total_buffered_bytes);
+        eprintln!("runtime:           {:?}", stats.duration);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fluxquery: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
