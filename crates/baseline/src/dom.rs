@@ -83,12 +83,16 @@ mod tests {
             String::from_utf8(out).unwrap(),
             "<results><result><title>T1</title><author>A1</author></result><result><title>T2</title></result></results>"
         );
-        assert!(stats.peak_buffer_bytes >= DOC.len() / 2, "whole document buffered");
+        assert!(
+            stats.peak_buffer_bytes >= DOC.len() / 2,
+            "whole document buffered"
+        );
     }
 
     #[test]
     fn memory_scales_with_document() {
-        let engine = DomEngine::compile("<r>{ for $b in $ROOT/bib/book return $b/title }</r>").unwrap();
+        let engine =
+            DomEngine::compile("<r>{ for $b in $ROOT/bib/book return $b/title }</r>").unwrap();
         let small = DOC.to_string();
         let mut big = String::from("<bib>");
         for _ in 0..100 {

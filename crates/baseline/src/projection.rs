@@ -171,9 +171,13 @@ mod tests {
         // grows with the number of books.
         let projection = ProjectionEngine::compile(Q3).unwrap();
         let mut sink = Vec::new();
-        let small = projection.run(doc_with_publishers(5).as_bytes(), &mut sink).unwrap();
+        let small = projection
+            .run(doc_with_publishers(5).as_bytes(), &mut sink)
+            .unwrap();
         sink.clear();
-        let large = projection.run(doc_with_publishers(100).as_bytes(), &mut sink).unwrap();
+        let large = projection
+            .run(doc_with_publishers(100).as_bytes(), &mut sink)
+            .unwrap();
         assert!(
             large.peak_buffer_bytes > small.peak_buffer_bytes * 10,
             "{} vs {}",

@@ -10,8 +10,7 @@ fn query_suite(c: &mut Criterion) {
         let doc = q.domain.document(1.0, 42);
         group.throughput(Throughput::Bytes(doc.len() as u64));
         for kind in EngineKind::all() {
-            let engine =
-                AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
+            let engine = AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
             group.bench_with_input(BenchmarkId::new(q.id, kind.label()), &doc, |b, doc| {
                 b.iter(|| {
                     let mut out = Vec::new();

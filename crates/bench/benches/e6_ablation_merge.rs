@@ -17,8 +17,7 @@ fn ablation_merge(c: &mut Criterion) {
         ("optimized", Options::default()),
         ("unoptimized", Options::without_algebraic_optimizer()),
     ] {
-        let engine =
-            FluxEngine::compile(QUERY, Domain::BibFig1.dtd(), &options).expect("compile");
+        let engine = FluxEngine::compile(QUERY, Domain::BibFig1.dtd(), &options).expect("compile");
         group.bench_with_input(BenchmarkId::new(label, "fig1"), &doc, |b, doc| {
             b.iter(|| {
                 let mut out = Vec::new();

@@ -4,8 +4,8 @@
 //! With no arguments, all experiments run.
 
 use flux_bench::{catalog, fmt_bytes, run_engine, Domain, Q3};
-use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
 use flux_xmlgen::{bib_string, BibConfig};
+use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
 use std::time::Instant;
 
 fn main() {
@@ -62,9 +62,11 @@ fn e1_buffer_q3() {
         let doc = bib_string(&BibConfig::weak(books, 42));
         let mut row = format!("{books:<10} {:>8}", fmt_bytes(doc.len()));
         for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
-            let outcome =
-                run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
-            row.push_str(&format!(" {:>14}", fmt_bytes(outcome.stats.peak_buffer_bytes)));
+            let outcome = run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
+            row.push_str(&format!(
+                " {:>14}",
+                fmt_bytes(outcome.stats.peak_buffer_bytes)
+            ));
         }
         println!("{row}");
     }
@@ -92,7 +94,9 @@ fn e2_strong_dtd() {
             fmt_bytes(doc.len()),
         );
     }
-    println!("\nshape: Fig. 1 eliminates the on-first handler; the residual peak is scope shells only.");
+    println!(
+        "\nshape: Fig. 1 eliminates the on-first handler; the residual peak is scope shells only."
+    );
 }
 
 /// E3 — peak memory vs. document size (the companion paper's memory curve).
@@ -110,9 +114,11 @@ fn e3_memory_scaling() {
         let doc = Domain::BibWeak.document(scale, 42);
         let mut row = format!("{scale:<8} {:>10}", fmt_bytes(doc.len()));
         for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
-            let outcome =
-                run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
-            row.push_str(&format!(" {:>14}", fmt_bytes(outcome.stats.peak_buffer_bytes)));
+            let outcome = run_engine(kind, Q3, Domain::BibWeak.dtd(), doc.as_bytes()).expect("run");
+            row.push_str(&format!(
+                " {:>14}",
+                fmt_bytes(outcome.stats.peak_buffer_bytes)
+            ));
         }
         println!("{row}");
     }
@@ -200,8 +206,7 @@ fn e6_ablation_merge() {
         ("optimizer on ", Options::default()),
         ("optimizer off", Options::without_algebraic_optimizer()),
     ] {
-        let engine =
-            FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
+        let engine = FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
         let start = Instant::now();
         let (_, stats) = engine.run_to_string(&doc).expect("run");
         println!(
@@ -230,8 +235,7 @@ fn e7_ablation_unsat() {
         ("optimizer on ", Options::default()),
         ("optimizer off", Options::without_algebraic_optimizer()),
     ] {
-        let engine =
-            FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
+        let engine = FluxEngine::compile(q, Domain::BibFig1.dtd(), &options).expect("compile");
         let start = Instant::now();
         let (out, stats) = engine.run_to_string(&doc).expect("run");
         println!(
@@ -258,7 +262,10 @@ fn e9_ablation_scheduling() {
         "{:<22} {:>10} | {:>12} {:>14} {:>10}",
         "configuration", "handlers", "peak-mem", "buffer-traffic", "runtime"
     );
-    for (domain, label) in [(Domain::BibWeak, "weak DTD"), (Domain::BibFig1, "Fig. 1 DTD")] {
+    for (domain, label) in [
+        (Domain::BibWeak, "weak DTD"),
+        (Domain::BibFig1, "Fig. 1 DTD"),
+    ] {
         let doc = domain.document(8.0, 42);
         for (config, options) in [
             ("scheduled", Options::default()),

@@ -5,8 +5,8 @@
 //! binary (which regenerates every table/figure of EXPERIMENTS.md) and the
 //! workspace integration tests.
 
-use fluxquery_core::{AnyEngine, EngineKind, Error, RunStats};
 use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig, AUCTION_DTD};
+use fluxquery_core::{AnyEngine, EngineKind, Error, RunStats};
 
 /// Which generated corpus a query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

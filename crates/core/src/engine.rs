@@ -211,9 +211,7 @@ impl AnyEngine {
                 )?)))
             }
             EngineKind::Dom => Ok(AnyEngine::Dom(DomEngine::compile(query)?)),
-            EngineKind::Projection => {
-                Ok(AnyEngine::Projection(ProjectionEngine::compile(query)?))
-            }
+            EngineKind::Projection => Ok(AnyEngine::Projection(ProjectionEngine::compile(query)?)),
         }
     }
 

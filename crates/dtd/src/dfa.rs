@@ -119,7 +119,10 @@ impl Dfa {
                     continue;
                 }
                 let reaches = self.states[q].accepting
-                    || self.states[q].transitions.iter().any(|&(_, t)| co[t as usize]);
+                    || self.states[q]
+                        .transitions
+                        .iter()
+                        .any(|&(_, t)| co[t as usize]);
                 if reaches {
                     co[q] = true;
                     changed = true;
@@ -218,12 +221,13 @@ impl Dfa {
                 return true;
             }
             for &(sym, t) in &self.states[q as usize].transitions {
-                let push = |ph: u8, visited: &mut Vec<[bool; 3]>, queue: &mut VecDeque<(StateId, u8)>| {
-                    if !visited[t as usize][ph as usize] {
-                        visited[t as usize][ph as usize] = true;
-                        queue.push_back((t, ph));
-                    }
-                };
+                let push =
+                    |ph: u8, visited: &mut Vec<[bool; 3]>, queue: &mut VecDeque<(StateId, u8)>| {
+                        if !visited[t as usize][ph as usize] {
+                            visited[t as usize][ph as usize] = true;
+                            queue.push_back((t, ph));
+                        }
+                    };
                 push(phase, &mut visited, &mut queue);
                 if phase == 0 && sym == x {
                     push(1, &mut visited, &mut queue);
@@ -372,9 +376,15 @@ mod tests {
         assert!(dfa.accepts([t, a, pb, pr]));
         assert!(dfa.accepts([t, a, a, a, pb, pr]));
         assert!(dfa.accepts([t, e, e, pb, pr]));
-        assert!(!dfa.accepts([t, a, e, pb, pr]), "authors and editors exclude each other");
+        assert!(
+            !dfa.accepts([t, a, e, pb, pr]),
+            "authors and editors exclude each other"
+        );
         assert!(!dfa.accepts([a, t, pb, pr]), "title must come first");
-        assert!(!dfa.accepts([t, pb, pr]), "need at least one author or editor");
+        assert!(
+            !dfa.accepts([t, pb, pr]),
+            "need at least one author or editor"
+        );
         assert!(!dfa.accepts([t, a, pb]), "price is mandatory");
     }
 
@@ -448,7 +458,11 @@ mod tests {
         let q0 = dfa.start();
         assert_eq!(dfa.still_possible(q0), &BTreeSet::from([t, a, pb]));
         let q1 = dfa.transition(q0, t).unwrap();
-        assert_eq!(dfa.still_possible(q1), &BTreeSet::from([a, pb]), "title is past");
+        assert_eq!(
+            dfa.still_possible(q1),
+            &BTreeSet::from([a, pb]),
+            "title is past"
+        );
         let q2 = dfa.transition(q1, a).unwrap();
         assert_eq!(dfa.still_possible(q2), &BTreeSet::from([a, pb]));
         let q3 = dfa.transition(q2, pb).unwrap();

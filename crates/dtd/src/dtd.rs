@@ -134,10 +134,7 @@ impl Dtd {
     }
 
     /// The unique element that no content model mentions, if it exists.
-    fn infer_root(
-        elements: &BTreeMap<Symbol, ElementDecl>,
-        declared: &[Symbol],
-    ) -> Option<Symbol> {
+    fn infer_root(elements: &BTreeMap<Symbol, ElementDecl>, declared: &[Symbol]) -> Option<Symbol> {
         let mut mentioned: Vec<Symbol> = Vec::new();
         for decl in elements.values() {
             match &decl.spec {
@@ -148,10 +145,7 @@ impl Dtd {
                 ContentSpec::Empty | ContentSpec::Any => {}
             }
         }
-        let mut candidates = declared
-            .iter()
-            .copied()
-            .filter(|s| !mentioned.contains(s));
+        let mut candidates = declared.iter().copied().filter(|s| !mentioned.contains(s));
         let first = candidates.next()?;
         if candidates.next().is_some() {
             None
@@ -221,17 +215,20 @@ impl Dtd {
 
     /// Cardinality constraint `child ∈ ||≤1 parent`.
     pub fn at_most_one(&self, parent: Symbol, child: Symbol) -> bool {
-        self.content_dfa(parent).is_some_and(|d| d.at_most_one(child))
+        self.content_dfa(parent)
+            .is_some_and(|d| d.at_most_one(child))
     }
 
     /// Every valid `parent` has at least one `child`.
     pub fn at_least_one(&self, parent: Symbol, child: Symbol) -> bool {
-        self.content_dfa(parent).is_some_and(|d| d.at_least_one(child))
+        self.content_dfa(parent)
+            .is_some_and(|d| d.at_least_one(child))
     }
 
     /// Every valid `parent` has exactly one `child`.
     pub fn exactly_one(&self, parent: Symbol, child: Symbol) -> bool {
-        self.content_dfa(parent).is_some_and(|d| d.exactly_one(child))
+        self.content_dfa(parent)
+            .is_some_and(|d| d.exactly_one(child))
     }
 
     /// No valid `parent` has an `a` child.
@@ -264,7 +261,8 @@ impl Dtd {
         if a == text || b == text {
             return false;
         }
-        self.content_dfa(parent).is_some_and(|d| d.never_together(a, b))
+        self.content_dfa(parent)
+            .is_some_and(|d| d.never_together(a, b))
     }
 
     /// Renders the DTD back to declaration syntax (for `explain` output).
@@ -366,9 +364,18 @@ mod tests {
         let editor = dtd.lookup("editor").unwrap();
         let publisher = dtd.lookup("publisher").unwrap();
 
-        assert!(dtd.at_most_one(book, publisher), "paper: publisher ∈ ||≤1 book");
-        assert!(dtd.all_before(book, title, author), "paper: titles precede authors");
-        assert!(dtd.never_together(book, author, editor), "paper: author xor editor");
+        assert!(
+            dtd.at_most_one(book, publisher),
+            "paper: publisher ∈ ||≤1 book"
+        );
+        assert!(
+            dtd.all_before(book, title, author),
+            "paper: titles precede authors"
+        );
+        assert!(
+            dtd.never_together(book, author, editor),
+            "paper: author xor editor"
+        );
         assert!(dtd.exactly_one(book, title));
         assert!(!dtd.at_most_one(book, author));
     }
@@ -425,7 +432,11 @@ mod tests {
         .unwrap();
         let book = dtd.lookup("book").unwrap();
         let decl = dtd.element(book).unwrap();
-        assert_eq!(decl.attlist.len(), 2, "duplicate `year` ignored, `lang` added");
+        assert_eq!(
+            decl.attlist.len(),
+            2,
+            "duplicate `year` ignored, `lang` added"
+        );
         assert_eq!(decl.attlist[0].name, "year");
         assert_eq!(
             decl.attlist[0].default,
@@ -451,8 +462,10 @@ mod tests {
         let dtd = Dtd::parse(FIG1).unwrap();
         let rendered = dtd.to_dtd_string();
         let dtd2 = Dtd::parse(&rendered).unwrap();
-        assert_eq!(dtd.root().map(|r| dtd.name(r).to_string()),
-                   dtd2.root().map(|r| dtd2.name(r).to_string()));
+        assert_eq!(
+            dtd.root().map(|r| dtd.name(r).to_string()),
+            dtd2.root().map(|r| dtd2.name(r).to_string())
+        );
         // Constraint set survives the round trip.
         let book = dtd2.lookup("book").unwrap();
         let author = dtd2.lookup("author").unwrap();

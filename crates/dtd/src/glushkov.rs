@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn choice_unions() {
         let (_, a, b, _) = syms();
-        let g = glushkov(&Particle::Choice(vec![Particle::Name(a), Particle::Name(b)]));
+        let g = glushkov(&Particle::Choice(vec![
+            Particle::Name(a),
+            Particle::Name(b),
+        ]));
         assert!(!g.nullable);
         assert_eq!(g.first, BTreeSet::from([0, 1]));
         assert_eq!(g.last, BTreeSet::from([0, 1]));
@@ -254,7 +257,10 @@ mod tests {
             Particle::Name(price),
         ]);
         let g = glushkov(&p);
-        assert_eq!(g.position_symbols, vec![title, author, editor, publisher, price]);
+        assert_eq!(
+            g.position_symbols,
+            vec![title, author, editor, publisher, price]
+        );
         assert!(!g.nullable);
         assert_eq!(g.first, BTreeSet::from([0]));
         // title is followed by author or editor

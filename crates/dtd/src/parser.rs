@@ -3,7 +3,7 @@
 //! Accepts both standalone DTD files and the internal subset captured by the
 //! XML reader's DOCTYPE handling.
 
-use crate::content_model::{AttDefault, AttDef, ContentSpec, Particle};
+use crate::content_model::{AttDef, AttDefault, ContentSpec, Particle};
 use crate::error::{DtdError, Result};
 use crate::symbol::SymbolTable;
 
@@ -162,9 +162,9 @@ impl<'a> DtdParser<'a> {
                     None => return Err(self.err("unterminated NOTATION declaration")),
                 }
             } else if self.peek() == Some(b'%') {
-                return Err(self.err(
-                    "parameter entities are not supported; inline them before parsing",
-                ));
+                return Err(
+                    self.err("parameter entities are not supported; inline them before parsing")
+                );
             } else {
                 return Err(self.err("expected a DTD declaration"));
             }
@@ -402,9 +402,7 @@ impl<'a> DtdParser<'a> {
 }
 
 fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -413,15 +411,15 @@ mod tests {
 
     fn parse(input: &str) -> (ParsedDtd, SymbolTable) {
         let mut table = SymbolTable::new();
-        let parsed = DtdParser::new(input, &mut table).parse().expect("parse failed");
+        let parsed = DtdParser::new(input, &mut table)
+            .parse()
+            .expect("parse failed");
         (parsed, table)
     }
 
     #[test]
     fn paper_weak_dtd() {
-        let (parsed, table) = parse(
-            "<!ELEMENT bib (book)*>\n<!ELEMENT book (title|author)*>",
-        );
+        let (parsed, table) = parse("<!ELEMENT bib (book)*>\n<!ELEMENT book (title|author)*>");
         assert_eq!(parsed.elements.len(), 2);
         assert_eq!(parsed.elements[0].name, "bib");
         match &parsed.elements[0].spec {
@@ -529,7 +527,10 @@ mod tests {
     #[test]
     fn entities_collected() {
         let (parsed, _) = parse(r#"<!ENTITY company "ACME Corp">"#);
-        assert_eq!(parsed.entities, vec![("company".to_string(), "ACME Corp".to_string())]);
+        assert_eq!(
+            parsed.entities,
+            vec![("company".to_string(), "ACME Corp".to_string())]
+        );
     }
 
     #[test]

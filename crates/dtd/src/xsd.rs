@@ -71,8 +71,8 @@ fn collect_element(
     // Simple-typed element (`type="xs:string"` etc.): text content.
     if let Some(ty) = doc.attribute(element, "type") {
         let spec = match local_name(ty) {
-            "string" | "anyURI" | "date" | "decimal" | "integer" | "int" | "token"
-            | "NMTOKEN" | "ID" | "IDREF" => ContentSpec::Mixed(vec![]),
+            "string" | "anyURI" | "date" | "decimal" | "integer" | "int" | "token" | "NMTOKEN"
+            | "ID" | "IDREF" => ContentSpec::Mixed(vec![]),
             other => {
                 return Err(DtdError::new(format!(
                     "unsupported element type `{other}` on `{name}`"
@@ -156,7 +156,11 @@ fn parse_attribute(doc: &Document, node: NodeId) -> Result<AttDef> {
     };
     Ok(AttDef {
         name,
-        att_type: if att_type == "STRING" { "CDATA".to_string() } else { att_type },
+        att_type: if att_type == "STRING" {
+            "CDATA".to_string()
+        } else {
+            att_type
+        },
         default,
     })
 }
@@ -311,10 +315,7 @@ fn particle_with_occurs(base: Particle, min: u32, max: Option<u32>) -> Result<Pa
 /// Renders collected declarations as DTD text and runs the normal DTD
 /// build, keeping a single authoritative pipeline for automata and
 /// constraints.
-fn build_dtd(
-    decls: Vec<(String, ContentSpec, Vec<AttDef>)>,
-    root: &str,
-) -> Result<Dtd> {
+fn build_dtd(decls: Vec<(String, ContentSpec, Vec<AttDef>)>, root: &str) -> Result<Dtd> {
     let mut text = String::new();
     let mut mixed_children: Vec<String> = Vec::new();
     for (name, spec, attributes) in &decls {
@@ -341,7 +342,11 @@ fn build_dtd(
                 text.push(' ');
                 text.push_str(&att.name);
                 text.push(' ');
-                text.push_str(if att.att_type.is_empty() { "CDATA" } else { &att.att_type });
+                text.push_str(if att.att_type.is_empty() {
+                    "CDATA"
+                } else {
+                    &att.att_type
+                });
                 match &att.default {
                     AttDefault::Required => text.push_str(" #REQUIRED"),
                     AttDefault::Implied => text.push_str(" #IMPLIED"),
@@ -530,7 +535,10 @@ mod tests {
         </xs:schema>"#;
         let dtd = parse_xsd(xsd).unwrap();
         let leaf = dtd.lookup("leaf").unwrap();
-        assert!(matches!(dtd.element(leaf).unwrap().spec, ContentSpec::Empty));
+        assert!(matches!(
+            dtd.element(leaf).unwrap().spec,
+            ContentSpec::Empty
+        ));
     }
 
     #[test]

@@ -90,11 +90,19 @@ fn random_particle(rng: &mut SmallRng, alphabet: &[Symbol], depth: usize) -> Par
     match rng.gen_range(0..5) {
         0 => {
             let n = rng.gen_range(2..=3);
-            Particle::Seq((0..n).map(|_| random_particle(rng, alphabet, depth - 1)).collect())
+            Particle::Seq(
+                (0..n)
+                    .map(|_| random_particle(rng, alphabet, depth - 1))
+                    .collect(),
+            )
         }
         1 => {
             let n = rng.gen_range(2..=3);
-            Particle::Choice((0..n).map(|_| random_particle(rng, alphabet, depth - 1)).collect())
+            Particle::Choice(
+                (0..n)
+                    .map(|_| random_particle(rng, alphabet, depth - 1))
+                    .collect(),
+            )
         }
         2 => Particle::Opt(Box::new(random_particle(rng, alphabet, depth - 1))),
         3 => Particle::Star(Box::new(random_particle(rng, alphabet, depth - 1))),

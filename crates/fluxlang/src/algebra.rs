@@ -111,7 +111,17 @@ impl<'d> Optimizer<'d> {
         match expr {
             Expr::Empty | Expr::StringLit(_) | Expr::Var(_) | Expr::Path(_) => expr.clone(),
             Expr::Sequence(items) => {
-                let mut rewritten: Vec<Expr> = items.iter().map(|e| self.rewrite(e, env)).collect();
+                // Splice before merging: constant folding can turn an item
+                // into a nested sequence (or empty), and adjacent-loop
+                // merging should see the spliced items, not the wrapper.
+                let mut rewritten: Vec<Expr> = Vec::with_capacity(items.len());
+                for item in items {
+                    match self.rewrite(item, env) {
+                        Expr::Empty => {}
+                        Expr::Sequence(inner) => rewritten.extend(inner),
+                        other => rewritten.push(other),
+                    }
+                }
                 if self.config.merge_loops {
                     rewritten = self.merge_adjacent_loops(rewritten, env);
                 }
@@ -498,7 +508,11 @@ fn rename_var(expr: &Expr, from: &str, to: &str) -> Expr {
             other => other.clone(),
         }
     };
-    fn rename_cond(c: &Cond, rp: &impl Fn(&Path) -> Path, ro: &impl Fn(&Operand) -> Operand) -> Cond {
+    fn rename_cond(
+        c: &Cond,
+        rp: &impl Fn(&Path) -> Path,
+        ro: &impl Fn(&Operand) -> Operand,
+    ) -> Cond {
         match c {
             Cond::Cmp { lhs, op, rhs } => Cond::Cmp {
                 lhs: ro(lhs),
@@ -524,12 +538,9 @@ fn rename_var(expr: &Expr, from: &str, to: &str) -> Expr {
         Expr::Empty | Expr::StringLit(_) => expr.clone(),
         Expr::Var(v) => Expr::Var(if v == from { to.to_string() } else { v.clone() }),
         Expr::Path(p) => Expr::Path(rename_path(p)),
-        Expr::Sequence(items) => Expr::Sequence(
-            items
-                .iter()
-                .map(|e| rename_var(e, from, to))
-                .collect(),
-        ),
+        Expr::Sequence(items) => {
+            Expr::Sequence(items.iter().map(|e| rename_var(e, from, to)).collect())
+        }
         Expr::Element {
             name,
             attributes,
@@ -654,8 +665,14 @@ mod tests {
         let (out, trace) = optimize(q, &dtd);
         assert!(trace.iter().any(|r| r.rule == "R2"), "{trace:?}");
         let printed = pretty(&out);
-        assert!(!printed.contains("<hit"), "then branch eliminated: {printed}");
-        assert!(!printed.contains("if ("), "conditional folded away: {printed}");
+        assert!(
+            !printed.contains("<hit"),
+            "then branch eliminated: {printed}"
+        );
+        assert!(
+            !printed.contains("if ("),
+            "conditional folded away: {printed}"
+        );
     }
 
     #[test]

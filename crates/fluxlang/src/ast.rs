@@ -113,7 +113,10 @@ impl FluxExpr {
     /// Counts `process-stream` constructs (for tests and explain output).
     pub fn process_stream_count(&self) -> usize {
         match self {
-            FluxExpr::Empty | FluxExpr::StringLit(_) | FluxExpr::StreamCopy(_) | FluxExpr::Buffered(_) => 0,
+            FluxExpr::Empty
+            | FluxExpr::StringLit(_)
+            | FluxExpr::StreamCopy(_)
+            | FluxExpr::Buffered(_) => 0,
             FluxExpr::Sequence(items) => items.iter().map(FluxExpr::process_stream_count).sum(),
             FluxExpr::Element { content, .. } => content.process_stream_count(),
             FluxExpr::ProcessStream { handlers, .. } => {
@@ -145,7 +148,10 @@ impl FluxExpr {
     /// the query. Zero means fully streaming execution.
     pub fn buffered_handler_count(&self) -> usize {
         match self {
-            FluxExpr::Empty | FluxExpr::StringLit(_) | FluxExpr::StreamCopy(_) | FluxExpr::Buffered(_) => 0,
+            FluxExpr::Empty
+            | FluxExpr::StringLit(_)
+            | FluxExpr::StreamCopy(_)
+            | FluxExpr::Buffered(_) => 0,
             FluxExpr::Sequence(items) => items.iter().map(FluxExpr::buffered_handler_count).sum(),
             FluxExpr::Element { content, .. } => content.buffered_handler_count(),
             FluxExpr::ProcessStream { handlers, .. } => handlers

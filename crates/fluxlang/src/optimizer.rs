@@ -161,10 +161,17 @@ mod tests {
         assert!(without.algebra_trace.is_empty());
         let with_printed = pretty_flux(&with.flux);
         let without_printed = pretty_flux(&without.flux);
-        assert_eq!(with_printed.matches("on publisher").count(), 1, "{with_printed}");
+        assert_eq!(
+            with_printed.matches("on publisher").count(),
+            1,
+            "{with_printed}"
+        );
         // Unmerged: the second loop cannot stream after the first
         // (publisher ≤ 1 makes it schedulable actually — both stream).
-        assert!(without_printed.matches("publisher").count() >= 2, "{without_printed}");
+        assert!(
+            without_printed.matches("publisher").count() >= 2,
+            "{without_printed}"
+        );
     }
 
     #[test]

@@ -161,6 +161,9 @@ mod tests {
         assert!(printed.contains("process-stream $ROOT:"), "{printed}");
         assert!(printed.contains("on bib as $bib return"), "{printed}");
         assert!(printed.contains("on title as $t return {$t}"), "{printed}");
-        assert!(printed.contains("on-first past(author,title) return"), "{printed}");
+        assert!(
+            printed.contains("on-first past(author,title) return"),
+            "{printed}"
+        );
     }
 }

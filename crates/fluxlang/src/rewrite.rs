@@ -82,7 +82,10 @@ impl<'d> Rewriter<'d> {
 
     /// Rewrites a normal-form query into FluX.
     pub fn rewrite(&mut self, nf: &Expr) -> Result<FluxExpr> {
-        debug_assert!(flux_xquery::is_normal_form(nf), "rewrite requires normal form");
+        debug_assert!(
+            flux_xquery::is_normal_form(nf),
+            "rewrite requires normal form"
+        );
         let mut scopes = vec![Scope {
             var: ROOT_VAR.to_string(),
             symbol: Some(SymbolTable::DOCUMENT),
@@ -233,8 +236,9 @@ impl<'d> Rewriter<'d> {
                 Expr::Var(v) if *v == x.var && x.trigger.is_some() && !self.force_buffer => {
                     // `{$x}` as the entire body of an on-handler: pure
                     // stream-through copy, zero buffering.
-                    self.trace
-                        .push(format!("stream-copy ${v}: subtree passes through unbuffered"));
+                    self.trace.push(format!(
+                        "stream-copy ${v}: subtree passes through unbuffered"
+                    ));
                     return Ok(FluxExpr::StreamCopy(v.clone()));
                 }
                 Expr::Empty => return Ok(FluxExpr::Empty),
@@ -306,10 +310,8 @@ impl<'d> Rewriter<'d> {
                         labels.insert_label(l.clone());
                     }
                     labels.text |= deps.text;
-                    self.trace.push(format!(
-                        "buffered item under ${}: on-first {labels}",
-                        x.var
-                    ));
+                    self.trace
+                        .push(format!("buffered item under ${}: on-first {labels}", x.var));
                     prev_past.union(&labels);
                     handlers.push(Handler::OnFirstPast {
                         labels,
@@ -547,7 +549,10 @@ mod tests {
         let flux = rewrite(q, &dtd);
         let printed = pretty_flux(&flux);
         assert!(printed.contains("on publisher as"), "{printed}");
-        assert!(printed.contains("on-first past(publisher,title)"), "{printed}");
+        assert!(
+            printed.contains("on-first past(publisher,title)"),
+            "{printed}"
+        );
     }
 
     #[test]
@@ -559,7 +564,10 @@ mod tests {
             for $p in $b/price return <r>{$b/title}{$p}</r> }</results>"#;
         let flux = rewrite(q, &dtd);
         let printed = pretty_flux(&flux);
-        assert!(printed.contains("on price as $p"), "price streams:\n{printed}");
+        assert!(
+            printed.contains("on price as $p"),
+            "price streams:\n{printed}"
+        );
     }
 
     #[test]
@@ -673,7 +681,15 @@ mod tests {
         let nf = normalize(&parse_query(Q3).unwrap()).unwrap();
         let mut rw = Rewriter::new(&dtd);
         rw.rewrite(&nf).unwrap();
-        assert!(rw.trace.iter().any(|t| t.contains("on title")), "{:?}", rw.trace);
-        assert!(rw.trace.iter().any(|t| t.contains("buffered item")), "{:?}", rw.trace);
+        assert!(
+            rw.trace.iter().any(|t| t.contains("on title")),
+            "{:?}",
+            rw.trace
+        );
+        assert!(
+            rw.trace.iter().any(|t| t.contains("buffered item")),
+            "{:?}",
+            rw.trace
+        );
     }
 }

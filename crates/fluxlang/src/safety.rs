@@ -68,9 +68,8 @@ impl<'d> Checker<'d> {
             FluxExpr::StreamCopy(v) => {
                 let innermost = scopes.last().expect("nonempty");
                 if *v != innermost.var || innermost.trigger.is_none() {
-                    self.violations.push(format!(
-                        "stream-copy of ${v} outside its own on-handler"
-                    ));
+                    self.violations
+                        .push(format!("stream-copy of ${v} outside its own on-handler"));
                 }
             }
             FluxExpr::Sequence(items) => {
@@ -120,7 +119,11 @@ impl<'d> Checker<'d> {
                 }
                 for handler in handlers {
                     match handler {
-                        Handler::On { label, var: v, body } => {
+                        Handler::On {
+                            label,
+                            var: v,
+                            body,
+                        } => {
                             scopes.push(Scope {
                                 var: v.clone(),
                                 symbol: self.dtd.lookup(label),

@@ -168,20 +168,12 @@ impl SpecView {
 /// `scopes` maps streaming-scope variables to their spec roots; loop
 /// variables bound *inside* `expr` are tracked locally and resolve to spec
 /// nodes reached through their source paths.
-pub fn collect_needs(
-    arena: &mut SpecArena,
-    expr: &Expr,
-    scopes: &[(VarName, SpecId)],
-) {
+pub fn collect_needs(arena: &mut SpecArena, expr: &Expr, scopes: &[(VarName, SpecId)]) {
     let mut local: Vec<(VarName, SpecId)> = Vec::new();
     collect(arena, expr, scopes, &mut local);
 }
 
-fn lookup(
-    scopes: &[(VarName, SpecId)],
-    local: &[(VarName, SpecId)],
-    var: &str,
-) -> Option<SpecId> {
+fn lookup(scopes: &[(VarName, SpecId)], local: &[(VarName, SpecId)], var: &str) -> Option<SpecId> {
     local
         .iter()
         .rev()
@@ -307,8 +299,13 @@ fn collect(
             where_clause,
             body,
         } => {
-            let bound = resolve(arena, source, scopes, local)
-                .and_then(|(node, tail)| if tail.is_none() { Some(node) } else { None });
+            let bound = resolve(arena, source, scopes, local).and_then(|(node, tail)| {
+                if tail.is_none() {
+                    Some(node)
+                } else {
+                    None
+                }
+            });
             if let Some(cond) = where_clause {
                 collect_cond(arena, cond, scopes, local);
             }
@@ -375,8 +372,7 @@ mod tests {
 
     #[test]
     fn comparison_operands_keep_subtree() {
-        let (arena, root) =
-            needs_of(r#"<r>{ if ($book/publisher = "AW") then "y" else () }</r>"#);
+        let (arena, root) = needs_of(r#"<r>{ if ($book/publisher = "AW") then "y" else () }</r>"#);
         assert_eq!(arena.render(root), "{publisher:*}");
     }
 
@@ -394,9 +390,8 @@ mod tests {
 
     #[test]
     fn nested_projection() {
-        let (arena, root) = needs_of(
-            "<r>{ for $a in $book/author return for $n in $a/last return $n/text() }</r>",
-        );
+        let (arena, root) =
+            needs_of("<r>{ for $a in $book/author return for $n in $a/last return $n/text() }</r>");
         assert_eq!(arena.render(root), "{author:{last:{text()}}}");
     }
 
@@ -414,9 +409,15 @@ mod tests {
         let view = SpecView::Project(root);
         let author = view.descend(&arena, "author").unwrap();
         assert!(author.keeps_text(&arena));
-        assert!(view.descend(&arena, "title").is_none(), "title projected away");
+        assert!(
+            view.descend(&arena, "title").is_none(),
+            "title projected away"
+        );
         assert!(!view.keeps_text(&arena));
         // Whole view keeps descending as whole.
-        assert_eq!(SpecView::Whole.descend(&arena, "anything"), Some(SpecView::Whole));
+        assert_eq!(
+            SpecView::Whole.descend(&arena, "anything"),
+            Some(SpecView::Whole)
+        );
     }
 }

@@ -66,7 +66,12 @@ impl BufferArena {
     }
 
     /// Appends a new element under `parent`.
-    pub fn append_element(&mut self, parent: NodeId, name: &str, attributes: &[Attribute]) -> NodeId {
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        attributes: &[Attribute],
+    ) -> NodeId {
         let id = self.create_element(name, attributes);
         self.doc.append_child(parent, id);
         id
@@ -87,10 +92,7 @@ impl BufferArena {
 
     /// Frees a detached scope subtree, recycling every node.
     pub fn free_scope(&mut self, root: NodeId) {
-        debug_assert!(
-            self.doc.parent(root).is_none(),
-            "scope roots are detached"
-        );
+        debug_assert!(self.doc.parent(root).is_none(), "scope roots are detached");
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             stack.extend(self.doc.children(id).iter().copied());
@@ -137,7 +139,11 @@ mod tests {
         arena.append_text(e, "ab");
         let before = arena.current_bytes();
         arena.append_text(e, "cd");
-        assert_eq!(arena.doc().children(e).len(), 1, "merged into one text node");
+        assert_eq!(
+            arena.doc().children(e).len(),
+            1,
+            "merged into one text node"
+        );
         assert_eq!(arena.current_bytes(), before + 2);
         assert_eq!(arena.doc().string_value(e), "abcd");
     }
@@ -157,7 +163,11 @@ mod tests {
         let scope2 = arena.create_element("book", &[]);
         let t2 = arena.append_element(scope2, "title", &[]);
         arena.append_text(t2, "Y");
-        assert_eq!(arena.doc().node_count(), node_count_before, "slots recycled");
+        assert_eq!(
+            arena.doc().node_count(),
+            node_count_before,
+            "slots recycled"
+        );
         assert_eq!(arena.doc().string_value(scope2), "Y");
     }
 

@@ -478,7 +478,10 @@ mod tests {
         let (out, stats) = run(q, PAPER_WEAK_DTD, WEAK_DOC);
         assert_eq!(
             out,
-            format!("<results>{}</results>", &WEAK_DOC["<bib>".len()..WEAK_DOC.len() - "</bib>".len()])
+            format!(
+                "<results>{}</results>",
+                &WEAK_DOC["<bib>".len()..WEAK_DOC.len() - "</bib>".len()]
+            )
         );
         assert!(
             stats.peak_buffer_bytes < 600,
@@ -507,7 +510,11 @@ mod tests {
     fn whole_node_copy_via_buffer() {
         // {$b}{$b/title}: whole book buffered (past(*)), then title copy.
         let q = r#"<results>{ for $b in $ROOT/bib/book return <r>{$b}{$b/title}</r> }</results>"#;
-        let (out, _) = run(q, PAPER_WEAK_DTD, "<bib><book><author>A</author><title>T</title></book></bib>");
+        let (out, _) = run(
+            q,
+            PAPER_WEAK_DTD,
+            "<bib><book><author>A</author><title>T</title></book></bib>",
+        );
         assert_eq!(
             out,
             "<results><r><book><author>A</author><title>T</title></book><title>T</title></r></results>"
@@ -530,7 +537,10 @@ mod tests {
             dtd_text,
             r#"<bib><book year="1994"><title>T</title></book></bib>"#,
         );
-        assert_eq!(out, r#"<results><b y="1994"><title>T</title></b></results>"#);
+        assert_eq!(
+            out,
+            r#"<results><b y="1994"><title>T</title></b></results>"#
+        );
     }
 
     #[test]
@@ -553,16 +563,23 @@ mod tests {
             PAPER_FIG1_DTD,
             "<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>1</price></book></bib>",
         );
-        assert_eq!(out, "<results><r><title>T</title>|<author>A</author></r></results>");
+        assert_eq!(
+            out,
+            "<results><r><title>T</title>|<author>A</author></r></results>"
+        );
     }
 
     #[test]
     fn doc_level_whole_copy() {
         let q = r#"<r>{$ROOT}{$ROOT}</r>"#;
         let doc = "<bib><book><title>T</title></book></bib>";
-        let dtd_text = "<!ELEMENT bib (book)*>\n<!ELEMENT book (title)>\n<!ELEMENT title (#PCDATA)>";
+        let dtd_text =
+            "<!ELEMENT bib (book)*>\n<!ELEMENT book (title)>\n<!ELEMENT title (#PCDATA)>";
         let (out, stats) = run(q, dtd_text, doc);
         assert_eq!(out, format!("<r>{doc}{doc}</r>"));
-        assert!(stats.peak_buffer_bytes > doc.len(), "whole document buffered");
+        assert!(
+            stats.peak_buffer_bytes > doc.len(),
+            "whole document buffered"
+        );
     }
 }

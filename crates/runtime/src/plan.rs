@@ -110,7 +110,10 @@ impl Plan {
         out.push_str(&format!("$ROOT: {}\n", self.specs.render(self.root_spec)));
         for ps in &self.ps {
             for handler in &ps.handlers {
-                if let HandlerPlan::On { label, var, spec, .. } = handler {
+                if let HandlerPlan::On {
+                    label, var, spec, ..
+                } = handler
+                {
                     if !self.specs.is_empty_spec(*spec) {
                         out.push_str(&format!(
                             "${var} (on {label}): {}\n",
@@ -329,11 +332,7 @@ fn to_xsax_labels(set: &PastSet, dtd: &Dtd) -> PastLabels {
     if set.all {
         return PastLabels::All;
     }
-    let mut symbols: BTreeSet<Symbol> = set
-        .labels
-        .iter()
-        .filter_map(|l| dtd.lookup(l))
-        .collect();
+    let mut symbols: BTreeSet<Symbol> = set.labels.iter().filter_map(|l| dtd.lookup(l)).collect();
     if set.text {
         symbols.insert(SymbolTable::TEXT);
     }
@@ -388,7 +387,11 @@ mod tests {
         let dtd = Dtd::parse(PAPER_WEAK_DTD).unwrap();
         let plan = plan_for(Q3, &dtd);
         match &plan.top {
-            PlanExpr::Element { deferred_close, name, .. } => {
+            PlanExpr::Element {
+                deferred_close,
+                name,
+                ..
+            } => {
                 assert_eq!(name, "results");
                 assert!(deferred_close);
             }

@@ -108,7 +108,11 @@ mod tests {
         assert_eq!(t.current_bytes(), 50);
         assert_eq!(t.peak_bytes(), 150);
         t.allocate(30);
-        assert_eq!(t.peak_bytes(), 150, "peak unchanged below the high-water mark");
+        assert_eq!(
+            t.peak_bytes(),
+            150,
+            "peak unchanged below the high-water mark"
+        );
         assert_eq!(t.total_allocated_bytes(), 180);
     }
 

@@ -25,7 +25,10 @@ pub enum XmlError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The input ended in the middle of a construct.
-    UnexpectedEof { expected: &'static str, pos: Position },
+    UnexpectedEof {
+        expected: &'static str,
+        pos: Position,
+    },
     /// A syntactic error in the input.
     Syntax { message: String, pos: Position },
     /// A well-formedness violation (mismatched tags, duplicate attributes, ...).

@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn escape_attr_basic() {
-        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+        assert_eq!(
+            escape_attr(r#"say "hi" & <go>"#),
+            "say &quot;hi&quot; &amp; &lt;go>"
+        );
     }
 
     #[test]

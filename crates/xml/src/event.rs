@@ -122,7 +122,9 @@ mod tests {
             attributes: vec![],
         };
         assert_eq!(start.element_name(), Some("book"));
-        let end = XmlEvent::EndElement { name: "book".into() };
+        let end = XmlEvent::EndElement {
+            name: "book".into(),
+        };
         assert_eq!(end.element_name(), Some("book"));
         assert_eq!(XmlEvent::Text("x".into()).element_name(), None);
     }

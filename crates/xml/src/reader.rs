@@ -136,9 +136,7 @@ impl<R: Read> XmlReader<R> {
         }
         loop {
             match self.state {
-                State::Done => {
-                    return Err(self.syntax("next_event called after end of document"))
-                }
+                State::Done => return Err(self.syntax("next_event called after end of document")),
                 State::Prolog | State::Epilog => {
                     self.scanner.skip_whitespace()?;
                     match self.scanner.peek()? {
@@ -203,7 +201,9 @@ impl<R: Read> XmlReader<R> {
             self.scratch.clear();
             self.scanner.expect_str(b"<?xml", "xml declaration")?;
             let mut scratch = std::mem::take(&mut self.scratch);
-            let res = self.scanner.read_until(b"?>", &mut scratch, "end of xml declaration");
+            let res = self
+                .scanner
+                .read_until(b"?>", &mut scratch, "end of xml declaration");
             self.scratch = scratch;
             res?;
         }
@@ -237,7 +237,9 @@ impl<R: Read> XmlReader<R> {
         self.scanner.expect_str(b"<!--", "comment")?;
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        let res = self.scanner.read_until(b"-->", &mut scratch, "end of comment `-->`");
+        let res = self
+            .scanner
+            .read_until(b"-->", &mut scratch, "end of comment `-->`");
         let out = res.and_then(|()| {
             String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
                 pos: self.scanner.position(),
@@ -258,7 +260,9 @@ impl<R: Read> XmlReader<R> {
         self.scanner.skip_whitespace()?;
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        let res = self.scanner.read_until(b"?>", &mut scratch, "end of processing instruction");
+        let res = self
+            .scanner
+            .read_until(b"?>", &mut scratch, "end of processing instruction");
         let out = res.and_then(|()| {
             String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
                 pos: self.scanner.position(),
@@ -281,7 +285,8 @@ impl<R: Read> XmlReader<R> {
         if self.state != State::Prolog {
             return Err(self.wf("DOCTYPE declaration after the root element has started"));
         }
-        self.scanner.expect_str(b"<!DOCTYPE", "DOCTYPE declaration")?;
+        self.scanner
+            .expect_str(b"<!DOCTYPE", "DOCTYPE declaration")?;
         if self.scanner.skip_whitespace()? == 0 {
             return Err(self.syntax("whitespace required after <!DOCTYPE"));
         }
@@ -308,7 +313,8 @@ impl<R: Read> XmlReader<R> {
             None
         };
         self.scanner.skip_whitespace()?;
-        self.scanner.expect_byte(b'>', "`>` closing the DOCTYPE declaration")?;
+        self.scanner
+            .expect_byte(b'>', "`>` closing the DOCTYPE declaration")?;
         Ok(XmlEvent::DoctypeDecl {
             name,
             internal_subset,
@@ -321,10 +327,13 @@ impl<R: Read> XmlReader<R> {
     fn read_internal_subset(&mut self) -> Result<String> {
         let mut out = Vec::new();
         loop {
-            let b = self.scanner.peek()?.ok_or_else(|| XmlError::UnexpectedEof {
-                expected: "`]` closing the internal DTD subset",
-                pos: self.scanner.position(),
-            })?;
+            let b = self
+                .scanner
+                .peek()?
+                .ok_or_else(|| XmlError::UnexpectedEof {
+                    expected: "`]` closing the internal DTD subset",
+                    pos: self.scanner.position(),
+                })?;
             match b {
                 b']' => {
                     self.scanner.next_byte()?;
@@ -340,7 +349,8 @@ impl<R: Read> XmlReader<R> {
                 b'<' if self.scanner.looking_at(b"<!--")? => {
                     self.scanner.expect_str(b"<!--", "comment")?;
                     out.extend_from_slice(b"<!--");
-                    self.scanner.read_until(b"-->", &mut out, "end of comment")?;
+                    self.scanner
+                        .read_until(b"-->", &mut out, "end of comment")?;
                     out.extend_from_slice(b"-->");
                 }
                 _ => {
@@ -362,7 +372,8 @@ impl<R: Read> XmlReader<R> {
         self.scanner.next_byte()?;
         let mut sink = Vec::new();
         let delim = [quote];
-        self.scanner.read_until(&delim, &mut sink, "closing quote")?;
+        self.scanner
+            .read_until(&delim, &mut sink, "closing quote")?;
         Ok(())
     }
 
@@ -406,7 +417,8 @@ impl<R: Read> XmlReader<R> {
                 }
                 Some(b'/') => {
                     self.scanner.next_byte()?;
-                    self.scanner.expect_byte(b'>', "`>` after `/` in empty-element tag")?;
+                    self.scanner
+                        .expect_byte(b'>', "`>` after `/` in empty-element tag")?;
                     self.enter_element(&name)?;
                     self.pending_end = Some(name.clone());
                     return Ok(XmlEvent::StartElement { name, attributes });
@@ -454,7 +466,9 @@ impl<R: Read> XmlReader<R> {
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
         let delim = [quote];
-        let res = self.scanner.read_until(&delim, &mut scratch, "closing attribute quote");
+        let res = self
+            .scanner
+            .read_until(&delim, &mut scratch, "closing attribute quote");
         let out = res.and_then(|()| {
             String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
                 pos: self.scanner.position(),
@@ -477,7 +491,9 @@ impl<R: Read> XmlReader<R> {
             Some(open) if *open == name => {}
             Some(open) => {
                 let open = open.clone();
-                return Err(self.wf(format!("mismatched end tag: expected </{open}>, found </{name}>")));
+                return Err(self.wf(format!(
+                    "mismatched end tag: expected </{open}>, found </{name}>"
+                )));
             }
             None => return Err(self.wf(format!("end tag </{name}> with no open element"))),
         }
@@ -516,11 +532,11 @@ impl<R: Read> XmlReader<R> {
                     if self.scanner.looking_at(b"<![CDATA[")? {
                         self.scanner.expect_str(b"<![CDATA[", "CDATA section")?;
                         let mut raw = Vec::new();
-                        self.scanner.read_until(b"]]>", &mut raw, "`]]>` ending CDATA")?;
-                        let chunk =
-                            String::from_utf8(raw).map_err(|_| XmlError::InvalidUtf8 {
-                                pos: self.scanner.position(),
-                            })?;
+                        self.scanner
+                            .read_until(b"]]>", &mut raw, "`]]>` ending CDATA")?;
+                        let chunk = String::from_utf8(raw).map_err(|_| XmlError::InvalidUtf8 {
+                            pos: self.scanner.position(),
+                        })?;
                         text.push_str(&chunk);
                     } else {
                         break;
@@ -583,7 +599,12 @@ mod tests {
     fn minimal_document() {
         assert_eq!(
             kinds("<a/>"),
-            vec!["start-document", "start-element", "end-element", "end-document"]
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
         );
     }
 
@@ -594,11 +615,20 @@ mod tests {
             evs,
             vec![
                 XmlEvent::StartDocument,
-                XmlEvent::StartElement { name: "a".into(), attributes: vec![] },
-                XmlEvent::StartElement { name: "b".into(), attributes: vec![] },
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![]
+                },
+                XmlEvent::StartElement {
+                    name: "b".into(),
+                    attributes: vec![]
+                },
                 XmlEvent::Text("hi".into()),
                 XmlEvent::EndElement { name: "b".into() },
-                XmlEvent::StartElement { name: "c".into(), attributes: vec![] },
+                XmlEvent::StartElement {
+                    name: "c".into(),
+                    attributes: vec![]
+                },
                 XmlEvent::EndElement { name: "c".into() },
                 XmlEvent::EndElement { name: "a".into() },
                 XmlEvent::EndDocument,
@@ -683,7 +713,12 @@ mod tests {
     fn xml_declaration_skipped() {
         assert_eq!(
             kinds("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a/>"),
-            vec!["start-document", "start-element", "end-element", "end-document"]
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
         );
     }
 
@@ -691,7 +726,10 @@ mod tests {
     fn doctype_with_internal_subset() {
         let evs = events("<!DOCTYPE bib [<!ELEMENT bib (book)*>]><bib/>");
         match &evs[1] {
-            XmlEvent::DoctypeDecl { name, internal_subset } => {
+            XmlEvent::DoctypeDecl {
+                name,
+                internal_subset,
+            } => {
                 assert_eq!(name, "bib");
                 assert_eq!(internal_subset.as_deref(), Some("<!ELEMENT bib (book)*>"));
             }
@@ -702,14 +740,18 @@ mod tests {
     #[test]
     fn doctype_system_id() {
         let evs = events(r#"<!DOCTYPE bib SYSTEM "bib.dtd"><bib/>"#);
-        assert!(matches!(&evs[1], XmlEvent::DoctypeDecl { name, internal_subset: None } if name == "bib"));
+        assert!(
+            matches!(&evs[1], XmlEvent::DoctypeDecl { name, internal_subset: None } if name == "bib")
+        );
     }
 
     #[test]
     fn doctype_subset_with_bracket_in_quotes() {
         let evs = events(r#"<!DOCTYPE a [<!ENTITY x "]">]><a/>"#);
         match &evs[1] {
-            XmlEvent::DoctypeDecl { internal_subset, .. } => {
+            XmlEvent::DoctypeDecl {
+                internal_subset, ..
+            } => {
                 assert_eq!(internal_subset.as_deref(), Some(r#"<!ENTITY x "]">"#));
             }
             other => panic!("expected doctype, got {other}"),
@@ -744,7 +786,12 @@ mod tests {
     fn whitespace_around_root_ok() {
         assert_eq!(
             kinds("  \n<a/>\n  "),
-            vec!["start-document", "start-element", "end-element", "end-document"]
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
         );
     }
 
@@ -801,7 +848,12 @@ mod tests {
     fn whitespace_in_end_tag() {
         assert_eq!(
             kinds("<a></a  >"),
-            vec!["start-document", "start-element", "end-element", "end-document"]
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
         );
     }
 

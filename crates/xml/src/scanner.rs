@@ -126,7 +126,10 @@ impl<R: Read> Scanner<R> {
         if !self.looking_at(s)? {
             let pos = self.position();
             if self.available() < s.len() && self.eof {
-                return Err(XmlError::UnexpectedEof { expected: what, pos });
+                return Err(XmlError::UnexpectedEof {
+                    expected: what,
+                    pos,
+                });
             }
             return Err(XmlError::Syntax {
                 message: format!("expected {what}"),
@@ -172,7 +175,11 @@ impl<R: Read> Scanner<R> {
     }
 
     /// Consumes bytes while `pred` holds, appending them to `out`.
-    pub fn read_while(&mut self, mut pred: impl FnMut(u8) -> bool, out: &mut Vec<u8>) -> Result<()> {
+    pub fn read_while(
+        &mut self,
+        mut pred: impl FnMut(u8) -> bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         loop {
             self.fill(1)?;
             if self.available() == 0 {
@@ -203,7 +210,12 @@ impl<R: Read> Scanner<R> {
 
     /// Consumes bytes up to and including the delimiter string `delim`,
     /// appending everything before the delimiter to `out`.
-    pub fn read_until(&mut self, delim: &[u8], out: &mut Vec<u8>, what: &'static str) -> Result<()> {
+    pub fn read_until(
+        &mut self,
+        delim: &[u8],
+        out: &mut Vec<u8>,
+        what: &'static str,
+    ) -> Result<()> {
         debug_assert!(!delim.is_empty());
         loop {
             self.fill(delim.len())?;

@@ -187,7 +187,11 @@ impl Document {
     }
 
     /// Creates a detached element node.
-    pub fn create_element(&mut self, name: impl Into<String>, attributes: Vec<Attribute>) -> NodeId {
+    pub fn create_element(
+        &mut self,
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> NodeId {
         self.push_node(NodeKind::Element {
             name: name.into(),
             attributes,
@@ -211,7 +215,10 @@ impl Document {
 
     /// Appends `child` (which must be detached) to `parent`'s children.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
-        debug_assert!(self.nodes[child.index()].parent.is_none(), "child already attached");
+        debug_assert!(
+            self.nodes[child.index()].parent.is_none(),
+            "child already attached"
+        );
         self.nodes[child.index()].parent = Some(parent);
         self.nodes[parent.index()].children.push(child);
     }
@@ -374,7 +381,10 @@ impl TreeBuilder {
     pub fn finish(self) -> Result<Document> {
         if self.stack.len() != 1 {
             return Err(XmlError::WriterMisuse {
-                message: format!("{} element(s) still open in TreeBuilder", self.stack.len() - 1),
+                message: format!(
+                    "{} element(s) still open in TreeBuilder",
+                    self.stack.len() - 1
+                ),
             });
         }
         Ok(self.doc)
@@ -435,10 +445,18 @@ mod tests {
     #[test]
     fn builder_fragment() {
         let mut b = TreeBuilder::new();
-        b.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::StartElement {
+            name: "x".into(),
+            attributes: vec![],
+        })
+        .unwrap();
         b.event(&XmlEvent::Text("hi".into())).unwrap();
         b.event(&XmlEvent::EndElement { name: "x".into() }).unwrap();
-        b.event(&XmlEvent::StartElement { name: "y".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::StartElement {
+            name: "y".into(),
+            attributes: vec![],
+        })
+        .unwrap();
         b.event(&XmlEvent::EndElement { name: "y".into() }).unwrap();
         let doc = b.finish().unwrap();
         assert_eq!(doc.children(doc.document_node()).len(), 2);
@@ -447,7 +465,11 @@ mod tests {
     #[test]
     fn builder_merges_adjacent_text() {
         let mut b = TreeBuilder::new();
-        b.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        b.event(&XmlEvent::StartElement {
+            name: "x".into(),
+            attributes: vec![],
+        })
+        .unwrap();
         b.event(&XmlEvent::Text("a".into())).unwrap();
         b.event(&XmlEvent::Text("b".into())).unwrap();
         b.event(&XmlEvent::EndElement { name: "x".into() }).unwrap();
@@ -462,7 +484,11 @@ mod tests {
         let mut b = TreeBuilder::new();
         assert!(b.event(&XmlEvent::EndElement { name: "x".into() }).is_err());
         let mut b2 = TreeBuilder::new();
-        b2.event(&XmlEvent::StartElement { name: "x".into(), attributes: vec![] }).unwrap();
+        b2.event(&XmlEvent::StartElement {
+            name: "x".into(),
+            attributes: vec![],
+        })
+        .unwrap();
         assert!(b2.finish().is_err());
     }
 

@@ -166,7 +166,9 @@ impl<W: Write> XmlWriter<W> {
     /// ignored so an event stream can be piped through unchanged.
     pub fn write_event(&mut self, event: &XmlEvent) -> Result<()> {
         match event {
-            XmlEvent::StartDocument | XmlEvent::EndDocument | XmlEvent::DoctypeDecl { .. } => Ok(()),
+            XmlEvent::StartDocument | XmlEvent::EndDocument | XmlEvent::DoctypeDecl { .. } => {
+                Ok(())
+            }
             XmlEvent::StartElement { name, attributes } => self.start_element(name, attributes),
             XmlEvent::EndElement { .. } => self.end_element(),
             XmlEvent::Text(t) => self.text(t),
@@ -227,7 +229,8 @@ mod tests {
     #[test]
     fn attribute_escaping() {
         let mut w = XmlWriter::new(Vec::new());
-        w.start_element("a", &[Attribute::new("k", "say \"hi\" & <go>")]).unwrap();
+        w.start_element("a", &[Attribute::new("k", "say \"hi\" & <go>")])
+            .unwrap();
         w.end_element().unwrap();
         let out = String::from_utf8(w.into_inner()).unwrap();
         assert_eq!(out, r#"<a k="say &quot;hi&quot; &amp; &lt;go>"></a>"#);

@@ -10,8 +10,20 @@ const NAMES: &[&str] = &["a", "b", "item", "x-y", "ns:tag", "_u"];
 
 /// Characters that exercise escaping, multi-byte UTF-8 and whitespace.
 const TEXT_POOL: &[&str] = &[
-    "plain", "a<b", "x>y", "amp&", "quote\"", "apostrophe'", "grüße", "💡", "  spaced  ",
-    "line\nbreak", "tab\t", "]]>", "--", "{brace}",
+    "plain",
+    "a<b",
+    "x>y",
+    "amp&",
+    "quote\"",
+    "apostrophe'",
+    "grüße",
+    "💡",
+    "  spaced  ",
+    "line\nbreak",
+    "tab\t",
+    "]]>",
+    "--",
+    "{brace}",
 ];
 
 /// Generates a random balanced event sequence (one root element).

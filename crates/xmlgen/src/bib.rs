@@ -102,11 +102,7 @@ pub fn write_bib<W: Write>(config: &BibConfig, out: W) -> Result<u64> {
     Ok(writer.bytes_written())
 }
 
-fn write_simple<W: Write>(
-    writer: &mut XmlWriter<W>,
-    tag: &str,
-    content: &str,
-) -> Result<()> {
+fn write_simple<W: Write>(writer: &mut XmlWriter<W>, tag: &str, content: &str) -> Result<()> {
     writer.start_element(tag, &[])?;
     writer.text(content)?;
     writer.end_element()
@@ -191,13 +187,13 @@ mod tests {
         };
         let doc = bib_string(&c);
         // Some book must have an author before a title (shuffled order).
-        let has_author_first = doc
-            .split("<book")
-            .skip(1)
-            .any(|b| match (b.find("<author>"), b.find("<title>")) {
-                (Some(a), Some(t)) => a < t,
-                _ => false,
-            });
+        let has_author_first =
+            doc.split("<book")
+                .skip(1)
+                .any(|b| match (b.find("<author>"), b.find("<title>")) {
+                    (Some(a), Some(t)) => a < t,
+                    _ => false,
+                });
         assert!(has_author_first, "expected interleaved order somewhere");
     }
 

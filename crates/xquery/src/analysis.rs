@@ -239,19 +239,15 @@ mod tests {
 
     #[test]
     fn free_vars_in_where() {
-        let e = parse_query(
-            "<r>{ for $x in $ROOT/r/a where $x/k = $y/k return $x }</r>",
-        )
-        .unwrap();
+        let e = parse_query("<r>{ for $x in $ROOT/r/a where $x/k = $y/k return $x }</r>").unwrap();
         assert!(free_vars(&e).contains("y"));
     }
 
     #[test]
     fn deps_labels_and_whole() {
-        let e = parse_query(
-            r#"<result>{ $b/title }{ for $a in $b/author return $a }{ $b }</result>"#,
-        )
-        .unwrap();
+        let e =
+            parse_query(r#"<result>{ $b/title }{ for $a in $b/author return $a }{ $b }</result>"#)
+                .unwrap();
         let deps = deps_on(&e, "b");
         assert_eq!(
             deps.labels,
@@ -272,10 +268,7 @@ mod tests {
     #[test]
     fn deps_respect_shadowing() {
         // The inner loop rebinds $b; its body's $b/x is not an outer dep.
-        let e = parse_query(
-            "<r>{ $b/t, for $b in $ROOT/q/z return $b/x }</r>",
-        )
-        .unwrap();
+        let e = parse_query("<r>{ $b/t, for $b in $ROOT/q/z return $b/x }</r>").unwrap();
         let deps = deps_on(&e, "b");
         assert_eq!(deps.labels, BTreeSet::from(["t".to_string()]));
     }

@@ -198,13 +198,26 @@ pub enum Expr {
 }
 
 impl Expr {
-    /// Wraps a list of expressions as a sequence, flattening trivial cases.
-    pub fn seq(mut items: Vec<Expr>) -> Expr {
-        items.retain(|e| !matches!(e, Expr::Empty));
-        match items.len() {
+    /// Wraps a list of expressions as a sequence, upholding the sequence
+    /// invariants of the normal form: nested sequences are spliced in place,
+    /// empties are dropped, and fewer than two survivors collapse to the
+    /// item itself (or to [`Expr::Empty`]).
+    pub fn seq(items: Vec<Expr>) -> Expr {
+        fn flatten(items: Vec<Expr>, flat: &mut Vec<Expr>) {
+            for item in items {
+                match item {
+                    Expr::Empty => {}
+                    Expr::Sequence(inner) => flatten(inner, flat),
+                    other => flat.push(other),
+                }
+            }
+        }
+        let mut flat = Vec::with_capacity(items.len());
+        flatten(items, &mut flat);
+        match flat.len() {
             0 => Expr::Empty,
-            1 => items.pop().expect("len checked"),
-            _ => Expr::Sequence(items),
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Sequence(flat),
         }
     }
 
@@ -297,7 +310,10 @@ mod tests {
             Expr::seq(vec![Expr::StringLit("x".into())]),
             Expr::StringLit("x".into())
         );
-        let two = Expr::seq(vec![Expr::StringLit("x".into()), Expr::StringLit("y".into())]);
+        let two = Expr::seq(vec![
+            Expr::StringLit("x".into()),
+            Expr::StringLit("y".into()),
+        ]);
         assert!(matches!(two, Expr::Sequence(ref v) if v.len() == 2));
     }
 

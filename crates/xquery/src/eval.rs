@@ -215,10 +215,9 @@ impl<'d> TreeEvaluator<'d> {
     /// Resolves any path to items (nodes, attribute strings, text pieces).
     pub fn resolve_items(&self, path: &Path, env: &Env) -> Result<Vec<Item>> {
         let (element_steps, tail) = match path.steps.last() {
-            Some(Step::Attribute(_)) | Some(Step::Text) => (
-                &path.steps[..path.steps.len() - 1],
-                path.steps.last(),
-            ),
+            Some(Step::Attribute(_)) | Some(Step::Text) => {
+                (&path.steps[..path.steps.len() - 1], path.steps.last())
+            }
             _ => (&path.steps[..], None),
         };
         let mut current = vec![self.bound(env, &path.start)?];
@@ -238,7 +237,11 @@ impl<'d> TreeEvaluator<'d> {
             None => Ok(current.into_iter().map(Item::Node).collect()),
             Some(Step::Attribute(name)) => Ok(current
                 .into_iter()
-                .filter_map(|n| self.doc.attribute(n, name).map(|v| Item::Str(v.to_string())))
+                .filter_map(|n| {
+                    self.doc
+                        .attribute(n, name)
+                        .map(|v| Item::Str(v.to_string()))
+                })
                 .collect()),
             Some(Step::Text) => {
                 let mut items = Vec::new();
@@ -497,7 +500,10 @@ mod tests {
             r#"<r>{ for $b in $ROOT/bib/book return <book y="{$b/@year}-ed"/> }</r>"#,
             BIB,
         );
-        assert_eq!(out, r#"<r><book y="1994-ed"></book><book y="2000-ed"></book></r>"#);
+        assert_eq!(
+            out,
+            r#"<r><book y="1994-ed"></book><book y="2000-ed"></book></r>"#
+        );
     }
 
     #[test]
@@ -544,7 +550,10 @@ mod tests {
             r#"<out>{ for $b in $ROOT/top/bib/book, $e in $ROOT/top/reviews/entry where $b/title = $e/title return <hit>{$b/title}{$e/rating}</hit> }</out>"#,
             doc,
         );
-        assert_eq!(out, "<out><hit><title>B</title><rating>5</rating></hit></out>");
+        assert_eq!(
+            out,
+            "<out><hit><title>B</title><rating>5</rating></hit></out>"
+        );
     }
 
     #[test]
@@ -557,10 +566,7 @@ mod tests {
     #[test]
     fn counting_sink_counts() {
         let doc = Document::parse_str(BIB).unwrap();
-        let expr = parse_query(
-            r#"<r>{ for $b in $ROOT/bib/book return $b/title }</r>"#,
-        )
-        .unwrap();
+        let expr = parse_query(r#"<r>{ for $b in $ROOT/bib/book return $b/title }</r>"#).unwrap();
         let evaluator = TreeEvaluator::new(&doc);
         let mut env = Env::new();
         env.insert(ROOT_VAR.to_string(), doc.document_node());

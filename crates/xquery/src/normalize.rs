@@ -288,7 +288,10 @@ fn lookup<'s>(scope: &'s [(VarName, LetValue)], var: &str) -> Option<&'s LetValu
 }
 
 /// Temporarily removes bindings shadowed by a loop variable.
-fn shadow_out(scope: &mut Vec<(VarName, LetValue)>, var: &str) -> Vec<(usize, (VarName, LetValue))> {
+fn shadow_out(
+    scope: &mut Vec<(VarName, LetValue)>,
+    var: &str,
+) -> Vec<(usize, (VarName, LetValue))> {
     let mut removed = Vec::new();
     let mut i = 0;
     while i < scope.len() {
@@ -437,9 +440,8 @@ mod tests {
 
     #[test]
     fn where_becomes_if() {
-        let nf = norm(
-            r#"<r>{ for $b in $ROOT/bib/book where $b/publisher = "X" return $b/title }</r>"#,
-        );
+        let nf =
+            norm(r#"<r>{ for $b in $ROOT/bib/book where $b/publisher = "X" return $b/title }</r>"#);
         let printed = pretty(&nf);
         assert!(printed.contains("if ($b/publisher = \"X\")"), "{printed}");
         assert!(!printed.contains("where"), "{printed}");
@@ -447,7 +449,9 @@ mod tests {
 
     #[test]
     fn let_inlined_path() {
-        let nf = norm(r#"let $books := $ROOT/bib/book return <r>{ for $b in $books/title return $b }</r>"#);
+        let nf = norm(
+            r#"let $books := $ROOT/bib/book return <r>{ for $b in $books/title return $b }</r>"#,
+        );
         let printed = pretty(&nf);
         assert!(printed.contains("$ROOT/bib"), "{printed}");
         assert!(!printed.contains("let"), "{printed}");
@@ -455,16 +459,16 @@ mod tests {
 
     #[test]
     fn let_inlined_string() {
-        let nf = norm(r#"let $name := "Goedel" return <r>{ if ($ROOT/bib/book/author = $name) then $name else () }</r>"#);
+        let nf = norm(
+            r#"let $name := "Goedel" return <r>{ if ($ROOT/bib/book/author = $name) then $name else () }</r>"#,
+        );
         let printed = pretty(&nf);
         assert!(printed.contains("\"Goedel\""), "{printed}");
     }
 
     #[test]
     fn let_shadowed_by_for() {
-        let nf = norm(
-            r#"let $x := "s" return <r>{ for $x in $ROOT/bib/book return $x }</r>"#,
-        );
+        let nf = norm(r#"let $x := "s" return <r>{ for $x in $ROOT/bib/book return $x }</r>"#);
         let printed = pretty(&nf);
         // The for-bound $x must not be replaced by "s".
         assert!(printed.contains("return $x"), "{printed}");
@@ -525,7 +529,8 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        let q = r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}</result> }</results>"#;
+        let q =
+            r#"<results>{ for $b in $ROOT/bib/book return <result>{$b/title}</result> }</results>"#;
         let once = normalize(&parse_query(q).unwrap()).unwrap();
         let twice = normalize(&once).unwrap();
         // Fresh-variable numbering differs, so compare shapes via NF check

@@ -282,7 +282,11 @@ impl<'a> Parser<'a> {
         let mut expr = body;
         let mut pending_where = where_clause;
         for (i, (var, source)) in bindings.into_iter().enumerate().rev() {
-            let wc = if i == last { pending_where.take() } else { None };
+            let wc = if i == last {
+                pending_where.take()
+            } else {
+                None
+            };
             expr = Expr::For {
                 var,
                 source,
@@ -718,7 +722,9 @@ mod tests {
             Expr::Element { name, content, .. } => {
                 assert_eq!(name, "results");
                 match &**content {
-                    Expr::For { var, source, body, .. } => {
+                    Expr::For {
+                        var, source, body, ..
+                    } => {
                         assert_eq!(var, "b");
                         assert_eq!(source.to_string(), "$ROOT/bib/book");
                         match &**body {
@@ -727,8 +733,14 @@ mod tests {
                                 match &**content {
                                     Expr::Sequence(items) => {
                                         assert_eq!(items.len(), 2);
-                                        assert_eq!(items[0], Expr::Path(Path::var("b").child("title")));
-                                        assert_eq!(items[1], Expr::Path(Path::var("b").child("author")));
+                                        assert_eq!(
+                                            items[0],
+                                            Expr::Path(Path::var("b").child("title"))
+                                        );
+                                        assert_eq!(
+                                            items[1],
+                                            Expr::Path(Path::var("b").child("author"))
+                                        );
                                     }
                                     other => panic!("expected sequence, got {other:?}"),
                                 }
@@ -776,11 +788,18 @@ mod tests {
         )
         .unwrap();
         match expr {
-            Expr::For { var, where_clause, body, .. } => {
+            Expr::For {
+                var,
+                where_clause,
+                body,
+                ..
+            } => {
                 assert_eq!(var, "a");
                 assert!(where_clause.is_none(), "where belongs to the inner loop");
                 match *body {
-                    Expr::For { var, where_clause, .. } => {
+                    Expr::For {
+                        var, where_clause, ..
+                    } => {
                         assert_eq!(var, "b");
                         assert!(where_clause.is_some());
                     }
@@ -810,7 +829,9 @@ mod tests {
         )
         .unwrap();
         match expr {
-            Expr::If { cond, else_branch, .. } => {
+            Expr::If {
+                cond, else_branch, ..
+            } => {
                 assert!(matches!(*cond, Cond::And(_, _)));
                 assert_eq!(*else_branch, Expr::Empty);
             }
@@ -877,10 +898,7 @@ mod tests {
                 assert_eq!(attributes.len(), 1);
                 assert_eq!(attributes[0].value.len(), 2);
                 assert!(matches!(&attributes[0].value[0], AttrPart::Expr(_)));
-                assert_eq!(
-                    attributes[0].value[1],
-                    AttrPart::Literal("!".to_string())
-                );
+                assert_eq!(attributes[0].value[1], AttrPart::Literal("!".to_string()));
             }
             other => panic!("{other:?}"),
         }
@@ -948,10 +966,8 @@ mod tests {
 
     #[test]
     fn exists_empty_not() {
-        let expr = parse_query(
-            "if (not(empty($b/author)) and exists($b/title)) then <x/> else ()",
-        )
-        .unwrap();
+        let expr = parse_query("if (not(empty($b/author)) and exists($b/title)) then <x/> else ()")
+            .unwrap();
         assert!(matches!(expr, Expr::If { .. }));
     }
 

@@ -229,8 +229,8 @@ mod tests {
     fn round_trip(q: &str) {
         let ast1 = parse_query(q).unwrap_or_else(|e| panic!("parse 1 failed for {q}: {e}"));
         let printed = pretty(&ast1);
-        let ast2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("parse 2 failed for:\n{printed}\n{e}"));
+        let ast2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("parse 2 failed for:\n{printed}\n{e}"));
         assert_eq!(ast1, ast2, "round trip changed the AST:\n{printed}");
     }
 

@@ -68,7 +68,10 @@ pub enum XsaxEvent {
     /// The registered query `id` fired for the instance of its element type
     /// at nesting `depth` (the depth of the element whose children are being
     /// tracked, root = 1).
-    OnFirstPast { id: PastId, depth: usize },
+    OnFirstPast {
+        id: PastId,
+        depth: usize,
+    },
 }
 
 impl XsaxEvent {

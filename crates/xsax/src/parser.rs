@@ -205,10 +205,9 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         let sym = self.dtd.lookup(&name).ok_or_else(|| {
             self.validation(format!("element `{name}` is not declared in the DTD"))
         })?;
-        let decl = self
-            .dtd
-            .element(sym)
-            .ok_or_else(|| self.validation(format!("element `{name}` is not declared in the DTD")))?;
+        let decl = self.dtd.element(sym).ok_or_else(|| {
+            self.validation(format!("element `{name}` is not declared in the DTD"))
+        })?;
 
         // Transition the parent's content automaton (the document automaton
         // for the root).
@@ -287,11 +286,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
             trackers: self
                 .by_element
                 .get(&sym)
-                .map(|ids| {
-                    ids.iter()
-                        .map(|&id| Tracker { id, fired: false })
-                        .collect()
-                })
+                .map(|ids| ids.iter().map(|&id| Tracker { id, fired: false }).collect())
                 .unwrap_or_default(),
         };
 
@@ -299,17 +294,20 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         // never occur in this element) fire immediately after it.
         let mut after_start: Vec<XsaxEvent> = Vec::new();
         let start_state = elem.dfa.start();
-        Self::fire_ready(&self.registrations, &mut elem, start_state, false, &mut after_start);
+        Self::fire_ready(
+            &self.registrations,
+            &mut elem,
+            start_state,
+            false,
+            &mut after_start,
+        );
 
         self.stack.push(elem);
 
         // Delivery order: parent seam fires, then the start tag, then
         // immediately-past fires of the new element.
         let mut queue = before_start;
-        queue.push(XsaxEvent::Sax(XmlEvent::StartElement {
-            name,
-            attributes,
-        }));
+        queue.push(XsaxEvent::Sax(XmlEvent::StartElement { name, attributes }));
         queue.extend(after_start);
         let first = queue.remove(0);
         self.pending.extend(queue);
@@ -357,7 +355,10 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     }
 
     fn handle_text(&mut self, text: String) -> Result<Option<XsaxEvent>> {
-        let elem = self.stack.last().expect("reader guarantees text is inside the root");
+        let elem = self
+            .stack
+            .last()
+            .expect("reader guarantees text is inside the root");
         let whitespace_only = text
             .bytes()
             .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
@@ -576,7 +577,12 @@ mod tests {
         let book = dtd.lookup("book").unwrap();
         let title = dtd.lookup("title").unwrap();
         let author = dtd.lookup("author").unwrap();
-        let events = trace(FIG1_DOC, &dtd, &[(book, PastLabels::labels([title, author]))]).unwrap();
+        let events = trace(
+            FIG1_DOC,
+            &dtd,
+            &[(book, PastLabels::labels([title, author]))],
+        )
+        .unwrap();
         let fire = events.iter().position(|e| e == "past#0").unwrap();
         let last_author_end = events.iter().rposition(|e| e == "</author>").unwrap();
         let publisher_start = events.iter().position(|e| e == "<publisher>").unwrap();
@@ -592,10 +598,19 @@ mod tests {
         let book = dtd.lookup("book").unwrap();
         let title = dtd.lookup("title").unwrap();
         let author = dtd.lookup("author").unwrap();
-        let events = trace(WEAK_DOC, &dtd, &[(book, PastLabels::labels([title, author]))]).unwrap();
+        let events = trace(
+            WEAK_DOC,
+            &dtd,
+            &[(book, PastLabels::labels([title, author]))],
+        )
+        .unwrap();
         let fire = events.iter().position(|e| e == "past#0").unwrap();
         let book_end = events.iter().position(|e| e == "</book>").unwrap();
-        assert_eq!(fire + 1, book_end, "fires immediately before </book>: {events:?}");
+        assert_eq!(
+            fire + 1,
+            book_end,
+            "fires immediately before </book>: {events:?}"
+        );
     }
 
     #[test]
@@ -607,7 +622,9 @@ mod tests {
         // An undeclared label: intern it through a second DTD is impossible,
         // so use a label declared elsewhere — `bib` never occurs below book.
         let bib = dtd.lookup("bib").unwrap();
-        parser.register_past(book, PastLabels::labels([bib])).unwrap();
+        parser
+            .register_past(book, PastLabels::labels([bib]))
+            .unwrap();
         let mut events = Vec::new();
         while let Some(ev) = parser.next().unwrap() {
             match ev {
@@ -680,7 +697,11 @@ mod tests {
         let events = trace(FIG1_DOC, &dtd, &[(book, PastLabels::labels([title]))]).unwrap();
         let fire = events.iter().position(|e| e == "past#0").unwrap();
         let title_end = events.iter().position(|e| e == "</title>").unwrap();
-        assert_eq!(fire, title_end + 1, "fires right after </title>: {events:?}");
+        assert_eq!(
+            fire,
+            title_end + 1,
+            "fires right after </title>: {events:?}"
+        );
     }
 
     #[test]
@@ -712,10 +733,9 @@ mod tests {
 
     #[test]
     fn attribute_defaults_injected() {
-        let dtd = Dtd::parse(
-            "<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\" rel CDATA #FIXED \"x\">",
-        )
-        .unwrap();
+        let dtd =
+            Dtd::parse("<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\" rel CDATA #FIXED \"x\">")
+                .unwrap();
         let mut parser = XsaxParser::new("<a/>".as_bytes(), &dtd).unwrap();
         let mut found = false;
         while let Some(ev) = parser.next().unwrap() {
@@ -731,8 +751,7 @@ mod tests {
 
     #[test]
     fn explicit_attribute_beats_default() {
-        let dtd =
-            Dtd::parse("<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\">").unwrap();
+        let dtd = Dtd::parse("<!ELEMENT a EMPTY>\n<!ATTLIST a lang CDATA \"en\">").unwrap();
         let mut parser = XsaxParser::new(r#"<a lang="de"/>"#.as_bytes(), &dtd).unwrap();
         while let Some(ev) = parser.next().unwrap() {
             if let XsaxEvent::Sax(XmlEvent::StartElement { attributes, .. }) = ev {
@@ -744,10 +763,7 @@ mod tests {
 
     #[test]
     fn strict_attributes_enforced() {
-        let dtd = Dtd::parse(
-            "<!ELEMENT a EMPTY>\n<!ATTLIST a id CDATA #REQUIRED>",
-        )
-        .unwrap();
+        let dtd = Dtd::parse("<!ELEMENT a EMPTY>\n<!ATTLIST a id CDATA #REQUIRED>").unwrap();
         let config = XsaxConfig {
             strict_attributes: true,
             ..XsaxConfig::default()
@@ -781,9 +797,7 @@ mod tests {
         let book = dtd.lookup("book").unwrap();
         let mut parser = XsaxParser::new(WEAK_DOC.as_bytes(), &dtd).unwrap();
         parser.next().unwrap();
-        assert!(parser
-            .register_past(book, PastLabels::All)
-            .is_err());
+        assert!(parser.register_past(book, PastLabels::All).is_err());
     }
 
     #[test]
@@ -806,7 +820,10 @@ mod tests {
         let doc = "<doc><section><head/><section><head/></section><tail/></section></doc>";
         let events = trace(doc, &dtd, &[(section, PastLabels::labels([head]))]).unwrap();
         let fires = events.iter().filter(|e| *e == "past#0").count();
-        assert_eq!(fires, 2, "inner and outer section each fire once: {events:?}");
+        assert_eq!(
+            fires, 2,
+            "inner and outer section each fire once: {events:?}"
+        );
         // The first fire (outer section) comes right after the first </head>.
         let first_head_end = events.iter().position(|e| e == "</head>").unwrap();
         assert_eq!(events[first_head_end + 1], "past#0", "{events:?}");

@@ -68,7 +68,11 @@ fn random_valid_word(dtd: &Dtd, rng: &mut SmallRng) -> Option<Vec<Symbol>> {
             .filter(|&&(_, t)| dfa.is_co_accessible(t))
             .collect();
         if viable.is_empty() {
-            return if dfa.is_accepting(state) { Some(word) } else { None };
+            return if dfa.is_accepting(state) {
+                Some(word)
+            } else {
+                None
+            };
         }
         let &&(sym, next) = &viable[rng.gen_range(0..viable.len())];
         word.push(sym);

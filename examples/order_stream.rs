@@ -46,7 +46,13 @@ fn write_orders(sink: &mut impl Write, n: usize) -> std::io::Result<u64> {
     for i in 0..n {
         let items = 1 + (next() % 4) as usize;
         let total = 50 + (next() % 1500);
-        out(&format!("<order id=\"o{i}\"><customer>Customer {}</customer>", next() % 500), sink)?;
+        out(
+            &format!(
+                "<order id=\"o{i}\"><customer>Customer {}</customer>",
+                next() % 500
+            ),
+            sink,
+        )?;
         for _ in 0..items {
             out(
                 &format!(

@@ -52,9 +52,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let value = |it: &mut dyn Iterator<Item = String>| {
-            it.next().unwrap_or_else(|| usage())
-        };
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
         match arg.as_str() {
             "--query" | "-q" => args.query = Some(value(&mut it)),
             "--dtd" | "-d" => args.dtd = Some(value(&mut it)),
@@ -114,15 +112,15 @@ fn run() -> Result<(), String> {
     }
 
     let input: Box<dyn Read> = match &args.input {
-        Some(path) => Box::new(
-            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Box::new(std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?)
+        }
         None => Box::new(std::io::stdin()),
     };
     let output: Box<dyn Write> = match &args.output {
-        Some(path) => Box::new(
-            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
         None => Box::new(std::io::stdout()),
     };
 
@@ -135,8 +133,7 @@ fn run() -> Result<(), String> {
             FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
         engine.run(input, output).map_err(|e| e.to_string())?
     } else {
-        let engine =
-            AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
+        let engine = AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
         engine.run(input, output).map_err(|e| e.to_string())?
     };
 
@@ -145,7 +142,10 @@ fn run() -> Result<(), String> {
         eprintln!("engine:            {}", args.engine.label());
         eprintln!("events processed:  {}", stats.events);
         eprintln!("output bytes:      {}", stats.output_bytes);
-        eprintln!("peak buffer:       {} bytes ({} nodes)", stats.peak_buffer_bytes, stats.peak_buffer_nodes);
+        eprintln!(
+            "peak buffer:       {} bytes ({} nodes)",
+            stats.peak_buffer_bytes, stats.peak_buffer_nodes
+        );
         eprintln!("buffer traffic:    {} bytes", stats.total_buffered_bytes);
         eprintln!("runtime:           {:?}", stats.duration);
     }

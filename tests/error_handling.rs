@@ -64,15 +64,18 @@ fn invalid_documents_rejected_at_runtime() {
 fn broken_xml_rejected_at_runtime() {
     let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::default()).unwrap();
     for bad in [
-        "<bib><book></bib>",           // mismatched tags
-        "<bib>",                       // truncated
-        "<bib><book x=1/></bib>",      // unquoted attribute
-        "<bib>&undefined;</bib>",      // unknown entity
-        "",                            // empty input
-        "<bib/><bib/>",                // two roots
+        "<bib><book></bib>",      // mismatched tags
+        "<bib>",                  // truncated
+        "<bib><book x=1/></bib>", // unquoted attribute
+        "<bib>&undefined;</bib>", // unknown entity
+        "",                       // empty input
+        "<bib/><bib/>",           // two roots
     ] {
         let mut out = Vec::new();
-        assert!(engine.run(bad.as_bytes(), &mut out).is_err(), "accepted: {bad:?}");
+        assert!(
+            engine.run(bad.as_bytes(), &mut out).is_err(),
+            "accepted: {bad:?}"
+        );
     }
 }
 

@@ -1,0 +1,76 @@
+//! Smoke test: every example target must build and run cleanly, so the
+//! examples in the README cannot rot silently.
+//!
+//! The test shells out to the same `cargo` that is running the test suite,
+//! builds all examples once, then executes each produced binary and checks
+//! the exit status (plus a minimal output sanity check).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example under `examples/`, with a string its stdout must contain.
+const EXAMPLES: &[(&str, &str)] = &[
+    ("quickstart", "Q3"),
+    ("bibliography", "fluxquery"),
+    ("auction_join", "process-stream"),
+    ("order_stream", "alert"),
+    ("validate_stream", "past"),
+    ("explain_optimizer", "=="),
+];
+
+fn cargo() -> Command {
+    Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+}
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn all_examples_build_and_run() {
+    // One shared build keeps this test fast and asserts `cargo build
+    // --examples` covers every target.
+    let status = cargo()
+        .args(["build", "--examples"])
+        .current_dir(manifest_dir())
+        .status()
+        .expect("spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed");
+
+    let listed: Vec<String> = std::fs::read_dir(manifest_dir().join("examples"))
+        .expect("examples dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    for name in &listed {
+        assert!(
+            EXAMPLES.iter().any(|(known, _)| known == name),
+            "example `{name}` exists on disk but is missing from the smoke test list"
+        );
+    }
+    assert_eq!(listed.len(), EXAMPLES.len(), "smoke list out of date");
+
+    let target_dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| manifest_dir().join("target"));
+    for (name, expect) in EXAMPLES {
+        let binary = target_dir.join("debug/examples").join(name);
+        let output = Command::new(&binary)
+            .current_dir(manifest_dir())
+            .output()
+            .unwrap_or_else(|e| panic!("running example `{name}` ({}): {e}", binary.display()));
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(expect),
+            "example `{name}` ran but its output lacks {expect:?}:\n{stdout}"
+        );
+    }
+}

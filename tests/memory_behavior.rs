@@ -69,10 +69,15 @@ fn strong_dtd_strictly_cheaper_than_weak() {
     // The same query on equivalent data: schema knowledge must pay off.
     let weak_doc = Domain::BibWeak.document(1.0, 9);
     let strong_doc = Domain::BibFig1.document(1.0, 9);
-    let weak = run_engine(EngineKind::Flux, Q3, Domain::BibWeak.dtd(), weak_doc.as_bytes())
-        .unwrap()
-        .stats
-        .peak_buffer_bytes;
+    let weak = run_engine(
+        EngineKind::Flux,
+        Q3,
+        Domain::BibWeak.dtd(),
+        weak_doc.as_bytes(),
+    )
+    .unwrap()
+    .stats
+    .peak_buffer_bytes;
     let strong = run_engine(
         EngineKind::Flux,
         Q3,

@@ -88,7 +88,10 @@ fn auction_expensive_streams_everything_but_the_condition() {
     // Condition needs price (last child): per-auction buffering only.
     assert!(flux.contains("on closed_auction as"), "{flux}");
     assert!(buffered >= 1, "{flux}");
-    assert!(!flux.contains("past(*)"), "no whole-subtree buffering:\n{flux}");
+    assert!(
+        !flux.contains("past(*)"),
+        "no whole-subtree buffering:\n{flux}"
+    );
 }
 
 #[test]
@@ -107,8 +110,7 @@ fn buffered_handler_counts_stable_across_catalog() {
     ];
     for (id, buffered, ps) in expected {
         let q = catalog_query(id);
-        let engine =
-            FluxEngine::compile(q.query, q.domain.dtd(), &Options::default()).unwrap();
+        let engine = FluxEngine::compile(q.query, q.domain.dtd(), &Options::default()).unwrap();
         assert_eq!(
             engine.buffered_handler_count(),
             buffered,

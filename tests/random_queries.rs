@@ -16,7 +16,15 @@ use rand::{Rng, SeedableRng};
 
 /// Labels that exist in the bibliography schemas (plus a bogus one the
 /// optimizer should prune).
-const LABELS: &[&str] = &["book", "title", "author", "editor", "publisher", "price", "bogus"];
+const LABELS: &[&str] = &[
+    "book",
+    "title",
+    "author",
+    "editor",
+    "publisher",
+    "price",
+    "bogus",
+];
 const OUTPUT_NAMES: &[&str] = &["r", "item", "entry", "wrap", "x"];
 const STRINGS: &[&str] = &["alpha", "beta", "", "Goedel", "x<y&z"];
 
@@ -270,9 +278,8 @@ fn seed_sweep_deterministic() {
                 String::from_utf8_lossy(&dom.output),
                 "divergence on seed {seed}:\n{query}"
             );
-            let ablated =
-                FluxEngine::compile(&query, domain.dtd(), &Options::without_streaming())
-                    .unwrap_or_else(|e| panic!("ablated compile failed on seed {seed}:\n{query}\n{e}"));
+            let ablated = FluxEngine::compile(&query, domain.dtd(), &Options::without_streaming())
+                .unwrap_or_else(|e| panic!("ablated compile failed on seed {seed}:\n{query}\n{e}"));
             let mut out = Vec::new();
             ablated
                 .run(doc.as_bytes(), &mut out)

@@ -9,8 +9,7 @@ use fluxquery::{FluxEngine, Options};
 fn buffer_everything_is_correct_across_catalog() {
     for q in catalog() {
         let doc = q.domain.document(0.3, 5);
-        let scheduled =
-            FluxEngine::compile(q.query, q.domain.dtd(), &Options::default()).unwrap();
+        let scheduled = FluxEngine::compile(q.query, q.domain.dtd(), &Options::default()).unwrap();
         let ablated =
             FluxEngine::compile(q.query, q.domain.dtd(), &Options::without_streaming()).unwrap();
         let (out_s, stats_s) = scheduled.run_to_string(&doc).unwrap();
@@ -32,7 +31,10 @@ fn ablated_plans_have_no_streaming_handlers() {
     let engine =
         FluxEngine::compile(q, Domain::BibFig1.dtd(), &Options::without_streaming()).unwrap();
     let printed = fluxquery::lang::pretty_flux(&engine.query().flux);
-    assert!(!printed.contains("\n") || !printed.contains(" on book as"), "{printed}");
+    assert!(
+        !printed.contains("\n") || !printed.contains(" on book as"),
+        "{printed}"
+    );
     assert!(printed.contains("on-first"), "{printed}");
     assert!(engine.buffered_handler_count() >= 1);
 }
@@ -43,8 +45,7 @@ fn scheduling_gap_grows_with_document() {
     // buffers per book — actually per item — while the scheduled engine
     // stays flat).
     let q = flux_bench::Q3;
-    let scheduled =
-        FluxEngine::compile(q, Domain::BibWeak.dtd(), &Options::default()).unwrap();
+    let scheduled = FluxEngine::compile(q, Domain::BibWeak.dtd(), &Options::default()).unwrap();
     let ablated =
         FluxEngine::compile(q, Domain::BibWeak.dtd(), &Options::without_streaming()).unwrap();
     let doc = Domain::BibWeak.document(4.0, 9);

@@ -31,14 +31,19 @@ fn recursive_sections() {
     // Heads of top-level sections plus their direct subsection heads.
     let q = r#"<outline>{ for $s in $ROOT/doc/section return <top>{$s/head}{ for $sub in $s/section return $sub/head }</top> }</outline>"#;
     let out = agree(q, dtd, doc);
-    assert_eq!(out, "<outline><top><head>h1</head><head>h2</head></top></outline>");
+    assert_eq!(
+        out,
+        "<outline><top><head>h1</head><head>h2</head></top></outline>"
+    );
 }
 
 #[test]
 fn recursion_with_whole_copies() {
-    let dtd = "<!ELEMENT doc (section)*>\n<!ELEMENT section (head, section?)>\n<!ELEMENT head (#PCDATA)>";
+    let dtd =
+        "<!ELEMENT doc (section)*>\n<!ELEMENT section (head, section?)>\n<!ELEMENT head (#PCDATA)>";
     let doc = "<doc><section><head>a</head><section><head>b</head></section></section><section><head>c</head></section></doc>";
-    let q = r#"<r>{ for $s in $ROOT/doc/section return for $inner in $s/section return $inner }</r>"#;
+    let q =
+        r#"<r>{ for $s in $ROOT/doc/section return for $inner in $s/section return $inner }</r>"#;
     let out = agree(q, dtd, doc);
     assert_eq!(out, "<r><section><head>b</head></section></r>");
 }
@@ -128,7 +133,8 @@ fn interleaved_buffer_and_stream_same_label() {
 
 #[test]
 fn empty_elements_and_empty_results() {
-    let dtd = "<!ELEMENT doc (entry)*>\n<!ELEMENT entry EMPTY>\n<!ATTLIST entry id CDATA #REQUIRED>";
+    let dtd =
+        "<!ELEMENT doc (entry)*>\n<!ELEMENT entry EMPTY>\n<!ATTLIST entry id CDATA #REQUIRED>";
     let doc = r#"<doc><entry id="1"/><entry id="2"/></doc>"#;
     let q = r#"<r>{ for $e in $ROOT/doc/entry return <id>{$e/@id}</id> }</r>"#;
     let out = agree(q, dtd, doc);
@@ -160,7 +166,8 @@ fn output_attribute_from_buffered_sibling() {
 fn flux_memory_stays_small_on_recursion() {
     // Only direct children of the outermost sections are needed; inner
     // recursion levels must not be buffered.
-    let dtd = "<!ELEMENT doc (section)*>\n<!ELEMENT section (head, section?)>\n<!ELEMENT head (#PCDATA)>";
+    let dtd =
+        "<!ELEMENT doc (section)*>\n<!ELEMENT section (head, section?)>\n<!ELEMENT head (#PCDATA)>";
     let mut inner = String::from("<head>deep</head>");
     for i in (0..60).rev() {
         inner = format!("<head>h{i}</head><section>{inner}</section>");
@@ -186,10 +193,7 @@ fn text_dependency_defers_to_close() {
     let doc = "<doc><para><em>first</em>mid<em>last</em>tail</para></doc>";
     let q = r#"<r>{ for $p in $ROOT/doc/para return <x>{$p/text()}{$p/em}</x> }</r>"#;
     let out = agree(q, dtd, doc);
-    assert_eq!(
-        out,
-        "<r><x>midtail<em>first</em><em>last</em></x></r>"
-    );
+    assert_eq!(out, "<r><x>midtail<em>first</em><em>last</em></x></r>");
 }
 
 #[test]

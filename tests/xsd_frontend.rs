@@ -32,11 +32,15 @@ const DOC: &str = "<bib><book><title>T1</title><author>A1</author><author>A2</au
 
 #[test]
 fn xsd_gives_same_streaming_plan_as_dtd() {
-    let from_xsd =
-        FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
+    let from_xsd = FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
     let from_dtd =
         FluxEngine::compile_with_schema(Q3, PAPER_FIG1_DTD, &Options::default()).unwrap();
-    assert_eq!(from_xsd.buffered_handler_count(), 0, "{}", from_xsd.explain());
+    assert_eq!(
+        from_xsd.buffered_handler_count(),
+        0,
+        "{}",
+        from_xsd.explain()
+    );
     assert_eq!(
         from_xsd.buffered_handler_count(),
         from_dtd.buffered_handler_count()
@@ -45,8 +49,7 @@ fn xsd_gives_same_streaming_plan_as_dtd() {
 
 #[test]
 fn xsd_engine_produces_identical_output() {
-    let from_xsd =
-        FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
+    let from_xsd = FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
     let from_dtd =
         FluxEngine::compile_with_schema(Q3, PAPER_FIG1_DTD, &Options::default()).unwrap();
     let (out_xsd, _) = from_xsd.run_to_string(DOC).unwrap();
@@ -57,8 +60,7 @@ fn xsd_engine_produces_identical_output() {
 
 #[test]
 fn xsd_validation_enforced() {
-    let engine =
-        FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
+    let engine = FluxEngine::compile_with_schema(Q3, FIG1_XSD, &Options::default()).unwrap();
     // Author before title violates the schema's sequence.
     let bad = "<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>9</price></book></bib>";
     let mut out = Vec::new();

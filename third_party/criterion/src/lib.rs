@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides the benchmarking surface the workspace's `crates/bench/benches`
+//! harnesses use: [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`] and
+//! [`Bencher::iter`]. Measurement is plain wall-clock timing over
+//! `sample_size` iterations with a median report to stdout — no statistics,
+//! plots or saved baselines. See `third_party/README.md`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores measurement time and
+    /// always collects exactly `sample_size` samples.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => write!(f, "{}/{}", self.function, p),
+            Some(p) => write!(f, "{p}"),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Times `f`, reporting under this group's name plus `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+    }
+
+    /// Times `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Ends the group. (The stub reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = self.criterion.sample_size;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                times.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+            }
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times.get(times.len() / 2).copied().unwrap_or(0.0);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: median {:.3} ms over {} samples{}",
+            self.name,
+            id,
+            median * 1e3,
+            times.len(),
+            rate
+        );
+    }
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once under the timer. Criterion proper decides iteration
+    /// counts adaptively; the stub keeps one iteration per sample so total
+    /// runtime stays bounded for arbitrarily slow bodies.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
