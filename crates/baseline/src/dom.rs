@@ -10,7 +10,7 @@
 use crate::error::Result;
 use flux_runtime::RunStats;
 use flux_xml::tree::{Document, TreeBuilder};
-use flux_xml::{XmlEvent, XmlReader, XmlWriter};
+use flux_xml::{RawEvent, XmlReader, XmlWriter};
 use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -29,19 +29,18 @@ impl DomEngine {
         Ok(DomEngine { query })
     }
 
-    /// Loads the whole document, then evaluates.
+    /// Loads the whole document, then evaluates. Parsing runs on the
+    /// recycled interned-event path; materialising the tree is the only
+    /// per-event allocation left — which is this engine's defining cost.
     pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
         let start = Instant::now();
         let mut reader = XmlReader::new(input);
         let mut builder = TreeBuilder::new();
         let mut events: u64 = 0;
-        loop {
-            let ev = reader.next_event()?;
+        let mut ev = RawEvent::new();
+        while reader.next_into(&mut ev)? {
             events += 1;
-            if ev == XmlEvent::EndDocument {
-                break;
-            }
-            builder.event(&ev)?;
+            builder.raw_event(reader.symbols(), &ev)?;
         }
         let doc: Document = builder.finish()?;
         let peak = doc.memory_bytes();

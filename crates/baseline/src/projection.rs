@@ -13,7 +13,7 @@ use crate::error::Result;
 use flux_runtime::bdf::{collect_needs, SpecArena, SpecView};
 use flux_runtime::RunStats;
 use flux_xml::tree::{Document, NodeId};
-use flux_xml::{XmlEvent, XmlReader, XmlWriter};
+use flux_xml::{RawEvent, RawEventKind, ReaderConfig, SymbolTable, XmlReader, XmlWriter};
 use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -47,9 +47,20 @@ impl ProjectionEngine {
 
     /// Streams the input, materialising only projected nodes, then
     /// evaluates over the projected document.
+    ///
+    /// The stream runs on the recycled interned-event path: the projection
+    /// labels are pre-interned so descent is symbol equality, and events
+    /// that are projected away allocate nothing at all.
     pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
         let start = Instant::now();
-        let mut reader = XmlReader::new(input);
+        // Pre-intern every projection label so any document name matching a
+        // label resolves to the same symbol the index was built from.
+        let mut symbols = SymbolTable::new();
+        for label in self.specs.labels() {
+            symbols.intern(label);
+        }
+        let spec_index = self.specs.symbol_index(&symbols);
+        let mut reader = XmlReader::with_symbols(input, ReaderConfig::default(), symbols);
         let mut doc = Document::new();
         let mut events: u64 = 0;
         // Stack entry: insertion target when the element is kept.
@@ -57,19 +68,24 @@ impl ProjectionEngine {
             doc.document_node(),
             SpecView::Project(self.root_spec),
         ))];
-        loop {
-            let ev = reader.next_event()?;
+        let mut ev = RawEvent::new();
+        while reader.next_into(&mut ev)? {
             events += 1;
-            match ev {
-                XmlEvent::EndDocument => break,
-                XmlEvent::StartElement { name, attributes } => {
+            match ev.kind() {
+                RawEventKind::StartElement => {
                     let child = match stack.last().expect("document entry") {
-                        Some((parent, view)) => {
-                            view.descend(&self.specs, &name).map(|child_view| {
-                                let id = doc.create_element(name.clone(), attributes);
+                        Some((parent, view)) => view
+                            .descend_sym(&spec_index, &self.specs, ev.name())
+                            .map(|child_view| {
+                                let id = doc.create_element(
+                                    reader.symbols().name(ev.name()),
+                                    ev.attributes()
+                                        .iter()
+                                        .map(|a| a.to_attribute(reader.symbols()))
+                                        .collect(),
+                                );
                                 (*parent, id, child_view)
-                            })
-                        }
+                            }),
                         None => None,
                     };
                     match child {
@@ -80,13 +96,13 @@ impl ProjectionEngine {
                         None => stack.push(None),
                     }
                 }
-                XmlEvent::EndElement { .. } => {
+                RawEventKind::EndElement => {
                     stack.pop();
                 }
-                XmlEvent::Text(t) => {
+                RawEventKind::Text => {
                     if let Some((node, view)) = stack.last().expect("inside document") {
                         if view.keeps_text(&self.specs) {
-                            let id = doc.create_text(t);
+                            let id = doc.create_text(ev.text());
                             doc.append_child(*node, id);
                         }
                     }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flux_bench::Domain;
 use flux_dtd::Dtd;
-use flux_xml::XmlReader;
+use flux_xml::{RawEvent, XmlReader};
 use flux_xsax::{PastLabels, XsaxParser};
 
 fn xsax_throughput(c: &mut Criterion) {
@@ -17,7 +17,8 @@ fn xsax_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0u64;
             let mut reader = XmlReader::new(doc.as_bytes());
-            while reader.next().expect("parse").is_some() {
+            let mut ev = RawEvent::new();
+            while reader.next_into(&mut ev).expect("parse") {
                 n += 1;
             }
             n
@@ -28,7 +29,8 @@ fn xsax_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0u64;
             let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
-            while parser.next().expect("validate").is_some() {
+            let mut ev = RawEvent::new();
+            while parser.next_into(&mut ev).expect("validate").is_some() {
                 n += 1;
             }
             n
@@ -45,7 +47,8 @@ fn xsax_throughput(c: &mut Criterion) {
             parser
                 .register_past(book, PastLabels::labels([title, author]))
                 .expect("register");
-            while parser.next().expect("validate").is_some() {
+            let mut ev = RawEvent::new();
+            while parser.next_into(&mut ev).expect("validate").is_some() {
                 n += 1;
             }
             n

@@ -288,8 +288,47 @@ fn e9_ablation_scheduling() {
     println!("constraints are what make the difference, not the FluX representation itself.");
 }
 
+/// Pre-refactor (string-event) E8 figures, recorded on the dev host that
+/// landed the interned-symbol event core PR (best of three release runs,
+/// `Domain::BibFig1.document(32.0, 42)`). They anchor the perf trajectory
+/// in `BENCH_events.json`; the printed deltas are only meaningful on
+/// comparable hardware — on other machines, trend `BENCH_events.json`
+/// runs from the *same* host against each other instead.
+const BASELINE_HOST_NOTE: &str =
+    "recorded on the PR-2 dev host; cross-machine deltas are not meaningful — \
+     compare same-host runs over time";
+const BASELINE_RAW: (u64, f64) = (59_318, 0.00703);
+const BASELINE_VALIDATE: (u64, f64) = (59_318, 0.00990);
+const BASELINE_PAST: (u64, f64) = (62_518, 0.01003);
+
+/// One timed measurement: events delivered and best-of-three seconds.
+struct Measured {
+    events: u64,
+    seconds: f64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.seconds
+    }
+
+    /// Best of `n` runs of `f`, which returns the event count.
+    fn best_of(n: usize, mut f: impl FnMut() -> u64) -> Measured {
+        let mut events = 0;
+        let mut seconds = f64::MAX;
+        for _ in 0..n {
+            let start = Instant::now();
+            events = f();
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+        }
+        Measured { events, seconds }
+    }
+}
+
 /// E8 — XSAX overhead: raw parsing vs. validation vs. validation with
-/// registered past queries (Sec. 3.2).
+/// registered past queries (Sec. 3.2), on the interned-symbol hot path.
+/// Also writes `BENCH_events.json` so the perf trajectory is machine-
+/// readable from this PR onward.
 fn e8_xsax_throughput() {
     header(
         "E8",
@@ -297,46 +336,149 @@ fn e8_xsax_throughput() {
         "Sec. 3.2: the XSAX validating parser",
     );
     use flux_dtd::Dtd;
+    use flux_xml::RawEvent;
     use flux_xsax::{PastLabels, XsaxParser};
     let doc = Domain::BibFig1.document(32.0, 42);
     let dtd = Dtd::parse(Domain::BibFig1.dtd()).expect("dtd");
 
-    // Raw well-formedness parsing.
-    let start = Instant::now();
-    let mut events = 0u64;
-    let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
-    while let Some(_ev) = reader.next().expect("parse") {
-        events += 1;
-    }
-    let raw = start.elapsed();
-    println!("raw parse:           {events:>8} events in {raw:.2?}");
+    // Raw well-formedness parsing (recycled interned events).
+    let raw = Measured::best_of(3, || {
+        let mut events = 0u64;
+        let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
+        let mut ev = RawEvent::new();
+        while reader.next_into(&mut ev).expect("parse") {
+            events += 1;
+        }
+        events
+    });
+    println!(
+        "raw parse:           {:>8} events in {:.2?}",
+        raw.events,
+        std::time::Duration::from_secs_f64(raw.seconds)
+    );
 
     // Validating parse.
-    let start = Instant::now();
-    let mut events = 0u64;
-    let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
-    while parser.next().expect("validate").is_some() {
-        events += 1;
-    }
-    let validated = start.elapsed();
-    println!("xsax validate:       {events:>8} events in {validated:.2?}");
+    let validated = Measured::best_of(3, || {
+        let mut events = 0u64;
+        let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
+        let mut ev = RawEvent::new();
+        while parser.next_into(&mut ev).expect("validate").is_some() {
+            events += 1;
+        }
+        events
+    });
+    println!(
+        "xsax validate:       {:>8} events in {:.2?}",
+        validated.events,
+        std::time::Duration::from_secs_f64(validated.seconds)
+    );
 
     // Validation plus a past query on every book.
     let book = dtd.lookup("book").expect("book");
     let title = dtd.lookup("title").expect("title");
     let author = dtd.lookup("author").expect("author");
-    let start = Instant::now();
-    let mut events = 0u64;
-    let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
-    parser
-        .register_past(book, PastLabels::labels([title, author]))
-        .expect("register");
-    while parser.next().expect("validate").is_some() {
-        events += 1;
-    }
-    let with_past = start.elapsed();
-    println!("xsax + on-first:     {events:>8} events in {with_past:.2?}");
+    let with_past = Measured::best_of(3, || {
+        let mut events = 0u64;
+        let mut parser = XsaxParser::new(doc.as_bytes(), &dtd).expect("xsax");
+        parser
+            .register_past(book, PastLabels::labels([title, author]))
+            .expect("register");
+        let mut ev = RawEvent::new();
+        while parser.next_into(&mut ev).expect("validate").is_some() {
+            events += 1;
+        }
+        events
+    });
+    println!(
+        "xsax + on-first:     {:>8} events in {:.2?}",
+        with_past.events,
+        std::time::Duration::from_secs_f64(with_past.seconds)
+    );
     println!(
         "\nshape: validation costs a small constant factor over raw parsing; past tracking is nearly free."
     );
+    for (label, m, (base_events, base_secs)) in [
+        ("raw parse", &raw, BASELINE_RAW),
+        ("xsax validate", &validated, BASELINE_VALIDATE),
+        ("xsax + on-first", &with_past, BASELINE_PAST),
+    ] {
+        let base_eps = base_events as f64 / base_secs;
+        println!(
+            "{label:<16} {:>10.0} events/s vs string-era baseline {:>10.0} events/s ({:+.1}%)",
+            m.events_per_sec(),
+            base_eps,
+            (m.events_per_sec() / base_eps - 1.0) * 100.0,
+        );
+    }
+    println!("(baseline {BASELINE_HOST_NOTE})");
+
+    write_bench_events_json(&doc, &raw, &validated, &with_past);
+}
+
+/// Emits `BENCH_events.json`: events/sec for the event pipeline plus
+/// events/sec and peak buffer bytes per engine, with the pre-refactor
+/// string-event baseline alongside for trend tracking.
+fn write_bench_events_json(doc: &str, raw: &Measured, validated: &Measured, past: &Measured) {
+    fn entry(m: &Measured) -> String {
+        format!(
+            "{{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",
+            m.events,
+            m.seconds,
+            m.events_per_sec()
+        )
+    }
+    let mut engines = String::new();
+    let engine_doc = Domain::BibWeak.document(8.0, 42);
+    for (i, kind) in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom]
+        .into_iter()
+        .enumerate()
+    {
+        let engine = AnyEngine::compile(kind, Q3, Domain::BibWeak.dtd()).expect("compile");
+        let mut peak = 0usize;
+        let m = Measured::best_of(3, || {
+            let mut out = Vec::new();
+            let stats = engine.run(engine_doc.as_bytes(), &mut out).expect("run");
+            peak = stats.peak_buffer_bytes;
+            stats.events
+        });
+        if i > 0 {
+            engines.push_str(",\n");
+        }
+        engines.push_str(&format!(
+            "    \"{}\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \"peak_buffer_bytes\": {}}}",
+            kind.label(),
+            m.events,
+            m.seconds,
+            m.events_per_sec(),
+            peak
+        ));
+    }
+    let baseline = |&(events, seconds): &(u64, f64)| {
+        format!(
+            "{{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",
+            events,
+            seconds,
+            events as f64 / seconds
+        )
+    };
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p flux_bench --bin experiments -- --e8\",\n  \
+         \"workload\": \"Domain::BibFig1.document(32.0, 42), {} bytes (engines: Q3 over BibWeak 8.0)\",\n  \
+         \"baseline_string_events\": {{\n    \"note\": \"pre-refactor string-event pipeline, {}\",\n    \
+         \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {}\n  }},\n  \
+         \"current\": {{\n    \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }}\n}}\n",
+        doc.len(),
+        BASELINE_HOST_NOTE,
+        baseline(&BASELINE_RAW),
+        baseline(&BASELINE_VALIDATE),
+        baseline(&BASELINE_PAST),
+        entry(raw),
+        entry(validated),
+        entry(past),
+        engines,
+    );
+    match std::fs::write("BENCH_events.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_events.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_events.json: {e}"),
+    }
 }

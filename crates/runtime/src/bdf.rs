@@ -7,6 +7,7 @@
 //! buffered paths are projected further (only the descendants the buffered
 //! expressions actually read are stored).
 
+use flux_dtd::{Symbol, SymbolTable};
 use flux_xquery::{AttrPart, Cond, Expr, Operand, Path, Step, VarName};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -85,6 +86,47 @@ impl SpecArena {
         !n.whole && !n.text && n.children.is_empty()
     }
 
+    /// All distinct child labels mentioned anywhere in the forest. Callers
+    /// that stream without a DTD (the projection baseline) pre-intern these
+    /// so [`SpecArena::symbol_index`] covers every label a document could
+    /// produce.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        let mut seen: Vec<&str> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.children.keys().map(String::as_str))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+
+    /// Builds the symbol-keyed descent index used by the streaming hot
+    /// path: per spec node, its child edges keyed by interned [`Symbol`]
+    /// instead of by string.
+    ///
+    /// Labels not present in `symbols` are omitted — they can never equal a
+    /// stream symbol, either because the validator rejects undeclared
+    /// elements (FluX engine: the table is the DTD's) or because the caller
+    /// pre-interned every label (projection baseline).
+    pub fn symbol_index(&self, symbols: &SymbolTable) -> SpecIndex {
+        SpecIndex {
+            edges: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    let mut edges: Vec<(Symbol, SpecId)> = n
+                        .children
+                        .iter()
+                        .filter_map(|(label, &id)| symbols.lookup(label).map(|s| (s, id)))
+                        .collect();
+                    edges.sort_unstable();
+                    edges
+                })
+                .collect(),
+        }
+    }
+
     /// Renders a spec subtree, for `explain` output.
     pub fn render(&self, id: SpecId) -> String {
         let mut out = String::new();
@@ -125,6 +167,25 @@ impl fmt::Display for SpecArena {
     }
 }
 
+/// Symbol-keyed child edges of a [`SpecArena`], built once per run against
+/// the stream's [`SymbolTable`] so buffer-population descends on symbol
+/// equality instead of string hashing.
+#[derive(Debug, Clone, Default)]
+pub struct SpecIndex {
+    /// Sorted `(symbol, child)` edges, indexed by [`SpecId`].
+    edges: Vec<Vec<(Symbol, SpecId)>>,
+}
+
+impl SpecIndex {
+    fn descend(&self, id: SpecId, sym: Symbol) -> Option<SpecId> {
+        let edges = &self.edges[id.index()];
+        edges
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| edges[i].1)
+    }
+}
+
 /// How a buffer-population step should treat a child element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpecView {
@@ -146,6 +207,26 @@ impl SpecView {
                     return Some(SpecView::Whole);
                 }
                 n.children.get(label).map(|&c| SpecView::Project(c))
+            }
+        }
+    }
+
+    /// Symbol-keyed variant of [`SpecView::descend`] — the hot-path form
+    /// (`index` must have been built from `arena` by
+    /// [`SpecArena::symbol_index`]).
+    pub fn descend_sym(
+        self,
+        index: &SpecIndex,
+        arena: &SpecArena,
+        sym: Symbol,
+    ) -> Option<SpecView> {
+        match self {
+            SpecView::Whole => Some(SpecView::Whole),
+            SpecView::Project(id) => {
+                if arena.node(id).whole {
+                    return Some(SpecView::Whole);
+                }
+                index.descend(id, sym).map(SpecView::Project)
             }
         }
     }
@@ -401,6 +482,29 @@ mod tests {
             r#"<r>{ for $a in $book/author return $a }{ $book/title/text() }{ if ($book/price < 10) then "c" else () }</r>"#,
         );
         assert_eq!(arena.render(root), "{author:*,price:*,title:{text()}}");
+    }
+
+    #[test]
+    fn symbol_index_matches_string_descent() {
+        let (arena, root) = needs_of(
+            r#"<r>{ for $a in $book/author return $a }{ $book/title/text() }{ if ($book/price < 10) then "c" else () }</r>"#,
+        );
+        let mut table = SymbolTable::new();
+        for label in arena.labels() {
+            table.intern(label);
+        }
+        let index = arena.symbol_index(&table);
+        let view = SpecView::Project(root);
+        for label in ["author", "title", "price", "unknown"] {
+            let by_string = view.descend(&arena, label);
+            let by_symbol = table
+                .lookup(label)
+                .and_then(|sym| view.descend_sym(&index, &arena, sym));
+            assert_eq!(by_string, by_symbol, "descent disagrees on `{label}`");
+        }
+        // A symbol interned later (not a spec label) descends nowhere.
+        let stray = table.intern("stray");
+        assert_eq!(view.descend_sym(&index, &arena, stray), None);
     }
 
     #[test]

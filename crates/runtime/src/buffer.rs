@@ -8,7 +8,7 @@
 
 use crate::stats::MemoryTracker;
 use flux_xml::tree::{Document, NodeId, NodeKind};
-use flux_xml::Attribute;
+use flux_xml::{Attribute, RawAttr, Symbol, SymbolTable};
 
 /// Arena of buffered nodes with recycling and byte accounting.
 pub struct BufferArena {
@@ -73,6 +73,34 @@ impl BufferArena {
         attributes: &[Attribute],
     ) -> NodeId {
         let id = self.create_element(name, attributes);
+        self.doc.append_child(parent, id);
+        id
+    }
+
+    /// Creates a detached element from interned-event parts, mapping
+    /// symbols back through the stream's table. Buffering inherently copies
+    /// the data — this allocates exactly the stored strings, nothing more.
+    pub fn create_element_raw(
+        &mut self,
+        symbols: &SymbolTable,
+        name: Symbol,
+        attributes: &[RawAttr],
+    ) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: symbols.name(name).to_string(),
+            attributes: attributes.iter().map(|a| a.to_attribute(symbols)).collect(),
+        })
+    }
+
+    /// Appends a new element from interned-event parts under `parent`.
+    pub fn append_element_raw(
+        &mut self,
+        parent: NodeId,
+        symbols: &SymbolTable,
+        name: Symbol,
+        attributes: &[RawAttr],
+    ) -> NodeId {
+        let id = self.create_element_raw(symbols, name, attributes);
         self.doc.append_child(parent, id);
         id
     }

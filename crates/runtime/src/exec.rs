@@ -6,6 +6,13 @@
 //! projection views), whether its events are being stream-copied to the
 //! output, and which output end tags it owes. `on-first` events from XSAX
 //! trigger buffered evaluation of handler bodies over the buffer store.
+//!
+//! The event loop runs on the **interned-symbol hot path**: one recycled
+//! [`RawEvent`] is pulled per step, handler dispatch and buffer descent are
+//! symbol comparisons against the stream's shared [`SymbolTable`], and the
+//! output writer maps symbols back through the same table. In the steady
+//! state, an event that only streams (no buffering) performs zero heap
+//! allocations for names.
 
 use crate::buffer::BufferArena;
 use crate::error::{Result, RuntimeError};
@@ -14,14 +21,14 @@ use crate::stats::RunStats;
 use flux_dtd::Dtd;
 use flux_lang::FluxQuery;
 use flux_xml::tree::NodeId;
-use flux_xml::{Attribute, XmlEvent, XmlWriter};
+use flux_xml::{Attribute, RawAttr, RawEvent, RawEventKind, Symbol, SymbolTable, XmlWriter};
 use flux_xquery::{Env, Expr, TreeEvaluator, VarName, ROOT_VAR};
-use flux_xsax::{XsaxConfig, XsaxEvent, XsaxParser};
+use flux_xsax::{XsaxConfig, XsaxParser, XsaxStep};
 use std::io::{Read, Write};
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::bdf::SpecView;
+use crate::bdf::{SpecIndex, SpecView};
 
 /// Per-open-element execution state.
 #[derive(Default)]
@@ -88,17 +95,25 @@ pub fn execute_plan<R: Read, W: Write>(
     for reg in &plan.past_regs {
         parser.register_past(reg.element, reg.labels.clone())?;
     }
+    // Resolve the BDF's string edges against the stream's symbol table
+    // once; the per-event descent below is then pure symbol equality.
+    let spec_index = plan.specs.symbol_index(parser.symbols());
     let mut state = ExecState {
         plan,
+        spec_index,
         arena: BufferArena::new(),
         env: Env::new(),
         writer: XmlWriter::new(output),
         stack: Vec::new(),
         events: 0,
     };
-    while let Some(event) = parser.next()? {
+    let mut ev = RawEvent::new();
+    while let Some(step) = parser.next_into(&mut ev)? {
         state.events += 1;
-        state.handle(event)?;
+        match step {
+            XsaxStep::Sax => state.handle(&ev, parser.symbols())?,
+            XsaxStep::Fire { id, depth } => state.on_first(id.index(), depth)?,
+        }
     }
     state.writer.finish()?;
     Ok(RunStats {
@@ -113,6 +128,7 @@ pub fn execute_plan<R: Read, W: Write>(
 
 struct ExecState<'p, W: Write> {
     plan: &'p Plan,
+    spec_index: SpecIndex,
     arena: BufferArena,
     env: Env,
     writer: XmlWriter<W>,
@@ -121,24 +137,23 @@ struct ExecState<'p, W: Write> {
 }
 
 impl<'p, W: Write> ExecState<'p, W> {
-    fn handle(&mut self, event: XsaxEvent) -> Result<()> {
-        match event {
-            XsaxEvent::Sax(XmlEvent::StartDocument) => self.start_document(),
-            XsaxEvent::Sax(XmlEvent::DoctypeDecl { .. }) => Ok(()),
-            XsaxEvent::Sax(XmlEvent::StartElement { name, attributes }) => {
-                self.start_element(name, attributes)
+    fn handle(&mut self, ev: &RawEvent, symbols: &SymbolTable) -> Result<()> {
+        match ev.kind() {
+            RawEventKind::StartDocument => self.start_document(symbols),
+            RawEventKind::DoctypeDecl => Ok(()),
+            RawEventKind::StartElement => self.start_element(ev, symbols),
+            RawEventKind::Text => self.text(ev.text()),
+            RawEventKind::EndElement => self.end_element(),
+            RawEventKind::EndDocument => self.end_document(symbols),
+            RawEventKind::Comment | RawEventKind::ProcessingInstruction => {
+                Err(RuntimeError::Plan {
+                    message: format!("unexpected event {:?}", ev.kind()),
+                })
             }
-            XsaxEvent::Sax(XmlEvent::Text(t)) => self.text(&t),
-            XsaxEvent::Sax(XmlEvent::EndElement { .. }) => self.end_element(),
-            XsaxEvent::Sax(XmlEvent::EndDocument) => self.end_document(),
-            XsaxEvent::Sax(other) => Err(RuntimeError::Plan {
-                message: format!("unexpected event {other:?}"),
-            }),
-            XsaxEvent::OnFirstPast { id, depth } => self.on_first(id.index(), depth),
         }
     }
 
-    fn start_document(&mut self) -> Result<()> {
+    fn start_document(&mut self, symbols: &SymbolTable) -> Result<()> {
         // The arena's own document node doubles as the $ROOT scope shell:
         // it is never freed (the run ends with it) and copying `$ROOT`
         // emits its children, as document-node semantics require.
@@ -153,14 +168,16 @@ impl<'p, W: Write> ExecState<'p, W> {
         // top-level process-stream. `self.plan` is a shared reference with
         // lifetime 'p, so plan data can be borrowed independently of self.
         let plan: &'p Plan = self.plan;
-        self.enter_plan(&plan.top, &mut ctx, None)?;
+        self.enter_plan(&plan.top, &mut ctx, None, symbols)?;
         // Document-level on-first handlers that fire before the root.
         self.fire_doc_handlers(&ctx, DocTiming::AtStart)?;
         self.stack.push(ctx);
         Ok(())
     }
 
-    fn start_element(&mut self, name: String, attributes: Vec<Attribute>) -> Result<()> {
+    fn start_element(&mut self, ev: &RawEvent, symbols: &SymbolTable) -> Result<()> {
+        let sym = ev.name();
+        let attributes = ev.attributes();
         let parent = self
             .stack
             .last()
@@ -170,13 +187,15 @@ impl<'p, W: Write> ExecState<'p, W> {
             ..ElementCtx::default()
         };
         if parent.copying {
-            self.writer.start_element(&name, &attributes)?;
+            self.writer.start_element_raw(symbols, sym, attributes)?;
         }
-        // Buffer population: descend every active view.
+        // Buffer population: descend every active view on symbol equality.
         let parent_targets: Vec<(NodeId, SpecView)> = parent.buf_targets.clone();
         for (node, view) in parent_targets {
-            if let Some(child_view) = view.descend(&self.plan.specs, &name) {
-                let child_node = self.arena.append_element(node, &name, &attributes);
+            if let Some(child_view) = view.descend_sym(&self.spec_index, &self.plan.specs, sym) {
+                let child_node = self
+                    .arena
+                    .append_element_raw(node, symbols, sym, attributes);
                 ctx.buf_targets.push((child_node, child_view));
             }
         }
@@ -187,25 +206,26 @@ impl<'p, W: Write> ExecState<'p, W> {
         for ps_id in parent_scopes {
             for handler in &plan.ps[ps_id].handlers {
                 let HandlerPlan::On {
-                    label,
+                    symbol,
                     var,
                     spec,
                     body,
+                    ..
                 } = handler
                 else {
                     continue;
                 };
-                if *label != name {
+                if *symbol != Some(sym) {
                     continue;
                 }
-                let shell = self.arena.create_element(&name, &attributes);
+                let shell = self.arena.create_element_raw(symbols, sym, attributes);
                 let saved = self.env.insert(var.clone(), shell);
                 ctx.bindings.push((var.clone(), saved));
                 ctx.shells.push(shell);
                 if !self.plan.specs.is_empty_spec(*spec) {
                     ctx.buf_targets.push((shell, SpecView::Project(*spec)));
                 }
-                self.enter_plan(body, &mut ctx, Some((&name, &attributes)))?;
+                self.enter_plan(body, &mut ctx, Some((sym, attributes)), symbols)?;
             }
         }
         self.stack.push(ctx);
@@ -238,7 +258,7 @@ impl<'p, W: Write> ExecState<'p, W> {
         Ok(())
     }
 
-    fn end_document(&mut self) -> Result<()> {
+    fn end_document(&mut self, _symbols: &SymbolTable) -> Result<()> {
         let ctx = self.stack.pop().expect("document context");
         self.fire_doc_handlers(&ctx, DocTiming::AtEnd)?;
         for _ in 0..ctx.closers {
@@ -315,7 +335,8 @@ impl<'p, W: Write> ExecState<'p, W> {
         &mut self,
         plan: &PlanExpr,
         ctx: &mut ElementCtx,
-        current_child: Option<(&str, &[Attribute])>,
+        current_child: Option<(Symbol, &[RawAttr])>,
+        symbols: &SymbolTable,
     ) -> Result<()> {
         match plan {
             PlanExpr::Empty => Ok(()),
@@ -329,7 +350,7 @@ impl<'p, W: Write> ExecState<'p, W> {
             }
             PlanExpr::Sequence(items) => {
                 for item in items {
-                    self.enter_plan(item, ctx, current_child)?;
+                    self.enter_plan(item, ctx, current_child, symbols)?;
                 }
                 Ok(())
             }
@@ -341,7 +362,7 @@ impl<'p, W: Write> ExecState<'p, W> {
             } => {
                 let attrs = self.eval_attributes(attributes)?;
                 self.writer.start_element(name, &attrs)?;
-                self.enter_plan(content, ctx, current_child)?;
+                self.enter_plan(content, ctx, current_child, symbols)?;
                 if *deferred_close {
                     ctx.closers += 1;
                 } else {
@@ -353,7 +374,7 @@ impl<'p, W: Write> ExecState<'p, W> {
                 let (name, attrs) = current_child.ok_or_else(|| RuntimeError::Plan {
                     message: "stream-copy outside an on-handler".to_string(),
                 })?;
-                self.writer.start_element(name, attrs)?;
+                self.writer.start_element_raw(symbols, name, attrs)?;
                 ctx.copying = true;
                 Ok(())
             }
@@ -378,7 +399,6 @@ impl<'p, W: Write> ExecState<'p, W> {
         Ok(out)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

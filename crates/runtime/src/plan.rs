@@ -45,7 +45,13 @@ pub enum PlanExpr {
 #[derive(Debug, Clone)]
 pub enum HandlerPlan {
     On {
+        /// Dispatch label as text, for explain output.
         label: String,
+        /// The label resolved against the DTD's symbol table; `None` when
+        /// the query names an element the DTD does not declare — such a
+        /// handler can never match a validated stream. The executor
+        /// dispatches on this by symbol equality, never by string.
+        symbol: Option<Symbol>,
         var: VarName,
         /// Buffer spec for the bound variable's scope shell.
         spec: SpecId,
@@ -260,6 +266,7 @@ impl<'d> Compiler<'d> {
                             self.scopes.pop();
                             compiled.push(HandlerPlan::On {
                                 label: label.clone(),
+                                symbol: self.dtd.lookup(label),
                                 var: v.clone(),
                                 spec,
                                 body: body?,

@@ -1,0 +1,158 @@
+//! # flux_symbols
+//!
+//! Interned element-name symbols — the foundation type every FluXQuery
+//! layer shares.
+//!
+//! The paper's central claim (Koch et al., VLDB 2004) is that memory and
+//! CPU stay bounded by the *schema*, not the document. The event alphabet of
+//! a validated stream is the fixed, schema-derived set of element names, so
+//! every layer — parser, validator, scheduler, runtime — can work on dense
+//! `u32` [`Symbol`]s instead of heap-allocated strings. One [`SymbolTable`]
+//! is built from the DTD and cloned into the XML reader; because cloning
+//! preserves indices, a symbol produced by the parser *is* the symbol the
+//! schema automata transition on, with no per-event re-hashing.
+//!
+//! Two pseudo-symbols exist: [`SymbolTable::TEXT`] for character data (used
+//! by the `past(...)` analysis, where text behaves like a label that mixed
+//! content can always still produce) and [`SymbolTable::DOCUMENT`] for the
+//! virtual document node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element name (or pseudo-node kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from its dense index. Only meaningful for
+    /// indices handed out by a [`SymbolTable`] (or a clone of it — clones
+    /// preserve indices, which is what lets the reader and the schema
+    /// automata share symbols without translation).
+    pub fn from_index(i: usize) -> Symbol {
+        Symbol(u32::try_from(i).expect("too many symbols"))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional map between element names and [`Symbol`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// The pseudo-symbol for character data.
+    pub const TEXT: Symbol = Symbol(0);
+    /// The pseudo-symbol for the virtual document node.
+    pub const DOCUMENT: Symbol = Symbol(1);
+
+    /// Creates a table pre-populated with the pseudo-symbols.
+    pub fn new() -> Self {
+        let mut table = SymbolTable {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        let text = table.intern("#text");
+        let document = table.intern("#document");
+        debug_assert_eq!(text, Self::TEXT);
+        debug_assert_eq!(document, Self::DOCUMENT);
+        table
+    }
+
+    /// Interns `name`, returning its symbol (idempotent). Allocates only
+    /// the first time a name is seen; the steady state is a hash lookup.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols, including the two pseudo-symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All element symbols (excluding the pseudo-symbols).
+    pub fn element_symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (2..self.names.len()).map(Symbol::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a1 = t.intern("book");
+        let a2 = t.intern("book");
+        assert_eq!(a1, a2);
+        assert_eq!(t.name(a1), "book");
+    }
+
+    #[test]
+    fn pseudo_symbols_reserved() {
+        let t = SymbolTable::new();
+        assert_eq!(t.lookup("#text"), Some(SymbolTable::TEXT));
+        assert_eq!(t.lookup("#document"), Some(SymbolTable::DOCUMENT));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn element_symbols_excludes_pseudo() {
+        let mut t = SymbolTable::new();
+        let b = t.intern("book");
+        let a = t.intern("author");
+        let got: Vec<_> = t.element_symbols().collect();
+        assert_eq!(got, vec![b, a]);
+    }
+
+    #[test]
+    fn lookup_missing() {
+        let t = SymbolTable::new();
+        assert_eq!(t.lookup("nope"), None);
+    }
+
+    #[test]
+    fn clones_preserve_indices() {
+        let mut t = SymbolTable::new();
+        let book = t.intern("book");
+        let mut clone = t.clone();
+        assert_eq!(clone.lookup("book"), Some(book));
+        assert_eq!(clone.intern("book"), book);
+        // New names in the clone extend past the shared prefix.
+        let extra = clone.intern("pamphlet");
+        assert_eq!(extra.index(), t.len());
+        assert_eq!(t.lookup("pamphlet"), None);
+    }
+}

@@ -73,10 +73,18 @@ pub fn resolve_entity(name: &str) -> Option<char> {
 /// Replaces all entity and character references in `raw` and returns the
 /// resulting text. `pos` is used for error reporting only.
 pub fn unescape(raw: &str, pos: Position) -> Result<String> {
-    if !raw.contains('&') {
-        return Ok(raw.to_string());
-    }
     let mut out = String::with_capacity(raw.len());
+    unescape_into(raw, pos, &mut out)?;
+    Ok(out)
+}
+
+/// Appends the unescaped form of `raw` to `out` — the allocation-free
+/// variant of [`unescape`] the streaming reader uses with recycled buffers.
+pub fn unescape_into(raw: &str, pos: Position, out: &mut String) -> Result<()> {
+    if !raw.contains('&') {
+        out.push_str(raw);
+        return Ok(());
+    }
     let mut rest = raw;
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
@@ -98,7 +106,7 @@ pub fn unescape(raw: &str, pos: Position) -> Result<String> {
         rest = &rest[semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

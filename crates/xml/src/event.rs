@@ -1,5 +1,18 @@
 //! The SAX-style event model shared by the reader, writer and higher layers.
+//!
+//! Two representations exist:
+//!
+//! * [`XmlEvent`] — the owned, string-named model. Convenient, allocates
+//!   per event; kept for tests, tools and anything off the hot path.
+//! * [`RawEvent`] — the recycled, interned model the streaming pipeline
+//!   runs on. One caller-owned `RawEvent` is rewritten in place by
+//!   [`crate::XmlReader::next_into`]; element and attribute names are
+//!   [`Symbol`]s resolved against the reader's [`SymbolTable`], and text and
+//!   attribute-value buffers are reused across events. In the steady state
+//!   (every name seen once, buffers grown to the largest token) pulling an
+//!   event performs **zero heap allocations**.
 
+use flux_symbols::{Symbol, SymbolTable};
 use std::fmt;
 
 /// A single attribute of a start-element tag. Values are stored unescaped.
@@ -103,6 +116,197 @@ impl fmt::Display for XmlEvent {
     }
 }
 
+/// Discriminant of a [`RawEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawEventKind {
+    StartDocument,
+    DoctypeDecl,
+    StartElement,
+    EndElement,
+    Text,
+    Comment,
+    ProcessingInstruction,
+    EndDocument,
+}
+
+/// One attribute of a recycled [`RawEvent`]: interned name, recycled
+/// (unescaped) value buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttr {
+    pub name: Symbol,
+    pub value: String,
+}
+
+impl RawAttr {
+    /// Converts to the owned string representation.
+    pub fn to_attribute(&self, symbols: &SymbolTable) -> Attribute {
+        Attribute::new(symbols.name(self.name), self.value.clone())
+    }
+}
+
+/// A recycled XML event.
+///
+/// The caller owns one `RawEvent` and passes it to
+/// [`crate::XmlReader::next_into`], which rewrites it in place. Field
+/// accessors are only meaningful for the matching [`RawEventKind`]:
+///
+/// | kind | [`name`](Self::name) | [`attributes`](Self::attributes) | [`text`](Self::text) | [`target`](Self::target) |
+/// |---|---|---|---|---|
+/// | `StartElement` | element | attributes | — | — |
+/// | `EndElement` | element | — | — | — |
+/// | `Text` | — | — | character data | — |
+/// | `Comment` | — | — | comment text | — |
+/// | `ProcessingInstruction` | — | — | data | PI target |
+/// | `DoctypeDecl` | — | — | internal subset | doctype name |
+///
+/// Attribute value buffers beyond the live prefix are retained for reuse;
+/// [`Self::attributes`] only exposes the live entries.
+#[derive(Debug, Clone)]
+pub struct RawEvent {
+    kind: RawEventKind,
+    name: Symbol,
+    attrs: Vec<RawAttr>,
+    attrs_len: usize,
+    text: String,
+    target: String,
+    has_internal_subset: bool,
+}
+
+impl Default for RawEvent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawEvent {
+    pub fn new() -> Self {
+        RawEvent {
+            kind: RawEventKind::StartDocument,
+            name: SymbolTable::TEXT,
+            attrs: Vec::new(),
+            attrs_len: 0,
+            text: String::new(),
+            target: String::new(),
+            has_internal_subset: false,
+        }
+    }
+
+    pub fn kind(&self) -> RawEventKind {
+        self.kind
+    }
+
+    /// The element name (start/end element events).
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// Live attributes of a start-element event.
+    pub fn attributes(&self) -> &[RawAttr] {
+        &self.attrs[..self.attrs_len]
+    }
+
+    /// Character data / comment text / PI data / doctype internal subset.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// PI target or doctype name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// The doctype internal subset, when one was present.
+    pub fn internal_subset(&self) -> Option<&str> {
+        self.has_internal_subset.then_some(self.text.as_str())
+    }
+
+    /// True for a text event consisting only of XML whitespace.
+    pub fn is_whitespace_text(&self) -> bool {
+        self.kind == RawEventKind::Text
+            && self
+                .text
+                .bytes()
+                .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+    }
+
+    // ----- producer API (the reader, and XSAX default-attribute injection) -----
+
+    /// Rewrites the event as `kind`, clearing payloads but keeping every
+    /// buffer's capacity for reuse.
+    pub fn reset(&mut self, kind: RawEventKind) {
+        self.kind = kind;
+        self.attrs_len = 0;
+        self.text.clear();
+        self.target.clear();
+        self.has_internal_subset = false;
+    }
+
+    pub fn set_name(&mut self, name: Symbol) {
+        self.name = name;
+    }
+
+    /// Appends an attribute, recycling a spare value buffer when one is
+    /// available; returns the cleared value buffer to fill.
+    pub fn push_attr(&mut self, name: Symbol) -> &mut String {
+        if self.attrs_len == self.attrs.len() {
+            self.attrs.push(RawAttr {
+                name,
+                value: String::new(),
+            });
+        } else {
+            let slot = &mut self.attrs[self.attrs_len];
+            slot.name = name;
+            slot.value.clear();
+        }
+        self.attrs_len += 1;
+        &mut self.attrs[self.attrs_len - 1].value
+    }
+
+    /// The recycled text buffer (character data, comment, PI data, subset).
+    pub fn text_mut(&mut self) -> &mut String {
+        &mut self.text
+    }
+
+    /// The recycled target buffer (PI target, doctype name).
+    pub fn target_mut(&mut self) -> &mut String {
+        &mut self.target
+    }
+
+    pub fn set_has_internal_subset(&mut self, yes: bool) {
+        self.has_internal_subset = yes;
+    }
+
+    /// Converts to the owned, string-named representation (allocates; the
+    /// compatibility path for [`crate::XmlReader::next_event`] consumers).
+    pub fn to_xml_event(&self, symbols: &SymbolTable) -> XmlEvent {
+        match self.kind {
+            RawEventKind::StartDocument => XmlEvent::StartDocument,
+            RawEventKind::EndDocument => XmlEvent::EndDocument,
+            RawEventKind::DoctypeDecl => XmlEvent::DoctypeDecl {
+                name: self.target.clone(),
+                internal_subset: self.internal_subset().map(str::to_string),
+            },
+            RawEventKind::StartElement => XmlEvent::StartElement {
+                name: symbols.name(self.name).to_string(),
+                attributes: self
+                    .attributes()
+                    .iter()
+                    .map(|a| a.to_attribute(symbols))
+                    .collect(),
+            },
+            RawEventKind::EndElement => XmlEvent::EndElement {
+                name: symbols.name(self.name).to_string(),
+            },
+            RawEventKind::Text => XmlEvent::Text(self.text.clone()),
+            RawEventKind::Comment => XmlEvent::Comment(self.text.clone()),
+            RawEventKind::ProcessingInstruction => XmlEvent::ProcessingInstruction {
+                target: self.target.clone(),
+                data: self.text.clone(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +340,46 @@ mod tests {
             attributes: vec![Attribute::new("k", "v")],
         };
         assert_eq!(e.to_string(), "<a k=\"v\">");
+    }
+
+    #[test]
+    fn raw_event_recycles_attr_buffers() {
+        let mut symbols = SymbolTable::new();
+        let a = symbols.intern("a");
+        let k = symbols.intern("k");
+        let mut ev = RawEvent::new();
+        ev.reset(RawEventKind::StartElement);
+        ev.set_name(a);
+        ev.push_attr(k).push_str("a long attribute value");
+        assert_eq!(ev.attributes().len(), 1);
+        let cap = ev.attributes()[0].value.capacity();
+        // Reset keeps the spare value buffer; the next push reuses it.
+        ev.reset(RawEventKind::StartElement);
+        assert!(ev.attributes().is_empty());
+        ev.push_attr(k).push_str("short");
+        assert_eq!(ev.attributes()[0].value, "short");
+        assert_eq!(ev.attributes()[0].value.capacity(), cap);
+    }
+
+    #[test]
+    fn raw_to_xml_event_round_trip() {
+        let mut symbols = SymbolTable::new();
+        let book = symbols.intern("book");
+        let year = symbols.intern("year");
+        let mut ev = RawEvent::new();
+        ev.reset(RawEventKind::StartElement);
+        ev.set_name(book);
+        ev.push_attr(year).push_str("1994");
+        assert_eq!(
+            ev.to_xml_event(&symbols),
+            XmlEvent::StartElement {
+                name: "book".into(),
+                attributes: vec![Attribute::new("year", "1994")],
+            }
+        );
+        ev.reset(RawEventKind::Text);
+        ev.text_mut().push_str("hi");
+        assert!(!ev.is_whitespace_text());
+        assert_eq!(ev.to_xml_event(&symbols), XmlEvent::Text("hi".into()));
     }
 }

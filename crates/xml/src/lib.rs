@@ -6,10 +6,18 @@
 //! memory-accounted arena document tree ([`Document`]).
 //!
 //! The reader never materialises the document; its memory use is bounded by
-//! the largest single token. That property is load-bearing for the paper's
-//! claims: FluXQuery's buffer consumption is determined by the query and the
-//! DTD, not by the document size, and the parsing layer must not undermine
-//! that.
+//! the largest single token plus one interner entry per distinct name —
+//! schema-sized on validated streams. That property is load-bearing for the
+//! paper's claims: FluXQuery's buffer consumption is determined by the
+//! query and the DTD, not by the document size, and the parsing layer must
+//! not undermine that.
+//!
+//! The hot path is the **interned event core**: [`XmlReader::next_into`]
+//! rewrites one caller-owned [`RawEvent`] in place, with element and
+//! attribute names as [`Symbol`]s from the reader's [`SymbolTable`]
+//! (seedable from a schema via [`XmlReader::with_symbols`]) and recycled
+//! text/value buffers — zero heap allocations per event in the steady
+//! state. The owned [`XmlEvent`] API remains as a convenience wrapper.
 
 pub mod error;
 pub mod escape;
@@ -20,7 +28,8 @@ pub mod tree;
 pub mod writer;
 
 pub use error::{Position, Result, XmlError};
-pub use event::{Attribute, XmlEvent};
+pub use event::{Attribute, RawAttr, RawEvent, RawEventKind, XmlEvent};
+pub use flux_symbols::{Symbol, SymbolTable};
 pub use reader::{parse_to_events, ReaderConfig, XmlReader};
 pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
 pub use writer::{events_to_string, WriterConfig, XmlWriter};

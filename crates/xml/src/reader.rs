@@ -1,17 +1,38 @@
 //! A streaming, pull-based XML parser.
 //!
-//! [`XmlReader`] turns a byte stream into a sequence of [`XmlEvent`]s without
-//! buffering the document: memory use is bounded by the largest single token,
-//! which is what makes the FluXQuery runtime's memory guarantees meaningful.
+//! [`XmlReader`] turns a byte stream into a sequence of events without
+//! buffering the document: memory use is bounded by the largest single
+//! token **plus one interner entry per distinct element/attribute name**.
+//! On schema-validated streams the name alphabet is fixed by the DTD, so
+//! the bound is schema-sized — which is what makes the FluXQuery runtime's
+//! memory guarantees meaningful. Only when parsing arbitrary unvalidated
+//! input with unboundedly many *distinct* names does the interner grow with
+//! the document (the in-repo consumers of that mode — the DOM and
+//! projection baselines — materialise the document anyway).
+//!
+//! Two pull APIs exist over the same parsing core:
+//!
+//! * [`XmlReader::next_into`] — the hot path. The caller owns one
+//!   [`RawEvent`] that is rewritten in place; element and attribute names
+//!   are interned [`Symbol`]s, text and attribute values land in recycled
+//!   buffers, and UTF-8 is validated in place. In the steady state (every
+//!   name interned, buffers grown to the largest token) pulling an event
+//!   performs **zero heap allocations**.
+//! * [`XmlReader::next_event`] / [`XmlReader::next`] — the owned
+//!   [`XmlEvent`] API, which allocates per event. Kept for tests, tools and
+//!   anything off the hot path; it is a thin wrapper over the raw core.
 //!
 //! The reader checks well-formedness (tag balance, a single root element,
 //! attribute uniqueness, entity definedness) but performs no validation —
-//! validation against a DTD is layered on top by the `flux-xsax` crate.
+//! validation against a DTD is layered on top by the `flux-xsax` crate,
+//! which seeds the reader's [`SymbolTable`] from the DTD so stream symbols
+//! coincide with schema symbols.
 
 use crate::error::{Position, Result, XmlError};
-use crate::escape::unescape;
-use crate::event::{Attribute, XmlEvent};
+use crate::escape::unescape_into;
+use crate::event::{RawEvent, RawEventKind, XmlEvent};
 use crate::scanner::Scanner;
+use flux_symbols::{Symbol, SymbolTable};
 use std::io::Read;
 
 /// Configuration for [`XmlReader`].
@@ -55,12 +76,21 @@ pub struct XmlReader<R: Read> {
     scanner: Scanner<R>,
     config: ReaderConfig,
     state: State,
-    /// Names of currently open elements.
-    stack: Vec<String>,
+    /// Interner for element and attribute names. Seed it with
+    /// [`XmlReader::with_symbols`] to share symbols with a schema.
+    symbols: SymbolTable,
+    /// Symbols of currently open elements.
+    stack: Vec<Symbol>,
     /// Second half of an empty-element tag, emitted on the next call.
-    pending_end: Option<String>,
-    /// Scratch buffer reused between tokens.
+    pending_end: Option<Symbol>,
+    /// Scratch buffer reused between tokens (names, raw attribute values,
+    /// raw text runs).
     scratch: Vec<u8>,
+    /// Second scratch buffer for payloads read while `scratch` content is
+    /// still needed (CDATA runs, PI data).
+    aux: Vec<u8>,
+    /// Recycled event backing the owned-`XmlEvent` compatibility API.
+    compat: RawEvent,
 }
 
 fn is_name_start(b: u8) -> bool {
@@ -79,14 +109,31 @@ impl<R: Read> XmlReader<R> {
 
     /// Creates a reader with the given configuration.
     pub fn with_config(src: R, config: ReaderConfig) -> Self {
+        Self::with_symbols(src, config, SymbolTable::new())
+    }
+
+    /// Creates a reader whose name interner is seeded with `symbols`.
+    ///
+    /// Cloning a schema's table into the reader makes stream symbols
+    /// directly comparable with schema symbols (clones preserve indices);
+    /// names not in the seed are interned on first sight.
+    pub fn with_symbols(src: R, config: ReaderConfig, symbols: SymbolTable) -> Self {
         XmlReader {
             scanner: Scanner::new(src),
             config,
             state: State::Fresh,
+            symbols,
             stack: Vec::new(),
             pending_end: None,
             scratch: Vec::new(),
+            aux: Vec::new(),
+            compat: RawEvent::new(),
         }
+    }
+
+    /// The name interner: maps the [`Symbol`]s in raw events back to names.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Current input position (useful for error reporting in callers).
@@ -113,6 +160,16 @@ impl<R: Read> XmlReader<R> {
         }
     }
 
+    /// Pulls the next event into the caller-owned `ev`, recycling its
+    /// buffers. Returns `Ok(false)` once `EndDocument` has been delivered.
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if self.state == State::Done {
+            return Ok(false);
+        }
+        self.fill_event(ev)?;
+        Ok(true)
+    }
+
     /// Pulls the next event. After [`XmlEvent::EndDocument`], returns `None`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<XmlEvent>> {
@@ -122,17 +179,31 @@ impl<R: Read> XmlReader<R> {
         self.next_event().map(Some)
     }
 
-    /// Pulls the next event; calling after `EndDocument` is an error.
+    /// Pulls the next event as an owned [`XmlEvent`]; calling after
+    /// `EndDocument` is an error. Allocates per event — prefer
+    /// [`XmlReader::next_into`] on hot paths.
     pub fn next_event(&mut self) -> Result<XmlEvent> {
+        let mut ev = std::mem::take(&mut self.compat);
+        let res = self.fill_event(&mut ev);
+        let out = res.map(|()| ev.to_xml_event(&self.symbols));
+        self.compat = ev;
+        out
+    }
+
+    /// The parsing core: rewrites `ev` with the next event.
+    fn fill_event(&mut self, ev: &mut RawEvent) -> Result<()> {
         if self.state == State::Fresh {
             self.state = State::Prolog;
             self.skip_bom()?;
             self.maybe_skip_xml_decl()?;
-            return Ok(XmlEvent::StartDocument);
+            ev.reset(RawEventKind::StartDocument);
+            return Ok(());
         }
         if let Some(name) = self.pending_end.take() {
             self.leave_element();
-            return Ok(XmlEvent::EndElement { name });
+            ev.reset(RawEventKind::EndElement);
+            ev.set_name(name);
+            return Ok(());
         }
         loop {
             match self.state {
@@ -148,11 +219,12 @@ impl<R: Read> XmlReader<R> {
                                 });
                             }
                             self.state = State::Done;
-                            return Ok(XmlEvent::EndDocument);
+                            ev.reset(RawEventKind::EndDocument);
+                            return Ok(());
                         }
                         Some(b'<') => {
-                            if let Some(ev) = self.parse_markup()? {
-                                return Ok(ev);
+                            if self.parse_markup(ev)? {
+                                return Ok(());
                             }
                         }
                         Some(_) => {
@@ -172,11 +244,11 @@ impl<R: Read> XmlReader<R> {
                         })
                     }
                     Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
-                        if let Some(ev) = self.parse_markup()? {
-                            return Ok(ev);
+                        if self.parse_markup(ev)? {
+                            return Ok(());
                         }
                     }
-                    Some(_) => return self.parse_text(),
+                    Some(_) => return self.parse_text(ev),
                 },
                 State::Fresh => unreachable!("handled above"),
             }
@@ -198,23 +270,19 @@ impl<R: Read> XmlReader<R> {
             if slice.len() == 6 && !slice[5].is_ascii_whitespace() {
                 return Ok(());
             }
-            self.scratch.clear();
             self.scanner.expect_str(b"<?xml", "xml declaration")?;
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let res = self
-                .scanner
-                .read_until(b"?>", &mut scratch, "end of xml declaration");
-            self.scratch = scratch;
-            res?;
+            self.scratch.clear();
+            self.scanner
+                .read_until(b"?>", &mut self.scratch, "end of xml declaration")?;
         }
         Ok(())
     }
 
-    /// Parses one `<...>` construct. Returns `None` when the construct was
-    /// consumed silently (skipped comment/PI/doctype handling below).
-    fn parse_markup(&mut self) -> Result<Option<XmlEvent>> {
+    /// Parses one `<...>` construct into `ev`. Returns `false` when the
+    /// construct was consumed silently (skipped comment/PI).
+    fn parse_markup(&mut self, ev: &mut RawEvent) -> Result<bool> {
         if self.scanner.looking_at(b"<!--")? {
-            return self.parse_comment();
+            return self.parse_comment(ev);
         }
         if self.scanner.looking_at(b"<![CDATA[")? {
             // Only valid inside the root; parse_text handles merging. Getting
@@ -222,66 +290,65 @@ impl<R: Read> XmlReader<R> {
             return Err(self.wf("CDATA section outside the root element"));
         }
         if self.scanner.looking_at(b"<!DOCTYPE")? {
-            return self.parse_doctype().map(Some);
+            self.parse_doctype(ev)?;
+            return Ok(true);
         }
         if self.scanner.looking_at(b"<?")? {
-            return self.parse_pi();
+            return self.parse_pi(ev);
         }
         if self.scanner.looking_at(b"</")? {
-            return self.parse_end_tag().map(Some);
+            self.parse_end_tag(ev)?;
+            return Ok(true);
         }
-        self.parse_start_tag().map(Some)
+        self.parse_start_tag(ev)?;
+        Ok(true)
     }
 
-    fn parse_comment(&mut self) -> Result<Option<XmlEvent>> {
+    fn parse_comment(&mut self, ev: &mut RawEvent) -> Result<bool> {
         self.scanner.expect_str(b"<!--", "comment")?;
         self.scratch.clear();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let res = self
-            .scanner
-            .read_until(b"-->", &mut scratch, "end of comment `-->`");
-        let out = res.and_then(|()| {
-            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
-                pos: self.scanner.position(),
-            })
-        });
-        self.scratch = scratch;
-        let text = out?;
+        self.scanner
+            .read_until(b"-->", &mut self.scratch, "end of comment `-->`")?;
+        let pos = self.scanner.position();
+        let text = std::str::from_utf8(&self.scratch).map_err(|_| XmlError::InvalidUtf8 { pos })?;
         if self.config.emit_comments {
-            Ok(Some(XmlEvent::Comment(text)))
+            ev.reset(RawEventKind::Comment);
+            ev.text_mut().push_str(text);
+            Ok(true)
         } else {
-            Ok(None)
+            Ok(false)
         }
     }
 
-    fn parse_pi(&mut self) -> Result<Option<XmlEvent>> {
+    fn parse_pi(&mut self, ev: &mut RawEvent) -> Result<bool> {
         self.scanner.expect_str(b"<?", "processing instruction")?;
-        let target = self.parse_name("processing instruction target")?;
+        ev.reset(RawEventKind::ProcessingInstruction);
+        self.read_name("processing instruction target")?;
+        {
+            let pos = self.scanner.position();
+            let target =
+                std::str::from_utf8(&self.scratch).map_err(|_| XmlError::InvalidUtf8 { pos })?;
+            ev.target_mut().push_str(target);
+        }
         self.scanner.skip_whitespace()?;
-        self.scratch.clear();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let res = self
-            .scanner
-            .read_until(b"?>", &mut scratch, "end of processing instruction");
-        let out = res.and_then(|()| {
-            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
-                pos: self.scanner.position(),
-            })
-        });
-        self.scratch = scratch;
-        let data = out?;
-        if target.eq_ignore_ascii_case("xml") {
+        self.aux.clear();
+        self.scanner
+            .read_until(b"?>", &mut self.aux, "end of processing instruction")?;
+        let pos = self.scanner.position();
+        let data = std::str::from_utf8(&self.aux).map_err(|_| XmlError::InvalidUtf8 { pos })?;
+        if ev.target().eq_ignore_ascii_case("xml") {
             // XML declaration not at document start.
             return Err(self.syntax("xml declaration is only allowed at the start of the document"));
         }
         if self.config.emit_processing_instructions {
-            Ok(Some(XmlEvent::ProcessingInstruction { target, data }))
+            ev.text_mut().push_str(data);
+            Ok(true)
         } else {
-            Ok(None)
+            Ok(false)
         }
     }
 
-    fn parse_doctype(&mut self) -> Result<XmlEvent> {
+    fn parse_doctype(&mut self, ev: &mut RawEvent) -> Result<()> {
         if self.state != State::Prolog {
             return Err(self.wf("DOCTYPE declaration after the root element has started"));
         }
@@ -290,7 +357,14 @@ impl<R: Read> XmlReader<R> {
         if self.scanner.skip_whitespace()? == 0 {
             return Err(self.syntax("whitespace required after <!DOCTYPE"));
         }
-        let name = self.parse_name("doctype root name")?;
+        ev.reset(RawEventKind::DoctypeDecl);
+        self.read_name("doctype root name")?;
+        {
+            let pos = self.scanner.position();
+            let name =
+                std::str::from_utf8(&self.scratch).map_err(|_| XmlError::InvalidUtf8 { pos })?;
+            ev.target_mut().push_str(name);
+        }
         self.scanner.skip_whitespace()?;
         // Optional external id: SYSTEM "..." | PUBLIC "..." "..."
         if self.scanner.looking_at(b"SYSTEM")? {
@@ -306,26 +380,26 @@ impl<R: Read> XmlReader<R> {
             self.skip_quoted("system literal")?;
             self.scanner.skip_whitespace()?;
         }
-        let internal_subset = if self.scanner.peek()? == Some(b'[') {
+        if self.scanner.peek()? == Some(b'[') {
             self.scanner.next_byte()?;
-            Some(self.read_internal_subset()?)
-        } else {
-            None
-        };
+            self.read_internal_subset()?;
+            let pos = self.scanner.position();
+            let subset =
+                std::str::from_utf8(&self.aux).map_err(|_| XmlError::InvalidUtf8 { pos })?;
+            ev.text_mut().push_str(subset);
+            ev.set_has_internal_subset(true);
+        }
         self.scanner.skip_whitespace()?;
         self.scanner
             .expect_byte(b'>', "`>` closing the DOCTYPE declaration")?;
-        Ok(XmlEvent::DoctypeDecl {
-            name,
-            internal_subset,
-        })
+        Ok(())
     }
 
-    /// Reads the internal DTD subset up to the matching `]`, honouring
-    /// quoted literals and comments so `]` inside them does not terminate
-    /// the subset.
-    fn read_internal_subset(&mut self) -> Result<String> {
-        let mut out = Vec::new();
+    /// Reads the internal DTD subset into `self.aux` up to the matching
+    /// `]`, honouring quoted literals and comments so `]` inside them does
+    /// not terminate the subset.
+    fn read_internal_subset(&mut self) -> Result<()> {
+        self.aux.clear();
         loop {
             let b = self
                 .scanner
@@ -337,31 +411,29 @@ impl<R: Read> XmlReader<R> {
             match b {
                 b']' => {
                     self.scanner.next_byte()?;
-                    break;
+                    return Ok(());
                 }
                 b'"' | b'\'' => {
                     self.scanner.next_byte()?;
-                    out.push(b);
+                    self.aux.push(b);
                     let delim = [b];
-                    self.scanner.read_until(&delim, &mut out, "closing quote")?;
-                    out.push(b);
+                    self.scanner
+                        .read_until(&delim, &mut self.aux, "closing quote")?;
+                    self.aux.push(b);
                 }
                 b'<' if self.scanner.looking_at(b"<!--")? => {
                     self.scanner.expect_str(b"<!--", "comment")?;
-                    out.extend_from_slice(b"<!--");
+                    self.aux.extend_from_slice(b"<!--");
                     self.scanner
-                        .read_until(b"-->", &mut out, "end of comment")?;
-                    out.extend_from_slice(b"-->");
+                        .read_until(b"-->", &mut self.aux, "end of comment")?;
+                    self.aux.extend_from_slice(b"-->");
                 }
                 _ => {
                     self.scanner.next_byte()?;
-                    out.push(b);
+                    self.aux.push(b);
                 }
             }
         }
-        String::from_utf8(out).map_err(|_| XmlError::InvalidUtf8 {
-            pos: self.scanner.position(),
-        })
     }
 
     fn skip_quoted(&mut self, what: &'static str) -> Result<()> {
@@ -370,14 +442,15 @@ impl<R: Read> XmlReader<R> {
             _ => return Err(self.syntax(format!("expected quoted {what}"))),
         };
         self.scanner.next_byte()?;
-        let mut sink = Vec::new();
+        self.scratch.clear();
         let delim = [quote];
         self.scanner
-            .read_until(&delim, &mut sink, "closing quote")?;
+            .read_until(&delim, &mut self.scratch, "closing quote")?;
         Ok(())
     }
 
-    fn parse_name(&mut self, what: &'static str) -> Result<String> {
+    /// Reads a name token into `self.scratch`.
+    fn read_name(&mut self, what: &'static str) -> Result<()> {
         match self.scanner.peek()? {
             Some(b) if is_name_start(b) => {}
             Some(_) => return Err(self.syntax(format!("invalid {what}"))),
@@ -389,56 +462,68 @@ impl<R: Read> XmlReader<R> {
             }
         }
         self.scratch.clear();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let res = self.scanner.read_while(is_name_char, &mut scratch);
-        let out = res.and_then(|()| {
-            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
-                pos: self.scanner.position(),
-            })
-        });
-        self.scratch = scratch;
-        out
+        self.scanner.read_while(is_name_char, &mut self.scratch)
     }
 
-    fn parse_start_tag(&mut self) -> Result<XmlEvent> {
+    /// Reads a name token and interns it — no allocation once the name has
+    /// been seen before.
+    fn intern_name(&mut self, what: &'static str) -> Result<Symbol> {
+        self.read_name(what)?;
+        let pos = self.scanner.position();
+        let name = std::str::from_utf8(&self.scratch).map_err(|_| XmlError::InvalidUtf8 { pos })?;
+        Ok(self.symbols.intern(name))
+    }
+
+    fn parse_start_tag(&mut self, ev: &mut RawEvent) -> Result<()> {
         if self.state == State::Epilog {
             return Err(self.wf("multiple root elements"));
         }
         self.scanner.expect_byte(b'<', "`<`")?;
-        let name = self.parse_name("element name")?;
-        let mut attributes: Vec<Attribute> = Vec::new();
+        let name = self.intern_name("element name")?;
+        ev.reset(RawEventKind::StartElement);
+        ev.set_name(name);
         loop {
             let had_ws = self.scanner.skip_whitespace()? > 0;
             match self.scanner.peek()? {
                 Some(b'>') => {
                     self.scanner.next_byte()?;
-                    self.enter_element(&name)?;
-                    return Ok(XmlEvent::StartElement { name, attributes });
+                    self.enter_element(name)?;
+                    return Ok(());
                 }
                 Some(b'/') => {
                     self.scanner.next_byte()?;
                     self.scanner
                         .expect_byte(b'>', "`>` after `/` in empty-element tag")?;
-                    self.enter_element(&name)?;
-                    self.pending_end = Some(name.clone());
-                    return Ok(XmlEvent::StartElement { name, attributes });
+                    self.enter_element(name)?;
+                    self.pending_end = Some(name);
+                    return Ok(());
                 }
                 Some(b) if is_name_start(b) => {
                     if !had_ws {
                         return Err(self.syntax("whitespace required before attribute"));
                     }
-                    let attr_name = self.parse_name("attribute name")?;
+                    let attr_name = self.intern_name("attribute name")?;
                     self.scanner.skip_whitespace()?;
                     self.scanner.expect_byte(b'=', "`=` after attribute name")?;
                     self.scanner.skip_whitespace()?;
-                    let value = self.parse_attr_value()?;
-                    if attributes.iter().any(|a| a.name == attr_name) {
-                        return Err(self.wf(format!("duplicate attribute `{attr_name}`")));
+                    self.read_attr_value_raw()?;
+                    let pos = self.scanner.position();
+                    let raw = std::str::from_utf8(&self.scratch)
+                        .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                    if raw.contains('<') {
+                        return Err(XmlError::WellFormedness {
+                            message: "`<` is not allowed in attribute values".to_string(),
+                            pos,
+                        });
                     }
-                    attributes.push(Attribute {
-                        name: attr_name,
-                        value,
-                    });
+                    unescape_into(raw, pos, ev.push_attr(attr_name))?;
+                    let live = ev.attributes();
+                    if live[..live.len() - 1].iter().any(|a| a.name == attr_name) {
+                        return Err(self.wf(format!(
+                            "duplicate attribute `{}`",
+                            self.symbols.name(attr_name)
+                        )));
+                    }
                 }
                 Some(_) => return Err(self.syntax("malformed start tag")),
                 None => {
@@ -451,7 +536,9 @@ impl<R: Read> XmlReader<R> {
         }
     }
 
-    fn parse_attr_value(&mut self) -> Result<String> {
+    /// Reads a quoted attribute value's raw (still-escaped) bytes into
+    /// `self.scratch`, consuming both quotes.
+    fn read_attr_value_raw(&mut self) -> Result<()> {
         let quote = match self.scanner.peek()? {
             Some(q @ (b'"' | b'\'')) => q,
             Some(_) => return Err(self.syntax("attribute value must be quoted")),
@@ -464,44 +551,39 @@ impl<R: Read> XmlReader<R> {
         };
         self.scanner.next_byte()?;
         self.scratch.clear();
-        let mut scratch = std::mem::take(&mut self.scratch);
         let delim = [quote];
-        let res = self
-            .scanner
-            .read_until(&delim, &mut scratch, "closing attribute quote");
-        let out = res.and_then(|()| {
-            String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
-                pos: self.scanner.position(),
-            })
-        });
-        self.scratch = scratch;
-        let raw = out?;
-        if raw.contains('<') {
-            return Err(self.wf("`<` is not allowed in attribute values"));
-        }
-        unescape(&raw, self.scanner.position())
+        self.scanner
+            .read_until(&delim, &mut self.scratch, "closing attribute quote")
     }
 
-    fn parse_end_tag(&mut self) -> Result<XmlEvent> {
+    fn parse_end_tag(&mut self, ev: &mut RawEvent) -> Result<()> {
         self.scanner.expect_str(b"</", "end tag")?;
-        let name = self.parse_name("element name in end tag")?;
+        let name = self.intern_name("element name in end tag")?;
         self.scanner.skip_whitespace()?;
         self.scanner.expect_byte(b'>', "`>` closing the end tag")?;
         match self.stack.last() {
-            Some(open) if *open == name => {}
-            Some(open) => {
-                let open = open.clone();
+            Some(&open) if open == name => {}
+            Some(&open) => {
                 return Err(self.wf(format!(
-                    "mismatched end tag: expected </{open}>, found </{name}>"
+                    "mismatched end tag: expected </{}>, found </{}>",
+                    self.symbols.name(open),
+                    self.symbols.name(name)
                 )));
             }
-            None => return Err(self.wf(format!("end tag </{name}> with no open element"))),
+            None => {
+                return Err(self.wf(format!(
+                    "end tag </{}> with no open element",
+                    self.symbols.name(name)
+                )))
+            }
         }
         self.leave_element();
-        Ok(XmlEvent::EndElement { name })
+        ev.reset(RawEventKind::EndElement);
+        ev.set_name(name);
+        Ok(())
     }
 
-    fn enter_element(&mut self, name: &str) -> Result<()> {
+    fn enter_element(&mut self, name: Symbol) -> Result<()> {
         if self.stack.len() >= self.config.max_depth {
             return Err(self.wf(format!(
                 "element nesting deeper than the configured limit of {}",
@@ -511,7 +593,7 @@ impl<R: Read> XmlReader<R> {
         if self.state == State::Prolog {
             self.state = State::InRoot;
         }
-        self.stack.push(name.to_string());
+        self.stack.push(name);
         Ok(())
     }
 
@@ -522,39 +604,33 @@ impl<R: Read> XmlReader<R> {
         }
     }
 
-    /// Parses a maximal run of character data, merging adjacent CDATA
-    /// sections, and resolving entity references.
-    fn parse_text(&mut self) -> Result<XmlEvent> {
-        let mut text = String::new();
+    /// Parses a maximal run of character data into `ev`, merging adjacent
+    /// CDATA sections and resolving entity references.
+    fn parse_text(&mut self, ev: &mut RawEvent) -> Result<()> {
+        ev.reset(RawEventKind::Text);
         loop {
             match self.scanner.peek()? {
                 Some(b'<') => {
                     if self.scanner.looking_at(b"<![CDATA[")? {
                         self.scanner.expect_str(b"<![CDATA[", "CDATA section")?;
-                        let mut raw = Vec::new();
+                        self.aux.clear();
                         self.scanner
-                            .read_until(b"]]>", &mut raw, "`]]>` ending CDATA")?;
-                        let chunk = String::from_utf8(raw).map_err(|_| XmlError::InvalidUtf8 {
-                            pos: self.scanner.position(),
-                        })?;
-                        text.push_str(&chunk);
+                            .read_until(b"]]>", &mut self.aux, "`]]>` ending CDATA")?;
+                        let pos = self.scanner.position();
+                        let chunk = std::str::from_utf8(&self.aux)
+                            .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                        ev.text_mut().push_str(chunk);
                     } else {
                         break;
                     }
                 }
                 Some(_) => {
                     self.scratch.clear();
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    let res = self.scanner.read_while(|b| b != b'<', &mut scratch);
-                    let out = res.and_then(|()| {
-                        String::from_utf8(scratch.clone()).map_err(|_| XmlError::InvalidUtf8 {
-                            pos: self.scanner.position(),
-                        })
-                    });
-                    self.scratch = scratch;
-                    let raw = out?;
-                    let unescaped = unescape(&raw, self.scanner.position())?;
-                    text.push_str(&unescaped);
+                    self.scanner.read_while(|b| b != b'<', &mut self.scratch)?;
+                    let pos = self.scanner.position();
+                    let raw = std::str::from_utf8(&self.scratch)
+                        .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                    unescape_into(raw, pos, ev.text_mut())?;
                 }
                 None => {
                     return Err(XmlError::UnexpectedEof {
@@ -564,7 +640,7 @@ impl<R: Read> XmlReader<R> {
                 }
             }
         }
-        Ok(XmlEvent::Text(text))
+        Ok(())
     }
 }
 
@@ -582,10 +658,10 @@ pub fn parse_to_events(input: &str) -> Result<Vec<XmlEvent>> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Attribute;
 
     fn events(input: &str) -> Vec<XmlEvent> {
         parse_to_events(input).expect("parse failed")
@@ -893,5 +969,64 @@ mod tests {
             }
         }
         assert!(found);
+    }
+
+    // ----- raw (interned, recycled) API -----
+
+    #[test]
+    fn next_into_recycles_one_event() {
+        let doc = "<bib><book year=\"1994\"><title>T &amp; U</title></book><book/></bib>";
+        let mut reader = XmlReader::new(doc.as_bytes());
+        let mut ev = RawEvent::new();
+        let mut rendered = Vec::new();
+        while reader.next_into(&mut ev).unwrap() {
+            rendered.push(ev.to_xml_event(reader.symbols()));
+        }
+        assert_eq!(rendered, parse_to_events(doc).unwrap());
+        // Exhausted: further calls keep returning false.
+        assert!(!reader.next_into(&mut ev).unwrap());
+    }
+
+    #[test]
+    fn raw_symbols_are_stable_per_name() {
+        let doc = "<a><b/><b/><a2/></a>";
+        let mut reader = XmlReader::new(doc.as_bytes());
+        let mut ev = RawEvent::new();
+        let mut b_syms = Vec::new();
+        while reader.next_into(&mut ev).unwrap() {
+            if ev.kind() == RawEventKind::StartElement && reader.symbols().name(ev.name()) == "b" {
+                b_syms.push(ev.name());
+            }
+        }
+        assert_eq!(b_syms.len(), 2);
+        assert_eq!(b_syms[0], b_syms[1], "same name, same symbol");
+    }
+
+    #[test]
+    fn seeded_symbols_are_shared() {
+        let mut table = flux_symbols::SymbolTable::new();
+        let book = table.intern("book");
+        let mut reader =
+            XmlReader::with_symbols("<book/>".as_bytes(), ReaderConfig::default(), table);
+        let mut ev = RawEvent::new();
+        let mut seen = None;
+        while reader.next_into(&mut ev).unwrap() {
+            if ev.kind() == RawEventKind::StartElement {
+                seen = Some(ev.name());
+            }
+        }
+        assert_eq!(seen, Some(book), "stream symbol coincides with seed symbol");
+    }
+
+    #[test]
+    fn mixed_raw_and_owned_pulls_agree() {
+        let doc = "<a><b>x</b><c k=\"v\"/></a>";
+        let mut reader = XmlReader::new(doc.as_bytes());
+        let mut ev = RawEvent::new();
+        assert!(reader.next_into(&mut ev).unwrap()); // start-document
+        let owned = reader.next_event().unwrap(); // start a (owned API)
+        assert_eq!(owned.element_name(), Some("a"));
+        assert!(reader.next_into(&mut ev).unwrap()); // start b (raw API)
+        assert_eq!(reader.symbols().name(ev.name()), "b");
     }
 }

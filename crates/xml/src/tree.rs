@@ -6,9 +6,10 @@
 //! experiments can account buffered memory deterministically.
 
 use crate::error::{Result, XmlError};
-use crate::event::{Attribute, XmlEvent};
+use crate::event::{Attribute, RawEvent, RawEventKind, XmlEvent};
 use crate::reader::XmlReader;
 use crate::writer::XmlWriter;
+use flux_symbols::SymbolTable;
 use std::io::Read;
 
 /// Index of a node inside a [`Document`] arena.
@@ -336,6 +337,39 @@ impl TreeBuilder {
         *self.stack.last().expect("builder stack never empty")
     }
 
+    /// Opens an element node (shared by both event representations).
+    fn start_node(&mut self, name: &str, attributes: Vec<Attribute>) {
+        let id = self.doc.create_element(name, attributes);
+        let parent = self.top();
+        self.doc.append_child(parent, id);
+        self.stack.push(id);
+    }
+
+    /// Closes the innermost open element.
+    fn end_node(&mut self) -> Result<()> {
+        if self.stack.len() <= 1 {
+            return Err(XmlError::WriterMisuse {
+                message: "unbalanced end element fed to TreeBuilder".to_string(),
+            });
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    /// Appends text, merging with a preceding text sibling to keep string
+    /// values independent of how the input was chunked.
+    fn text_node(&mut self, t: &str) {
+        let parent = self.top();
+        if let Some(&last) = self.doc.children(parent).last() {
+            if let NodeKind::Text(existing) = &mut self.doc.nodes[last.index()].kind {
+                existing.push_str(t);
+                return;
+            }
+        }
+        let id = self.doc.create_text(t);
+        self.doc.append_child(parent, id);
+    }
+
     /// Feeds one event into the tree.
     pub fn event(&mut self, ev: &XmlEvent) -> Result<()> {
         match ev {
@@ -345,33 +379,41 @@ impl TreeBuilder {
             | XmlEvent::Comment(_)
             | XmlEvent::ProcessingInstruction { .. } => Ok(()),
             XmlEvent::StartElement { name, attributes } => {
-                let id = self.doc.create_element(name.clone(), attributes.clone());
-                let parent = self.top();
-                self.doc.append_child(parent, id);
-                self.stack.push(id);
+                self.start_node(name, attributes.clone());
                 Ok(())
             }
-            XmlEvent::EndElement { .. } => {
-                if self.stack.len() <= 1 {
-                    return Err(XmlError::WriterMisuse {
-                        message: "unbalanced end element fed to TreeBuilder".to_string(),
-                    });
-                }
-                self.stack.pop();
-                Ok(())
-            }
+            XmlEvent::EndElement { .. } => self.end_node(),
             XmlEvent::Text(t) => {
-                // Merge with a preceding text sibling to keep string values
-                // independent of how the input was chunked.
-                let parent = self.top();
-                if let Some(&last) = self.doc.children(parent).last() {
-                    if let NodeKind::Text(existing) = &mut self.doc.nodes[last.index()].kind {
-                        existing.push_str(t);
-                        return Ok(());
-                    }
-                }
-                let id = self.doc.create_text(t.clone());
-                self.doc.append_child(parent, id);
+                self.text_node(t);
+                Ok(())
+            }
+        }
+    }
+
+    /// Feeds one raw (interned) event, mapping names back through
+    /// `symbols`. Materialising a tree inherently copies names and text,
+    /// so this allocates exactly what the owned-event path does minus the
+    /// intermediate event itself.
+    pub fn raw_event(&mut self, symbols: &SymbolTable, ev: &RawEvent) -> Result<()> {
+        match ev.kind() {
+            RawEventKind::StartDocument
+            | RawEventKind::EndDocument
+            | RawEventKind::DoctypeDecl
+            | RawEventKind::Comment
+            | RawEventKind::ProcessingInstruction => Ok(()),
+            RawEventKind::StartElement => {
+                self.start_node(
+                    symbols.name(ev.name()),
+                    ev.attributes()
+                        .iter()
+                        .map(|a| a.to_attribute(symbols))
+                        .collect(),
+                );
+                Ok(())
+            }
+            RawEventKind::EndElement => self.end_node(),
+            RawEventKind::Text => {
+                self.text_node(ev.text());
                 Ok(())
             }
         }

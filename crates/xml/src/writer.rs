@@ -6,7 +6,8 @@
 
 use crate::error::{Result, XmlError};
 use crate::escape::{escape_attr_into, escape_text_into};
-use crate::event::{Attribute, XmlEvent};
+use crate::event::{Attribute, RawAttr, RawEvent, RawEventKind, XmlEvent};
+use flux_symbols::{Symbol, SymbolTable};
 use std::io::Write;
 
 /// Configuration for [`XmlWriter`].
@@ -24,6 +25,9 @@ pub struct XmlWriter<W: Write> {
     sink: W,
     config: WriterConfig,
     stack: Vec<String>,
+    /// Name buffers recycled from closed elements, so the steady-state
+    /// output loop does not allocate per start tag.
+    spare_names: Vec<String>,
     /// Whether anything was written inside the current element (affects
     /// indentation only).
     had_child: Vec<bool>,
@@ -43,6 +47,7 @@ impl<W: Write> XmlWriter<W> {
             sink,
             config,
             stack: Vec::new(),
+            spare_names: Vec::new(),
             had_child: Vec::new(),
             bytes_written: 0,
             scratch: String::new(),
@@ -93,8 +98,9 @@ impl<W: Write> XmlWriter<W> {
         Ok(())
     }
 
-    /// Writes a start tag.
-    pub fn start_element(&mut self, name: &str, attributes: &[Attribute]) -> Result<()> {
+    /// Opens a start tag (everything up to the attributes) and pushes the
+    /// element name onto the open stack, recycling a spare name buffer.
+    fn open_tag(&mut self, name: &str) -> Result<()> {
         self.maybe_declaration()?;
         if let Some(flag) = self.had_child.last_mut() {
             *flag = true;
@@ -102,21 +108,54 @@ impl<W: Write> XmlWriter<W> {
         self.newline_indent()?;
         self.raw("<")?;
         self.raw(name)?;
+        let mut owned = self.spare_names.pop().unwrap_or_default();
+        owned.clear();
+        owned.push_str(name);
+        self.stack.push(owned);
+        Ok(())
+    }
+
+    /// Writes one escaped attribute.
+    fn write_attr(&mut self, name: &str, value: &str) -> Result<()> {
+        self.raw(" ")?;
+        self.raw(name)?;
+        self.raw("=\"")?;
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        escape_attr_into(value, &mut scratch);
+        let res = self.raw(&scratch);
+        scratch.clear();
+        self.scratch = scratch;
+        res?;
+        self.raw("\"")
+    }
+
+    /// Writes a start tag.
+    pub fn start_element(&mut self, name: &str, attributes: &[Attribute]) -> Result<()> {
+        self.open_tag(name)?;
         for attr in attributes {
-            self.raw(" ")?;
-            self.raw(&attr.name)?;
-            self.raw("=\"")?;
-            self.scratch.clear();
-            let mut scratch = std::mem::take(&mut self.scratch);
-            escape_attr_into(&attr.value, &mut scratch);
-            let res = self.raw(&scratch);
-            scratch.clear();
-            self.scratch = scratch;
-            res?;
-            self.raw("\"")?;
+            self.write_attr(&attr.name, &attr.value)?;
         }
         self.raw(">")?;
-        self.stack.push(name.to_string());
+        self.had_child.push(false);
+        Ok(())
+    }
+
+    /// Writes a start tag from interned-symbol parts, mapping names back
+    /// through the shared `symbols` table. The steady-state cost is the
+    /// same as [`XmlWriter::start_element`] minus all name allocations.
+    pub fn start_element_raw(
+        &mut self,
+        symbols: &SymbolTable,
+        name: Symbol,
+        attributes: &[RawAttr],
+    ) -> Result<()> {
+        self.open_tag(symbols.name(name))?;
+        for attr in attributes {
+            let attr_name = symbols.name(attr.name);
+            self.write_attr(attr_name, &attr.value)?;
+        }
+        self.raw(">")?;
         self.had_child.push(false);
         Ok(())
     }
@@ -133,6 +172,7 @@ impl<W: Write> XmlWriter<W> {
         self.raw("</")?;
         self.raw(&name)?;
         self.raw(">")?;
+        self.spare_names.push(name);
         Ok(())
     }
 
@@ -162,6 +202,17 @@ impl<W: Write> XmlWriter<W> {
         self.raw("-->")
     }
 
+    /// Writes a processing instruction (shared by both event paths).
+    fn processing_instruction(&mut self, target: &str, data: &str) -> Result<()> {
+        self.raw("<?")?;
+        self.raw(target)?;
+        if !data.is_empty() {
+            self.raw(" ")?;
+            self.raw(data)?;
+        }
+        self.raw("?>")
+    }
+
     /// Writes one event. `StartDocument`/`EndDocument` are accepted and
     /// ignored so an event stream can be piped through unchanged.
     pub fn write_event(&mut self, event: &XmlEvent) -> Result<()> {
@@ -174,13 +225,27 @@ impl<W: Write> XmlWriter<W> {
             XmlEvent::Text(t) => self.text(t),
             XmlEvent::Comment(c) => self.comment(c),
             XmlEvent::ProcessingInstruction { target, data } => {
-                self.raw("<?")?;
-                self.raw(target)?;
-                if !data.is_empty() {
-                    self.raw(" ")?;
-                    self.raw(data)?;
-                }
-                self.raw("?>")
+                self.processing_instruction(target, data)
+            }
+        }
+    }
+
+    /// Writes one raw (interned) event, mapping symbols back through
+    /// `symbols`. `StartDocument`/`EndDocument`/doctype events are accepted
+    /// and ignored so a raw event stream can be piped through unchanged.
+    pub fn write_raw_event(&mut self, symbols: &SymbolTable, event: &RawEvent) -> Result<()> {
+        match event.kind() {
+            RawEventKind::StartDocument | RawEventKind::EndDocument | RawEventKind::DoctypeDecl => {
+                Ok(())
+            }
+            RawEventKind::StartElement => {
+                self.start_element_raw(symbols, event.name(), event.attributes())
+            }
+            RawEventKind::EndElement => self.end_element(),
+            RawEventKind::Text => self.text(event.text()),
+            RawEventKind::Comment => self.comment(event.text()),
+            RawEventKind::ProcessingInstruction => {
+                self.processing_instruction(event.target(), event.text())
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Property tests: serialise → parse is the identity on event streams, for
 //! arbitrary trees and arbitrary text/attribute content.
 
-use flux_xml::{escape, events_to_string, parse_to_events, Attribute, XmlEvent};
+use flux_xml::{
+    escape, events_to_string, parse_to_events, Attribute, RawEvent, XmlEvent, XmlReader, XmlWriter,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -105,6 +107,21 @@ proptest! {
         prop_assert_eq!(&back, &s);
     }
 
+    /// The interned reader → writer pipeline is byte-identical to the
+    /// string-based one on generated documents (names, attributes, text
+    /// with entities — and CDATA via `kitchen_sink_raw_path` below).
+    #[test]
+    fn raw_path_matches_string_path(seed in 0u64..1_000_000) {
+        let events = random_events(seed);
+        let text = events_to_string(&events).expect("serialise");
+        let via_strings = pipe_through_strings(&text);
+        let via_symbols = pipe_through_symbols(&text);
+        prop_assert_eq!(
+            &via_strings, &via_symbols,
+            "interned pipeline diverged for:\n{}", text
+        );
+    }
+
     /// Parsing is a fixpoint: parse(serialise(parse(x))) == parse(x).
     #[test]
     fn parse_serialise_fixpoint(seed in 0u64..1_000_000) {
@@ -114,6 +131,48 @@ proptest! {
         let text2 = events_to_string(&events2).expect("serialise 2");
         prop_assert_eq!(text1, text2);
     }
+}
+
+/// Reads `text` with the owned-`XmlEvent` API and re-serialises it.
+fn pipe_through_strings(text: &str) -> String {
+    let mut reader = XmlReader::new(text.as_bytes());
+    let mut writer = XmlWriter::new(Vec::new());
+    loop {
+        let ev = reader.next_event().expect("string-path parse");
+        let done = ev == XmlEvent::EndDocument;
+        writer.write_event(&ev).expect("string-path write");
+        if done {
+            break;
+        }
+    }
+    writer.finish().expect("string-path finish");
+    String::from_utf8(writer.into_inner()).expect("utf8 output")
+}
+
+/// Reads `text` with the recycled interned-event API and re-serialises it,
+/// mapping symbols back through the reader's table.
+fn pipe_through_symbols(text: &str) -> String {
+    let mut reader = XmlReader::new(text.as_bytes());
+    let mut writer = XmlWriter::new(Vec::new());
+    let mut ev = RawEvent::new();
+    while reader.next_into(&mut ev).expect("raw-path parse") {
+        writer
+            .write_raw_event(reader.symbols(), &ev)
+            .expect("raw-path write");
+    }
+    writer.finish().expect("raw-path finish");
+    String::from_utf8(writer.into_inner()).expect("utf8 output")
+}
+
+/// The raw path agrees byte-for-byte on a document with every syntactic
+/// feature: doctype, comments, CDATA, entities, attributes in both quote
+/// styles, multi-byte UTF-8.
+#[test]
+fn kitchen_sink_raw_path() {
+    let doc = "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]>\
+               <r a=\"1\" b='two &amp; three'><!-- comment -->text &lt;here&gt; grüße 💡\
+               <child/><![CDATA[raw <stuff> &amp;]]><deep><deeper>x</deeper></deep></r>";
+    assert_eq!(pipe_through_strings(doc), pipe_through_symbols(doc));
 }
 
 /// Documents with every syntactic feature survive a tree round trip.

@@ -102,7 +102,7 @@ fn collect_free(expr: &Expr, bound: &mut Vec<VarName>, out: &mut BTreeSet<VarNam
     }
 }
 
-fn collect_free_cond(cond: &Cond, bound: &mut Vec<VarName>, out: &mut BTreeSet<VarName>) {
+fn collect_free_cond(cond: &Cond, bound: &mut [VarName], out: &mut BTreeSet<VarName>) {
     let mut paths = Vec::new();
     cond.paths(&mut paths);
     for p in paths {

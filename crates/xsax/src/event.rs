@@ -74,6 +74,23 @@ pub enum XsaxEvent {
     },
 }
 
+/// The result of one [`crate::XsaxParser::next_into`] pull — the
+/// allocation-free counterpart of [`XsaxEvent`].
+///
+/// `Sax` means the caller's recycled [`flux_xml::RawEvent`] now holds the
+/// next validated event; `Fire` is a fired past query (the buffer is left
+/// untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XsaxStep {
+    Sax,
+    /// The registered query `id` fired for the instance of its element type
+    /// at nesting `depth` (root = 1).
+    Fire {
+        id: PastId,
+        depth: usize,
+    },
+}
+
 impl XsaxEvent {
     pub fn as_sax(&self) -> Option<&XmlEvent> {
         match self {

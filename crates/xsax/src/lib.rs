@@ -29,5 +29,5 @@ pub mod event;
 pub mod parser;
 
 pub use error::{Result, XsaxError};
-pub use event::{PastId, PastLabels, XsaxEvent};
-pub use parser::{XsaxConfig, XsaxParser};
+pub use event::{PastId, PastLabels, XsaxEvent, XsaxStep};
+pub use parser::{validate, XsaxConfig, XsaxParser};

@@ -1,9 +1,18 @@
 //! The XSAX parser: DTD validation + `on-first` event generation.
+//!
+//! The parser is **symbol-native**: at construction it clones the DTD's
+//! [`SymbolTable`] into the underlying [`XmlReader`], so the symbols the
+//! reader produces *are* the symbols the DTD's content-model DFAs
+//! transition on — no per-event name lookup or re-hashing anywhere. Element
+//! declarations and attribute lists are pre-resolved into dense
+//! symbol-indexed tables. The hot pull API is [`XsaxParser::next_into`],
+//! which recycles one caller-owned [`RawEvent`]; the owned
+//! [`XsaxParser::next`] API wraps it for tests and tools.
 
 use crate::error::{Result, XsaxError};
-use crate::event::{PastId, PastLabels, XsaxEvent};
-use flux_dtd::{AttDefault, Dfa, Dtd, StateId, Symbol, SymbolTable};
-use flux_xml::{Attribute, XmlEvent, XmlReader};
+use crate::event::{PastId, PastLabels, XsaxEvent, XsaxStep};
+use flux_dtd::{AttDefault, Dfa, Dtd, ElementDecl, StateId, Symbol, SymbolTable};
+use flux_xml::{RawEvent, RawEventKind, XmlEvent, XmlReader};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 
@@ -52,6 +61,20 @@ struct OpenElement<'d> {
     trackers: Vec<Tracker>,
 }
 
+/// One pre-resolved `ATTLIST` entry: interned name, requiredness, and the
+/// default value to inject when the attribute is absent.
+struct AttPlan<'d> {
+    name: Symbol,
+    required: bool,
+    default: Option<&'d str>,
+}
+
+/// A queued deliverable: the parked sax event, or a fired past query.
+enum Pending {
+    Sax,
+    Fire { id: PastId, depth: usize },
+}
+
 /// The XSAX validating parser. See the crate docs for the event-ordering
 /// contract.
 pub struct XsaxParser<'d, R: Read> {
@@ -60,8 +83,19 @@ pub struct XsaxParser<'d, R: Read> {
     config: XsaxConfig,
     registrations: Vec<Registration>,
     by_element: HashMap<Symbol, Vec<PastId>>,
+    /// Dense per-symbol element declarations (`decls[sym.index()]`);
+    /// symbols interned after construction (attribute names, undeclared
+    /// element names) fall off the end and resolve to `None`.
+    decls: Vec<Option<&'d ElementDecl>>,
+    /// Dense per-symbol attribute plans, same indexing as `decls`.
+    atts: Vec<Vec<AttPlan<'d>>>,
     stack: Vec<OpenElement<'d>>,
-    pending: VecDeque<XsaxEvent>,
+    /// Deliverables for the current stream seam, in delivery order.
+    pending: VecDeque<Pending>,
+    /// The sax event referenced by `Pending::Sax`, awaiting delivery.
+    parked: RawEvent,
+    /// Recycled event backing the owned-`XsaxEvent` compatibility API.
+    compat: RawEvent,
     started: bool,
     finished: bool,
 }
@@ -81,14 +115,46 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 message: "the DTD has no unambiguous root element".to_string(),
             });
         }
+        // Seed the reader's interner with the DTD's table: clones preserve
+        // indices, so stream symbols coincide with schema symbols. Attlist
+        // names are interned up front so attribute validation is symbol
+        // equality too.
+        let mut symbols = dtd.symbols().clone();
+        let mut decls: Vec<Option<&'d ElementDecl>> = vec![None; symbols.len()];
+        let mut atts: Vec<Vec<AttPlan<'d>>> = Vec::new();
+        for decl in dtd.elements() {
+            decls[decl.name.index()] = Some(decl);
+        }
+        for decl in dtd.elements() {
+            let plans: Vec<AttPlan<'d>> = decl
+                .attlist
+                .iter()
+                .map(|def| AttPlan {
+                    name: symbols.intern(&def.name),
+                    required: matches!(def.default, AttDefault::Required),
+                    default: match &def.default {
+                        AttDefault::Default(v) | AttDefault::Fixed(v) => Some(v.as_str()),
+                        _ => None,
+                    },
+                })
+                .collect();
+            if atts.len() <= decl.name.index() {
+                atts.resize_with(decl.name.index() + 1, Vec::new);
+            }
+            atts[decl.name.index()] = plans;
+        }
         Ok(XsaxParser {
-            reader: XmlReader::new(src),
+            reader: XmlReader::with_symbols(src, Default::default(), symbols),
             dtd,
             config,
             registrations: Vec::new(),
             by_element: HashMap::new(),
+            decls,
+            atts,
             stack: Vec::new(),
             pending: VecDeque::new(),
+            parked: RawEvent::new(),
+            compat: RawEvent::new(),
             started: false,
             finished: false,
         })
@@ -114,6 +180,12 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         self.registrations.len()
     }
 
+    /// The shared symbol table (DTD symbols plus names interned from the
+    /// stream). Use it to render the symbols in raw events.
+    pub fn symbols(&self) -> &SymbolTable {
+        self.reader.symbols()
+    }
+
     /// Current input position.
     pub fn position(&self) -> flux_xml::Position {
         self.reader.position()
@@ -127,13 +199,13 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     }
 
     /// Fires all trackers of `elem` whose past condition holds at `state`
-    /// (or unconditionally with `force`), appending events to `out`.
+    /// (or unconditionally with `force`), queueing fire deliverables.
     fn fire_ready(
         registrations: &[Registration],
         elem: &mut OpenElement<'_>,
         state: StateId,
         force: bool,
-        out: &mut Vec<XsaxEvent>,
+        out: &mut VecDeque<Pending>,
     ) {
         let dfa = elem.dfa;
         let text_allowed = elem.text_allowed;
@@ -145,7 +217,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
             let reg = &registrations[tracker.id.index()];
             if force || is_past_at(dfa, text_allowed, &reg.labels, state) {
                 tracker.fired = true;
-                out.push(XsaxEvent::OnFirstPast {
+                out.push_back(Pending::Fire {
                     id: tracker.id,
                     depth,
                 });
@@ -153,24 +225,37 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         }
     }
 
-    /// Pulls the next event, or `None` after `EndDocument`.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Result<Option<XsaxEvent>> {
-        if let Some(ev) = self.pending.pop_front() {
-            return Ok(Some(ev));
-        }
-        if self.finished {
-            return Ok(None);
-        }
-        self.started = true;
+    /// Pulls the next step, recycling the caller-owned `ev`.
+    ///
+    /// Returns [`XsaxStep::Sax`] when `ev` now holds the next validated
+    /// event, [`XsaxStep::Fire`] for a fired past query (with `ev`
+    /// untouched), or `None` after `EndDocument` has been delivered. This
+    /// is the allocation-free hot path: names stay interned, buffers are
+    /// swapped rather than copied.
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<Option<XsaxStep>> {
         loop {
-            let ev = self.reader.next_event()?;
-            match ev {
-                XmlEvent::StartDocument => {
-                    return Ok(Some(XsaxEvent::Sax(XmlEvent::StartDocument)));
-                }
-                XmlEvent::DoctypeDecl { ref name, .. } => {
+            if let Some(p) = self.pending.pop_front() {
+                return Ok(Some(match p {
+                    Pending::Sax => {
+                        std::mem::swap(ev, &mut self.parked);
+                        XsaxStep::Sax
+                    }
+                    Pending::Fire { id, depth } => XsaxStep::Fire { id, depth },
+                }));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            self.started = true;
+            if !self.reader.next_into(&mut self.parked)? {
+                self.finished = true;
+                return Ok(None);
+            }
+            match self.parked.kind() {
+                RawEventKind::StartDocument => self.pending.push_back(Pending::Sax),
+                RawEventKind::DoctypeDecl => {
                     if let Some(root) = self.dtd.root() {
+                        let name = self.parked.target();
                         if self.dtd.lookup(name) != Some(root) {
                             return Err(self.validation(format!(
                                 "DOCTYPE names `{name}` but the DTD root is `{}`",
@@ -178,40 +263,58 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                             )));
                         }
                     }
-                    return Ok(Some(XsaxEvent::Sax(ev)));
+                    self.pending.push_back(Pending::Sax);
                 }
-                XmlEvent::StartElement { name, attributes } => {
-                    return self.handle_start(name, attributes).map(Some);
-                }
-                XmlEvent::EndElement { name } => {
-                    return self.handle_end(name).map(Some);
-                }
-                XmlEvent::Text(text) => {
-                    match self.handle_text(text)? {
-                        Some(ev) => return Ok(Some(ev)),
-                        None => continue, // suppressed ignorable whitespace
-                    }
-                }
-                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => continue,
-                XmlEvent::EndDocument => {
+                RawEventKind::StartElement => self.handle_start()?,
+                RawEventKind::EndElement => self.handle_end()?,
+                RawEventKind::Text => self.handle_text()?,
+                RawEventKind::Comment | RawEventKind::ProcessingInstruction => {}
+                RawEventKind::EndDocument => {
                     self.finished = true;
-                    return Ok(Some(XsaxEvent::Sax(XmlEvent::EndDocument)));
+                    self.pending.push_back(Pending::Sax);
                 }
             }
         }
     }
 
-    fn handle_start(&mut self, name: String, mut attributes: Vec<Attribute>) -> Result<XsaxEvent> {
-        let sym = self.dtd.lookup(&name).ok_or_else(|| {
-            self.validation(format!("element `{name}` is not declared in the DTD"))
-        })?;
-        let decl = self.dtd.element(sym).ok_or_else(|| {
-            self.validation(format!("element `{name}` is not declared in the DTD"))
-        })?;
+    /// Pulls the next event as an owned [`XsaxEvent`], or `None` after
+    /// `EndDocument`. Allocates per event — prefer
+    /// [`XsaxParser::next_into`] on hot paths.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XsaxEvent>> {
+        let mut ev = std::mem::take(&mut self.compat);
+        let res = self.next_into(&mut ev);
+        let out = match res {
+            Ok(Some(XsaxStep::Sax)) => {
+                Ok(Some(XsaxEvent::Sax(ev.to_xml_event(self.reader.symbols()))))
+            }
+            Ok(Some(XsaxStep::Fire { id, depth })) => {
+                Ok(Some(XsaxEvent::OnFirstPast { id, depth }))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        self.compat = ev;
+        out
+    }
+
+    /// Looks up the pre-resolved declaration for a stream symbol.
+    fn decl_of(&self, sym: Symbol) -> Option<&'d ElementDecl> {
+        self.decls.get(sym.index()).copied().flatten()
+    }
+
+    fn handle_start(&mut self) -> Result<()> {
+        let sym = self.parked.name();
+        let Some(decl) = self.decl_of(sym) else {
+            return Err(self.validation(format!(
+                "element `{}` is not declared in the DTD",
+                self.reader.symbols().name(sym)
+            )));
+        };
 
         // Transition the parent's content automaton (the document automaton
-        // for the root).
-        let mut before_start: Vec<XsaxEvent> = Vec::new();
+        // for the root) and queue parent seam fires, in delivery order
+        // (before the start tag).
         if let Some(parent) = self.stack.last_mut() {
             let next = parent.dfa.transition(parent.state, sym).ok_or_else(|| {
                 let expected: Vec<String> = parent
@@ -222,7 +325,8 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                     .collect();
                 XsaxError::Validation {
                     message: format!(
-                        "element `{name}` not allowed here inside `{}` (expected one of: {})",
+                        "element `{}` not allowed here inside `{}` (expected one of: {})",
+                        self.reader.symbols().name(sym),
                         self.dtd.name(parent.symbol),
                         if expected.is_empty() {
                             "end of element".to_string()
@@ -253,7 +357,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 };
                 if !involves_child && is_past_at(dfa, text_allowed, &reg.labels, parent_state) {
                     tracker.fired = true;
-                    before_start.push(XsaxEvent::OnFirstPast {
+                    self.pending.push_back(Pending::Fire {
                         id: tracker.id,
                         depth,
                     });
@@ -267,13 +371,14 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 .expect("checked in constructor");
             if doc_dfa.transition(doc_dfa.start(), sym).is_none() {
                 return Err(self.validation(format!(
-                    "root element `{name}` does not match the DTD root `{}`",
+                    "root element `{}` does not match the DTD root `{}`",
+                    self.reader.symbols().name(sym),
                     self.dtd.root().map(|r| self.dtd.name(r)).unwrap_or("?")
                 )));
             }
         }
 
-        self.validate_attributes(sym, &name, &mut attributes)?;
+        self.validate_attributes(sym)?;
 
         // Open the element and instantiate its trackers.
         let depth = self.stack.len() + 1;
@@ -290,31 +395,24 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 .unwrap_or_default(),
         };
 
-        // Trackers that are past right at the start tag (labels that can
-        // never occur in this element) fire immediately after it.
-        let mut after_start: Vec<XsaxEvent> = Vec::new();
+        // Delivery order: parent seam fires (already queued), then the
+        // start tag, then immediately-past fires of the new element
+        // (labels that can never occur in this element).
+        self.pending.push_back(Pending::Sax);
         let start_state = elem.dfa.start();
         Self::fire_ready(
             &self.registrations,
             &mut elem,
             start_state,
             false,
-            &mut after_start,
+            &mut self.pending,
         );
 
         self.stack.push(elem);
-
-        // Delivery order: parent seam fires, then the start tag, then
-        // immediately-past fires of the new element.
-        let mut queue = before_start;
-        queue.push(XsaxEvent::Sax(XmlEvent::StartElement { name, attributes }));
-        queue.extend(after_start);
-        let first = queue.remove(0);
-        self.pending.extend(queue);
-        Ok(first)
+        Ok(())
     }
 
-    fn handle_end(&mut self, name: String) -> Result<XsaxEvent> {
+    fn handle_end(&mut self) -> Result<()> {
         let elem = self.stack.last_mut().expect("reader guarantees balance");
         if !elem.dfa.is_accepting(elem.state) {
             let expected: Vec<String> = elem
@@ -335,33 +433,33 @@ impl<'d, R: Read> XsaxParser<'d, R> {
 
         // Everything is past at the closing tag: fire all remaining trackers
         // before the end event.
-        let mut queue: Vec<XsaxEvent> = Vec::new();
         let state = elem.state;
-        Self::fire_ready(&self.registrations, elem, state, true, &mut queue);
+        Self::fire_ready(&self.registrations, elem, state, true, &mut self.pending);
         self.stack.pop();
 
-        queue.push(XsaxEvent::Sax(XmlEvent::EndElement { name }));
+        self.pending.push_back(Pending::Sax);
 
         // A completed child may release parent trackers that were deferred
         // because the child's own label was in their set.
         if let Some(parent) = self.stack.last_mut() {
             let parent_state = parent.state;
-            Self::fire_ready(&self.registrations, parent, parent_state, false, &mut queue);
+            Self::fire_ready(
+                &self.registrations,
+                parent,
+                parent_state,
+                false,
+                &mut self.pending,
+            );
         }
-
-        let first = queue.remove(0);
-        self.pending.extend(queue);
-        Ok(first)
+        Ok(())
     }
 
-    fn handle_text(&mut self, text: String) -> Result<Option<XsaxEvent>> {
+    fn handle_text(&mut self) -> Result<()> {
         let elem = self
             .stack
             .last()
             .expect("reader guarantees text is inside the root");
-        let whitespace_only = text
-            .bytes()
-            .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
+        let whitespace_only = self.parked.is_whitespace_text();
         if !elem.text_allowed {
             if !whitespace_only {
                 return Err(self.validation(format!(
@@ -370,47 +468,48 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 )));
             }
             if self.config.suppress_ignorable_whitespace {
-                return Ok(None);
+                return Ok(());
             }
         }
-        Ok(Some(XsaxEvent::Sax(XmlEvent::Text(text))))
+        self.pending.push_back(Pending::Sax);
+        Ok(())
     }
 
-    fn validate_attributes(
-        &self,
-        sym: Symbol,
-        name: &str,
-        attributes: &mut Vec<Attribute>,
-    ) -> Result<()> {
-        let decl = self.dtd.element(sym).expect("caller checked");
+    /// Validates the parked start tag's attributes against the element's
+    /// pre-resolved `ATTLIST` and injects declared defaults, as a
+    /// validating parser must. Pure symbol equality — no string hashing.
+    fn validate_attributes(&mut self, sym: Symbol) -> Result<()> {
+        let plans = self.atts.get(sym.index()).map(Vec::as_slice).unwrap_or(&[]);
         if self.config.strict_attributes {
-            for attr in attributes.iter() {
-                if !decl.attlist.iter().any(|d| d.name == attr.name) {
-                    return Err(self.validation(format!(
-                        "attribute `{}` is not declared for element `{name}`",
-                        attr.name
-                    )));
+            for attr in self.parked.attributes() {
+                if !plans.iter().any(|d| d.name == attr.name) {
+                    return Err(XsaxError::Validation {
+                        message: format!(
+                            "attribute `{}` is not declared for element `{}`",
+                            self.reader.symbols().name(attr.name),
+                            self.reader.symbols().name(sym)
+                        ),
+                        pos: self.reader.position(),
+                    });
                 }
             }
-            for def in &decl.attlist {
-                if matches!(def.default, AttDefault::Required)
-                    && !attributes.iter().any(|a| a.name == def.name)
-                {
-                    return Err(self.validation(format!(
-                        "required attribute `{}` missing on element `{name}`",
-                        def.name
-                    )));
+            for def in plans {
+                if def.required && !self.parked.attributes().iter().any(|a| a.name == def.name) {
+                    return Err(XsaxError::Validation {
+                        message: format!(
+                            "required attribute `{}` missing on element `{}`",
+                            self.reader.symbols().name(def.name),
+                            self.reader.symbols().name(sym)
+                        ),
+                        pos: self.reader.position(),
+                    });
                 }
             }
         }
-        // Inject declared defaults, as a validating parser must.
-        for def in &decl.attlist {
-            let value = match &def.default {
-                AttDefault::Default(v) | AttDefault::Fixed(v) => v,
-                _ => continue,
-            };
-            if !attributes.iter().any(|a| a.name == def.name) {
-                attributes.push(Attribute::new(def.name.clone(), value.clone()));
+        for def in plans {
+            let Some(value) = def.default else { continue };
+            if !self.parked.attributes().iter().any(|a| a.name == def.name) {
+                self.parked.push_attr(def.name).push_str(value);
             }
         }
         Ok(())
@@ -439,8 +538,9 @@ fn is_past_at(dfa: &Dfa, text_allowed: bool, labels: &PastLabels, state: StateId
 /// delivered events.
 pub fn validate<R: Read>(src: R, dtd: &Dtd) -> Result<u64> {
     let mut parser = XsaxParser::new(src, dtd)?;
+    let mut ev = RawEvent::new();
     let mut n = 0;
-    while parser.next()?.is_some() {
+    while parser.next_into(&mut ev)?.is_some() {
         n += 1;
     }
     Ok(n)
@@ -472,7 +572,6 @@ pub fn trace(
     }
     Ok(out)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,9 +35,10 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`xml`] | streaming parser, writer, arena tree |
+//! | [`symbols`] | interned `Symbol`/`SymbolTable` foundation |
+//! | [`xml`] | streaming parser (recycled interned events), writer, arena tree |
 //! | [`dtd`] | content-model automata and schema constraints |
-//! | [`xsax`] | validating SAX parser with `on-first` events |
+//! | [`xsax`] | symbol-native validating SAX parser with `on-first` events |
 //! | [`xquery`] | frontend, normal form, tree interpreter |
 //! | [`lang`] | FluX, algebraic optimizer, scheduler, safety |
 //! | [`runtime`] | BDF, buffer store, streamed evaluator |
@@ -50,6 +51,7 @@ pub use flux_baseline as baseline;
 pub use flux_dtd as dtd;
 pub use flux_lang as lang;
 pub use flux_runtime as runtime;
+pub use flux_symbols as symbols;
 pub use flux_xml as xml;
 pub use flux_xmlgen as xmlgen;
 pub use flux_xquery as xquery;
