@@ -4,13 +4,17 @@
 //! With no arguments, all experiments run.
 
 use flux_bench::{catalog, fmt_bytes, run_engine, Domain, Q3};
+use flux_shard::{ShardConfig, ShardedReader};
 use flux_xmlgen::{bib_string, BibConfig};
 use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let flags = ["--accept-workload"];
+    let want =
+        |id: &str| args.iter().all(|a| flags.contains(&a.as_str())) || args.iter().any(|a| a == id);
+    let accept_workload = args.iter().any(|a| a == "--accept-workload");
 
     if want("--e1") {
         e1_buffer_q3();
@@ -34,7 +38,7 @@ fn main() {
         e7_ablation_unsat();
     }
     if want("--e8") {
-        e8_xsax_throughput();
+        e8_xsax_throughput(accept_workload);
     }
     if want("--e9") {
         e9_ablation_scheduling();
@@ -325,14 +329,59 @@ impl Measured {
     }
 }
 
+/// The workload stamp recorded in `BENCH_events.json`. Perf-trajectory
+/// comparisons are only meaningful against the same workload, so E8
+/// refuses to overwrite a file recorded for a different one (see
+/// [`verify_recorded_workload`]).
+fn e8_workload_stamp(doc_len: usize) -> String {
+    format!("Domain::BibFig1.document(32.0, 42), {doc_len} bytes (engines: Q3 over BibWeak 8.0)")
+}
+
+/// Extracts the string value of a top-level `"key": "value"` pair from
+/// `BENCH_events.json` (our own generator never escapes quotes in it).
+fn extract_json_str<'j>(json: &'j str, key: &str) -> Option<&'j str> {
+    let marker = format!("\"{key}\": \"");
+    let start = json.find(&marker)? + marker.len();
+    let end = json[start..].find('"')?;
+    Some(&json[start..start + end])
+}
+
+/// Refuses to proceed when an existing `BENCH_events.json` was recorded
+/// for a different workload than the one this binary just generated:
+/// silently overwriting it would make the perf trajectory compare apples
+/// to oranges. `--accept-workload` re-baselines explicitly.
+fn verify_recorded_workload(workload: &str, accept: bool) {
+    let Ok(existing) = std::fs::read_to_string("BENCH_events.json") else {
+        return; // first recording on this checkout
+    };
+    let Some(recorded) = extract_json_str(&existing, "workload") else {
+        eprintln!("error: BENCH_events.json exists but has no workload stamp; refusing to guess.");
+        eprintln!("rerun with --accept-workload to overwrite it.");
+        std::process::exit(1);
+    };
+    if recorded == workload {
+        return;
+    }
+    if accept {
+        println!("re-baselining BENCH_events.json:\n  old workload: {recorded}\n  new workload: {workload}");
+        return;
+    }
+    eprintln!("error: BENCH_events.json was recorded for a different workload:");
+    eprintln!("  recorded:  {recorded}");
+    eprintln!("  generated: {workload}");
+    eprintln!("events/sec deltas against it would not be apples-to-apples.");
+    eprintln!("rerun with --accept-workload to re-baseline deliberately.");
+    std::process::exit(1);
+}
+
 /// E8 — XSAX overhead: raw parsing vs. validation vs. validation with
-/// registered past queries (Sec. 3.2), on the interned-symbol hot path.
-/// Also writes `BENCH_events.json` so the perf trajectory is machine-
-/// readable from this PR onward.
-fn e8_xsax_throughput() {
+/// registered past queries (Sec. 3.2), on the interned-symbol hot path,
+/// plus the parallel sharded pipeline at 1/2/4/8 shards. Also writes
+/// `BENCH_events.json` so the perf trajectory is machine-readable.
+fn e8_xsax_throughput(accept_workload: bool) {
     header(
         "E8",
-        "XSAX throughput: parse vs. validate vs. validate + on-first",
+        "XSAX throughput: parse vs. validate vs. validate + on-first vs. sharded",
         "Sec. 3.2: the XSAX validating parser",
     );
     use flux_dtd::Dtd;
@@ -340,6 +389,7 @@ fn e8_xsax_throughput() {
     use flux_xsax::{PastLabels, XsaxParser};
     let doc = Domain::BibFig1.document(32.0, 42);
     let dtd = Dtd::parse(Domain::BibFig1.dtd()).expect("dtd");
+    verify_recorded_workload(&e8_workload_stamp(doc.len()), accept_workload);
 
     // Raw well-formedness parsing (recycled interned events).
     let raw = Measured::best_of(3, || {
@@ -394,8 +444,44 @@ fn e8_xsax_throughput() {
         with_past.events,
         std::time::Duration::from_secs_f64(with_past.seconds)
     );
+
+    // Parallel sharded raw parse: same byte stream, N worker threads, one
+    // stitched event tape replayed to the consumer.
+    let mut parallel: Vec<(usize, Measured)> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        // Build the input vector outside the timed region: the sequential
+        // arm parses borrowed bytes, so charging the sharded arm a full
+        // input memcpy would skew the recorded speedup.
+        let mut m = Measured {
+            events: 0,
+            seconds: f64::MAX,
+        };
+        for _ in 0..3 {
+            let bytes = doc.clone().into_bytes();
+            let mut reader = ShardedReader::new(bytes, ShardConfig::new(shards));
+            let mut ev = RawEvent::new();
+            let mut events = 0u64;
+            let start = Instant::now();
+            while reader.next_into(&mut ev).expect("sharded parse") {
+                events += 1;
+            }
+            m.events = events;
+            m.seconds = m.seconds.min(start.elapsed().as_secs_f64());
+        }
+        assert_eq!(m.events, raw.events, "sharded event count must match");
+        println!(
+            "sharded parse x{shards}:    {:>8} events in {:>8.2?}  ({:.2}x vs sequential raw)",
+            m.events,
+            std::time::Duration::from_secs_f64(m.seconds),
+            m.events_per_sec() / raw.events_per_sec(),
+        );
+        parallel.push((shards, m));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("(host exposes {cores} core(s); shard speedup is bounded by available cores)");
     println!(
-        "\nshape: validation costs a small constant factor over raw parsing; past tracking is nearly free."
+        "\nshape: validation costs a small constant factor over raw parsing; past tracking is\n\
+         nearly free; sharding scales raw parsing with cores until the replay copy dominates."
     );
     for (label, m, (base_events, base_secs)) in [
         ("raw parse", &raw, BASELINE_RAW),
@@ -412,13 +498,20 @@ fn e8_xsax_throughput() {
     }
     println!("(baseline {BASELINE_HOST_NOTE})");
 
-    write_bench_events_json(&doc, &raw, &validated, &with_past);
+    write_bench_events_json(&doc, &raw, &validated, &with_past, &parallel);
 }
 
-/// Emits `BENCH_events.json`: events/sec for the event pipeline plus
-/// events/sec and peak buffer bytes per engine, with the pre-refactor
-/// string-event baseline alongside for trend tracking.
-fn write_bench_events_json(doc: &str, raw: &Measured, validated: &Measured, past: &Measured) {
+/// Emits `BENCH_events.json`: events/sec for the event pipeline (including
+/// the sharded-parallel stage) plus events/sec and peak buffer bytes per
+/// engine, with the pre-refactor string-event baseline alongside for trend
+/// tracking.
+fn write_bench_events_json(
+    doc: &str,
+    raw: &Measured,
+    validated: &Measured,
+    past: &Measured,
+    parallel: &[(usize, Measured)],
+) {
     fn entry(m: &Measured) -> String {
         format!(
             "{{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",
@@ -461,13 +554,34 @@ fn write_bench_events_json(doc: &str, raw: &Measured, validated: &Measured, past
             events as f64 / seconds
         )
     };
+    let mut parallel_section = String::new();
+    for (shards, m) in parallel {
+        parallel_section.push_str(&format!(
+            "    \"shards_{}\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \"speedup_vs_sequential\": {:.2}}},\n",
+            shards,
+            m.events,
+            m.seconds,
+            m.events_per_sec(),
+            m.events_per_sec() / raw.events_per_sec(),
+        ));
+    }
+    parallel_section.push_str(&format!(
+        "    \"host_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    parallel_section.push_str(
+        "    \"note\": \"raw parse over the same bytes via flux_shard::ShardedReader; \
+         speedups are vs this file's current.raw_parse on the same host and are bounded \
+         by host_cores (a 1-core recording host cannot exceed 1.0x)\"",
+    );
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run --release -p flux_bench --bin experiments -- --e8\",\n  \
-         \"workload\": \"Domain::BibFig1.document(32.0, 42), {} bytes (engines: Q3 over BibWeak 8.0)\",\n  \
+         \"workload\": \"{}\",\n  \
          \"baseline_string_events\": {{\n    \"note\": \"pre-refactor string-event pipeline, {}\",\n    \
          \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {}\n  }},\n  \
-         \"current\": {{\n    \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }}\n}}\n",
-        doc.len(),
+         \"current\": {{\n    \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }},\n  \
+         \"parallel\": {{\n{}\n  }}\n}}\n",
+        e8_workload_stamp(doc.len()),
         BASELINE_HOST_NOTE,
         baseline(&BASELINE_RAW),
         baseline(&BASELINE_VALIDATE),
@@ -476,6 +590,7 @@ fn write_bench_events_json(doc: &str, raw: &Measured, validated: &Measured, past
         entry(validated),
         entry(past),
         engines,
+        parallel_section,
     );
     match std::fs::write("BENCH_events.json", &json) {
         Ok(()) => println!("\nwrote BENCH_events.json"),

@@ -5,9 +5,33 @@ use crate::error::Result;
 use flux_baseline::{DomEngine, ProjectionEngine};
 use flux_dtd::Dtd;
 use flux_lang::{compile as compile_flux, CompileOptions, FluxQuery, OptimizerConfig};
-use flux_runtime::{compile_plan, execute_plan, Plan, RunStats};
+use flux_runtime::{compile_plan, execute_plan, execute_plan_from_source, Plan, RunStats};
+use flux_shard::{ShardConfig, ShardedReader};
 use flux_xsax::XsaxConfig;
 use std::io::{Read, Write};
+
+/// How the engine parses its input stream.
+///
+/// Sharded parsing buffers the whole input and fans tokenisation out over
+/// N threads (`flux_shard`); the query evaluator and the XSAX DFA still
+/// consume one stitched, exactly-sequential event stream, so results,
+/// validation verdicts and buffer accounting are identical to
+/// [`Parallelism::Sequential`] — only the parse work moves off the
+/// critical path. Prefer it for large in-memory documents on multi-core
+/// hosts; prefer `Sequential` for unbounded or latency-sensitive streams,
+/// where the paper's token-bounded memory guarantee matters. One visible
+/// difference on *malformed* input: sharded runs reject it up front
+/// (before emitting any output), while a sequential run may stream a
+/// partial result before hitting the flaw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One reader thread, token-bounded memory (the paper's model).
+    #[default]
+    Sequential,
+    /// Parse with up to N parallel shards (N ≥ 1; 1 still buffers but
+    /// parses on one thread).
+    Shards(usize),
+}
 
 /// Compilation and execution options.
 #[derive(Debug, Clone)]
@@ -20,6 +44,8 @@ pub struct Options {
     pub disable_streaming: bool,
     /// XSAX validation options.
     pub xsax: XsaxConfig,
+    /// Input parsing strategy (default: sequential).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Options {
@@ -29,6 +55,7 @@ impl Default for Options {
             verify_safety: true,
             disable_streaming: false,
             xsax: XsaxConfig::default(),
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -54,6 +81,14 @@ impl Options {
         }
     }
 
+    /// Options parsing the input with `shards` parallel shards.
+    pub fn with_shards(shards: usize) -> Options {
+        Options {
+            parallelism: Parallelism::Shards(shards),
+            ..Options::default()
+        }
+    }
+
     /// Options with the algebraic optimizer disabled (for ablations).
     pub fn without_algebraic_optimizer() -> Options {
         Options {
@@ -70,6 +105,7 @@ pub struct FluxEngine {
     query: FluxQuery,
     plan: Plan,
     xsax: XsaxConfig,
+    parallelism: Parallelism,
 }
 
 impl FluxEngine {
@@ -108,18 +144,43 @@ impl FluxEngine {
             query: compiled,
             plan,
             xsax: options.xsax.clone(),
+            parallelism: options.parallelism,
         })
     }
 
     /// Runs the query over `input`, streaming results to `output`.
-    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
-        Ok(execute_plan(
-            &self.plan,
-            &self.dtd,
-            input,
-            output,
-            self.xsax.clone(),
-        )?)
+    ///
+    /// With [`Parallelism::Shards`] the input is buffered and parsed by N
+    /// shard threads; the evaluator consumes the stitched stream, so the
+    /// output and statistics match the sequential run.
+    pub fn run<R: Read, W: Write>(&self, mut input: R, output: W) -> Result<RunStats> {
+        match self.parallelism {
+            Parallelism::Sequential => Ok(execute_plan(
+                &self.plan,
+                &self.dtd,
+                input,
+                output,
+                self.xsax.clone(),
+            )?),
+            Parallelism::Shards(n) => {
+                let mut bytes = Vec::new();
+                input.read_to_end(&mut bytes).map_err(|e| {
+                    flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into()))
+                })?;
+                let source = ShardedReader::with_symbols(
+                    bytes,
+                    ShardConfig::new(n),
+                    flux_xsax::seeded_symbols(&self.dtd),
+                );
+                Ok(execute_plan_from_source(
+                    &self.plan,
+                    &self.dtd,
+                    source,
+                    output,
+                    self.xsax.clone(),
+                )?)
+            }
+        }
     }
 
     /// Convenience: runs over a string, returning the output string.
@@ -284,6 +345,38 @@ mod tests {
         for (label, out) in &outputs {
             assert_eq!(*out, first, "{label} diverged");
         }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let mut doc = String::from("<bib>");
+        for i in 0..500 {
+            doc.push_str(&format!(
+                "<book><author>Author {i} &amp; co</author><title>Title {i}</title></book>"
+            ));
+        }
+        doc.push_str("</bib>");
+        let sequential = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::new()).unwrap();
+        let (seq_out, seq_stats) = sequential.run_to_string(&doc).unwrap();
+        for shards in [1, 2, 4] {
+            let engine =
+                FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::with_shards(shards)).unwrap();
+            let (out, stats) = engine.run_to_string(&doc).unwrap();
+            assert_eq!(out, seq_out, "{shards} shards diverged");
+            assert_eq!(
+                stats.peak_buffer_bytes, seq_stats.peak_buffer_bytes,
+                "buffer accounting must not depend on parallelism"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_rejects_invalid_documents() {
+        let engine = FluxEngine::compile(Q3, PAPER_FIG1_DTD, &Options::with_shards(4)).unwrap();
+        // Wrong child order under the Fig. 1 DTD: validation must still
+        // fail with sharded parsing.
+        let doc = "<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>9</price></book></bib>";
+        assert!(engine.run_to_string(doc).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@
 pub mod engine;
 pub mod error;
 
-pub use engine::{AnyEngine, EngineKind, FluxEngine, Options};
+pub use engine::{AnyEngine, EngineKind, FluxEngine, Options, Parallelism};
 pub use error::{Error, Result};
 
 // Re-export the building blocks for advanced users.

@@ -21,7 +21,9 @@ use crate::stats::RunStats;
 use flux_dtd::Dtd;
 use flux_lang::FluxQuery;
 use flux_xml::tree::NodeId;
-use flux_xml::{Attribute, RawAttr, RawEvent, RawEventKind, Symbol, SymbolTable, XmlWriter};
+use flux_xml::{
+    Attribute, EventSource, RawAttr, RawEvent, RawEventKind, Symbol, SymbolTable, XmlWriter,
+};
 use flux_xquery::{Env, Expr, TreeEvaluator, VarName, ROOT_VAR};
 use flux_xsax::{XsaxConfig, XsaxParser, XsaxStep};
 use std::io::{Read, Write};
@@ -90,8 +92,30 @@ pub fn execute_plan<R: Read, W: Write>(
     output: W,
     config: XsaxConfig,
 ) -> Result<RunStats> {
+    run_events(plan, XsaxParser::with_config(input, dtd, config)?, output)
+}
+
+/// Runs a pre-compiled plan over an arbitrary [`EventSource`] — the entry
+/// point for parallel input: hand it a `flux_shard::ShardedReader` seeded
+/// with `flux_xsax::seeded_symbols(&dtd)` and the shards parse on their
+/// own threads while this evaluator (and the XSAX DFA configuration it
+/// drives) consumes the stitched stream sequentially.
+pub fn execute_plan_from_source<S: EventSource, W: Write>(
+    plan: &Plan,
+    dtd: &Dtd,
+    source: S,
+    output: W,
+    config: XsaxConfig,
+) -> Result<RunStats> {
+    run_events(plan, XsaxParser::from_source(source, dtd, config)?, output)
+}
+
+fn run_events<S: EventSource, W: Write>(
+    plan: &Plan,
+    mut parser: XsaxParser<'_, S>,
+    output: W,
+) -> Result<RunStats> {
     let start_time = Instant::now();
-    let mut parser = XsaxParser::with_config(input, dtd, config)?;
     for reg in &plan.past_regs {
         parser.register_past(reg.element, reg.labels.clone())?;
     }

@@ -16,6 +16,6 @@ pub mod stats;
 pub use bdf::{SpecArena, SpecId, SpecIndex, SpecView};
 pub use buffer::BufferArena;
 pub use error::{Result, RuntimeError};
-pub use exec::{execute_plan, Executor};
+pub use exec::{execute_plan, execute_plan_from_source, Executor};
 pub use plan::{compile_plan, Plan, PsId};
 pub use stats::{MemoryTracker, RunStats};

@@ -1,0 +1,618 @@
+//! # flux_shard
+//!
+//! A parallel sharded streaming pipeline for multi-core event throughput.
+//!
+//! The FluXQuery stack treats the event stream as a single sequential
+//! source; this crate parallelises the expensive part — parsing — while
+//! keeping every consumer-visible property of the sequential reader:
+//!
+//! 1. **Split.** [`splitter::split_points`] scans the input buffer with
+//!    the SWAR kernel and places chunk boundaries on safe element-tag `<`
+//!    positions (never inside comments, CDATA, PIs or DOCTYPEs). Because
+//!    boundaries sit on element tags, no token or text run ever straddles
+//!    a seam.
+//! 2. **Parse.** One fragment-mode [`flux_xml::XmlReader`] per chunk runs
+//!    on its own `std::thread`, each seeded with a clone of the shared
+//!    [`SymbolTable`] — clones preserve indices, so symbols agree across
+//!    shards without renaming (names first seen inside a shard are
+//!    re-interned by the merger, the only translation anywhere).
+//! 3. **Stitch.** Each shard's tape implies a stack summary — the end
+//!    tags that close elements opened in earlier shards (prefix closes)
+//!    and the elements still open at its end (suffix opens). The merger
+//!    replays the summaries against one running stack, re-establishing
+//!    the global tag balance the fragment readers could not check
+//!    locally.
+//! 4. **Replay.** [`ShardedReader::next_into`] hands the stitched event
+//!    sequence to the consumer through the same pull API as the
+//!    sequential reader. Document-level rules the fragments relaxed
+//!    (single root, no top-level text, DOCTYPE position, depth limit) are
+//!    re-checked here, so the merged stream is event-for-event the
+//!    sequential one. Downstream, `flux_xsax::XsaxParser::from_source`
+//!    consumes this stream and carries its content-model DFA
+//!    configuration across every shard seam — the single piece of
+//!    cross-shard state — so validation verdicts stay exact.
+//!
+//! The trade-off is explicit: sharding buffers the whole input (plus the
+//! per-shard event tapes), trading the sequential reader's token-bounded
+//! memory for wall-clock throughput. Use it when the input is already a
+//! byte buffer and cores are idle; stay sequential for unbounded streams.
+
+pub mod splitter;
+mod worker;
+
+use flux_symbols::{Symbol, SymbolTable};
+use flux_xml::{EventSource, Position, RawEvent, RawEventKind, ReaderConfig, Result, XmlError};
+use worker::{parse_fragment, EncEvent, ShardEvents};
+
+/// Configuration for [`ShardedReader`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Requested number of shards. The effective count may be lower when
+    /// the input is small ([`ShardConfig::min_shard_bytes`]) or offers too
+    /// few safe boundaries; `1` degenerates to a sequential fragment parse.
+    pub shards: usize,
+    /// Emit comment events (mirrors [`ReaderConfig::emit_comments`]).
+    pub emit_comments: bool,
+    /// Emit processing-instruction events.
+    pub emit_processing_instructions: bool,
+    /// Hard limit on element nesting depth, enforced globally at replay
+    /// exactly like the sequential reader enforces it.
+    pub max_depth: usize,
+    /// Do not split below this many bytes per shard; tiny inputs are not
+    /// worth the thread fan-out.
+    pub min_shard_bytes: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        )
+    }
+}
+
+impl ShardConfig {
+    /// A configuration requesting `shards` parallel shards.
+    pub fn new(shards: usize) -> Self {
+        ShardConfig {
+            shards: shards.max(1),
+            emit_comments: false,
+            emit_processing_instructions: false,
+            max_depth: ReaderConfig::default().max_depth,
+            min_shard_bytes: 16 * 1024,
+        }
+    }
+
+    fn reader_config(&self) -> ReaderConfig {
+        ReaderConfig {
+            emit_comments: self.emit_comments,
+            emit_processing_instructions: self.emit_processing_instructions,
+            // Local depth can only underestimate global depth; the exact
+            // global limit is enforced at replay.
+            max_depth: self.max_depth,
+            max_symbols: None,
+            fragment: true,
+        }
+    }
+}
+
+/// One shard's tape, ready for replay.
+struct ReplayShard {
+    events: Vec<EncEvent>,
+    attrs: Vec<worker::EncAttr>,
+    arena: String,
+    /// Merged-table symbols for shard-local indices past the seed prefix.
+    remap: Vec<Symbol>,
+    base_offset: u64,
+}
+
+impl ReplayShard {
+    fn resolve(&self, sym: Symbol, seed_len: usize) -> Symbol {
+        if sym.index() < seed_len {
+            sym
+        } else {
+            self.remap[sym.index() - seed_len]
+        }
+    }
+}
+
+/// A parallel drop-in for [`flux_xml::XmlReader`] over an in-memory
+/// document: same `next_into`/[`RawEvent`] pull API, same event sequence,
+/// same well-formedness verdicts — parsed by N threads.
+///
+/// All parallel work happens on the first pull (split, parse, stitch);
+/// subsequent pulls replay the pre-parsed tape, which is a symbol remap
+/// and a buffer copy per event. Errors are terminal: after returning one,
+/// the reader reports end of stream.
+///
+/// **Error timing differs from the sequential reader on invalid input.**
+/// Parse and stitch errors surface on the *first* pull, before any event
+/// is delivered, whereas the sequential reader streams the valid prefix
+/// first and errors when it reaches the flaw. The verdict (accept/reject)
+/// is identical either way, but a consumer that emits output incrementally
+/// will have produced partial output in sequential mode and none in
+/// sharded mode. Errors detected during replay itself (multiple roots,
+/// top-level text, depth limit) do stream a valid prefix first.
+pub struct ShardedReader {
+    input: Vec<u8>,
+    config: ShardConfig,
+    symbols: SymbolTable,
+    seed_len: usize,
+    shards: Vec<ReplayShard>,
+    prepared: bool,
+    // Replay cursor and re-checked document state.
+    shard_idx: usize,
+    event_idx: usize,
+    emitted_start: bool,
+    finished: bool,
+    depth: usize,
+    root_seen: bool,
+    root_done: bool,
+}
+
+impl ShardedReader {
+    /// Creates a sharded reader over `input` with a fresh symbol table.
+    pub fn new(input: Vec<u8>, config: ShardConfig) -> Self {
+        Self::with_symbols(input, config, SymbolTable::new())
+    }
+
+    /// Creates a sharded reader whose interner is seeded with `symbols` —
+    /// the sharded analogue of [`flux_xml::XmlReader::with_symbols`]. Seed
+    /// with `flux_xsax::seeded_symbols(&dtd)` to feed
+    /// `XsaxParser::from_source`.
+    pub fn with_symbols(input: Vec<u8>, config: ShardConfig, symbols: SymbolTable) -> Self {
+        let seed_len = symbols.len();
+        ShardedReader {
+            input,
+            config,
+            symbols,
+            seed_len,
+            shards: Vec::new(),
+            prepared: false,
+            shard_idx: 0,
+            event_idx: 0,
+            emitted_start: false,
+            finished: false,
+            depth: 0,
+            root_seen: false,
+            root_done: false,
+        }
+    }
+
+    /// Slurps `src` and shards it. Sharding requires the whole buffer (the
+    /// splitter needs random access), so this constructor is explicit
+    /// about the memory trade-off.
+    pub fn from_reader(mut src: impl std::io::Read, config: ShardConfig) -> Result<Self> {
+        let mut input = Vec::new();
+        src.read_to_end(&mut input)?;
+        Ok(Self::new(input, config))
+    }
+
+    /// The shared symbol table: seed symbols plus every name the shards
+    /// encountered, re-interned into one namespace.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Number of shards actually used. Zero until the first pull (the
+    /// parallel parse runs lazily).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Best-effort position: the byte offset where the current shard
+    /// starts (lines and columns are not tracked across shards).
+    pub fn position(&self) -> Position {
+        let offset = self
+            .shards
+            .get(self.shard_idx)
+            .map(|s| s.base_offset)
+            .unwrap_or(self.input.len() as u64);
+        Position {
+            offset,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn replay_error(&self, message: impl Into<String>) -> XmlError {
+        XmlError::WellFormedness {
+            message: message.into(),
+            pos: self.position(),
+        }
+    }
+
+    /// Split, parse in parallel, re-intern shard-local names and stitch
+    /// the stack summaries. Runs once, on the first pull.
+    fn prepare(&mut self) -> Result<()> {
+        self.prepared = true;
+        let max_by_size = (self.input.len() / self.config.min_shard_bytes.max(1)).max(1);
+        let requested = self.config.shards.clamp(1, max_by_size);
+        let points = splitter::split_points(&self.input, requested);
+        let reader_config = self.config.reader_config();
+
+        let input = &self.input[..];
+        let seed = &self.symbols;
+        let results: Vec<Result<ShardEvents>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, &start) in points.iter().enumerate().skip(1) {
+                let end = points.get(i + 1).copied().unwrap_or(input.len());
+                let chunk = &input[start..end];
+                let cfg = &reader_config;
+                handles.push(scope.spawn(move || parse_fragment(chunk, start as u64, cfg, seed)));
+            }
+            // Shard 0 parses on the current thread while the others run.
+            let end = points.get(1).copied().unwrap_or(input.len());
+            let first = parse_fragment(&input[..end], 0, &reader_config, seed);
+            let mut results = vec![first];
+            for h in handles {
+                results.push(h.join().expect("shard worker panicked"));
+            }
+            results
+        });
+
+        // Report the error of the earliest failing shard: its chunk lies
+        // entirely before every later shard's, so it is the first error
+        // the sequential reader could have reached.
+        let mut shards = Vec::with_capacity(results.len());
+        for result in results {
+            shards.push(result?);
+        }
+
+        // Re-intern shard-local names into the merged namespace, and
+        // stitch each shard's stack summary against one running stack as
+        // we go. Local mismatches were already rejected by the fragment
+        // readers, so only seam-crossing closes need checking: a shard's
+        // prefix closes pop the innermost elements left open by earlier
+        // shards (always with an empty local stack, so summary order is
+        // stream order), and its suffix opens land on top.
+        let seed_len = self.seed_len;
+        let mut stack: Vec<Symbol> = Vec::new();
+        let mut replay: Vec<ReplayShard> = Vec::with_capacity(shards.len());
+        for s in shards {
+            let remap: Vec<Symbol> = s.new_names.iter().map(|n| self.symbols.intern(n)).collect();
+            let resolve = |sym: Symbol| {
+                if sym.index() < seed_len {
+                    sym
+                } else {
+                    remap[sym.index() - seed_len]
+                }
+            };
+            let pos = Position {
+                offset: s.base_offset,
+                line: 1,
+                column: 1,
+            };
+            for &close in &s.closes {
+                let close = resolve(close);
+                match stack.pop() {
+                    Some(open) if open == close => {}
+                    Some(open) => {
+                        return Err(XmlError::WellFormedness {
+                            message: format!(
+                                "mismatched end tag: expected </{}>, found </{}>",
+                                self.symbols.name(open),
+                                self.symbols.name(close)
+                            ),
+                            pos,
+                        })
+                    }
+                    None => {
+                        return Err(XmlError::WellFormedness {
+                            message: format!(
+                                "end tag </{}> with no open element",
+                                self.symbols.name(close)
+                            ),
+                            pos,
+                        })
+                    }
+                }
+            }
+            stack.extend(s.opens.iter().copied().map(resolve));
+            replay.push(ReplayShard {
+                remap,
+                events: s.events,
+                attrs: s.attrs,
+                arena: s.arena,
+                base_offset: s.base_offset,
+            });
+        }
+        if !stack.is_empty() {
+            return Err(XmlError::UnexpectedEof {
+                expected: "closing tags for open elements",
+                pos: Position {
+                    offset: self.input.len() as u64,
+                    line: 1,
+                    column: 1,
+                },
+            });
+        }
+
+        self.shards = replay;
+        Ok(())
+    }
+
+    /// Decodes one encoded event into `ev`.
+    fn decode(&self, shard: &ReplayShard, e: &EncEvent, ev: &mut RawEvent) {
+        ev.reset(e.kind);
+        ev.set_name(shard.resolve(e.name, self.seed_len));
+        ev.text_mut().push_str(&shard.arena[e.text.0..e.text.1]);
+        ev.target_mut()
+            .push_str(&shard.arena[e.target.0..e.target.1]);
+        ev.set_has_internal_subset(e.has_internal_subset);
+        ev.set_text_synthetic(e.text_synthetic);
+        for attr in &shard.attrs[e.attrs.0..e.attrs.1] {
+            let name = shard.resolve(attr.name, self.seed_len);
+            ev.push_attr(name)
+                .push_str(&shard.arena[attr.value.0..attr.value.1]);
+        }
+    }
+
+    /// Pulls the next event into the caller-owned `ev` — the same contract
+    /// as [`flux_xml::XmlReader::next_into`]. The first call triggers the
+    /// parallel parse.
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if self.finished {
+            return Ok(false);
+        }
+        if !self.prepared {
+            if let Err(e) = self.prepare() {
+                self.finished = true;
+                return Err(e);
+            }
+        }
+        if !self.emitted_start {
+            self.emitted_start = true;
+            ev.reset(RawEventKind::StartDocument);
+            return Ok(true);
+        }
+        loop {
+            if self.shard_idx >= self.shards.len() {
+                // End of the tape: the epilog checks.
+                self.finished = true;
+                if !self.root_seen {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "root element",
+                        pos: self.position(),
+                    });
+                }
+                ev.reset(RawEventKind::EndDocument);
+                return Ok(true);
+            }
+            if self.event_idx >= self.shards[self.shard_idx].events.len() {
+                self.shard_idx += 1;
+                self.event_idx = 0;
+                continue;
+            }
+            let e = self.shards[self.shard_idx].events[self.event_idx];
+            self.event_idx += 1;
+            // Re-check the document-level rules the fragment readers
+            // relaxed, so verdicts match the sequential reader.
+            match e.kind {
+                RawEventKind::StartElement => {
+                    if self.depth == 0 && self.root_done {
+                        self.finished = true;
+                        return Err(self.replay_error("multiple root elements"));
+                    }
+                    if self.depth >= self.config.max_depth {
+                        self.finished = true;
+                        return Err(self.replay_error(format!(
+                            "element nesting deeper than the configured limit of {}",
+                            self.config.max_depth
+                        )));
+                    }
+                    self.depth += 1;
+                    self.root_seen = true;
+                }
+                RawEventKind::EndElement => {
+                    // Stitching guaranteed global balance.
+                    self.depth -= 1;
+                    if self.depth == 0 {
+                        self.root_done = true;
+                    }
+                }
+                RawEventKind::Text if self.depth == 0 => {
+                    let shard = &self.shards[self.shard_idx];
+                    let whitespace = shard.arena[e.text.0..e.text.1]
+                        .bytes()
+                        .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
+                    if whitespace && !e.text_synthetic {
+                        // Literal prolog/epilog whitespace: the sequential
+                        // reader skips it silently. Whitespace produced by
+                        // entity references or CDATA does NOT qualify —
+                        // sequentially that is character data outside the
+                        // root, an error.
+                        continue;
+                    }
+                    self.finished = true;
+                    let message = if self.root_seen {
+                        "character data after the root element"
+                    } else {
+                        "character data before the root element"
+                    };
+                    return Err(self.replay_error(message));
+                }
+                RawEventKind::DoctypeDecl if self.root_seen => {
+                    self.finished = true;
+                    return Err(
+                        self.replay_error("DOCTYPE declaration after the root element has started")
+                    );
+                }
+                _ => {}
+            }
+            let shard = &self.shards[self.shard_idx];
+            self.decode(shard, &e, ev);
+            return Ok(true);
+        }
+    }
+}
+
+impl EventSource for ShardedReader {
+    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        ShardedReader::next_into(self, ev)
+    }
+
+    fn symbols(&self) -> &SymbolTable {
+        ShardedReader::symbols(self)
+    }
+
+    fn position(&self) -> Position {
+        ShardedReader::position(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_xml::{parse_to_events, XmlEvent};
+
+    /// Collects the owned events a sharded reader produces.
+    fn sharded_events(doc: &str, shards: usize) -> Result<Vec<XmlEvent>> {
+        // min_shard_bytes = 1 so even tiny unit-test documents shard.
+        let mut config = ShardConfig::new(shards);
+        config.min_shard_bytes = 1;
+        let mut reader = ShardedReader::new(doc.as_bytes().to_vec(), config);
+        let mut ev = RawEvent::new();
+        let mut out = Vec::new();
+        while reader.next_into(&mut ev)? {
+            out.push(ev.to_xml_event(reader.symbols()));
+        }
+        Ok(out)
+    }
+
+    fn assert_equivalent(doc: &str, shards: usize) {
+        let sequential = parse_to_events(doc).expect("sequential parse");
+        let sharded = sharded_events(doc, shards).expect("sharded parse");
+        assert_eq!(sequential, sharded, "doc: {doc}, shards: {shards}");
+    }
+
+    #[test]
+    fn matches_sequential_events_small_docs() {
+        let docs = [
+            "<a/>",
+            "<a><b>text</b><c/></a>",
+            "<bib><book year=\"1994\"><title>T &amp; U</title></book><book/></bib>",
+            "  <r>one<x/>two<y>three</y></r>  ",
+            "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]><r><s/></r>",
+        ];
+        for doc in docs {
+            for shards in [1, 2, 3, 8] {
+                assert_equivalent(doc, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_deep_nesting_across_seams() {
+        // Elements that straddle several shard boundaries.
+        let mut doc = String::new();
+        for i in 0..40 {
+            doc.push_str(&format!("<d{i}>filler text to widen the chunk "));
+        }
+        for i in (0..40).rev() {
+            doc.push_str(&format!("</d{i}>"));
+        }
+        for shards in [2, 3, 8] {
+            assert_equivalent(&doc, shards);
+        }
+    }
+
+    #[test]
+    fn shard_count_reported_after_first_pull() {
+        let doc = "<a>".to_string() + &"<b>x</b>".repeat(500) + "</a>";
+        let mut config = ShardConfig::new(4);
+        config.min_shard_bytes = 1;
+        let mut reader = ShardedReader::new(doc.into_bytes(), config);
+        assert_eq!(reader.shard_count(), 0);
+        let mut ev = RawEvent::new();
+        assert!(reader.next_into(&mut ev).unwrap());
+        assert_eq!(reader.shard_count(), 4);
+    }
+
+    #[test]
+    fn new_names_from_different_shards_merge_consistently() {
+        // The same late name in two different shards must resolve to one
+        // merged symbol even though the shard-local indices differ.
+        let mut doc = String::from("<r>");
+        doc.push_str(&"<common>x</common>".repeat(50));
+        doc.push_str("<zeta/>");
+        doc.push_str(&"<common>x</common>".repeat(50));
+        doc.push_str("<zeta/>");
+        doc.push_str("</r>");
+        let mut config = ShardConfig::new(3);
+        config.min_shard_bytes = 1;
+        let mut reader = ShardedReader::new(doc.as_bytes().to_vec(), config);
+        let mut ev = RawEvent::new();
+        let mut zeta_syms = Vec::new();
+        while reader.next_into(&mut ev).unwrap() {
+            if ev.kind() == RawEventKind::StartElement && reader.symbols().name(ev.name()) == "zeta"
+            {
+                zeta_syms.push(ev.name());
+            }
+        }
+        assert_eq!(zeta_syms.len(), 2);
+        assert_eq!(zeta_syms[0], zeta_syms[1], "one merged symbol per name");
+    }
+
+    #[test]
+    fn seeded_symbols_are_preserved() {
+        let mut seed = SymbolTable::new();
+        let book = seed.intern("book");
+        let doc = "<book/>";
+        let mut reader =
+            ShardedReader::with_symbols(doc.as_bytes().to_vec(), ShardConfig::new(2), seed);
+        let mut ev = RawEvent::new();
+        let mut seen = None;
+        while reader.next_into(&mut ev).unwrap() {
+            if ev.kind() == RawEventKind::StartElement {
+                seen = Some(ev.name());
+            }
+        }
+        assert_eq!(seen, Some(book));
+    }
+
+    #[test]
+    fn errors_match_sequential_verdicts() {
+        let bad_docs = [
+            "<a><b></a></b>",    // mismatched
+            "<a><b></b>",        // unclosed root
+            "<a/><b/>",          // multiple roots
+            "hello<a/>",         // text before root
+            "<a/>hello",         // text after root
+            "",                  // empty
+            "&#32;<a/>",         // charref whitespace before root
+            "<a/>&#x20;",        // charref whitespace after root
+            "<![CDATA[ ]]><a/>", // CDATA whitespace before root
+            "<a/><![CDATA[]]>",  // CDATA after root
+        ];
+        for doc in bad_docs {
+            assert!(parse_to_events(doc).is_err(), "sequential accepts {doc:?}");
+            for shards in [1, 2, 3] {
+                assert!(
+                    sharded_events(doc, shards).is_err(),
+                    "sharded ({shards}) accepts {doc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_terminal_then_eof() {
+        let mut config = ShardConfig::new(2);
+        config.min_shard_bytes = 1;
+        let mut reader = ShardedReader::new(b"<a></b>".to_vec(), config);
+        let mut ev = RawEvent::new();
+        let mut saw_error = false;
+        loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(_) => saw_error = true,
+            }
+        }
+        assert!(saw_error);
+        assert!(!reader.next_into(&mut ev).unwrap());
+    }
+}

@@ -1,0 +1,176 @@
+//! The chunk splitter: finds shard boundaries that are safe to hand to
+//! independent fragment parsers.
+//!
+//! A boundary is safe when it sits on the `<` of an element tag (start or
+//! end tag) that is *markup* — not a `<` inside a comment, CDATA section,
+//! processing instruction or DOCTYPE declaration. Restricting boundaries
+//! to element tags has a second, load-bearing consequence: a text run
+//! (including its merged CDATA sections) always ends at an element tag, so
+//! **no event payload ever straddles a shard seam** and concatenating
+//! shard event sequences reproduces the sequential event sequence exactly.
+//!
+//! The scan hops from `<` to `<` with the SWAR [`find_byte`] kernel and
+//! skips special constructs atomically, so it touches only markup-start
+//! bytes, and it stops as soon as the last requested boundary is placed —
+//! the cost is a fraction of one `memchr` pass over a prefix of the input.
+
+use flux_xml::is_name_start;
+use flux_xml::scan::{find_byte, find_subslice};
+
+/// Index just past the `>` closing a DOCTYPE declaration starting at
+/// `start` (the `<` of `<!DOCTYPE`), honouring quoted literals, the
+/// bracketed internal subset and comments inside it. `None` when the
+/// declaration is unterminated.
+fn doctype_end(input: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + "<!DOCTYPE".len();
+    let mut in_subset = false;
+    while i < input.len() {
+        match input[i] {
+            b'"' | b'\'' => {
+                let quote = input[i];
+                i = i + 1 + find_byte(&input[i + 1..], quote)? + 1;
+            }
+            b'[' => {
+                in_subset = true;
+                i += 1;
+            }
+            b']' => {
+                in_subset = false;
+                i += 1;
+            }
+            b'<' if in_subset && input[i..].starts_with(b"<!--") => {
+                i = i + find_subslice(&input[i..], b"-->")? + 3;
+            }
+            b'>' if !in_subset => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Computes chunk start offsets for up to `shards` shards: the first chunk
+/// starts at 0, every further chunk at a safe element-tag `<` at or after
+/// its ideal `i * len / shards` position. Returns fewer boundaries (down
+/// to a single chunk) when the document does not offer enough safe tags —
+/// never an invalid one.
+pub fn split_points(input: &[u8], shards: usize) -> Vec<usize> {
+    let mut points = vec![0usize];
+    if shards <= 1 || input.is_empty() {
+        return points;
+    }
+    let ideal = |i: usize| i * input.len() / shards;
+    let mut next = 1; // index of the next boundary to place
+    let mut pos = 0usize;
+    while next < shards && pos < input.len() {
+        let Some(off) = find_byte(&input[pos..], b'<') else {
+            break;
+        };
+        let at = pos + off;
+        let rest = &input[at..];
+        if rest.starts_with(b"<!--") {
+            match find_subslice(rest, b"-->") {
+                Some(end) => pos = at + end + 3,
+                None => break,
+            }
+        } else if rest.starts_with(b"<![CDATA[") {
+            match find_subslice(rest, b"]]>") {
+                Some(end) => pos = at + end + 3,
+                None => break,
+            }
+        } else if rest.starts_with(b"<!DOCTYPE") {
+            match doctype_end(input, at) {
+                Some(end) => pos = end,
+                None => break,
+            }
+        } else if rest.starts_with(b"<?") {
+            match find_subslice(rest, b"?>") {
+                Some(end) => pos = at + end + 2,
+                None => break,
+            }
+        } else if rest.len() > 1 && (rest[1] == b'/' || is_name_start(rest[1])) {
+            // A safe element-tag boundary. Place every boundary whose ideal
+            // position we have passed (only once — duplicates would make
+            // empty shards).
+            if at > 0 && at >= ideal(next) {
+                points.push(at);
+                next += 1;
+                while next < shards && at >= ideal(next) {
+                    next += 1;
+                }
+            }
+            pos = at + 1;
+        } else {
+            // `<` followed by something that is no construct we know —
+            // malformed input; let a shard report it.
+            pos = at + 1;
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points_of(doc: &str, shards: usize) -> Vec<usize> {
+        split_points(doc.as_bytes(), shards)
+    }
+
+    #[test]
+    fn single_shard_is_whole_input() {
+        assert_eq!(points_of("<a><b/></a>", 1), vec![0]);
+    }
+
+    #[test]
+    fn boundaries_sit_on_tags() {
+        let doc = "<a>".to_string() + &"<b>x</b>".repeat(200) + "</a>";
+        let pts = points_of(&doc, 4);
+        assert_eq!(pts[0], 0);
+        assert!(pts.len() > 1, "enough tags to split");
+        for &p in &pts[1..] {
+            assert_eq!(doc.as_bytes()[p], b'<');
+            let next = doc.as_bytes()[p + 1];
+            assert!(next == b'/' || is_name_start(next), "at {p}");
+        }
+        let mut sorted = pts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, pts, "strictly increasing, no duplicates");
+    }
+
+    #[test]
+    fn never_splits_inside_comments_or_cdata() {
+        // The only `<` bytes after position 0 live inside constructs; no
+        // split point may land there.
+        let filler = "<!-- <fake1/><fake2/><fake3/> -->".repeat(40);
+        let doc = format!("<a>{filler}<![CDATA[<fake4/><fake5/>]]>{filler}</a>");
+        let pts = points_of(&doc, 8);
+        for &p in &pts[1..] {
+            // Every boundary must be the real `</a>` or a tag outside the
+            // constructs — verify by checking it is not inside a comment.
+            let prefix = &doc[..p];
+            let opens = prefix.matches("<!--").count();
+            let closes = prefix.matches("-->").count();
+            assert_eq!(opens, closes, "boundary {p} inside a comment");
+            let copens = prefix.matches("<![CDATA[").count();
+            let ccloses = prefix.matches("]]>").count();
+            assert_eq!(copens, ccloses, "boundary {p} inside CDATA");
+        }
+    }
+
+    #[test]
+    fn doctype_with_subset_skipped_atomically() {
+        let doc = r#"<!DOCTYPE bib [<!ELEMENT bib (book)*> <!ENTITY x "]<z>">]><bib><book/><book/><book/><book/></bib>"#;
+        let pts = points_of(doc, 3);
+        let subset_end = doc.find("]>").unwrap();
+        for &p in &pts[1..] {
+            assert!(p > subset_end, "boundary {p} inside the DOCTYPE");
+        }
+    }
+
+    #[test]
+    fn unterminated_construct_stops_splitting() {
+        let doc = "<a><!-- never closed ".to_string() + &"x".repeat(500);
+        assert_eq!(points_of(&doc, 4), vec![0], "no safe boundary found");
+    }
+}

@@ -1,0 +1,290 @@
+//! The sharded reader's contract: for any document and any shard count,
+//! the stitched event stream is the sequential reader's event stream.
+//!
+//! Checked three ways: byte-identity of the re-serialised stream (the
+//! acceptance criterion), owned-event identity (a strictly stronger
+//! check, possible because seams sit on element tags so no text run ever
+//! splits), and XSAX validation-verdict agreement when the sharded reader
+//! feeds `XsaxParser::from_source`.
+
+use flux_shard::{ShardConfig, ShardedReader};
+use flux_xml::{parse_to_events, RawEvent, XmlEvent, XmlReader, XmlWriter};
+use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Serialises whatever `next_into` source produces, raw-event path.
+fn serialise_sequential(doc: &str) -> String {
+    let mut reader = XmlReader::new(doc.as_bytes());
+    let mut writer = XmlWriter::new(Vec::new());
+    let mut ev = RawEvent::new();
+    while reader.next_into(&mut ev).expect("sequential parse") {
+        writer
+            .write_raw_event(reader.symbols(), &ev)
+            .expect("write");
+    }
+    writer.finish().expect("finish");
+    String::from_utf8(writer.into_inner()).expect("utf8")
+}
+
+fn sharded_reader(doc: &str, shards: usize) -> ShardedReader {
+    let mut config = ShardConfig::new(shards);
+    config.min_shard_bytes = 1; // shard even small generated documents
+    ShardedReader::new(doc.as_bytes().to_vec(), config)
+}
+
+fn serialise_sharded(doc: &str, shards: usize) -> String {
+    let mut reader = sharded_reader(doc, shards);
+    let mut writer = XmlWriter::new(Vec::new());
+    let mut ev = RawEvent::new();
+    while reader.next_into(&mut ev).expect("sharded parse") {
+        writer
+            .write_raw_event(reader.symbols(), &ev)
+            .expect("write");
+    }
+    writer.finish().expect("finish");
+    String::from_utf8(writer.into_inner()).expect("utf8")
+}
+
+fn sharded_owned_events(doc: &str, shards: usize) -> Vec<XmlEvent> {
+    let mut reader = sharded_reader(doc, shards);
+    let mut ev = RawEvent::new();
+    let mut out = Vec::new();
+    while reader.next_into(&mut ev).expect("sharded parse") {
+        out.push(ev.to_xml_event(reader.symbols()));
+    }
+    out
+}
+
+fn assert_doc_equivalent(doc: &str) {
+    let expected_bytes = serialise_sequential(doc);
+    let expected_events = parse_to_events(doc).expect("sequential parse");
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            serialise_sharded(doc, shards),
+            expected_bytes,
+            "serialised stream diverged at {shards} shards"
+        );
+        assert_eq!(
+            sharded_owned_events(doc, shards),
+            expected_events,
+            "event sequence diverged at {shards} shards"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Generated bibliography documents (weak DTD shape): sharded and
+    /// sequential streams are byte-identical via the writer.
+    #[test]
+    fn bib_weak_documents_equivalent(seed in 0u64..1_000_000, books in 1usize..120) {
+        assert_doc_equivalent(&bib_string(&BibConfig::weak(books, seed)));
+    }
+
+    /// Figure 1 DTD shape.
+    #[test]
+    fn bib_fig1_documents_equivalent(seed in 0u64..1_000_000, books in 1usize..120) {
+        assert_doc_equivalent(&bib_string(&BibConfig::fig1(books, seed)));
+    }
+
+    /// Auction documents: deeper nesting, attributes, joins corpus.
+    #[test]
+    fn auction_documents_equivalent(seed in 0u64..1_000_000) {
+        assert_doc_equivalent(&auction_string(&AuctionConfig::scale(0.3, seed)));
+    }
+}
+
+// ----- seam unit tests: constructs straddling an exact chunk boundary -----
+
+/// Forces exactly two shards and checks equivalence. `min_shard_bytes = 1`
+/// makes the split land near the middle of the document, which the caller
+/// arranges to be inside the interesting construct.
+fn assert_two_shard_equivalent(doc: &str) {
+    let expected = serialise_sequential(doc);
+    assert_eq!(serialise_sharded(doc, 2), expected, "doc: {doc}");
+}
+
+#[test]
+fn tag_name_straddles_boundary() {
+    // The ideal midpoint falls inside `<straddling-name ...>`: the
+    // splitter must move the boundary to the tag's `<` or past it, never
+    // inside the name.
+    let left = "x".repeat(40);
+    let doc = format!("<r><a>{left}</a><straddling-name attr=\"value\">body</straddling-name></r>");
+    assert_two_shard_equivalent(&doc);
+}
+
+#[test]
+fn text_run_straddles_boundary() {
+    // Midpoint inside a long text run: the whole run must stay one event
+    // (the boundary moves to the next tag).
+    let run = "long text with entities &amp; more ".repeat(4);
+    let doc = format!("<r><t>{run}</t><u/></r>");
+    assert_two_shard_equivalent(&doc);
+    // And the run really is delivered as a single text event.
+    let events = sharded_owned_events(&doc, 2);
+    let texts: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, XmlEvent::Text(_)))
+        .collect();
+    assert_eq!(texts.len(), 1, "{events:?}");
+}
+
+#[test]
+fn comment_straddles_boundary() {
+    let doc = format!(
+        "<r><a>x</a><!-- a comment with <fake-tags/> inside {} --><b>y</b></r>",
+        "pad ".repeat(10)
+    );
+    assert_two_shard_equivalent(&doc);
+}
+
+#[test]
+fn cdata_straddles_boundary() {
+    let doc = format!(
+        "<r><t>before<![CDATA[raw <not-a-tag> &amp; {}]]>after</t></r>",
+        "pad ".repeat(10)
+    );
+    assert_two_shard_equivalent(&doc);
+    // CDATA merges into the surrounding text run, exactly like the
+    // sequential reader.
+    let events = sharded_owned_events(&doc, 2);
+    assert!(
+        events.iter().any(
+            |e| matches!(e, XmlEvent::Text(t) if t.starts_with("before") && t.ends_with("after"))
+        ),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn attribute_value_straddles_boundary() {
+    let value = "no lt allowed but entities &amp; quotes ' work ".repeat(2);
+    let doc = format!("<r><a k=\"{value}\" k2='two'/><b/></r>");
+    assert_two_shard_equivalent(&doc);
+}
+
+#[test]
+fn element_spanning_all_shards() {
+    // One element whose content crosses every seam: its start tag lives in
+    // shard 0, its end tag in the last shard.
+    let body = "<leaf>x</leaf>".repeat(64);
+    let doc = format!("<root><wide>{body}</wide></root>");
+    for shards in SHARD_COUNTS {
+        assert_eq!(serialise_sharded(&doc, shards), serialise_sequential(&doc));
+    }
+}
+
+// ----- XSAX verdict agreement over the sharded source -----
+
+#[test]
+fn xsax_verdicts_agree_with_sequential() {
+    use flux_dtd::Dtd;
+    use flux_xsax::{seeded_symbols, XsaxConfig, XsaxParser};
+
+    let dtd = Dtd::parse(flux_dtd::PAPER_FIG1_DTD).expect("dtd");
+    let valid = bib_string(&BibConfig::fig1(80, 7));
+    let invalid = valid.replace("<title>", "<price>9</price><title>");
+
+    for (doc, should_pass) in [(&valid, true), (&invalid, false)] {
+        let sequential = {
+            let mut p = XsaxParser::new(doc.as_bytes(), &dtd).expect("parser");
+            let mut ev = RawEvent::new();
+            let mut n = 0u64;
+            loop {
+                match p.next_into(&mut ev) {
+                    Ok(Some(_)) => n += 1,
+                    Ok(None) => break Ok(n),
+                    Err(e) => break Err(e),
+                }
+            }
+        };
+        for shards in SHARD_COUNTS {
+            let mut config = ShardConfig::new(shards);
+            config.min_shard_bytes = 1;
+            let source =
+                ShardedReader::with_symbols(doc.as_bytes().to_vec(), config, seeded_symbols(&dtd));
+            let mut p =
+                XsaxParser::from_source(source, &dtd, XsaxConfig::default()).expect("from_source");
+            let mut ev = RawEvent::new();
+            let mut n = 0u64;
+            let sharded: Result<u64, _> = loop {
+                match p.next_into(&mut ev) {
+                    Ok(Some(_)) => n += 1,
+                    Ok(None) => break Ok(n),
+                    Err(e) => break Err(e),
+                }
+            };
+            match (&sequential, &sharded) {
+                (Ok(a), Ok(b)) => {
+                    assert!(should_pass, "both accepted an invalid doc");
+                    assert_eq!(a, b, "event counts diverged at {shards} shards");
+                }
+                (Err(_), Err(_)) => {
+                    assert!(!should_pass, "both rejected a valid doc")
+                }
+                (seq, sh) => panic!(
+                    "verdicts diverged at {shards} shards: sequential {seq:?}, sharded {sh:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn xsax_past_fires_agree_over_sharded_source() {
+    use flux_dtd::Dtd;
+    use flux_xsax::{seeded_symbols, PastLabels, XsaxConfig, XsaxParser, XsaxStep};
+
+    let dtd = Dtd::parse(flux_dtd::PAPER_FIG1_DTD).expect("dtd");
+    let doc = bib_string(&BibConfig::fig1(60, 21));
+    let book = dtd.lookup("book").unwrap();
+    let title = dtd.lookup("title").unwrap();
+    let author = dtd.lookup("author").unwrap();
+
+    // A fire trace records (event ordinal, fired id) pairs.
+    fn trace<S: flux_xml::EventSource>(
+        mut parser: XsaxParser<'_, S>,
+        book: flux_dtd::Symbol,
+        labels: PastLabels,
+    ) -> Vec<(u64, u32)> {
+        parser.register_past(book, labels).expect("register");
+        let mut ev = RawEvent::new();
+        let mut ordinal = 0u64;
+        let mut fires = Vec::new();
+        while let Some(step) = parser.next_into(&mut ev).expect("step") {
+            ordinal += 1;
+            if let XsaxStep::Fire { id, .. } = step {
+                fires.push((ordinal, id.0));
+            }
+        }
+        fires
+    }
+
+    let labels = PastLabels::labels([title, author]);
+    let sequential = trace(
+        XsaxParser::new(doc.as_bytes(), &dtd).expect("parser"),
+        book,
+        labels.clone(),
+    );
+    assert!(!sequential.is_empty(), "the workload must fire");
+    for shards in SHARD_COUNTS {
+        let mut config = ShardConfig::new(shards);
+        config.min_shard_bytes = 1;
+        let source =
+            ShardedReader::with_symbols(doc.as_bytes().to_vec(), config, seeded_symbols(&dtd));
+        let parser =
+            XsaxParser::from_source(source, &dtd, XsaxConfig::default()).expect("from_source");
+        assert_eq!(
+            trace(parser, book, labels.clone()),
+            sequential,
+            "fire positions diverged at {shards} shards"
+        );
+    }
+}

@@ -134,13 +134,29 @@ pub enum RawEventKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawAttr {
     pub name: Symbol,
+    /// The literal attribute name when `name` is
+    /// [`SymbolTable::OVERFLOW`] (the reader's bounded-interner mode
+    /// declined to intern it); empty otherwise. A recycled buffer, like
+    /// `value`.
+    pub overflow_name: String,
     pub value: String,
 }
 
 impl RawAttr {
+    /// The attribute name, resolving bounded-interner overflow. Use this
+    /// instead of `symbols.name(attr.name)` wherever a stream may run in
+    /// bounded mode.
+    pub fn name_str<'a>(&'a self, symbols: &'a SymbolTable) -> &'a str {
+        if self.name == SymbolTable::OVERFLOW {
+            &self.overflow_name
+        } else {
+            symbols.name(self.name)
+        }
+    }
+
     /// Converts to the owned string representation.
     pub fn to_attribute(&self, symbols: &SymbolTable) -> Attribute {
-        Attribute::new(symbols.name(self.name), self.value.clone())
+        Attribute::new(self.name_str(symbols), self.value.clone())
     }
 }
 
@@ -152,12 +168,16 @@ impl RawAttr {
 ///
 /// | kind | [`name`](Self::name) | [`attributes`](Self::attributes) | [`text`](Self::text) | [`target`](Self::target) |
 /// |---|---|---|---|---|
-/// | `StartElement` | element | attributes | — | — |
-/// | `EndElement` | element | — | — | — |
+/// | `StartElement` | element | attributes | — | overflow name¹ |
+/// | `EndElement` | element | — | — | overflow name¹ |
 /// | `Text` | — | — | character data | — |
 /// | `Comment` | — | — | comment text | — |
 /// | `ProcessingInstruction` | — | — | data | PI target |
 /// | `DoctypeDecl` | — | — | internal subset | doctype name |
+///
+/// ¹ Only in the reader's bounded-interner mode, when `name` is
+/// [`SymbolTable::OVERFLOW`]: the literal element name rides in `target`.
+/// [`Self::name_str`] resolves either representation.
 ///
 /// Attribute value buffers beyond the live prefix are retained for reuse;
 /// [`Self::attributes`] only exposes the live entries.
@@ -170,6 +190,7 @@ pub struct RawEvent {
     text: String,
     target: String,
     has_internal_subset: bool,
+    text_synthetic: bool,
 }
 
 impl Default for RawEvent {
@@ -188,6 +209,7 @@ impl RawEvent {
             text: String::new(),
             target: String::new(),
             has_internal_subset: false,
+            text_synthetic: false,
         }
     }
 
@@ -198,6 +220,17 @@ impl RawEvent {
     /// The element name (start/end element events).
     pub fn name(&self) -> Symbol {
         self.name
+    }
+
+    /// The element name as text, resolving bounded-interner overflow
+    /// (where the literal name rides in the `target` buffer because the
+    /// interner was at capacity).
+    pub fn name_str<'a>(&'a self, symbols: &'a SymbolTable) -> &'a str {
+        if self.name == SymbolTable::OVERFLOW {
+            &self.target
+        } else {
+            symbols.name(self.name)
+        }
     }
 
     /// Live attributes of a start-element event.
@@ -229,6 +262,16 @@ impl RawEvent {
                 .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
     }
 
+    /// True when part of this text event's payload came from a character/
+    /// entity reference or a CDATA section rather than literal characters.
+    /// The sharded merger needs this to mirror the sequential reader's
+    /// prolog/epilog rules: literal whitespace around the root is skipped,
+    /// but `&#32;` or `<![CDATA[ ]]>` there is an error even though the
+    /// *unescaped* payload is whitespace.
+    pub fn is_text_synthetic(&self) -> bool {
+        self.text_synthetic
+    }
+
     // ----- producer API (the reader, and XSAX default-attribute injection) -----
 
     /// Rewrites the event as `kind`, clearing payloads but keeping every
@@ -239,6 +282,7 @@ impl RawEvent {
         self.text.clear();
         self.target.clear();
         self.has_internal_subset = false;
+        self.text_synthetic = false;
     }
 
     pub fn set_name(&mut self, name: Symbol) {
@@ -251,15 +295,28 @@ impl RawEvent {
         if self.attrs_len == self.attrs.len() {
             self.attrs.push(RawAttr {
                 name,
+                overflow_name: String::new(),
                 value: String::new(),
             });
         } else {
             let slot = &mut self.attrs[self.attrs_len];
             slot.name = name;
+            slot.overflow_name.clear();
             slot.value.clear();
         }
         self.attrs_len += 1;
         &mut self.attrs[self.attrs_len - 1].value
+    }
+
+    /// Appends an attribute whose name did not fit the bounded interner:
+    /// the literal name is stored in the recycled `overflow_name` buffer
+    /// and the symbol is [`SymbolTable::OVERFLOW`]. Returns the cleared
+    /// value buffer to fill.
+    pub fn push_attr_named(&mut self, name: &str) -> &mut String {
+        self.push_attr(SymbolTable::OVERFLOW);
+        let slot = &mut self.attrs[self.attrs_len - 1];
+        slot.overflow_name.push_str(name);
+        &mut slot.value
     }
 
     /// The recycled text buffer (character data, comment, PI data, subset).
@@ -276,6 +333,10 @@ impl RawEvent {
         self.has_internal_subset = yes;
     }
 
+    pub fn set_text_synthetic(&mut self, yes: bool) {
+        self.text_synthetic = yes;
+    }
+
     /// Converts to the owned, string-named representation (allocates; the
     /// compatibility path for [`crate::XmlReader::next_event`] consumers).
     pub fn to_xml_event(&self, symbols: &SymbolTable) -> XmlEvent {
@@ -287,7 +348,7 @@ impl RawEvent {
                 internal_subset: self.internal_subset().map(str::to_string),
             },
             RawEventKind::StartElement => XmlEvent::StartElement {
-                name: symbols.name(self.name).to_string(),
+                name: self.name_str(symbols).to_string(),
                 attributes: self
                     .attributes()
                     .iter()
@@ -295,7 +356,7 @@ impl RawEvent {
                     .collect(),
             },
             RawEventKind::EndElement => XmlEvent::EndElement {
-                name: symbols.name(self.name).to_string(),
+                name: self.name_str(symbols).to_string(),
             },
             RawEventKind::Text => XmlEvent::Text(self.text.clone()),
             RawEventKind::Comment => XmlEvent::Comment(self.text.clone()),

@@ -23,13 +23,16 @@ pub mod error;
 pub mod escape;
 pub mod event;
 pub mod reader;
+pub mod scan;
 mod scanner;
+pub mod source;
 pub mod tree;
 pub mod writer;
 
 pub use error::{Position, Result, XmlError};
 pub use event::{Attribute, RawAttr, RawEvent, RawEventKind, XmlEvent};
 pub use flux_symbols::{Symbol, SymbolTable};
-pub use reader::{parse_to_events, ReaderConfig, XmlReader};
+pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
+pub use source::EventSource;
 pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
 pub use writer::{events_to_string, WriterConfig, XmlWriter};

@@ -45,6 +45,24 @@ pub struct ReaderConfig {
     /// Hard limit on element nesting depth, to bound stack growth on
     /// adversarial input.
     pub max_depth: usize,
+    /// Cap on the number of distinct names the reader's interner may hold
+    /// (bounded-interner mode, default `None` = unbounded). Past the cap,
+    /// new names are **not** interned: events carry
+    /// [`SymbolTable::OVERFLOW`] plus the literal name in a recycled
+    /// buffer (see [`RawEvent::name_str`]). This restores a hard memory
+    /// bound when parsing adversarial unvalidated input whose distinct-name
+    /// count is unbounded; on schema-validated streams the alphabet is
+    /// fixed and the cap is never hit.
+    pub max_symbols: Option<usize>,
+    /// Parse a document *fragment* rather than a whole document (default:
+    /// false). A fragment is a slice of a well-formed document starting at
+    /// a tag boundary, as produced by `flux_shard`'s chunk splitter:
+    /// multiple top-level elements, character data at top level, and end
+    /// tags closing elements opened before the fragment are all accepted
+    /// (the sharded merger re-checks global well-formedness when it
+    /// stitches fragments). At end of input, open elements are left on the
+    /// stack ([`XmlReader::open_elements`]) instead of erroring.
+    pub fragment: bool,
 }
 
 impl Default for ReaderConfig {
@@ -53,6 +71,8 @@ impl Default for ReaderConfig {
             emit_comments: false,
             emit_processing_instructions: false,
             max_depth: 10_000,
+            max_symbols: None,
+            fragment: false,
         }
     }
 }
@@ -87,13 +107,21 @@ pub struct XmlReader<R: Read> {
     /// raw text runs).
     scratch: Vec<u8>,
     /// Second scratch buffer for payloads read while `scratch` content is
-    /// still needed (CDATA runs, PI data).
+    /// still needed (CDATA runs, PI data, overflow attribute names).
     aux: Vec<u8>,
+    /// Literal names of open elements whose symbol is
+    /// [`SymbolTable::OVERFLOW`] (bounded-interner mode), innermost last.
+    overflow_stack: Vec<String>,
+    /// Spare overflow-name buffers recycled from closed elements.
+    spare_overflow: Vec<String>,
     /// Recycled event backing the owned-`XmlEvent` compatibility API.
     compat: RawEvent,
 }
 
-fn is_name_start(b: u8) -> bool {
+/// Whether `b` can begin an XML name (the reader's classification, shared
+/// with the shard splitter, which must agree with the reader on what a
+/// start/end tag looks like).
+pub fn is_name_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
 }
 
@@ -127,6 +155,8 @@ impl<R: Read> XmlReader<R> {
             pending_end: None,
             scratch: Vec::new(),
             aux: Vec::new(),
+            overflow_stack: Vec::new(),
+            spare_overflow: Vec::new(),
             compat: RawEvent::new(),
         }
     }
@@ -144,6 +174,14 @@ impl<R: Read> XmlReader<R> {
     /// Current element nesting depth.
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Symbols of the currently open elements, outermost first. In
+    /// fragment mode these are the elements still open at end of input —
+    /// the "suffix opens" of the shard's stack summary, which the sharded
+    /// merger matches against the next shard's unmatched closes.
+    pub fn open_elements(&self) -> &[Symbol] {
+        &self.stack
     }
 
     fn syntax(&self, message: impl Into<String>) -> XmlError {
@@ -193,16 +231,27 @@ impl<R: Read> XmlReader<R> {
     /// The parsing core: rewrites `ev` with the next event.
     fn fill_event(&mut self, ev: &mut RawEvent) -> Result<()> {
         if self.state == State::Fresh {
-            self.state = State::Prolog;
+            // Fragments skip the prolog/epilog state machine entirely: a
+            // fragment is content, and the merger re-checks document-level
+            // structure across shards.
+            self.state = if self.config.fragment {
+                State::InRoot
+            } else {
+                State::Prolog
+            };
             self.skip_bom()?;
             self.maybe_skip_xml_decl()?;
             ev.reset(RawEventKind::StartDocument);
             return Ok(());
         }
         if let Some(name) = self.pending_end.take() {
-            self.leave_element();
             ev.reset(RawEventKind::EndElement);
             ev.set_name(name);
+            if name == SymbolTable::OVERFLOW {
+                let open = self.overflow_stack.last().expect("overflow name on stack");
+                ev.target_mut().push_str(open);
+            }
+            self.leave_element();
             return Ok(());
         }
         loop {
@@ -238,10 +287,17 @@ impl<R: Read> XmlReader<R> {
                 }
                 State::InRoot => match self.scanner.peek()? {
                     None => {
+                        if self.config.fragment {
+                            // End of the fragment: leave open elements on
+                            // the stack for the merger to stitch.
+                            self.state = State::Done;
+                            ev.reset(RawEventKind::EndDocument);
+                            return Ok(());
+                        }
                         return Err(XmlError::UnexpectedEof {
                             expected: "closing tags for open elements",
                             pos: self.scanner.position(),
-                        })
+                        });
                     }
                     Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
                         if self.parse_markup(ev)? {
@@ -349,7 +405,11 @@ impl<R: Read> XmlReader<R> {
     }
 
     fn parse_doctype(&mut self, ev: &mut RawEvent) -> Result<()> {
-        if self.state != State::Prolog {
+        // Fragments accept a DOCTYPE whenever no element is open locally;
+        // the sharded merger enforces the document-level prolog position.
+        let ok_here = self.state == State::Prolog
+            || (self.config.fragment && self.stack.is_empty() && self.pending_end.is_none());
+        if !ok_here {
             return Err(self.wf("DOCTYPE declaration after the root element has started"));
         }
         self.scanner
@@ -466,12 +526,23 @@ impl<R: Read> XmlReader<R> {
     }
 
     /// Reads a name token and interns it — no allocation once the name has
-    /// been seen before.
+    /// been seen before. In bounded-interner mode a new name past the cap
+    /// yields [`SymbolTable::OVERFLOW`]; the literal name stays in
+    /// `self.scratch` for the caller to carry out of band.
     fn intern_name(&mut self, what: &'static str) -> Result<Symbol> {
         self.read_name(what)?;
         let pos = self.scanner.position();
         let name = std::str::from_utf8(&self.scratch).map_err(|_| XmlError::InvalidUtf8 { pos })?;
-        Ok(self.symbols.intern(name))
+        Ok(match self.config.max_symbols {
+            None => self.symbols.intern(name),
+            Some(cap) => self.symbols.intern_bounded(name, cap),
+        })
+    }
+
+    /// The name in `self.scratch` as UTF-8 (already validated by
+    /// [`XmlReader::intern_name`]).
+    fn scratch_name(&self) -> &str {
+        std::str::from_utf8(&self.scratch).expect("scratch validated by intern_name")
     }
 
     fn parse_start_tag(&mut self, ev: &mut RawEvent) -> Result<()> {
@@ -482,19 +553,24 @@ impl<R: Read> XmlReader<R> {
         let name = self.intern_name("element name")?;
         ev.reset(RawEventKind::StartElement);
         ev.set_name(name);
+        if name == SymbolTable::OVERFLOW {
+            // Bounded-interner overflow: the literal name rides in the
+            // event's target buffer and on the overflow stack.
+            ev.target_mut().push_str(self.scratch_name());
+        }
         loop {
             let had_ws = self.scanner.skip_whitespace()? > 0;
             match self.scanner.peek()? {
                 Some(b'>') => {
                     self.scanner.next_byte()?;
-                    self.enter_element(name)?;
+                    self.enter_element(name, ev.target())?;
                     return Ok(());
                 }
                 Some(b'/') => {
                     self.scanner.next_byte()?;
                     self.scanner
                         .expect_byte(b'>', "`>` after `/` in empty-element tag")?;
-                    self.enter_element(name)?;
+                    self.enter_element(name, ev.target())?;
                     self.pending_end = Some(name);
                     return Ok(());
                 }
@@ -503,6 +579,12 @@ impl<R: Read> XmlReader<R> {
                         return Err(self.syntax("whitespace required before attribute"));
                     }
                     let attr_name = self.intern_name("attribute name")?;
+                    if attr_name == SymbolTable::OVERFLOW {
+                        // `scratch` is about to be reused for the value;
+                        // park the literal attribute name in `aux`.
+                        self.aux.clear();
+                        self.aux.extend_from_slice(&self.scratch);
+                    }
                     self.scanner.skip_whitespace()?;
                     self.scanner.expect_byte(b'=', "`=` after attribute name")?;
                     self.scanner.skip_whitespace()?;
@@ -516,13 +598,24 @@ impl<R: Read> XmlReader<R> {
                             pos,
                         });
                     }
-                    unescape_into(raw, pos, ev.push_attr(attr_name))?;
+                    let slot = if attr_name == SymbolTable::OVERFLOW {
+                        let parked = std::str::from_utf8(&self.aux)
+                            .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                        ev.push_attr_named(parked)
+                    } else {
+                        ev.push_attr(attr_name)
+                    };
+                    unescape_into(raw, pos, slot)?;
                     let live = ev.attributes();
-                    if live[..live.len() - 1].iter().any(|a| a.name == attr_name) {
-                        return Err(self.wf(format!(
-                            "duplicate attribute `{}`",
-                            self.symbols.name(attr_name)
-                        )));
+                    let (new, before) = live.split_last().expect("attribute just pushed");
+                    let duplicate = before.iter().any(|a| {
+                        a.name == new.name
+                            && (new.name != SymbolTable::OVERFLOW
+                                || a.overflow_name == new.overflow_name)
+                    });
+                    if duplicate {
+                        let rendered = new.name_str(&self.symbols).to_string();
+                        return Err(self.wf(format!("duplicate attribute `{rendered}`")));
                     }
                 }
                 Some(_) => return Err(self.syntax("malformed start tag")),
@@ -561,29 +654,53 @@ impl<R: Read> XmlReader<R> {
         let name = self.intern_name("element name in end tag")?;
         self.scanner.skip_whitespace()?;
         self.scanner.expect_byte(b'>', "`>` closing the end tag")?;
-        match self.stack.last() {
-            Some(&open) if open == name => {}
-            Some(&open) => {
-                return Err(self.wf(format!(
-                    "mismatched end tag: expected </{}>, found </{}>",
-                    self.symbols.name(open),
-                    self.symbols.name(name)
-                )));
+        let matches_open = match self.stack.last() {
+            // Two overflow names match only if the literal names agree.
+            Some(&open) if open == name => {
+                name != SymbolTable::OVERFLOW
+                    || self.overflow_stack.last().map(String::as_str) == Some(self.scratch_name())
+            }
+            Some(_) => false,
+            None if self.config.fragment => {
+                // Closes an element opened before this fragment; the merger
+                // verifies the name against the previous shard's stack.
+                ev.reset(RawEventKind::EndElement);
+                ev.set_name(name);
+                if name == SymbolTable::OVERFLOW {
+                    ev.target_mut().push_str(self.scratch_name());
+                }
+                return Ok(());
             }
             None => {
                 return Err(self.wf(format!(
                     "end tag </{}> with no open element",
-                    self.symbols.name(name)
+                    self.scratch_name()
                 )))
             }
+        };
+        if !matches_open {
+            let open = *self.stack.last().expect("checked above");
+            let open_name = if open == SymbolTable::OVERFLOW {
+                self.overflow_stack.last().expect("overflow name on stack")
+            } else {
+                self.symbols.name(open)
+            };
+            return Err(self.wf(format!(
+                "mismatched end tag: expected </{}>, found </{}>",
+                open_name,
+                self.scratch_name()
+            )));
         }
-        self.leave_element();
         ev.reset(RawEventKind::EndElement);
         ev.set_name(name);
+        if name == SymbolTable::OVERFLOW {
+            ev.target_mut().push_str(self.scratch_name());
+        }
+        self.leave_element();
         Ok(())
     }
 
-    fn enter_element(&mut self, name: Symbol) -> Result<()> {
+    fn enter_element(&mut self, name: Symbol, overflow_name: &str) -> Result<()> {
         if self.stack.len() >= self.config.max_depth {
             return Err(self.wf(format!(
                 "element nesting deeper than the configured limit of {}",
@@ -593,13 +710,22 @@ impl<R: Read> XmlReader<R> {
         if self.state == State::Prolog {
             self.state = State::InRoot;
         }
+        if name == SymbolTable::OVERFLOW {
+            let mut owned = self.spare_overflow.pop().unwrap_or_default();
+            owned.push_str(overflow_name);
+            self.overflow_stack.push(owned);
+        }
         self.stack.push(name);
         Ok(())
     }
 
     fn leave_element(&mut self) {
-        self.stack.pop();
-        if self.stack.is_empty() && self.state == State::InRoot {
+        if self.stack.pop() == Some(SymbolTable::OVERFLOW) {
+            let mut owned = self.overflow_stack.pop().expect("overflow name on stack");
+            owned.clear();
+            self.spare_overflow.push(owned);
+        }
+        if self.stack.is_empty() && self.state == State::InRoot && !self.config.fragment {
             self.state = State::Epilog;
         }
     }
@@ -620,23 +746,33 @@ impl<R: Read> XmlReader<R> {
                         let chunk = std::str::from_utf8(&self.aux)
                             .map_err(|_| XmlError::InvalidUtf8 { pos })?;
                         ev.text_mut().push_str(chunk);
+                        ev.set_text_synthetic(true);
                     } else {
                         break;
                     }
                 }
                 Some(_) => {
                     self.scratch.clear();
-                    self.scanner.read_while(|b| b != b'<', &mut self.scratch)?;
+                    self.scanner.read_until_byte(b'<', &mut self.scratch)?;
                     let pos = self.scanner.position();
                     let raw = std::str::from_utf8(&self.scratch)
                         .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                    if raw.contains('&') {
+                        ev.set_text_synthetic(true);
+                    }
                     unescape_into(raw, pos, ev.text_mut())?;
                 }
                 None => {
+                    if self.config.fragment {
+                        // A fragment may end right after a text run (the
+                        // next chunk starts at a tag), so this run is
+                        // complete: deliver it.
+                        return Ok(());
+                    }
                     return Err(XmlError::UnexpectedEof {
                         expected: "closing tags for open elements",
                         pos: self.scanner.position(),
-                    })
+                    });
                 }
             }
         }
@@ -969,6 +1105,182 @@ mod tests {
             }
         }
         assert!(found);
+    }
+
+    // ----- bounded-interner mode -----
+
+    /// Parses with a symbol cap and re-serialises via the raw path,
+    /// checking output identity and that the table stayed capped.
+    fn bounded_round_trip(doc: &str, cap: usize) -> (String, usize) {
+        use crate::writer::XmlWriter;
+        let mut reader = XmlReader::with_config(
+            doc.as_bytes(),
+            ReaderConfig {
+                max_symbols: Some(cap),
+                ..ReaderConfig::default()
+            },
+        );
+        let mut writer = XmlWriter::new(Vec::new());
+        let mut ev = RawEvent::new();
+        while reader.next_into(&mut ev).unwrap() {
+            writer.write_raw_event(reader.symbols(), &ev).unwrap();
+        }
+        writer.finish().unwrap();
+        let out = String::from_utf8(writer.into_inner()).unwrap();
+        (out, reader.symbols().len())
+    }
+
+    #[test]
+    fn bounded_interner_caps_table_and_preserves_output() {
+        // 2 pseudo-symbols + cap 4 ⇒ only `a` and `b` intern; `c`, `d` and
+        // the attribute names overflow to per-event strings.
+        let doc = r#"<a><b/><c x="1" y="2">t</c><d><c/></d></a>"#;
+        let (out, len) = bounded_round_trip(doc, 4);
+        assert_eq!(out, r#"<a><b></b><c x="1" y="2">t</c><d><c></c></d></a>"#);
+        assert_eq!(len, 4, "table must not grow past the cap");
+    }
+
+    #[test]
+    fn bounded_interner_distinguishes_overflow_names() {
+        // Mismatched tags must still be detected when both names overflow.
+        let mut reader = XmlReader::with_config(
+            "<a><b><uno></dos></b></a>".as_bytes(),
+            ReaderConfig {
+                max_symbols: Some(4),
+                ..ReaderConfig::default()
+            },
+        );
+        let mut ev = RawEvent::new();
+        let err = loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => {}
+                Ok(false) => panic!("expected mismatch error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            err.to_string().contains("expected </uno>, found </dos>"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bounded_interner_duplicate_overflow_attrs_rejected() {
+        let mut reader = XmlReader::with_config(
+            r#"<a zzz="1" zzz="2"/>"#.as_bytes(),
+            ReaderConfig {
+                max_symbols: Some(3),
+                ..ReaderConfig::default()
+            },
+        );
+        let mut ev = RawEvent::new();
+        let err = loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => {}
+                Ok(false) => panic!("expected duplicate error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("duplicate attribute"), "{err}");
+    }
+
+    #[test]
+    fn bounded_interner_matches_unbounded_output() {
+        let doc = "<root><x1 a=\"v\"><y>text</y></x1><x2/><x1/></root>";
+        let (bounded, _) = bounded_round_trip(doc, 2);
+        let (unbounded, _) = bounded_round_trip(doc, usize::MAX);
+        assert_eq!(bounded, unbounded);
+    }
+
+    // ----- fragment mode -----
+
+    fn fragment_events(input: &str) -> Vec<XmlEvent> {
+        let mut reader = XmlReader::with_config(
+            input.as_bytes(),
+            ReaderConfig {
+                fragment: true,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut ev = RawEvent::new();
+        let mut out = Vec::new();
+        while reader.next_into(&mut ev).unwrap() {
+            out.push(ev.to_xml_event(reader.symbols()));
+        }
+        out
+    }
+
+    #[test]
+    fn fragment_allows_sibling_roots_and_top_level_text() {
+        let evs = fragment_events("<a/>between<b/>");
+        assert_eq!(
+            evs.iter().map(|e| e.kind()).collect::<Vec<_>>(),
+            vec![
+                "start-document",
+                "start-element",
+                "end-element",
+                "text",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
+        );
+    }
+
+    #[test]
+    fn fragment_allows_unmatched_closes_and_leaves_opens() {
+        // `</x></y>` close elements opened before the fragment; `<z>` stays
+        // open at the end.
+        let mut reader = XmlReader::with_config(
+            "</x></y><z><w/>".as_bytes(),
+            ReaderConfig {
+                fragment: true,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut ev = RawEvent::new();
+        let mut kinds = Vec::new();
+        while reader.next_into(&mut ev).unwrap() {
+            kinds.push(ev.to_xml_event(reader.symbols()).kind());
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                "start-document",
+                "end-element",
+                "end-element",
+                "start-element",
+                "start-element",
+                "end-element",
+                "end-document"
+            ]
+        );
+        let opens: Vec<&str> = reader
+            .open_elements()
+            .iter()
+            .map(|&s| reader.symbols().name(s))
+            .collect();
+        assert_eq!(opens, vec!["z"], "z is still open at fragment end");
+    }
+
+    #[test]
+    fn fragment_still_rejects_local_mismatch() {
+        let mut reader = XmlReader::with_config(
+            "<a></b>".as_bytes(),
+            ReaderConfig {
+                fragment: true,
+                ..ReaderConfig::default()
+            },
+        );
+        let mut ev = RawEvent::new();
+        let err = loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => {}
+                Ok(false) => panic!("expected mismatch error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, XmlError::WellFormedness { .. }), "{err}");
     }
 
     // ----- raw (interned, recycled) API -----

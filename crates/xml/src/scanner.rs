@@ -5,6 +5,7 @@
 //! longest single token (tag, text run, comment), not by document size.
 
 use crate::error::{Position, Result, XmlError};
+use crate::scan::{count_byte_with_last, find_byte, find_subslice};
 use std::io::Read;
 
 const CHUNK: usize = 8 * 1024;
@@ -108,6 +109,19 @@ impl<R: Read> Scanner<R> {
         }
     }
 
+    /// Position bookkeeping for a whole consumed run `buf[from..to]` at
+    /// once: one SWAR newline count instead of a per-byte loop.
+    fn advance_span(&mut self, from: usize, to: usize) {
+        self.offset += (to - from) as u64;
+        let (newlines, last) = count_byte_with_last(&self.buf[from..to], b'\n');
+        if let Some(last) = last {
+            self.line += newlines as u32;
+            self.column = (to - (from + last)) as u32;
+        } else {
+            self.column += (to - from) as u32;
+        }
+    }
+
     /// Consumes and returns the next byte.
     pub fn next_byte(&mut self) -> Result<Option<u8>> {
         self.fill(1)?;
@@ -196,11 +210,28 @@ impl<R: Read> Scanner<R> {
                 }
             }
             out.extend_from_slice(&self.buf[self.start..self.start + taken]);
-            // Update position bookkeeping for the consumed run.
-            for i in self.start..self.start + taken {
-                let b = self.buf[i];
-                self.advance_position(b);
+            self.advance_span(self.start, self.start + taken);
+            self.start += taken;
+            if taken < window_len || self.eof && self.available() == 0 {
+                return Ok(());
             }
+        }
+    }
+
+    /// Consumes bytes up to (not including) the next occurrence of `stop`,
+    /// appending them to `out`. The SWAR fast path for text runs:
+    /// equivalent to `read_while(|b| b != stop, out)`, eight bytes at a
+    /// time for both the search and the newline accounting.
+    pub fn read_until_byte(&mut self, stop: u8, out: &mut Vec<u8>) -> Result<()> {
+        loop {
+            self.fill(1)?;
+            if self.available() == 0 {
+                return Ok(());
+            }
+            let window_len = self.end - self.start;
+            let taken = find_byte(&self.buf[self.start..self.end], stop).unwrap_or(window_len);
+            out.extend_from_slice(&self.buf[self.start..self.start + taken]);
+            self.advance_span(self.start, self.start + taken);
             self.start += taken;
             if taken < window_len || self.eof && self.available() == 0 {
                 return Ok(());
@@ -226,23 +257,10 @@ impl<R: Read> Scanner<R> {
                 });
             }
             let window = &self.buf[self.start..self.end];
-            // Find the first byte of the delimiter in the window, check the rest.
-            let mut found: Option<usize> = None;
-            let mut i = 0;
-            while i + delim.len() <= window.len() {
-                if window[i] == delim[0] && &window[i..i + delim.len()] == delim {
-                    found = Some(i);
-                    break;
-                }
-                i += 1;
-            }
-            match found {
+            match find_subslice(window, delim) {
                 Some(at) => {
                     out.extend_from_slice(&self.buf[self.start..self.start + at]);
-                    for j in self.start..self.start + at + delim.len() {
-                        let b = self.buf[j];
-                        self.advance_position(b);
-                    }
+                    self.advance_span(self.start, self.start + at + delim.len());
                     self.start += at + delim.len();
                     return Ok(());
                 }
@@ -252,10 +270,7 @@ impl<R: Read> Scanner<R> {
                     let keep = delim.len() - 1;
                     let consumable = window.len().saturating_sub(keep);
                     out.extend_from_slice(&self.buf[self.start..self.start + consumable]);
-                    for j in self.start..self.start + consumable {
-                        let b = self.buf[j];
-                        self.advance_position(b);
-                    }
+                    self.advance_span(self.start, self.start + consumable);
                     self.start += consumable;
                     if self.eof {
                         return Err(XmlError::UnexpectedEof {
@@ -345,6 +360,33 @@ mod tests {
         let mut out = Vec::new();
         sc.read_while(|b| b != b'<', &mut out).unwrap();
         assert_eq!(out, b"abc");
+        assert_eq!(sc.peek().unwrap(), Some(b'<'));
+    }
+
+    #[test]
+    fn read_until_byte_matches_read_while() {
+        let input = "line one\nline two<rest";
+        let mut a = scanner(input);
+        let mut b = scanner(input);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        a.read_until_byte(b'<', &mut out_a).unwrap();
+        b.read_while(|x| x != b'<', &mut out_b).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.position(), b.position());
+        assert_eq!(a.position().line, 2);
+        assert_eq!(a.position().column, 9, "column counted from last newline");
+        assert_eq!(a.peek().unwrap(), Some(b'<'));
+    }
+
+    #[test]
+    fn read_until_byte_spanning_chunks() {
+        let prefix = "y\n".repeat(CHUNK);
+        let input = format!("{prefix}<tail");
+        let mut sc = Scanner::new(input.as_bytes());
+        let mut out = Vec::new();
+        sc.read_until_byte(b'<', &mut out).unwrap();
+        assert_eq!(out.len(), prefix.len());
+        assert_eq!(sc.position().line as usize, CHUNK + 1);
         assert_eq!(sc.peek().unwrap(), Some(b'<'));
     }
 

@@ -1,0 +1,46 @@
+//! The pull-event source abstraction.
+//!
+//! [`EventSource`] is the contract between event *producers* (the
+//! sequential [`XmlReader`], the parallel `flux_shard::ShardedReader`) and
+//! event *consumers* (the XSAX validating parser, the FluX runtime): one
+//! recycled [`RawEvent`] rewritten per pull, names interned in a
+//! [`SymbolTable`] owned by the source. Consumers written against this
+//! trait work unchanged over a single-threaded stream or a sharded,
+//! multi-core one.
+
+use crate::error::{Position, Result};
+use crate::event::RawEvent;
+use crate::reader::XmlReader;
+use flux_symbols::SymbolTable;
+use std::io::Read;
+
+/// A pull source of recycled [`RawEvent`]s.
+pub trait EventSource {
+    /// Pulls the next event into the caller-owned `ev`, recycling its
+    /// buffers. Returns `Ok(false)` once `EndDocument` has been delivered.
+    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool>;
+
+    /// The interner mapping the [`flux_symbols::Symbol`]s in delivered
+    /// events back to names. Sources seeded from a schema table preserve
+    /// its indices, so stream symbols coincide with schema symbols.
+    fn symbols(&self) -> &SymbolTable;
+
+    /// Current input position, for error reporting. Sources without exact
+    /// line/column knowledge (e.g. a sharded reader mid-replay) report a
+    /// best-effort byte offset.
+    fn position(&self) -> Position;
+}
+
+impl<R: Read> EventSource for XmlReader<R> {
+    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        XmlReader::next_into(self, ev)
+    }
+
+    fn symbols(&self) -> &SymbolTable {
+        XmlReader::symbols(self)
+    }
+
+    fn position(&self) -> Position {
+        XmlReader::position(self)
+    }
+}

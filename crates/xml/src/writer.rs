@@ -144,16 +144,39 @@ impl<W: Write> XmlWriter<W> {
     /// Writes a start tag from interned-symbol parts, mapping names back
     /// through the shared `symbols` table. The steady-state cost is the
     /// same as [`XmlWriter::start_element`] minus all name allocations.
+    ///
+    /// The element `name` must be a real table symbol: a bounded-interner
+    /// [`SymbolTable::OVERFLOW`] element carries its literal name in the
+    /// event's target buffer, which this signature cannot see — write such
+    /// events through [`XmlWriter::write_raw_event`] instead (overflow
+    /// *attributes* are fine; they carry their own name).
     pub fn start_element_raw(
         &mut self,
         symbols: &SymbolTable,
         name: Symbol,
         attributes: &[RawAttr],
     ) -> Result<()> {
-        self.open_tag(symbols.name(name))?;
+        if name == SymbolTable::OVERFLOW {
+            return Err(XmlError::WriterMisuse {
+                message: "start_element_raw cannot resolve an overflow element name; \
+                          use write_raw_event for bounded-interner events"
+                    .to_string(),
+            });
+        }
+        self.start_tag_raw(symbols.name(name), symbols, attributes)
+    }
+
+    /// Shared start-tag emission for the raw paths: resolved name string,
+    /// overflow-aware attribute names.
+    fn start_tag_raw(
+        &mut self,
+        name: &str,
+        symbols: &SymbolTable,
+        attributes: &[RawAttr],
+    ) -> Result<()> {
+        self.open_tag(name)?;
         for attr in attributes {
-            let attr_name = symbols.name(attr.name);
-            self.write_attr(attr_name, &attr.value)?;
+            self.write_attr(attr.name_str(symbols), &attr.value)?;
         }
         self.raw(">")?;
         self.had_child.push(false);
@@ -239,7 +262,9 @@ impl<W: Write> XmlWriter<W> {
                 Ok(())
             }
             RawEventKind::StartElement => {
-                self.start_element_raw(symbols, event.name(), event.attributes())
+                // Resolve names through the overflow-aware accessors so
+                // bounded-interner streams serialise correctly.
+                self.start_tag_raw(event.name_str(symbols), symbols, event.attributes())
             }
             RawEventKind::EndElement => self.end_element(),
             RawEventKind::Text => self.text(event.text()),

@@ -12,9 +12,24 @@
 use crate::error::{Result, XsaxError};
 use crate::event::{PastId, PastLabels, XsaxEvent, XsaxStep};
 use flux_dtd::{AttDefault, Dfa, Dtd, ElementDecl, StateId, Symbol, SymbolTable};
-use flux_xml::{RawEvent, RawEventKind, XmlEvent, XmlReader};
+use flux_xml::{EventSource, RawEvent, RawEventKind, XmlEvent, XmlReader};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
+
+/// The symbol table an [`EventSource`] must be seeded with before it can
+/// feed [`XsaxParser::from_source`]: the DTD's own table (element names)
+/// plus every declared attribute name. Clones preserve indices, so symbols
+/// produced by a seeded source *are* the symbols the DTD's content-model
+/// DFAs transition on.
+pub fn seeded_symbols(dtd: &Dtd) -> SymbolTable {
+    let mut symbols = dtd.symbols().clone();
+    for decl in dtd.elements() {
+        for def in &decl.attlist {
+            symbols.intern(&def.name);
+        }
+    }
+    symbols
+}
 
 /// Configuration for [`XsaxParser`].
 #[derive(Debug, Clone)]
@@ -77,8 +92,15 @@ enum Pending {
 
 /// The XSAX validating parser. See the crate docs for the event-ordering
 /// contract.
-pub struct XsaxParser<'d, R: Read> {
-    reader: XmlReader<R>,
+///
+/// Generic over its [`EventSource`]: the classic constructors wrap a
+/// sequential [`XmlReader`], while [`XsaxParser::from_source`] accepts any
+/// seeded source — notably `flux_shard::ShardedReader`, whose shards parse
+/// in parallel while this parser carries the content-model DFA
+/// configuration (the single piece of cross-shard state) across every
+/// shard seam, so validation verdicts are exactly the sequential ones.
+pub struct XsaxParser<'d, S: EventSource> {
+    source: S,
     dtd: &'d Dtd,
     config: XsaxConfig,
     registrations: Vec<Registration>,
@@ -100,7 +122,7 @@ pub struct XsaxParser<'d, R: Read> {
     finished: bool,
 }
 
-impl<'d, R: Read> XsaxParser<'d, R> {
+impl<'d, R: Read> XsaxParser<'d, XmlReader<R>> {
     /// Creates a parser over `src` validating against `dtd`.
     ///
     /// Fails when the DTD has no known root element (parse it with
@@ -110,41 +132,72 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     }
 
     pub fn with_config(src: R, dtd: &'d Dtd, config: XsaxConfig) -> Result<Self> {
+        // Seed the reader's interner with the DTD's table (plus attlist
+        // names): clones preserve indices, so stream symbols coincide with
+        // schema symbols and attribute validation is symbol equality too.
+        let reader = XmlReader::with_symbols(src, Default::default(), seeded_symbols(dtd));
+        Self::from_source(reader, dtd, config)
+    }
+}
+
+impl<'d, S: EventSource> XsaxParser<'d, S> {
+    /// Wraps an already-seeded event source. `source.symbols()` must have
+    /// been seeded with [`seeded_symbols`] (or a clone of it) so stream
+    /// symbols coincide with schema symbols — this is how the parallel
+    /// `ShardedReader` plugs in: its shards parse in parallel, and this
+    /// parser threads the DFA configuration across their seams.
+    pub fn from_source(source: S, dtd: &'d Dtd, config: XsaxConfig) -> Result<Self> {
         if dtd.content_dfa(SymbolTable::DOCUMENT).is_none() {
             return Err(XsaxError::Config {
                 message: "the DTD has no unambiguous root element".to_string(),
             });
         }
-        // Seed the reader's interner with the DTD's table: clones preserve
-        // indices, so stream symbols coincide with schema symbols. Attlist
-        // names are interned up front so attribute validation is symbol
-        // equality too.
-        let mut symbols = dtd.symbols().clone();
-        let mut decls: Vec<Option<&'d ElementDecl>> = vec![None; symbols.len()];
+        let symbols = source.symbols();
+        let mut decls: Vec<Option<&'d ElementDecl>> = vec![None; dtd.symbols().len()];
         let mut atts: Vec<Vec<AttPlan<'d>>> = Vec::new();
         for decl in dtd.elements() {
             decls[decl.name.index()] = Some(decl);
+            // Guard against unseeded sources: the dense tables below index
+            // by schema symbol, which only works when the source's interner
+            // agrees with the DTD's on every element name.
+            if symbols.lookup(dtd.name(decl.name)) != Some(decl.name) {
+                return Err(XsaxError::Config {
+                    message: format!(
+                        "event source symbols not seeded with element `{}` \
+                         (seed the source with flux_xsax::seeded_symbols)",
+                        dtd.name(decl.name)
+                    ),
+                });
+            }
         }
         for decl in dtd.elements() {
-            let plans: Vec<AttPlan<'d>> = decl
+            let plans: Result<Vec<AttPlan<'d>>> = decl
                 .attlist
                 .iter()
-                .map(|def| AttPlan {
-                    name: symbols.intern(&def.name),
-                    required: matches!(def.default, AttDefault::Required),
-                    default: match &def.default {
-                        AttDefault::Default(v) | AttDefault::Fixed(v) => Some(v.as_str()),
-                        _ => None,
-                    },
+                .map(|def| {
+                    Ok(AttPlan {
+                        name: symbols.lookup(&def.name).ok_or_else(|| XsaxError::Config {
+                            message: format!(
+                                "event source symbols not seeded with attribute `{}` \
+                                 (seed the source with flux_xsax::seeded_symbols)",
+                                def.name
+                            ),
+                        })?,
+                        required: matches!(def.default, AttDefault::Required),
+                        default: match &def.default {
+                            AttDefault::Default(v) | AttDefault::Fixed(v) => Some(v.as_str()),
+                            _ => None,
+                        },
+                    })
                 })
                 .collect();
             if atts.len() <= decl.name.index() {
                 atts.resize_with(decl.name.index() + 1, Vec::new);
             }
-            atts[decl.name.index()] = plans;
+            atts[decl.name.index()] = plans?;
         }
         Ok(XsaxParser {
-            reader: XmlReader::with_symbols(src, Default::default(), symbols),
+            source,
             dtd,
             config,
             registrations: Vec::new(),
@@ -183,18 +236,18 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     /// The shared symbol table (DTD symbols plus names interned from the
     /// stream). Use it to render the symbols in raw events.
     pub fn symbols(&self) -> &SymbolTable {
-        self.reader.symbols()
+        self.source.symbols()
     }
 
     /// Current input position.
     pub fn position(&self) -> flux_xml::Position {
-        self.reader.position()
+        self.source.position()
     }
 
     fn validation(&self, message: impl Into<String>) -> XsaxError {
         XsaxError::Validation {
             message: message.into(),
-            pos: self.reader.position(),
+            pos: self.source.position(),
         }
     }
 
@@ -247,7 +300,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 return Ok(None);
             }
             self.started = true;
-            if !self.reader.next_into(&mut self.parked)? {
+            if !self.source.next_into(&mut self.parked)? {
                 self.finished = true;
                 return Ok(None);
             }
@@ -286,7 +339,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         let res = self.next_into(&mut ev);
         let out = match res {
             Ok(Some(XsaxStep::Sax)) => {
-                Ok(Some(XsaxEvent::Sax(ev.to_xml_event(self.reader.symbols()))))
+                Ok(Some(XsaxEvent::Sax(ev.to_xml_event(self.source.symbols()))))
             }
             Ok(Some(XsaxStep::Fire { id, depth })) => {
                 Ok(Some(XsaxEvent::OnFirstPast { id, depth }))
@@ -308,7 +361,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
         let Some(decl) = self.decl_of(sym) else {
             return Err(self.validation(format!(
                 "element `{}` is not declared in the DTD",
-                self.reader.symbols().name(sym)
+                self.parked.name_str(self.source.symbols())
             )));
         };
 
@@ -326,7 +379,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                 XsaxError::Validation {
                     message: format!(
                         "element `{}` not allowed here inside `{}` (expected one of: {})",
-                        self.reader.symbols().name(sym),
+                        self.parked.name_str(self.source.symbols()),
                         self.dtd.name(parent.symbol),
                         if expected.is_empty() {
                             "end of element".to_string()
@@ -334,7 +387,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                             expected.join(", ")
                         }
                     ),
-                    pos: self.reader.position(),
+                    pos: self.source.position(),
                 }
             })?;
             parent.state = next;
@@ -372,7 +425,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
             if doc_dfa.transition(doc_dfa.start(), sym).is_none() {
                 return Err(self.validation(format!(
                     "root element `{}` does not match the DTD root `{}`",
-                    self.reader.symbols().name(sym),
+                    self.parked.name_str(self.source.symbols()),
                     self.dtd.root().map(|r| self.dtd.name(r)).unwrap_or("?")
                 )));
             }
@@ -413,7 +466,15 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     }
 
     fn handle_end(&mut self) -> Result<()> {
-        let elem = self.stack.last_mut().expect("reader guarantees balance");
+        // Document-mode readers and the stitched sharded reader guarantee
+        // balance; guard anyway so a misused fragment source yields an
+        // error, not a panic.
+        let Some(elem) = self.stack.last_mut() else {
+            return Err(XsaxError::Validation {
+                message: "end tag with no open element (unbalanced event source)".to_string(),
+                pos: self.source.position(),
+            });
+        };
         if !elem.dfa.is_accepting(elem.state) {
             let expected: Vec<String> = elem
                 .dfa
@@ -427,7 +488,7 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                     self.dtd.name(elem.symbol),
                     expected.join(", ")
                 ),
-                pos: self.reader.position(),
+                pos: self.source.position(),
             });
         }
 
@@ -455,10 +516,11 @@ impl<'d, R: Read> XsaxParser<'d, R> {
     }
 
     fn handle_text(&mut self) -> Result<()> {
-        let elem = self
-            .stack
-            .last()
-            .expect("reader guarantees text is inside the root");
+        let elem = self.stack.last().ok_or_else(|| XsaxError::Validation {
+            message: "character data outside the root element (unbalanced event source)"
+                .to_string(),
+            pos: self.source.position(),
+        })?;
         let whitespace_only = self.parked.is_whitespace_text();
         if !elem.text_allowed {
             if !whitespace_only {
@@ -486,10 +548,10 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                     return Err(XsaxError::Validation {
                         message: format!(
                             "attribute `{}` is not declared for element `{}`",
-                            self.reader.symbols().name(attr.name),
-                            self.reader.symbols().name(sym)
+                            attr.name_str(self.source.symbols()),
+                            self.parked.name_str(self.source.symbols())
                         ),
-                        pos: self.reader.position(),
+                        pos: self.source.position(),
                     });
                 }
             }
@@ -498,10 +560,10 @@ impl<'d, R: Read> XsaxParser<'d, R> {
                     return Err(XsaxError::Validation {
                         message: format!(
                             "required attribute `{}` missing on element `{}`",
-                            self.reader.symbols().name(def.name),
-                            self.reader.symbols().name(sym)
+                            self.source.symbols().name(def.name),
+                            self.parked.name_str(self.source.symbols())
                         ),
-                        pos: self.reader.position(),
+                        pos: self.source.position(),
                     });
                 }
             }

@@ -42,6 +42,7 @@
 //! | [`xquery`] | frontend, normal form, tree interpreter |
 //! | [`lang`] | FluX, algebraic optimizer, scheduler, safety |
 //! | [`runtime`] | BDF, buffer store, streamed evaluator |
+//! | [`shard`] | parallel sharded streaming pipeline (`ShardedReader`) |
 //! | [`baseline`] | DOM and projection comparison engines |
 //! | [`xmlgen`] | seeded data generators |
 
@@ -51,6 +52,7 @@ pub use flux_baseline as baseline;
 pub use flux_dtd as dtd;
 pub use flux_lang as lang;
 pub use flux_runtime as runtime;
+pub use flux_shard as shard;
 pub use flux_symbols as symbols;
 pub use flux_xml as xml;
 pub use flux_xmlgen as xmlgen;

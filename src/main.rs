@@ -10,12 +10,14 @@
 //!   --input <FILE>          input document (default: stdin)
 //!   --output <FILE>         result stream (default: stdout)
 //!   --engine <flux|dom|projection>   engine architecture (default: flux)
+//!   --shards <N>            parse the input with N parallel shards
+//!                           (flux engine only; buffers the input)
 //!   --explain               print the compilation report instead of running
 //!   --stats                 print run statistics to stderr
 //!   --no-optimizer          disable the algebraic optimizer (ablation)
 //! ```
 
-use fluxquery::{AnyEngine, EngineKind, FluxEngine, Options};
+use fluxquery::{AnyEngine, EngineKind, FluxEngine, Options, Parallelism};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -25,6 +27,7 @@ struct Args {
     input: Option<String>,
     output: Option<String>,
     engine: EngineKind,
+    shards: Option<usize>,
     explain: bool,
     stats: bool,
     no_optimizer: bool,
@@ -34,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fluxquery --query <FILE|STRING> --dtd <FILE|STRING> \
          [--input FILE] [--output FILE] [--engine flux|dom|projection] \
-         [--explain] [--stats] [--no-optimizer]"
+         [--shards N] [--explain] [--stats] [--no-optimizer]"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ fn parse_args() -> Args {
         input: None,
         output: None,
         engine: EngineKind::Flux,
+        shards: None,
         explain: false,
         stats: false,
         no_optimizer: false,
@@ -65,6 +69,15 @@ fn parse_args() -> Args {
                     "projection" => EngineKind::Projection,
                     other => {
                         eprintln!("unknown engine `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--shards" => {
+                args.shards = match value(&mut it).parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--shards expects a positive integer");
                         usage()
                     }
                 }
@@ -129,10 +142,16 @@ fn run() -> Result<(), String> {
         if args.no_optimizer {
             options = Options::without_algebraic_optimizer();
         }
+        if let Some(n) = args.shards {
+            options.parallelism = Parallelism::Shards(n);
+        }
         let engine =
             FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
         engine.run(input, output).map_err(|e| e.to_string())?
     } else {
+        if args.shards.is_some() {
+            return Err("--shards is only supported by the flux engine".to_string());
+        }
         let engine = AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
         engine.run(input, output).map_err(|e| e.to_string())?
     };
