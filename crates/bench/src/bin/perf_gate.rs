@@ -1,0 +1,191 @@
+//! CI perf-regression gate over `BENCH_events.json`.
+//!
+//! Usage: `perf_gate <committed.json> <fresh.json> [--threshold 0.10]`
+//!
+//! Compares every `events_per_sec` stage in the committed recording's
+//! `current` and `parallel` sections against the freshly measured file and
+//! fails (exit 1) when any stage regresses by more than the threshold.
+//! Comparisons are only meaningful on like-for-like hardware and workload:
+//!
+//! * a `host_cores` mismatch means the runner is not the recording host —
+//!   the gate **skips with a visible notice** (exit 0) instead of
+//!   comparing apples to oranges;
+//! * a workload-stamp mismatch is a configuration error (the `--e8`
+//!   harness refuses to overwrite across workloads, so the committed file
+//!   should never drift) and fails loudly (exit 2);
+//! * a stage present in the committed file but missing from the fresh one
+//!   fails — silently dropping a measurement is how perf claims rot.
+//!
+//! The file format is our own generator's output
+//! (`experiments --e8` → `BENCH_events.json`); parsing is a small
+//! brace-matching scan rather than a JSON dependency, which the offline
+//! build environment does not have.
+
+use std::process::exit;
+
+/// Extracts the string value of a `"key": "value"` pair.
+fn extract_str<'j>(json: &'j str, key: &str) -> Option<&'j str> {
+    let marker = format!("\"{key}\": \"");
+    let start = json.find(&marker)? + marker.len();
+    let end = json[start..].find('"')?;
+    Some(&json[start..start + end])
+}
+
+/// Extracts the numeric value of a `"key": <number>` pair.
+fn extract_num(json: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = json.find(&marker)? + marker.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the body of a top-level `"name": { ... }` section by brace
+/// matching (the generator never nests braces inside strings).
+fn extract_section<'j>(json: &'j str, name: &str) -> Option<&'j str> {
+    let marker = format!("\"{name}\": {{");
+    let start = json.find(&marker)? + marker.len();
+    let mut depth = 1usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Stage names in a section: every `"key": {` object that records an
+/// `events_per_sec` figure.
+fn stages(section: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = section;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(qe) = after.find('"') else { break };
+        let key = &after[..qe];
+        let tail = after[qe + 1..].trim_start_matches(':').trim_start();
+        if tail.starts_with('{') {
+            let object = extract_section(rest, key).unwrap_or("");
+            if extract_num(object, "events_per_sec").is_some() {
+                out.push(key.to_string());
+            }
+        }
+        rest = &after[qe + 1..];
+    }
+    out
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {path}: {e}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("perf_gate: --threshold needs a number");
+                exit(2);
+            });
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [committed_path, fresh_path] = files.as_slice() else {
+        eprintln!("usage: perf_gate <committed.json> <fresh.json> [--threshold 0.10]");
+        exit(2);
+    };
+    let committed = read(committed_path);
+    let fresh = read(fresh_path);
+
+    // Same workload, or the numbers mean different things.
+    let base_workload = extract_str(&committed, "workload").unwrap_or("");
+    let fresh_workload = extract_str(&fresh, "workload").unwrap_or("");
+    if base_workload != fresh_workload {
+        eprintln!("perf_gate: workload stamps differ — the committed recording has drifted:");
+        eprintln!("  committed: {base_workload}");
+        eprintln!("  fresh:     {fresh_workload}");
+        exit(2);
+    }
+
+    // Same hardware, or skip with a notice: events/sec across different
+    // core counts (or machines) is not a regression signal.
+    let base_cores = extract_num(&committed, "host_cores");
+    let fresh_cores = extract_num(&fresh, "host_cores");
+    if base_cores != fresh_cores {
+        println!(
+            "perf_gate: SKIPPED — committed recording was made on a host with {} core(s), \
+             this runner has {}; cross-hardware events/sec deltas are not regressions. \
+             Re-record BENCH_events.json on this class of host to arm the gate here.",
+            base_cores.map_or("?".to_string(), |c| format!("{c}")),
+            fresh_cores.map_or("?".to_string(), |c| format!("{c}")),
+        );
+        exit(0);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for section_name in ["current", "parallel"] {
+        let Some(base_section) = extract_section(&committed, section_name) else {
+            continue;
+        };
+        let fresh_section = extract_section(&fresh, section_name).unwrap_or("");
+        for stage in stages(base_section) {
+            let base_eps = extract_section(base_section, &stage)
+                .and_then(|o| extract_num(o, "events_per_sec"))
+                .expect("stage listed because it has events_per_sec");
+            let fresh_eps = extract_section(fresh_section, &stage)
+                .and_then(|o| extract_num(o, "events_per_sec"));
+            let label = format!("{section_name}.{stage}");
+            match fresh_eps {
+                None => {
+                    println!("perf_gate: FAIL {label}: stage missing from the fresh recording");
+                    regressions += 1;
+                }
+                Some(fresh_eps) => {
+                    compared += 1;
+                    let delta_pct = (fresh_eps / base_eps - 1.0) * 100.0;
+                    let verdict = if fresh_eps < base_eps * (1.0 - threshold) {
+                        regressions += 1;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "perf_gate: {verdict:>4} {label:<28} {base_eps:>12.0} -> {fresh_eps:>12.0} events/s ({delta_pct:+.1}%)"
+                    );
+                }
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf_gate: no comparable stages found — malformed recordings?");
+        exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf_gate: {regressions} stage(s) regressed more than {:.0}% vs the committed baseline",
+            threshold * 100.0
+        );
+        exit(1);
+    }
+    println!(
+        "perf_gate: all {compared} stages within {:.0}% of the committed baseline",
+        threshold * 100.0
+    );
+}

@@ -8,7 +8,7 @@
 
 use crate::stats::MemoryTracker;
 use flux_xml::tree::{Document, NodeId, NodeKind};
-use flux_xml::{Attribute, RawAttr, Symbol, SymbolTable};
+use flux_xml::{Attribute, RawAttr, RawEventRef, Symbol, SymbolTable};
 
 /// Arena of buffered nodes with recycling and byte accounting.
 pub struct BufferArena {
@@ -101,6 +101,31 @@ impl BufferArena {
         attributes: &[RawAttr],
     ) -> NodeId {
         let id = self.create_element_raw(symbols, name, attributes);
+        self.doc.append_child(parent, id);
+        id
+    }
+
+    /// Creates a detached element from a borrowed event view. Buffering
+    /// inherently copies the data — this allocates exactly the stored
+    /// strings, nothing more, straight from the view's backing storage.
+    pub fn create_element_view(&mut self, symbols: &SymbolTable, ev: &RawEventRef<'_>) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: ev.name_str(symbols).to_string(),
+            attributes: ev
+                .attrs()
+                .map(|a| Attribute::new(a.name_str(symbols), a.value))
+                .collect(),
+        })
+    }
+
+    /// Appends a new element from a borrowed event view under `parent`.
+    pub fn append_element_view(
+        &mut self,
+        parent: NodeId,
+        symbols: &SymbolTable,
+        ev: &RawEventRef<'_>,
+    ) -> NodeId {
+        let id = self.create_element_view(symbols, ev);
         self.doc.append_child(parent, id);
         id
     }

@@ -7,12 +7,14 @@
 //! output, and which output end tags it owes. `on-first` events from XSAX
 //! trigger buffered evaluation of handler bodies over the buffer store.
 //!
-//! The event loop runs on the **interned-symbol hot path**: one recycled
-//! [`RawEvent`] is pulled per step, handler dispatch and buffer descent are
-//! symbol comparisons against the stream's shared [`SymbolTable`], and the
-//! output writer maps symbols back through the same table. In the steady
-//! state, an event that only streams (no buffering) performs zero heap
-//! allocations for names.
+//! The event loop runs on the **zero-copy view path**: each step exposes
+//! the validated event as a borrowed [`RawEventRef`] whose payloads live
+//! in the source's storage (scanner window or shard tape arena), handler
+//! dispatch and buffer descent are symbol comparisons against the stream's
+//! shared [`SymbolTable`], and the output writer maps symbols back through
+//! the same table, streaming payload bytes straight from the view into the
+//! sink. An event that only streams (no buffering) costs zero heap
+//! allocations and zero payload copies on the way through.
 
 use crate::buffer::BufferArena;
 use crate::error::{Result, RuntimeError};
@@ -21,9 +23,7 @@ use crate::stats::RunStats;
 use flux_dtd::Dtd;
 use flux_lang::FluxQuery;
 use flux_xml::tree::NodeId;
-use flux_xml::{
-    Attribute, EventSource, RawAttr, RawEvent, RawEventKind, Symbol, SymbolTable, XmlWriter,
-};
+use flux_xml::{Attribute, EventSource, RawEventKind, RawEventRef, SymbolTable, XmlWriter};
 use flux_xquery::{Env, Expr, TreeEvaluator, VarName, ROOT_VAR};
 use flux_xsax::{XsaxConfig, XsaxParser, XsaxStep};
 use std::io::{Read, Write};
@@ -131,11 +131,13 @@ fn run_events<S: EventSource, W: Write>(
         stack: Vec::new(),
         events: 0,
     };
-    let mut ev = RawEvent::new();
-    while let Some(step) = parser.next_into(&mut ev)? {
+    while let Some(step) = parser.next_step()? {
         state.events += 1;
         match step {
-            XsaxStep::Sax => state.handle(&ev, parser.symbols())?,
+            XsaxStep::Sax => {
+                let v = parser.view();
+                state.handle(&v, parser.symbols())?;
+            }
             XsaxStep::Fire { id, depth } => state.on_first(id.index(), depth)?,
         }
     }
@@ -161,7 +163,7 @@ struct ExecState<'p, W: Write> {
 }
 
 impl<'p, W: Write> ExecState<'p, W> {
-    fn handle(&mut self, ev: &RawEvent, symbols: &SymbolTable) -> Result<()> {
+    fn handle(&mut self, ev: &RawEventRef<'_>, symbols: &SymbolTable) -> Result<()> {
         match ev.kind() {
             RawEventKind::StartDocument => self.start_document(symbols),
             RawEventKind::DoctypeDecl => Ok(()),
@@ -199,9 +201,8 @@ impl<'p, W: Write> ExecState<'p, W> {
         Ok(())
     }
 
-    fn start_element(&mut self, ev: &RawEvent, symbols: &SymbolTable) -> Result<()> {
+    fn start_element(&mut self, ev: &RawEventRef<'_>, symbols: &SymbolTable) -> Result<()> {
         let sym = ev.name();
-        let attributes = ev.attributes();
         let parent = self
             .stack
             .last()
@@ -211,15 +212,13 @@ impl<'p, W: Write> ExecState<'p, W> {
             ..ElementCtx::default()
         };
         if parent.copying {
-            self.writer.start_element_raw(symbols, sym, attributes)?;
+            self.writer.start_element_view(symbols, ev)?;
         }
         // Buffer population: descend every active view on symbol equality.
         let parent_targets: Vec<(NodeId, SpecView)> = parent.buf_targets.clone();
         for (node, view) in parent_targets {
             if let Some(child_view) = view.descend_sym(&self.spec_index, &self.plan.specs, sym) {
-                let child_node = self
-                    .arena
-                    .append_element_raw(node, symbols, sym, attributes);
+                let child_node = self.arena.append_element_view(node, symbols, ev);
                 ctx.buf_targets.push((child_node, child_view));
             }
         }
@@ -242,14 +241,14 @@ impl<'p, W: Write> ExecState<'p, W> {
                 if *symbol != Some(sym) {
                     continue;
                 }
-                let shell = self.arena.create_element_raw(symbols, sym, attributes);
+                let shell = self.arena.create_element_view(symbols, ev);
                 let saved = self.env.insert(var.clone(), shell);
                 ctx.bindings.push((var.clone(), saved));
                 ctx.shells.push(shell);
                 if !self.plan.specs.is_empty_spec(*spec) {
                     ctx.buf_targets.push((shell, SpecView::Project(*spec)));
                 }
-                self.enter_plan(body, &mut ctx, Some((sym, attributes)), symbols)?;
+                self.enter_plan(body, &mut ctx, Some(ev), symbols)?;
             }
         }
         self.stack.push(ctx);
@@ -359,7 +358,7 @@ impl<'p, W: Write> ExecState<'p, W> {
         &mut self,
         plan: &PlanExpr,
         ctx: &mut ElementCtx,
-        current_child: Option<(Symbol, &[RawAttr])>,
+        current_child: Option<&RawEventRef<'_>>,
         symbols: &SymbolTable,
     ) -> Result<()> {
         match plan {
@@ -395,10 +394,10 @@ impl<'p, W: Write> ExecState<'p, W> {
                 Ok(())
             }
             PlanExpr::StreamCopy => {
-                let (name, attrs) = current_child.ok_or_else(|| RuntimeError::Plan {
+                let child = current_child.ok_or_else(|| RuntimeError::Plan {
                     message: "stream-copy outside an on-handler".to_string(),
                 })?;
-                self.writer.start_element_raw(symbols, name, attrs)?;
+                self.writer.start_element_view(symbols, child)?;
                 ctx.copying = true;
                 Ok(())
             }

@@ -13,27 +13,34 @@
 //!    a seam.
 //! 2. **Parse.** One fragment-mode [`flux_xml::XmlReader`] per chunk runs
 //!    on its own `std::thread`, each seeded with a clone of the shared
-//!    [`SymbolTable`] — clones preserve indices, so symbols agree across
-//!    shards without renaming (names first seen inside a shard are
-//!    re-interned by the merger, the only translation anywhere).
-//! 3. **Stitch.** Each shard's tape implies a stack summary — the end
-//!    tags that close elements opened in earlier shards (prefix closes)
-//!    and the elements still open at its end (suffix opens). The merger
-//!    replays the summaries against one running stack, re-establishing
-//!    the global tag balance the fragment readers could not check
-//!    locally.
-//! 4. **Replay.** [`ShardedReader::next_into`] hands the stitched event
-//!    sequence to the consumer through the same pull API as the
-//!    sequential reader. Document-level rules the fragments relaxed
-//!    (single root, no top-level text, DOCTYPE position, depth limit) are
-//!    re-checked here, so the merged stream is event-for-event the
-//!    sequential one. Downstream, `flux_xsax::XsaxParser::from_source`
-//!    consumes this stream and carries its content-model DFA
-//!    configuration across every shard seam — the single piece of
-//!    cross-shard state — so validation verdicts stay exact.
+//!    [`SymbolTable`] (clones preserve indices, so symbols agree across
+//!    shards without renaming). Each worker records its chunk onto a
+//!    [`flux_xml::EventTape`] — every payload byte materialised exactly
+//!    once — and hands the finished tape to the consumer through a
+//!    bounded channel *as soon as it is done*.
+//! 3. **Replay, pipelined.** [`ShardedReader::advance`] replays shard
+//!    *i*'s tape while workers are still parsing shards *i+1..N*
+//!    ([`ReplayMode::Pipelined`], the default) — so XSAX validation and
+//!    query evaluation overlap parsing instead of waiting behind a join
+//!    barrier. Replay is **zero-copy**: [`ShardedReader::view`] serves
+//!    [`RawEventRef`] views whose payloads borrow the tape arena, so the
+//!    serial per-event term that bounded speedup at `1/(1/N + r)` is span
+//!    arithmetic, not a byte copy.
+//! 4. **Re-check.** Replay re-checks everything the fragment readers
+//!    relaxed — global tag balance against one running stack, single
+//!    root, no top-level text, DOCTYPE position, the depth limit — so the
+//!    merged stream is event-for-event the sequential one, and errors are
+//!    raised **at the same point in the stream**: the valid prefix is
+//!    delivered first, then the error, with a position composed from the
+//!    per-event positions the workers recorded (byte-exact for offset,
+//!    line and column). Downstream,
+//!    `flux_xsax::XsaxParser::from_source` consumes this stream and
+//!    carries its content-model DFA configuration across every shard seam
+//!    — the single piece of cross-shard state — so validation verdicts,
+//!    error positions and on-first fire points stay exactly sequential.
 //!
-//! The trade-off is explicit: sharding buffers the whole input (plus the
-//! per-shard event tapes), trading the sequential reader's token-bounded
+//! The trade-off is explicit: sharding buffers the whole input (plus up to
+//! N in-flight shard tapes), trading the sequential reader's token-bounded
 //! memory for wall-clock throughput. Use it when the input is already a
 //! byte buffer and cores are idle; stay sequential for unbounded streams.
 
@@ -41,8 +48,29 @@ pub mod splitter;
 mod worker;
 
 use flux_symbols::{Symbol, SymbolTable};
-use flux_xml::{EventSource, Position, RawEvent, RawEventKind, ReaderConfig, Result, XmlError};
-use worker::{parse_fragment, EncEvent, ShardEvents};
+use flux_xml::{
+    EventSource, Position, RawEvent, RawEventKind, RawEventRef, ReaderConfig, Result, SymbolRemap,
+    XmlError,
+};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use worker::{parse_fragment, ShardTape};
+
+/// When the consumer gets to see a finished shard tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Replay shard *i* as soon as its tape arrives, while workers still
+    /// parse shards *i+1..N* — validation overlaps parsing and the replay
+    /// cost hides behind the parallel parse.
+    #[default]
+    Pipelined,
+    /// Wait for every worker before replaying anything (the join-then-
+    /// replay barrier, kept for equivalence testing and benchmarking).
+    /// The event stream, errors and positions are identical to
+    /// [`ReplayMode::Pipelined`]; only the overlap differs.
+    Joined,
+}
 
 /// Configuration for [`ShardedReader`].
 #[derive(Debug, Clone)]
@@ -61,6 +89,8 @@ pub struct ShardConfig {
     /// Do not split below this many bytes per shard; tiny inputs are not
     /// worth the thread fan-out.
     pub min_shard_bytes: usize,
+    /// Pipelined (default) or join-then-replay consumption.
+    pub mode: ReplayMode,
 }
 
 impl Default for ShardConfig {
@@ -82,6 +112,7 @@ impl ShardConfig {
             emit_processing_instructions: false,
             max_depth: ReaderConfig::default().max_depth,
             min_shard_bytes: 16 * 1024,
+            mode: ReplayMode::default(),
         }
     }
 
@@ -98,59 +129,115 @@ impl ShardConfig {
     }
 }
 
-/// One shard's tape, ready for replay.
-struct ReplayShard {
-    events: Vec<EncEvent>,
-    attrs: Vec<worker::EncAttr>,
-    arena: String,
-    /// Merged-table symbols for shard-local indices past the seed prefix.
-    remap: Vec<Symbol>,
-    base_offset: u64,
-}
-
-impl ReplayShard {
-    fn resolve(&self, sym: Symbol, seed_len: usize) -> Symbol {
-        if sym.index() < seed_len {
-            sym
+/// Composes a chunk-local position onto the global position of the chunk
+/// start: offsets add; lines add (both 1-based); a column on the chunk's
+/// first line continues the base line's column.
+fn compose(base: Position, local: Position) -> Position {
+    Position {
+        offset: base.offset + local.offset,
+        line: base.line + local.line - 1,
+        column: if local.line == 1 {
+            base.column + local.column - 1
         } else {
-            self.remap[sym.index() - seed_len]
-        }
+            local.column
+        },
     }
 }
 
+/// Shifts a worker's chunk-local error to the global position.
+fn compose_error(err: XmlError, base: Position) -> XmlError {
+    match err {
+        XmlError::UnexpectedEof { expected, pos } => XmlError::UnexpectedEof {
+            expected,
+            pos: compose(base, pos),
+        },
+        XmlError::Syntax { message, pos } => XmlError::Syntax {
+            message,
+            pos: compose(base, pos),
+        },
+        XmlError::WellFormedness { message, pos } => XmlError::WellFormedness {
+            message,
+            pos: compose(base, pos),
+        },
+        XmlError::UnknownEntity { name, pos } => XmlError::UnknownEntity {
+            name,
+            pos: compose(base, pos),
+        },
+        XmlError::InvalidUtf8 { pos } => XmlError::InvalidUtf8 {
+            pos: compose(base, pos),
+        },
+        other => other,
+    }
+}
+
+/// The shard currently being replayed.
+struct ActiveShard {
+    shard: ShardTape,
+    /// Merged-table symbols for shard-local indices past the seed prefix.
+    remap: Vec<Symbol>,
+    /// Global position of this chunk's first byte.
+    base: Position,
+    /// Replay cursor into the tape.
+    next_event: usize,
+}
+
+/// What [`ShardedReader::view`] currently shows.
+enum CurrentEvent {
+    /// Nothing delivered yet.
+    None,
+    /// A synthesised document bracket.
+    Synthetic(RawEventKind),
+    /// The event at `active.next_event - 1`.
+    Tape,
+}
+
 /// A parallel drop-in for [`flux_xml::XmlReader`] over an in-memory
-/// document: same `next_into`/[`RawEvent`] pull API, same event sequence,
-/// same well-formedness verdicts — parsed by N threads.
+/// document: same [`EventSource`] pull contract, same event sequence, same
+/// verdicts and error positions — parsed by N threads.
 ///
-/// All parallel work happens on the first pull (split, parse, stitch);
-/// subsequent pulls replay the pre-parsed tape, which is a symbol remap
-/// and a buffer copy per event. Errors are terminal: after returning one,
-/// the reader reports end of stream.
-///
-/// **Error timing differs from the sequential reader on invalid input.**
-/// Parse and stitch errors surface on the *first* pull, before any event
-/// is delivered, whereas the sequential reader streams the valid prefix
-/// first and errors when it reaches the flaw. The verdict (accept/reject)
-/// is identical either way, but a consumer that emits output incrementally
-/// will have produced partial output in sequential mode and none in
-/// sharded mode. Errors detected during replay itself (multiple roots,
-/// top-level text, depth limit) do stream a valid prefix first.
+/// The first [`ShardedReader::advance`] splits the input and launches the
+/// workers; every later advance replays the next tape event (zero-copy)
+/// and re-checks the document-level rules. In
+/// [`ReplayMode::Pipelined`] the consumer streams shard *i* while shards
+/// *i+1..N* are still parsing, so on invalid input the valid prefix is
+/// delivered first and the error surfaces at the same stream point — and,
+/// thanks to per-event recorded positions, with the same offset, line and
+/// column — as the sequential reader's. Errors are terminal: after
+/// returning one, the reader reports end of stream.
 pub struct ShardedReader {
-    input: Vec<u8>,
+    input: Arc<Vec<u8>>,
     config: ShardConfig,
     symbols: SymbolTable,
     seed_len: usize,
-    shards: Vec<ReplayShard>,
-    prepared: bool,
-    // Replay cursor and re-checked document state.
-    shard_idx: usize,
-    event_idx: usize,
+    started: bool,
+    total_shards: usize,
+    /// Live while workers may still deliver tapes.
+    rx: Option<Receiver<(usize, ShardTape)>>,
+    /// Tapes that arrived ahead of replay order.
+    parked: BTreeMap<usize, ShardTape>,
+    /// Index of the next shard to replay.
+    next_shard: usize,
+    active: Option<ActiveShard>,
+    /// Global position where the next chunk starts.
+    chunk_base: Position,
+    // Replay state: the document-level rules the fragments relaxed.
     emitted_start: bool,
     finished: bool,
-    depth: usize,
+    /// Open elements across the whole document — replay re-checks tag
+    /// balance exactly like the sequential reader, at the same events.
+    stack: Vec<Symbol>,
     root_seen: bool,
     root_done: bool,
+    /// Recorded position of the most recently delivered event.
+    last_pos: Position,
+    current: CurrentEvent,
 }
+
+const START_POS: Position = Position {
+    offset: 0,
+    line: 1,
+    column: 1,
+};
 
 impl ShardedReader {
     /// Creates a sharded reader over `input` with a fresh symbol table.
@@ -165,19 +252,24 @@ impl ShardedReader {
     pub fn with_symbols(input: Vec<u8>, config: ShardConfig, symbols: SymbolTable) -> Self {
         let seed_len = symbols.len();
         ShardedReader {
-            input,
+            input: Arc::new(input),
             config,
             symbols,
             seed_len,
-            shards: Vec::new(),
-            prepared: false,
-            shard_idx: 0,
-            event_idx: 0,
+            started: false,
+            total_shards: 0,
+            rx: None,
+            parked: BTreeMap::new(),
+            next_shard: 0,
+            active: None,
+            chunk_base: START_POS,
             emitted_start: false,
             finished: false,
-            depth: 0,
+            stack: Vec::new(),
             root_seen: false,
             root_done: false,
+            last_pos: START_POS,
+            current: CurrentEvent::None,
         }
     }
 
@@ -191,234 +283,254 @@ impl ShardedReader {
     }
 
     /// The shared symbol table: seed symbols plus every name the shards
-    /// encountered, re-interned into one namespace.
+    /// encountered, re-interned into one namespace (merged shard by shard
+    /// as replay reaches them).
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
     }
 
     /// Number of shards actually used. Zero until the first pull (the
-    /// parallel parse runs lazily).
+    /// parallel parse launches lazily).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.total_shards
     }
 
-    /// Best-effort position: the byte offset where the current shard
-    /// starts (lines and columns are not tracked across shards).
+    /// The recorded source position of the most recently delivered event —
+    /// exactly the position the sequential reader would report at the same
+    /// point in the stream (offset, line and column).
     pub fn position(&self) -> Position {
-        let offset = self
-            .shards
-            .get(self.shard_idx)
-            .map(|s| s.base_offset)
-            .unwrap_or(self.input.len() as u64);
-        Position {
-            offset,
-            line: 1,
-            column: 1,
-        }
+        self.last_pos
     }
 
-    fn replay_error(&self, message: impl Into<String>) -> XmlError {
-        XmlError::WellFormedness {
-            message: message.into(),
-            pos: self.position(),
-        }
-    }
-
-    /// Split, parse in parallel, re-intern shard-local names and stitch
-    /// the stack summaries. Runs once, on the first pull.
-    fn prepare(&mut self) -> Result<()> {
-        self.prepared = true;
+    /// Splits the input, launches one parsing thread per chunk `1..N`, and
+    /// parses chunk `0` on the current thread — the consumer cannot replay
+    /// anything before chunk 0's tape exists, so parsing it inline wastes
+    /// no overlap (and a single-shard run stays thread- and channel-free).
+    /// Workers send finished tapes over a channel sized to the shard
+    /// count, so no worker ever blocks on a slow consumer.
+    fn start_workers(&mut self) {
+        self.started = true;
         let max_by_size = (self.input.len() / self.config.min_shard_bytes.max(1)).max(1);
         let requested = self.config.shards.clamp(1, max_by_size);
         let points = splitter::split_points(&self.input, requested);
+        self.total_shards = points.len();
         let reader_config = self.config.reader_config();
-
-        let input = &self.input[..];
-        let seed = &self.symbols;
-        let results: Vec<Result<ShardEvents>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, &start) in points.iter().enumerate().skip(1) {
-                let end = points.get(i + 1).copied().unwrap_or(input.len());
-                let chunk = &input[start..end];
-                let cfg = &reader_config;
-                handles.push(scope.spawn(move || parse_fragment(chunk, start as u64, cfg, seed)));
-            }
-            // Shard 0 parses on the current thread while the others run.
-            let end = points.get(1).copied().unwrap_or(input.len());
-            let first = parse_fragment(&input[..end], 0, &reader_config, seed);
-            let mut results = vec![first];
-            for h in handles {
-                results.push(h.join().expect("shard worker panicked"));
-            }
-            results
-        });
-
-        // Report the error of the earliest failing shard: its chunk lies
-        // entirely before every later shard's, so it is the first error
-        // the sequential reader could have reached.
-        let mut shards = Vec::with_capacity(results.len());
-        for result in results {
-            shards.push(result?);
-        }
-
-        // Re-intern shard-local names into the merged namespace, and
-        // stitch each shard's stack summary against one running stack as
-        // we go. Local mismatches were already rejected by the fragment
-        // readers, so only seam-crossing closes need checking: a shard's
-        // prefix closes pop the innermost elements left open by earlier
-        // shards (always with an empty local stack, so summary order is
-        // stream order), and its suffix opens land on top.
-        let seed_len = self.seed_len;
-        let mut stack: Vec<Symbol> = Vec::new();
-        let mut replay: Vec<ReplayShard> = Vec::with_capacity(shards.len());
-        for s in shards {
-            let remap: Vec<Symbol> = s.new_names.iter().map(|n| self.symbols.intern(n)).collect();
-            let resolve = |sym: Symbol| {
-                if sym.index() < seed_len {
-                    sym
-                } else {
-                    remap[sym.index() - seed_len]
-                }
-            };
-            let pos = Position {
-                offset: s.base_offset,
-                line: 1,
-                column: 1,
-            };
-            for &close in &s.closes {
-                let close = resolve(close);
-                match stack.pop() {
-                    Some(open) if open == close => {}
-                    Some(open) => {
-                        return Err(XmlError::WellFormedness {
-                            message: format!(
-                                "mismatched end tag: expected </{}>, found </{}>",
-                                self.symbols.name(open),
-                                self.symbols.name(close)
-                            ),
-                            pos,
-                        })
-                    }
-                    None => {
-                        return Err(XmlError::WellFormedness {
-                            message: format!(
-                                "end tag </{}> with no open element",
-                                self.symbols.name(close)
-                            ),
-                            pos,
-                        })
-                    }
-                }
-            }
-            stack.extend(s.opens.iter().copied().map(resolve));
-            replay.push(ReplayShard {
-                remap,
-                events: s.events,
-                attrs: s.attrs,
-                arena: s.arena,
-                base_offset: s.base_offset,
+        let (tx, rx) = sync_channel(points.len());
+        for (i, &start) in points.iter().enumerate().skip(1) {
+            let end = points.get(i + 1).copied().unwrap_or(self.input.len());
+            let input = Arc::clone(&self.input);
+            let seed = self.symbols.clone();
+            let cfg = reader_config.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let tape = parse_fragment(&input[start..end], &cfg, &seed);
+                // The consumer may have been dropped; parsing work is
+                // simply discarded then.
+                let _ = tx.send((i, tape));
             });
         }
-        if !stack.is_empty() {
-            return Err(XmlError::UnexpectedEof {
-                expected: "closing tags for open elements",
-                pos: Position {
-                    offset: self.input.len() as u64,
-                    line: 1,
-                    column: 1,
-                },
-            });
-        }
-
-        self.shards = replay;
-        Ok(())
+        drop(tx);
+        self.rx = Some(rx);
+        let end = points.get(1).copied().unwrap_or(self.input.len());
+        let tape0 = parse_fragment(&self.input[..end], &reader_config, &self.symbols);
+        self.parked.insert(0, tape0);
     }
 
-    /// Decodes one encoded event into `ev`.
-    fn decode(&self, shard: &ReplayShard, e: &EncEvent, ev: &mut RawEvent) {
-        ev.reset(e.kind);
-        ev.set_name(shard.resolve(e.name, self.seed_len));
-        ev.text_mut().push_str(&shard.arena[e.text.0..e.text.1]);
-        ev.target_mut()
-            .push_str(&shard.arena[e.target.0..e.target.1]);
-        ev.set_has_internal_subset(e.has_internal_subset);
-        ev.set_text_synthetic(e.text_synthetic);
-        for attr in &shard.attrs[e.attrs.0..e.attrs.1] {
-            let name = shard.resolve(attr.name, self.seed_len);
-            ev.push_attr(name)
-                .push_str(&shard.arena[attr.value.0..attr.value.1]);
+    /// Blocks until shard `index`'s tape is available. Out-of-order
+    /// arrivals are parked; [`ReplayMode::Joined`] drains every worker
+    /// first (the barrier).
+    fn take_shard(&mut self, index: usize) -> ShardTape {
+        if self.config.mode == ReplayMode::Joined {
+            if let Some(rx) = self.rx.take() {
+                while let Ok((i, tape)) = rx.recv() {
+                    self.parked.insert(i, tape);
+                }
+            }
+        }
+        loop {
+            if let Some(tape) = self.parked.remove(&index) {
+                return tape;
+            }
+            match self.rx.as_ref().map(|rx| rx.recv()) {
+                Some(Ok((i, tape))) => {
+                    self.parked.insert(i, tape);
+                }
+                // All senders gone yet the shard never arrived: a worker
+                // died without delivering.
+                _ => panic!("shard worker panicked"),
+            }
         }
     }
 
-    /// Pulls the next event into the caller-owned `ev` — the same contract
-    /// as [`flux_xml::XmlReader::next_into`]. The first call triggers the
-    /// parallel parse.
-    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+    fn wf(&self, message: impl Into<String>, pos: Position) -> XmlError {
+        XmlError::WellFormedness {
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// Advances to the next replayed event — the zero-copy pull API. The
+    /// first call launches the parallel parse.
+    pub fn advance(&mut self) -> Result<bool> {
         if self.finished {
             return Ok(false);
         }
-        if !self.prepared {
-            if let Err(e) = self.prepare() {
-                self.finished = true;
-                return Err(e);
-            }
+        if !self.started {
+            self.start_workers();
         }
         if !self.emitted_start {
             self.emitted_start = true;
-            ev.reset(RawEventKind::StartDocument);
+            self.current = CurrentEvent::Synthetic(RawEventKind::StartDocument);
             return Ok(true);
         }
         loop {
-            if self.shard_idx >= self.shards.len() {
-                // End of the tape: the epilog checks.
-                self.finished = true;
-                if !self.root_seen {
-                    return Err(XmlError::UnexpectedEof {
-                        expected: "root element",
-                        pos: self.position(),
-                    });
+            if self.active.is_none() {
+                if self.next_shard >= self.total_shards {
+                    // End of the tape: the epilog checks.
+                    self.finished = true;
+                    self.last_pos = self.chunk_base;
+                    if !self.root_seen {
+                        return Err(XmlError::UnexpectedEof {
+                            expected: "root element",
+                            pos: self.chunk_base,
+                        });
+                    }
+                    if !self.stack.is_empty() {
+                        return Err(XmlError::UnexpectedEof {
+                            expected: "closing tags for open elements",
+                            pos: self.chunk_base,
+                        });
+                    }
+                    self.current = CurrentEvent::Synthetic(RawEventKind::EndDocument);
+                    return Ok(true);
                 }
-                ev.reset(RawEventKind::EndDocument);
-                return Ok(true);
+                let shard = self.take_shard(self.next_shard);
+                self.next_shard += 1;
+                // Merge shard-local names into the shared namespace; the
+                // remap makes every replayed symbol a merged-table symbol.
+                let remap: Vec<Symbol> = shard
+                    .new_names
+                    .iter()
+                    .map(|n| self.symbols.intern(n))
+                    .collect();
+                self.active = Some(ActiveShard {
+                    shard,
+                    remap,
+                    base: self.chunk_base,
+                    next_event: 0,
+                });
             }
-            if self.event_idx >= self.shards[self.shard_idx].events.len() {
-                self.shard_idx += 1;
-                self.event_idx = 0;
+
+            // Tape exhausted: surface the shard's terminal error (after
+            // its valid prefix — the sequential delivery order) or move to
+            // the next chunk.
+            let exhausted = {
+                let a = self.active.as_ref().expect("active shard ensured");
+                a.next_event >= a.shard.tape.len()
+            };
+            if exhausted {
+                let mut a = self.active.take().expect("active shard ensured");
+                if let Some(err) = a.shard.error.take() {
+                    self.finished = true;
+                    return Err(compose_error(err, a.base));
+                }
+                self.chunk_base = compose(a.base, a.shard.end_pos);
                 continue;
             }
-            let e = self.shards[self.shard_idx].events[self.event_idx];
-            self.event_idx += 1;
+
+            let (i, kind, pos, name) = {
+                let a = self.active.as_mut().expect("active shard ensured");
+                let i = a.next_event;
+                a.next_event += 1;
+                let kind = a.shard.tape.kind(i);
+                // Resolved lazily enough: only element events use it.
+                let name = SymbolRemap::new(self.seed_len, &a.remap).resolve(a.shard.tape.name(i));
+                (i, kind, compose(a.base, a.shard.tape.position(i)), name)
+            };
             // Re-check the document-level rules the fragment readers
-            // relaxed, so verdicts match the sequential reader.
-            match e.kind {
-                RawEventKind::StartElement => {
-                    if self.depth == 0 && self.root_done {
-                        self.finished = true;
-                        return Err(self.replay_error("multiple root elements"));
+            // relaxed, at exactly the event where the sequential reader
+            // checks them.
+            match kind {
+                RawEventKind::StartElement | RawEventKind::EndElement => {
+                    if kind == RawEventKind::StartElement {
+                        if self.stack.is_empty() && self.root_done {
+                            self.finished = true;
+                            return Err(self.wf("multiple root elements", pos));
+                        }
+                        if self.stack.len() >= self.config.max_depth {
+                            self.finished = true;
+                            let message = format!(
+                                "element nesting deeper than the configured limit of {}",
+                                self.config.max_depth
+                            );
+                            return Err(self.wf(message, pos));
+                        }
+                        self.stack.push(name);
+                        self.root_seen = true;
+                    } else {
+                        // Global tag balance, checked at the end tag just
+                        // like the sequential reader.
+                        match self.stack.pop() {
+                            Some(open) if open == name => {}
+                            Some(open) => {
+                                self.finished = true;
+                                let message = format!(
+                                    "mismatched end tag: expected </{}>, found </{}>",
+                                    self.symbols.name(open),
+                                    self.symbols.name(name)
+                                );
+                                return Err(self.wf(message, pos));
+                            }
+                            None => {
+                                self.finished = true;
+                                let message = format!(
+                                    "end tag </{}> with no open element",
+                                    self.symbols.name(name)
+                                );
+                                return Err(self.wf(message, pos));
+                            }
+                        }
+                        if self.stack.is_empty() {
+                            self.root_done = true;
+                        }
                     }
-                    if self.depth >= self.config.max_depth {
-                        self.finished = true;
-                        return Err(self.replay_error(format!(
-                            "element nesting deeper than the configured limit of {}",
-                            self.config.max_depth
-                        )));
-                    }
-                    self.depth += 1;
-                    self.root_seen = true;
                 }
-                RawEventKind::EndElement => {
-                    // Stitching guaranteed global balance.
-                    self.depth -= 1;
-                    if self.depth == 0 {
-                        self.root_done = true;
+                RawEventKind::Text if !self.stack.is_empty() => {
+                    // A final-shard text run that consumed the input right
+                    // up to end-of-file (recorded position == chunk end;
+                    // trailing suppressed comments/PIs would have moved the
+                    // end past it, and a trailing parse error voids the
+                    // comparison). With elements still open, the sequential
+                    // reader raises the unclosed-elements error *without*
+                    // delivering the run — the fragment worker delivered it
+                    // only because more input could have followed in a next
+                    // chunk, and there is none. Suppress it so the partial
+                    // stream stays byte-exact sequential.
+                    let trailing_at_eof = self.next_shard >= self.total_shards && {
+                        let a = self.active.as_ref().expect("active shard ensured");
+                        a.next_event >= a.shard.tape.len()
+                            && a.shard.error.is_none()
+                            && a.shard.tape.position(i).offset == a.shard.end_pos.offset
+                    };
+                    if trailing_at_eof {
+                        self.finished = true;
+                        let a = self.active.as_ref().expect("active shard ensured");
+                        return Err(XmlError::UnexpectedEof {
+                            expected: "closing tags for open elements",
+                            pos: compose(a.base, a.shard.end_pos),
+                        });
                     }
                 }
-                RawEventKind::Text if self.depth == 0 => {
-                    let shard = &self.shards[self.shard_idx];
-                    let whitespace = shard.arena[e.text.0..e.text.1]
-                        .bytes()
-                        .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
-                    if whitespace && !e.text_synthetic {
+                RawEventKind::Text if self.stack.is_empty() => {
+                    let (whitespace, synthetic) = {
+                        let a = self.active.as_ref().expect("active shard ensured");
+                        let v = a
+                            .shard
+                            .tape
+                            .view(i, SymbolRemap::new(self.seed_len, &a.remap));
+                        (v.is_whitespace_text(), v.is_text_synthetic())
+                    };
+                    if whitespace && !synthetic {
                         // Literal prolog/epilog whitespace: the sequential
                         // reader skips it silently. Whitespace produced by
                         // entity references or CDATA does NOT qualify —
@@ -432,26 +544,57 @@ impl ShardedReader {
                     } else {
                         "character data before the root element"
                     };
-                    return Err(self.replay_error(message));
+                    return Err(self.wf(message, pos));
                 }
                 RawEventKind::DoctypeDecl if self.root_seen => {
                     self.finished = true;
-                    return Err(
-                        self.replay_error("DOCTYPE declaration after the root element has started")
-                    );
+                    return Err(self.wf(
+                        "DOCTYPE declaration after the root element has started",
+                        pos,
+                    ));
                 }
                 _ => {}
             }
-            let shard = &self.shards[self.shard_idx];
-            self.decode(shard, &e, ev);
+            self.last_pos = pos;
+            self.current = CurrentEvent::Tape;
             return Ok(true);
         }
+    }
+
+    /// A zero-copy view of the event the last [`ShardedReader::advance`]
+    /// produced: payloads borrow the shard's tape arena. After `advance`
+    /// returned `Ok(false)` or an error, the view is a payload-free
+    /// placeholder — never a panic.
+    pub fn view(&self) -> RawEventRef<'_> {
+        match self.current {
+            CurrentEvent::Synthetic(kind) => RawEventRef::bare(kind),
+            CurrentEvent::Tape => match self.active.as_ref() {
+                Some(a) => a
+                    .shard
+                    .tape
+                    .view(a.next_event - 1, SymbolRemap::new(self.seed_len, &a.remap)),
+                // A terminal error already dropped the shard.
+                None => RawEventRef::bare(RawEventKind::EndDocument),
+            },
+            CurrentEvent::None => RawEventRef::bare(RawEventKind::StartDocument),
+        }
+    }
+
+    /// Pulls the next event into the caller-owned `ev` — the copying
+    /// compatibility wrapper over [`ShardedReader::advance`] /
+    /// [`ShardedReader::view`].
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        <Self as EventSource>::next_into(self, ev)
     }
 }
 
 impl EventSource for ShardedReader {
-    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
-        ShardedReader::next_into(self, ev)
+    fn advance(&mut self) -> Result<bool> {
+        ShardedReader::advance(self)
+    }
+
+    fn view(&self) -> RawEventRef<'_> {
+        ShardedReader::view(self)
     }
 
     fn symbols(&self) -> &SymbolTable {
@@ -469,10 +612,11 @@ mod tests {
     use flux_xml::{parse_to_events, XmlEvent};
 
     /// Collects the owned events a sharded reader produces.
-    fn sharded_events(doc: &str, shards: usize) -> Result<Vec<XmlEvent>> {
+    fn sharded_events_mode(doc: &str, shards: usize, mode: ReplayMode) -> Result<Vec<XmlEvent>> {
         // min_shard_bytes = 1 so even tiny unit-test documents shard.
         let mut config = ShardConfig::new(shards);
         config.min_shard_bytes = 1;
+        config.mode = mode;
         let mut reader = ShardedReader::new(doc.as_bytes().to_vec(), config);
         let mut ev = RawEvent::new();
         let mut out = Vec::new();
@@ -484,8 +628,13 @@ mod tests {
 
     fn assert_equivalent(doc: &str, shards: usize) {
         let sequential = parse_to_events(doc).expect("sequential parse");
-        let sharded = sharded_events(doc, shards).expect("sharded parse");
-        assert_eq!(sequential, sharded, "doc: {doc}, shards: {shards}");
+        for mode in [ReplayMode::Pipelined, ReplayMode::Joined] {
+            let sharded = sharded_events_mode(doc, shards, mode).expect("sharded parse");
+            assert_eq!(
+                sequential, sharded,
+                "doc: {doc}, shards: {shards}, mode: {mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -590,10 +739,12 @@ mod tests {
         for doc in bad_docs {
             assert!(parse_to_events(doc).is_err(), "sequential accepts {doc:?}");
             for shards in [1, 2, 3] {
-                assert!(
-                    sharded_events(doc, shards).is_err(),
-                    "sharded ({shards}) accepts {doc:?}"
-                );
+                for mode in [ReplayMode::Pipelined, ReplayMode::Joined] {
+                    assert!(
+                        sharded_events_mode(doc, shards, mode).is_err(),
+                        "sharded ({shards}, {mode:?}) accepts {doc:?}"
+                    );
+                }
             }
         }
     }
@@ -614,5 +765,105 @@ mod tests {
         }
         assert!(saw_error);
         assert!(!reader.next_into(&mut ev).unwrap());
+    }
+
+    /// Asserts that the sharded partial event stream and terminal error
+    /// (message *and* position) are byte-exact the sequential reader's,
+    /// at several shard counts in both modes.
+    fn assert_prefix_and_error_match(doc: &str) {
+        let (seq_events, seq_err) = {
+            let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
+            let mut ev = RawEvent::new();
+            let mut events = Vec::new();
+            let err = loop {
+                match reader.next_into(&mut ev) {
+                    Ok(true) => events.push(ev.to_xml_event(reader.symbols())),
+                    Ok(false) => panic!("sequential must reject"),
+                    Err(e) => break e,
+                }
+            };
+            (events, err)
+        };
+
+        for shards in [1, 2, 3, 8] {
+            for mode in [ReplayMode::Pipelined, ReplayMode::Joined] {
+                let mut config = ShardConfig::new(shards);
+                config.min_shard_bytes = 1;
+                config.mode = mode;
+                let mut reader = ShardedReader::new(doc.as_bytes().to_vec(), config);
+                let mut ev = RawEvent::new();
+                let mut events = Vec::new();
+                let err = loop {
+                    match reader.next_into(&mut ev) {
+                        Ok(true) => events.push(ev.to_xml_event(reader.symbols())),
+                        Ok(false) => panic!("sharded must reject"),
+                        Err(e) => break e,
+                    }
+                };
+                assert_eq!(
+                    events, seq_events,
+                    "partial stream diverged ({shards} shards, {mode:?})"
+                );
+                assert_eq!(
+                    err.to_string(),
+                    seq_err.to_string(),
+                    "error (incl. position) diverged ({shards} shards, {mode:?})"
+                );
+            }
+        }
+    }
+
+    /// The valid prefix is streamed before the error — the sequential
+    /// delivery order — and the error position (offset, line, column) is
+    /// exactly the sequential reader's.
+    #[test]
+    fn error_position_and_prefix_match_sequential() {
+        // A mismatch deep in the document, behind a newline so line/column
+        // composition is exercised.
+        let mut doc = String::from("<r>\n");
+        for i in 0..40 {
+            doc.push_str(&format!("<x{i}>text {i}</x{i}>\n"));
+        }
+        doc.push_str("<y></z></r>");
+        assert_prefix_and_error_match(&doc);
+    }
+
+    /// Input truncated in the middle of a text run: the sequential reader
+    /// raises the unclosed-elements error *without* delivering the run,
+    /// and the sharded replay must do the same (the fragment worker
+    /// delivers it, because more input could have followed — the merger
+    /// suppresses it at real end-of-input).
+    #[test]
+    fn truncated_inside_text_matches_sequential_prefix() {
+        let mut doc = String::from("<r>");
+        for i in 0..30 {
+            doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+        }
+        doc.push_str("<open>trailing text with no close");
+        assert_prefix_and_error_match(&doc);
+        // Whitespace-only trailing run, same rule.
+        let mut doc = String::from("<r>");
+        for i in 0..30 {
+            doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+        }
+        doc.push_str("<open>   ");
+        assert_prefix_and_error_match(&doc);
+    }
+
+    /// A text run terminated by a *suppressed* construct (comment, PI)
+    /// before end-of-input is a complete run the sequential reader
+    /// delivers — the EOF suppression must not swallow it even though it
+    /// is the last event on the final shard's tape.
+    #[test]
+    fn trailing_text_before_suppressed_markup_is_delivered() {
+        for tail in ["<!-- a comment -->", "<?pi data?>"] {
+            let mut doc = String::from("<r>");
+            for i in 0..30 {
+                doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+            }
+            doc.push_str("<open>trailing text");
+            doc.push_str(tail);
+            assert_prefix_and_error_match(&doc);
+        }
     }
 }

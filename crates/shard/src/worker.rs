@@ -1,181 +1,91 @@
-//! The per-shard worker: parses one chunk as a document fragment into a
-//! compact, owned event buffer that the merger replays without re-parsing.
+//! The per-shard worker: parses one chunk as a document fragment onto an
+//! [`EventTape`] that the merger replays without re-parsing — or copying.
 //!
 //! Workers are where the expensive work happens — tokenisation, UTF-8
 //! validation, entity unescaping, name interning — and they run fully in
-//! parallel. Each worker clones the shared seed [`SymbolTable`]; clones
-//! preserve indices, so every symbol at or below the seed length means the
-//! same name in every shard. Names first seen *inside* a shard are
-//! shard-local and reported back via [`ShardEvents::new_names`] for the
-//! merger to re-intern (the only renaming anywhere in the pipeline).
+//! parallel, each on its own thread, handing finished tapes to the
+//! consumer through a channel as they complete. Each worker clones the
+//! shared seed [`SymbolTable`]; clones preserve indices, so every symbol
+//! below the seed length means the same name in every shard. Names first
+//! seen *inside* a shard are shard-local and reported back via
+//! [`ShardTape::new_names`] for the merger to re-intern (the only renaming
+//! anywhere in the pipeline).
+//!
+//! Two properties make replay exact:
+//!
+//! * every tape event records the fragment reader's [`Position`] right
+//!   after it was produced, so the merger can compose chunk-local
+//!   positions into global ones and report errors at exactly the
+//!   sequential reader's position;
+//! * a parse error does not discard the tape — the valid prefix is kept
+//!   and the error is attached as the tape's terminal, so the merger
+//!   streams the same prefix a sequential reader would before surfacing
+//!   the same error.
 
 use flux_symbols::{Symbol, SymbolTable};
-use flux_xml::{Position, RawEvent, RawEventKind, ReaderConfig, Result, XmlError, XmlReader};
+use flux_xml::{EventTape, Position, RawEventKind, ReaderConfig, XmlError, XmlReader};
 
-/// One encoded event: fixed-size header plus spans into the shard's text
-/// arena and attribute table.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct EncEvent {
-    pub kind: RawEventKind,
-    /// Shard-local symbol (resolve through the merger's remap table).
-    pub name: Symbol,
-    /// Range into [`ShardEvents::attrs`].
-    pub attrs: (usize, usize),
-    /// Range into [`ShardEvents::arena`] holding the text payload.
-    pub text: (usize, usize),
-    /// Range into the arena holding the target payload (PI target,
-    /// doctype name).
-    pub target: (usize, usize),
-    pub has_internal_subset: bool,
-    /// Mirrors [`RawEvent::is_text_synthetic`]: some of the text came from
-    /// entity references or CDATA. The merger needs it to reproduce the
-    /// sequential prolog/epilog verdicts exactly.
-    pub text_synthetic: bool,
-}
-
-/// One encoded attribute: shard-local name symbol plus the unescaped value
-/// as an arena span.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct EncAttr {
-    pub name: Symbol,
-    pub value: (usize, usize),
-}
-
-/// Everything one shard produces: its event tape plus the stack summary
-/// the merger stitches with.
-#[derive(Debug, Default)]
-pub(crate) struct ShardEvents {
-    pub events: Vec<EncEvent>,
-    pub attrs: Vec<EncAttr>,
-    /// All string payloads, concatenated (events/attrs hold spans).
-    pub arena: String,
+/// Everything one shard produces: its event tape, the names it interned
+/// past the seed prefix, and how the chunk ended.
+#[derive(Debug)]
+pub(crate) struct ShardTape {
+    pub tape: EventTape,
     /// Names interned beyond the seed prefix, in shard-local index order.
     pub new_names: Vec<String>,
-    /// Prefix summary: names of end tags that close elements opened in an
-    /// earlier shard, in stream order.
-    pub closes: Vec<Symbol>,
-    /// Suffix summary: elements still open at the end of the chunk,
-    /// outermost first.
-    pub opens: Vec<Symbol>,
-    /// Byte offset of this chunk in the whole input (error reporting).
-    pub base_offset: u64,
+    /// Chunk-local position at end of parse (composed by the merger into
+    /// the next chunk's global base).
+    pub end_pos: Position,
+    /// Terminal parse error, chunk-local positions. The tape holds the
+    /// valid prefix parsed before it.
+    pub error: Option<XmlError>,
 }
 
-/// Shifts a shard-local error position by the chunk's base offset. Line
-/// and column stay chunk-relative — exact global line numbers would
-/// require counting newlines in earlier chunks, which the parallel path
-/// deliberately skips.
-fn offset_position(pos: Position, base: u64) -> Position {
-    Position {
-        offset: pos.offset + base,
-        ..pos
-    }
-}
-
-pub(crate) fn offset_error(err: XmlError, base: u64) -> XmlError {
-    match err {
-        XmlError::UnexpectedEof { expected, pos } => XmlError::UnexpectedEof {
-            expected,
-            pos: offset_position(pos, base),
-        },
-        XmlError::Syntax { message, pos } => XmlError::Syntax {
-            message,
-            pos: offset_position(pos, base),
-        },
-        XmlError::WellFormedness { message, pos } => XmlError::WellFormedness {
-            message,
-            pos: offset_position(pos, base),
-        },
-        XmlError::UnknownEntity { name, pos } => XmlError::UnknownEntity {
-            name,
-            pos: offset_position(pos, base),
-        },
-        XmlError::InvalidUtf8 { pos } => XmlError::InvalidUtf8 {
-            pos: offset_position(pos, base),
-        },
-        other => other,
-    }
-}
-
-/// Parses `chunk` (starting `base_offset` bytes into the document) as a
-/// fragment, returning its encoded event tape.
+/// Parses `chunk` as a fragment onto a tape. Infallible by design: errors
+/// ride inside the returned [`ShardTape`] so the consumer can replay the
+/// valid prefix first, exactly like the sequential reader streams it.
 pub(crate) fn parse_fragment(
     chunk: &[u8],
-    base_offset: u64,
     reader_config: &ReaderConfig,
     seed: &SymbolTable,
-) -> Result<ShardEvents> {
+) -> ShardTape {
     debug_assert!(reader_config.fragment, "workers parse fragments");
     debug_assert!(
         reader_config.max_symbols.is_none(),
         "sharding uses unbounded interners; bound memory by shard instead"
     );
     let mut reader = XmlReader::with_symbols(chunk, reader_config.clone(), seed.clone());
-    let mut out = ShardEvents {
-        base_offset,
-        ..ShardEvents::default()
-    };
     // Typical markup density: one event per ~20 bytes, payloads well under
     // half the chunk. Reserving avoids regrowth churn in the hot loop.
-    out.events.reserve(chunk.len() / 16);
-    out.arena.reserve(chunk.len() / 2);
-    let mut ev = RawEvent::new();
-    // Local element depth; an end tag at depth zero closes an element
-    // opened in an earlier shard.
-    let mut depth = 0usize;
+    let mut tape = EventTape::with_capacity(chunk.len() / 16, chunk.len() / 2);
+    let mut error = None;
     loop {
-        match reader.next_into(&mut ev) {
+        match reader.advance() {
             Ok(true) => {}
             Ok(false) => break,
-            Err(e) => return Err(offset_error(e, base_offset)),
-        }
-        match ev.kind() {
-            // The merger synthesises the document brackets itself.
-            RawEventKind::StartDocument | RawEventKind::EndDocument => continue,
-            RawEventKind::StartElement => depth += 1,
-            RawEventKind::EndElement => {
-                if depth == 0 {
-                    out.closes.push(ev.name());
-                } else {
-                    depth -= 1;
-                }
+            Err(e) => {
+                error = Some(e);
+                break;
             }
-            _ => {}
         }
-        encode(&mut out, &ev);
+        // The merger synthesises the document brackets itself.
+        if matches!(
+            reader.view().kind(),
+            RawEventKind::StartDocument | RawEventKind::EndDocument
+        ) {
+            continue;
+        }
+        let pos = reader.position();
+        tape.push(&reader.view(), pos);
     }
-    out.opens = reader.open_elements().to_vec();
+    let end_pos = reader.position();
     let table = reader.symbols();
-    out.new_names
-        .extend((seed.len()..table.len()).map(|i| table.name(Symbol::from_index(i)).to_string()));
-    Ok(out)
-}
-
-/// Appends `text` to the arena, returning its span.
-fn push_span(arena: &mut String, text: &str) -> (usize, usize) {
-    let start = arena.len();
-    arena.push_str(text);
-    (start, arena.len())
-}
-
-fn encode(out: &mut ShardEvents, ev: &RawEvent) {
-    let attrs_start = out.attrs.len();
-    for attr in ev.attributes() {
-        let value = push_span(&mut out.arena, &attr.value);
-        out.attrs.push(EncAttr {
-            name: attr.name,
-            value,
-        });
+    let new_names: Vec<String> = (seed.len()..table.len())
+        .map(|i| table.name(Symbol::from_index(i)).to_string())
+        .collect();
+    ShardTape {
+        tape,
+        new_names,
+        end_pos,
+        error,
     }
-    let text = push_span(&mut out.arena, ev.text());
-    let target = push_span(&mut out.arena, ev.target());
-    out.events.push(EncEvent {
-        kind: ev.kind(),
-        name: ev.name(),
-        attrs: (attrs_start, out.attrs.len()),
-        text,
-        target,
-        has_internal_subset: ev.internal_subset().is_some(),
-        text_synthetic: ev.is_text_synthetic(),
-    });
 }

@@ -1,0 +1,100 @@
+//! Steady-state allocation discipline of the sharded replay path.
+//!
+//! The sharded reader's replay is a zero-copy walk over pre-recorded
+//! tapes, so once the workers have delivered their tapes (forced up front
+//! here with [`ReplayMode::Joined`], so worker-thread allocations cannot
+//! leak into the measured window), the remaining replay must not allocate
+//! per event: doubling the document size must not change the allocation
+//! count of the post-barrier replay.
+//!
+//! This file holds exactly one test so no concurrent test in the same
+//! binary can perturb the allocation counter.
+
+// The counting allocator is the one place the crate needs `unsafe`: it
+// wraps `System` one-to-one and adds a relaxed atomic increment.
+#![allow(unsafe_code)]
+
+use flux_shard::{ReplayMode, ShardConfig, ShardedReader};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn document(books: usize) -> String {
+    let mut doc = String::from("<bib>");
+    for _ in 0..books {
+        doc.push_str(
+            "<book year=\"1994\" lang=\"en\"><title>TCP/IP &amp; co <![CDATA[raw <bits>]]></title>\
+             <author>Stevens</author><price>65</price></book>",
+        );
+    }
+    doc.push_str("</bib>");
+    doc
+}
+
+/// Replays `doc` over `shards` joined shards and returns the number of
+/// allocations performed *after* the join barrier (every worker done,
+/// every tape delivered, the first content event replayed).
+fn replay_allocations(doc: &str, shards: usize) -> usize {
+    let mut config = ShardConfig::new(shards);
+    config.min_shard_bytes = 1;
+    config.mode = ReplayMode::Joined;
+    let mut reader = ShardedReader::new(doc.as_bytes().to_vec(), config);
+    // StartDocument, then the first content pull — which runs the Joined
+    // barrier: splits, parses every shard on its worker thread and parks
+    // every tape. All parse-side allocation happens here.
+    assert!(reader.advance().expect("start document"));
+    assert!(reader.advance().expect("first content event"));
+    assert_eq!(reader.shard_count(), shards, "document too small to shard");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut touched = 0usize;
+    while reader.advance().expect("well-formed input") {
+        let v = reader.view();
+        touched += v.text().len();
+        for attr in v.attrs() {
+            touched += attr.value.len();
+        }
+    }
+    assert!(touched > 0, "replay must visit payloads");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn sharded_replay_is_allocation_free_per_event() {
+    let small = document(64);
+    let large = document(512);
+    // Warm-up for lazy runtime initialisation.
+    let _ = replay_allocations(&small, 2);
+    let small_allocs = (0..5).map(|_| replay_allocations(&small, 2)).min().unwrap();
+    let large_allocs = (0..5).map(|_| replay_allocations(&large, 2)).min().unwrap();
+    // 448 extra books × ~60 events each: one allocation per replayed event
+    // would add tens of thousands. The slack absorbs the per-shard
+    // transition costs (remap vector, channel bookkeeping) and allocator
+    // noise from exiting worker threads.
+    assert!(
+        large_allocs <= small_allocs + 16,
+        "replay allocations must not scale with event count: \
+         64 books -> {small_allocs} allocs, 512 books -> {large_allocs} allocs"
+    );
+}

@@ -1,17 +1,25 @@
 //! The SAX-style event model shared by the reader, writer and higher layers.
 //!
-//! Two representations exist:
+//! Three representations exist:
 //!
 //! * [`XmlEvent`] — the owned, string-named model. Convenient, allocates
 //!   per event; kept for tests, tools and anything off the hot path.
-//! * [`RawEvent`] — the recycled, interned model the streaming pipeline
-//!   runs on. One caller-owned `RawEvent` is rewritten in place by
-//!   [`crate::XmlReader::next_into`]; element and attribute names are
-//!   [`Symbol`]s resolved against the reader's [`SymbolTable`], and text and
-//!   attribute-value buffers are reused across events. In the steady state
-//!   (every name seen once, buffers grown to the largest token) pulling an
-//!   event performs **zero heap allocations**.
+//! * [`RawEvent`] — the recycled, interned model. One caller-owned
+//!   `RawEvent` is rewritten in place by [`crate::XmlReader::next_into`];
+//!   element and attribute names are [`Symbol`]s resolved against the
+//!   reader's [`SymbolTable`], and text and attribute-value buffers are
+//!   reused across events. In the steady state (every name seen once,
+//!   buffers grown to the largest token) pulling an event performs
+//!   **zero heap allocations**.
+//! * [`RawEventRef`] — the borrowed, zero-copy view the streaming pipeline
+//!   now runs on. A source ([`crate::EventSource`]) advances and then hands
+//!   out a `RawEventRef` whose payloads borrow the source's own storage
+//!   (the scanner window for sequential text runs, the event tape arena
+//!   for sharded replay, or a recycled `RawEvent`). The view is valid
+//!   until the source's next [`crate::EventSource::advance`] — delivering
+//!   an event is a pointer hand-off, not a byte copy.
 
+use crate::tape::{EncAttr, SymbolRemap};
 use flux_symbols::{Symbol, SymbolTable};
 use std::fmt;
 
@@ -363,6 +371,300 @@ impl RawEvent {
             RawEventKind::ProcessingInstruction => XmlEvent::ProcessingInstruction {
                 target: self.target.clone(),
                 data: self.text.clone(),
+            },
+        }
+    }
+}
+
+/// A borrowed view of one attribute: interned name, payloads borrowed
+/// from the owning source ([`RawEvent`] buffers or a tape arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrRef<'a> {
+    /// Interned attribute name ([`SymbolTable::OVERFLOW`] in the reader's
+    /// bounded-interner mode — resolve via [`AttrRef::name_str`]).
+    pub name: Symbol,
+    /// The literal name when `name` is [`SymbolTable::OVERFLOW`]; empty
+    /// otherwise.
+    pub overflow_name: &'a str,
+    /// The unescaped attribute value.
+    pub value: &'a str,
+}
+
+impl<'a> AttrRef<'a> {
+    /// The attribute name, resolving bounded-interner overflow.
+    pub fn name_str(&self, symbols: &'a SymbolTable) -> &'a str {
+        if self.name == SymbolTable::OVERFLOW {
+            self.overflow_name
+        } else {
+            symbols.name(self.name)
+        }
+    }
+}
+
+/// Where a [`RawEventRef`]'s attributes live.
+#[derive(Debug, Clone, Copy)]
+enum AttrsRef<'a> {
+    /// The live prefix of a recycled [`RawEvent`]'s attribute buffers.
+    Owned(&'a [RawAttr]),
+    /// Encoded spans into an event tape's arena (the sharded replay path):
+    /// resolving an attribute is span arithmetic, not a copy.
+    Tape {
+        attrs: &'a [EncAttr],
+        arena: &'a str,
+        remap: SymbolRemap<'a>,
+    },
+}
+
+/// Iterator over a view's attributes, literal attributes first, then any
+/// defaults a validating layer injected.
+#[derive(Debug, Clone)]
+pub struct AttrsIter<'a> {
+    attrs: AttrsRef<'a>,
+    idx: usize,
+    defaults: &'a [(Symbol, &'a str)],
+    didx: usize,
+}
+
+impl<'a> Iterator for AttrsIter<'a> {
+    type Item = AttrRef<'a>;
+
+    fn next(&mut self) -> Option<AttrRef<'a>> {
+        let literal = match self.attrs {
+            AttrsRef::Owned(attrs) => attrs.get(self.idx).map(|a| AttrRef {
+                name: a.name,
+                overflow_name: &a.overflow_name,
+                value: &a.value,
+            }),
+            AttrsRef::Tape {
+                attrs,
+                arena,
+                remap,
+            } => attrs.get(self.idx).map(|a| AttrRef {
+                name: remap.resolve(a.name),
+                overflow_name: &arena[a.overflow.0..a.overflow.1],
+                value: &arena[a.value.0..a.value.1],
+            }),
+        };
+        if let Some(attr) = literal {
+            self.idx += 1;
+            return Some(attr);
+        }
+        let (name, value) = *self.defaults.get(self.didx)?;
+        self.didx += 1;
+        Some(AttrRef {
+            name,
+            overflow_name: "",
+            value,
+        })
+    }
+}
+
+/// A borrowed, zero-copy view of one XML event.
+///
+/// Produced by [`crate::EventSource::view`] after a successful
+/// [`crate::EventSource::advance`]; every `&str` borrows the source's own
+/// storage and stays valid until the next advance. `Copy`, pointer-sized
+/// fields only — passing a view around costs nothing.
+///
+/// The field-per-kind table of [`RawEvent`] applies unchanged (including
+/// the bounded-interner convention that an overflow element's literal name
+/// rides in `target`).
+#[derive(Debug, Clone, Copy)]
+pub struct RawEventRef<'a> {
+    kind: RawEventKind,
+    name: Symbol,
+    text: &'a str,
+    target: &'a str,
+    has_internal_subset: bool,
+    text_synthetic: bool,
+    attrs: AttrsRef<'a>,
+    /// Attribute defaults injected by a validating layer (XSAX), delivered
+    /// after the literal attributes — the event tape and reader never set
+    /// this.
+    defaults: &'a [(Symbol, &'a str)],
+}
+
+impl<'a> RawEventRef<'a> {
+    /// Views an owned [`RawEvent`] (payloads borrow its buffers).
+    pub fn from_event(ev: &'a RawEvent) -> RawEventRef<'a> {
+        RawEventRef {
+            kind: ev.kind(),
+            name: ev.name(),
+            text: ev.text(),
+            target: ev.target(),
+            has_internal_subset: ev.internal_subset().is_some(),
+            text_synthetic: ev.is_text_synthetic(),
+            attrs: AttrsRef::Owned(ev.attributes()),
+            defaults: &[],
+        }
+    }
+
+    /// A payload-free event of the given kind (`StartDocument` /
+    /// `EndDocument` synthesised by a replay source).
+    pub fn bare(kind: RawEventKind) -> RawEventRef<'static> {
+        RawEventRef {
+            kind,
+            name: SymbolTable::TEXT,
+            text: "",
+            target: "",
+            has_internal_subset: false,
+            text_synthetic: false,
+            attrs: AttrsRef::Owned(&[]),
+            defaults: &[],
+        }
+    }
+
+    /// Crate-internal constructor for the tape replay path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_tape(
+        kind: RawEventKind,
+        name: Symbol,
+        text: &'a str,
+        target: &'a str,
+        has_internal_subset: bool,
+        text_synthetic: bool,
+        attrs: &'a [EncAttr],
+        arena: &'a str,
+        remap: SymbolRemap<'a>,
+    ) -> RawEventRef<'a> {
+        RawEventRef {
+            kind,
+            name,
+            text,
+            target,
+            has_internal_subset,
+            text_synthetic,
+            attrs: AttrsRef::Tape {
+                attrs,
+                arena,
+                remap,
+            },
+            defaults: &[],
+        }
+    }
+
+    /// Replaces the text payload (the reader's borrowed-window fast path
+    /// for text runs that did not cross a refill boundary).
+    pub fn with_text(self, text: &'a str) -> RawEventRef<'a> {
+        RawEventRef { text, ..self }
+    }
+
+    /// Attaches injected attribute defaults, delivered after the literal
+    /// attributes (the XSAX default-injection path).
+    pub fn with_defaults(self, defaults: &'a [(Symbol, &'a str)]) -> RawEventRef<'a> {
+        RawEventRef { defaults, ..self }
+    }
+
+    pub fn kind(&self) -> RawEventKind {
+        self.kind
+    }
+
+    /// The element name (start/end element events).
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// The element name as text, resolving bounded-interner overflow.
+    pub fn name_str(&self, symbols: &'a SymbolTable) -> &'a str {
+        if self.name == SymbolTable::OVERFLOW {
+            self.target
+        } else {
+            symbols.name(self.name)
+        }
+    }
+
+    /// Character data / comment text / PI data / doctype internal subset.
+    pub fn text(&self) -> &'a str {
+        self.text
+    }
+
+    /// PI target or doctype name.
+    pub fn target(&self) -> &'a str {
+        self.target
+    }
+
+    /// The doctype internal subset, when one was present.
+    pub fn internal_subset(&self) -> Option<&'a str> {
+        self.has_internal_subset.then_some(self.text)
+    }
+
+    /// True when part of the text payload came from a character/entity
+    /// reference or a CDATA section (see [`RawEvent::is_text_synthetic`]).
+    pub fn is_text_synthetic(&self) -> bool {
+        self.text_synthetic
+    }
+
+    /// True for a text event consisting only of XML whitespace.
+    pub fn is_whitespace_text(&self) -> bool {
+        self.kind == RawEventKind::Text
+            && self
+                .text
+                .bytes()
+                .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+    }
+
+    /// Attributes of a start-element event: literal attributes first, then
+    /// injected defaults. Span resolution only — no copies.
+    pub fn attrs(&self) -> AttrsIter<'a> {
+        AttrsIter {
+            attrs: self.attrs,
+            idx: 0,
+            defaults: self.defaults,
+            didx: 0,
+        }
+    }
+
+    /// Number of attributes (literal + injected defaults).
+    pub fn attr_count(&self) -> usize {
+        let literal = match self.attrs {
+            AttrsRef::Owned(attrs) => attrs.len(),
+            AttrsRef::Tape { attrs, .. } => attrs.len(),
+        };
+        literal + self.defaults.len()
+    }
+
+    /// Materialises the view into a recycled [`RawEvent`] (the copying
+    /// compatibility path behind [`crate::EventSource::next_into`]).
+    pub fn copy_into(&self, ev: &mut RawEvent) {
+        ev.reset(self.kind);
+        ev.set_name(self.name);
+        ev.text_mut().push_str(self.text);
+        ev.target_mut().push_str(self.target);
+        ev.set_has_internal_subset(self.has_internal_subset);
+        ev.set_text_synthetic(self.text_synthetic);
+        for attr in self.attrs() {
+            if attr.name == SymbolTable::OVERFLOW {
+                ev.push_attr_named(attr.overflow_name).push_str(attr.value);
+            } else {
+                ev.push_attr(attr.name).push_str(attr.value);
+            }
+        }
+    }
+
+    /// Converts to the owned, string-named representation (allocates).
+    pub fn to_xml_event(&self, symbols: &SymbolTable) -> XmlEvent {
+        match self.kind {
+            RawEventKind::StartDocument => XmlEvent::StartDocument,
+            RawEventKind::EndDocument => XmlEvent::EndDocument,
+            RawEventKind::DoctypeDecl => XmlEvent::DoctypeDecl {
+                name: self.target.to_string(),
+                internal_subset: self.internal_subset().map(str::to_string),
+            },
+            RawEventKind::StartElement => XmlEvent::StartElement {
+                name: self.name_str(symbols).to_string(),
+                attributes: self
+                    .attrs()
+                    .map(|a| Attribute::new(a.name_str(symbols), a.value))
+                    .collect(),
+            },
+            RawEventKind::EndElement => XmlEvent::EndElement {
+                name: self.name_str(symbols).to_string(),
+            },
+            RawEventKind::Text => XmlEvent::Text(self.text.to_string()),
+            RawEventKind::Comment => XmlEvent::Comment(self.text.to_string()),
+            RawEventKind::ProcessingInstruction => XmlEvent::ProcessingInstruction {
+                target: self.target.to_string(),
+                data: self.text.to_string(),
             },
         }
     }

@@ -26,13 +26,17 @@ pub mod reader;
 pub mod scan;
 mod scanner;
 pub mod source;
+pub mod tape;
 pub mod tree;
 pub mod writer;
 
 pub use error::{Position, Result, XmlError};
-pub use event::{Attribute, RawAttr, RawEvent, RawEventKind, XmlEvent};
+pub use event::{
+    AttrRef, Attribute, AttrsIter, RawAttr, RawEvent, RawEventKind, RawEventRef, XmlEvent,
+};
 pub use flux_symbols::{Symbol, SymbolTable};
 pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
 pub use source::EventSource;
+pub use tape::{EventTape, SymbolRemap};
 pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
 pub use writer::{events_to_string, WriterConfig, XmlWriter};

@@ -30,7 +30,7 @@
 
 use crate::error::{Position, Result, XmlError};
 use crate::escape::unescape_into;
-use crate::event::{RawEvent, RawEventKind, XmlEvent};
+use crate::event::{RawEvent, RawEventKind, RawEventRef, XmlEvent};
 use crate::scanner::Scanner;
 use flux_symbols::{Symbol, SymbolTable};
 use std::io::Read;
@@ -116,6 +116,16 @@ pub struct XmlReader<R: Read> {
     spare_overflow: Vec<String>,
     /// Recycled event backing the owned-`XmlEvent` compatibility API.
     compat: RawEvent,
+    /// The event behind [`XmlReader::view`], filled by
+    /// [`XmlReader::advance`].
+    current: RawEvent,
+    /// When the current event is a text run served straight from the
+    /// scanner window (no entities, no CDATA merge, no refill crossed),
+    /// the window range holding it: [`XmlReader::view`] borrows the bytes
+    /// in place instead of copying them into `current`. Valid until the
+    /// next advance — the scanner is guaranteed not to compact before
+    /// then.
+    borrowed_text: Option<(usize, usize)>,
 }
 
 /// Whether `b` can begin an XML name (the reader's classification, shared
@@ -158,6 +168,8 @@ impl<R: Read> XmlReader<R> {
             overflow_stack: Vec::new(),
             spare_overflow: Vec::new(),
             compat: RawEvent::new(),
+            current: RawEvent::new(),
+            borrowed_text: None,
         }
     }
 
@@ -204,8 +216,39 @@ impl<R: Read> XmlReader<R> {
         if self.state == State::Done {
             return Ok(false);
         }
-        self.fill_event(ev)?;
+        self.fill_event(ev, false)?;
         Ok(true)
+    }
+
+    /// Advances to the next event, readable through [`XmlReader::view`]
+    /// until the following advance. This is the zero-copy pull API: text
+    /// runs that end inside the scanner's buffered window are delivered as
+    /// borrowed slices of it, skipping even the copy into the recycled
+    /// event buffer. Returns `Ok(false)` once `EndDocument` has been
+    /// delivered.
+    pub fn advance(&mut self) -> Result<bool> {
+        if self.state == State::Done {
+            self.borrowed_text = None;
+            return Ok(false);
+        }
+        let mut ev = std::mem::take(&mut self.current);
+        let res = self.fill_event(&mut ev, true);
+        self.current = ev;
+        res.map(|()| true)
+    }
+
+    /// A borrowed view of the event the last [`XmlReader::advance`]
+    /// produced. Payloads borrow the reader's recycled buffers or the
+    /// scanner window directly.
+    pub fn view(&self) -> RawEventRef<'_> {
+        let v = RawEventRef::from_event(&self.current);
+        match self.borrowed_text {
+            Some(range) => v.with_text(
+                std::str::from_utf8(self.scanner.borrowed(range))
+                    .expect("borrowed text validated at parse time"),
+            ),
+            None => v,
+        }
     }
 
     /// Pulls the next event. After [`XmlEvent::EndDocument`], returns `None`.
@@ -222,14 +265,19 @@ impl<R: Read> XmlReader<R> {
     /// [`XmlReader::next_into`] on hot paths.
     pub fn next_event(&mut self) -> Result<XmlEvent> {
         let mut ev = std::mem::take(&mut self.compat);
-        let res = self.fill_event(&mut ev);
+        let res = self.fill_event(&mut ev, false);
         let out = res.map(|()| ev.to_xml_event(&self.symbols));
         self.compat = ev;
         out
     }
 
-    /// The parsing core: rewrites `ev` with the next event.
-    fn fill_event(&mut self, ev: &mut RawEvent) -> Result<()> {
+    /// The parsing core: rewrites `ev` with the next event. With
+    /// `allow_borrow`, an eligible text run is left in the scanner window
+    /// ([`XmlReader::borrowed_text`]) instead of being copied into `ev` —
+    /// only the view API may enable this, because the range dies at the
+    /// next scanner refill.
+    fn fill_event(&mut self, ev: &mut RawEvent, allow_borrow: bool) -> Result<()> {
+        self.borrowed_text = None;
         if self.state == State::Fresh {
             // Fragments skip the prolog/epilog state machine entirely: a
             // fragment is content, and the merger re-checks document-level
@@ -304,7 +352,7 @@ impl<R: Read> XmlReader<R> {
                             return Ok(());
                         }
                     }
-                    Some(_) => return self.parse_text(ev),
+                    Some(_) => return self.parse_text(ev, allow_borrow),
                 },
                 State::Fresh => unreachable!("handled above"),
             }
@@ -732,8 +780,52 @@ impl<R: Read> XmlReader<R> {
 
     /// Parses a maximal run of character data into `ev`, merging adjacent
     /// CDATA sections and resolving entity references.
-    fn parse_text(&mut self, ev: &mut RawEvent) -> Result<()> {
+    ///
+    /// With `allow_borrow`, a run that (a) ends at a `<` inside the
+    /// scanner's buffered window with enough lookahead to rule out a
+    /// following CDATA section (or at EOF), (b) contains no entity or
+    /// character references, and (c) needs no CDATA merging is **not
+    /// copied**: its window range lands in `self.borrowed_text` and `ev`'s
+    /// text stays empty. [`XmlReader::view`] serves the bytes in place.
+    fn parse_text(&mut self, ev: &mut RawEvent, allow_borrow: bool) -> Result<()> {
         ev.reset(RawEventKind::Text);
+        if allow_borrow {
+            // Lookahead 9 = b"<![CDATA[".len(): the CDATA probe below must
+            // not refill (a refill would move the borrowed bytes).
+            if let Some(range) = self.scanner.borrow_run(b'<', 9)? {
+                let pos = self.scanner.position();
+                let has_references = {
+                    let raw = std::str::from_utf8(self.scanner.borrowed(range))
+                        .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                    raw.contains('&')
+                };
+                if has_references {
+                    // Entity references force materialisation; unescape
+                    // into the recycled buffer and continue the owned loop
+                    // (more segments may follow).
+                    ev.set_text_synthetic(true);
+                    let raw =
+                        std::str::from_utf8(self.scanner.borrowed(range)).expect("validated above");
+                    unescape_into(raw, pos, ev.text_mut())?;
+                } else if self.scanner.looking_at(b"<![CDATA[")? {
+                    // A CDATA section merges into this run: spill the
+                    // borrowed prefix and continue the owned loop.
+                    let raw =
+                        std::str::from_utf8(self.scanner.borrowed(range)).expect("validated above");
+                    ev.text_mut().push_str(raw);
+                } else if self.scanner.peek()?.is_none() && !self.config.fragment {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "closing tags for open elements",
+                        pos: self.scanner.position(),
+                    });
+                } else {
+                    // The common case: a literal text run delivered as a
+                    // borrowed slice of the scanner window.
+                    self.borrowed_text = Some(range);
+                    return Ok(());
+                }
+            }
+        }
         loop {
             match self.scanner.peek()? {
                 Some(b'<') => {
@@ -1328,6 +1420,43 @@ mod tests {
             }
         }
         assert_eq!(seen, Some(book), "stream symbol coincides with seed symbol");
+    }
+
+    // ----- borrowed view API -----
+
+    /// The advance/view stream must equal the owned stream event for
+    /// event, across borrowed text runs, entities, CDATA merges and
+    /// attribute-heavy tags.
+    #[test]
+    fn advance_view_matches_owned_events() {
+        let long_run = "literal text without references ".repeat(20);
+        let doc = format!(
+            "<bib><book year=\"1994\" lang=\"en\">{long_run}</book>\
+             <b>a &amp; b<![CDATA[raw <x>]]> tail</b>  <c/>trailer</bib>"
+        );
+        let expected = parse_to_events(&doc).unwrap();
+        let mut reader = XmlReader::new(doc.as_bytes());
+        let mut got = Vec::new();
+        while reader.advance().unwrap() {
+            got.push(reader.view().to_xml_event(reader.symbols()));
+        }
+        assert_eq!(got, expected);
+    }
+
+    /// A text run larger than the scanner chunk cannot be borrowed; the
+    /// fallback path must still deliver it whole.
+    #[test]
+    fn view_text_run_spanning_refills_falls_back() {
+        let body = "z".repeat(100_000);
+        let doc = format!("<a>{body}</a>");
+        let mut reader = XmlReader::new(doc.as_bytes());
+        let mut text = None;
+        while reader.advance().unwrap() {
+            if reader.view().kind() == RawEventKind::Text {
+                text = Some(reader.view().text().to_string());
+            }
+        }
+        assert_eq!(text.as_deref(), Some(body.as_str()));
     }
 
     #[test]

@@ -218,6 +218,39 @@ impl<R: Read> Scanner<R> {
         }
     }
 
+    /// Attempts to consume a whole run up to (not including) `stop`
+    /// **without copying**: when the run ends inside the currently
+    /// buffered window and at least `lookahead` bytes beyond the stop are
+    /// already buffered (or EOF was reached), the run is consumed and its
+    /// absolute range in the buffer is returned. The range stays valid as
+    /// long as no method refills or compacts the buffer — peeks of up to
+    /// `lookahead` bytes are guaranteed not to.
+    ///
+    /// Returns `None` without consuming anything when the run may cross a
+    /// refill boundary; the caller falls back to the copying
+    /// [`Scanner::read_until_byte`].
+    pub fn borrow_run(&mut self, stop: u8, lookahead: usize) -> Result<Option<(usize, usize)>> {
+        self.fill(1)?;
+        let window = &self.buf[self.start..self.end];
+        let taken = match find_byte(window, stop) {
+            // The stop byte and `lookahead` bytes of context are buffered:
+            // peeks after the run cannot trigger a refill.
+            Some(i) if self.end - (self.start + i) >= lookahead || self.eof => i,
+            // No stop byte, but EOF: the window is the whole rest.
+            None if self.eof => window.len(),
+            _ => return Ok(None),
+        };
+        let range = (self.start, self.start + taken);
+        self.advance_span(range.0, range.1);
+        self.start += taken;
+        Ok(Some(range))
+    }
+
+    /// The bytes behind a range returned by [`Scanner::borrow_run`].
+    pub fn borrowed(&self, range: (usize, usize)) -> &[u8] {
+        &self.buf[range.0..range.1]
+    }
+
     /// Consumes bytes up to (not including) the next occurrence of `stop`,
     /// appending them to `out`. The SWAR fast path for text runs:
     /// equivalent to `read_while(|b| b != stop, out)`, eight bytes at a

@@ -2,38 +2,77 @@
 //!
 //! [`EventSource`] is the contract between event *producers* (the
 //! sequential [`XmlReader`], the parallel `flux_shard::ShardedReader`) and
-//! event *consumers* (the XSAX validating parser, the FluX runtime): one
-//! recycled [`RawEvent`] rewritten per pull, names interned in a
-//! [`SymbolTable`] owned by the source. Consumers written against this
-//! trait work unchanged over a single-threaded stream or a sharded,
-//! multi-core one.
+//! event *consumers* (the XSAX validating parser, the FluX runtime).
+//!
+//! The hot path is the **borrowed view protocol**:
+//! [`EventSource::advance`] moves to the next event and
+//! [`EventSource::view`] exposes it as a [`RawEventRef`] whose payloads
+//! borrow the source's own storage — the scanner window, an event-tape
+//! arena, or a recycled buffer. Delivering an event is a pointer hand-off:
+//! zero copies, zero allocations.
+//!
+//! ## Lifetime rules
+//!
+//! * A view is valid from the `advance` that produced it until the next
+//!   `advance` (or any `next_into`) on the same source. The borrow checker
+//!   enforces this — `view` borrows the source shared, `advance` needs it
+//!   exclusively.
+//! * A consumer that must hold an event across its own pulls (XSAX parks
+//!   one event while delivering queued `on-first` fires) must either defer
+//!   its next `advance` until the event is fully delivered (what XSAX
+//!   does) or materialise the view with [`RawEventRef::copy_into`].
+//! * [`EventSource::next_into`] is the copying compatibility wrapper:
+//!   same event sequence, one payload copy per event.
+//!
+//! Names are interned in a [`SymbolTable`] owned by the source; consumers
+//! written against this trait work unchanged over a single-threaded stream
+//! or a sharded, multi-core one.
 
 use crate::error::{Position, Result};
-use crate::event::RawEvent;
+use crate::event::{RawEvent, RawEventRef};
 use crate::reader::XmlReader;
 use flux_symbols::SymbolTable;
 use std::io::Read;
 
-/// A pull source of recycled [`RawEvent`]s.
+/// A pull source of XML events, viewable without copies.
 pub trait EventSource {
-    /// Pulls the next event into the caller-owned `ev`, recycling its
-    /// buffers. Returns `Ok(false)` once `EndDocument` has been delivered.
-    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool>;
+    /// Advances to the next event. Returns `Ok(false)` once `EndDocument`
+    /// has been delivered.
+    fn advance(&mut self) -> Result<bool>;
+
+    /// A borrowed view of the current event (the one the last successful
+    /// [`EventSource::advance`] produced), valid until the next advance.
+    fn view(&self) -> RawEventRef<'_>;
 
     /// The interner mapping the [`flux_symbols::Symbol`]s in delivered
     /// events back to names. Sources seeded from a schema table preserve
     /// its indices, so stream symbols coincide with schema symbols.
     fn symbols(&self) -> &SymbolTable;
 
-    /// Current input position, for error reporting. Sources without exact
-    /// line/column knowledge (e.g. a sharded reader mid-replay) report a
-    /// best-effort byte offset.
+    /// Current input position, for error reporting. Replay sources report
+    /// the position recorded when the current event was originally parsed,
+    /// so errors carry exactly the sequential position.
     fn position(&self) -> Position;
+
+    /// Pulls the next event into the caller-owned `ev`, recycling its
+    /// buffers — the copying compatibility path. Returns `Ok(false)` once
+    /// `EndDocument` has been delivered.
+    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if !self.advance()? {
+            return Ok(false);
+        }
+        self.view().copy_into(ev);
+        Ok(true)
+    }
 }
 
 impl<R: Read> EventSource for XmlReader<R> {
-    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
-        XmlReader::next_into(self, ev)
+    fn advance(&mut self) -> Result<bool> {
+        XmlReader::advance(self)
+    }
+
+    fn view(&self) -> RawEventRef<'_> {
+        XmlReader::view(self)
     }
 
     fn symbols(&self) -> &SymbolTable {
@@ -42,5 +81,11 @@ impl<R: Read> EventSource for XmlReader<R> {
 
     fn position(&self) -> Position {
         XmlReader::position(self)
+    }
+
+    fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        // The reader parses straight into the caller's event — bypassing
+        // the internal view storage saves a copy on this path too.
+        XmlReader::next_into(self, ev)
     }
 }

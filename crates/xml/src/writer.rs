@@ -6,7 +6,7 @@
 
 use crate::error::{Result, XmlError};
 use crate::escape::{escape_attr_into, escape_text_into};
-use crate::event::{Attribute, RawAttr, RawEvent, RawEventKind, XmlEvent};
+use crate::event::{Attribute, RawAttr, RawEvent, RawEventKind, RawEventRef, XmlEvent};
 use flux_symbols::{Symbol, SymbolTable};
 use std::io::Write;
 
@@ -181,6 +181,42 @@ impl<W: Write> XmlWriter<W> {
         self.raw(">")?;
         self.had_child.push(false);
         Ok(())
+    }
+
+    /// Writes the start tag of a borrowed event view — the zero-copy
+    /// output path: names resolve through `symbols`, attribute payloads
+    /// stream straight from the view's backing storage into the sink.
+    pub fn start_element_view(
+        &mut self,
+        symbols: &SymbolTable,
+        ev: &RawEventRef<'_>,
+    ) -> Result<()> {
+        self.open_tag(ev.name_str(symbols))?;
+        for attr in ev.attrs() {
+            self.write_attr(attr.name_str(symbols), attr.value)?;
+        }
+        self.raw(">")?;
+        self.had_child.push(false);
+        Ok(())
+    }
+
+    /// Writes one borrowed event view, mapping symbols back through
+    /// `symbols`. `StartDocument`/`EndDocument`/doctype events are
+    /// accepted and ignored so a view stream can be piped through
+    /// unchanged.
+    pub fn write_event_ref(&mut self, symbols: &SymbolTable, ev: &RawEventRef<'_>) -> Result<()> {
+        match ev.kind() {
+            RawEventKind::StartDocument | RawEventKind::EndDocument | RawEventKind::DoctypeDecl => {
+                Ok(())
+            }
+            RawEventKind::StartElement => self.start_element_view(symbols, ev),
+            RawEventKind::EndElement => self.end_element(),
+            RawEventKind::Text => self.text(ev.text()),
+            RawEventKind::Comment => self.comment(ev.text()),
+            RawEventKind::ProcessingInstruction => {
+                self.processing_instruction(ev.target(), ev.text())
+            }
+        }
     }
 
     /// Writes an end tag for the innermost open element.

@@ -1,6 +1,8 @@
 //! Proof of the zero-allocation event-loop contract: in the steady state
 //! (every name interned once, recycled buffers grown to the largest token),
-//! `XmlReader::next_into` performs no heap allocations per event.
+//! `XmlReader::next_into` performs no heap allocations per event — and
+//! replaying a recorded `EventTape` through borrowed views (the sharded
+//! replay path) performs **zero** allocations, full stop.
 //!
 //! The test instruments the global allocator and compares the total
 //! allocation count for parsing N repeated records against 8N records with
@@ -8,6 +10,9 @@
 //! happen during warm-up (reader construction, first sight of each name,
 //! first growth of each buffer), so the counts must be *equal* — any
 //! per-event allocation would scale with the record count and fail loudly.
+//! Tape replay is held to the stricter bar: viewing an event is span
+//! arithmetic into the tape arena, so the whole replay loop must perform
+//! literally no allocations.
 //!
 //! This file holds exactly one test so no concurrent test in the same
 //! binary can perturb the allocation counter.
@@ -16,7 +21,7 @@
 // wraps `System` one-to-one and adds a relaxed atomic increment.
 #![allow(unsafe_code)]
 
-use flux_xml::{RawEvent, XmlReader};
+use flux_xml::{EventTape, RawEvent, RawEventKind, SymbolRemap, XmlReader};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -97,5 +102,39 @@ fn steady_state_event_loop_is_allocation_free() {
     assert!(
         small_allocs < 100,
         "warm-up allocations unexpectedly large: {small_allocs}"
+    );
+
+    // --- Tape replay (the sharded replay core) is allocation-free. ---
+    // Record once (allocates: arena growth, event vector), then replay
+    // through borrowed views and touch every payload: the replay loop must
+    // not allocate at all. Minimum over several runs filters allocator
+    // noise from harness threads, like above.
+    let mut reader = XmlReader::new(large.as_bytes());
+    let mut tape = EventTape::new();
+    while reader.advance().expect("well-formed input") {
+        let pos = reader.position();
+        tape.push(&reader.view(), pos);
+    }
+    let replay_allocs = (0..5)
+        .map(|_| {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let mut touched = 0usize;
+            for i in 0..tape.len() {
+                let v = tape.view(i, SymbolRemap::identity());
+                touched += v.text().len() + v.target().len();
+                if v.kind() == RawEventKind::StartElement {
+                    for attr in v.attrs() {
+                        touched += attr.value.len();
+                    }
+                }
+            }
+            assert!(touched > 0, "replay must visit payloads");
+            ALLOCATIONS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        replay_allocs, 0,
+        "tape replay must be allocation-free per event"
     );
 }

@@ -5,14 +5,22 @@
 //! reader produces *are* the symbols the DTD's content-model DFAs
 //! transition on — no per-event name lookup or re-hashing anywhere. Element
 //! declarations and attribute lists are pre-resolved into dense
-//! symbol-indexed tables. The hot pull API is [`XsaxParser::next_into`],
-//! which recycles one caller-owned [`RawEvent`]; the owned
-//! [`XsaxParser::next`] API wraps it for tests and tools.
+//! symbol-indexed tables.
+//!
+//! The hot pull API is the **zero-copy step protocol**:
+//! [`XsaxParser::next_step`] advances and [`XsaxParser::view`] exposes the
+//! delivered event as a borrowed [`RawEventRef`] — payload bytes flow from
+//! the source's storage (scanner window or shard tape arena) to the
+//! consumer without a copy. Attribute defaults a validating parser must
+//! inject are kept in a side list and chained onto the view, so even
+//! default injection does not force materialisation. The copying
+//! [`XsaxParser::next_into`] and the owned [`XsaxParser::next`] APIs wrap
+//! it for compatibility, tests and tools.
 
 use crate::error::{Result, XsaxError};
 use crate::event::{PastId, PastLabels, XsaxEvent, XsaxStep};
 use flux_dtd::{AttDefault, Dfa, Dtd, ElementDecl, StateId, Symbol, SymbolTable};
-use flux_xml::{EventSource, RawEvent, RawEventKind, XmlEvent, XmlReader};
+use flux_xml::{EventSource, RawEvent, RawEventKind, RawEventRef, XmlEvent, XmlReader};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 
@@ -113,9 +121,13 @@ pub struct XsaxParser<'d, S: EventSource> {
     atts: Vec<Vec<AttPlan<'d>>>,
     stack: Vec<OpenElement<'d>>,
     /// Deliverables for the current stream seam, in delivery order.
+    /// `Pending::Sax` refers to the *source's current event* — the source
+    /// is not advanced again until the queue is drained, so the borrowed
+    /// view stays valid across the queued deliveries.
     pending: VecDeque<Pending>,
-    /// The sax event referenced by `Pending::Sax`, awaiting delivery.
-    parked: RawEvent,
+    /// Attribute defaults injected for the current start element, chained
+    /// onto the view after the literal attributes. Values borrow the DTD.
+    injected: Vec<(Symbol, &'d str)>,
     /// Recycled event backing the owned-`XsaxEvent` compatibility API.
     compat: RawEvent,
     started: bool,
@@ -206,7 +218,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
             atts,
             stack: Vec::new(),
             pending: VecDeque::new(),
-            parked: RawEvent::new(),
+            injected: Vec::new(),
             compat: RawEvent::new(),
             started: false,
             finished: false,
@@ -278,21 +290,20 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         }
     }
 
-    /// Pulls the next step, recycling the caller-owned `ev`.
+    /// Pulls the next step of the validated stream — the zero-copy hot
+    /// path.
     ///
-    /// Returns [`XsaxStep::Sax`] when `ev` now holds the next validated
-    /// event, [`XsaxStep::Fire`] for a fired past query (with `ev`
-    /// untouched), or `None` after `EndDocument` has been delivered. This
-    /// is the allocation-free hot path: names stay interned, buffers are
-    /// swapped rather than copied.
-    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<Option<XsaxStep>> {
+    /// Returns [`XsaxStep::Sax`] when the next validated event is readable
+    /// through [`XsaxParser::view`], [`XsaxStep::Fire`] for a fired past
+    /// query, or `None` after `EndDocument` has been delivered. No payload
+    /// bytes are copied and no heap is touched: the event stays wherever
+    /// the source keeps it (scanner window, tape arena) until the next
+    /// step consumes it.
+    pub fn next_step(&mut self) -> Result<Option<XsaxStep>> {
         loop {
             if let Some(p) = self.pending.pop_front() {
                 return Ok(Some(match p {
-                    Pending::Sax => {
-                        std::mem::swap(ev, &mut self.parked);
-                        XsaxStep::Sax
-                    }
+                    Pending::Sax => XsaxStep::Sax,
                     Pending::Fire { id, depth } => XsaxStep::Fire { id, depth },
                 }));
             }
@@ -300,20 +311,23 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 return Ok(None);
             }
             self.started = true;
-            if !self.source.next_into(&mut self.parked)? {
+            self.injected.clear();
+            if !self.source.advance()? {
                 self.finished = true;
                 return Ok(None);
             }
-            match self.parked.kind() {
+            match self.source.view().kind() {
                 RawEventKind::StartDocument => self.pending.push_back(Pending::Sax),
                 RawEventKind::DoctypeDecl => {
                     if let Some(root) = self.dtd.root() {
-                        let name = self.parked.target();
+                        let v = self.source.view();
+                        let name = v.target();
                         if self.dtd.lookup(name) != Some(root) {
-                            return Err(self.validation(format!(
+                            let message = format!(
                                 "DOCTYPE names `{name}` but the DTD root is `{}`",
                                 self.dtd.name(root)
-                            )));
+                            );
+                            return Err(self.validation(message));
                         }
                     }
                     self.pending.push_back(Pending::Sax);
@@ -328,6 +342,24 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 }
             }
         }
+    }
+
+    /// A borrowed view of the event behind the last [`XsaxStep::Sax`]:
+    /// the source's current event plus any injected attribute defaults,
+    /// valid until the next [`XsaxParser::next_step`].
+    pub fn view(&self) -> RawEventRef<'_> {
+        self.source.view().with_defaults(&self.injected)
+    }
+
+    /// Pulls the next step, materialising a delivered sax event into the
+    /// caller-owned `ev` — the copying compatibility wrapper around
+    /// [`XsaxParser::next_step`] / [`XsaxParser::view`].
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<Option<XsaxStep>> {
+        let step = self.next_step()?;
+        if let Some(XsaxStep::Sax) = step {
+            self.view().copy_into(ev);
+        }
+        Ok(step)
     }
 
     /// Pulls the next event as an owned [`XsaxEvent`], or `None` after
@@ -357,12 +389,14 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
     }
 
     fn handle_start(&mut self) -> Result<()> {
-        let sym = self.parked.name();
+        let v = self.source.view();
+        let sym = v.name();
         let Some(decl) = self.decl_of(sym) else {
-            return Err(self.validation(format!(
+            let message = format!(
                 "element `{}` is not declared in the DTD",
-                self.parked.name_str(self.source.symbols())
-            )));
+                v.name_str(self.source.symbols())
+            );
+            return Err(self.validation(message));
         };
 
         // Transition the parent's content automaton (the document automaton
@@ -379,7 +413,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 XsaxError::Validation {
                     message: format!(
                         "element `{}` not allowed here inside `{}` (expected one of: {})",
-                        self.parked.name_str(self.source.symbols()),
+                        v.name_str(self.source.symbols()),
                         self.dtd.name(parent.symbol),
                         if expected.is_empty() {
                             "end of element".to_string()
@@ -423,11 +457,12 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 .content_dfa(SymbolTable::DOCUMENT)
                 .expect("checked in constructor");
             if doc_dfa.transition(doc_dfa.start(), sym).is_none() {
-                return Err(self.validation(format!(
+                let message = format!(
                     "root element `{}` does not match the DTD root `{}`",
-                    self.parked.name_str(self.source.symbols()),
+                    v.name_str(self.source.symbols()),
                     self.dtd.root().map(|r| self.dtd.name(r)).unwrap_or("?")
-                )));
+                );
+                return Err(self.validation(message));
             }
         }
 
@@ -521,7 +556,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 .to_string(),
             pos: self.source.position(),
         })?;
-        let whitespace_only = self.parked.is_whitespace_text();
+        let whitespace_only = self.source.view().is_whitespace_text();
         if !elem.text_allowed {
             if !whitespace_only {
                 return Err(self.validation(format!(
@@ -537,31 +572,34 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         Ok(())
     }
 
-    /// Validates the parked start tag's attributes against the element's
-    /// pre-resolved `ATTLIST` and injects declared defaults, as a
-    /// validating parser must. Pure symbol equality — no string hashing.
+    /// Validates the current start tag's attributes against the element's
+    /// pre-resolved `ATTLIST` and collects declared defaults into the
+    /// injected side list (chained onto the view after the literal
+    /// attributes), as a validating parser must. Pure symbol equality — no
+    /// string hashing, and no event materialisation.
     fn validate_attributes(&mut self, sym: Symbol) -> Result<()> {
+        let v = self.source.view();
         let plans = self.atts.get(sym.index()).map(Vec::as_slice).unwrap_or(&[]);
         if self.config.strict_attributes {
-            for attr in self.parked.attributes() {
+            for attr in v.attrs() {
                 if !plans.iter().any(|d| d.name == attr.name) {
                     return Err(XsaxError::Validation {
                         message: format!(
                             "attribute `{}` is not declared for element `{}`",
                             attr.name_str(self.source.symbols()),
-                            self.parked.name_str(self.source.symbols())
+                            v.name_str(self.source.symbols())
                         ),
                         pos: self.source.position(),
                     });
                 }
             }
             for def in plans {
-                if def.required && !self.parked.attributes().iter().any(|a| a.name == def.name) {
+                if def.required && !v.attrs().any(|a| a.name == def.name) {
                     return Err(XsaxError::Validation {
                         message: format!(
                             "required attribute `{}` missing on element `{}`",
                             self.source.symbols().name(def.name),
-                            self.parked.name_str(self.source.symbols())
+                            v.name_str(self.source.symbols())
                         ),
                         pos: self.source.position(),
                     });
@@ -570,8 +608,8 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         }
         for def in plans {
             let Some(value) = def.default else { continue };
-            if !self.parked.attributes().iter().any(|a| a.name == def.name) {
-                self.parked.push_attr(def.name).push_str(value);
+            if !v.attrs().any(|a| a.name == def.name) {
+                self.injected.push((def.name, value));
             }
         }
         Ok(())

@@ -86,7 +86,7 @@ fn truncated_stream_mid_element() {
     // Every strict prefix must fail cleanly (error, not panic or success).
     for cut in 1..full.len() {
         let mut out = Vec::new();
-        let result = engine.run(full[..cut].as_bytes(), &mut out);
+        let result = engine.run(&full.as_bytes()[..cut], &mut out);
         assert!(result.is_err(), "prefix of length {cut} accepted");
     }
 }
