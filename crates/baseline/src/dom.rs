@@ -10,7 +10,7 @@
 use crate::error::Result;
 use flux_runtime::RunStats;
 use flux_xml::tree::{Document, TreeBuilder};
-use flux_xml::{RawEvent, XmlReader, XmlWriter};
+use flux_xml::{RawEvent, ReaderConfig, SymbolTable, XmlReader, XmlWriter};
 use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -33,8 +33,21 @@ impl DomEngine {
     /// recycled interned-event path; materialising the tree is the only
     /// per-event allocation left — which is this engine's defining cost.
     pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        self.run_with_config(input, output, ReaderConfig::default())
+    }
+
+    /// [`DomEngine::run`] with an explicit reader configuration (e.g.
+    /// [`ReaderConfig::max_symbols`] for bounded-interner streams — the
+    /// tree imports overflowed names through their literal side channel,
+    /// so the cap bounds reader memory without changing the document).
+    pub fn run_with_config<R: Read, W: Write>(
+        &self,
+        input: R,
+        output: W,
+        config: ReaderConfig,
+    ) -> Result<RunStats> {
         let start = Instant::now();
-        let mut reader = XmlReader::new(input);
+        let mut reader = XmlReader::with_symbols(input, config, SymbolTable::new());
         let mut builder = TreeBuilder::new();
         let mut events: u64 = 0;
         let mut ev = RawEvent::new();

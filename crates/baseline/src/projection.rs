@@ -23,20 +23,33 @@ pub struct ProjectionEngine {
     query: Expr,
     specs: SpecArena,
     root_spec: flux_runtime::SpecId,
+    /// Every projection label, interned at compile time: the spec edges
+    /// are keyed by these symbols, and each run seeds its reader and its
+    /// projected document from a clone, so descent is integer equality
+    /// with no per-run index build.
+    symbols: SymbolTable,
 }
 
 impl ProjectionEngine {
-    /// Derives projection paths from the normalized query.
+    /// Derives projection paths from the normalized query, interning every
+    /// label into the engine's own symbol table.
     pub fn compile(query: &str) -> Result<Self> {
         let parsed = parse_query(query)?;
         let query = normalize(&parsed)?;
         let mut specs = SpecArena::new();
         let root_spec = specs.new_root();
-        collect_needs(&mut specs, &query, &[(ROOT_VAR.to_string(), root_spec)]);
+        let mut symbols = SymbolTable::new();
+        collect_needs(
+            &mut specs,
+            &query,
+            &[(ROOT_VAR.to_string(), root_spec)],
+            &mut |label| Some(symbols.intern(label)),
+        );
         Ok(ProjectionEngine {
             query,
             specs,
             root_spec,
+            symbols,
         })
     }
 
@@ -47,21 +60,30 @@ impl ProjectionEngine {
 
     /// Streams the input, materialising only projected nodes, then
     /// evaluates over the projected document.
+    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        self.run_with_config(input, output, ReaderConfig::default())
+    }
+
+    /// [`ProjectionEngine::run`] with an explicit reader configuration
+    /// (e.g. [`ReaderConfig::max_symbols`] for bounded-interner streams).
     ///
     /// The stream runs on the recycled interned-event path: the projection
-    /// labels are pre-interned so descent is symbol equality, and events
-    /// that are projected away allocate nothing at all.
-    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+    /// labels were interned at compile time and the reader is seeded with
+    /// them, so descent is symbol equality — with a literal-spelling
+    /// fallback for names a bounded interner declined to intern, which
+    /// therefore never changes what is projected.
+    pub fn run_with_config<R: Read, W: Write>(
+        &self,
+        input: R,
+        output: W,
+        config: ReaderConfig,
+    ) -> Result<RunStats> {
         let start = Instant::now();
-        // Pre-intern every projection label so any document name matching a
-        // label resolves to the same symbol the index was built from.
-        let mut symbols = SymbolTable::new();
-        for label in self.specs.labels() {
-            symbols.intern(label);
-        }
-        let spec_index = self.specs.symbol_index(&symbols);
-        let mut reader = XmlReader::with_symbols(input, ReaderConfig::default(), symbols);
-        let mut doc = Document::new();
+        // Seed the reader with the compile-time label table: any document
+        // name matching a label resolves to the symbol the spec edges are
+        // keyed by, and the projected document shares the index space.
+        let mut reader = XmlReader::with_symbols(input, config, self.symbols.clone());
+        let mut doc = Document::with_symbols(self.symbols.clone());
         let mut events: u64 = 0;
         // Stack entry: insertion target when the element is kept.
         let mut stack: Vec<Option<(NodeId, SpecView)>> = vec![Some((
@@ -75,15 +97,9 @@ impl ProjectionEngine {
                 RawEventKind::StartElement => {
                     let child = match stack.last().expect("document entry") {
                         Some((parent, view)) => view
-                            .descend_sym(&spec_index, &self.specs, ev.name())
+                            .descend_event(&self.specs, ev.name(), ev.name_str(reader.symbols()))
                             .map(|child_view| {
-                                let id = doc.create_element(
-                                    reader.symbols().name(ev.name()),
-                                    ev.attributes()
-                                        .iter()
-                                        .map(|a| a.to_attribute(reader.symbols()))
-                                        .collect(),
-                                );
+                                let id = doc.create_element_raw(reader.symbols(), &ev);
                                 (*parent, id, child_view)
                             }),
                         None => None,

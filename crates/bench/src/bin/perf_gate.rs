@@ -5,11 +5,17 @@
 //! Compares every `events_per_sec` stage in the committed recording's
 //! `current` and `parallel` sections against the freshly measured file and
 //! fails (exit 1) when any stage regresses by more than the threshold.
+//! Stages that also record `peak_buffer_bytes` (the engine stages) are
+//! gated on memory too: buffered bytes growing more than the threshold
+//! over the committed recording is a regression of the paper's headline
+//! metric, and fails the same way. Memory is deterministic, so that check
+//! arms even when the events/sec comparison has to skip.
 //! Comparisons are only meaningful on like-for-like hardware and workload:
 //!
 //! * a `host_cores` mismatch means the runner is not the recording host —
-//!   the gate **skips with a visible notice** (exit 0) instead of
-//!   comparing apples to oranges;
+//!   the events/sec comparison **skips with a visible notice** instead of
+//!   comparing apples to oranges (the deterministic memory gate still
+//!   runs, so the exit code can still be 1);
 //! * a workload-stamp mismatch is a configuration error (the `--e8`
 //!   harness refuses to overwrite across workloads, so the committed file
 //!   should never drift) and fails loudly (exit 2);
@@ -123,19 +129,22 @@ fn main() {
         exit(2);
     }
 
-    // Same hardware, or skip with a notice: events/sec across different
-    // core counts (or machines) is not a regression signal.
+    // Same hardware, or skip the *throughput* comparison with a notice:
+    // events/sec across different core counts (or machines) is not a
+    // regression signal. Peak buffered bytes are deterministic — the
+    // memory gate stays armed either way.
     let base_cores = extract_num(&committed, "host_cores");
     let fresh_cores = extract_num(&fresh, "host_cores");
-    if base_cores != fresh_cores {
+    let cores_match = base_cores == fresh_cores;
+    if !cores_match {
         println!(
-            "perf_gate: SKIPPED — committed recording was made on a host with {} core(s), \
-             this runner has {}; cross-hardware events/sec deltas are not regressions. \
-             Re-record BENCH_events.json on this class of host to arm the gate here.",
+            "perf_gate: events/sec comparison SKIPPED — committed recording was made on a host \
+             with {} core(s), this runner has {}; cross-hardware events/sec deltas are not \
+             regressions. Re-record BENCH_events.json on this class of host to arm the \
+             throughput gate here. The deterministic peak_buffer_bytes gate still applies.",
             base_cores.map_or("?".to_string(), |c| format!("{c}")),
             fresh_cores.map_or("?".to_string(), |c| format!("{c}")),
         );
-        exit(0);
     }
 
     let mut regressions = 0usize;
@@ -146,29 +155,70 @@ fn main() {
         };
         let fresh_section = extract_section(&fresh, section_name).unwrap_or("");
         for stage in stages(base_section) {
-            let base_eps = extract_section(base_section, &stage)
-                .and_then(|o| extract_num(o, "events_per_sec"))
-                .expect("stage listed because it has events_per_sec");
-            let fresh_eps = extract_section(fresh_section, &stage)
-                .and_then(|o| extract_num(o, "events_per_sec"));
+            let base_stage = extract_section(base_section, &stage)
+                .expect("stages() only lists objects it parsed");
+            let base_eps = extract_num(base_stage, "events_per_sec")
+                .expect("stages() only lists objects with events_per_sec");
+            let fresh_stage = extract_section(fresh_section, &stage);
             let label = format!("{section_name}.{stage}");
-            match fresh_eps {
-                None => {
-                    println!("perf_gate: FAIL {label}: stage missing from the fresh recording");
-                    regressions += 1;
-                }
-                Some(fresh_eps) => {
-                    compared += 1;
-                    let delta_pct = (fresh_eps / base_eps - 1.0) * 100.0;
-                    let verdict = if fresh_eps < base_eps * (1.0 - threshold) {
+            let Some(fresh_stage) = fresh_stage else {
+                println!("perf_gate: FAIL {label}: stage missing from the fresh recording");
+                regressions += 1;
+                continue;
+            };
+            if cores_match {
+                match extract_num(fresh_stage, "events_per_sec") {
+                    None => {
+                        println!(
+                            "perf_gate: FAIL {label}: events_per_sec missing from the fresh stage"
+                        );
                         regressions += 1;
-                        "FAIL"
-                    } else {
-                        "ok"
-                    };
-                    println!(
-                        "perf_gate: {verdict:>4} {label:<28} {base_eps:>12.0} -> {fresh_eps:>12.0} events/s ({delta_pct:+.1}%)"
-                    );
+                    }
+                    Some(fresh_eps) => {
+                        compared += 1;
+                        let delta_pct = (fresh_eps / base_eps - 1.0) * 100.0;
+                        let verdict = if fresh_eps < base_eps * (1.0 - threshold) {
+                            regressions += 1;
+                            "FAIL"
+                        } else {
+                            "ok"
+                        };
+                        println!(
+                            "perf_gate: {verdict:>4} {label:<28} {base_eps:>12.0} -> {fresh_eps:>12.0} events/s ({delta_pct:+.1}%)"
+                        );
+                    }
+                }
+            }
+            // Memory gate: any stage recording peak buffered bytes must
+            // not grow them past the threshold — buffer consumption is
+            // the paper's headline metric and is deterministic.
+            if let Some(base_mem) = extract_num(base_stage, "peak_buffer_bytes") {
+                match extract_num(fresh_stage, "peak_buffer_bytes") {
+                    None => {
+                        println!(
+                            "perf_gate: FAIL {label}: peak_buffer_bytes missing from the fresh stage"
+                        );
+                        regressions += 1;
+                    }
+                    Some(fresh_mem) => {
+                        compared += 1;
+                        let delta_pct = if base_mem > 0.0 {
+                            (fresh_mem / base_mem - 1.0) * 100.0
+                        } else {
+                            0.0
+                        };
+                        let regressed = fresh_mem > base_mem * (1.0 + threshold)
+                            || (base_mem == 0.0 && fresh_mem > 0.0);
+                        let verdict = if regressed {
+                            regressions += 1;
+                            "FAIL"
+                        } else {
+                            "ok"
+                        };
+                        println!(
+                            "perf_gate: {verdict:>4} {label:<28} {base_mem:>12.0} -> {fresh_mem:>12.0} peak bytes ({delta_pct:+.1}%)"
+                        );
+                    }
                 }
             }
         }
@@ -179,13 +229,13 @@ fn main() {
     }
     if regressions > 0 {
         eprintln!(
-            "perf_gate: {regressions} stage(s) regressed more than {:.0}% vs the committed baseline",
+            "perf_gate: {regressions} comparison(s) regressed more than {:.0}% vs the committed baseline",
             threshold * 100.0
         );
         exit(1);
     }
     println!(
-        "perf_gate: all {compared} stages within {:.0}% of the committed baseline",
+        "perf_gate: all {compared} comparisons within {:.0}% of the committed baseline",
         threshold * 100.0
     );
 }

@@ -6,7 +6,7 @@
 //! workspace integration tests.
 
 use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig, AUCTION_DTD};
-use fluxquery_core::{AnyEngine, EngineKind, Error, RunStats};
+use fluxquery_core::{AnyEngine, EngineKind, Error, Options, RunStats};
 
 /// Which generated corpus a query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +139,19 @@ pub fn run_engine(
     dtd: &str,
     document: &[u8],
 ) -> Result<RunOutcome, Error> {
-    let engine = AnyEngine::compile(kind, query, dtd)?;
+    run_engine_with(kind, query, dtd, document, &Options::new())
+}
+
+/// Compiles and runs one engine on one document with explicit execution
+/// options (interner bound, shard count, …).
+pub fn run_engine_with(
+    kind: EngineKind,
+    query: &str,
+    dtd: &str,
+    document: &[u8],
+    options: &Options,
+) -> Result<RunOutcome, Error> {
+    let engine = AnyEngine::compile_with_options(kind, query, dtd, options)?;
     let mut output = Vec::new();
     let stats = engine.run(document, &mut output)?;
     Ok(RunOutcome { output, stats })

@@ -96,6 +96,25 @@ impl Options {
             ..Options::default()
         }
     }
+
+    /// Options capping the stream interner at `cap` distinct names
+    /// (bounded-interner mode; see `ReaderConfig::max_symbols`). Past the
+    /// cap, names travel by literal spelling — memory stops growing and
+    /// query results are unchanged.
+    pub fn with_max_symbols(cap: usize) -> Options {
+        let mut options = Options::default();
+        options.xsax.max_symbols = Some(cap);
+        options
+    }
+
+    /// The reader configuration the baseline engines should stream with,
+    /// mirroring the validating pipeline's interner bound.
+    fn reader_config(&self) -> flux_xml::ReaderConfig {
+        flux_xml::ReaderConfig {
+            max_symbols: self.xsax.max_symbols,
+            ..Default::default()
+        }
+    }
 }
 
 /// The FluXQuery engine: a query compiled against a DTD, ready to run over
@@ -167,9 +186,14 @@ impl FluxEngine {
                 input.read_to_end(&mut bytes).map_err(|e| {
                     flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into()))
                 })?;
+                let mut shard_config = ShardConfig::new(n);
+                // Mirror the interner bound on the merged table; the seed
+                // vocabulary always resolves, so only undeclared names
+                // overflow (and travel by literal spelling).
+                shard_config.max_symbols = self.xsax.max_symbols;
                 let source = ShardedReader::with_symbols(
                     bytes,
-                    ShardConfig::new(n),
+                    shard_config,
                     flux_xsax::seeded_symbols(&self.dtd),
                 );
                 Ok(execute_plan_from_source(
@@ -246,41 +270,61 @@ impl EngineKind {
     }
 }
 
-/// A uniform wrapper over the three architectures.
+/// A uniform wrapper over the three architectures. Baseline engines carry
+/// the reader configuration derived from the compile-time [`Options`]
+/// (notably the interner bound), so all three architectures can be run
+/// under identical streaming constraints.
 pub enum AnyEngine {
     Flux(Box<FluxEngine>),
-    Dom(DomEngine),
-    Projection(ProjectionEngine),
+    Dom(DomEngine, flux_xml::ReaderConfig),
+    Projection(ProjectionEngine, flux_xml::ReaderConfig),
 }
 
 impl AnyEngine {
+    /// Compiles `query` for the chosen architecture with default options.
+    pub fn compile(kind: EngineKind, query: &str, dtd_text: &str) -> Result<AnyEngine> {
+        Self::compile_with_options(kind, query, dtd_text, &Options::new())
+    }
+
     /// Compiles `query` for the chosen architecture. The DTD is used only
     /// by the FluX variants — the baselines cannot exploit it, which is
-    /// the paper's point.
-    pub fn compile(kind: EngineKind, query: &str, dtd_text: &str) -> Result<AnyEngine> {
+    /// the paper's point. Execution options (interner bound, parallelism)
+    /// apply to every architecture that supports them.
+    pub fn compile_with_options(
+        kind: EngineKind,
+        query: &str,
+        dtd_text: &str,
+        options: &Options,
+    ) -> Result<AnyEngine> {
         match kind {
             EngineKind::Flux => Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
-                query,
-                dtd_text,
-                &Options::new(),
+                query, dtd_text, options,
             )?))),
             EngineKind::FluxNoAlgebra => {
-                let mut options = Options::new();
+                let mut options = options.clone();
                 options.optimizer = OptimizerConfig::disabled();
                 Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
                     query, dtd_text, &options,
                 )?)))
             }
-            EngineKind::Dom => Ok(AnyEngine::Dom(DomEngine::compile(query)?)),
-            EngineKind::Projection => Ok(AnyEngine::Projection(ProjectionEngine::compile(query)?)),
+            EngineKind::Dom => Ok(AnyEngine::Dom(
+                DomEngine::compile(query)?,
+                options.reader_config(),
+            )),
+            EngineKind::Projection => Ok(AnyEngine::Projection(
+                ProjectionEngine::compile(query)?,
+                options.reader_config(),
+            )),
         }
     }
 
     pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
         match self {
             AnyEngine::Flux(e) => e.run(input, output),
-            AnyEngine::Dom(e) => Ok(e.run(input, output)?),
-            AnyEngine::Projection(e) => Ok(e.run(input, output)?),
+            AnyEngine::Dom(e, config) => Ok(e.run_with_config(input, output, config.clone())?),
+            AnyEngine::Projection(e, config) => {
+                Ok(e.run_with_config(input, output, config.clone())?)
+            }
         }
     }
 }

@@ -7,8 +7,8 @@ use crate::error::Result;
 use crate::pretty::pretty_flux;
 use crate::rewrite::Rewriter;
 use crate::safety::check_safety;
-use flux_dtd::Dtd;
-use flux_xquery::{normalize, parse_query, pretty, Expr};
+use flux_dtd::{Dtd, Symbol};
+use flux_xquery::{normalize, parse_query, pretty, AttrPart, Cond, Expr, Operand, Path, Step};
 
 /// Options for [`compile`].
 #[derive(Debug, Clone)]
@@ -49,6 +49,12 @@ pub struct FluxQuery {
     pub algebra_trace: Vec<RuleApplication>,
     /// Scheduling decisions.
     pub schedule_trace: Vec<String>,
+    /// The query's path-label vocabulary, interned against the DTD at
+    /// compile time: `(label, symbol)` sorted by label, `None` for labels
+    /// the DTD does not declare. This is the symbol space the physical
+    /// plan's buffer-description edges are keyed by — the runtime never
+    /// rebuilds a per-run index.
+    pub label_symbols: Vec<(String, Option<Symbol>)>,
 }
 
 impl FluxQuery {
@@ -81,7 +87,97 @@ impl FluxQuery {
         out.push_str("\n== FluX query ==\n");
         out.push_str(&pretty_flux(&self.flux));
         out.push('\n');
+        let undeclared: Vec<&str> = self
+            .label_symbols
+            .iter()
+            .filter(|(_, sym)| sym.is_none())
+            .map(|(label, _)| label.as_str())
+            .collect();
+        if !undeclared.is_empty() {
+            out.push_str(&format!(
+                "\n(labels not declared in the DTD, matched only by spelling: {})\n",
+                undeclared.join(", ")
+            ));
+        }
         out
+    }
+}
+
+/// Collects every `child::label` step of the query into `out` (the labels
+/// the buffer-description forest will key its edges by).
+fn collect_labels(expr: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    fn path(p: &Path, out: &mut std::collections::BTreeSet<String>) {
+        for step in &p.steps {
+            if let Step::Child(label) = step {
+                out.insert(label.clone());
+            }
+        }
+    }
+    fn cond(c: &Cond, out: &mut std::collections::BTreeSet<String>) {
+        match c {
+            Cond::True | Cond::False => {}
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                cond(a, out);
+                cond(b, out);
+            }
+            Cond::Not(inner) => cond(inner, out),
+            Cond::Exists(p) | Cond::Empty(p) => path(p, out),
+            Cond::Cmp { lhs, rhs, .. } => {
+                for operand in [lhs, rhs] {
+                    if let Operand::Path(p) = operand {
+                        path(p, out);
+                    }
+                }
+            }
+        }
+    }
+    match expr {
+        Expr::Empty | Expr::StringLit(_) | Expr::Var(_) => {}
+        Expr::Path(p) => path(p, out),
+        Expr::Sequence(items) => {
+            for item in items {
+                collect_labels(item, out);
+            }
+        }
+        Expr::Element {
+            attributes,
+            content,
+            ..
+        } => {
+            for attr in attributes {
+                for part in &attr.value {
+                    if let AttrPart::Expr(e) = part {
+                        collect_labels(e, out);
+                    }
+                }
+            }
+            collect_labels(content, out);
+        }
+        Expr::For {
+            source,
+            where_clause,
+            body,
+            ..
+        } => {
+            path(source, out);
+            if let Some(c) = where_clause {
+                cond(c, out);
+            }
+            collect_labels(body, out);
+        }
+        Expr::Let { value, body, .. } => {
+            collect_labels(value, out);
+            collect_labels(body, out);
+        }
+        Expr::If {
+            cond: c,
+            then_branch,
+            else_branch,
+        } => {
+            cond(c, out);
+            collect_labels(then_branch, out);
+            collect_labels(else_branch, out);
+        }
     }
 }
 
@@ -105,6 +201,18 @@ pub fn compile_expr(source: &Expr, dtd: &Dtd, options: &CompileOptions) -> Resul
     if options.verify_safety {
         check_safety(&flux, dtd)?;
     }
+    // Intern the query's label vocabulary once, at compile time: these are
+    // the symbols the plan's spec edges and handler dispatch compare
+    // against on the hot path.
+    let mut labels = std::collections::BTreeSet::new();
+    collect_labels(&optimized, &mut labels);
+    let label_symbols = labels
+        .into_iter()
+        .map(|label| {
+            let sym = dtd.lookup(&label);
+            (label, sym)
+        })
+        .collect();
     Ok(FluxQuery {
         source: source.clone(),
         normalized,
@@ -112,6 +220,7 @@ pub fn compile_expr(source: &Expr, dtd: &Dtd, options: &CompileOptions) -> Resul
         flux,
         algebra_trace: optimizer.trace,
         schedule_trace: rewriter.trace,
+        label_symbols,
     })
 }
 

@@ -9,7 +9,6 @@
 
 use flux_dtd::{Symbol, SymbolTable};
 use flux_xquery::{AttrPart, Cond, Expr, Operand, Path, Step, VarName};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a node in the [`SpecArena`].
@@ -22,6 +21,22 @@ impl SpecId {
     }
 }
 
+/// One child edge of a spec node, keyed **natively by symbol**: the label
+/// is resolved once, at plan-compile time, against the schema (FluX
+/// engine) or the plan's own table (projection baseline) — there is no
+/// per-run index rebuild.
+#[derive(Debug, Clone)]
+pub struct SpecEdge {
+    /// The label's compile-time symbol; `None` when no symbol space covers
+    /// it (a label the DTD does not declare — unreachable on a validated
+    /// stream, reachable only through the string fallback).
+    pub sym: Option<Symbol>,
+    /// The label text, for explain output and the bounded-interner
+    /// string-comparison fallback.
+    pub label: String,
+    pub child: SpecId,
+}
+
 /// One node of the buffer description forest.
 #[derive(Debug, Clone, Default)]
 pub struct SpecNode {
@@ -29,8 +44,10 @@ pub struct SpecNode {
     pub whole: bool,
     /// Keep text children at this point.
     pub text: bool,
-    /// Child labels to keep, with their own projections.
-    pub children: BTreeMap<String, SpecId>,
+    /// Child labels to keep, with their own projections, in insertion
+    /// order. Spec nodes have a handful of children at most, so descent is
+    /// a short scan of integer comparisons.
+    pub children: Vec<SpecEdge>,
 }
 
 /// Arena of spec nodes; scope variables own root specs.
@@ -62,13 +79,22 @@ impl SpecArena {
         &mut self.nodes[id.index()]
     }
 
-    /// Gets or creates the child spec under `id` for `label`.
-    pub fn child(&mut self, id: SpecId, label: &str) -> SpecId {
-        if let Some(&existing) = self.nodes[id.index()].children.get(label) {
-            return existing;
+    /// Gets or creates the child spec under `id` for `label`, keyed by its
+    /// compile-time symbol `sym`.
+    pub fn child(&mut self, id: SpecId, label: &str, sym: Option<Symbol>) -> SpecId {
+        if let Some(edge) = self.nodes[id.index()]
+            .children
+            .iter()
+            .find(|e| e.label == label)
+        {
+            return edge.child;
         }
         let child = self.push(SpecNode::default());
-        self.node_mut(id).children.insert(label.to_string(), child);
+        self.node_mut(id).children.push(SpecEdge {
+            sym,
+            label: label.to_string(),
+            child,
+        });
         child
     }
 
@@ -86,48 +112,20 @@ impl SpecArena {
         !n.whole && !n.text && n.children.is_empty()
     }
 
-    /// All distinct child labels mentioned anywhere in the forest. Callers
-    /// that stream without a DTD (the projection baseline) pre-intern these
-    /// so [`SpecArena::symbol_index`] covers every label a document could
-    /// produce.
+    /// All distinct child labels mentioned anywhere in the forest, sorted.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
         let mut seen: Vec<&str> = self
             .nodes
             .iter()
-            .flat_map(|n| n.children.keys().map(String::as_str))
+            .flat_map(|n| n.children.iter().map(|e| e.label.as_str()))
             .collect();
         seen.sort_unstable();
         seen.dedup();
         seen.into_iter()
     }
 
-    /// Builds the symbol-keyed descent index used by the streaming hot
-    /// path: per spec node, its child edges keyed by interned [`Symbol`]
-    /// instead of by string.
-    ///
-    /// Labels not present in `symbols` are omitted — they can never equal a
-    /// stream symbol, either because the validator rejects undeclared
-    /// elements (FluX engine: the table is the DTD's) or because the caller
-    /// pre-interned every label (projection baseline).
-    pub fn symbol_index(&self, symbols: &SymbolTable) -> SpecIndex {
-        SpecIndex {
-            edges: self
-                .nodes
-                .iter()
-                .map(|n| {
-                    let mut edges: Vec<(Symbol, SpecId)> = n
-                        .children
-                        .iter()
-                        .filter_map(|(label, &id)| symbols.lookup(label).map(|s| (s, id)))
-                        .collect();
-                    edges.sort_unstable();
-                    edges
-                })
-                .collect(),
-        }
-    }
-
-    /// Renders a spec subtree, for `explain` output.
+    /// Renders a spec subtree, for `explain` output (labels sorted for
+    /// stable output).
     pub fn render(&self, id: SpecId) -> String {
         let mut out = String::new();
         self.render_into(id, &mut out);
@@ -146,14 +144,16 @@ impl SpecArena {
             out.push_str("text()");
             first = false;
         }
-        for (label, &child) in &n.children {
+        let mut edges: Vec<&SpecEdge> = n.children.iter().collect();
+        edges.sort_by(|a, b| a.label.cmp(&b.label));
+        for edge in edges {
             if !first {
                 out.push(',');
             }
-            out.push_str(label);
-            if !self.is_empty_spec(child) {
+            out.push_str(&edge.label);
+            if !self.is_empty_spec(edge.child) {
                 out.push(':');
-                self.render_into(child, out);
+                self.render_into(edge.child, out);
             }
             first = false;
         }
@@ -164,25 +164,6 @@ impl SpecArena {
 impl fmt::Display for SpecArena {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SpecArena({} nodes)", self.nodes.len())
-    }
-}
-
-/// Symbol-keyed child edges of a [`SpecArena`], built once per run against
-/// the stream's [`SymbolTable`] so buffer-population descends on symbol
-/// equality instead of string hashing.
-#[derive(Debug, Clone, Default)]
-pub struct SpecIndex {
-    /// Sorted `(symbol, child)` edges, indexed by [`SpecId`].
-    edges: Vec<Vec<(Symbol, SpecId)>>,
-}
-
-impl SpecIndex {
-    fn descend(&self, id: SpecId, sym: Symbol) -> Option<SpecId> {
-        let edges = &self.edges[id.index()];
-        edges
-            .binary_search_by_key(&sym, |&(s, _)| s)
-            .ok()
-            .map(|i| edges[i].1)
     }
 }
 
@@ -206,28 +187,42 @@ impl SpecView {
                 if n.whole {
                     return Some(SpecView::Whole);
                 }
-                n.children.get(label).map(|&c| SpecView::Project(c))
+                n.children
+                    .iter()
+                    .find(|e| e.label == label)
+                    .map(|e| SpecView::Project(e.child))
             }
         }
     }
 
-    /// Symbol-keyed variant of [`SpecView::descend`] — the hot-path form
-    /// (`index` must have been built from `arena` by
-    /// [`SpecArena::symbol_index`]).
-    pub fn descend_sym(
-        self,
-        index: &SpecIndex,
-        arena: &SpecArena,
-        sym: Symbol,
-    ) -> Option<SpecView> {
+    /// Symbol-keyed variant of [`SpecView::descend`] — the hot-path form:
+    /// a short scan of integer comparisons over the node's edges, against
+    /// the symbols interned at plan-compile time.
+    pub fn descend_sym(self, arena: &SpecArena, sym: Symbol) -> Option<SpecView> {
         match self {
             SpecView::Whole => Some(SpecView::Whole),
             SpecView::Project(id) => {
-                if arena.node(id).whole {
+                let n = arena.node(id);
+                if n.whole {
                     return Some(SpecView::Whole);
                 }
-                index.descend(id, sym).map(SpecView::Project)
+                n.children
+                    .iter()
+                    .find(|e| e.sym == Some(sym))
+                    .map(|e| SpecView::Project(e.child))
             }
+        }
+    }
+
+    /// Descends on a stream event's name: symbols compare as integers; a
+    /// [`SymbolTable::OVERFLOW`] name (bounded-interner streams) falls
+    /// back to comparing the literal spelling, so capping the interner can
+    /// never change which children are kept.
+    pub fn descend_event(self, arena: &SpecArena, sym: Symbol, literal: &str) -> Option<SpecView> {
+        if sym == SymbolTable::OVERFLOW {
+            self.descend(arena, literal)
+        } else {
+            self.descend_sym(arena, sym)
         }
     }
 
@@ -243,15 +238,27 @@ impl SpecView {
     }
 }
 
+/// Resolves a query path label to its compile-time symbol: the DTD's table
+/// for the FluX engine, the plan's own interner for the projection
+/// baseline. `None` marks a label no symbol space covers (undeclared in
+/// the DTD), whose spec edge is reachable only via the string fallback.
+pub type LabelResolver<'r> = dyn FnMut(&str) -> Option<Symbol> + 'r;
+
 /// Collects the buffering needs of a normal-form XQuery expression into the
-/// spec roots of the in-scope variables.
+/// spec roots of the in-scope variables, interning every path label through
+/// `resolver` so the spec edges are symbol-keyed at compile time.
 ///
 /// `scopes` maps streaming-scope variables to their spec roots; loop
 /// variables bound *inside* `expr` are tracked locally and resolve to spec
 /// nodes reached through their source paths.
-pub fn collect_needs(arena: &mut SpecArena, expr: &Expr, scopes: &[(VarName, SpecId)]) {
+pub fn collect_needs(
+    arena: &mut SpecArena,
+    expr: &Expr,
+    scopes: &[(VarName, SpecId)],
+    resolver: &mut LabelResolver<'_>,
+) {
     let mut local: Vec<(VarName, SpecId)> = Vec::new();
-    collect(arena, expr, scopes, &mut local);
+    collect(arena, expr, scopes, &mut local, resolver);
 }
 
 fn lookup(scopes: &[(VarName, SpecId)], local: &[(VarName, SpecId)], var: &str) -> Option<SpecId> {
@@ -271,6 +278,7 @@ fn resolve<'p>(
     path: &'p Path,
     scopes: &[(VarName, SpecId)],
     local: &[(VarName, SpecId)],
+    resolver: &mut LabelResolver<'_>,
 ) -> Option<(SpecId, Option<&'p Step>)> {
     let mut current = lookup(scopes, local, &path.start)?;
     let (element_steps, tail) = match path.steps.last() {
@@ -283,7 +291,8 @@ fn resolve<'p>(
         let Step::Child(label) = step else {
             return None; // non-final attribute/text: rejected upstream
         };
-        current = arena.child(current, label);
+        let sym = resolver(label);
+        current = arena.child(current, label, sym);
     }
     Some((current, tail))
 }
@@ -294,8 +303,9 @@ fn note_path(
     scopes: &[(VarName, SpecId)],
     local: &[(VarName, SpecId)],
     string_valued: bool,
+    resolver: &mut LabelResolver<'_>,
 ) {
-    let Some((node, tail)) = resolve(arena, path, scopes, local) else {
+    let Some((node, tail)) = resolve(arena, path, scopes, local, resolver) else {
         return;
     };
     match tail {
@@ -317,22 +327,23 @@ fn collect_cond(
     cond: &Cond,
     scopes: &[(VarName, SpecId)],
     local: &[(VarName, SpecId)],
+    resolver: &mut LabelResolver<'_>,
 ) {
     match cond {
         Cond::Cmp { lhs, rhs, .. } => {
             for operand in [lhs, rhs] {
                 if let Operand::Path(p) = operand {
-                    note_path(arena, p, scopes, local, true);
+                    note_path(arena, p, scopes, local, true, resolver);
                 }
             }
         }
         Cond::And(a, b) | Cond::Or(a, b) => {
-            collect_cond(arena, a, scopes, local);
-            collect_cond(arena, b, scopes, local);
+            collect_cond(arena, a, scopes, local, resolver);
+            collect_cond(arena, b, scopes, local, resolver);
         }
-        Cond::Not(c) => collect_cond(arena, c, scopes, local),
+        Cond::Not(c) => collect_cond(arena, c, scopes, local, resolver),
         // Existence checks only need the element shells materialised.
-        Cond::Exists(p) | Cond::Empty(p) => note_path(arena, p, scopes, local, false),
+        Cond::Exists(p) | Cond::Empty(p) => note_path(arena, p, scopes, local, false, resolver),
         Cond::True | Cond::False => {}
     }
 }
@@ -342,6 +353,7 @@ fn collect(
     expr: &Expr,
     scopes: &[(VarName, SpecId)],
     local: &mut Vec<(VarName, SpecId)>,
+    resolver: &mut LabelResolver<'_>,
 ) {
     match expr {
         Expr::Empty | Expr::StringLit(_) => {}
@@ -353,11 +365,11 @@ fn collect(
         Expr::Path(p) => {
             // Output position: nodes are copied (whole), attribute/text
             // reads are cheaper.
-            note_path(arena, p, scopes, local, true);
+            note_path(arena, p, scopes, local, true, resolver);
         }
         Expr::Sequence(items) => {
             for item in items {
-                collect(arena, item, scopes, local);
+                collect(arena, item, scopes, local, resolver);
             }
         }
         Expr::Element {
@@ -368,11 +380,11 @@ fn collect(
             for attr in attributes {
                 for part in &attr.value {
                     if let AttrPart::Expr(e) = part {
-                        collect(arena, e, scopes, local);
+                        collect(arena, e, scopes, local, resolver);
                     }
                 }
             }
-            collect(arena, content, scopes, local);
+            collect(arena, content, scopes, local, resolver);
         }
         Expr::For {
             var,
@@ -380,7 +392,7 @@ fn collect(
             where_clause,
             body,
         } => {
-            let bound = resolve(arena, source, scopes, local).and_then(|(node, tail)| {
+            let bound = resolve(arena, source, scopes, local, resolver).and_then(|(node, tail)| {
                 if tail.is_none() {
                     Some(node)
                 } else {
@@ -388,33 +400,33 @@ fn collect(
                 }
             });
             if let Some(cond) = where_clause {
-                collect_cond(arena, cond, scopes, local);
+                collect_cond(arena, cond, scopes, local, resolver);
             }
             match bound {
                 Some(node) => {
                     local.push((var.clone(), node));
-                    collect(arena, body, scopes, local);
+                    collect(arena, body, scopes, local, resolver);
                     local.pop();
                 }
                 None => {
                     // Unresolvable source (shadowing weirdness): be safe and
                     // keep everything reachable from the body's roots.
-                    collect(arena, body, scopes, local);
+                    collect(arena, body, scopes, local, resolver);
                 }
             }
         }
         Expr::Let { value, body, .. } => {
-            collect(arena, value, scopes, local);
-            collect(arena, body, scopes, local);
+            collect(arena, value, scopes, local, resolver);
+            collect(arena, body, scopes, local, resolver);
         }
         Expr::If {
             cond,
             then_branch,
             else_branch,
         } => {
-            collect_cond(arena, cond, scopes, local);
-            collect(arena, then_branch, scopes, local);
-            collect(arena, else_branch, scopes, local);
+            collect_cond(arena, cond, scopes, local, resolver);
+            collect(arena, then_branch, scopes, local, resolver);
+            collect(arena, else_branch, scopes, local, resolver);
         }
     }
 }
@@ -424,92 +436,133 @@ mod tests {
     use super::*;
     use flux_xquery::{normalize, parse_query};
 
-    fn needs_of(query_body: &str) -> (SpecArena, SpecId) {
-        // The expression is a buffered body referencing $book.
+    fn needs_of(query_body: &str) -> (SpecArena, SpecId, SymbolTable) {
+        // The expression is a buffered body referencing $book; labels are
+        // interned into a plan-local table, as the projection engine does.
         let expr = normalize(&parse_query(query_body).unwrap()).unwrap();
         let mut arena = SpecArena::new();
         let root = arena.new_root();
-        collect_needs(&mut arena, &expr, &[("book".to_string(), root)]);
-        (arena, root)
+        let mut table = SymbolTable::new();
+        collect_needs(
+            &mut arena,
+            &expr,
+            &[("book".to_string(), root)],
+            &mut |label| Some(table.intern(label)),
+        );
+        (arena, root, table)
     }
 
     #[test]
     fn author_loop_needs_whole_authors() {
-        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a }</r>");
+        let (arena, root, _) = needs_of("<r>{ for $a in $book/author return $a }</r>");
         assert_eq!(arena.render(root), "{author:*}");
     }
 
     #[test]
     fn text_read_projects_to_text() {
-        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
+        let (arena, root, _) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
         assert_eq!(arena.render(root), "{author:{text()}}");
     }
 
     #[test]
     fn attribute_read_keeps_shell_only() {
-        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/@id }</r>");
+        let (arena, root, _) = needs_of("<r>{ for $a in $book/author return $a/@id }</r>");
         assert_eq!(arena.render(root), "{author}");
     }
 
     #[test]
     fn comparison_operands_keep_subtree() {
-        let (arena, root) = needs_of(r#"<r>{ if ($book/publisher = "AW") then "y" else () }</r>"#);
+        let (arena, root, _) =
+            needs_of(r#"<r>{ if ($book/publisher = "AW") then "y" else () }</r>"#);
         assert_eq!(arena.render(root), "{publisher:*}");
     }
 
     #[test]
     fn exists_materialises_shell() {
-        let (arena, root) = needs_of("<r>{ if (exists($book/editor)) then \"y\" else () }</r>");
+        let (arena, root, _) = needs_of("<r>{ if (exists($book/editor)) then \"y\" else () }</r>");
         assert_eq!(arena.render(root), "{editor}");
     }
 
     #[test]
     fn whole_var_marks_root() {
-        let (arena, root) = needs_of("<r>{$book}</r>");
+        let (arena, root, _) = needs_of("<r>{$book}</r>");
         assert_eq!(arena.render(root), "*");
     }
 
     #[test]
     fn nested_projection() {
-        let (arena, root) =
+        let (arena, root, _) =
             needs_of("<r>{ for $a in $book/author return for $n in $a/last return $n/text() }</r>");
         assert_eq!(arena.render(root), "{author:{last:{text()}}}");
     }
 
     #[test]
     fn multiple_needs_union() {
-        let (arena, root) = needs_of(
+        let (arena, root, _) = needs_of(
             r#"<r>{ for $a in $book/author return $a }{ $book/title/text() }{ if ($book/price < 10) then "c" else () }</r>"#,
         );
         assert_eq!(arena.render(root), "{author:*,price:*,title:{text()}}");
     }
 
     #[test]
-    fn symbol_index_matches_string_descent() {
-        let (arena, root) = needs_of(
+    fn symbol_descent_matches_string_descent() {
+        let (arena, root, table) = needs_of(
             r#"<r>{ for $a in $book/author return $a }{ $book/title/text() }{ if ($book/price < 10) then "c" else () }</r>"#,
         );
-        let mut table = SymbolTable::new();
-        for label in arena.labels() {
-            table.intern(label);
-        }
-        let index = arena.symbol_index(&table);
+        let mut table = table;
         let view = SpecView::Project(root);
         for label in ["author", "title", "price", "unknown"] {
             let by_string = view.descend(&arena, label);
             let by_symbol = table
                 .lookup(label)
-                .and_then(|sym| view.descend_sym(&index, &arena, sym));
+                .and_then(|sym| view.descend_sym(&arena, sym));
             assert_eq!(by_string, by_symbol, "descent disagrees on `{label}`");
         }
         // A symbol interned later (not a spec label) descends nowhere.
         let stray = table.intern("stray");
-        assert_eq!(view.descend_sym(&index, &arena, stray), None);
+        assert_eq!(view.descend_sym(&arena, stray), None);
+        // The event form: symbols descend as integers, OVERFLOW falls back
+        // to the literal spelling — with identical outcomes.
+        let author = table.lookup("author").unwrap();
+        assert_eq!(
+            view.descend_event(&arena, author, ""),
+            view.descend(&arena, "author")
+        );
+        assert_eq!(
+            view.descend_event(&arena, SymbolTable::OVERFLOW, "author"),
+            view.descend(&arena, "author"),
+            "an overflowed name must still descend by its spelling"
+        );
+        assert_eq!(
+            view.descend_event(&arena, SymbolTable::OVERFLOW, "unknown"),
+            None
+        );
+    }
+
+    #[test]
+    fn undeclared_labels_keep_spec_structure() {
+        // A resolver that knows no labels (a DTD declaring none of them)
+        // still materialises the spec tree; symbol descent finds nothing,
+        // string descent still works.
+        let expr = normalize(&parse_query("<r>{ for $a in $book/author return $a }</r>").unwrap())
+            .unwrap();
+        let mut arena = SpecArena::new();
+        let root = arena.new_root();
+        collect_needs(
+            &mut arena,
+            &expr,
+            &[("book".to_string(), root)],
+            &mut |_| None,
+        );
+        assert_eq!(arena.render(root), "{author:*}");
+        let view = SpecView::Project(root);
+        assert!(view.descend(&arena, "author").is_some());
+        assert_eq!(view.descend_sym(&arena, Symbol::from_index(7)), None);
     }
 
     #[test]
     fn spec_view_descend() {
-        let (arena, root) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
+        let (arena, root, _) = needs_of("<r>{ for $a in $book/author return $a/text() }</r>");
         let view = SpecView::Project(root);
         let author = view.descend(&arena, "author").unwrap();
         assert!(author.keeps_text(&arena));

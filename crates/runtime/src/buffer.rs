@@ -5,15 +5,38 @@
 //! subtrees are freed when their scope closes; freed slots are recycled, so
 //! physical memory is bounded by *peak live buffered data* — the quantity
 //! the paper's evaluation measures — and never by document size.
+//!
+//! The store is **symbol-keyed**: the arena document's name table is
+//! seeded with the stream's table, so buffering an element copies its
+//! name as a plain integer ([`Document::import_name`]) — no name string is
+//! ever materialised, and the accounted bytes per node are content bytes
+//! only. Names the seed does *not* cover (undeclared attributes, bounded-
+//! interner overflow) intern into the arena document's own table once per
+//! distinct spelling; those dictionary bytes live for the whole run (a
+//! scope free cannot return them), so they are charged to the tracker as
+//! un-releasable growth the moment they are first seen — an adversarial
+//! stream minting unbounded distinct names shows up in
+//! `peak_buffer_bytes` instead of hiding in an unaccounted table. Freed
+//! nodes donate their text buffers and attribute vectors back to a spare
+//! pool, so the steady-state buffer-and-free loop of a scoped query (one
+//! book at a time, in the paper's running example) performs **zero heap
+//! allocations**.
 
 use crate::stats::MemoryTracker;
-use flux_xml::tree::{Document, NodeId, NodeKind};
-use flux_xml::{Attribute, RawAttr, RawEventRef, Symbol, SymbolTable};
+use flux_xml::tree::{Document, NodeAttr, NodeId, NodeKind};
+use flux_xml::{Attribute, RawEvent, RawEventRef, SymbolTable};
 
 /// Arena of buffered nodes with recycling and byte accounting.
 pub struct BufferArena {
     doc: Document,
     free_slots: Vec<NodeId>,
+    /// Cleared `String`s harvested from freed text nodes and attribute
+    /// values, reused (capacity and all) by the next buffered payload.
+    spare_strings: Vec<String>,
+    /// Emptied attribute vectors harvested from freed element nodes.
+    spare_attr_vecs: Vec<Vec<NodeAttr>>,
+    /// Reusable traversal stack for [`BufferArena::free_scope`].
+    free_stack: Vec<NodeId>,
     tracker: MemoryTracker,
 }
 
@@ -24,10 +47,20 @@ impl Default for BufferArena {
 }
 
 impl BufferArena {
+    /// An arena with a fresh name table.
     pub fn new() -> Self {
+        Self::with_symbols(SymbolTable::new())
+    }
+
+    /// An arena whose document is seeded with the stream's symbol table
+    /// (cloned), so buffering stream events copies names as integers.
+    pub fn with_symbols(symbols: SymbolTable) -> Self {
         BufferArena {
-            doc: Document::new(),
+            doc: Document::with_symbols(symbols),
             free_slots: Vec::new(),
+            spare_strings: Vec::new(),
+            spare_attr_vecs: Vec::new(),
+            free_stack: Vec::new(),
             tracker: MemoryTracker::new(),
         }
     }
@@ -41,6 +74,32 @@ impl BufferArena {
         &self.tracker
     }
 
+    /// A cleared string from the spare pool (or a fresh one), filled with
+    /// `content`. Allocation-free once the pool's buffers have grown to
+    /// the workload's largest payload.
+    fn pooled_string(&mut self, content: &str) -> String {
+        let mut s = self.spare_strings.pop().unwrap_or_default();
+        s.push_str(content);
+        s
+    }
+
+    /// An emptied attribute vector from the spare pool (or a fresh one).
+    fn pooled_attrs(&mut self) -> Vec<NodeAttr> {
+        self.spare_attr_vecs.pop().unwrap_or_default()
+    }
+
+    /// Charges any dictionary growth since `before` to the tracker as
+    /// un-releasable bytes: a name interned past the seed lives for the
+    /// whole run, so it must be visible in the peak, once per distinct
+    /// spelling.
+    fn charge_dictionary(&mut self, before: usize) {
+        let delta = self.doc.interned_name_bytes() - before;
+        if delta > 0 {
+            self.tracker.grow(delta);
+        }
+    }
+
+    /// Installs `kind` in a recycled slot or a fresh node, and accounts it.
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
         let id = match self.free_slots.pop() {
             Some(slot) => {
@@ -48,7 +107,9 @@ impl BufferArena {
                 slot
             }
             None => match kind {
-                NodeKind::Element { name, attributes } => self.doc.create_element(name, attributes),
+                NodeKind::Element { name, attributes } => {
+                    self.doc.create_element_sym(name, attributes)
+                }
                 NodeKind::Text(t) => self.doc.create_text(t),
                 NodeKind::Document => unreachable!("arena never allocates document nodes"),
             },
@@ -57,11 +118,21 @@ impl BufferArena {
         id
     }
 
-    /// Creates a detached element node (a scope shell or a buffered copy).
+    /// Creates a detached element node from string-named parts (tests and
+    /// plan-side constructors; the streaming path uses the view variants).
     pub fn create_element(&mut self, name: &str, attributes: &[Attribute]) -> NodeId {
+        let dict_before = self.doc.interned_name_bytes();
+        let name = self.doc.intern(name);
+        let mut attrs = self.pooled_attrs();
+        for a in attributes {
+            let name = self.doc.intern(&a.name);
+            let value = self.pooled_string(&a.value);
+            attrs.push(NodeAttr { name, value });
+        }
+        self.charge_dictionary(dict_before);
         self.alloc(NodeKind::Element {
-            name: name.to_string(),
-            attributes: attributes.to_vec(),
+            name,
+            attributes: attrs,
         })
     }
 
@@ -77,44 +148,56 @@ impl BufferArena {
         id
     }
 
-    /// Creates a detached element from interned-event parts, mapping
-    /// symbols back through the stream's table. Buffering inherently copies
-    /// the data — this allocates exactly the stored strings, nothing more.
-    pub fn create_element_raw(
-        &mut self,
-        symbols: &SymbolTable,
-        name: Symbol,
-        attributes: &[RawAttr],
-    ) -> NodeId {
+    /// Creates a detached element from a recycled raw event, importing
+    /// names through the arena document's table. Overflow-aware: a
+    /// [`SymbolTable::OVERFLOW`] name (bounded-interner streams) resolves
+    /// through the event's literal-name side channel — never a panic,
+    /// never a misnamed node.
+    pub fn create_element_raw(&mut self, symbols: &SymbolTable, ev: &RawEvent) -> NodeId {
+        let dict_before = self.doc.interned_name_bytes();
+        let name = self.doc.import_name(symbols, ev.name(), ev.target());
+        let mut attrs = self.pooled_attrs();
+        for a in ev.attributes() {
+            let name = self.doc.import_name(symbols, a.name, &a.overflow_name);
+            let value = self.pooled_string(&a.value);
+            attrs.push(NodeAttr { name, value });
+        }
+        self.charge_dictionary(dict_before);
         self.alloc(NodeKind::Element {
-            name: symbols.name(name).to_string(),
-            attributes: attributes.iter().map(|a| a.to_attribute(symbols)).collect(),
+            name,
+            attributes: attrs,
         })
     }
 
-    /// Appends a new element from interned-event parts under `parent`.
+    /// Appends a new element from a recycled raw event under `parent`.
     pub fn append_element_raw(
         &mut self,
         parent: NodeId,
         symbols: &SymbolTable,
-        name: Symbol,
-        attributes: &[RawAttr],
+        ev: &RawEvent,
     ) -> NodeId {
-        let id = self.create_element_raw(symbols, name, attributes);
+        let id = self.create_element_raw(symbols, ev);
         self.doc.append_child(parent, id);
         id
     }
 
     /// Creates a detached element from a borrowed event view. Buffering
-    /// inherently copies the data — this allocates exactly the stored
-    /// strings, nothing more, straight from the view's backing storage.
+    /// inherently copies the *content* — attribute values and (later)
+    /// text — but names import as integers: zero name strings allocate,
+    /// and with warmed spare pools the whole call allocates nothing.
     pub fn create_element_view(&mut self, symbols: &SymbolTable, ev: &RawEventRef<'_>) -> NodeId {
+        let dict_before = self.doc.interned_name_bytes();
+        let name = self.doc.import_name(symbols, ev.name(), ev.target());
+        let mut attrs = self.pooled_attrs();
+        for a in ev.attrs() {
+            let name = self.doc.import_name(symbols, a.name, a.overflow_name);
+            let value = self.pooled_string(a.value);
+            attrs.push(NodeAttr { name, value });
+        }
+        self.charge_dictionary(dict_before);
         self.alloc(NodeKind::Element {
-            name: ev.name_str(symbols).to_string(),
-            attributes: ev
-                .attrs()
-                .map(|a| Attribute::new(a.name_str(symbols), a.value))
-                .collect(),
+            name,
+            attributes: attrs,
         })
     }
 
@@ -133,27 +216,46 @@ impl BufferArena {
     /// Appends text under `parent`, merging with a trailing text sibling.
     pub fn append_text(&mut self, parent: NodeId, text: &str) {
         if let Some(&last) = self.doc.children(parent).last() {
-            if matches!(self.doc.kind(last), NodeKind::Text(_)) {
-                self.doc.append_to_text(last, text);
+            if self.doc.append_to_text(last, text) {
                 self.tracker.grow(text.len());
                 return;
             }
         }
-        let id = self.alloc(NodeKind::Text(text.to_string()));
+        let payload = self.pooled_string(text);
+        let id = self.alloc(NodeKind::Text(payload));
         self.doc.append_child(parent, id);
     }
 
-    /// Frees a detached scope subtree, recycling every node.
+    /// Frees a detached scope subtree, recycling every node — and every
+    /// node's heap buffers, which go back to the spare pools instead of
+    /// the allocator.
     pub fn free_scope(&mut self, root: NodeId) {
         debug_assert!(self.doc.parent(root).is_none(), "scope roots are detached");
-        let mut stack = vec![root];
+        let mut stack = std::mem::take(&mut self.free_stack);
+        stack.clear();
+        stack.push(root);
         while let Some(id) = stack.pop() {
             stack.extend(self.doc.children(id).iter().copied());
             self.tracker.release(self.doc.node_heap_bytes(id));
-            // Shrink the payload so the accounted release is real.
-            self.doc.reset_node(id, NodeKind::Text(String::new()));
+            // Swap in an empty payload (so the accounted release is real)
+            // and harvest the old payload's buffers for reuse.
+            match self.doc.reset_node(id, NodeKind::Text(String::new())) {
+                NodeKind::Element { mut attributes, .. } => {
+                    for mut attr in attributes.drain(..) {
+                        attr.value.clear();
+                        self.spare_strings.push(attr.value);
+                    }
+                    self.spare_attr_vecs.push(attributes);
+                }
+                NodeKind::Text(mut t) => {
+                    t.clear();
+                    self.spare_strings.push(t);
+                }
+                NodeKind::Document => {}
+            }
             self.free_slots.push(id);
         }
+        self.free_stack = stack;
     }
 
     /// Current live buffered bytes.
@@ -211,8 +313,13 @@ mod tests {
         assert!(live > 0);
         let node_count_before = arena.doc().node_count();
         arena.free_scope(scope);
-        assert_eq!(arena.current_bytes(), 0);
-        // New allocations reuse the freed slots: arena does not grow.
+        // Everything releasable is released; only the run-long name
+        // dictionary (interned once, deliberately charged) remains.
+        let dictionary = arena.doc().interned_name_bytes();
+        assert!(dictionary > 0, "fresh-table arena interned names");
+        assert_eq!(arena.current_bytes(), dictionary);
+        // New allocations reuse the freed slots: arena does not grow, and
+        // re-interning the same names charges nothing new.
         let scope2 = arena.create_element("book", &[]);
         let t2 = arena.append_element(scope2, "title", &[]);
         arena.append_text(t2, "Y");
@@ -221,6 +328,7 @@ mod tests {
             node_count_before,
             "slots recycled"
         );
+        assert_eq!(arena.doc().interned_name_bytes(), dictionary);
         assert_eq!(arena.doc().string_value(scope2), "Y");
     }
 
@@ -236,7 +344,8 @@ mod tests {
             peak_each = peak_each.max(arena.current_bytes());
             arena.free_scope(scope);
         }
-        assert_eq!(arena.current_bytes(), 0);
+        // Only the two interned names remain live after the last free.
+        assert_eq!(arena.current_bytes(), arena.doc().interned_name_bytes());
         assert_eq!(arena.peak_bytes(), peak_each, "peak ≈ one book, not three");
     }
 
@@ -259,5 +368,78 @@ mod tests {
             .map(|&c| doc.name(c).unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["kept1", "kept2", "kept3"]);
+    }
+
+    #[test]
+    fn distinct_name_dictionary_is_accounted() {
+        // An adversarial stream minting ever-new names cannot hide in the
+        // arena's table: every first-sight name is charged to the tracker
+        // as un-releasable bytes, and known names charge nothing.
+        let mut arena = BufferArena::new();
+        let mut prev = 0;
+        for i in 0..50 {
+            let scope = arena.create_element(&format!("name{i:04}"), &[]);
+            arena.free_scope(scope);
+            assert!(
+                arena.current_bytes() > prev,
+                "distinct name {i} must be visible in live bytes"
+            );
+            prev = arena.current_bytes();
+        }
+        let scope = arena.create_element("name0000", &[]);
+        arena.free_scope(scope);
+        assert_eq!(arena.current_bytes(), prev, "known names charge nothing");
+    }
+
+    #[test]
+    fn overflow_named_event_buffers_safely() {
+        // A bounded-interner stream delivers OVERFLOW + the literal name in
+        // the event's side channel: buffering must neither panic nor
+        // misname the node, for elements and attributes alike.
+        use flux_xml::RawEventKind;
+        let symbols = SymbolTable::new();
+        let mut arena = BufferArena::with_symbols(symbols.clone());
+        let mut ev = RawEvent::new();
+        ev.reset(RawEventKind::StartElement);
+        ev.set_name(SymbolTable::OVERFLOW);
+        ev.target_mut().push_str("mystery");
+        ev.push_attr_named("oddattr").push_str("v1");
+        let id = arena.create_element_raw(&symbols, &ev);
+        assert_eq!(arena.doc().name(id), Some("mystery"));
+        assert_eq!(arena.doc().attribute(id, "oddattr"), Some("v1"));
+        // Same through the borrowed-view path.
+        let view = RawEventRef::from_event(&ev);
+        let id2 = arena.create_element_view(&symbols, &view);
+        assert_eq!(arena.doc().name(id2), Some("mystery"));
+        assert_eq!(arena.doc().attribute(id2, "oddattr"), Some("v1"));
+        // And the two spell-alike nodes share one interned name.
+        assert_eq!(arena.doc().name_sym(id), arena.doc().name_sym(id2));
+    }
+
+    #[test]
+    fn steady_state_recycling_reuses_buffers() {
+        // After the first scope, buffering the same shape again must not
+        // grow the arena (slots, strings and attribute vectors recycle).
+        let mut arena = BufferArena::new();
+        let mut floor = None;
+        for round in 0..10 {
+            let scope = arena.create_element("book", &[Attribute::new("year", "1994")]);
+            let t = arena.append_element(scope, "title", &[]);
+            arena.append_text(t, "A value that is long enough to matter");
+            arena.free_scope(scope);
+            // After round 0 the name dictionary is complete: live bytes
+            // must return to exactly that floor every round.
+            let dict = *floor.get_or_insert(arena.current_bytes());
+            assert_eq!(
+                arena.current_bytes(),
+                dict,
+                "round {round} leaked accounting"
+            );
+        }
+        assert!(
+            arena.doc().node_count() <= 4,
+            "arena grew past one scope's nodes: {}",
+            arena.doc().node_count()
+        );
     }
 }

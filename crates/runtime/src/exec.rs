@@ -30,7 +30,7 @@ use std::io::{Read, Write};
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::bdf::{SpecIndex, SpecView};
+use crate::bdf::SpecView;
 
 /// Per-open-element execution state.
 #[derive(Default)]
@@ -119,13 +119,14 @@ fn run_events<S: EventSource, W: Write>(
     for reg in &plan.past_regs {
         parser.register_past(reg.element, reg.labels.clone())?;
     }
-    // Resolve the BDF's string edges against the stream's symbol table
-    // once; the per-event descent below is then pure symbol equality.
-    let spec_index = plan.specs.symbol_index(parser.symbols());
+    // The BDF's edges were interned at plan-compile time against the
+    // DTD's table — the same index space the stream's seeded interner
+    // uses — so per-event descent is pure symbol equality with no per-run
+    // index build. The arena document seeds its name table from the
+    // stream's, so buffered names import as integer copies.
     let mut state = ExecState {
         plan,
-        spec_index,
-        arena: BufferArena::new(),
+        arena: BufferArena::with_symbols(parser.symbols().clone()),
         env: Env::new(),
         writer: XmlWriter::new(output),
         stack: Vec::new(),
@@ -154,7 +155,6 @@ fn run_events<S: EventSource, W: Write>(
 
 struct ExecState<'p, W: Write> {
     plan: &'p Plan,
-    spec_index: SpecIndex,
     arena: BufferArena,
     env: Env,
     writer: XmlWriter<W>,
@@ -214,10 +214,14 @@ impl<'p, W: Write> ExecState<'p, W> {
         if parent.copying {
             self.writer.start_element_view(symbols, ev)?;
         }
-        // Buffer population: descend every active view on symbol equality.
+        // Buffer population: descend every active view on symbol equality
+        // (an OVERFLOW name from a bounded-interner stream falls back to
+        // comparing the literal spelling, so `max_symbols` can never
+        // change what is buffered).
+        let literal = ev.name_str(symbols);
         let parent_targets: Vec<(NodeId, SpecView)> = parent.buf_targets.clone();
         for (node, view) in parent_targets {
-            if let Some(child_view) = view.descend_sym(&self.spec_index, &self.plan.specs, sym) {
+            if let Some(child_view) = view.descend_event(&self.plan.specs, sym, literal) {
                 let child_node = self.arena.append_element_view(node, symbols, ev);
                 ctx.buf_targets.push((child_node, child_view));
             }
@@ -229,16 +233,23 @@ impl<'p, W: Write> ExecState<'p, W> {
         for ps_id in parent_scopes {
             for handler in &plan.ps[ps_id].handlers {
                 let HandlerPlan::On {
+                    label,
                     symbol,
                     var,
                     spec,
                     body,
-                    ..
                 } = handler
                 else {
                     continue;
                 };
-                if *symbol != Some(sym) {
+                // Symbol equality on the hot path; bounded-interner
+                // OVERFLOW names dispatch by their literal spelling.
+                let matches = if sym == SymbolTable::OVERFLOW {
+                    label.as_str() == literal
+                } else {
+                    *symbol == Some(sym)
+                };
+                if !matches {
                     continue;
                 }
                 let shell = self.arena.create_element_view(symbols, ev);

@@ -13,7 +13,7 @@ pub mod exec;
 pub mod plan;
 pub mod stats;
 
-pub use bdf::{SpecArena, SpecId, SpecIndex, SpecView};
+pub use bdf::{SpecArena, SpecEdge, SpecId, SpecView};
 pub use buffer::BufferArena;
 pub use error::{Result, RuntimeError};
 pub use exec::{execute_plan, execute_plan_from_source, Executor};

@@ -133,10 +133,24 @@ impl Plan {
     }
 }
 
-/// Compiles a FluX query into a physical plan.
+/// Resolves a path label through the vocabulary `flux_lang` interned at
+/// compile time (sorted by label), falling back to the DTD for labels the
+/// vocabulary does not cover.
+fn resolve_label(labels: &[(String, Option<Symbol>)], dtd: &Dtd, label: &str) -> Option<Symbol> {
+    match labels.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
+        Ok(i) => labels[i].1,
+        Err(_) => dtd.lookup(label),
+    }
+}
+
+/// Compiles a FluX query into a physical plan. The BDF's edges are keyed
+/// by the symbols the query compiler interned against the DTD
+/// ([`FluxQuery::label_symbols`]) — the same index space the stream's
+/// seeded interner uses, so the executor never builds a per-run index.
 pub fn compile_plan(query: &FluxQuery, dtd: &Dtd) -> Result<Plan> {
     let mut compiler = Compiler {
         dtd,
+        labels: &query.label_symbols,
         specs: SpecArena::new(),
         ps: Vec::new(),
         past_regs: Vec::new(),
@@ -166,6 +180,8 @@ struct ScopeEntry {
 
 struct Compiler<'d> {
     dtd: &'d Dtd,
+    /// Compile-time label vocabulary (sorted), from [`FluxQuery`].
+    labels: &'d [(String, Option<Symbol>)],
     specs: SpecArena,
     ps: Vec<PsPlan>,
     past_regs: Vec<PastReg>,
@@ -191,14 +207,23 @@ impl<'d> Compiler<'d> {
             .collect()
     }
 
+    /// Records `e`'s buffering needs in the BDF, resolving path labels
+    /// through the compile-time vocabulary (DTD fallback).
+    fn collect_buffered_needs(&mut self, e: &Expr) {
+        let pairs = self.scope_pairs();
+        let (dtd, vocab) = (self.dtd, self.labels);
+        collect_needs(&mut self.specs, e, &pairs, &mut |label| {
+            resolve_label(vocab, dtd, label)
+        });
+    }
+
     fn compile(&mut self, expr: &FluxExpr) -> Result<PlanExpr> {
         match expr {
             FluxExpr::Empty => Ok(PlanExpr::Empty),
             FluxExpr::StringLit(s) => Ok(PlanExpr::Text(s.clone())),
             FluxExpr::StreamCopy(_) => Ok(PlanExpr::StreamCopy),
             FluxExpr::Buffered(e) => {
-                let pairs = self.scope_pairs();
-                collect_needs(&mut self.specs, e, &pairs);
+                self.collect_buffered_needs(e);
                 Ok(PlanExpr::BufferedEval(Rc::new(e.clone())))
             }
             FluxExpr::Sequence(items) => Ok(PlanExpr::Sequence(
@@ -213,11 +238,10 @@ impl<'d> Compiler<'d> {
                 content,
             } => {
                 // Attribute templates read buffered data: record their needs.
-                let pairs = self.scope_pairs();
                 for attr in attributes {
                     for part in &attr.value {
                         if let flux_xquery::AttrPart::Expr(e) = part {
-                            collect_needs(&mut self.specs, e, &pairs);
+                            self.collect_buffered_needs(e);
                         }
                     }
                 }
@@ -278,8 +302,7 @@ impl<'d> Compiler<'d> {
                                     message: "on-first bodies must be buffered XQuery".to_string(),
                                 });
                             };
-                            let pairs = self.scope_pairs();
-                            collect_needs(&mut self.specs, e, &pairs);
+                            self.collect_buffered_needs(e);
                             let handler_index = compiled.len();
                             let (past_reg, doc_timing) = match element {
                                 Some(sym) if sym != SymbolTable::DOCUMENT => {

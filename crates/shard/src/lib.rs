@@ -91,6 +91,14 @@ pub struct ShardConfig {
     pub min_shard_bytes: usize,
     /// Pipelined (default) or join-then-replay consumption.
     pub mode: ReplayMode,
+    /// Cap on the **merged** symbol table (the sharded analogue of
+    /// [`ReaderConfig::max_symbols`]; default `None`). Workers intern
+    /// unboundedly — their tables are bounded by chunk content and die
+    /// with the shard — but the long-lived consumer table stops growing
+    /// at the cap: merged names past it travel as
+    /// [`SymbolTable::OVERFLOW`] plus the literal spelling, exactly like
+    /// the sequential reader's bounded mode.
+    pub max_symbols: Option<usize>,
 }
 
 impl Default for ShardConfig {
@@ -113,6 +121,7 @@ impl ShardConfig {
             max_depth: ReaderConfig::default().max_depth,
             min_shard_bytes: 16 * 1024,
             mode: ReplayMode::default(),
+            max_symbols: None,
         }
     }
 
@@ -226,6 +235,11 @@ pub struct ShardedReader {
     /// Open elements across the whole document — replay re-checks tag
     /// balance exactly like the sequential reader, at the same events.
     stack: Vec<Symbol>,
+    /// Literal names of open elements whose merged symbol is
+    /// [`SymbolTable::OVERFLOW`] (bounded merged table), innermost last —
+    /// mirrors the sequential reader's overflow stack so two overflowed
+    /// names only balance when their spellings agree.
+    overflow_stack: Vec<String>,
     root_seen: bool,
     root_done: bool,
     /// Recorded position of the most recently delivered event.
@@ -266,6 +280,7 @@ impl ShardedReader {
             emitted_start: false,
             finished: false,
             stack: Vec::new(),
+            overflow_stack: Vec::new(),
             root_seen: false,
             root_done: false,
             last_pos: START_POS,
@@ -408,10 +423,16 @@ impl ShardedReader {
                 self.next_shard += 1;
                 // Merge shard-local names into the shared namespace; the
                 // remap makes every replayed symbol a merged-table symbol.
+                // In bounded mode the merged table stops growing at the
+                // cap; overflowed entries resolve through the remap's
+                // literal-name list at view time.
                 let remap: Vec<Symbol> = shard
                     .new_names
                     .iter()
-                    .map(|n| self.symbols.intern(n))
+                    .map(|n| match self.config.max_symbols {
+                        None => self.symbols.intern(n),
+                        Some(cap) => self.symbols.intern_bounded(n, cap),
+                    })
                     .collect();
                 self.active = Some(ActiveShard {
                     shard,
@@ -438,14 +459,34 @@ impl ShardedReader {
                 continue;
             }
 
-            let (i, kind, pos, name) = {
+            let (i, kind, pos, name, literal) = {
                 let a = self.active.as_mut().expect("active shard ensured");
                 let i = a.next_event;
                 a.next_event += 1;
                 let kind = a.shard.tape.kind(i);
                 // Resolved lazily enough: only element events use it.
                 let name = SymbolRemap::new(self.seed_len, &a.remap).resolve(a.shard.tape.name(i));
-                (i, kind, compose(a.base, a.shard.tape.position(i)), name)
+                // An element name the bounded merged table overflowed: its
+                // literal spelling (the view's side channel) feeds the
+                // balance check and error messages below.
+                let literal = if name == SymbolTable::OVERFLOW
+                    && matches!(kind, RawEventKind::StartElement | RawEventKind::EndElement)
+                {
+                    let v = a.shard.tape.view(
+                        i,
+                        SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                    );
+                    Some(v.target().to_string())
+                } else {
+                    None
+                };
+                (
+                    i,
+                    kind,
+                    compose(a.base, a.shard.tape.position(i)),
+                    name,
+                    literal,
+                )
             };
             // Re-check the document-level rules the fragment readers
             // relaxed, at exactly the event where the sequential reader
@@ -465,19 +506,43 @@ impl ShardedReader {
                             );
                             return Err(self.wf(message, pos));
                         }
+                        if name == SymbolTable::OVERFLOW {
+                            self.overflow_stack
+                                .push(literal.clone().unwrap_or_default());
+                        }
                         self.stack.push(name);
                         self.root_seen = true;
                     } else {
                         // Global tag balance, checked at the end tag just
-                        // like the sequential reader.
+                        // like the sequential reader. Two overflowed names
+                        // only match when their literal spellings agree.
+                        let found = literal.as_deref();
                         match self.stack.pop() {
-                            Some(open) if open == name => {}
+                            Some(open) if open == name => {
+                                if name == SymbolTable::OVERFLOW {
+                                    let open_lit =
+                                        self.overflow_stack.pop().expect("overflow name on stack");
+                                    let found = found.unwrap_or_default();
+                                    if open_lit != found {
+                                        self.finished = true;
+                                        let message = format!(
+                                            "mismatched end tag: expected </{open_lit}>, found </{found}>"
+                                        );
+                                        return Err(self.wf(message, pos));
+                                    }
+                                }
+                            }
                             Some(open) => {
                                 self.finished = true;
+                                let open_name = if open == SymbolTable::OVERFLOW {
+                                    self.overflow_stack.pop().expect("overflow name on stack")
+                                } else {
+                                    self.symbols.name(open).to_string()
+                                };
                                 let message = format!(
                                     "mismatched end tag: expected </{}>, found </{}>",
-                                    self.symbols.name(open),
-                                    self.symbols.name(name)
+                                    open_name,
+                                    found.unwrap_or_else(|| self.symbols.name(name))
                                 );
                                 return Err(self.wf(message, pos));
                             }
@@ -485,7 +550,7 @@ impl ShardedReader {
                                 self.finished = true;
                                 let message = format!(
                                     "end tag </{}> with no open element",
-                                    self.symbols.name(name)
+                                    found.unwrap_or_else(|| self.symbols.name(name))
                                 );
                                 return Err(self.wf(message, pos));
                             }
@@ -524,10 +589,10 @@ impl ShardedReader {
                 RawEventKind::Text if self.stack.is_empty() => {
                     let (whitespace, synthetic) = {
                         let a = self.active.as_ref().expect("active shard ensured");
-                        let v = a
-                            .shard
-                            .tape
-                            .view(i, SymbolRemap::new(self.seed_len, &a.remap));
+                        let v = a.shard.tape.view(
+                            i,
+                            SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                        );
                         (v.is_whitespace_text(), v.is_text_synthetic())
                     };
                     if whitespace && !synthetic {
@@ -569,10 +634,10 @@ impl ShardedReader {
         match self.current {
             CurrentEvent::Synthetic(kind) => RawEventRef::bare(kind),
             CurrentEvent::Tape => match self.active.as_ref() {
-                Some(a) => a
-                    .shard
-                    .tape
-                    .view(a.next_event - 1, SymbolRemap::new(self.seed_len, &a.remap)),
+                Some(a) => a.shard.tape.view(
+                    a.next_event - 1,
+                    SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                ),
                 // A terminal error already dropped the shard.
                 None => RawEventRef::bare(RawEventKind::EndDocument),
             },

@@ -113,9 +113,35 @@ impl SymbolTable {
         self.by_name.get(name).copied()
     }
 
-    /// The name behind a symbol.
+    /// Placeholder rendered by [`SymbolTable::name`] for symbols the table
+    /// does not hold (the [`SymbolTable::OVERFLOW`] sentinel, or a symbol
+    /// minted by a different table). Never a legal XML name, so it cannot
+    /// be confused with real data.
+    pub const UNRESOLVED_NAME: &'static str = "#overflow";
+
+    /// The name behind a symbol, or `None` when the table does not hold it
+    /// — the safe path for streams that may carry
+    /// [`SymbolTable::OVERFLOW`] (resolve those through the event's
+    /// literal-name side channel, e.g. `RawEvent::name_str`).
+    pub fn try_name(&self, sym: Symbol) -> Option<&str> {
+        self.names.get(sym.index()).map(String::as_str)
+    }
+
+    /// The name behind a symbol. For a symbol the table does not hold
+    /// (notably [`SymbolTable::OVERFLOW`]) this returns
+    /// [`SymbolTable::UNRESOLVED_NAME`] instead of panicking; callers that
+    /// must render the real name of a possibly-overflowed symbol should
+    /// use the event's literal-name accessors (`name_str`) or
+    /// [`SymbolTable::try_name`].
     pub fn name(&self, sym: Symbol) -> &str {
-        &self.names[sym.index()]
+        self.try_name(sym).unwrap_or(Self::UNRESOLVED_NAME)
+    }
+
+    /// Deterministic heap bytes held by the interned names (length-based;
+    /// the reverse map's keys mirror `names`, so the figure is doubled to
+    /// stay honest about both directions).
+    pub fn heap_bytes(&self) -> usize {
+        2 * self.names.iter().map(String::len).sum::<usize>()
     }
 
     /// Number of interned symbols, including the two pseudo-symbols.
@@ -184,6 +210,32 @@ mod tests {
         assert_eq!(t.lookup("b"), Some(b));
         // And the sentinel is never a valid index.
         assert_eq!(SymbolTable::OVERFLOW.index(), u32::MAX as usize);
+    }
+
+    #[test]
+    fn heap_bytes_counts_both_directions() {
+        let mut t = SymbolTable::new();
+        let base = t.heap_bytes();
+        t.intern("book");
+        assert_eq!(t.heap_bytes(), base + 2 * "book".len());
+        // Idempotent interning adds nothing.
+        t.intern("book");
+        assert_eq!(t.heap_bytes(), base + 2 * "book".len());
+    }
+
+    #[test]
+    fn overflow_symbol_resolves_without_panicking() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        assert_eq!(t.try_name(a), Some("a"));
+        assert_eq!(t.try_name(SymbolTable::OVERFLOW), None);
+        assert_eq!(t.name(SymbolTable::OVERFLOW), SymbolTable::UNRESOLVED_NAME);
+        // A foreign symbol past the table's end is equally safe.
+        assert_eq!(t.try_name(Symbol::from_index(999)), None);
+        assert_eq!(
+            t.name(Symbol::from_index(999)),
+            SymbolTable::UNRESOLVED_NAME
+        );
     }
 
     #[test]

@@ -439,10 +439,22 @@ impl<'a> Iterator for AttrsIter<'a> {
                 attrs,
                 arena,
                 remap,
-            } => attrs.get(self.idx).map(|a| AttrRef {
-                name: remap.resolve(a.name),
-                overflow_name: &arena[a.overflow.0..a.overflow.1],
-                value: &arena[a.value.0..a.value.1],
+            } => attrs.get(self.idx).map(|a| {
+                let name = remap.resolve(a.name);
+                // A translation may *introduce* OVERFLOW (bounded merged
+                // table); the literal spelling then comes from the remap's
+                // name list instead of the tape's overflow span.
+                let overflow_name =
+                    if name == SymbolTable::OVERFLOW && a.name != SymbolTable::OVERFLOW {
+                        remap.literal(a.name).unwrap_or("")
+                    } else {
+                        &arena[a.overflow.0..a.overflow.1]
+                    };
+                AttrRef {
+                    name,
+                    overflow_name,
+                    value: &arena[a.value.0..a.value.1],
+                }
             }),
         };
         if let Some(attr) = literal {

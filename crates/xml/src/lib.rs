@@ -38,5 +38,5 @@ pub use flux_symbols::{Symbol, SymbolTable};
 pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
 pub use source::EventSource;
 pub use tape::{EventTape, SymbolRemap};
-pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
+pub use tree::{Document, NodeAttr, NodeId, NodeKind, TreeBuilder};
 pub use writer::{events_to_string, WriterConfig, XmlWriter};

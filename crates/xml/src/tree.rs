@@ -1,15 +1,27 @@
-//! A lightweight arena-based document tree.
+//! A lightweight arena-based document tree with **interned names**.
 //!
 //! Used by the baseline engines (which materialise documents or projected
 //! fragments) and by the FluXQuery runtime's buffer store (which materialises
-//! only BDF-selected subtrees). Every structure reports its heap footprint so
-//! experiments can account buffered memory deterministically.
+//! only BDF-selected subtrees). Element and attribute names are stored as
+//! [`Symbol`]s against a per-document [`SymbolTable`] — one copy of every
+//! distinct name for the whole tree, integer name comparisons everywhere —
+//! so a buffered node costs its *content* bytes, not its tag vocabulary.
+//! Every structure reports its heap footprint so experiments can account
+//! buffered memory deterministically.
+//!
+//! A document seeded from a stream's table ([`Document::with_symbols`])
+//! shares that table's index space: importing a stream event's name is a
+//! plain integer copy ([`Document::import_name`]), no hashing and no
+//! allocation. Names the seed does not cover — including
+//! [`SymbolTable::OVERFLOW`] names from a bounded-interner stream, whose
+//! literal spelling rides the event's side channel — are interned into the
+//! document's own (unbounded) table, so a tree never stores the sentinel.
 
 use crate::error::{Result, XmlError};
-use crate::event::{Attribute, RawEvent, RawEventKind, XmlEvent};
+use crate::event::{Attribute, RawEvent, RawEventKind, RawEventRef, XmlEvent};
 use crate::reader::XmlReader;
 use crate::writer::XmlWriter;
-use flux_symbols::SymbolTable;
+use flux_symbols::{Symbol, SymbolTable};
 use std::io::Read;
 
 /// Index of a node inside a [`Document`] arena.
@@ -22,15 +34,25 @@ impl NodeId {
     }
 }
 
+/// One attribute of an element node: interned name, owned value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAttr {
+    /// Interned against the owning [`Document`]'s table — never
+    /// [`SymbolTable::OVERFLOW`].
+    pub name: Symbol,
+    pub value: String,
+}
+
 /// The payload of a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// The virtual document node; always the arena's first entry.
     Document,
-    /// An element with its attributes.
+    /// An element with its attributes. The name is interned against the
+    /// owning [`Document`]'s table.
     Element {
-        name: String,
-        attributes: Vec<Attribute>,
+        name: Symbol,
+        attributes: Vec<NodeAttr>,
     },
     /// A text node.
     Text(String),
@@ -45,20 +67,18 @@ pub struct Node {
 }
 
 impl Node {
-    /// Deterministic content bytes of this node: string lengths and
-    /// attribute payloads, excluding the child-pointer vector (which grows
-    /// independently of this node's own data). Length-based rather than
-    /// capacity-based so the number is stable across allocator behaviour.
+    /// Deterministic content bytes of this node: attribute payloads and
+    /// text lengths, excluding the child-pointer vector (which grows
+    /// independently of this node's own data). Interned names cost nothing
+    /// per node — the one copy per distinct name lives in the document's
+    /// symbol table. Length-based rather than capacity-based so the number
+    /// is stable across allocator behaviour.
     fn content_bytes(&self) -> usize {
         match &self.kind {
             NodeKind::Document => 0,
-            NodeKind::Element { name, attributes } => {
-                name.len()
-                    + attributes.len() * std::mem::size_of::<Attribute>()
-                    + attributes
-                        .iter()
-                        .map(|a| a.name.len() + a.value.len())
-                        .sum::<usize>()
+            NodeKind::Element { attributes, .. } => {
+                attributes.len() * std::mem::size_of::<NodeAttr>()
+                    + attributes.iter().map(|a| a.value.len()).sum::<usize>()
             }
             NodeKind::Text(t) => t.len(),
         }
@@ -71,20 +91,100 @@ impl Node {
 }
 
 /// An arena-allocated XML document or document fragment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Document {
     nodes: Vec<Node>,
+    /// Interner for element and attribute names stored in this tree.
+    symbols: SymbolTable,
+    /// Length of the table prefix shared (index-identically) with the
+    /// stream table this document was seeded from: symbols below this
+    /// index import as plain integer copies.
+    aligned: usize,
+    /// Heap bytes of the names *this document* interned beyond its seed
+    /// (maintained incrementally; doubled like
+    /// [`SymbolTable::heap_bytes`], covering both map directions). The
+    /// seeded schema vocabulary is excluded — the document never copied
+    /// it. This is the run-long dictionary cost of the symbol-keyed
+    /// layout, reported by [`Document::memory_bytes`] and charged to the
+    /// buffer accounting by the runtime's arena.
+    interned_bytes: usize,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Document {
-    /// Creates a document containing only the virtual document node.
+    /// Creates a document containing only the virtual document node, with
+    /// a fresh symbol table.
     pub fn new() -> Self {
+        Self::with_symbols(SymbolTable::new())
+    }
+
+    /// Creates a document whose name table is seeded with `symbols`
+    /// (typically a clone of the stream's table). Clones preserve indices,
+    /// so stream symbols inside the seeded prefix import with no hashing
+    /// at all — see [`Document::import_name`].
+    pub fn with_symbols(symbols: SymbolTable) -> Self {
+        let aligned = symbols.len();
         Document {
             nodes: vec![Node {
                 kind: NodeKind::Document,
                 parent: None,
                 children: Vec::new(),
             }],
+            symbols,
+            aligned,
+            interned_bytes: 0,
+        }
+    }
+
+    /// The document's name table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interns a name into the document's table, accounting first-sight
+    /// name bytes (see [`Document::interned_name_bytes`]).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        let before = self.symbols.len();
+        let sym = self.symbols.intern(name);
+        if self.symbols.len() > before {
+            self.interned_bytes += 2 * name.len();
+        }
+        sym
+    }
+
+    /// Heap bytes of the names this document interned beyond its seed —
+    /// each distinct name exactly once, however many nodes carry it.
+    pub fn interned_name_bytes(&self) -> usize {
+        self.interned_bytes
+    }
+
+    /// Imports a stream event's name into this document's symbol space.
+    ///
+    /// * A symbol inside the seeded prefix is returned unchanged — an
+    ///   integer copy, the hot path for schema-validated streams.
+    /// * A stream symbol past the prefix re-interns by name (hash lookup,
+    ///   allocation only on first sight).
+    /// * [`SymbolTable::OVERFLOW`] (bounded-interner streams) resolves via
+    ///   `literal`, the event's literal-name side channel — the tree never
+    ///   stores the sentinel, so buffering an overflowed name can neither
+    ///   panic nor misname the node.
+    pub fn import_name(&mut self, stream: &SymbolTable, sym: Symbol, literal: &str) -> Symbol {
+        if sym != SymbolTable::OVERFLOW && sym.index() < self.aligned {
+            debug_assert_eq!(
+                self.symbols.try_name(sym),
+                stream.try_name(sym),
+                "seeded prefix must agree with the stream table"
+            );
+            return sym;
+        }
+        match stream.try_name(sym) {
+            Some(name) => self.intern(name),
+            None => self.intern(literal),
         }
     }
 
@@ -108,9 +208,12 @@ impl Document {
 
     /// Deterministic estimate of heap memory held by the whole tree, in
     /// bytes (length-based, so independent of allocator growth policies).
+    /// Includes the name bytes this tree itself interned (each distinct
+    /// name once), but not the seeded schema vocabulary.
     pub fn memory_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
             + self.nodes.iter().map(Node::heap_bytes).sum::<usize>()
+            + self.interned_bytes
     }
 
     pub fn kind(&self, id: NodeId) -> &NodeKind {
@@ -127,8 +230,13 @@ impl Document {
 
     /// Element name, or `None` for text/document nodes.
     pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.name_sym(id).map(|s| self.symbols.name(s))
+    }
+
+    /// Element name symbol, or `None` for text/document nodes.
+    pub fn name_sym(&self, id: NodeId) -> Option<Symbol> {
         match self.kind(id) {
-            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Element { name, .. } => Some(*name),
             _ => None,
         }
     }
@@ -142,31 +250,47 @@ impl Document {
     }
 
     /// Attributes of an element node (empty slice otherwise).
-    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+    pub fn attributes(&self, id: NodeId) -> &[NodeAttr] {
         match self.kind(id) {
             NodeKind::Element { attributes, .. } => attributes,
             _ => &[],
         }
     }
 
-    /// Value of the named attribute, if present.
+    /// Value of the named attribute, if present. The name resolves to a
+    /// symbol once; the scan over the element's attributes is integer
+    /// comparisons.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        let sym = self.symbols.lookup(name)?;
         self.attributes(id)
             .iter()
-            .find(|a| a.name == name)
+            .find(|a| a.name == sym)
             .map(|a| a.value.as_str())
     }
 
-    /// Child elements with the given name, in document order.
+    /// Child elements with the given name, in document order. The name
+    /// resolves to a symbol once; the per-child filter is an integer
+    /// comparison. A name the document has never interned matches nothing.
     pub fn children_named<'a>(
         &'a self,
         id: NodeId,
-        name: &'a str,
+        name: &str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let sym = self.symbols.lookup(name);
+        self.children_named_sym(id, sym)
+    }
+
+    /// Symbol-keyed variant of [`Document::children_named`]; `None`
+    /// matches nothing.
+    pub fn children_named_sym<'a>(
+        &'a self,
+        id: NodeId,
+        sym: Option<Symbol>,
     ) -> impl Iterator<Item = NodeId> + 'a {
         self.children(id)
             .iter()
             .copied()
-            .filter(move |&c| self.name(c) == Some(name))
+            .filter(move |&c| sym.is_some() && self.name_sym(c) == sym)
     }
 
     /// The XPath string value: concatenated descendant text in document order.
@@ -187,16 +311,58 @@ impl Document {
         }
     }
 
-    /// Creates a detached element node.
-    pub fn create_element(
-        &mut self,
-        name: impl Into<String>,
-        attributes: Vec<Attribute>,
-    ) -> NodeId {
-        self.push_node(NodeKind::Element {
-            name: name.into(),
-            attributes,
-        })
+    /// Creates a detached element node from string-named parts (interns
+    /// the names; the convenience path for tests and tools).
+    pub fn create_element(&mut self, name: &str, attributes: Vec<Attribute>) -> NodeId {
+        let name = self.intern(name);
+        let attributes = attributes
+            .into_iter()
+            .map(|a| NodeAttr {
+                name: self.intern(&a.name),
+                value: a.value,
+            })
+            .collect();
+        self.create_element_sym(name, attributes)
+    }
+
+    /// Creates a detached element node from already-interned parts — the
+    /// allocation-free naming path. `name` and every attribute name must
+    /// be symbols of *this* document's table.
+    pub fn create_element_sym(&mut self, name: Symbol, attributes: Vec<NodeAttr>) -> NodeId {
+        debug_assert!(
+            self.symbols.try_name(name).is_some(),
+            "element name must be interned in the document table"
+        );
+        self.push_node(NodeKind::Element { name, attributes })
+    }
+
+    /// Creates a detached element from a stream event, importing names
+    /// through [`Document::import_name`] (only attribute values copy).
+    pub fn create_element_raw(&mut self, stream: &SymbolTable, ev: &RawEvent) -> NodeId {
+        let name = self.import_name(stream, ev.name(), ev.target());
+        let attributes = ev
+            .attributes()
+            .iter()
+            .map(|a| NodeAttr {
+                name: self.import_name(stream, a.name, &a.overflow_name),
+                value: a.value.clone(),
+            })
+            .collect();
+        self.create_element_sym(name, attributes)
+    }
+
+    /// Creates a detached element from a borrowed event view, importing
+    /// names through [`Document::import_name`].
+    pub fn create_element_view(&mut self, stream: &SymbolTable, ev: &RawEventRef<'_>) -> NodeId {
+        let name = self.import_name(stream, ev.name(), ev.target());
+        let attributes = ev
+            .attrs()
+            .map(|a| NodeAttr {
+                name: self.import_name(stream, a.name, a.overflow_name),
+                value: a.value.to_string(),
+            })
+            .collect();
+        self.create_element_sym(name, attributes)
     }
 
     /// Creates a detached text node.
@@ -224,22 +390,24 @@ impl Document {
         self.nodes[parent.index()].children.push(child);
     }
 
-    /// Deterministic bytes owned by one node (its strings and attribute
-    /// payloads plus the node struct), excluding the child-pointer vector
-    /// so the value is identical at allocation and free time. Used for
-    /// buffer accounting.
+    /// Deterministic bytes owned by one node (its payload strings and the
+    /// node struct), excluding the child-pointer vector so the value is
+    /// identical at allocation and free time. Used for buffer accounting.
     pub fn node_heap_bytes(&self, id: NodeId) -> usize {
         self.nodes[id.index()].content_bytes() + std::mem::size_of::<Node>()
     }
 
-    /// Resets a node for reuse: clears parent and children and replaces the
-    /// payload. Used by the runtime's buffer arena to recycle freed slots;
-    /// the caller is responsible for ensuring nothing references `id`.
-    pub fn reset_node(&mut self, id: NodeId, kind: NodeKind) {
+    /// Replaces a node's payload for arena recycling, returning the old
+    /// payload so the caller can harvest its buffers. The parent link is
+    /// cleared and the children list emptied **in place** (it keeps its
+    /// capacity — recycled slots are re-populated without reallocating).
+    /// The caller is responsible for ensuring nothing references `id`.
+    pub fn reset_node(&mut self, id: NodeId, kind: NodeKind) -> NodeKind {
         let node = &mut self.nodes[id.index()];
-        node.kind = kind;
+        let old = std::mem::replace(&mut node.kind, kind);
         node.parent = None;
-        node.children = Vec::new();
+        node.children.clear();
+        old
     }
 
     /// Appends text to an existing text node (buffer population merges
@@ -257,12 +425,12 @@ impl Document {
     /// Parses a complete document from a reader.
     pub fn parse_reader<R: Read>(reader: &mut XmlReader<R>) -> Result<Document> {
         let mut builder = TreeBuilder::new();
+        let mut ev = RawEvent::new();
         loop {
-            let ev = reader.next_event()?;
-            if ev == XmlEvent::EndDocument {
+            if !reader.next_into(&mut ev)? {
                 return builder.finish();
             }
-            builder.event(&ev)?;
+            builder.raw_event(reader.symbols(), &ev)?;
         }
     }
 
@@ -272,7 +440,8 @@ impl Document {
         Self::parse_reader(&mut reader)
     }
 
-    /// Serialises the subtree rooted at `id` to the writer.
+    /// Serialises the subtree rooted at `id` to the writer. Start tags go
+    /// through the writer's symbol fast path — no name strings materialise.
     pub fn serialize_node<W: std::io::Write>(
         &self,
         id: NodeId,
@@ -285,8 +454,8 @@ impl Document {
                 }
                 Ok(())
             }
-            NodeKind::Element { name, attributes } => {
-                writer.start_element(name, attributes)?;
+            NodeKind::Element { .. } => {
+                writer.start_element_node(self, id)?;
                 for &c in self.children(id) {
                     self.serialize_node(c, writer)?;
                 }
@@ -324,7 +493,14 @@ impl Default for TreeBuilder {
 
 impl TreeBuilder {
     pub fn new() -> Self {
-        let doc = Document::new();
+        Self::with_symbols(SymbolTable::new())
+    }
+
+    /// A builder whose document is seeded with `symbols` (see
+    /// [`Document::with_symbols`]) so stream symbols inside the seeded
+    /// prefix import without hashing.
+    pub fn with_symbols(symbols: SymbolTable) -> Self {
+        let doc = Document::with_symbols(symbols);
         let root = doc.document_node();
         TreeBuilder {
             doc,
@@ -337,9 +513,8 @@ impl TreeBuilder {
         *self.stack.last().expect("builder stack never empty")
     }
 
-    /// Opens an element node (shared by both event representations).
-    fn start_node(&mut self, name: &str, attributes: Vec<Attribute>) {
-        let id = self.doc.create_element(name, attributes);
+    /// Opens an element node created by one of the document's constructors.
+    fn open(&mut self, id: NodeId) {
         let parent = self.top();
         self.doc.append_child(parent, id);
         self.stack.push(id);
@@ -361,8 +536,7 @@ impl TreeBuilder {
     fn text_node(&mut self, t: &str) {
         let parent = self.top();
         if let Some(&last) = self.doc.children(parent).last() {
-            if let NodeKind::Text(existing) = &mut self.doc.nodes[last.index()].kind {
-                existing.push_str(t);
+            if self.doc.append_to_text(last, t) {
                 return;
             }
         }
@@ -379,7 +553,8 @@ impl TreeBuilder {
             | XmlEvent::Comment(_)
             | XmlEvent::ProcessingInstruction { .. } => Ok(()),
             XmlEvent::StartElement { name, attributes } => {
-                self.start_node(name, attributes.clone());
+                let id = self.doc.create_element(name, attributes.clone());
+                self.open(id);
                 Ok(())
             }
             XmlEvent::EndElement { .. } => self.end_node(),
@@ -390,10 +565,9 @@ impl TreeBuilder {
         }
     }
 
-    /// Feeds one raw (interned) event, mapping names back through
-    /// `symbols`. Materialising a tree inherently copies names and text,
-    /// so this allocates exactly what the owned-event path does minus the
-    /// intermediate event itself.
+    /// Feeds one raw (interned) event, importing names through the
+    /// document's table ([`Document::import_name`]). Materialising a tree
+    /// inherently copies attribute values and text — names do not copy.
     pub fn raw_event(&mut self, symbols: &SymbolTable, ev: &RawEvent) -> Result<()> {
         match ev.kind() {
             RawEventKind::StartDocument
@@ -402,13 +576,8 @@ impl TreeBuilder {
             | RawEventKind::Comment
             | RawEventKind::ProcessingInstruction => Ok(()),
             RawEventKind::StartElement => {
-                self.start_node(
-                    symbols.name(ev.name()),
-                    ev.attributes()
-                        .iter()
-                        .map(|a| a.to_attribute(symbols))
-                        .collect(),
-                );
+                let id = self.doc.create_element_raw(symbols, ev);
+                self.open(id);
                 Ok(())
             }
             RawEventKind::EndElement => self.end_node(),
@@ -485,6 +654,24 @@ mod tests {
     }
 
     #[test]
+    fn repeated_names_cost_one_table_entry() {
+        // 50 identically-named elements must not store the name 50 times:
+        // the per-node delta is pointer-sized bookkeeping, not name bytes.
+        let longname = "averylongelementname".repeat(4);
+        let one = Document::parse_str(&format!("<r><{longname}/></r>")).unwrap();
+        let many = {
+            let body: String = (0..50).map(|_| format!("<{longname}/>")).collect();
+            Document::parse_str(&format!("<r>{body}</r>")).unwrap()
+        };
+        let per_node = (many.memory_bytes() - one.memory_bytes()) / 49;
+        assert!(
+            per_node < longname.len(),
+            "per-node cost {per_node} must be below the name length {}",
+            longname.len()
+        );
+    }
+
+    #[test]
     fn builder_fragment() {
         let mut b = TreeBuilder::new();
         b.event(&XmlEvent::StartElement {
@@ -543,6 +730,51 @@ mod tests {
         doc.append_child(docnode, e);
         doc.append_child(e, t);
         assert_eq!(doc.to_xml_string().unwrap(), r#"<root k="v">body</root>"#);
+    }
+
+    #[test]
+    fn interned_bytes_match_table_convention() {
+        // The incremental counter and `SymbolTable::heap_bytes` encode the
+        // same convention; this pins them together so neither can drift.
+        let mut doc = Document::new();
+        let base = doc.symbols().heap_bytes();
+        doc.create_element("booky", vec![Attribute::new("year", "1994")]);
+        doc.create_element("booky", vec![]); // repeats add nothing
+        let mut stream = SymbolTable::new();
+        stream.intern("imported");
+        let sym = stream.lookup("imported").unwrap();
+        doc.import_name(&stream, sym, "");
+        doc.import_name(&stream, SymbolTable::OVERFLOW, "literalname");
+        assert_eq!(doc.interned_name_bytes(), doc.symbols().heap_bytes() - base);
+    }
+
+    #[test]
+    fn import_name_aligns_with_seed_and_resolves_overflow() {
+        let mut stream = SymbolTable::new();
+        let book = stream.intern("book");
+        let mut doc = Document::with_symbols(stream.clone());
+        // Seeded prefix: the symbol passes through unchanged.
+        assert_eq!(doc.import_name(&stream, book, ""), book);
+        // A stream symbol past the seed re-interns by name.
+        let late = stream.intern("pamphlet");
+        let imported = doc.import_name(&stream, late, "");
+        assert_eq!(doc.symbols().name(imported), "pamphlet");
+        // OVERFLOW resolves through the literal side channel.
+        let ovf = doc.import_name(&stream, SymbolTable::OVERFLOW, "mystery");
+        assert_eq!(doc.symbols().name(ovf), "mystery");
+        assert_ne!(ovf, SymbolTable::OVERFLOW);
+    }
+
+    #[test]
+    fn reset_node_recycles_children_capacity() {
+        let mut doc = Document::new();
+        let e = doc.create_element("a", vec![]);
+        let c = doc.create_element("b", vec![]);
+        doc.append_child(e, c);
+        let old = doc.reset_node(e, NodeKind::Text(String::new()));
+        assert!(matches!(old, NodeKind::Element { .. }));
+        assert!(doc.children(e).is_empty());
+        assert_eq!(doc.parent(e), None);
     }
 
     #[test]

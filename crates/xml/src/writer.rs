@@ -7,6 +7,7 @@
 use crate::error::{Result, XmlError};
 use crate::escape::{escape_attr_into, escape_text_into};
 use crate::event::{Attribute, RawAttr, RawEvent, RawEventKind, RawEventRef, XmlEvent};
+use crate::tree::{Document, NodeId, NodeKind};
 use flux_symbols::{Symbol, SymbolTable};
 use std::io::Write;
 
@@ -194,6 +195,25 @@ impl<W: Write> XmlWriter<W> {
         self.open_tag(ev.name_str(symbols))?;
         for attr in ev.attrs() {
             self.write_attr(attr.name_str(symbols), attr.value)?;
+        }
+        self.raw(">")?;
+        self.had_child.push(false);
+        Ok(())
+    }
+
+    /// Writes the start tag of a buffered element node — the symbol fast
+    /// path for serialising tree nodes: the element and attribute names
+    /// resolve through the document's own table and stream straight into
+    /// the sink, so copying a buffered subtree out allocates nothing.
+    pub fn start_element_node(&mut self, doc: &Document, id: NodeId) -> Result<()> {
+        let NodeKind::Element { name, attributes } = doc.kind(id) else {
+            return Err(XmlError::WriterMisuse {
+                message: "start_element_node requires an element node".to_string(),
+            });
+        };
+        self.open_tag(doc.symbols().name(*name))?;
+        for attr in attributes {
+            self.write_attr(doc.symbols().name(attr.name), &attr.value)?;
         }
         self.raw(">")?;
         self.had_child.push(false);

@@ -23,6 +23,23 @@ pub trait QuerySink {
     fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()>;
     fn end_element(&mut self) -> Result<()>;
     fn text(&mut self, text: &str) -> Result<()>;
+
+    /// Start tag of a buffered element node — the symbol fast path used
+    /// when copying stored subtrees out. The default materialises owned
+    /// strings through [`QuerySink::start_element`]; sinks that can
+    /// resolve names straight from the document's table (the XML writer)
+    /// override it to allocate nothing.
+    fn start_element_node(&mut self, doc: &Document, id: NodeId) -> Result<()> {
+        let attrs: Vec<Attribute> = doc
+            .attributes(id)
+            .iter()
+            .map(|a| Attribute::new(doc.symbols().name(a.name), a.value.clone()))
+            .collect();
+        let name = doc
+            .name(id)
+            .ok_or_else(|| XQueryError::eval("start_element_node on a non-element node"))?;
+        self.start_element(name, &attrs)
+    }
 }
 
 impl<W: Write> QuerySink for XmlWriter<W> {
@@ -38,6 +55,11 @@ impl<W: Write> QuerySink for XmlWriter<W> {
     fn text(&mut self, text: &str) -> Result<()> {
         XmlWriter::text(self, text).map_err(|e| XQueryError::eval(format!("output error: {e}")))
     }
+
+    fn start_element_node(&mut self, doc: &Document, id: NodeId) -> Result<()> {
+        XmlWriter::start_element_node(self, doc, id)
+            .map_err(|e| XQueryError::eval(format!("output error: {e}")))
+    }
 }
 
 /// A sink that counts output bytes without storing them (benchmarks).
@@ -48,14 +70,29 @@ pub struct CountingSink {
     depth: usize,
 }
 
-impl QuerySink for CountingSink {
-    fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()> {
-        self.bytes += 2 + name.len() as u64;
-        for a in attrs {
-            self.bytes += 4 + a.name.len() as u64 + a.value.len() as u64;
+impl CountingSink {
+    /// The serialized-size model shared by both start paths: 2 bytes of
+    /// tag punctuation, 4 per attribute (space, `=`, both quotes).
+    fn count_start_tag(
+        &mut self,
+        name_len: usize,
+        attr_lens: impl Iterator<Item = (usize, usize)>,
+    ) {
+        self.bytes += 2 + name_len as u64;
+        for (name, value) in attr_lens {
+            self.bytes += 4 + name as u64 + value as u64;
         }
         self.events += 1;
         self.depth += 1;
+    }
+}
+
+impl QuerySink for CountingSink {
+    fn start_element(&mut self, name: &str, attrs: &[Attribute]) -> Result<()> {
+        self.count_start_tag(
+            name.len(),
+            attrs.iter().map(|a| (a.name.len(), a.value.len())),
+        );
         Ok(())
     }
 
@@ -72,6 +109,20 @@ impl QuerySink for CountingSink {
     fn text(&mut self, text: &str) -> Result<()> {
         self.bytes += text.len() as u64;
         self.events += 1;
+        Ok(())
+    }
+
+    fn start_element_node(&mut self, doc: &Document, id: NodeId) -> Result<()> {
+        // Count through the symbol table without materialising anything.
+        let name = doc
+            .name(id)
+            .ok_or_else(|| XQueryError::eval("start_element_node on a non-element node"))?;
+        self.count_start_tag(
+            name.len(),
+            doc.attributes(id)
+                .iter()
+                .map(|a| (doc.symbols().name(a.name).len(), a.value.len())),
+        );
         Ok(())
     }
 }
@@ -258,7 +309,8 @@ impl<'d> TreeEvaluator<'d> {
         }
     }
 
-    /// Copies a node's subtree to the sink.
+    /// Copies a node's subtree to the sink. Element start tags go through
+    /// the sink's symbol fast path — no name strings materialise.
     pub fn copy_node(&self, node: NodeId, sink: &mut impl QuerySink) -> Result<()> {
         match self.doc.kind(node) {
             NodeKind::Document => {
@@ -267,8 +319,8 @@ impl<'d> TreeEvaluator<'d> {
                 }
                 Ok(())
             }
-            NodeKind::Element { name, attributes } => {
-                sink.start_element(name, attributes)?;
+            NodeKind::Element { .. } => {
+                sink.start_element_node(self.doc, node)?;
                 for &c in self.doc.children(node) {
                     self.copy_node(c, sink)?;
                 }

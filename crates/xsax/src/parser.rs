@@ -48,6 +48,12 @@ pub struct XsaxConfig {
     /// Drop whitespace-only text between children of element-content
     /// elements ("ignorable whitespace"). Defaults to `true`.
     pub suppress_ignorable_whitespace: bool,
+    /// Cap on the reader interner (see
+    /// [`flux_xml::ReaderConfig::max_symbols`]); default `None`. The
+    /// schema vocabulary is always pre-seeded, so on valid input the cap
+    /// only affects undeclared names — which travel by literal spelling
+    /// and never change validation verdicts or query output.
+    pub max_symbols: Option<usize>,
 }
 
 impl Default for XsaxConfig {
@@ -55,6 +61,7 @@ impl Default for XsaxConfig {
         XsaxConfig {
             strict_attributes: false,
             suppress_ignorable_whitespace: true,
+            max_symbols: None,
         }
     }
 }
@@ -147,7 +154,11 @@ impl<'d, R: Read> XsaxParser<'d, XmlReader<R>> {
         // Seed the reader's interner with the DTD's table (plus attlist
         // names): clones preserve indices, so stream symbols coincide with
         // schema symbols and attribute validation is symbol equality too.
-        let reader = XmlReader::with_symbols(src, Default::default(), seeded_symbols(dtd));
+        let reader_config = flux_xml::ReaderConfig {
+            max_symbols: config.max_symbols,
+            ..Default::default()
+        };
+        let reader = XmlReader::with_symbols(src, reader_config, seeded_symbols(dtd));
         Self::from_source(reader, dtd, config)
     }
 }
