@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release -p flux-bench --bin experiments [--eN ...]`
 //! With no arguments, all experiments run.
 
-use flux_bench::{catalog, fmt_bytes, run_engine, Domain, Q3};
+use flux_bench::{catalog, fmt_bytes, run_engine, workloads, Domain, Q3};
 use flux_shard::{ShardConfig, ShardedReader};
 use flux_xmlgen::{bib_string, BibConfig};
 use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
@@ -430,8 +430,7 @@ fn e8_xsax_throughput(accept_workload: bool) {
         let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
         let mut tape = flux_xml::EventTape::with_capacity(doc.len() / 16, doc.len() / 2);
         while reader.advance().expect("parse") {
-            let pos = reader.position();
-            tape.push(&reader.view(), pos);
+            tape.push(&reader.view(), reader.event_start(), reader.position());
         }
         tape
     };
@@ -609,7 +608,7 @@ fn write_bench_events_json(
          \"baseline_string_events\": {{\n    \"note\": \"pre-refactor string-event pipeline, {}\",\n    \
          \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {}\n  }},\n  \
          \"current\": {{\n    \"raw_parse\": {},\n    \"tape_replay\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }},\n  \
-         \"parallel\": {{\n{}\n  }}\n}}\n",
+         \"parallel\": {{\n{}\n  }},\n{}}}\n",
         e8_workload_stamp(doc.len()),
         BASELINE_HOST_NOTE,
         baseline(&BASELINE_RAW),
@@ -621,9 +620,77 @@ fn write_bench_events_json(
         entry(past),
         engines,
         parallel_section,
+        workload_matrix_sections(),
     );
     match std::fs::write("BENCH_events.json", &json) {
         Ok(()) => println!("\nwrote BENCH_events.json"),
         Err(e) => eprintln!("\ncould not write BENCH_events.json: {e}"),
     }
+}
+
+/// Records one `"workload_<id>"` section per perf-gated entry of the
+/// workload matrix: raw-parse throughput over the generated document plus,
+/// where the workload carries a query, FluX throughput and
+/// `peak_buffer_bytes`. `perf_gate` gates every one of these stages.
+fn workload_matrix_sections() -> String {
+    let mut out = String::new();
+    for w in workloads().iter().filter(|w| w.perf_gated) {
+        let doc = w.document(w.record_scale, 42);
+        let parse = Measured::best_of(3, || {
+            let mut events = 0u64;
+            let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
+            while reader.advance().expect("workload parses") {
+                events += 1;
+            }
+            events
+        });
+        println!(
+            "{:<22} {:>9} bytes  parse {:>10.0} events/s",
+            w.section_name(),
+            doc.len(),
+            parse.events_per_sec()
+        );
+        out.push_str(&format!(
+            "  \"{}\": {{\n    \"bytes\": {},\n    \"scale\": {},\n    \
+             \"parse\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",
+            w.section_name(),
+            doc.len(),
+            w.record_scale,
+            parse.events,
+            parse.seconds,
+            parse.events_per_sec(),
+        ));
+        if let (Some(query), Some(dtd)) = (w.query, w.dtd) {
+            let engine = AnyEngine::compile(EngineKind::Flux, query, dtd).expect("compile");
+            let mut peak = 0usize;
+            let flux = Measured::best_of(3, || {
+                let mut sink = Vec::new();
+                let stats = engine.run(doc.as_bytes(), &mut sink).expect("run");
+                peak = stats.peak_buffer_bytes;
+                stats.events
+            });
+            println!(
+                "{:<22} {:>15}  flux  {:>10.0} events/s, peak {} bytes",
+                "",
+                "",
+                flux.events_per_sec(),
+                peak
+            );
+            out.push_str(&format!(
+                ",\n    \"flux\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \"peak_buffer_bytes\": {}}}",
+                flux.events,
+                flux.seconds,
+                flux.events_per_sec(),
+                peak,
+            ));
+        }
+        out.push_str("\n  },\n");
+    }
+    out.push_str(&format!(
+        "  \"workload_matrix_note\": \"one section per perf-gated flux_bench::workloads() entry, \
+         documents generated at the registry's record_scale with seed 42; \
+         {} sections recorded\"\n",
+        workloads().iter().filter(|w| w.perf_gated).count()
+    ));
+    out
 }

@@ -3,8 +3,10 @@
 //! Usage: `perf_gate <committed.json> <fresh.json> [--threshold 0.10]`
 //!
 //! Compares every `events_per_sec` stage in the committed recording's
-//! `current` and `parallel` sections against the freshly measured file and
-//! fails (exit 1) when any stage regresses by more than the threshold.
+//! `current` and `parallel` sections — and every `workload_<id>` section
+//! of the workload matrix (`flux_bench::workloads()`) — against the
+//! freshly measured file and fails (exit 1) when any stage regresses by
+//! more than the threshold.
 //! Stages that also record `peak_buffer_bytes` (the engine stages) are
 //! gated on memory too: buffered bytes growing more than the threshold
 //! over the committed recording is a regression of the paper's headline
@@ -20,7 +22,11 @@
 //!   harness refuses to overwrite across workloads, so the committed file
 //!   should never drift) and fails loudly (exit 2);
 //! * a stage present in the committed file but missing from the fresh one
-//!   fails — silently dropping a measurement is how perf claims rot.
+//!   fails — silently dropping a measurement is how perf claims rot;
+//! * a section the workload matrix expects but the committed file lacks
+//!   (or a `parallel` section recorded on a 1-core host, whose shard
+//!   speedups carry no signal) **skips with a visible notice** — never
+//!   silently.
 //!
 //! The file format is our own generator's output
 //! (`experiments --e8` → `BENCH_events.json`); parsing is a small
@@ -147,10 +153,35 @@ fn main() {
         );
     }
 
+    // The recording on a single-core host still measures sharded
+    // throughput, but its speedup axis is pinned at ~1.0x: say so rather
+    // than letting a green "parallel" section imply scaling was gated.
+    if base_cores == Some(1.0) {
+        println!(
+            "perf_gate: NOTE parallel: committed recording was made on a 1-core host — its \
+             shard speedups are bounded at 1.0x, so this gate checks sharded *overhead* only, \
+             not scaling. Re-record on a multicore host to gate speedup."
+        );
+    }
+
     let mut regressions = 0usize;
     let mut compared = 0usize;
-    for section_name in ["current", "parallel"] {
+    let mut sections: Vec<String> = vec!["current".into(), "parallel".into()];
+    sections.extend(
+        flux_bench::workloads()
+            .iter()
+            .filter(|w| w.perf_gated)
+            .map(|w| w.section_name()),
+    );
+    for section_name in &sections {
         let Some(base_section) = extract_section(&committed, section_name) else {
+            // A silent skip here would read as "gated and green" — make
+            // the hole visible instead.
+            println!(
+                "perf_gate: SKIP {section_name}: no committed section — re-record \
+                 BENCH_events.json (cargo run --release -p flux_bench --bin experiments -- --e8) \
+                 to arm this gate"
+            );
             continue;
         };
         let fresh_section = extract_section(&fresh, section_name).unwrap_or("");

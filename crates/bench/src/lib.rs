@@ -8,6 +8,10 @@
 use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig, AUCTION_DTD};
 use fluxquery_core::{AnyEngine, EngineKind, Error, Options, RunStats};
 
+pub mod workloads;
+
+pub use workloads::{workload, workloads, Workload};
+
 /// Which generated corpus a query runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Domain {

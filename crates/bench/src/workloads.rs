@@ -1,0 +1,217 @@
+//! The workload matrix: every named input shape the test suite, the
+//! conformance harness and the perf recording agree on.
+//!
+//! One recorded bibliography stopped being enough the moment the paper's
+//! claims — bounded buffers under adversarial shapes, sequential-exact
+//! sharded errors — had to hold off the happy path. Each entry here is a
+//! *named axis* of the input space: the two paper bibliographies, an
+//! XMark-style auction document that scales to multi-MB, and the four
+//! pathological shapes from [`flux_xmlgen::pathological`].
+//!
+//! Consumers:
+//! * `flux_conformance` replays every workload through all engines ×
+//!   shard counts × interner bounds and asserts nothing observable moves;
+//! * `experiments --e8` records one `workload_<id>` section per
+//!   perf-gated entry in `BENCH_events.json`;
+//! * `perf_gate` fails a >10% throughput or `peak_buffer_bytes`
+//!   regression in any one of them.
+
+use crate::{catalog_query, Domain, Q3};
+use flux_xmlgen::{
+    attr_heavy_string, deep_string, mint_string, text_heavy_string, AttrHeavyConfig, DeepConfig,
+    MintConfig, TextHeavyConfig,
+};
+
+/// One named workload: a deterministic document generator plus the schema
+/// and query the engine tier runs over it.
+pub struct Workload {
+    /// Stable identifier (`BENCH_events.json` section names derive from
+    /// it: `workload_<id>`).
+    pub id: &'static str,
+    /// What this workload stresses.
+    pub description: &'static str,
+    /// DTD for the validating (FluX) engine tier; `None` restricts the
+    /// workload to the stream tier and the non-validating baselines.
+    pub dtd: Option<&'static str>,
+    /// Query for the engine tier; `None` = stream (parse-level) tier only.
+    pub query: Option<&'static str>,
+    /// The distinct-name vocabulary grows with document size — the input
+    /// the bounded interner exists for. Conformance runs these under a
+    /// tiny `max_symbols` cap as well.
+    pub adversarial_names: bool,
+    /// Whether `experiments --e8` records a `workload_<id>` perf section.
+    pub perf_gated: bool,
+    /// The scale `experiments --e8` records perf sections at (seed 42) —
+    /// kept on the registry so the recording, the gate and the docs agree
+    /// on what the committed numbers measured.
+    pub record_scale: f64,
+    document: fn(f64, u64) -> String,
+}
+
+impl Workload {
+    /// Generates this workload's document at roughly `scale` × base size.
+    pub fn document(&self, scale: f64, seed: u64) -> String {
+        (self.document)(scale, seed)
+    }
+
+    /// The `BENCH_events.json` section name for this workload.
+    pub fn section_name(&self) -> String {
+        format!("workload_{}", self.id)
+    }
+}
+
+/// The full matrix, in stable order.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            id: "bib_weak",
+            description: "paper bibliography, weak DTD `book (title|author)*`",
+            dtd: Some(Domain::BibWeak.dtd()),
+            query: Some(Q3),
+            adversarial_names: false,
+            // The primary recording (`current` + `parallel` sections)
+            // already gates this shape at scale 32.
+            perf_gated: false,
+            record_scale: 32.0,
+            document: |scale, seed| Domain::BibWeak.document(scale, seed),
+        },
+        Workload {
+            id: "bib_fig1",
+            description: "paper bibliography, strong Figure 1 DTD",
+            dtd: Some(Domain::BibFig1.dtd()),
+            query: Some(Q3),
+            adversarial_names: false,
+            perf_gated: false,
+            record_scale: 32.0,
+            document: |scale, seed| Domain::BibFig1.document(scale, seed),
+        },
+        Workload {
+            id: "auction",
+            description: "XMark-style auction site (multi-MB document-size axis)",
+            dtd: Some(Domain::Auction.dtd()),
+            query: Some(catalog_query("AUC-EXP").query),
+            adversarial_names: false,
+            perf_gated: true,
+            record_scale: 48.0,
+            document: |scale, seed| Domain::Auction.document(scale, seed),
+        },
+        Workload {
+            id: "deep",
+            description: "deeply recursive spines (element stack depth axis)",
+            dtd: None,
+            query: None,
+            adversarial_names: false,
+            perf_gated: true,
+            record_scale: 16.0,
+            document: |scale, seed| {
+                deep_string(&DeepConfig::new(
+                    128,
+                    ((24.0 * scale).ceil() as usize).max(1),
+                    seed,
+                ))
+            },
+        },
+        Workload {
+            id: "attr_heavy",
+            description: "attribute-dominated bibliography (per-event attribute lists)",
+            dtd: Some(Domain::BibWeak.dtd()),
+            query: Some(Q3),
+            adversarial_names: false,
+            perf_gated: true,
+            record_scale: 16.0,
+            document: |scale, seed| {
+                attr_heavy_string(&AttrHeavyConfig::new(
+                    ((40.0 * scale).ceil() as usize).max(1),
+                    10,
+                    seed,
+                ))
+            },
+        },
+        Workload {
+            id: "text_heavy",
+            description: "text-dominated bibliography with entities mid-run",
+            dtd: Some(Domain::BibWeak.dtd()),
+            query: Some(Q3),
+            adversarial_names: false,
+            perf_gated: true,
+            record_scale: 16.0,
+            document: |scale, seed| {
+                text_heavy_string(&TextHeavyConfig::new(
+                    ((12.0 * scale).ceil() as usize).max(1),
+                    80,
+                    seed,
+                ))
+            },
+        },
+        Workload {
+            id: "name_mint",
+            description: "name-minting adversary (unbounded distinct-name vocabulary)",
+            dtd: Some(Domain::BibWeak.dtd()),
+            query: Some(Q3),
+            adversarial_names: true,
+            perf_gated: true,
+            record_scale: 32.0,
+            document: |scale, seed| {
+                mint_string(&MintConfig::new(
+                    ((50.0 * scale).ceil() as usize).max(1),
+                    6,
+                    seed,
+                ))
+            },
+        },
+    ]
+}
+
+/// Looks up a workload by id.
+pub fn workload(id: &str) -> Workload {
+    workloads()
+        .into_iter()
+        .find(|w| w.id == id)
+        .unwrap_or_else(|| panic!("unknown workload {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_and_sections_named() {
+        let all = workloads();
+        let mut ids: Vec<_> = all.iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert_eq!(workload("deep").section_name(), "workload_deep");
+    }
+
+    #[test]
+    fn at_least_four_perf_gated_workloads() {
+        assert!(workloads().iter().filter(|w| w.perf_gated).count() >= 4);
+    }
+
+    #[test]
+    fn documents_deterministic_and_scaling() {
+        for w in workloads() {
+            let a = w.document(0.2, 7);
+            let b = w.document(0.2, 7);
+            assert_eq!(a, b, "{} not deterministic", w.id);
+            let large = w.document(2.0, 7);
+            assert!(
+                large.len() > a.len() * 4,
+                "{} does not scale: {} -> {}",
+                w.id,
+                a.len(),
+                large.len()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_tier_workloads_have_dtd_and_query() {
+        for w in workloads() {
+            if w.query.is_some() {
+                assert!(w.dtd.is_some(), "{}: query without DTD", w.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end proof that `perf_gate` actually gates: drives the built
+//! binary (via `CARGO_BIN_EXE_perf_gate`) over the committed
+//! `BENCH_events.json` with injected regressions and asserts the exit
+//! codes and notices, so the gate can never rot into a green no-op.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn committed() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_events.json");
+    std::fs::read_to_string(path).expect("committed BENCH_events.json")
+}
+
+fn run_gate(base: &str, fresh: &str, tag: &str) -> Output {
+    let dir = std::env::temp_dir();
+    let base_path = dir.join(format!("perf_gate_cli_{tag}_base.json"));
+    let fresh_path = dir.join(format!("perf_gate_cli_{tag}_fresh.json"));
+    std::fs::write(&base_path, base).expect("write base");
+    std::fs::write(&fresh_path, fresh).expect("write fresh");
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+        .arg(&base_path)
+        .arg(&fresh_path)
+        .output()
+        .expect("run perf_gate");
+    let _ = std::fs::remove_file(&base_path);
+    let _ = std::fs::remove_file(&fresh_path);
+    out
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Scales the first `"key": <number>` after `anchor` by `factor`.
+fn scale_num_after(json: &str, anchor: &str, key: &str, factor: f64) -> String {
+    let section = json.find(anchor).expect("anchor present");
+    let marker = format!("\"{key}\": ");
+    let start = section + json[section..].find(&marker).expect("key present") + marker.len();
+    let end = start
+        + json[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .expect("number terminated");
+    let value: f64 = json[start..end].parse().expect("numeric value");
+    format!("{}{:.0}{}", &json[..start], value * factor, &json[end..])
+}
+
+#[test]
+fn identical_recordings_pass() {
+    let json = committed();
+    let out = run_gate(&json, &json, "identical");
+    assert!(
+        out.status.success(),
+        "self-comparison must pass:\n{}",
+        stdout(&out)
+    );
+    // Every perf-gated workload section is compared, visibly.
+    let text = stdout(&out);
+    for section in ["workload_auction", "workload_deep", "workload_name_mint"] {
+        assert!(text.contains(section), "no {section} line in:\n{text}");
+    }
+}
+
+#[test]
+fn injected_throughput_regression_fails() {
+    let json = committed();
+    // 40% slower parse in one workload section: well past the 10% gate.
+    let fresh = scale_num_after(&json, "\"workload_text_heavy\"", "events_per_sec", 0.6);
+    let out = run_gate(&json, &fresh, "throughput");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must fail:\n{}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("FAIL workload_text_heavy.parse"),
+        "regressed stage not named:\n{text}"
+    );
+}
+
+#[test]
+fn injected_memory_regression_fails() {
+    let json = committed();
+    // Peak buffered bytes growing 3x is the paper's headline metric going
+    // backwards; the gate must fail even though throughput is unchanged.
+    let fresh = scale_num_after(&json, "\"workload_name_mint\"", "peak_buffer_bytes", 3.0);
+    let out = run_gate(&json, &fresh, "memory");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must fail:\n{}",
+        stdout(&out)
+    );
+    assert!(
+        stdout(&out).contains("FAIL workload_name_mint.flux"),
+        "regressed stage not named:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn missing_committed_section_skips_with_notice() {
+    let json = committed();
+    // Strip one workload section from the committed file (rename its key
+    // so extract_section misses it); the gate must say SKIP, not pass it
+    // silently.
+    let base = json.replace("\"workload_deep\"", "\"workload_deep_retired\"");
+    let out = run_gate(&base, &json, "missing");
+    assert!(
+        out.status.success(),
+        "skip is not a failure:\n{}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("SKIP workload_deep:") && text.contains("no committed section"),
+        "missing section not announced:\n{text}"
+    );
+}
+
+#[test]
+fn one_core_parallel_recording_is_announced() {
+    let json = committed();
+    let out = run_gate(&json, &json, "onecore");
+    let text = stdout(&out);
+    // The committed recording is made on the 1-core CI container; the
+    // gate must say that the parallel section cannot gate scaling there.
+    if text.contains("\"host_cores\": 1,") || committed().contains("\"host_cores\": 1,") {
+        assert!(
+            text.contains("NOTE parallel") && text.contains("1-core host"),
+            "1-core recording not announced:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn cross_hardware_throughput_skips_but_memory_still_gates() {
+    let json = committed();
+    let fresh = scale_num_after(&json, "\"parallel\"", "host_cores", 64.0);
+    // Memory regression on different hardware must still fail: peak bytes
+    // are deterministic.
+    let fresh = scale_num_after(&fresh, "\"workload_auction\"", "peak_buffer_bytes", 3.0);
+    let out = run_gate(&json, &fresh, "crosshw");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "memory gate must stay armed:\n{}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("events/sec comparison SKIPPED"),
+        "cross-hardware skip not announced:\n{text}"
+    );
+    assert!(
+        text.contains("FAIL workload_auction.flux"),
+        "memory regression not caught:\n{text}"
+    );
+}
+
+#[test]
+fn workload_stamp_drift_is_a_configuration_error() {
+    let json = committed();
+    let fresh = json.replacen("\"workload\": \"", "\"workload\": \"DRIFTED ", 1);
+    let out = run_gate(&json, &fresh, "stamp");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stamp drift must exit 2:\n{}",
+        stdout(&out)
+    );
+}

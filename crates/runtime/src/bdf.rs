@@ -44,6 +44,12 @@ pub struct SpecNode {
     pub whole: bool,
     /// Keep text children at this point.
     pub text: bool,
+    /// Attribute names of *this* element the plan reads (`$v/@a`), in
+    /// insertion order. A scope shell keeps only these (all of them when
+    /// `whole` is set) — an attribute name no expression reads never
+    /// enters the buffer store, so an adversarial stream minting distinct
+    /// names cannot grow the store's run-long dictionary.
+    pub attrs: Vec<String>,
     /// Child labels to keep, with their own projections, in insertion
     /// order. Spec nodes have a handful of children at most, so descent is
     /// a short scan of integer comparisons.
@@ -106,6 +112,14 @@ impl SpecArena {
         self.node_mut(id).text = true;
     }
 
+    /// Records that the plan reads attribute `name` of this element.
+    pub fn mark_attr(&mut self, id: SpecId, name: &str) {
+        let attrs = &mut self.node_mut(id).attrs;
+        if !attrs.iter().any(|a| a == name) {
+            attrs.push(name.to_string());
+        }
+    }
+
     /// True when nothing below this spec needs buffering.
     pub fn is_empty_spec(&self, id: SpecId) -> bool {
         let n = self.node(id);
@@ -142,6 +156,16 @@ impl SpecArena {
         let mut first = true;
         if n.text {
             out.push_str("text()");
+            first = false;
+        }
+        let mut attrs: Vec<&String> = n.attrs.iter().collect();
+        attrs.sort();
+        for attr in attrs {
+            if !first {
+                out.push(',');
+            }
+            out.push('@');
+            out.push_str(attr);
             first = false;
         }
         let mut edges: Vec<&SpecEdge> = n.children.iter().collect();
@@ -310,8 +334,10 @@ fn note_path(
     };
     match tail {
         Some(Step::Text) => arena.mark_text(node),
-        Some(Step::Attribute(_)) => {
-            // Attributes ride along with materialised element shells.
+        Some(Step::Attribute(name)) => {
+            // Shells keep only the attributes the plan reads — record the
+            // read so this one survives shell projection.
+            arena.mark_attr(node, name);
         }
         _ => {
             if string_valued {

@@ -201,6 +201,40 @@ impl BufferArena {
         })
     }
 
+    /// Creates a detached scope shell from a borrowed event view, keeping
+    /// only the attributes named in `keep` (the names the plan actually
+    /// reads — [`crate::bdf::SpecNode::attrs`]). Dropping unread attribute
+    /// names here is what keeps the run-long name dictionary off
+    /// adversarial streams: a minted name no expression reads never
+    /// reaches the arena's table, so `peak_buffer_bytes` stays flat
+    /// however many distinct names the input mints.
+    pub fn create_element_view_projected(
+        &mut self,
+        symbols: &SymbolTable,
+        ev: &RawEventRef<'_>,
+        keep: &[String],
+    ) -> NodeId {
+        let dict_before = self.doc.interned_name_bytes();
+        let name = self.doc.import_name(symbols, ev.name(), ev.target());
+        let mut attrs = self.pooled_attrs();
+        if !keep.is_empty() {
+            for a in ev.attrs() {
+                let spelled = symbols.try_name(a.name).unwrap_or(a.overflow_name);
+                if !keep.iter().any(|k| k == spelled) {
+                    continue;
+                }
+                let name = self.doc.import_name(symbols, a.name, a.overflow_name);
+                let value = self.pooled_string(a.value);
+                attrs.push(NodeAttr { name, value });
+            }
+        }
+        self.charge_dictionary(dict_before);
+        self.alloc(NodeKind::Element {
+            name,
+            attributes: attrs,
+        })
+    }
+
     /// Appends a new element from a borrowed event view under `parent`.
     pub fn append_element_view(
         &mut self,

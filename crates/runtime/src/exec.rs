@@ -252,7 +252,16 @@ impl<'p, W: Write> ExecState<'p, W> {
                 if !matches {
                     continue;
                 }
-                let shell = self.arena.create_element_view(symbols, ev);
+                // The shell carries only the attributes the plan reads
+                // (all of them when the whole subtree is kept): unread
+                // minted names must never grow the arena's dictionary.
+                let spec_node = plan.specs.node(*spec);
+                let shell = if spec_node.whole {
+                    self.arena.create_element_view(symbols, ev)
+                } else {
+                    self.arena
+                        .create_element_view_projected(symbols, ev, &spec_node.attrs)
+                };
                 let saved = self.env.insert(var.clone(), shell);
                 ctx.bindings.push((var.clone(), saved));
                 ctx.shells.push(shell);
@@ -594,6 +603,38 @@ mod tests {
         assert_eq!(
             out,
             r#"<results><b y="1994"><title>T</title></b></results>"#
+        );
+    }
+
+    #[test]
+    fn shells_keep_read_attributes_and_drop_minted_ones() {
+        // The plan reads only `@year`: a stream minting a fresh attribute
+        // name per book must not grow the peak, while the read attribute
+        // still resolves. This is the engine-level memory bound against
+        // the name-minting adversary.
+        let dtd_text = "<!ELEMENT bib (book)*>\n<!ELEMENT book (title)>\n<!ELEMENT title (#PCDATA)>\n<!ATTLIST book year CDATA #IMPLIED>";
+        let q = r#"<results>{ for $b in $ROOT/bib/book return <b y="{$b/@year}"/> }</results>"#;
+        let doc_with = |books: usize| {
+            let mut doc = String::from("<bib>");
+            for i in 0..books {
+                doc.push_str(&format!(
+                    "<book year=\"y{i}\" mint{i:05}=\"v\"><title>T</title></book>"
+                ));
+            }
+            doc.push_str("</bib>");
+            doc
+        };
+        let (out, stats_small) = run(q, dtd_text, &doc_with(5));
+        assert!(
+            out.starts_with(r#"<results><b y="y0"></b><b y="y1"></b>"#),
+            "{out}"
+        );
+        let (_, stats_big) = run(q, dtd_text, &doc_with(500));
+        assert!(
+            stats_big.peak_buffer_bytes < stats_small.peak_buffer_bytes * 2,
+            "minted attribute names leaked into the dictionary: {} -> {}",
+            stats_small.peak_buffer_bytes,
+            stats_big.peak_buffer_bytes
         );
     }
 

@@ -384,6 +384,28 @@ impl ShardedReader {
         }
     }
 
+    /// Advances `pos` over literal whitespace in the original input with
+    /// the sequential scanner's accounting — the skip the prolog/epilog
+    /// state performs before rejecting top-level character data. Replaying
+    /// it here keeps the merger's error byte-exact even when the offending
+    /// text run starts with whitespace (or whitespace produced by entities,
+    /// which the scanner does *not* skip: only literal bytes qualify).
+    fn skip_input_whitespace(&self, mut pos: Position) -> Position {
+        while let Some(&b) = self.input.get(pos.offset as usize) {
+            if !matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                break;
+            }
+            pos.offset += 1;
+            if b == b'\n' {
+                pos.line += 1;
+                pos.column = 1;
+            } else {
+                pos.column += 1;
+            }
+        }
+        pos
+    }
+
     /// Advances to the next replayed event — the zero-copy pull API. The
     /// first call launches the parallel parse.
     pub fn advance(&mut self) -> Result<bool> {
@@ -459,7 +481,7 @@ impl ShardedReader {
                 continue;
             }
 
-            let (i, kind, pos, name, literal) = {
+            let (i, kind, pos, start, name, literal) = {
                 let a = self.active.as_mut().expect("active shard ensured");
                 let i = a.next_event;
                 a.next_event += 1;
@@ -484,6 +506,7 @@ impl ShardedReader {
                     i,
                     kind,
                     compose(a.base, a.shard.tape.position(i)),
+                    compose(a.base, a.shard.tape.start_position(i)),
                     name,
                     literal,
                 )
@@ -496,7 +519,10 @@ impl ShardedReader {
                     if kind == RawEventKind::StartElement {
                         if self.stack.is_empty() && self.root_done {
                             self.finished = true;
-                            return Err(self.wf("multiple root elements", pos));
+                            // The sequential reader rejects a second root
+                            // before consuming any of its tag: error at the
+                            // construct's first byte.
+                            return Err(self.wf("multiple root elements", start));
                         }
                         if self.stack.len() >= self.config.max_depth {
                             self.finished = true;
@@ -609,13 +635,19 @@ impl ShardedReader {
                     } else {
                         "character data before the root element"
                     };
-                    return Err(self.wf(message, pos));
+                    // The sequential prolog/epilog state skips literal
+                    // whitespace and errors at the first byte it cannot:
+                    // replay that skip over the original input.
+                    let at = self.skip_input_whitespace(start);
+                    return Err(self.wf(message, at));
                 }
                 RawEventKind::DoctypeDecl if self.root_seen => {
                     self.finished = true;
+                    // Rejected at the `<` of `<!DOCTYPE`, like the
+                    // sequential reader.
                     return Err(self.wf(
                         "DOCTYPE declaration after the root element has started",
-                        pos,
+                        start,
                     ));
                 }
                 _ => {}

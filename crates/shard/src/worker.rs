@@ -74,8 +74,10 @@ pub(crate) fn parse_fragment(
         ) {
             continue;
         }
-        let pos = reader.position();
-        tape.push(&reader.view(), pos);
+        // Construct-start and just-after positions bracket the event; the
+        // merger reports its document-level re-checks at the start — where
+        // the sequential reader raises them.
+        tape.push(&reader.view(), reader.event_start(), reader.position());
     }
     let end_pos = reader.position();
     let table = reader.symbols();

@@ -11,8 +11,8 @@
 
 use flux_dtd::Dtd;
 use flux_shard::{ReplayMode, ShardConfig, ShardedReader};
-use flux_xml::{EventSource, Position, XmlEvent};
-use flux_xmlgen::{bib_string, BibConfig};
+use flux_xml::{EventSource, Position, RawEvent, XmlError, XmlEvent, XmlReader};
+use flux_xmlgen::{bib_string, corpus, BibConfig};
 use flux_xsax::{seeded_symbols, XsaxConfig, XsaxError, XsaxParser, XsaxStep};
 use proptest::prelude::*;
 
@@ -120,6 +120,62 @@ fn corrupt_nth(doc: &str, needle: &str, with: &str, n: usize) -> Option<String> 
     out.push_str(with);
     out.push_str(&doc[at + needle.len()..]);
     Some(out)
+}
+
+/// Drains a raw event source to completion or its first error.
+fn parse_to_error<S: EventSource>(mut source: S) -> Option<XmlError> {
+    let mut ev = RawEvent::new();
+    loop {
+        match source.next_into(&mut ev) {
+            Ok(true) => {}
+            Ok(false) => return None,
+            Err(e) => return Some(e),
+        }
+    }
+}
+
+/// Parse-level counterpart of [`assert_modes_agree`]: every entry of the
+/// seeded malformed-input corpus must fail with the identical error
+/// message and the byte-exact sequential position — offset, line *and*
+/// column — under every shard count and both replay modes.
+#[test]
+fn corpus_errors_byte_exact_across_shard_counts() {
+    let entries = corpus();
+    assert!(entries.len() >= 20, "corpus shrank to {}", entries.len());
+    for entry in &entries {
+        let seq_err = parse_to_error(XmlReader::new(entry.bytes.as_slice()))
+            .unwrap_or_else(|| panic!("corpus entry `{}` parsed cleanly", entry.id));
+        entry.check_error(&seq_err);
+        let seq_pos = seq_err
+            .position()
+            .unwrap_or_else(|| panic!("corpus entry `{}`: error without position", entry.id));
+        for shards in SHARD_COUNTS {
+            for mode in [ReplayMode::Joined, ReplayMode::Pipelined] {
+                let mut config = ShardConfig::new(shards);
+                config.min_shard_bytes = 1;
+                config.mode = mode;
+                let err = parse_to_error(ShardedReader::new(entry.bytes.clone(), config))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "corpus entry `{}` parsed cleanly ({shards} shards, {mode:?})",
+                            entry.id
+                        )
+                    });
+                assert_eq!(
+                    err.to_string(),
+                    seq_err.to_string(),
+                    "corpus entry `{}`: error message diverged ({shards} shards, {mode:?})",
+                    entry.id
+                );
+                assert_eq!(
+                    err.position(),
+                    Some(seq_pos),
+                    "corpus entry `{}`: error position diverged ({shards} shards, {mode:?})",
+                    entry.id
+                );
+            }
+        }
+    }
 }
 
 proptest! {

@@ -96,6 +96,9 @@ pub struct XmlReader<R: Read> {
     scanner: Scanner<R>,
     config: ReaderConfig,
     state: State,
+    /// Source position of the first byte of the current event's construct
+    /// (set at dispatch, before any of it is consumed).
+    event_start: Position,
     /// Interner for element and attribute names. Seed it with
     /// [`XmlReader::with_symbols`] to share symbols with a schema.
     symbols: SymbolTable,
@@ -160,6 +163,11 @@ impl<R: Read> XmlReader<R> {
             scanner: Scanner::new(src),
             config,
             state: State::Fresh,
+            event_start: Position {
+                offset: 0,
+                line: 1,
+                column: 1,
+            },
             symbols,
             stack: Vec::new(),
             pending_end: None,
@@ -181,6 +189,14 @@ impl<R: Read> XmlReader<R> {
     /// Current input position (useful for error reporting in callers).
     pub fn position(&self) -> Position {
         self.scanner.position()
+    }
+
+    /// Position of the first byte of the most recently delivered event's
+    /// construct — where the sequential reader reports document-level
+    /// errors (a second root element, a late DOCTYPE, top-level text).
+    /// Tape recorders store it so replay errors stay byte-exact.
+    pub fn event_start(&self) -> Position {
+        self.event_start
     }
 
     /// Current element nesting depth.
@@ -293,6 +309,9 @@ impl<R: Read> XmlReader<R> {
             return Ok(());
         }
         if let Some(name) = self.pending_end.take() {
+            // The virtual end tag of `<e/>` is zero-width at the current
+            // position.
+            self.event_start = self.scanner.position();
             ev.reset(RawEventKind::EndElement);
             ev.set_name(name);
             if name == SymbolTable::OVERFLOW {
@@ -307,6 +326,7 @@ impl<R: Read> XmlReader<R> {
                 State::Done => return Err(self.syntax("next_event called after end of document")),
                 State::Prolog | State::Epilog => {
                     self.scanner.skip_whitespace()?;
+                    self.event_start = self.scanner.position();
                     match self.scanner.peek()? {
                         None => {
                             if self.state == State::Prolog {
@@ -333,27 +353,30 @@ impl<R: Read> XmlReader<R> {
                         }
                     }
                 }
-                State::InRoot => match self.scanner.peek()? {
-                    None => {
-                        if self.config.fragment {
-                            // End of the fragment: leave open elements on
-                            // the stack for the merger to stitch.
-                            self.state = State::Done;
-                            ev.reset(RawEventKind::EndDocument);
-                            return Ok(());
+                State::InRoot => {
+                    self.event_start = self.scanner.position();
+                    match self.scanner.peek()? {
+                        None => {
+                            if self.config.fragment {
+                                // End of the fragment: leave open elements on
+                                // the stack for the merger to stitch.
+                                self.state = State::Done;
+                                ev.reset(RawEventKind::EndDocument);
+                                return Ok(());
+                            }
+                            return Err(XmlError::UnexpectedEof {
+                                expected: "closing tags for open elements",
+                                pos: self.scanner.position(),
+                            });
                         }
-                        return Err(XmlError::UnexpectedEof {
-                            expected: "closing tags for open elements",
-                            pos: self.scanner.position(),
-                        });
-                    }
-                    Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
-                        if self.parse_markup(ev)? {
-                            return Ok(());
+                        Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
+                            if self.parse_markup(ev)? {
+                                return Ok(());
+                            }
                         }
+                        Some(_) => return self.parse_text(ev, allow_borrow),
                     }
-                    Some(_) => return self.parse_text(ev, allow_borrow),
-                },
+                }
                 State::Fresh => unreachable!("handled above"),
             }
         }

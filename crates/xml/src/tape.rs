@@ -110,6 +110,8 @@ pub(crate) struct EncEvent {
     target: (usize, usize),
     has_internal_subset: bool,
     text_synthetic: bool,
+    /// Source position of the first byte of this event's construct.
+    start: Position,
     /// Source position just after this event was produced.
     pos: Position,
 }
@@ -163,11 +165,13 @@ impl EventTape {
         (start, self.arena.len())
     }
 
-    /// Records one event (copies its payloads into the arena). `pos` is
-    /// the source position just after the event was produced — replayed
-    /// back by [`EventTape::position`] so replay errors carry sequential
-    /// positions.
-    pub fn push(&mut self, ev: &RawEventRef<'_>, pos: Position) {
+    /// Records one event (copies its payloads into the arena). `start` is
+    /// the source position of the construct's first byte (where the
+    /// sequential reader reports document-level errors such as a second
+    /// root element); `pos` is the position just after the event was
+    /// produced. Both are replayed back by [`EventTape::start_position`] /
+    /// [`EventTape::position`] so replay errors carry sequential positions.
+    pub fn push(&mut self, ev: &RawEventRef<'_>, start: Position, pos: Position) {
         let attrs_start = self.attrs.len();
         for attr in ev.attrs() {
             let overflow = self.span(attr.overflow_name);
@@ -188,6 +192,7 @@ impl EventTape {
             target,
             has_internal_subset: ev.internal_subset().is_some(),
             text_synthetic: ev.is_text_synthetic(),
+            start,
             pos,
         });
     }
@@ -216,6 +221,11 @@ impl EventTape {
     /// The recorded source position of event `i`.
     pub fn position(&self, i: usize) -> Position {
         self.events[i].pos
+    }
+
+    /// The recorded source position of the first byte of event `i`.
+    pub fn start_position(&self, i: usize) -> Position {
+        self.events[i].start
     }
 
     /// A zero-copy view of event `i`, names translated through `remap`.
@@ -274,8 +284,7 @@ mod tests {
         let mut reader = XmlReader::new(doc.as_bytes());
         let mut tape = EventTape::new();
         while reader.advance().unwrap() {
-            let pos = reader.position();
-            tape.push(&reader.view(), pos);
+            tape.push(&reader.view(), reader.event_start(), reader.position());
         }
         let mut writer = XmlWriter::new(Vec::new());
         for i in 0..tape.len() {
@@ -293,8 +302,13 @@ mod tests {
         let mut reader = XmlReader::new(doc.as_bytes());
         let mut tape = EventTape::new();
         while reader.advance().unwrap() {
-            let pos = reader.position();
-            tape.push(&reader.view(), pos);
+            tape.push(&reader.view(), reader.event_start(), reader.position());
+        }
+        for i in 0..tape.len() {
+            assert!(
+                tape.start_position(i).offset <= tape.position(i).offset,
+                "event {i} starts after it ends"
+            );
         }
         let offsets: Vec<u64> = (0..tape.len()).map(|i| tape.position(i).offset).collect();
         let mut sorted = offsets.clone();

@@ -112,8 +112,7 @@ fn steady_state_event_loop_is_allocation_free() {
     let mut reader = XmlReader::new(large.as_bytes());
     let mut tape = EventTape::new();
     while reader.advance().expect("well-formed input") {
-        let pos = reader.position();
-        tape.push(&reader.view(), pos);
+        tape.push(&reader.view(), reader.event_start(), reader.position());
     }
     let replay_allocs = (0..5)
         .map(|_| {

@@ -69,6 +69,36 @@ impl AuctionConfig {
             ..base
         }
     }
+
+    /// A configuration sized to produce roughly `bytes` of output (within
+    /// ~15%), XMark's "document size axis" knob: generate a small probe,
+    /// measure its bytes-per-scale, and extrapolate. Reaches multi-MB
+    /// documents with multi-MB inputs staying deterministic per seed.
+    pub fn target_bytes(bytes: usize, seed: u64) -> Self {
+        const PROBE_SCALE: f64 = 0.25;
+        let probe = {
+            let mut out = CountingSink(0);
+            write_auction(&AuctionConfig::scale(PROBE_SCALE, seed), &mut out)
+                .expect("probe generation cannot fail");
+            out.0
+        };
+        let per_scale = probe as f64 / PROBE_SCALE;
+        AuctionConfig::scale((bytes as f64 / per_scale).max(0.01), seed)
+    }
+}
+
+/// Byte-counting sink for [`AuctionConfig::target_bytes`]'s probe run.
+struct CountingSink(u64);
+
+impl Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Writes an auction document to `out`.
@@ -202,6 +232,20 @@ mod tests {
         let s1 = auction_string(&AuctionConfig::scale(0.2, 1)).len();
         let s2 = auction_string(&AuctionConfig::scale(2.0, 1)).len();
         assert!(s2 > s1 * 5);
+    }
+
+    #[test]
+    fn target_bytes_reaches_multi_mb() {
+        let config = AuctionConfig::target_bytes(3 * 1_048_576, 11);
+        let len = auction_string(&config).len();
+        assert!(
+            (2_500_000..=3_800_000).contains(&len),
+            "asked for ~3 MiB, got {len} bytes"
+        );
+        // And the knob is deterministic per seed.
+        let again = AuctionConfig::target_bytes(3 * 1_048_576, 11);
+        assert_eq!(config.people, again.people);
+        assert_eq!(config.items, again.items);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! The malformed-input corpus: seeded broken documents with an
+//! expected-error manifest.
+//!
+//! Each entry is a deterministic corruption of a valid generated document
+//! — truncations inside every construct, mismatched and stray tags, bad
+//! entity and character references, duplicate attributes, invalid UTF-8,
+//! multiple roots, top-level text, and **seam-straddling** breakage placed
+//! deep inside documents large enough that an 8-way shard split puts
+//! chunk boundaries both before and after the flaw.
+//!
+//! The manifest records what the *sequential* reader must report (error
+//! class plus a stable message fragment); the conformance suite then
+//! asserts that every sharded mode reproduces that error **byte-exactly**
+//! (message, offset, line and column) after delivering the identical
+//! valid prefix. The corpus is the fixed point the "sharded errors are
+//! exactly sequential" claim is tested against.
+
+use crate::bib::{bib_string, BibConfig};
+use flux_xml::XmlError;
+
+/// The error class an entry must produce (mirrors [`XmlError`] without
+/// tying the manifest to payload fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedKind {
+    /// Input ended inside a construct ([`XmlError::UnexpectedEof`]).
+    UnexpectedEof,
+    /// Syntactic garbage ([`XmlError::Syntax`]).
+    Syntax,
+    /// Well-formedness violation ([`XmlError::WellFormedness`]).
+    WellFormedness,
+    /// Undefined entity reference ([`XmlError::UnknownEntity`]).
+    UnknownEntity,
+    /// Invalid UTF-8 ([`XmlError::InvalidUtf8`]).
+    InvalidUtf8,
+}
+
+impl ExpectedKind {
+    /// Whether `err` is of this class.
+    pub fn matches(self, err: &XmlError) -> bool {
+        matches!(
+            (self, err),
+            (ExpectedKind::UnexpectedEof, XmlError::UnexpectedEof { .. })
+                | (ExpectedKind::Syntax, XmlError::Syntax { .. })
+                | (
+                    ExpectedKind::WellFormedness,
+                    XmlError::WellFormedness { .. }
+                )
+                | (ExpectedKind::UnknownEntity, XmlError::UnknownEntity { .. })
+                | (ExpectedKind::InvalidUtf8, XmlError::InvalidUtf8 { .. })
+        )
+    }
+}
+
+/// One corpus entry: the broken bytes plus the manifest of what parsing
+/// them must report.
+pub struct CorpusEntry {
+    /// Stable identifier (used in test failure messages and docs).
+    pub id: &'static str,
+    /// What is broken and where.
+    pub description: &'static str,
+    /// The document bytes (not necessarily UTF-8 — that can be the flaw).
+    pub bytes: Vec<u8>,
+    /// The error class the sequential reader must report.
+    pub expect: ExpectedKind,
+    /// A fragment the rendered error message must contain (`""` = any).
+    pub message_contains: &'static str,
+}
+
+impl CorpusEntry {
+    /// Asserts `err` against this entry's manifest, panicking with a
+    /// corpus-entry-labelled message otherwise.
+    pub fn check_error(&self, err: &XmlError) {
+        assert!(
+            self.expect.matches(err),
+            "corpus entry `{}`: expected {:?}, got: {err}",
+            self.id,
+            self.expect
+        );
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains(self.message_contains),
+            "corpus entry `{}`: error `{rendered}` does not mention `{}`",
+            self.id,
+            self.message_contains
+        );
+    }
+}
+
+/// A small valid bibliography used as raw material for corruptions.
+fn small_doc() -> String {
+    bib_string(&BibConfig::fig1(6, 20))
+}
+
+/// A bibliography large enough (tens of KB) that an 8-way split places
+/// seams on both sides of a flaw buried at a fractional position.
+fn large_doc() -> String {
+    bib_string(&BibConfig::fig1(400, 21))
+}
+
+/// Truncates `doc` at the byte where `marker`'s `n`-th occurrence starts,
+/// keeping `keep` extra bytes of the marker itself.
+fn truncate_at(doc: &str, marker: &str, keep: usize) -> Vec<u8> {
+    let at = doc.find(marker).expect("marker present") + keep;
+    doc.as_bytes()[..at].to_vec()
+}
+
+/// Replaces the first occurrence of `from` with `to`.
+fn replace_first(doc: &str, from: &str, to: &str) -> Vec<u8> {
+    doc.replacen(from, to, 1).into_bytes()
+}
+
+/// Replaces the occurrence of `from` nearest to `frac` of the document
+/// length with `to` — the tool for placing flaws relative to shard seams.
+fn replace_near(doc: &str, frac: f64, from: &str, to: &str) -> Vec<u8> {
+    let target = (doc.len() as f64 * frac) as usize;
+    let mut best: Option<usize> = None;
+    let mut at = 0;
+    while let Some(found) = doc[at..].find(from) {
+        let pos = at + found;
+        if best.map_or(true, |b| pos.abs_diff(target) < b.abs_diff(target)) {
+            best = Some(pos);
+        }
+        at = pos + 1;
+    }
+    let pos = best.expect("needle present");
+    let mut out = Vec::with_capacity(doc.len());
+    out.extend_from_slice(&doc.as_bytes()[..pos]);
+    out.extend_from_slice(to.as_bytes());
+    out.extend_from_slice(&doc.as_bytes()[pos + from.len()..]);
+    out
+}
+
+/// The full corpus. Deterministic: the same entries, bytes and manifest
+/// on every call.
+pub fn corpus() -> Vec<CorpusEntry> {
+    let small = small_doc();
+    let large = large_doc();
+    let mut entries = vec![
+        // --- truncations: EOF inside every construct ---------------------
+        CorpusEntry {
+            id: "truncate-in-start-tag",
+            description: "input ends in the middle of a start tag name",
+            bytes: truncate_at(&small, "<publisher>", 5),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "`>` closing the start tag",
+        },
+        CorpusEntry {
+            id: "truncate-in-attr-value",
+            description: "input ends inside a quoted attribute value",
+            bytes: truncate_at(&small, "year=\"", 8),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "expected closing attribute quote",
+        },
+        CorpusEntry {
+            id: "truncate-in-text",
+            description: "input ends mid-text with elements still open",
+            bytes: truncate_at(&small, "</title>", 0),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "closing tags for open elements",
+        },
+        CorpusEntry {
+            id: "truncate-in-end-tag",
+            description: "input ends in the middle of an end tag",
+            bytes: truncate_at(&small, "</book>", 3),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "`>` closing the end tag",
+        },
+        CorpusEntry {
+            id: "truncate-in-comment",
+            description: "an unterminated comment runs to end of input",
+            bytes: replace_first(&small, "<title>", "<!-- never closed <title>"),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "end of comment `-->`",
+        },
+        CorpusEntry {
+            id: "truncate-in-cdata",
+            description: "an unterminated CDATA section runs to end of input",
+            bytes: replace_first(&small, "</bib>", "<![CDATA[ never closed"),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "`]]>` ending CDATA",
+        },
+        CorpusEntry {
+            id: "truncate-in-pi",
+            description: "an unterminated processing instruction",
+            bytes: replace_first(&small, "</bib>", "</bib><?pi never closed"),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "end of processing instruction",
+        },
+        CorpusEntry {
+            id: "missing-root-close",
+            description: "the root element is never closed",
+            bytes: replace_first(&small, "</bib>", ""),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "closing tags for open elements",
+        },
+        CorpusEntry {
+            id: "empty-input",
+            description: "zero bytes",
+            bytes: Vec::new(),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "expected root element",
+        },
+        CorpusEntry {
+            id: "whitespace-only",
+            description: "whitespace but no root element",
+            bytes: b"  \n\t  \n".to_vec(),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "expected root element",
+        },
+        // --- tag-structure violations ------------------------------------
+        CorpusEntry {
+            id: "mismatched-end-tag",
+            description: "a title closed as </titel>",
+            bytes: replace_first(&small, "</title>", "</titel>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "expected </title>, found </titel>",
+        },
+        CorpusEntry {
+            id: "mismatched-case",
+            description: "XML names are case-sensitive: <book> closed as </Book>",
+            bytes: replace_first(&small, "</book>", "</Book>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "expected </book>, found </Book>",
+        },
+        CorpusEntry {
+            id: "stray-end-tag",
+            description: "an end tag with no matching open element",
+            bytes: replace_first(&small, "<book", "</price><book"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "mismatched end tag",
+        },
+        CorpusEntry {
+            id: "second-root",
+            description: "a second root element after the document element",
+            bytes: replace_first(&small, "</bib>", "</bib><bib></bib>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "multiple root elements",
+        },
+        CorpusEntry {
+            id: "top-level-text",
+            description: "character data after the root element",
+            bytes: replace_first(&small, "</bib>", "</bib>stray text"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "character data after the root element",
+        },
+        CorpusEntry {
+            id: "duplicate-attribute",
+            description: "the same attribute twice on one element",
+            bytes: replace_first(&small, "year=\"", "year=\"2000\" year=\""),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "duplicate attribute `year`",
+        },
+        // --- syntax garbage ----------------------------------------------
+        CorpusEntry {
+            id: "lt-in-attr-value",
+            description: "a raw `<` inside an attribute value",
+            bytes: replace_first(&small, "year=\"", "year=\"<"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "`<` is not allowed in attribute values",
+        },
+        CorpusEntry {
+            id: "name-starts-with-digit",
+            description: "an element name starting with a digit",
+            bytes: replace_first(&small, "<title>", "<1title>"),
+            expect: ExpectedKind::Syntax,
+            message_contains: "invalid element name",
+        },
+        CorpusEntry {
+            id: "tag-inside-tag",
+            description: "a `<` before the previous tag is closed",
+            bytes: replace_first(&small, "<title>", "<title <author>"),
+            expect: ExpectedKind::Syntax,
+            message_contains: "malformed start tag",
+        },
+        CorpusEntry {
+            id: "attr-missing-quotes",
+            description: "an unquoted attribute value",
+            bytes: replace_first(&small, "year=\"", "year=19 x=\""),
+            expect: ExpectedKind::Syntax,
+            message_contains: "attribute value must be quoted",
+        },
+        CorpusEntry {
+            id: "doctype-after-root",
+            description: "a DOCTYPE declaration after the document element",
+            bytes: replace_first(&small, "</bib>", "</bib><!DOCTYPE bib>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "DOCTYPE declaration after the root element",
+        },
+        // --- references ---------------------------------------------------
+        CorpusEntry {
+            id: "unknown-entity",
+            description: "an undefined entity reference in text",
+            bytes: replace_first(&small, "</title>", "&nosuch;</title>"),
+            expect: ExpectedKind::UnknownEntity,
+            message_contains: "unknown entity `&nosuch;`",
+        },
+        CorpusEntry {
+            id: "bare-ampersand",
+            description: "a bare `&` that never forms a reference",
+            bytes: replace_first(&small, "</title>", " & co</title>"),
+            expect: ExpectedKind::Syntax,
+            message_contains: "unterminated entity reference",
+        },
+        CorpusEntry {
+            id: "bad-char-ref",
+            description: "a character reference with non-hex digits",
+            bytes: replace_first(&small, "</title>", "&#xZZ;</title>"),
+            expect: ExpectedKind::UnknownEntity,
+            message_contains: "unknown entity `&#xZZ;`",
+        },
+        CorpusEntry {
+            id: "char-ref-out-of-range",
+            description: "a character reference above U+10FFFF",
+            bytes: replace_first(&small, "</title>", "&#x110000;</title>"),
+            expect: ExpectedKind::UnknownEntity,
+            message_contains: "unknown entity `&#x110000;`",
+        },
+        // --- encoding ------------------------------------------------------
+        CorpusEntry {
+            id: "invalid-utf8-text",
+            description: "a lone 0xFF byte inside element text",
+            bytes: {
+                let mut b = small.clone().into_bytes();
+                let at = small.find("</title>").unwrap();
+                b.insert(at, 0xFF);
+                b
+            },
+            expect: ExpectedKind::InvalidUtf8,
+            message_contains: "invalid UTF-8",
+        },
+        CorpusEntry {
+            id: "invalid-utf8-attr",
+            description: "an overlong UTF-8 sequence inside an attribute value",
+            bytes: {
+                let mut b = small.clone().into_bytes();
+                let at = small.find("year=\"").unwrap() + "year=\"".len();
+                b.splice(at..at, [0xC0, 0xAF]);
+                b
+            },
+            expect: ExpectedKind::InvalidUtf8,
+            message_contains: "invalid UTF-8",
+        },
+        // --- seam-straddling breakage: flaws placed at fractional depths of
+        // --- a document big enough for 8 shards to split around them ------
+        CorpusEntry {
+            id: "seam-mismatch-mid",
+            description: "mismatched end tag near the middle of a large document",
+            bytes: replace_near(&large, 0.5, "</author>", "</autor>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "expected </author>, found </autor>",
+        },
+        CorpusEntry {
+            id: "seam-mismatch-late",
+            description: "mismatched end tag in the last eighth of a large document",
+            bytes: replace_near(&large, 0.9, "</price>", "</prize>"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "expected </price>, found </prize>",
+        },
+        CorpusEntry {
+            id: "seam-entity-early",
+            description: "unknown entity in the first eighth of a large document",
+            bytes: replace_near(&large, 0.1, "</title>", "&boom;</title>"),
+            expect: ExpectedKind::UnknownEntity,
+            message_contains: "unknown entity `&boom;`",
+        },
+        CorpusEntry {
+            id: "seam-stray-end-late",
+            description: "stray end tag near the very end of a large document",
+            bytes: replace_near(&large, 0.97, "<book", "</ghost><book"),
+            expect: ExpectedKind::WellFormedness,
+            message_contains: "found </ghost>",
+        },
+        CorpusEntry {
+            id: "seam-truncation",
+            description: "large document truncated inside a start tag",
+            bytes: {
+                let at = (large.len() as f64 * 0.93) as usize;
+                let tag = large[at..].find('<').expect("tags everywhere") + at;
+                large.as_bytes()[..tag + 3].to_vec()
+            },
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "`>` closing the end tag",
+        },
+        CorpusEntry {
+            id: "seam-comment-unterminated",
+            description: "unterminated comment opened near the middle of a large document",
+            bytes: replace_near(&large, 0.55, "<book", "<!-- swallows the rest <book"),
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "end of comment `-->`",
+        },
+        CorpusEntry {
+            id: "seam-invalid-utf8",
+            description: "invalid UTF-8 in the third quarter of a large document",
+            bytes: {
+                let mut b = large.clone().into_bytes();
+                let target = (large.len() as f64 * 0.75) as usize;
+                let at = large[target..].find("</title>").expect("titles everywhere") + target;
+                b.insert(at, 0xFE);
+                b
+            },
+            expect: ExpectedKind::InvalidUtf8,
+            message_contains: "invalid UTF-8",
+        },
+    ];
+    // Stable order, stable ids: the manifest is part of the format.
+    entries.sort_by_key(|e| e.id);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn corpus_has_at_least_twenty_unique_entries() {
+        let entries = corpus();
+        assert!(entries.len() >= 20, "only {} entries", entries.len());
+        let ids: BTreeSet<_> = entries.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), entries.len(), "duplicate ids");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus();
+        let b = corpus();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.bytes, y.bytes, "{} bytes drifted", x.id);
+        }
+    }
+
+    #[test]
+    fn seam_entries_are_large_enough_to_shard() {
+        for e in corpus() {
+            if e.id.starts_with("seam-") {
+                assert!(
+                    e.bytes.len() > 16 * 1024,
+                    "{} is only {} bytes — too small for 8-way seams",
+                    e.id,
+                    e.bytes.len()
+                );
+            }
+        }
+    }
+}

@@ -5,14 +5,25 @@
 //! * [`bib`] — bibliography documents in the paper's two content models
 //!   (Sec. 2 weak DTD and Figure 1), standing in for the XML Query Use
 //!   Cases' XMP data;
-//! * [`auction`] — a compact XMark-style auction site for join workloads.
+//! * [`auction`] — a compact XMark-style auction site for join workloads;
+//! * [`pathological`] — adversarial shapes for the workload matrix (deep
+//!   recursion, attribute-heavy, text-heavy, name-minting);
+//! * [`corpus`] — the malformed-input corpus with its expected-error
+//!   manifest.
 //!
 //! All generation is seeded; the same configuration always yields the same
 //! bytes, so experiments are reproducible.
 
 pub mod auction;
 pub mod bib;
+pub mod corpus;
+pub mod pathological;
 pub mod text;
 
 pub use auction::{auction_string, write_auction, AuctionConfig, AUCTION_DTD};
 pub use bib::{bib_string, write_bib, BibConfig, BibMode};
+pub use corpus::{corpus, CorpusEntry, ExpectedKind};
+pub use pathological::{
+    attr_heavy_string, deep_string, mint_string, text_heavy_string, AttrHeavyConfig, DeepConfig,
+    MintConfig, TextHeavyConfig,
+};

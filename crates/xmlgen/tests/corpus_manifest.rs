@@ -1,0 +1,30 @@
+//! The corpus manifest is honest: every entry really fails the sequential
+//! reader with the documented error class and message fragment. (The
+//! sharded byte-exactness half of the contract lives in `flux_shard` and
+//! `flux_conformance`.)
+
+use flux_xml::XmlReader;
+use flux_xmlgen::corpus;
+
+#[test]
+fn every_entry_fails_sequentially_as_documented() {
+    for entry in corpus() {
+        let mut reader = XmlReader::new(entry.bytes.as_slice());
+        let err = loop {
+            match reader.advance() {
+                Ok(true) => continue,
+                Ok(false) => panic!(
+                    "corpus entry `{}` parsed cleanly — it must be malformed",
+                    entry.id
+                ),
+                Err(e) => break e,
+            }
+        };
+        entry.check_error(&err);
+        assert!(
+            err.position().is_some(),
+            "corpus entry `{}`: error carries no position: {err}",
+            entry.id
+        );
+    }
+}

@@ -3,8 +3,15 @@
 //! projection baseline must produce byte-identical output for every
 //! catalog query — and FluXQuery must also agree with itself when the
 //! algebraic optimizer is disabled.
+//!
+//! The workload-matrix properties extend the same idea across the
+//! pathological generators: every named workload shape, at arbitrary
+//! seeds and scales, must clear the full differential grid (all engines ×
+//! shard counts {1, 2, 8} × bounded/unbounded interner) via
+//! `flux_conformance`.
 
-use flux_bench::{catalog, run_engine, Domain};
+use flux_bench::{catalog, run_engine, workloads, Domain};
+use flux_conformance::{assert_engines_equivalent, assert_stream_equivalent};
 use fluxquery::EngineKind;
 use proptest::prelude::*;
 
@@ -76,5 +83,52 @@ proptest! {
             flux.stats.peak_buffer_bytes,
             dom.stats.peak_buffer_bytes
         );
+    }
+}
+
+// The workload-matrix properties run the full conformance grid per case
+// (engines × shard counts × interner bounds), so each case is ~50 engine
+// runs: a handful of cases per property already covers every workload id
+// at several seeds.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every workload shape — at arbitrary seed and scale — streams
+    /// identically through the sequential reader and every sharded
+    /// configuration, bounded or unbounded interner.
+    #[test]
+    fn workload_matrix_streams_agree(
+        widx in 0u32..1_024,
+        seed in 0u64..10_000,
+        scale in 1u32..8,
+    ) {
+        let all = workloads();
+        let w = &all[widx as usize % all.len()];
+        let scale = scale as f64 / 10.0; // 0.1 .. 0.7
+        let doc = w.document(scale, seed);
+        assert_stream_equivalent(
+            &format!("{} (seed {seed}, scale {scale})", w.id),
+            doc.as_bytes(),
+        );
+    }
+
+    /// Every query-bearing workload clears the engine grid: all engines,
+    /// shard counts and interner bounds produce the reference output and
+    /// the reference stats.
+    #[test]
+    fn workload_matrix_engines_agree(
+        widx in 0u32..1_024,
+        seed in 0u64..10_000,
+        scale in 1u32..6,
+    ) {
+        let all = workloads();
+        let with_query: Vec<&flux_bench::Workload> =
+            all.iter().filter(|w| w.query.is_some()).collect();
+        let w = with_query[widx as usize % with_query.len()];
+        let scale = scale as f64 / 10.0; // 0.1 .. 0.5
+        assert_engines_equivalent(w, scale, seed);
     }
 }

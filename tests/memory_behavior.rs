@@ -2,8 +2,8 @@
 //! evaluation reports (FluX flat in document size; projection and DOM
 //! linear; FluX ≤ projection ≤ DOM).
 
-use flux_bench::{run_engine, Domain, Q3};
-use fluxquery::EngineKind;
+use flux_bench::{run_engine, run_engine_with, workload, Domain, Q3};
+use fluxquery::{EngineKind, Options};
 
 fn peak(kind: EngineKind, scale: f64) -> usize {
     let doc = Domain::BibWeak.document(scale, 42);
@@ -90,6 +90,36 @@ fn strong_dtd_strictly_cheaper_than_weak() {
     assert!(
         strong < weak,
         "Figure 1 DTD must reduce buffering: strong {strong} vs weak {weak}"
+    );
+}
+
+#[test]
+fn name_mint_adversary_flat_under_bounded_interner() {
+    // The name-minting adversary grows the distinct-name vocabulary
+    // linearly with the document. Under a bounded interner the engine's
+    // peak buffer must stay flat regardless: minted names the query never
+    // reads must not reach the buffer store's dictionary, and the stream
+    // interner itself is capped.
+    let w = workload("name_mint");
+    assert!(w.adversarial_names, "registry marks the adversary");
+    let peak = |scale: f64| {
+        let doc = w.document(scale, 42);
+        run_engine_with(
+            EngineKind::Flux,
+            w.query.expect("name_mint runs the engine tier"),
+            w.dtd.expect("name_mint has a DTD"),
+            doc.as_bytes(),
+            &Options::with_max_symbols(64),
+        )
+        .unwrap()
+        .stats
+        .peak_buffer_bytes
+    };
+    let small = peak(0.5);
+    let large = peak(8.0); // 16x the books — and 16x the minted vocabulary
+    assert!(
+        (large as f64) < (small as f64) * 2.0,
+        "bounded-interner peak grew with minted names: {small} -> {large}"
     );
 }
 
