@@ -1,0 +1,74 @@
+//! E9 — scan-kernel microbenches: the vectorised structural prescan
+//! against the byte-hopping SWAR `find_byte` it replaced, across window
+//! sizes that bracket the scanner's refill shapes.
+//!
+//! Three window sizes matter: *small* (a few cache lines — tail handling
+//! and dispatch overhead dominate), *medium* (one refill — the scanner's
+//! steady state), *large* (block prescans like the shard splitter's lazy
+//! feed). `prescan/<isa>` rows measure each kernel this host can run, so
+//! an AVX2 host reports the SWAR fallback next to the vector kernel and
+//! the gap is visible in one table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flux_bench::Domain;
+use flux_xml::scan::find_byte;
+use flux_xml::simd::{available_isas, prescan_with, StructuralIndex};
+
+const WINDOWS: [(&str, usize); 3] = [
+    ("small_256B", 256),
+    ("medium_8KiB", 8 << 10),
+    ("large_256KiB", 256 << 10),
+];
+
+fn scan_kernels(c: &mut Criterion) {
+    // Enough generated XML to slice every window out of real markup.
+    let doc = Domain::BibFig1.document(16.0, 42);
+    assert!(
+        doc.len() >= WINDOWS[2].1,
+        "document too small for the large window"
+    );
+
+    let mut group = c.benchmark_group("e9_scan_kernels");
+    for (label, size) in WINDOWS {
+        let window = &doc.as_bytes()[..size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        // The displaced baseline: hop `<` to `<` one SWAR probe at a time
+        // (what the splitter and text scan did before the prescan).
+        group.bench_with_input(
+            BenchmarkId::new("find_byte_lt_hops", label),
+            &window,
+            |b, window| {
+                b.iter(|| {
+                    let mut hops = 0usize;
+                    let mut at = 0usize;
+                    while let Some(off) = find_byte(&window[at..], b'<') {
+                        hops += 1;
+                        at += off + 1;
+                    }
+                    hops
+                })
+            },
+        );
+
+        // One prescan row per kernel the host can run: all five lanes
+        // indexed in a single sweep.
+        for isa in available_isas() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("prescan/{}", isa.name()), label),
+                &window,
+                |b, window| {
+                    b.iter(|| {
+                        let mut idx = StructuralIndex::new();
+                        prescan_with(isa, window, 0, &mut idx);
+                        idx.lt.pending() + idx.gt.pending()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_kernels);
+criterion_main!(benches);

@@ -390,6 +390,24 @@ fn e8_xsax_throughput(accept_workload: bool) {
     let dtd = Dtd::parse(Domain::BibFig1.dtd()).expect("dtd");
     verify_recorded_workload(&e8_workload_stamp(doc.len()), accept_workload);
 
+    // Phase one alone: the vectorised structural prescan over the whole
+    // document. "events" for this stage are *bytes swept* — the stage
+    // exists so a kernel regression is visible separately from the
+    // phase-two parse that consumes the index.
+    let prescan = Measured::best_of(3, || {
+        let mut idx = flux_xml::simd::StructuralIndex::new();
+        flux_xml::simd::prescan_into(doc.as_bytes(), 0, &mut idx);
+        std::hint::black_box(&idx);
+        doc.len() as u64
+    });
+    println!(
+        "structural prescan:  {:>8} bytes in {:.2?}  ({:.0} MB/s, {} kernel)",
+        prescan.events,
+        std::time::Duration::from_secs_f64(prescan.seconds),
+        prescan.events_per_sec() / 1e6,
+        flux_xml::simd::active_isa_name(),
+    );
+
     // Raw well-formedness parsing on the zero-copy view pull (advance();
     // payloads stay in the scanner window / recycled buffers).
     let raw = Measured::best_of(3, || {
@@ -525,7 +543,9 @@ fn e8_xsax_throughput(accept_workload: bool) {
     }
     println!("(baseline {BASELINE_HOST_NOTE})");
 
-    write_bench_events_json(&doc, &raw, &replay, &validated, &with_past, &parallel);
+    write_bench_events_json(
+        &doc, &prescan, &raw, &replay, &validated, &with_past, &parallel,
+    );
 }
 
 /// Emits `BENCH_events.json`: events/sec for the event pipeline (including
@@ -534,6 +554,7 @@ fn e8_xsax_throughput(accept_workload: bool) {
 /// tracking.
 fn write_bench_events_json(
     doc: &str,
+    prescan: &Measured,
     raw: &Measured,
     replay: &Measured,
     validated: &Measured,
@@ -602,18 +623,30 @@ fn write_bench_events_json(
          speedups are vs this file's current.raw_parse on the same host and are bounded \
          by host_cores (a 1-core recording host cannot exceed 1.0x)\"",
     );
+    // The prescan stage counts bytes swept, not events — same shape so
+    // perf_gate gates it like every other stage, with the unit spelled
+    // out for human readers.
+    let prescan_entry = format!(
+        "{{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \"unit\": \"bytes\"}}",
+        prescan.events,
+        prescan.seconds,
+        prescan.events_per_sec()
+    );
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run --release -p flux_bench --bin experiments -- --e8\",\n  \
          \"workload\": \"{}\",\n  \
+         \"isa\": \"{}\",\n  \
          \"baseline_string_events\": {{\n    \"note\": \"pre-refactor string-event pipeline, {}\",\n    \
          \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {}\n  }},\n  \
-         \"current\": {{\n    \"raw_parse\": {},\n    \"tape_replay\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }},\n  \
+         \"current\": {{\n    \"structural_prescan\": {},\n    \"raw_parse\": {},\n    \"tape_replay\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }},\n  \
          \"parallel\": {{\n{}\n  }},\n{}}}\n",
         e8_workload_stamp(doc.len()),
+        flux_xml::simd::active_isa_name(),
         BASELINE_HOST_NOTE,
         baseline(&BASELINE_RAW),
         baseline(&BASELINE_VALIDATE),
         baseline(&BASELINE_PAST),
+        prescan_entry,
         entry(raw),
         entry(replay),
         entry(validated),

@@ -1,7 +1,7 @@
 //! # flux_conformance
 //!
 //! The differential conformance harness: one place that replays every
-//! [`Workload`](flux_bench::Workload) of the matrix — and every entry of
+//! [`flux_bench::Workload`] of the matrix — and every entry of
 //! the malformed corpus — through each execution configuration and
 //! asserts that **nothing observable moves**:
 //!

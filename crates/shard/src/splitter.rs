@@ -9,13 +9,71 @@
 //! **no event payload ever straddles a shard seam** and concatenating
 //! shard event sequences reproduces the sequential event sequence exactly.
 //!
-//! The scan hops from `<` to `<` with the SWAR [`find_byte`] kernel and
-//! skips special constructs atomically, so it touches only markup-start
-//! bytes, and it stops as soon as the last requested boundary is placed —
-//! the cost is a fraction of one `memchr` pass over a prefix of the input.
+//! The scan hops from `<` to `<` through the same vectorised structural
+//! prescan that feeds the parser ([`flux_xml::simd`]): input is swept
+//! block by block into the index's `<` lane only as far as the hop needs,
+//! and special constructs are skipped atomically. The splitter therefore
+//! shares the parser's single structural kernel instead of re-scanning
+//! for `<` with its own byte loop, touches only markup-start bytes, and
+//! still stops as soon as the last requested boundary is placed — the
+//! cost is one vectorised pass over a prefix of the input.
 
 use flux_xml::is_name_start;
 use flux_xml::scan::{find_byte, find_subslice};
+use flux_xml::simd::{self, StructuralIndex};
+
+/// How many bytes one lazy prescan step sweeps into the index. Large
+/// enough to amortise kernel dispatch, small enough that a splitter that
+/// places its last boundary early never sweeps far past it.
+const PRESCAN_BLOCK: usize = 64 * 1024;
+
+/// Lazily prescanned `<` positions: the structural index is grown one
+/// [`PRESCAN_BLOCK`] at a time, so a hop near the start of the input
+/// never pays for indexing the whole document.
+struct LtFeed<'a> {
+    input: &'a [u8],
+    idx: StructuralIndex,
+    /// Bytes swept into the index so far.
+    swept: usize,
+}
+
+impl<'a> LtFeed<'a> {
+    fn new(input: &'a [u8]) -> Self {
+        LtFeed {
+            input,
+            idx: StructuralIndex::new(),
+            swept: 0,
+        }
+    }
+
+    /// First `<` at or after `from`, sweeping further blocks on demand.
+    /// Queries must be monotone non-decreasing (the splitter only moves
+    /// forward).
+    fn next_lt(&mut self, from: usize) -> Option<usize> {
+        loop {
+            if let Some(abs) = self.idx.lt.next_at_or_after(from as u64) {
+                return Some(abs as usize);
+            }
+            if self.swept >= self.input.len() {
+                return None;
+            }
+            let end = (self.swept + PRESCAN_BLOCK).min(self.input.len());
+            simd::prescan_into(
+                &self.input[self.swept..end],
+                self.swept as u64,
+                &mut self.idx,
+            );
+            self.swept = end;
+            // Only the `<` lane is consumed here; flush the others so the
+            // feed's footprint stays one block, not the swept prefix.
+            self.idx.gt.drop_before(end as u64);
+            self.idx.quote.drop_before(end as u64);
+            self.idx.amp.drop_before(end as u64);
+            self.idx.nl.drop_before(end as u64);
+            self.idx.release_consumed();
+        }
+    }
+}
 
 /// Index just past the `>` closing a DOCTYPE declaration starting at
 /// `start` (the `<` of `<!DOCTYPE`), honouring quoted literals, the
@@ -59,13 +117,13 @@ pub fn split_points(input: &[u8], shards: usize) -> Vec<usize> {
         return points;
     }
     let ideal = |i: usize| i * input.len() / shards;
+    let mut feed = LtFeed::new(input);
     let mut next = 1; // index of the next boundary to place
     let mut pos = 0usize;
     while next < shards && pos < input.len() {
-        let Some(off) = find_byte(&input[pos..], b'<') else {
+        let Some(at) = feed.next_lt(pos) else {
             break;
         };
-        let at = pos + off;
         let rest = &input[at..];
         if rest.starts_with(b"<!--") {
             match find_subslice(rest, b"-->") {

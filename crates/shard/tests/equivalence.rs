@@ -7,12 +7,104 @@
 //! splits), and XSAX validation-verdict agreement when the sharded reader
 //! feeds `XsaxParser::from_source`.
 
-use flux_shard::{ShardConfig, ShardedReader};
-use flux_xml::{parse_to_events, RawEvent, XmlEvent, XmlReader, XmlWriter};
+use flux_shard::{splitter, ShardConfig, ShardedReader};
+use flux_xml::{is_name_start, parse_to_events, RawEvent, XmlEvent, XmlReader, XmlWriter};
 use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig};
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Byte-at-a-time reference for the splitter's boundary rules: every byte
+/// inspected individually, no SWAR kernels and no structural prescan.
+/// [`splitter::split_points`] must place exactly these seams — the
+/// vectorised `<` hop is an implementation detail, never a semantic one.
+fn naive_split_points(input: &[u8], shards: usize) -> Vec<usize> {
+    fn find(input: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+        (from..input.len()).find(|&i| input[i..].starts_with(needle))
+    }
+    fn naive_doctype_end(input: &[u8], start: usize) -> Option<usize> {
+        let mut i = start + "<!DOCTYPE".len();
+        let mut in_subset = false;
+        while i < input.len() {
+            match input[i] {
+                b'"' | b'\'' => {
+                    let quote = input[i];
+                    i = find(input, i + 1, &[quote])? + 1;
+                }
+                b'[' => {
+                    in_subset = true;
+                    i += 1;
+                }
+                b']' => {
+                    in_subset = false;
+                    i += 1;
+                }
+                b'<' if in_subset && input[i..].starts_with(b"<!--") => {
+                    i = find(input, i, b"-->")? + 3;
+                }
+                b'>' if !in_subset => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    let mut points = vec![0usize];
+    if shards <= 1 || input.is_empty() {
+        return points;
+    }
+    let ideal = |i: usize| i * input.len() / shards;
+    let mut next = 1;
+    let mut pos = 0usize;
+    while next < shards && pos < input.len() {
+        let Some(at) = (pos..input.len()).find(|&i| input[i] == b'<') else {
+            break;
+        };
+        let rest = &input[at..];
+        if rest.starts_with(b"<!--") {
+            match find(input, at, b"-->") {
+                Some(end) => pos = end + 3,
+                None => break,
+            }
+        } else if rest.starts_with(b"<![CDATA[") {
+            match find(input, at, b"]]>") {
+                Some(end) => pos = end + 3,
+                None => break,
+            }
+        } else if rest.starts_with(b"<!DOCTYPE") {
+            match naive_doctype_end(input, at) {
+                Some(end) => pos = end,
+                None => break,
+            }
+        } else if rest.starts_with(b"<?") {
+            match find(input, at, b"?>") {
+                Some(end) => pos = end + 2,
+                None => break,
+            }
+        } else if rest.len() > 1 && (rest[1] == b'/' || is_name_start(rest[1])) {
+            if at > 0 && at >= ideal(next) {
+                points.push(at);
+                next += 1;
+                while next < shards && at >= ideal(next) {
+                    next += 1;
+                }
+            }
+            pos = at + 1;
+        } else {
+            pos = at + 1;
+        }
+    }
+    points
+}
+
+fn assert_seams_match_naive(doc: &str) {
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            splitter::split_points(doc.as_bytes(), shards),
+            naive_split_points(doc.as_bytes(), shards),
+            "seams diverged from the naive reference at {shards} shards"
+        );
+    }
+}
 
 /// Serialises whatever `next_into` source produces, raw-event path.
 fn serialise_sequential(doc: &str) -> String {
@@ -58,6 +150,7 @@ fn sharded_owned_events(doc: &str, shards: usize) -> Vec<XmlEvent> {
 }
 
 fn assert_doc_equivalent(doc: &str) {
+    assert_seams_match_naive(doc);
     let expected_bytes = serialise_sequential(doc);
     let expected_events = parse_to_events(doc).expect("sequential parse");
     for shards in SHARD_COUNTS {
@@ -106,8 +199,49 @@ proptest! {
 /// makes the split land near the middle of the document, which the caller
 /// arranges to be inside the interesting construct.
 fn assert_two_shard_equivalent(doc: &str) {
+    assert_seams_match_naive(doc);
     let expected = serialise_sequential(doc);
     assert_eq!(serialise_sharded(doc, 2), expected, "doc: {doc}");
+}
+
+#[test]
+fn seams_match_naive_reference_on_construct_heavy_doc() {
+    // Every skip rule in one document: DOCTYPE with a bracketed subset
+    // (holding a quoted `>` and a comment), PIs, comments and CDATA full
+    // of fake tags, plus quoted `>` in attribute values.
+    let decoys = "<!-- <fake/> --><![CDATA[<fake2/>]]><?pi <fake3/> ?>".repeat(12);
+    let doc = format!(
+        "<?xml version=\"1.0\"?><!DOCTYPE r [<!-- <x> --><!ENTITY g \"]<z>\">]>\
+         <r>{decoys}<a k=\"a > b\" k2='c > d'>text</a>{decoys}</r>"
+    );
+    assert_seams_match_naive(&doc);
+    // Seams stay honest on a document that ends mid-construct, too.
+    let truncated = &doc[..doc.len() / 2];
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            splitter::split_points(truncated.as_bytes(), shards),
+            naive_split_points(truncated.as_bytes(), shards),
+            "seams diverged on truncated doc at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn seams_match_naive_across_prescan_blocks() {
+    // A document big enough that the splitter's lazy prescan sweeps
+    // several blocks, with boundaries landing both early and late.
+    let doc = format!(
+        "<r>{}</r>",
+        "<item a=\"v > w\">body text</item>".repeat(8_000)
+    );
+    assert!(doc.len() > 128 * 1024, "must span multiple prescan blocks");
+    for shards in [2usize, 5, 16, 64] {
+        assert_eq!(
+            splitter::split_points(doc.as_bytes(), shards),
+            naive_split_points(doc.as_bytes(), shards),
+            "seams diverged at {shards} shards"
+        );
+    }
 }
 
 #[test]

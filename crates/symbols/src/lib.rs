@@ -19,6 +19,44 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for the name map. Element and attribute names are
+/// short (a word or two), and interning sits on the parser's per-tag hot
+/// path — SipHash's per-call setup costs more than hashing the whole name.
+/// Flood resistance is not a goal here: the bounded-interner mode already
+/// caps what adversarial input can make the table store, and a collision
+/// only costs a probe, not a correctness failure.
+#[derive(Default)]
+pub struct NameHasher {
+    hash: u64,
+}
+
+impl Hasher for NameHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.hash;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        h = (h.rotate_left(5) ^ tail ^ bytes.len() as u64).wrapping_mul(K);
+        self.hash = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type NameMap = HashMap<String, Symbol, BuildHasherDefault<NameHasher>>;
 
 /// An interned element name (or pseudo-node kind).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,7 +86,7 @@ impl fmt::Display for Symbol {
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     names: Vec<String>,
-    by_name: HashMap<String, Symbol>,
+    by_name: NameMap,
 }
 
 impl SymbolTable {
@@ -67,7 +105,7 @@ impl SymbolTable {
     pub fn new() -> Self {
         let mut table = SymbolTable {
             names: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: NameMap::default(),
         };
         let text = table.intern("#text");
         let document = table.intern("#document");

@@ -25,6 +25,7 @@ pub mod event;
 pub mod reader;
 pub mod scan;
 mod scanner;
+pub mod simd;
 pub mod source;
 pub mod tape;
 pub mod tree;
@@ -36,6 +37,7 @@ pub use event::{
 };
 pub use flux_symbols::{Symbol, SymbolTable};
 pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
+pub use simd::{active_isa_name, StructuralIndex};
 pub use source::EventSource;
 pub use tape::{EventTape, SymbolRemap};
 pub use tree::{Document, NodeAttr, NodeId, NodeKind, TreeBuilder};

@@ -31,7 +31,7 @@
 use crate::error::{Position, Result, XmlError};
 use crate::escape::unescape_into;
 use crate::event::{RawEvent, RawEventKind, RawEventRef, XmlEvent};
-use crate::scanner::Scanner;
+use crate::scanner::{Scanner, TagProbe};
 use flux_symbols::{Symbol, SymbolTable};
 use std::io::Read;
 
@@ -92,7 +92,24 @@ enum State {
 }
 
 /// Streaming pull parser over any [`Read`] source.
+///
+/// A thin shell around `ReaderCore` plus the two recycled events the
+/// pull APIs write into. The split is load-bearing: `advance` hands
+/// `&mut self.current` and `&mut self.core` to the parsing core as
+/// disjoint field borrows, so no per-event move of the event struct is
+/// needed to satisfy the borrow checker.
 pub struct XmlReader<R: Read> {
+    core: ReaderCore<R>,
+    /// The event behind [`XmlReader::view`], filled in place by
+    /// [`XmlReader::advance`].
+    current: RawEvent,
+    /// Recycled event backing the owned-`XmlEvent` compatibility API.
+    compat: RawEvent,
+}
+
+/// The parsing state machine behind [`XmlReader`] — everything except
+/// the recycled output events.
+struct ReaderCore<R: Read> {
     scanner: Scanner<R>,
     config: ReaderConfig,
     state: State,
@@ -117,11 +134,13 @@ pub struct XmlReader<R: Read> {
     overflow_stack: Vec<String>,
     /// Spare overflow-name buffers recycled from closed elements.
     spare_overflow: Vec<String>,
-    /// Recycled event backing the owned-`XmlEvent` compatibility API.
-    compat: RawEvent,
-    /// The event behind [`XmlReader::view`], filled by
-    /// [`XmlReader::advance`].
-    current: RawEvent,
+    /// Direct-mapped intern cache for the fast tag path, keyed by the
+    /// name's first byte xor its length. A document's working set of
+    /// element/attribute names is a handful of schema-fixed strings, so a
+    /// length check plus memcmp replaces most hash-map probes. Entries
+    /// are valid forever once filled: interning is idempotent and the
+    /// table never forgets.
+    name_cache: [(Vec<u8>, Symbol); NAME_CACHE_WAYS],
     /// When the current event is a text run served straight from the
     /// scanner window (no entities, no CDATA merge, no refill crossed),
     /// the window range holding it: [`XmlReader::view`] borrows the bytes
@@ -129,6 +148,66 @@ pub struct XmlReader<R: Read> {
     /// next advance — the scanner is guaranteed not to compact before
     /// then.
     borrowed_text: Option<(usize, usize)>,
+}
+
+/// Ways in the fast path's direct-mapped name-intern cache. Sized for a
+/// schema-fixed name alphabet (a DTD's worth of element and attribute
+/// names); collisions only cost a fall-through to the hash map.
+const NAME_CACHE_WAYS: usize = 32;
+
+/// The markup construct classes the nine-byte dispatch probe can tell
+/// apart — nine bytes is the longest discriminating prefix
+/// (`<![CDATA[`).
+#[derive(Clone, Copy)]
+enum Markup {
+    Comment,
+    Cdata,
+    Doctype,
+    Pi,
+    End,
+    Start,
+}
+
+/// Classifies the markup construct starting at `probe[0] == b'<'` from
+/// one dispatch probe — a single peek replaces the old chain of
+/// `looking_at` calls.
+#[inline]
+fn classify_markup(probe: &[u8]) -> Markup {
+    debug_assert_eq!(probe.first(), Some(&b'<'));
+    match probe.get(1) {
+        Some(b'!') if probe.starts_with(b"<!--") => Markup::Comment,
+        Some(b'!') if probe.starts_with(b"<![CDATA[") => Markup::Cdata,
+        Some(b'!') if probe.starts_with(b"<!DOCTYPE") => Markup::Doctype,
+        Some(b'?') => Markup::Pi,
+        Some(b'/') => Markup::End,
+        // `<!anything-else` falls through to the start-tag parser,
+        // which reports "invalid element name" exactly as before.
+        _ => Markup::Start,
+    }
+}
+
+/// Interns through the fast tag path's direct-mapped name cache (a free
+/// function over the two fields involved, so callers holding a scanner
+/// borrow can still use it). Never runs in bounded-interner mode, so the
+/// cache never has to model overflow.
+#[inline]
+fn intern_cached(
+    cache: &mut [(Vec<u8>, Symbol); NAME_CACHE_WAYS],
+    symbols: &mut SymbolTable,
+    name: &str,
+) -> Symbol {
+    let bytes = name.as_bytes();
+    debug_assert!(!bytes.is_empty());
+    let way = (bytes[0] ^ bytes.len() as u8) as usize % NAME_CACHE_WAYS;
+    let slot = &mut cache[way];
+    if slot.0 == bytes {
+        return slot.1;
+    }
+    let sym = symbols.intern(name);
+    slot.0.clear();
+    slot.0.extend_from_slice(bytes);
+    slot.1 = sym;
+    sym
 }
 
 /// Whether `b` can begin an XML name (the reader's classification, shared
@@ -160,35 +239,38 @@ impl<R: Read> XmlReader<R> {
     /// names not in the seed are interned on first sight.
     pub fn with_symbols(src: R, config: ReaderConfig, symbols: SymbolTable) -> Self {
         XmlReader {
-            scanner: Scanner::new(src),
-            config,
-            state: State::Fresh,
-            event_start: Position {
-                offset: 0,
-                line: 1,
-                column: 1,
+            core: ReaderCore {
+                scanner: Scanner::new(src),
+                config,
+                state: State::Fresh,
+                event_start: Position {
+                    offset: 0,
+                    line: 1,
+                    column: 1,
+                },
+                symbols,
+                stack: Vec::new(),
+                pending_end: None,
+                scratch: Vec::new(),
+                aux: Vec::new(),
+                overflow_stack: Vec::new(),
+                spare_overflow: Vec::new(),
+                name_cache: std::array::from_fn(|_| (Vec::new(), SymbolTable::TEXT)),
+                borrowed_text: None,
             },
-            symbols,
-            stack: Vec::new(),
-            pending_end: None,
-            scratch: Vec::new(),
-            aux: Vec::new(),
-            overflow_stack: Vec::new(),
-            spare_overflow: Vec::new(),
             compat: RawEvent::new(),
             current: RawEvent::new(),
-            borrowed_text: None,
         }
     }
 
     /// The name interner: maps the [`Symbol`]s in raw events back to names.
     pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
+        &self.core.symbols
     }
 
     /// Current input position (useful for error reporting in callers).
     pub fn position(&self) -> Position {
-        self.scanner.position()
+        self.core.scanner.position()
     }
 
     /// Position of the first byte of the most recently delivered event's
@@ -196,12 +278,12 @@ impl<R: Read> XmlReader<R> {
     /// errors (a second root element, a late DOCTYPE, top-level text).
     /// Tape recorders store it so replay errors stay byte-exact.
     pub fn event_start(&self) -> Position {
-        self.event_start
+        self.core.event_start
     }
 
     /// Current element nesting depth.
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        self.core.stack.len()
     }
 
     /// Symbols of the currently open elements, outermost first. In
@@ -209,9 +291,68 @@ impl<R: Read> XmlReader<R> {
     /// the "suffix opens" of the shard's stack summary, which the sharded
     /// merger matches against the next shard's unmatched closes.
     pub fn open_elements(&self) -> &[Symbol] {
-        &self.stack
+        &self.core.stack
     }
 
+    /// Pulls the next event into the caller-owned `ev`, recycling its
+    /// buffers. Returns `Ok(false)` once `EndDocument` has been delivered.
+    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if self.core.state == State::Done {
+            return Ok(false);
+        }
+        self.core.fill_event(ev, false)?;
+        Ok(true)
+    }
+
+    /// Advances to the next event, readable through [`XmlReader::view`]
+    /// until the following advance. This is the zero-copy pull API: text
+    /// runs that end inside the scanner's buffered window are delivered as
+    /// borrowed slices of it, skipping even the copy into the recycled
+    /// event buffer. Returns `Ok(false)` once `EndDocument` has been
+    /// delivered.
+    pub fn advance(&mut self) -> Result<bool> {
+        if self.core.state == State::Done {
+            self.core.borrowed_text = None;
+            return Ok(false);
+        }
+        // Disjoint field borrows: the core writes the event in place.
+        self.core.fill_event(&mut self.current, true)?;
+        Ok(true)
+    }
+
+    /// A borrowed view of the event the last [`XmlReader::advance`]
+    /// produced. Payloads borrow the reader's recycled buffers or the
+    /// scanner window directly.
+    pub fn view(&self) -> RawEventRef<'_> {
+        let v = RawEventRef::from_event(&self.current);
+        match self.core.borrowed_text {
+            Some(range) => v.with_text(
+                std::str::from_utf8(self.core.scanner.borrowed(range))
+                    .expect("borrowed text validated at parse time"),
+            ),
+            None => v,
+        }
+    }
+
+    /// Pulls the next event. After [`XmlEvent::EndDocument`], returns `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XmlEvent>> {
+        if self.core.state == State::Done {
+            return Ok(None);
+        }
+        self.next_event().map(Some)
+    }
+
+    /// Pulls the next event as an owned [`XmlEvent`]; calling after
+    /// `EndDocument` is an error. Allocates per event — prefer
+    /// [`XmlReader::next_into`] on hot paths.
+    pub fn next_event(&mut self) -> Result<XmlEvent> {
+        self.core.fill_event(&mut self.compat, false)?;
+        Ok(self.compat.to_xml_event(&self.core.symbols))
+    }
+}
+
+impl<R: Read> ReaderCore<R> {
     fn syntax(&self, message: impl Into<String>) -> XmlError {
         XmlError::Syntax {
             message: message.into(),
@@ -226,70 +367,9 @@ impl<R: Read> XmlReader<R> {
         }
     }
 
-    /// Pulls the next event into the caller-owned `ev`, recycling its
-    /// buffers. Returns `Ok(false)` once `EndDocument` has been delivered.
-    pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
-        if self.state == State::Done {
-            return Ok(false);
-        }
-        self.fill_event(ev, false)?;
-        Ok(true)
-    }
-
-    /// Advances to the next event, readable through [`XmlReader::view`]
-    /// until the following advance. This is the zero-copy pull API: text
-    /// runs that end inside the scanner's buffered window are delivered as
-    /// borrowed slices of it, skipping even the copy into the recycled
-    /// event buffer. Returns `Ok(false)` once `EndDocument` has been
-    /// delivered.
-    pub fn advance(&mut self) -> Result<bool> {
-        if self.state == State::Done {
-            self.borrowed_text = None;
-            return Ok(false);
-        }
-        let mut ev = std::mem::take(&mut self.current);
-        let res = self.fill_event(&mut ev, true);
-        self.current = ev;
-        res.map(|()| true)
-    }
-
-    /// A borrowed view of the event the last [`XmlReader::advance`]
-    /// produced. Payloads borrow the reader's recycled buffers or the
-    /// scanner window directly.
-    pub fn view(&self) -> RawEventRef<'_> {
-        let v = RawEventRef::from_event(&self.current);
-        match self.borrowed_text {
-            Some(range) => v.with_text(
-                std::str::from_utf8(self.scanner.borrowed(range))
-                    .expect("borrowed text validated at parse time"),
-            ),
-            None => v,
-        }
-    }
-
-    /// Pulls the next event. After [`XmlEvent::EndDocument`], returns `None`.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Result<Option<XmlEvent>> {
-        if self.state == State::Done {
-            return Ok(None);
-        }
-        self.next_event().map(Some)
-    }
-
-    /// Pulls the next event as an owned [`XmlEvent`]; calling after
-    /// `EndDocument` is an error. Allocates per event — prefer
-    /// [`XmlReader::next_into`] on hot paths.
-    pub fn next_event(&mut self) -> Result<XmlEvent> {
-        let mut ev = std::mem::take(&mut self.compat);
-        let res = self.fill_event(&mut ev, false);
-        let out = res.map(|()| ev.to_xml_event(&self.symbols));
-        self.compat = ev;
-        out
-    }
-
     /// The parsing core: rewrites `ev` with the next event. With
     /// `allow_borrow`, an eligible text run is left in the scanner window
-    /// ([`XmlReader::borrowed_text`]) instead of being copied into `ev` —
+    /// ([`ReaderCore::borrowed_text`]) instead of being copied into `ev` —
     /// only the view API may enable this, because the range dies at the
     /// next scanner refill.
     fn fill_event(&mut self, ev: &mut RawEvent, allow_borrow: bool) -> Result<()> {
@@ -340,7 +420,8 @@ impl<R: Read> XmlReader<R> {
                             return Ok(());
                         }
                         Some(b'<') => {
-                            if self.parse_markup(ev)? {
+                            let kind = classify_markup(self.scanner.peek_slice(9)?);
+                            if self.parse_markup(ev, allow_borrow, kind)? {
                                 return Ok(());
                             }
                         }
@@ -355,7 +436,18 @@ impl<R: Read> XmlReader<R> {
                 }
                 State::InRoot => {
                     self.event_start = self.scanner.position();
-                    match self.scanner.peek()? {
+                    // One nine-byte probe per event classifies everything:
+                    // EOF, text, or which markup construct follows (CDATA
+                    // counts as text — parse_text merges it into the run).
+                    let next = {
+                        let probe = self.scanner.peek_slice(9)?;
+                        match probe.first() {
+                            None => None,
+                            Some(&b'<') => Some(Some(classify_markup(probe))),
+                            Some(_) => Some(None),
+                        }
+                    };
+                    match next {
                         None => {
                             if self.config.fragment {
                                 // End of the fragment: leave open elements on
@@ -369,12 +461,12 @@ impl<R: Read> XmlReader<R> {
                                 pos: self.scanner.position(),
                             });
                         }
-                        Some(b'<') if !self.scanner.looking_at(b"<![CDATA[")? => {
-                            if self.parse_markup(ev)? {
+                        Some(Some(kind)) => {
+                            if self.parse_markup(ev, allow_borrow, kind)? {
                                 return Ok(());
                             }
                         }
-                        Some(_) => return self.parse_text(ev, allow_borrow),
+                        Some(None) => return self.parse_text(ev, allow_borrow),
                     }
                 }
                 State::Fresh => unreachable!("handled above"),
@@ -405,30 +497,44 @@ impl<R: Read> XmlReader<R> {
         Ok(())
     }
 
-    /// Parses one `<...>` construct into `ev`. Returns `false` when the
-    /// construct was consumed silently (skipped comment/PI).
-    fn parse_markup(&mut self, ev: &mut RawEvent) -> Result<bool> {
-        if self.scanner.looking_at(b"<!--")? {
-            return self.parse_comment(ev);
+    /// Parses one `<...>` construct into `ev`; `kind` comes from the
+    /// dispatch probe ([`classify_markup`] over the same nine bytes).
+    /// Returns `false` when the construct was consumed silently (skipped
+    /// comment/PI).
+    fn parse_markup(
+        &mut self,
+        ev: &mut RawEvent,
+        allow_borrow: bool,
+        kind: Markup,
+    ) -> Result<bool> {
+        match kind {
+            Markup::Comment => self.parse_comment(ev),
+            // CDATA is text: inside the root it joins the surrounding
+            // character-data run (parse_text merges adjacent sections);
+            // anywhere else it is a well-formedness error.
+            Markup::Cdata if self.state == State::InRoot => {
+                self.parse_text(ev, allow_borrow)?;
+                Ok(true)
+            }
+            Markup::Cdata => Err(self.wf("CDATA section outside the root element")),
+            Markup::Doctype => {
+                self.parse_doctype(ev)?;
+                Ok(true)
+            }
+            Markup::Pi => self.parse_pi(ev),
+            Markup::End => {
+                if !self.try_fast_end_tag(ev)? {
+                    self.parse_end_tag(ev)?;
+                }
+                Ok(true)
+            }
+            Markup::Start => {
+                if !self.try_fast_start_tag(ev)? {
+                    self.parse_start_tag(ev)?;
+                }
+                Ok(true)
+            }
         }
-        if self.scanner.looking_at(b"<![CDATA[")? {
-            // Only valid inside the root; parse_text handles merging. Getting
-            // here means CDATA appeared in the prolog or epilog.
-            return Err(self.wf("CDATA section outside the root element"));
-        }
-        if self.scanner.looking_at(b"<!DOCTYPE")? {
-            self.parse_doctype(ev)?;
-            return Ok(true);
-        }
-        if self.scanner.looking_at(b"<?")? {
-            return self.parse_pi(ev);
-        }
-        if self.scanner.looking_at(b"</")? {
-            self.parse_end_tag(ev)?;
-            return Ok(true);
-        }
-        self.parse_start_tag(ev)?;
-        Ok(true)
     }
 
     fn parse_comment(&mut self, ev: &mut RawEvent) -> Result<bool> {
@@ -611,9 +717,204 @@ impl<R: Read> XmlReader<R> {
     }
 
     /// The name in `self.scratch` as UTF-8 (already validated by
-    /// [`XmlReader::intern_name`]).
+    /// [`ReaderCore::intern_name`]).
     fn scratch_name(&self) -> &str {
         std::str::from_utf8(&self.scratch).expect("scratch validated by intern_name")
+    }
+
+    /// Locates the `>` closing the markup at the current `<`, growing the
+    /// window as needed, and reports whether the probe flagged dirty
+    /// content (stray `<` or `&` inside the tag). `None` means the input
+    /// ends first — the byte-at-a-time path takes over and reports the
+    /// exact error.
+    fn locate_tag_end(&mut self) -> Result<Option<(usize, bool)>> {
+        loop {
+            if let TagProbe::Found { rel_end, dirty } = self.scanner.probe_tag() {
+                return Ok(Some((rel_end, dirty)));
+            }
+            if !self.scanner.fill_more()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Attempts to parse the start tag at the current `<` entirely from
+    /// the prescanned window: the quote-parity walk finds the closing
+    /// `>`, the whole tag is validated from the slice, and only then is
+    /// it consumed in a single span. Returns `Ok(false)` with the scanner
+    /// untouched on *any* anomaly — malformed syntax, `&` or stray `<`
+    /// inside the tag, a duplicate attribute, invalid UTF-8, the bounded
+    /// interner, the epilog state — so the byte-at-a-time path re-parses
+    /// and produces byte-identical events and error positions.
+    fn try_fast_start_tag(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if self.state == State::Epilog || self.config.max_symbols.is_some() {
+            return Ok(false);
+        }
+        // `dirty` — a `&` anywhere in the tag (a value needing unescaping)
+        // or a `<` after the opening one (a well-formedness error) — comes
+        // straight from the probe's lanes, so the value loop below never
+        // has to inspect value bytes at all.
+        let Some((end, dirty)) = self.locate_tag_end()? else {
+            return Ok(false);
+        };
+        if dirty {
+            return Ok(false);
+        }
+        let Ok(tag) = std::str::from_utf8(&self.scanner.window()[..end + 1]) else {
+            return Ok(false);
+        };
+        let bytes = tag.as_bytes();
+        let mut i = 1;
+        if i >= end || !is_name_start(bytes[i]) {
+            return Ok(false);
+        }
+        let name_start = i;
+        while i < end && is_name_char(bytes[i]) {
+            i += 1;
+        }
+        let name = intern_cached(&mut self.name_cache, &mut self.symbols, &tag[name_start..i]);
+        ev.reset(RawEventKind::StartElement);
+        ev.set_name(name);
+        let mut empty = false;
+        loop {
+            let ws_start = i;
+            while i < end && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+                i += 1;
+            }
+            if i == end {
+                break;
+            }
+            if bytes[i] == b'/' {
+                if i + 1 != end {
+                    return Ok(false);
+                }
+                empty = true;
+                break;
+            }
+            if i == ws_start || !is_name_start(bytes[i]) {
+                // Attribute without preceding whitespace, or junk: the
+                // slow path reports the precise syntax error.
+                return Ok(false);
+            }
+            let an_start = i;
+            while i < end && is_name_char(bytes[i]) {
+                i += 1;
+            }
+            let attr_name =
+                intern_cached(&mut self.name_cache, &mut self.symbols, &tag[an_start..i]);
+            while i < end && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+                i += 1;
+            }
+            if i >= end || bytes[i] != b'=' {
+                return Ok(false);
+            }
+            i += 1;
+            while i < end && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+                i += 1;
+            }
+            if i >= end || !matches!(bytes[i], b'"' | b'\'') {
+                return Ok(false);
+            }
+            let quote = bytes[i];
+            i += 1;
+            let v_start = i;
+            // The closing quote is the only byte that matters: `<` and
+            // `&` were ruled out tag-wide above, and a quoted `>` cannot
+            // reach here because `end` already honours quote parity.
+            let Some(v_len) = crate::scan::find_byte(&bytes[v_start..end], quote) else {
+                return Ok(false);
+            };
+            i = v_start + v_len + 1;
+            ev.push_attr(attr_name)
+                .push_str(&tag[v_start..v_start + v_len]);
+            let (new, before) = ev.attributes().split_last().expect("attribute just pushed");
+            if before.iter().any(|a| a.name == new.name) {
+                return Ok(false);
+            }
+        }
+        self.scanner.consume(end + 1);
+        self.enter_element(name, "")?;
+        if empty {
+            self.pending_end = Some(name);
+        }
+        Ok(true)
+    }
+
+    /// The end-tag counterpart of [`ReaderCore::try_fast_start_tag`]:
+    /// validates `</name >` wholly from the window slice, then consumes
+    /// it in one span. Stack matching runs *after* the consume, mirroring
+    /// the slow path's order so mismatch errors carry identical positions.
+    fn try_fast_end_tag(&mut self, ev: &mut RawEvent) -> Result<bool> {
+        if self.config.max_symbols.is_some() {
+            return Ok(false);
+        }
+        let Some((end, dirty)) = self.locate_tag_end()? else {
+            return Ok(false);
+        };
+        if dirty {
+            return Ok(false);
+        }
+        let Ok(tag) = std::str::from_utf8(&self.scanner.window()[..end + 1]) else {
+            return Ok(false);
+        };
+        let bytes = tag.as_bytes();
+        debug_assert!(bytes.starts_with(b"</"));
+        let mut i = 2;
+        if i >= end || !is_name_start(bytes[i]) {
+            return Ok(false);
+        }
+        let name_start = i;
+        while i < end && is_name_char(bytes[i]) {
+            i += 1;
+        }
+        let name_end = i;
+        while i < end && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+            i += 1;
+        }
+        if i != end {
+            return Ok(false);
+        }
+        // The overwhelmingly common end tag closes the innermost open
+        // element: a byte comparison against its known name replaces the
+        // hash lookup entirely. Anything else (mismatch, fragment close)
+        // interns normally.
+        let name = match self.stack.last() {
+            Some(&open) if self.symbols.name(open).as_bytes() == &bytes[name_start..name_end] => {
+                open
+            }
+            _ => self.symbols.intern(&tag[name_start..name_end]),
+        };
+        self.scanner.consume(end + 1);
+        match self.stack.last() {
+            Some(&open) if open == name => {
+                ev.reset(RawEventKind::EndElement);
+                ev.set_name(name);
+                self.leave_element();
+                Ok(true)
+            }
+            Some(&open) => {
+                let message = format!(
+                    "mismatched end tag: expected </{}>, found </{}>",
+                    self.symbols.name(open),
+                    self.symbols.name(name)
+                );
+                Err(self.wf(message))
+            }
+            None if self.config.fragment => {
+                // Closes an element opened before this fragment; the
+                // merger verifies the name against the previous shard.
+                ev.reset(RawEventKind::EndElement);
+                ev.set_name(name);
+                Ok(true)
+            }
+            None => {
+                let message = format!(
+                    "end tag </{}> with no open element",
+                    self.symbols.name(name)
+                );
+                Err(self.wf(message))
+            }
+        }
     }
 
     fn parse_start_tag(&mut self, ev: &mut RawEvent) -> Result<()> {
@@ -813,15 +1114,16 @@ impl<R: Read> XmlReader<R> {
     fn parse_text(&mut self, ev: &mut RawEvent, allow_borrow: bool) -> Result<()> {
         ev.reset(RawEventKind::Text);
         if allow_borrow {
+            let run_start_abs = self.scanner.position().offset;
             // Lookahead 9 = b"<![CDATA[".len(): the CDATA probe below must
             // not refill (a refill would move the borrowed bytes).
             if let Some(range) = self.scanner.borrow_run(b'<', 9)? {
                 let pos = self.scanner.position();
-                let has_references = {
-                    let raw = std::str::from_utf8(self.scanner.borrowed(range))
-                        .map_err(|_| XmlError::InvalidUtf8 { pos })?;
-                    raw.contains('&')
-                };
+                // The prescan's `&` lane answers the reference probe
+                // without re-reading the run (UTF-8 still needs one pass).
+                let has_references = self.scanner.amp_between(run_start_abs, pos.offset);
+                std::str::from_utf8(self.scanner.borrowed(range))
+                    .map_err(|_| XmlError::InvalidUtf8 { pos })?;
                 if has_references {
                     // Entity references force materialisation; unescape
                     // into the recycled buffer and continue the owned loop

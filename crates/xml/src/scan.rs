@@ -19,13 +19,13 @@ const LO: u64 = 0x0101_0101_0101_0101;
 /// in every other lane. Exact: the per-lane addition cannot carry into the
 /// next lane, so neighbouring zero bytes never produce false positives.
 #[inline]
-fn zero_byte_mask(x: u64) -> u64 {
+pub(crate) fn zero_byte_mask(x: u64) -> u64 {
     !(((x & !HI).wrapping_add(!HI)) | x | !HI)
 }
 
 /// Broadcasts `b` to all eight lanes.
 #[inline]
-fn broadcast(b: u8) -> u64 {
+pub(crate) fn broadcast(b: u8) -> u64 {
     LO.wrapping_mul(b as u64)
 }
 

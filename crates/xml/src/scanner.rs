@@ -3,12 +3,36 @@
 //! Maintains a small refillable window over the underlying [`Read`] so the
 //! reader never materialises the whole input — memory use is bounded by the
 //! longest single token (tag, text run, comment), not by document size.
+//!
+//! Every byte entering the window is swept **once** by the vectorised
+//! structural prescan ([`crate::simd`]) as it is read from the source; the
+//! resulting [`StructuralIndex`] then powers phase two: text runs hop
+//! straight to the next indexed `<`, tag ends are located by walking `>`
+//! candidates against quote parity ([`Scanner::probe_tag`]), escape
+//! probes consult the `&` lane, and line/column accounting folds into the
+//! newline lane instead of re-counting consumed spans. Index lanes store
+//! **absolute input offsets**, so window compaction never invalidates them.
 
 use crate::error::{Position, Result, XmlError};
-use crate::scan::{count_byte_with_last, find_byte, find_subslice};
+use crate::scan::{find_byte, find_subslice};
+use crate::simd::{self, StructuralIndex};
 use std::io::Read;
 
 const CHUNK: usize = 8 * 1024;
+
+/// What [`Scanner::probe_tag`] learned about the markup construct at the
+/// window head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagProbe {
+    /// The closing `>` is not determinable within the buffered window
+    /// (tag spans the window edge, or a quoted value is unterminated so
+    /// far) — grow the window and retry.
+    NeedMore,
+    /// The closing `>` sits `rel_end` bytes past the window head. `dirty`
+    /// flags content the fast tag path must hand to the byte-at-a-time
+    /// parser: a stray `<` or any `&` strictly inside the tag.
+    Found { rel_end: usize, dirty: bool },
+}
 
 /// Incremental scanner with single-byte and small-slice lookahead.
 pub struct Scanner<R: Read> {
@@ -20,6 +44,9 @@ pub struct Scanner<R: Read> {
     offset: u64,
     line: u32,
     column: u32,
+    /// Structural positions of every byte read so far (absolute offsets;
+    /// entries behind `offset` are pruned as the window compacts).
+    index: StructuralIndex,
 }
 
 impl<R: Read> Scanner<R> {
@@ -33,6 +60,7 @@ impl<R: Read> Scanner<R> {
             offset: 0,
             line: 1,
             column: 1,
+            index: StructuralIndex::new(),
         }
     }
 
@@ -54,11 +82,15 @@ impl<R: Read> Scanner<R> {
         if self.available() >= n || self.eof {
             return Ok(());
         }
-        // Compact the consumed prefix away.
+        // Compact the consumed prefix away. Index lanes hold absolute
+        // offsets, so compaction only prunes entries behind the current
+        // position — it never remaps anything.
         if self.start > 0 {
             self.buf.copy_within(self.start..self.end, 0);
             self.end -= self.start;
             self.start = 0;
+            self.index.drop_before(self.offset);
+            self.index.release_consumed();
         }
         if self.buf.len() < n {
             self.buf.resize(n.max(CHUNK), 0);
@@ -71,6 +103,14 @@ impl<R: Read> Scanner<R> {
             if read == 0 {
                 self.eof = true;
             } else {
+                // Phase one: prescan the bytes exactly once, as they
+                // arrive. Everything buffered is therefore always indexed.
+                let base_abs = self.offset + (self.end - self.start) as u64;
+                simd::prescan_into(
+                    &self.buf[self.end..self.end + read],
+                    base_abs,
+                    &mut self.index,
+                );
                 self.end += read;
             }
         }
@@ -110,15 +150,115 @@ impl<R: Read> Scanner<R> {
     }
 
     /// Position bookkeeping for a whole consumed run `buf[from..to]` at
-    /// once: one SWAR newline count instead of a per-byte loop.
+    /// once: the prescan's newline lane already knows every `\n` in the
+    /// span, so this re-reads nothing — it drains the lane entries the
+    /// span covers. (Newlines consumed byte-at-a-time leave stale entries
+    /// behind; `take_range` drops those silently below `from`.)
     fn advance_span(&mut self, from: usize, to: usize) {
-        self.offset += (to - from) as u64;
-        let (newlines, last) = count_byte_with_last(&self.buf[from..to], b'\n');
+        debug_assert_eq!(from, self.start, "spans are consumed from the window head");
+        let from_abs = self.offset;
+        let to_abs = from_abs + (to - from) as u64;
+        let (newlines, last) = self.index.nl.take_range(from_abs, to_abs);
         if let Some(last) = last {
             self.line += newlines as u32;
-            self.column = (to - (from + last)) as u32;
+            self.column = (to_abs - last) as u32;
         } else {
             self.column += (to - from) as u32;
+        }
+        self.offset = to_abs;
+    }
+
+    /// The buffered, unconsumed window. Every byte in it has already been
+    /// prescanned into the structural index.
+    pub fn window(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Grows the window by at least one byte; `false` when the source has
+    /// nothing more to give.
+    pub fn fill_more(&mut self) -> Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        let before = self.available();
+        self.fill(before + 1)?;
+        Ok(self.available() > before)
+    }
+
+    /// Consumes `n` window bytes as one span. Newline accounting comes
+    /// from the prescan's lane — no byte is re-inspected.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.available());
+        self.advance_span(self.start, self.start + n);
+        self.start += n;
+    }
+
+    /// Whether any `&` was indexed in the absolute range `[from, to)`:
+    /// the reader's escape probe for just-consumed text runs. Call before
+    /// anything that could refill — compaction prunes entries behind the
+    /// current offset.
+    pub fn amp_between(&mut self, from_abs: u64, to_abs: u64) -> bool {
+        self.index.amp.drop_before(from_abs);
+        matches!(self.index.amp.peek(), Some(abs) if abs < to_abs)
+    }
+
+    /// Probes the markup construct starting at the current `<` using only
+    /// the structural index: locates the closing `>` by walking the `>`
+    /// lane against quote parity (a `>` inside a quoted attribute value
+    /// is not a tag end), and flags content the fast tag path must not
+    /// handle. Read-only: nothing is consumed, so the caller can refill
+    /// and retry, or fall back to the byte-at-a-time path, with identical
+    /// scanner state.
+    pub fn probe_tag(&mut self) -> TagProbe {
+        debug_assert_eq!(self.window().first(), Some(&b'<'));
+        self.index.gt.drop_before(self.offset);
+        self.index.quote.drop_before(self.offset);
+        let mut gts = self.index.gt.cursor();
+        let mut quotes = self.index.quote.cursor();
+        let mut from = self.offset + 1;
+        let Some(mut candidate) = gts.next_at_or_after(from) else {
+            return TagProbe::NeedMore;
+        };
+        let gt = loop {
+            match quotes.next_at_or_after(from) {
+                Some(q) if q < candidate => {
+                    // A value opens before this `>` candidate: skip to the
+                    // matching close quote (the next quote of the same
+                    // kind — the other kind is literal inside the value).
+                    let open = self.buf[self.start + (q - self.offset) as usize];
+                    loop {
+                        let Some(q2) = quotes.next() else {
+                            return TagProbe::NeedMore;
+                        };
+                        if self.buf[self.start + (q2 - self.offset) as usize] == open {
+                            from = q2 + 1;
+                            break;
+                        }
+                    }
+                    // Only when the value swallowed the candidate (a
+                    // quoted `>`) does the search move to the next one;
+                    // otherwise the same candidate stands and the loop
+                    // re-checks it against the remaining quotes.
+                    if from > candidate {
+                        let Some(next) = gts.next_at_or_after(from) else {
+                            return TagProbe::NeedMore;
+                        };
+                        candidate = next;
+                    }
+                }
+                _ => break candidate,
+            }
+        };
+        // Dirty content — a stray `<` (a well-formedness error) or any
+        // `&` (a value needing unescaping) — is answered by the lanes
+        // without touching a tag byte.
+        self.index.lt.drop_before(self.offset + 1);
+        self.index.amp.drop_before(self.offset + 1);
+        let dirty = matches!(self.index.lt.peek(), Some(p) if p < gt)
+            || matches!(self.index.amp.peek(), Some(p) if p < gt);
+        TagProbe::Found {
+            rel_end: (gt - self.offset) as usize,
+            dirty,
         }
     }
 
@@ -231,13 +371,12 @@ impl<R: Read> Scanner<R> {
     /// [`Scanner::read_until_byte`].
     pub fn borrow_run(&mut self, stop: u8, lookahead: usize) -> Result<Option<(usize, usize)>> {
         self.fill(1)?;
-        let window = &self.buf[self.start..self.end];
-        let taken = match find_byte(window, stop) {
+        let taken = match self.find_in_window(stop) {
             // The stop byte and `lookahead` bytes of context are buffered:
             // peeks after the run cannot trigger a refill.
             Some(i) if self.end - (self.start + i) >= lookahead || self.eof => i,
             // No stop byte, but EOF: the window is the whole rest.
-            None if self.eof => window.len(),
+            None if self.eof => self.available(),
             _ => return Ok(None),
         };
         let range = (self.start, self.start + taken);
@@ -246,15 +385,36 @@ impl<R: Read> Scanner<R> {
         Ok(Some(range))
     }
 
+    /// Index, relative to the window start, of the next `stop` byte:
+    /// answered by the structural lane when `stop` has a dedicated one
+    /// (a cursor hop instead of a byte search), SWAR otherwise. The
+    /// merged quote lane is deliberately excluded — it cannot tell `"`
+    /// from `'` without a byte check.
+    fn find_in_window(&mut self, stop: u8) -> Option<usize> {
+        let lane = match stop {
+            b'<' => &mut self.index.lt,
+            b'>' => &mut self.index.gt,
+            b'&' => &mut self.index.amp,
+            b'\n' => &mut self.index.nl,
+            _ => return find_byte(&self.buf[self.start..self.end], stop),
+        };
+        let end_abs = self.offset + (self.end - self.start) as u64;
+        match lane.next_at_or_after(self.offset) {
+            Some(abs) if abs < end_abs => Some((abs - self.offset) as usize),
+            _ => None,
+        }
+    }
+
     /// The bytes behind a range returned by [`Scanner::borrow_run`].
     pub fn borrowed(&self, range: (usize, usize)) -> &[u8] {
         &self.buf[range.0..range.1]
     }
 
     /// Consumes bytes up to (not including) the next occurrence of `stop`,
-    /// appending them to `out`. The SWAR fast path for text runs:
-    /// equivalent to `read_while(|b| b != stop, out)`, eight bytes at a
-    /// time for both the search and the newline accounting.
+    /// appending them to `out`. The indexed fast path for text runs:
+    /// equivalent to `read_while(|b| b != stop, out)`, but the stop search
+    /// is a lane-cursor hop and the newline accounting a lane drain — no
+    /// consumed byte is inspected twice.
     pub fn read_until_byte(&mut self, stop: u8, out: &mut Vec<u8>) -> Result<()> {
         loop {
             self.fill(1)?;
@@ -262,7 +422,7 @@ impl<R: Read> Scanner<R> {
                 return Ok(());
             }
             let window_len = self.end - self.start;
-            let taken = find_byte(&self.buf[self.start..self.end], stop).unwrap_or(window_len);
+            let taken = self.find_in_window(stop).unwrap_or(window_len);
             out.extend_from_slice(&self.buf[self.start..self.start + taken]);
             self.advance_span(self.start, self.start + taken);
             self.start += taken;

@@ -1,0 +1,70 @@
+//! NEON prescan kernel: 16 bytes per step on aarch64.
+//!
+//! `vceqq_u8` per byte class, then the narrowing-shift trick
+//! (`vshrn_n_u16(…, 4)`) folds the 128-bit compare result into a 64-bit
+//! nibble mask — four bits per byte position — which is walked
+//! lowest-nibble-first so lane pushes stay strictly increasing. The
+//! sub-vector tail falls through to the SWAR kernel.
+//!
+//! NEON is baseline on aarch64, so no runtime detection is needed; the
+//! module still routes through the same dispatch as AVX2 so the force
+//! overrides behave identically.
+#![allow(unsafe_code)]
+
+use super::index::{DeltaLane, StructuralIndex};
+use super::swar;
+
+/// Pushes every set nibble of `mask` (nibble i = byte `base + i` matched;
+/// a match sets all four bits of its nibble).
+#[inline]
+fn push_nibble_mask(lane: &mut DeltaLane, mut mask: u64, base: u64) {
+    while mask != 0 {
+        let i = (mask.trailing_zeros() / 4) as u64;
+        lane.push(base + i);
+        mask &= !(0xFu64 << (i * 4));
+    }
+}
+
+/// Safe entry point; NEON is unconditionally available on aarch64.
+pub fn prescan(bytes: &[u8], base: u64, idx: &mut StructuralIndex) {
+    // SAFETY: NEON is part of the aarch64 baseline ISA, so the target
+    // feature requirement of `prescan_impl` always holds here.
+    unsafe { prescan_impl(bytes, base, idx) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn prescan_impl(bytes: &[u8], base: u64, idx: &mut StructuralIndex) {
+    use std::arch::aarch64::*;
+
+    /// 64-bit nibble mask of byte-equality between `v` and `pat`.
+    #[inline]
+    unsafe fn eq_mask(v: uint8x16_t, pat: uint8x16_t) -> u64 {
+        // SAFETY: caller runs under `target_feature(neon)`.
+        unsafe {
+            let eq = vceqq_u8(v, pat);
+            let narrowed = vshrn_n_u16::<4>(vreinterpretq_u16_u8(eq));
+            vget_lane_u64::<0>(vreinterpret_u64_u8(narrowed))
+        }
+    }
+
+    let lt = vdupq_n_u8(b'<');
+    let gt = vdupq_n_u8(b'>');
+    let dq = vdupq_n_u8(b'"');
+    let sq = vdupq_n_u8(b'\'');
+    let amp = vdupq_n_u8(b'&');
+    let nl = vdupq_n_u8(b'\n');
+
+    let mut offset = 0usize;
+    while offset + 16 <= bytes.len() {
+        // SAFETY: `offset + 16 <= len`; vld1q_u8 is an unaligned load.
+        let v = unsafe { vld1q_u8(bytes.as_ptr().add(offset)) };
+        let at = base + offset as u64;
+        push_nibble_mask(&mut idx.lt, eq_mask(v, lt), at);
+        push_nibble_mask(&mut idx.gt, eq_mask(v, gt), at);
+        push_nibble_mask(&mut idx.quote, eq_mask(v, dq) | eq_mask(v, sq), at);
+        push_nibble_mask(&mut idx.amp, eq_mask(v, amp), at);
+        push_nibble_mask(&mut idx.nl, eq_mask(v, nl), at);
+        offset += 16;
+    }
+    swar::prescan(&bytes[offset..], base + offset as u64, idx);
+}

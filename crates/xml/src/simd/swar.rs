@@ -1,0 +1,115 @@
+//! Portable prescan kernel: `u64` SWAR, eight bytes per step.
+//!
+//! This is the dispatch fallback (and the reference implementation the
+//! vectorised kernels are tested against). It reuses the carry-free
+//! zero-byte mask from [`crate::scan`] — one XOR + mask pair per byte
+//! class per word — and walks the match bits in order, so lane pushes stay
+//! strictly increasing.
+
+use super::index::{DeltaLane, StructuralIndex};
+use crate::scan::{broadcast, zero_byte_mask};
+
+/// Pushes every match in `mask` (the zero-byte-mask form: bit 7 of each
+/// matching byte lane set) as `base + lane_index`.
+#[inline]
+fn push_mask(lane: &mut DeltaLane, mut mask: u64, base: u64) {
+    while mask != 0 {
+        lane.push(base + (mask.trailing_zeros() / 8) as u64);
+        mask &= mask - 1;
+    }
+}
+
+/// Sweeps `bytes` once, recording the absolute position (`base + i`) of
+/// every structural byte into `idx`.
+pub fn prescan(bytes: &[u8], base: u64, idx: &mut StructuralIndex) {
+    let lt = broadcast(b'<');
+    let gt = broadcast(b'>');
+    let dq = broadcast(b'"');
+    let sq = broadcast(b'\'');
+    let amp = broadcast(b'&');
+    let nl = broadcast(b'\n');
+
+    let mut chunks = bytes.chunks_exact(8);
+    let mut offset = 0u64;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let at = base + offset;
+        push_mask(&mut idx.lt, zero_byte_mask(word ^ lt), at);
+        push_mask(&mut idx.gt, zero_byte_mask(word ^ gt), at);
+        push_mask(
+            &mut idx.quote,
+            zero_byte_mask(word ^ dq) | zero_byte_mask(word ^ sq),
+            at,
+        );
+        push_mask(&mut idx.amp, zero_byte_mask(word ^ amp), at);
+        push_mask(&mut idx.nl, zero_byte_mask(word ^ nl), at);
+        offset += 8;
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        if let Some(lane) = idx.lane_for_byte(b) {
+            lane.push(base + offset + i as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: classify byte-at-a-time.
+    fn naive(bytes: &[u8], base: u64) -> StructuralIndex {
+        let mut idx = StructuralIndex::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            if let Some(lane) = idx.lane_for_byte(b) {
+                lane.push(base + i as u64);
+            }
+        }
+        idx
+    }
+
+    fn drain(lane: &mut DeltaLane) -> Vec<u64> {
+        std::iter::from_fn(|| lane.pop()).collect()
+    }
+
+    fn assert_same(a: &mut StructuralIndex, b: &mut StructuralIndex) {
+        assert_eq!(drain(&mut a.lt), drain(&mut b.lt), "lt lane");
+        assert_eq!(drain(&mut a.gt), drain(&mut b.gt), "gt lane");
+        assert_eq!(drain(&mut a.quote), drain(&mut b.quote), "quote lane");
+        assert_eq!(drain(&mut a.amp), drain(&mut b.amp), "amp lane");
+        assert_eq!(drain(&mut a.nl), drain(&mut b.nl), "nl lane");
+    }
+
+    #[test]
+    fn matches_naive_classification() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"<",
+            b"<a b=\"x>y\" c='&'>\ntext &amp; more\n</a>",
+            b"no structure at all, just plain text padding out the words",
+            b"<<<<>>>>\"\"''&&\n\n",
+            "grüße <tag attr=\"\u{1F4A1}\">".as_bytes(),
+        ];
+        for case in cases {
+            for base in [0u64, 7, 8 * 1024] {
+                let mut got = StructuralIndex::new();
+                prescan(case, base, &mut got);
+                let mut want = naive(case, base);
+                assert_same(&mut got, &mut want);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_prescan_equals_one_shot() {
+        // The scanner feeds the prescan refill-sized pieces; splitting at
+        // arbitrary points must not change the recorded positions.
+        let doc = b"<books>\n  <book id=\"1\" title='a>b'>&lt;text</book>\n</books>";
+        for split in 0..doc.len() {
+            let mut got = StructuralIndex::new();
+            prescan(&doc[..split], 0, &mut got);
+            prescan(&doc[split..], split as u64, &mut got);
+            let mut want = naive(doc, 0);
+            assert_same(&mut got, &mut want);
+        }
+    }
+}

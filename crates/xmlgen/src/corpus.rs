@@ -152,6 +152,17 @@ pub fn corpus() -> Vec<CorpusEntry> {
             message_contains: "expected closing attribute quote",
         },
         CorpusEntry {
+            id: "truncate-quoted-gt-decoys",
+            description: "start tag truncated where every visible `>` is inside a quoted attribute value — the tag-end probe must reject all of them and report EOF",
+            bytes: {
+                let mut b = truncate_at(&small, "<title>", 0);
+                b.extend_from_slice(b"<decoy a=\"x>y\" b='p>q' c=\">>>\"");
+                b
+            },
+            expect: ExpectedKind::UnexpectedEof,
+            message_contains: "`>` closing the start tag",
+        },
+        CorpusEntry {
             id: "truncate-in-text",
             description: "input ends mid-text with elements still open",
             bytes: truncate_at(&small, "</title>", 0),

@@ -8,7 +8,7 @@
 //! * [`auction`] — a compact XMark-style auction site for join workloads;
 //! * [`pathological`] — adversarial shapes for the workload matrix (deep
 //!   recursion, attribute-heavy, text-heavy, name-minting);
-//! * [`corpus`] — the malformed-input corpus with its expected-error
+//! * [`mod@corpus`] — the malformed-input corpus with its expected-error
 //!   manifest.
 //!
 //! All generation is seeded; the same configuration always yields the same
