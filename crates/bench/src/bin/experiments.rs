@@ -603,7 +603,39 @@ fn write_bench_events_json(
             events as f64 / seconds
         )
     };
+    // One instrumented sharded engine run: the unified pipeline RunReport
+    // (per-shard parse/replay spans, bounded-channel stalls and dwell,
+    // prescan counters, buffer residency). A build without `--features
+    // telemetry` still embeds the structure, flagged `"telemetry": false`.
+    let run_report = {
+        let engine = FluxEngine::compile(Q3, Domain::BibWeak.dtd(), &Options::with_shards(2))
+            .expect("compile");
+        let mut sink = Vec::new();
+        let (_, report) = engine
+            .run_with_report(engine_doc.as_bytes(), &mut sink)
+            .expect("instrumented run");
+        report
+    };
+    let pipeline = run_report.find("shard_pipeline");
+    let lookup_counter = |name: &str| pipeline.and_then(|s| s.counter_value(name)).unwrap_or(0);
+    let lookup_span = |name: &str| pipeline.and_then(|s| s.span_value(name)).unwrap_or(0);
+    println!(
+        "channel (report run): {} recv stall(s), {} ns stalled, {} ns tape dwell \
+         (per-shard detail in run_report)",
+        lookup_counter("recv_stalls"),
+        lookup_span("recv_stall_ns"),
+        lookup_span("dwell_ns"),
+    );
     let mut parallel_section = String::new();
+    // Bounded-channel behaviour of the instrumented sharded engine run:
+    // stall counts and time spent blocked on the shard channel, plus how
+    // long finished tapes sat queued before the consumer reached them.
+    parallel_section.push_str(&format!(
+        "    \"channel\": {{\"recv_stalls\": {}, \"recv_stall_ns\": {}, \"dwell_ns\": {}}},\n",
+        lookup_counter("recv_stalls"),
+        lookup_span("recv_stall_ns"),
+        lookup_span("dwell_ns"),
+    ));
     for (shards, m) in parallel {
         parallel_section.push_str(&format!(
             "    \"shards_{}\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \"speedup_vs_sequential\": {:.2}}},\n",
@@ -621,7 +653,10 @@ fn write_bench_events_json(
     parallel_section.push_str(
         "    \"note\": \"raw parse over the same bytes via flux_shard::ShardedReader; \
          speedups are vs this file's current.raw_parse on the same host and are bounded \
-         by host_cores (a 1-core recording host cannot exceed 1.0x)\"",
+         by host_cores (a 1-core recording host cannot exceed 1.0x). channel records the \
+         run_report run's bounded-channel stalls and tape dwell, per-shard breakdown under \
+         run_report.stages.shard_pipeline (all zeros when recorded without --features \
+         telemetry)\"",
     );
     // The prescan stage counts bytes swept, not events — same shape so
     // perf_gate gates it like every other stage, with the unit spelled
@@ -632,6 +667,8 @@ fn write_bench_events_json(
         prescan.seconds,
         prescan.events_per_sec()
     );
+    // Re-indent the report renderer's output to sit one level deep.
+    let report_json = run_report.to_json().replace('\n', "\n  ");
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run --release -p flux_bench --bin experiments -- --e8\",\n  \
          \"workload\": \"{}\",\n  \
@@ -639,7 +676,8 @@ fn write_bench_events_json(
          \"baseline_string_events\": {{\n    \"note\": \"pre-refactor string-event pipeline, {}\",\n    \
          \"raw_parse\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {}\n  }},\n  \
          \"current\": {{\n    \"structural_prescan\": {},\n    \"raw_parse\": {},\n    \"tape_replay\": {},\n    \"xsax_validate\": {},\n    \"xsax_with_past\": {},\n{}\n  }},\n  \
-         \"parallel\": {{\n{}\n  }},\n{}}}\n",
+         \"parallel\": {{\n{}\n  }},\n  \
+         \"run_report\": {},\n{}}}\n",
         e8_workload_stamp(doc.len()),
         flux_xml::simd::active_isa_name(),
         BASELINE_HOST_NOTE,
@@ -653,6 +691,7 @@ fn write_bench_events_json(
         entry(past),
         engines,
         parallel_section,
+        report_json,
         workload_matrix_sections(),
     );
     match std::fs::write("BENCH_events.json", &json) {

@@ -1,6 +1,7 @@
 //! CI perf-regression gate over `BENCH_events.json`.
 //!
-//! Usage: `perf_gate <committed.json> <fresh.json> [--threshold 0.10]`
+//! Usage: `perf_gate <committed.json> <fresh.json> [--threshold 0.10]
+//!         [--json <verdict.json>]`
 //!
 //! Compares every `events_per_sec` stage in the committed recording's
 //! `current` and `parallel` sections — and every `workload_<id>` section
@@ -32,8 +33,33 @@
 //! (`experiments --e8` → `BENCH_events.json`); parsing is a small
 //! brace-matching scan rather than a JSON dependency, which the offline
 //! build environment does not have.
+//!
+//! `--json <path>` additionally writes a machine-readable verdict file
+//! (overall pass/fail, every comparison with its delta, every skipped
+//! section) without changing the human output. When the gate fails and
+//! the fresh recording embeds a telemetry `run_report`, the per-stage
+//! span totals are printed after the failures so a throughput regression
+//! can be attributed to the pipeline stage that slowed down.
 
+use flux_telemetry::json::JsonWriter;
 use std::process::exit;
+
+/// One gated comparison, kept for the `--json` verdict file.
+struct Comparison {
+    stage: String,
+    metric: &'static str,
+    base: f64,
+    fresh: Option<f64>,
+    ok: bool,
+}
+
+impl Comparison {
+    fn delta_pct(&self) -> Option<f64> {
+        self.fresh
+            .filter(|_| self.base > 0.0)
+            .map(|fresh| (fresh / self.base - 1.0) * 100.0)
+    }
+}
 
 /// Extracts the string value of a `"key": "value"` pair.
 fn extract_str<'j>(json: &'j str, key: &str) -> Option<&'j str> {
@@ -106,6 +132,7 @@ fn read(path: &str) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 0.10f64;
+    let mut verdict_path: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -114,12 +141,19 @@ fn main() {
                 eprintln!("perf_gate: --threshold needs a number");
                 exit(2);
             });
+        } else if a == "--json" {
+            verdict_path = Some(it.next().cloned().unwrap_or_else(|| {
+                eprintln!("perf_gate: --json needs a file path");
+                exit(2);
+            }));
         } else {
             files.push(a.clone());
         }
     }
     let [committed_path, fresh_path] = files.as_slice() else {
-        eprintln!("usage: perf_gate <committed.json> <fresh.json> [--threshold 0.10]");
+        eprintln!(
+            "usage: perf_gate <committed.json> <fresh.json> [--threshold 0.10] [--json FILE]"
+        );
         exit(2);
     };
     let committed = read(committed_path);
@@ -166,6 +200,11 @@ fn main() {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    let mut skips: Vec<String> = Vec::new();
+    if !cores_match {
+        skips.push("events_per_sec: cross-hardware recording (host_cores mismatch)".to_string());
+    }
     let mut sections: Vec<String> = vec!["current".into(), "parallel".into()];
     sections.extend(
         flux_bench::workloads()
@@ -182,6 +221,7 @@ fn main() {
                  BENCH_events.json (cargo run --release -p flux_bench --bin experiments -- --e8) \
                  to arm this gate"
             );
+            skips.push(format!("{section_name}: no committed section"));
             continue;
         };
         let fresh_section = extract_section(&fresh, section_name).unwrap_or("");
@@ -195,6 +235,13 @@ fn main() {
             let Some(fresh_stage) = fresh_stage else {
                 println!("perf_gate: FAIL {label}: stage missing from the fresh recording");
                 regressions += 1;
+                comparisons.push(Comparison {
+                    stage: label,
+                    metric: "events_per_sec",
+                    base: base_eps,
+                    fresh: None,
+                    ok: false,
+                });
                 continue;
             };
             if cores_match {
@@ -204,19 +251,34 @@ fn main() {
                             "perf_gate: FAIL {label}: events_per_sec missing from the fresh stage"
                         );
                         regressions += 1;
+                        comparisons.push(Comparison {
+                            stage: label.clone(),
+                            metric: "events_per_sec",
+                            base: base_eps,
+                            fresh: None,
+                            ok: false,
+                        });
                     }
                     Some(fresh_eps) => {
                         compared += 1;
                         let delta_pct = (fresh_eps / base_eps - 1.0) * 100.0;
-                        let verdict = if fresh_eps < base_eps * (1.0 - threshold) {
+                        let ok = fresh_eps >= base_eps * (1.0 - threshold);
+                        let verdict = if ok {
+                            "ok"
+                        } else {
                             regressions += 1;
                             "FAIL"
-                        } else {
-                            "ok"
                         };
                         println!(
                             "perf_gate: {verdict:>4} {label:<28} {base_eps:>12.0} -> {fresh_eps:>12.0} events/s ({delta_pct:+.1}%)"
                         );
+                        comparisons.push(Comparison {
+                            stage: label.clone(),
+                            metric: "events_per_sec",
+                            base: base_eps,
+                            fresh: Some(fresh_eps),
+                            ok,
+                        });
                     }
                 }
             }
@@ -230,6 +292,13 @@ fn main() {
                             "perf_gate: FAIL {label}: peak_buffer_bytes missing from the fresh stage"
                         );
                         regressions += 1;
+                        comparisons.push(Comparison {
+                            stage: label,
+                            metric: "peak_buffer_bytes",
+                            base: base_mem,
+                            fresh: None,
+                            ok: false,
+                        });
                     }
                     Some(fresh_mem) => {
                         compared += 1;
@@ -249,6 +318,13 @@ fn main() {
                         println!(
                             "perf_gate: {verdict:>4} {label:<28} {base_mem:>12.0} -> {fresh_mem:>12.0} peak bytes ({delta_pct:+.1}%)"
                         );
+                        comparisons.push(Comparison {
+                            stage: label,
+                            metric: "peak_buffer_bytes",
+                            base: base_mem,
+                            fresh: Some(fresh_mem),
+                            ok: !regressed,
+                        });
                     }
                 }
             }
@@ -258,7 +334,16 @@ fn main() {
         eprintln!("perf_gate: no comparable stages found — malformed recordings?");
         exit(2);
     }
+    if let Some(path) = &verdict_path {
+        let verdict = render_verdict(threshold, compared, regressions, &comparisons, &skips);
+        if let Err(e) = std::fs::write(path, verdict) {
+            eprintln!("perf_gate: cannot write {path}: {e}");
+            exit(2);
+        }
+        println!("perf_gate: wrote machine-readable verdict to {path}");
+    }
     if regressions > 0 {
+        print_report_attribution(&fresh);
         eprintln!(
             "perf_gate: {regressions} comparison(s) regressed more than {:.0}% vs the committed baseline",
             threshold * 100.0
@@ -269,4 +354,92 @@ fn main() {
         "perf_gate: all {compared} comparisons within {:.0}% of the committed baseline",
         threshold * 100.0
     );
+}
+
+/// Renders the `--json` verdict document.
+fn render_verdict(
+    threshold: f64,
+    compared: usize,
+    regressions: usize,
+    comparisons: &[Comparison],
+    skips: &[String],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("verdict", if regressions > 0 { "fail" } else { "pass" });
+    w.field_f64("threshold", threshold);
+    w.field_u64("compared", compared as u64);
+    w.field_u64("regressions", regressions as u64);
+    w.begin_named_arr("comparisons");
+    for c in comparisons {
+        w.begin_obj();
+        w.field_str("stage", &c.stage);
+        w.field_str("metric", c.metric);
+        w.field_f64("base", c.base);
+        match c.fresh {
+            Some(fresh) => w.field_f64("fresh", fresh),
+            None => w.field_raw("fresh", "null"),
+        }
+        if let Some(delta) = c.delta_pct() {
+            w.field_f64("delta_pct", delta);
+        }
+        w.field_bool("ok", c.ok);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.begin_named_arr("skipped");
+    for s in skips {
+        let mut rendered = String::from("\"");
+        flux_telemetry::json::escape_into(&mut rendered, s);
+        rendered.push('"');
+        w.value_raw(&rendered);
+    }
+    w.end_arr();
+    w.end_obj();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// On failure, prints the per-stage span totals from the fresh
+/// recording's embedded telemetry `run_report`, so a throughput
+/// regression can be pinned on the pipeline stage that slowed down.
+/// Quiet when the recording has no report or carries no spans (a build
+/// without `--features telemetry`).
+fn print_report_attribution(fresh: &str) {
+    let Some(report) = extract_section(fresh, "run_report") else {
+        return;
+    };
+    let mut lines = Vec::new();
+    let mut rest = report;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        let after = &rest[pos + "\"name\": \"".len()..];
+        let Some(name_end) = after.find('"') else {
+            break;
+        };
+        let name = &after[..name_end];
+        // The stage's body runs until its next sibling/child stage name.
+        let chunk_end = after[name_end..]
+            .find("\"name\": \"")
+            .map_or(after.len(), |i| name_end + i);
+        let chunk = &after[name_end..chunk_end];
+        if let Some(spans) = extract_section(chunk, "spans_ns") {
+            for line in spans.lines() {
+                let entry = line.trim().trim_end_matches(',');
+                if !entry.is_empty() {
+                    lines.push(format!("perf_gate:   {name:<16} {entry}"));
+                }
+            }
+        }
+        rest = &after[chunk_end..];
+    }
+    if !lines.is_empty() {
+        println!(
+            "perf_gate: span attribution from the fresh recording's run_report \
+             (where the pipeline spent its time):"
+        );
+        for line in lines {
+            println!("{line}");
+        }
+    }
 }

@@ -11,7 +11,7 @@ fn committed() -> String {
     std::fs::read_to_string(path).expect("committed BENCH_events.json")
 }
 
-fn run_gate(base: &str, fresh: &str, tag: &str) -> Output {
+fn run_gate_with(base: &str, fresh: &str, tag: &str, extra_args: &[&str]) -> Output {
     let dir = std::env::temp_dir();
     let base_path = dir.join(format!("perf_gate_cli_{tag}_base.json"));
     let fresh_path = dir.join(format!("perf_gate_cli_{tag}_fresh.json"));
@@ -20,11 +20,16 @@ fn run_gate(base: &str, fresh: &str, tag: &str) -> Output {
     let out = Command::new(env!("CARGO_BIN_EXE_perf_gate"))
         .arg(&base_path)
         .arg(&fresh_path)
+        .args(extra_args)
         .output()
         .expect("run perf_gate");
     let _ = std::fs::remove_file(&base_path);
     let _ = std::fs::remove_file(&fresh_path);
     out
+}
+
+fn run_gate(base: &str, fresh: &str, tag: &str) -> Output {
+    run_gate_with(base, fresh, tag, &[])
 }
 
 fn stdout(out: &Output) -> String {
@@ -157,6 +162,67 @@ fn cross_hardware_throughput_skips_but_memory_still_gates() {
         text.contains("FAIL workload_auction.flux"),
         "memory regression not caught:\n{text}"
     );
+}
+
+#[test]
+fn json_verdict_written_on_pass() {
+    let json = committed();
+    let verdict_path = std::env::temp_dir().join("perf_gate_cli_verdict_pass.json");
+    let path_arg = verdict_path.to_str().expect("utf-8 temp path").to_string();
+    let out = run_gate_with(&json, &json, "jsonpass", &["--json", &path_arg]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let verdict = std::fs::read_to_string(&verdict_path).expect("verdict file written");
+    let _ = std::fs::remove_file(&verdict_path);
+    assert!(verdict.contains("\"verdict\": \"pass\""), "{verdict}");
+    assert!(verdict.contains("\"regressions\": 0"), "{verdict}");
+    assert!(
+        verdict.contains("\"metric\": \"peak_buffer_bytes\""),
+        "memory comparisons must be listed:\n{verdict}"
+    );
+    assert!(
+        stdout(&out).contains("wrote machine-readable verdict"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn json_verdict_names_the_regressed_stage() {
+    let json = committed();
+    let fresh = scale_num_after(&json, "\"workload_text_heavy\"", "events_per_sec", 0.6);
+    let verdict_path = std::env::temp_dir().join("perf_gate_cli_verdict_fail.json");
+    let path_arg = verdict_path.to_str().expect("utf-8 temp path").to_string();
+    let out = run_gate_with(&json, &fresh, "jsonfail", &["--json", &path_arg]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let verdict = std::fs::read_to_string(&verdict_path).expect("verdict file written");
+    let _ = std::fs::remove_file(&verdict_path);
+    assert!(verdict.contains("\"verdict\": \"fail\""), "{verdict}");
+    // The regressed stage appears with ok: false and its delta.
+    let stage_pos = verdict
+        .find("\"stage\": \"workload_text_heavy.parse\"")
+        .unwrap_or_else(|| panic!("regressed stage not in verdict:\n{verdict}"));
+    let entry = &verdict[stage_pos..stage_pos + 220.min(verdict.len() - stage_pos)];
+    assert!(entry.contains("\"ok\": false"), "{entry}");
+    assert!(entry.contains("\"delta_pct\": -4"), "~-40%: {entry}");
+}
+
+#[test]
+fn failure_prints_run_report_attribution_when_embedded() {
+    let json = committed();
+    // Only meaningful when the committed recording embeds span data
+    // (i.e. it was produced by an instrumented --e8 run).
+    if !json.contains("\"run_report\"") || !json.contains("\"spans_ns\"") {
+        return;
+    }
+    let fresh = scale_num_after(&json, "\"workload_text_heavy\"", "events_per_sec", 0.6);
+    let out = run_gate(&json, &fresh, "attribution");
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("span attribution from the fresh recording's run_report"),
+        "no attribution printed:\n{text}"
+    );
+    assert!(text.contains("parse_ns"), "span names not printed:\n{text}");
 }
 
 #[test]

@@ -210,9 +210,11 @@ pub fn assert_engines_equivalent(w: &Workload, scale: f64, seed: u64) {
         assert_eq!(
             stats_fingerprint(&capped.stats),
             stats_fingerprint(&outcome.stats),
-            "{}: {} stats changed under max_symbols={TINY_CAP}",
+            "{}: {} stats changed under max_symbols={TINY_CAP}\n  capped:    {}\n  unbounded: {}",
             w.id,
-            kind.label()
+            kind.label(),
+            capped.stats,
+            outcome.stats
         );
     }
 
@@ -235,8 +237,10 @@ pub fn assert_engines_equivalent(w: &Workload, scale: f64, seed: u64) {
             assert_eq!(
                 stats_fingerprint(&outcome.stats),
                 stats_fingerprint(&reference.stats),
-                "{}: flux stats diverged (shards {shards}, cap {cap:?})",
-                w.id
+                "{}: flux stats diverged (shards {shards}, cap {cap:?})\n  sharded:    {}\n  sequential: {}",
+                w.id,
+                outcome.stats,
+                reference.stats
             );
         }
     }

@@ -5,7 +5,10 @@ use crate::error::Result;
 use flux_baseline::{DomEngine, ProjectionEngine};
 use flux_dtd::Dtd;
 use flux_lang::{compile as compile_flux, CompileOptions, FluxQuery, OptimizerConfig};
-use flux_runtime::{compile_plan, execute_plan, execute_plan_from_source, Plan, RunStats};
+use flux_runtime::{
+    compile_plan, execute_plan, execute_plan_from_source, execute_plan_from_source_with_report,
+    execute_plan_with_report, Plan, RunReport, RunStats,
+};
 use flux_shard::{ShardConfig, ShardedReader};
 use flux_xsax::XsaxConfig;
 use std::io::{Read, Write};
@@ -182,20 +185,7 @@ impl FluxEngine {
                 self.xsax.clone(),
             )?),
             Parallelism::Shards(n) => {
-                let mut bytes = Vec::new();
-                input.read_to_end(&mut bytes).map_err(|e| {
-                    flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into()))
-                })?;
-                let mut shard_config = ShardConfig::new(n);
-                // Mirror the interner bound on the merged table; the seed
-                // vocabulary always resolves, so only undeclared names
-                // overflow (and travel by literal spelling).
-                shard_config.max_symbols = self.xsax.max_symbols;
-                let source = ShardedReader::with_symbols(
-                    bytes,
-                    shard_config,
-                    flux_xsax::seeded_symbols(&self.dtd),
-                );
+                let source = self.sharded_source(&mut input, n)?;
                 Ok(execute_plan_from_source(
                     &self.plan,
                     &self.dtd,
@@ -205,6 +195,54 @@ impl FluxEngine {
                 )?)
             }
         }
+    }
+
+    /// [`run`](Self::run) plus the run's telemetry [`RunReport`] — every
+    /// pipeline stage's counters, spans and (under sharded parsing) the
+    /// per-shard timeline. Without the `telemetry` cargo feature the
+    /// report is still structurally valid but carries no measurements.
+    pub fn run_with_report<R: Read, W: Write>(
+        &self,
+        mut input: R,
+        output: W,
+    ) -> Result<(RunStats, RunReport)> {
+        match self.parallelism {
+            Parallelism::Sequential => Ok(execute_plan_with_report(
+                &self.plan,
+                &self.dtd,
+                input,
+                output,
+                self.xsax.clone(),
+            )?),
+            Parallelism::Shards(n) => {
+                let source = self.sharded_source(&mut input, n)?;
+                Ok(execute_plan_from_source_with_report(
+                    &self.plan,
+                    &self.dtd,
+                    source,
+                    output,
+                    self.xsax.clone(),
+                )?)
+            }
+        }
+    }
+
+    /// Buffers `input` and builds the N-shard parallel source over it.
+    fn sharded_source<R: Read>(&self, input: &mut R, shards: usize) -> Result<ShardedReader> {
+        let mut bytes = Vec::new();
+        input
+            .read_to_end(&mut bytes)
+            .map_err(|e| flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into())))?;
+        let mut shard_config = ShardConfig::new(shards);
+        // Mirror the interner bound on the merged table; the seed
+        // vocabulary always resolves, so only undeclared names overflow
+        // (and travel by literal spelling).
+        shard_config.max_symbols = self.xsax.max_symbols;
+        Ok(ShardedReader::with_symbols(
+            bytes,
+            shard_config,
+            flux_xsax::seeded_symbols(&self.dtd),
+        ))
     }
 
     /// Convenience: runs over a string, returning the output string.
@@ -411,6 +449,32 @@ mod tests {
                 stats.peak_buffer_bytes, seq_stats.peak_buffer_bytes,
                 "buffer accounting must not depend on parallelism"
             );
+        }
+    }
+
+    #[test]
+    fn report_is_available_in_both_modes_and_parallelisms() {
+        let mut doc = String::from("<bib>");
+        for i in 0..50 {
+            doc.push_str(&format!(
+                "<book><author>A{i}</author><title>T{i}</title></book>"
+            ));
+        }
+        doc.push_str("</bib>");
+        for options in [Options::new(), Options::with_shards(2)] {
+            let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &options).unwrap();
+            let mut out = Vec::new();
+            let (stats, report) = engine.run_with_report(doc.as_bytes(), &mut out).unwrap();
+            let mut plain = Vec::new();
+            let plain_stats = engine.run(doc.as_bytes(), &mut plain).unwrap();
+            assert_eq!(out, plain, "report assembly must not change output");
+            assert_eq!(stats.peak_buffer_bytes, plain_stats.peak_buffer_bytes);
+            let json = report.to_json();
+            for needle in ["\"run_stats\"", "\"runtime\"", "\"xsax\"", "\"buffers\""] {
+                assert!(json.contains(needle), "missing {needle} in:\n{json}");
+            }
+            // Text rendering never panics and carries the stats line.
+            assert!(report.to_text().contains("run_stats:"));
         }
     }
 

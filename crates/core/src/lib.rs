@@ -35,5 +35,5 @@ pub use error::{Error, Result};
 pub use flux_baseline::{DomEngine, ProjectionEngine};
 pub use flux_dtd::{Dtd, Symbol, SymbolTable, PAPER_FIG1_DTD, PAPER_UNSAFE_DTD, PAPER_WEAK_DTD};
 pub use flux_lang::{CompileOptions, FluxQuery, OptimizerConfig};
-pub use flux_runtime::RunStats;
+pub use flux_runtime::{RunReport, RunStats};
 pub use flux_xsax::XsaxConfig;

@@ -22,6 +22,7 @@ use crate::plan::{compile_plan, DocTiming, HandlerPlan, Plan, PlanExpr, PsId};
 use crate::stats::RunStats;
 use flux_dtd::Dtd;
 use flux_lang::FluxQuery;
+use flux_telemetry::{RunReport, RuntimeCounters, Stage};
 use flux_xml::tree::NodeId;
 use flux_xml::{Attribute, EventSource, RawEventKind, RawEventRef, SymbolTable, XmlWriter};
 use flux_xquery::{Env, Expr, TreeEvaluator, VarName, ROOT_VAR};
@@ -80,6 +81,17 @@ impl<'d> Executor<'d> {
     ) -> Result<RunStats> {
         execute_plan(&self.plan, self.dtd, input, output, config)
     }
+
+    /// Runs the query and additionally assembles the run's telemetry
+    /// [`RunReport`] (structurally valid — but empty-staged — without the
+    /// `telemetry` feature).
+    pub fn run_with_report<R: Read, W: Write>(
+        &self,
+        input: R,
+        output: W,
+    ) -> Result<(RunStats, RunReport)> {
+        execute_plan_with_report(&self.plan, self.dtd, input, output, XsaxConfig::default())
+    }
 }
 
 /// Runs a pre-compiled physical plan over an input stream. This is the
@@ -93,6 +105,23 @@ pub fn execute_plan<R: Read, W: Write>(
     config: XsaxConfig,
 ) -> Result<RunStats> {
     run_events(plan, XsaxParser::with_config(input, dtd, config)?, output)
+}
+
+/// [`execute_plan`] plus the run's assembled telemetry [`RunReport`].
+pub fn execute_plan_with_report<R: Read, W: Write>(
+    plan: &Plan,
+    dtd: &Dtd,
+    input: R,
+    output: W,
+    config: XsaxConfig,
+) -> Result<(RunStats, RunReport)> {
+    let (stats, report) = run_events_inner(
+        plan,
+        XsaxParser::with_config(input, dtd, config)?,
+        output,
+        true,
+    )?;
+    Ok((stats, report.expect("report requested")))
 }
 
 /// Runs a pre-compiled plan over an arbitrary [`EventSource`] — the entry
@@ -110,11 +139,39 @@ pub fn execute_plan_from_source<S: EventSource, W: Write>(
     run_events(plan, XsaxParser::from_source(source, dtd, config)?, output)
 }
 
+/// [`execute_plan_from_source`] plus the run's telemetry [`RunReport`] —
+/// with a sharded source, the report carries the per-shard pipeline
+/// timeline the source recorded.
+pub fn execute_plan_from_source_with_report<S: EventSource, W: Write>(
+    plan: &Plan,
+    dtd: &Dtd,
+    source: S,
+    output: W,
+    config: XsaxConfig,
+) -> Result<(RunStats, RunReport)> {
+    let (stats, report) = run_events_inner(
+        plan,
+        XsaxParser::from_source(source, dtd, config)?,
+        output,
+        true,
+    )?;
+    Ok((stats, report.expect("report requested")))
+}
+
 fn run_events<S: EventSource, W: Write>(
+    plan: &Plan,
+    parser: XsaxParser<'_, S>,
+    output: W,
+) -> Result<RunStats> {
+    run_events_inner(plan, parser, output, false).map(|(stats, _)| stats)
+}
+
+fn run_events_inner<S: EventSource, W: Write>(
     plan: &Plan,
     mut parser: XsaxParser<'_, S>,
     output: W,
-) -> Result<RunStats> {
+    want_report: bool,
+) -> Result<(RunStats, Option<RunReport>)> {
     let start_time = Instant::now();
     for reg in &plan.past_regs {
         parser.register_past(reg.element, reg.labels.clone())?;
@@ -131,6 +188,7 @@ fn run_events<S: EventSource, W: Write>(
         writer: XmlWriter::new(output),
         stack: Vec::new(),
         events: 0,
+        tel: RuntimeCounters::default(),
     };
     while let Some(step) = parser.next_step()? {
         state.events += 1;
@@ -143,14 +201,46 @@ fn run_events<S: EventSource, W: Write>(
         }
     }
     state.writer.finish()?;
-    Ok(RunStats {
+    let stats = RunStats {
         peak_buffer_bytes: state.arena.tracker().peak_bytes(),
         peak_buffer_nodes: state.arena.tracker().peak_nodes(),
         total_buffered_bytes: state.arena.tracker().total_allocated_bytes(),
         output_bytes: state.writer.bytes_written(),
         events: state.events,
         duration: start_time.elapsed(),
-    })
+    };
+    // Report assembly happens once, after the stream is drained — the
+    // plain `run_events` path skips even that.
+    let report = want_report.then(|| assemble_report(&parser, &state, &stats));
+    Ok((stats, report))
+}
+
+/// Builds the unified [`RunReport`]: the source's stages (scanner/reader,
+/// shard pipeline), the XSAX stage, then the runtime and buffer stages
+/// owned here.
+fn assemble_report<S: EventSource, W: Write>(
+    parser: &XsaxParser<'_, S>,
+    state: &ExecState<'_, W>,
+    stats: &RunStats,
+) -> RunReport {
+    let mut report = RunReport::new();
+    parser.report_into(&mut report);
+    let tracker = state.arena.tracker();
+    let mut runtime = Stage::new("runtime");
+    runtime.counter("events", state.events);
+    runtime.absorb(state.tel.snapshot());
+    runtime.absorb(tracker.telemetry().snapshot());
+    runtime.counter("output_bytes", stats.output_bytes);
+    runtime.rate("events_per_second", stats.events_per_second());
+    report.stage(runtime);
+    let mut buffers = Stage::new("buffers");
+    buffers.counter("peak_bytes", stats.peak_buffer_bytes as u64);
+    buffers.counter("peak_nodes", stats.peak_buffer_nodes as u64);
+    buffers.counter("traffic_bytes", stats.total_buffered_bytes);
+    buffers.samples = tracker.residency().snapshot();
+    report.stage(buffers);
+    report.stats_json = Some(stats.to_json());
+    report
 }
 
 struct ExecState<'p, W: Write> {
@@ -160,10 +250,14 @@ struct ExecState<'p, W: Write> {
     writer: XmlWriter<W>,
     stack: Vec<ElementCtx>,
     events: u64,
+    /// Handler-dispatch / on-first counters (zero-sized no-ops unless the
+    /// `telemetry` feature is on).
+    tel: RuntimeCounters,
 }
 
 impl<'p, W: Write> ExecState<'p, W> {
     fn handle(&mut self, ev: &RawEventRef<'_>, symbols: &SymbolTable) -> Result<()> {
+        self.tel.handler_dispatches(1);
         match ev.kind() {
             RawEventKind::StartDocument => self.start_document(symbols),
             RawEventKind::DoctypeDecl => Ok(()),
@@ -342,6 +436,7 @@ impl<'p, W: Write> ExecState<'p, W> {
                 message: "past registration points at a non-on-first handler".to_string(),
             });
         };
+        self.tel.on_first_fires(1);
         self.eval_buffered(body)
     }
 

@@ -5,6 +5,9 @@
 //! copies, text) and track the peak — a deterministic, allocator-independent
 //! measure of what the engine architecture must hold in memory.
 
+use flux_telemetry::json::JsonWriter;
+use flux_telemetry::{BufferCounters, Residency};
+use std::fmt;
 use std::time::Duration;
 
 /// Tracks current and peak buffered memory.
@@ -15,6 +18,13 @@ pub struct MemoryTracker {
     current_nodes: usize,
     peak_nodes: usize,
     total_allocated_bytes: u64,
+    /// Alloc/free/grow traffic counters (zero-sized unless telemetry is
+    /// enabled).
+    tel: BufferCounters,
+    /// Buffer-residency high-water sampler: a bounded trace of how the
+    /// buffered-byte level evolved over the run (empty no-op when
+    /// telemetry is off).
+    residency: Residency,
 }
 
 impl MemoryTracker {
@@ -28,6 +38,8 @@ impl MemoryTracker {
         self.total_allocated_bytes += bytes as u64;
         self.peak_bytes = self.peak_bytes.max(self.current_bytes);
         self.peak_nodes = self.peak_nodes.max(self.current_nodes);
+        self.tel.buffer_allocs(1);
+        self.residency.tick(self.current_bytes as u64);
     }
 
     /// Accounts growth of an existing node (e.g. text appended to a merged
@@ -36,12 +48,26 @@ impl MemoryTracker {
         self.current_bytes += bytes;
         self.total_allocated_bytes += bytes as u64;
         self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+        self.tel.buffer_grows(1);
+        self.residency.tick(self.current_bytes as u64);
     }
 
     pub fn release(&mut self, bytes: usize) {
         debug_assert!(self.current_bytes >= bytes, "released more than allocated");
         self.current_bytes = self.current_bytes.saturating_sub(bytes);
         self.current_nodes = self.current_nodes.saturating_sub(1);
+        self.tel.buffer_frees(1);
+        self.residency.tick(self.current_bytes as u64);
+    }
+
+    /// A copy of the buffer traffic counters.
+    pub fn telemetry(&self) -> BufferCounters {
+        self.tel
+    }
+
+    /// The residency high-water trace.
+    pub fn residency(&self) -> &Residency {
+        &self.residency
     }
 
     pub fn current_bytes(&self) -> usize {
@@ -91,6 +117,44 @@ impl RunStats {
         }
         self.events as f64 / self.duration.as_secs_f64()
     }
+
+    /// Renders the stats as pretty-printed JSON (hand-rolled — no
+    /// dependencies; always available, telemetry feature or not). The
+    /// same rendering is spliced into the `RunReport` as `run_stats`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("peak_buffer_bytes", self.peak_buffer_bytes as u64);
+        w.field_u64("peak_buffer_nodes", self.peak_buffer_nodes as u64);
+        w.field_u64("total_buffered_bytes", self.total_buffered_bytes);
+        w.field_u64("output_bytes", self.output_bytes);
+        w.field_u64("events", self.events);
+        w.field_u64(
+            "duration_ns",
+            u64::try_from(self.duration.as_nanos()).unwrap_or(u64::MAX),
+        );
+        w.field_f64("events_per_second", self.events_per_second());
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// The one-line human rendering shared by the CLI `--stats` switch,
+/// conformance failure diagnostics and the text report.
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events: {} | peak buffer: {} bytes / {} nodes | buffered total: {} bytes | output: {} bytes | {:.2?} ({:.0} events/s)",
+            self.events,
+            self.peak_buffer_bytes,
+            self.peak_buffer_nodes,
+            self.total_buffered_bytes,
+            self.output_bytes,
+            self.duration,
+            self.events_per_second()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +188,52 @@ mod tests {
         assert_eq!(t.current_bytes(), 15);
         assert_eq!(t.current_nodes(), 1);
         assert_eq!(t.peak_nodes(), 1);
+    }
+
+    #[test]
+    fn residency_trace_agrees_with_tracker_peak() {
+        let mut t = MemoryTracker::new();
+        for _ in 0..500 {
+            t.allocate(64);
+        }
+        for _ in 0..500 {
+            t.release(64);
+        }
+        if flux_telemetry::enabled() {
+            assert_eq!(t.residency().max_high_water(), t.peak_bytes() as u64);
+            let snap = t.telemetry().snapshot();
+            assert!(snap.contains(&("buffer_allocs", 500)), "{snap:?}");
+            assert!(snap.contains(&("buffer_frees", 500)), "{snap:?}");
+        } else {
+            assert!(t.residency().snapshot().is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_render_as_json_and_text() {
+        let stats = RunStats {
+            peak_buffer_bytes: 1234,
+            peak_buffer_nodes: 7,
+            total_buffered_bytes: 9999,
+            output_bytes: 321,
+            events: 1000,
+            duration: Duration::from_millis(250),
+        };
+        let json = stats.to_json();
+        for needle in [
+            "\"peak_buffer_bytes\": 1234",
+            "\"peak_buffer_nodes\": 7",
+            "\"total_buffered_bytes\": 9999",
+            "\"output_bytes\": 321",
+            "\"events\": 1000",
+            "\"duration_ns\": 250000000",
+            "\"events_per_second\": 4000.0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let text = stats.to_string();
+        assert!(text.contains("events: 1000"));
+        assert!(text.contains("peak buffer: 1234 bytes / 7 nodes"));
+        assert!(text.contains("4000 events/s"));
     }
 }

@@ -48,6 +48,9 @@ pub mod splitter;
 mod worker;
 
 use flux_symbols::{Symbol, SymbolTable};
+use flux_telemetry::{
+    Journal, ReaderCounters, RunReport, ScanCounters, ShardLane, Stage, Stopwatch,
+};
 use flux_xml::{
     EventSource, Position, RawEvent, RawEventKind, RawEventRef, ReaderConfig, Result, SymbolRemap,
     XmlError,
@@ -188,6 +191,9 @@ struct ActiveShard {
     base: Position,
     /// Replay cursor into the tape.
     next_event: usize,
+    /// Epoch-relative instant replay of this shard began (always 0 when
+    /// telemetry is off).
+    activated_at_ns: u64,
 }
 
 /// What [`ShardedReader::view`] currently shows.
@@ -245,6 +251,19 @@ pub struct ShardedReader {
     /// Recorded position of the most recently delivered event.
     last_pos: Position,
     current: CurrentEvent,
+    // Telemetry (every field below is zero-sized or empty when the
+    // `telemetry` feature is off).
+    /// The pipeline epoch: copies go to every worker so all timeline
+    /// points read off one monotonic axis. Reset when workers launch.
+    epoch: Stopwatch,
+    /// Completed shard lanes, in replay order.
+    lanes: Vec<ShardLane>,
+    /// Scanner counters merged across exhausted shards.
+    scan_tel: ScanCounters,
+    /// Reader counters merged across exhausted shards.
+    reader_tel: ReaderCounters,
+    /// Pipeline lifecycle journal (activations, exhaustions).
+    journal: Journal,
 }
 
 const START_POS: Position = Position {
@@ -285,6 +304,11 @@ impl ShardedReader {
             root_done: false,
             last_pos: START_POS,
             current: CurrentEvent::None,
+            epoch: Stopwatch::start(),
+            lanes: Vec::new(),
+            scan_tel: ScanCounters::default(),
+            reader_tel: ReaderCounters::default(),
+            journal: Journal::default(),
         }
     }
 
@@ -329,6 +353,13 @@ impl ShardedReader {
         let requested = self.config.shards.clamp(1, max_by_size);
         let points = splitter::split_points(&self.input, requested);
         self.total_shards = points.len();
+        // The epoch starts when the pipeline does; telemetry stores are
+        // preallocated here, before any replay, so the steady state
+        // allocates nothing (all of this folds away when telemetry is
+        // off: the stopwatch reads no clock and the vectors hold ZSTs).
+        self.epoch = Stopwatch::start();
+        self.lanes = Vec::with_capacity(self.total_shards);
+        self.journal = Journal::with_capacity(2 * self.total_shards + 2);
         let reader_config = self.config.reader_config();
         let (tx, rx) = sync_channel(points.len());
         for (i, &start) in points.iter().enumerate().skip(1) {
@@ -337,8 +368,9 @@ impl ShardedReader {
             let seed = self.symbols.clone();
             let cfg = reader_config.clone();
             let tx = tx.clone();
+            let epoch = self.epoch;
             std::thread::spawn(move || {
-                let tape = parse_fragment(&input[start..end], &cfg, &seed);
+                let tape = parse_fragment(&input[start..end], &cfg, &seed, epoch);
                 // The consumer may have been dropped; parsing work is
                 // simply discarded then.
                 let _ = tx.send((i, tape));
@@ -347,27 +379,44 @@ impl ShardedReader {
         drop(tx);
         self.rx = Some(rx);
         let end = points.get(1).copied().unwrap_or(self.input.len());
-        let tape0 = parse_fragment(&self.input[..end], &reader_config, &self.symbols);
+        let tape0 = parse_fragment(
+            &self.input[..end],
+            &reader_config,
+            &self.symbols,
+            self.epoch,
+        );
         self.parked.insert(0, tape0);
     }
 
     /// Blocks until shard `index`'s tape is available. Out-of-order
     /// arrivals are parked; [`ReplayMode::Joined`] drains every worker
     /// first (the barrier).
+    ///
+    /// Telemetry: the blocking-receive time (including the Joined drain)
+    /// is charged to the requested shard's lane, and the channel-dwell
+    /// span (tape ready → this pickup) is stamped from the shared epoch.
     fn take_shard(&mut self, index: usize) -> ShardTape {
+        let wait = Stopwatch::start();
+        let mut stalls = 0u64;
         if self.config.mode == ReplayMode::Joined {
             if let Some(rx) = self.rx.take() {
+                stalls += 1;
                 while let Ok((i, tape)) = rx.recv() {
                     self.parked.insert(i, tape);
                 }
             }
         }
         loop {
-            if let Some(tape) = self.parked.remove(&index) {
+            if let Some(mut tape) = self.parked.remove(&index) {
+                tape.lane.recv_stall_ns(wait.elapsed_ns());
+                tape.lane.recv_stalls(stalls);
+                tape.lane
+                    .dwell_ns(self.epoch.elapsed_ns().saturating_sub(tape.ready_at_ns));
                 return tape;
             }
             match self.rx.as_ref().map(|rx| rx.recv()) {
                 Some(Ok((i, tape))) => {
+                    stalls += 1;
                     self.parked.insert(i, tape);
                 }
                 // All senders gone yet the shard never arrived: a worker
@@ -442,6 +491,8 @@ impl ShardedReader {
                     return Ok(true);
                 }
                 let shard = self.take_shard(self.next_shard);
+                self.journal
+                    .record("shard_activated", self.next_shard as u64);
                 self.next_shard += 1;
                 // Merge shard-local names into the shared namespace; the
                 // remap makes every replayed symbol a merged-table symbol.
@@ -461,6 +512,7 @@ impl ShardedReader {
                     remap,
                     base: self.chunk_base,
                     next_event: 0,
+                    activated_at_ns: self.epoch.elapsed_ns(),
                 });
             }
 
@@ -473,6 +525,16 @@ impl ShardedReader {
             };
             if exhausted {
                 let mut a = self.active.take().expect("active shard ensured");
+                // Close this shard's lane: replay span, then fold its
+                // counters into the pipeline totals (merge-at-join).
+                a.shard
+                    .lane
+                    .replay_ns(self.epoch.elapsed_ns().saturating_sub(a.activated_at_ns));
+                self.scan_tel.merge(&a.shard.scan);
+                self.reader_tel.merge(&a.shard.reader);
+                self.lanes.push(a.shard.lane);
+                self.journal
+                    .record("shard_exhausted", (self.next_shard - 1) as u64);
                 if let Some(err) = a.shard.error.take() {
                     self.finished = true;
                     return Err(compose_error(err, a.base));
@@ -683,6 +745,54 @@ impl ShardedReader {
     pub fn next_into(&mut self, ev: &mut RawEvent) -> Result<bool> {
         <Self as EventSource>::next_into(self, ev)
     }
+
+    /// Appends the merged `scanner`/`reader` stages and the
+    /// `shard_pipeline` timeline (one child stage per shard lane, plus
+    /// the lifecycle journal) to `report`. Stages are appended empty when
+    /// the `telemetry` feature is off, so the report shape is stable.
+    pub fn report_into(&self, report: &mut RunReport) {
+        let mut scanner = Stage::new("scanner");
+        scanner.note("isa", flux_xml::active_isa_name());
+        scanner.absorb(self.scan_tel.snapshot());
+        report.stage(scanner);
+        let mut reader = Stage::new("reader");
+        reader.absorb(self.reader_tel.snapshot());
+        report.stage(reader);
+        let mut pipeline = Stage::new("shard_pipeline");
+        pipeline.counter("shards", self.total_shards as u64);
+        pipeline.note("mode", format!("{:?}", self.config.mode));
+        let mut totals = ShardLane::default();
+        for lane in &self.lanes {
+            totals.merge(lane);
+        }
+        pipeline.absorb(totals.snapshot());
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let mut child = Stage::new(format!("shard_{i}"));
+            child.absorb(lane.snapshot());
+            pipeline.children.push(child);
+        }
+        for ev in self.journal.events() {
+            pipeline.events.push((ev.seq, ev.tag, ev.value));
+        }
+        report.stage(pipeline);
+    }
+
+    /// The completed per-shard timeline lanes (replay order). Empty until
+    /// shards are exhausted, and with telemetry off each lane is a
+    /// zero-sized stub — intended for tests and the report builder.
+    pub fn lanes(&self) -> &[ShardLane] {
+        &self.lanes
+    }
+
+    /// The merged scanner counters across exhausted shards.
+    pub fn scan_telemetry(&self) -> ScanCounters {
+        self.scan_tel
+    }
+
+    /// The merged reader counters across exhausted shards.
+    pub fn reader_telemetry(&self) -> ReaderCounters {
+        self.reader_tel
+    }
 }
 
 impl EventSource for ShardedReader {
@@ -700,6 +810,10 @@ impl EventSource for ShardedReader {
 
     fn position(&self) -> Position {
         ShardedReader::position(self)
+    }
+
+    fn report_into(&self, report: &mut RunReport) {
+        ShardedReader::report_into(self, report)
     }
 }
 

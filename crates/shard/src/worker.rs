@@ -23,6 +23,7 @@
 //!   the same error.
 
 use flux_symbols::{Symbol, SymbolTable};
+use flux_telemetry::{ReaderCounters, ScanCounters, ShardLane, Stopwatch};
 use flux_xml::{EventTape, Position, RawEventKind, ReaderConfig, XmlError, XmlReader};
 
 /// Everything one shard produces: its event tape, the names it interned
@@ -38,21 +39,38 @@ pub(crate) struct ShardTape {
     /// Terminal parse error, chunk-local positions. The tape holds the
     /// valid prefix parsed before it.
     pub error: Option<XmlError>,
+    /// This shard's timeline lane. The worker fills the parse side
+    /// (`parse_ns`, `events`, `tape_bytes`); the consumer fills the replay
+    /// side when it activates and exhausts the tape. Zero-sized unless the
+    /// `telemetry` feature is on.
+    pub lane: ShardLane,
+    /// Epoch-relative instant the finished tape was handed to the channel;
+    /// the consumer subtracts it from its pickup instant to get the
+    /// channel-dwell span (always 0 when telemetry is off).
+    pub ready_at_ns: u64,
+    /// The fragment reader's scanner counters, harvested at join time.
+    pub scan: ScanCounters,
+    /// The fragment reader's fast/slow path counters.
+    pub reader: ReaderCounters,
 }
 
 /// Parses `chunk` as a fragment onto a tape. Infallible by design: errors
 /// ride inside the returned [`ShardTape`] so the consumer can replay the
 /// valid prefix first, exactly like the sequential reader streams it.
+/// `epoch` is the pipeline-wide stopwatch copy all timeline points are
+/// measured against.
 pub(crate) fn parse_fragment(
     chunk: &[u8],
     reader_config: &ReaderConfig,
     seed: &SymbolTable,
+    epoch: Stopwatch,
 ) -> ShardTape {
     debug_assert!(reader_config.fragment, "workers parse fragments");
     debug_assert!(
         reader_config.max_symbols.is_none(),
         "sharding uses unbounded interners; bound memory by shard instead"
     );
+    let parse_started = epoch.elapsed_ns();
     let mut reader = XmlReader::with_symbols(chunk, reader_config.clone(), seed.clone());
     // Typical markup density: one event per ~20 bytes, payloads well under
     // half the chunk. Reserving avoids regrowth churn in the hot loop.
@@ -84,10 +102,21 @@ pub(crate) fn parse_fragment(
     let new_names: Vec<String> = (seed.len()..table.len())
         .map(|i| table.name(Symbol::from_index(i)).to_string())
         .collect();
+    // Two clock reads bracket the whole fragment parse; everything else
+    // below folds to nothing when telemetry is off.
+    let ready_at_ns = epoch.elapsed_ns();
+    let mut lane = ShardLane::default();
+    lane.parse_ns(ready_at_ns.saturating_sub(parse_started));
+    lane.events(tape.len() as u64);
+    lane.tape_bytes(tape.byte_size() as u64);
     ShardTape {
+        scan: reader.scan_telemetry(),
+        reader: reader.reader_telemetry(),
         tape,
         new_names,
         end_pos,
         error,
+        lane,
+        ready_at_ns,
     }
 }

@@ -9,6 +9,13 @@
 //!
 //! This file holds exactly one test so no concurrent test in the same
 //! binary can perturb the allocation counter.
+//!
+//! The contract must hold identically under `--features telemetry`: shard
+//! lane counters travel inside the (already-allocated) `ShardTape`, the
+//! pipeline's lane vector and event journal are preallocated in
+//! `start_workers` — before this test's measured window opens — and span
+//! reads are `Instant` arithmetic, so the instrumented replay loop stays
+//! allocation-free (CI runs this proof in both modes).
 
 // The counting allocator is the one place the crate needs `unsafe`: it
 // wraps `System` one-to-one and adds a relaxed atomic increment.

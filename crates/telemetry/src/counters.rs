@@ -1,0 +1,226 @@
+//! Fixed-slot stage counters.
+//!
+//! Each counter struct is a block of plain `u64` fields owned by exactly
+//! one thread (a scanner, a shard worker, the consumer): recording is
+//! `self.field += n` behind an `#[inline(always)]` adder method named
+//! after the field, and cross-thread aggregation happens once, at join
+//! time, through [`ScanCounters::merge`]-style folds — never through
+//! atomics on the hot path.
+//!
+//! With the `enabled` feature off every struct here is a zero-sized type
+//! whose methods are empty inline functions; the compiler erases the
+//! call sites, so the uninstrumented build carries no trace of them.
+//!
+//! The full catalogue (what each field means, where it is bumped) is
+//! documented in `docs/OBSERVABILITY.md`.
+
+/// Defines a counter struct twice: real `u64` fields plus adder/merge/
+/// snapshot methods when the `enabled` feature is on, a zero-sized no-op
+/// mirror with the same method surface when it is off.
+macro_rules! counters {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident { $($(#[$fmeta:meta])* $field:ident),+ $(,)? }
+    ) => {
+        #[cfg(feature = "enabled")]
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field: u64,)+
+        }
+
+        #[cfg(feature = "enabled")]
+        impl $name {
+            $(
+                #[doc = concat!("Adds `n` to `", stringify!($field), "`.")]
+                #[inline(always)]
+                pub fn $field(&mut self, n: u64) {
+                    self.$field += n;
+                }
+            )+
+
+            /// Folds `other` into `self`, field by field — the join-time
+            /// aggregation of per-thread counters.
+            #[inline]
+            pub fn merge(&mut self, other: &Self) {
+                $(self.$field += other.$field;)+
+            }
+
+            /// Named values in declaration order (empty when the
+            /// `enabled` feature is off).
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field),)+]
+            }
+        }
+
+        #[cfg(not(feature = "enabled"))]
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        // Braced rather than a unit struct so consumer-side
+        // `::default()` construction (required by the enabled twin) does
+        // not trip clippy's `default_constructed_unit_structs`.
+        pub struct $name {}
+
+        #[cfg(not(feature = "enabled"))]
+        impl $name {
+            $(
+                #[doc = concat!("Adds `n` to `", stringify!($field), "` (no-op: telemetry disabled).")]
+                #[inline(always)]
+                pub fn $field(&mut self, n: u64) {
+                    let _ = n;
+                }
+            )+
+
+            /// No-op merge (telemetry disabled).
+            #[inline(always)]
+            pub fn merge(&mut self, other: &Self) {
+                let _ = other;
+            }
+
+            /// Always empty (telemetry disabled).
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                Vec::new()
+            }
+        }
+    };
+}
+
+counters! {
+    /// Scanner-level counters: the refill path and the structural prescan
+    /// that runs inside it.
+    pub struct ScanCounters {
+        /// Source reads that delivered bytes into the scanner window.
+        refills,
+        /// Bytes swept by the vectorised structural prescan (every
+        /// buffered byte is prescanned exactly once).
+        prescan_bytes,
+    }
+}
+
+counters! {
+    /// Reader-level counters: how events were actually produced.
+    pub struct ReaderCounters {
+        /// Start tags parsed wholly from the prescanned window.
+        fast_start_tags,
+        /// Start tags that fell back to the byte-at-a-time parser.
+        slow_start_tags,
+        /// End tags parsed wholly from the prescanned window.
+        fast_end_tags,
+        /// End tags that fell back to the byte-at-a-time parser.
+        slow_end_tags,
+        /// Text or attribute payloads that required entity unescaping.
+        entity_unescapes,
+        /// Text runs delivered as borrowed scanner-window slices.
+        borrowed_text_runs,
+        /// Text segments copied into the recycled event buffer.
+        copied_text_runs,
+    }
+}
+
+counters! {
+    /// One shard's lane in the parallel pipeline timeline. Workers fill
+    /// the parse-side fields; the consumer fills the replay side when the
+    /// shard is activated and exhausted. `*_ns` fields are span totals in
+    /// nanoseconds relative to the pipeline epoch.
+    pub struct ShardLane {
+        /// Wall-clock span of this shard's fragment parse.
+        parse_ns,
+        /// Events recorded onto this shard's tape.
+        events,
+        /// Tape bytes produced (payload arena plus encoded headers).
+        tape_bytes,
+        /// Time the finished tape waited in the bounded channel before the
+        /// consumer picked it up (producer-side backpressure: the channel
+        /// is sized so senders never block, so dwell is the stall signal).
+        dwell_ns,
+        /// Time the consumer spent blocked in `recv` waiting for this
+        /// shard's tape (consumer-side stall).
+        recv_stall_ns,
+        /// Number of blocking receives attributed to this shard.
+        recv_stalls,
+        /// Wall-clock span from shard activation to tape exhaustion — the
+        /// consumer's replay time for this shard.
+        replay_ns,
+    }
+}
+
+counters! {
+    /// XSAX validating-parser counters.
+    pub struct XsaxCounters {
+        /// Content-model DFA transitions taken (start/end/text checks).
+        validation_steps,
+        /// Tracker inspections deciding whether a past query can fire.
+        past_fire_checks,
+        /// `on-first` fire events delivered.
+        fires,
+        /// SAX events delivered downstream.
+        sax_events,
+    }
+}
+
+counters! {
+    /// Runtime evaluator counters.
+    pub struct RuntimeCounters {
+        /// Stream events dispatched into plan handlers.
+        handler_dispatches,
+        /// `on-first` handler bodies evaluated.
+        on_first_fires,
+    }
+}
+
+counters! {
+    /// Buffer-store traffic counters, owned by the memory tracker.
+    pub struct BufferCounters {
+        /// Node allocations charged to the buffer store.
+        buffer_allocs,
+        /// Node releases (scope frees) credited back.
+        buffer_frees,
+        /// In-place growth charges (text merged into an existing node).
+        buffer_grows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adders_merge_and_snapshot_agree() {
+        let mut a = ScanCounters::default();
+        let mut b = ScanCounters::default();
+        a.refills(2);
+        a.prescan_bytes(100);
+        b.refills(1);
+        b.prescan_bytes(50);
+        a.merge(&b);
+        let snap = a.snapshot();
+        if crate::enabled() {
+            assert_eq!(
+                snap,
+                vec![("refills", 3), ("prescan_bytes", 150)],
+                "merge must fold field by field"
+            );
+        } else {
+            assert!(snap.is_empty(), "disabled counters snapshot to nothing");
+            assert_eq!(std::mem::size_of::<ScanCounters>(), 0);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |r: u64, p: u64| {
+            let mut c = ScanCounters::default();
+            c.refills(r);
+            c.prescan_bytes(p);
+            c
+        };
+        let (x, y, z) = (mk(1, 10), mk(2, 20), mk(4, 40));
+        let mut left = x;
+        left.merge(&y);
+        left.merge(&z);
+        let mut right = z;
+        right.merge(&x);
+        right.merge(&y);
+        assert_eq!(left.snapshot(), right.snapshot());
+    }
+}

@@ -33,6 +33,7 @@ use crate::escape::unescape_into;
 use crate::event::{RawEvent, RawEventKind, RawEventRef, XmlEvent};
 use crate::scanner::{Scanner, TagProbe};
 use flux_symbols::{Symbol, SymbolTable};
+use flux_telemetry::{ReaderCounters, RunReport, ScanCounters, Stage};
 use std::io::Read;
 
 /// Configuration for [`XmlReader`].
@@ -148,6 +149,8 @@ struct ReaderCore<R: Read> {
     /// next advance — the scanner is guaranteed not to compact before
     /// then.
     borrowed_text: Option<(usize, usize)>,
+    /// Fast/slow path counters (zero-sized unless telemetry is enabled).
+    tel: ReaderCounters,
 }
 
 /// Ways in the fast path's direct-mapped name-intern cache. Sized for a
@@ -257,6 +260,7 @@ impl<R: Read> XmlReader<R> {
                 spare_overflow: Vec::new(),
                 name_cache: std::array::from_fn(|_| (Vec::new(), SymbolTable::TEXT)),
                 borrowed_text: None,
+                tel: ReaderCounters::default(),
             },
             compat: RawEvent::new(),
             current: RawEvent::new(),
@@ -349,6 +353,31 @@ impl<R: Read> XmlReader<R> {
     pub fn next_event(&mut self) -> Result<XmlEvent> {
         self.core.fill_event(&mut self.compat, false)?;
         Ok(self.compat.to_xml_event(&self.core.symbols))
+    }
+
+    /// A copy of the scanner's refill/prescan counters (zero-sized unless
+    /// the `telemetry` feature is on). Shard workers harvest these at
+    /// join time and merge them into the pipeline totals.
+    pub fn scan_telemetry(&self) -> ScanCounters {
+        self.core.scanner.telemetry()
+    }
+
+    /// A copy of the reader's fast/slow path counters (zero-sized unless
+    /// the `telemetry` feature is on).
+    pub fn reader_telemetry(&self) -> ReaderCounters {
+        self.core.tel
+    }
+
+    /// Appends this reader's `scanner` and `reader` telemetry stages to
+    /// `report` (empty stages when the `telemetry` feature is off).
+    pub fn report_into(&self, report: &mut RunReport) {
+        let mut scanner = Stage::new("scanner");
+        scanner.note("isa", crate::simd::active_isa_name());
+        scanner.absorb(self.scan_telemetry().snapshot());
+        report.stage(scanner);
+        let mut reader = Stage::new("reader");
+        reader.absorb(self.reader_telemetry().snapshot());
+        report.stage(reader);
     }
 }
 
@@ -523,13 +552,19 @@ impl<R: Read> ReaderCore<R> {
             }
             Markup::Pi => self.parse_pi(ev),
             Markup::End => {
-                if !self.try_fast_end_tag(ev)? {
+                if self.try_fast_end_tag(ev)? {
+                    self.tel.fast_end_tags(1);
+                } else {
+                    self.tel.slow_end_tags(1);
                     self.parse_end_tag(ev)?;
                 }
                 Ok(true)
             }
             Markup::Start => {
-                if !self.try_fast_start_tag(ev)? {
+                if self.try_fast_start_tag(ev)? {
+                    self.tel.fast_start_tags(1);
+                } else {
+                    self.tel.slow_start_tags(1);
                     self.parse_start_tag(ev)?;
                 }
                 Ok(true)
@@ -1128,6 +1163,7 @@ impl<R: Read> ReaderCore<R> {
                     // Entity references force materialisation; unescape
                     // into the recycled buffer and continue the owned loop
                     // (more segments may follow).
+                    self.tel.entity_unescapes(1);
                     ev.set_text_synthetic(true);
                     let raw =
                         std::str::from_utf8(self.scanner.borrowed(range)).expect("validated above");
@@ -1146,6 +1182,7 @@ impl<R: Read> ReaderCore<R> {
                 } else {
                     // The common case: a literal text run delivered as a
                     // borrowed slice of the scanner window.
+                    self.tel.borrowed_text_runs(1);
                     self.borrowed_text = Some(range);
                     return Ok(());
                 }
@@ -1174,7 +1211,9 @@ impl<R: Read> ReaderCore<R> {
                     let pos = self.scanner.position();
                     let raw = std::str::from_utf8(&self.scratch)
                         .map_err(|_| XmlError::InvalidUtf8 { pos })?;
+                    self.tel.copied_text_runs(1);
                     if raw.contains('&') {
+                        self.tel.entity_unescapes(1);
                         ev.set_text_synthetic(true);
                     }
                     unescape_into(raw, pos, ev.text_mut())?;

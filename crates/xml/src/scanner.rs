@@ -16,6 +16,7 @@
 use crate::error::{Position, Result, XmlError};
 use crate::scan::{find_byte, find_subslice};
 use crate::simd::{self, StructuralIndex};
+use flux_telemetry::ScanCounters;
 use std::io::Read;
 
 const CHUNK: usize = 8 * 1024;
@@ -47,6 +48,8 @@ pub struct Scanner<R: Read> {
     /// Structural positions of every byte read so far (absolute offsets;
     /// entries behind `offset` are pruned as the window compacts).
     index: StructuralIndex,
+    /// Refill/prescan counters (zero-sized unless telemetry is enabled).
+    tel: ScanCounters,
 }
 
 impl<R: Read> Scanner<R> {
@@ -61,7 +64,13 @@ impl<R: Read> Scanner<R> {
             line: 1,
             column: 1,
             index: StructuralIndex::new(),
+            tel: ScanCounters::default(),
         }
+    }
+
+    /// A copy of this scanner's refill/prescan counters.
+    pub(crate) fn telemetry(&self) -> ScanCounters {
+        self.tel
     }
 
     /// Current position (next unread byte).
@@ -111,6 +120,8 @@ impl<R: Read> Scanner<R> {
                     base_abs,
                     &mut self.index,
                 );
+                self.tel.refills(1);
+                self.tel.prescan_bytes(read as u64);
                 self.end += read;
             }
         }

@@ -64,6 +64,15 @@ pub trait EventSource {
         self.view().copy_into(ev);
         Ok(true)
     }
+
+    /// Appends this source's telemetry stages to `report`. The default is
+    /// a no-op so third-party sources need no changes; the in-repo sources
+    /// contribute scanner/reader stages (and the sharded reader its
+    /// per-shard pipeline timeline). Without the `telemetry` feature the
+    /// stages are appended empty — the report stays structurally stable.
+    fn report_into(&self, report: &mut flux_telemetry::RunReport) {
+        let _ = report;
+    }
 }
 
 impl<R: Read> EventSource for XmlReader<R> {
@@ -87,5 +96,9 @@ impl<R: Read> EventSource for XmlReader<R> {
         // The reader parses straight into the caller's event — bypassing
         // the internal view storage saves a copy on this path too.
         XmlReader::next_into(self, ev)
+    }
+
+    fn report_into(&self, report: &mut flux_telemetry::RunReport) {
+        XmlReader::report_into(self, report)
     }
 }

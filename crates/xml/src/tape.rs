@@ -159,6 +159,15 @@ impl EventTape {
         self.events.is_empty()
     }
 
+    /// Bytes this tape occupies: the payload arena plus the encoded event
+    /// and attribute headers. Reported per shard in the telemetry
+    /// pipeline timeline.
+    pub fn byte_size(&self) -> usize {
+        self.arena.len()
+            + self.events.len() * std::mem::size_of::<EncEvent>()
+            + self.attrs.len() * std::mem::size_of::<EncAttr>()
+    }
+
     fn span(&mut self, text: &str) -> (usize, usize) {
         let start = self.arena.len();
         self.arena.push_str(text);

@@ -20,6 +20,7 @@
 use crate::error::{Result, XsaxError};
 use crate::event::{PastId, PastLabels, XsaxEvent, XsaxStep};
 use flux_dtd::{AttDefault, Dfa, Dtd, ElementDecl, StateId, Symbol, SymbolTable};
+use flux_telemetry::{RunReport, Stage, XsaxCounters};
 use flux_xml::{EventSource, RawEvent, RawEventKind, RawEventRef, XmlEvent, XmlReader};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
@@ -139,6 +140,8 @@ pub struct XsaxParser<'d, S: EventSource> {
     compat: RawEvent,
     started: bool,
     finished: bool,
+    /// Validation/fire counters (zero-sized unless telemetry is enabled).
+    tel: XsaxCounters,
 }
 
 impl<'d, R: Read> XsaxParser<'d, XmlReader<R>> {
@@ -233,6 +236,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
             compat: RawEvent::new(),
             started: false,
             finished: false,
+            tel: XsaxCounters::default(),
         })
     }
 
@@ -267,6 +271,18 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         self.source.position()
     }
 
+    /// Appends the source's telemetry stages (scanner/reader, and the
+    /// shard pipeline when the source is sharded) followed by this
+    /// parser's own `xsax` stage. Stages are empty when the `telemetry`
+    /// feature is off.
+    pub fn report_into(&self, report: &mut RunReport) {
+        self.source.report_into(report);
+        let mut stage = Stage::new("xsax");
+        stage.counter("registrations", self.registrations.len() as u64);
+        stage.absorb(self.tel.snapshot());
+        report.stage(stage);
+    }
+
     fn validation(&self, message: impl Into<String>) -> XsaxError {
         XsaxError::Validation {
             message: message.into(),
@@ -282,6 +298,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         state: StateId,
         force: bool,
         out: &mut VecDeque<Pending>,
+        tel: &mut XsaxCounters,
     ) {
         let dfa = elem.dfa;
         let text_allowed = elem.text_allowed;
@@ -290,6 +307,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
             if tracker.fired {
                 continue;
             }
+            tel.past_fire_checks(1);
             let reg = &registrations[tracker.id.index()];
             if force || is_past_at(dfa, text_allowed, &reg.labels, state) {
                 tracker.fired = true;
@@ -313,9 +331,16 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
     pub fn next_step(&mut self) -> Result<Option<XsaxStep>> {
         loop {
             if let Some(p) = self.pending.pop_front() {
+                // Counted at delivery, so every push site is covered once.
                 return Ok(Some(match p {
-                    Pending::Sax => XsaxStep::Sax,
-                    Pending::Fire { id, depth } => XsaxStep::Fire { id, depth },
+                    Pending::Sax => {
+                        self.tel.sax_events(1);
+                        XsaxStep::Sax
+                    }
+                    Pending::Fire { id, depth } => {
+                        self.tel.fires(1);
+                        XsaxStep::Fire { id, depth }
+                    }
                 }));
             }
             if self.finished {
@@ -413,6 +438,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         // Transition the parent's content automaton (the document automaton
         // for the root) and queue parent seam fires, in delivery order
         // (before the start tag).
+        self.tel.validation_steps(1);
         if let Some(parent) = self.stack.last_mut() {
             let next = parent.dfa.transition(parent.state, sym).ok_or_else(|| {
                 let expected: Vec<String> = parent
@@ -448,6 +474,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 if tracker.fired {
                     continue;
                 }
+                self.tel.past_fire_checks(1);
                 let reg = &regs[tracker.id.index()];
                 let involves_child = match &reg.labels {
                     PastLabels::All => true,
@@ -505,6 +532,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
             start_state,
             false,
             &mut self.pending,
+            &mut self.tel,
         );
 
         self.stack.push(elem);
@@ -521,6 +549,7 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 pos: self.source.position(),
             });
         };
+        self.tel.validation_steps(1);
         if !elem.dfa.is_accepting(elem.state) {
             let expected: Vec<String> = elem
                 .dfa
@@ -541,7 +570,14 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
         // Everything is past at the closing tag: fire all remaining trackers
         // before the end event.
         let state = elem.state;
-        Self::fire_ready(&self.registrations, elem, state, true, &mut self.pending);
+        Self::fire_ready(
+            &self.registrations,
+            elem,
+            state,
+            true,
+            &mut self.pending,
+            &mut self.tel,
+        );
         self.stack.pop();
 
         self.pending.push_back(Pending::Sax);
@@ -556,12 +592,14 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
                 parent_state,
                 false,
                 &mut self.pending,
+                &mut self.tel,
             );
         }
         Ok(())
     }
 
     fn handle_text(&mut self) -> Result<()> {
+        self.tel.validation_steps(1);
         let elem = self.stack.last().ok_or_else(|| XsaxError::Validation {
             message: "character data outside the root element (unbalanced event source)"
                 .to_string(),

@@ -14,12 +14,21 @@
 //!                           (flux engine only; buffers the input)
 //!   --explain               print the compilation report instead of running
 //!   --stats                 print run statistics to stderr
+//!   --report <json|text>    print the pipeline telemetry RunReport to stderr
+//!                           (flux engine only; measurements require a build
+//!                           with `--features telemetry`)
 //!   --no-optimizer          disable the algebraic optimizer (ablation)
 //! ```
 
 use fluxquery::{AnyEngine, EngineKind, FluxEngine, Options, Parallelism};
 use std::io::{Read, Write};
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Json,
+    Text,
+}
 
 struct Args {
     query: Option<String>,
@@ -30,6 +39,7 @@ struct Args {
     shards: Option<usize>,
     explain: bool,
     stats: bool,
+    report: Option<ReportFormat>,
     no_optimizer: bool,
 }
 
@@ -37,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fluxquery --query <FILE|STRING> --dtd <FILE|STRING> \
          [--input FILE] [--output FILE] [--engine flux|dom|projection] \
-         [--shards N] [--explain] [--stats] [--no-optimizer]"
+         [--shards N] [--explain] [--stats] [--report json|text] [--no-optimizer]"
     );
     std::process::exit(2);
 }
@@ -52,6 +62,7 @@ fn parse_args() -> Args {
         shards: None,
         explain: false,
         stats: false,
+        report: None,
         no_optimizer: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +95,16 @@ fn parse_args() -> Args {
             }
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
+            "--report" => {
+                args.report = match value(&mut it).as_str() {
+                    "json" => Some(ReportFormat::Json),
+                    "text" => Some(ReportFormat::Text),
+                    other => {
+                        eprintln!("--report expects `json` or `text`, got `{other}`");
+                        usage()
+                    }
+                }
+            }
             "--no-optimizer" => args.no_optimizer = true,
             "--help" | "-h" => usage(),
             other => {
@@ -147,10 +168,26 @@ fn run() -> Result<(), String> {
         }
         let engine =
             FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
-        engine.run(input, output).map_err(|e| e.to_string())?
+        if let Some(format) = args.report {
+            let (stats, report) = engine
+                .run_with_report(input, output)
+                .map_err(|e| e.to_string())?;
+            // The report goes to stderr like `--stats`, keeping stdout a
+            // pure result stream.
+            match format {
+                ReportFormat::Json => eprintln!("{}", report.to_json()),
+                ReportFormat::Text => eprint!("{}", report.to_text()),
+            }
+            stats
+        } else {
+            engine.run(input, output).map_err(|e| e.to_string())?
+        }
     } else {
         if args.shards.is_some() {
             return Err("--shards is only supported by the flux engine".to_string());
+        }
+        if args.report.is_some() {
+            return Err("--report is only supported by the flux engine".to_string());
         }
         let engine = AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
         engine.run(input, output).map_err(|e| e.to_string())?
@@ -158,15 +195,7 @@ fn run() -> Result<(), String> {
 
     if args.stats {
         eprintln!();
-        eprintln!("engine:            {}", args.engine.label());
-        eprintln!("events processed:  {}", stats.events);
-        eprintln!("output bytes:      {}", stats.output_bytes);
-        eprintln!(
-            "peak buffer:       {} bytes ({} nodes)",
-            stats.peak_buffer_bytes, stats.peak_buffer_nodes
-        );
-        eprintln!("buffer traffic:    {} bytes", stats.total_buffered_bytes);
-        eprintln!("runtime:           {:?}", stats.duration);
+        eprintln!("engine: {} | {stats}", args.engine.label());
     }
     Ok(())
 }
