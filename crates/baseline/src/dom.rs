@@ -36,6 +36,22 @@ impl DomEngine {
         self.run_with_config(input, output, ReaderConfig::default())
     }
 
+    /// Runs over a unified [`Input`](flux_xml::Input): resolves the source
+    /// (path, gzip, stream or buffer), threads its window and budget into
+    /// the reader, and enforces the budget post-run. The base `config`
+    /// carries knobs the input does not own (e.g. the interner bound).
+    pub fn run_input<W: Write>(
+        &self,
+        input: flux_xml::Input,
+        output: W,
+        config: ReaderConfig,
+    ) -> Result<RunStats> {
+        let (reader, config, budget) = crate::resolve_input(input, config)?;
+        let stats = self.run_with_config(reader, output, config)?;
+        crate::enforce_budget(budget, stats.peak_buffer_bytes)?;
+        Ok(stats)
+    }
+
     /// [`DomEngine::run`] with an explicit reader configuration (e.g.
     /// [`ReaderConfig::max_symbols`] for bounded-interner streams — the
     /// tree imports overflowed names through their literal side channel,

@@ -6,6 +6,11 @@ use std::fmt;
 pub enum BaselineError {
     Xml(flux_xml::XmlError),
     XQuery(flux_xquery::XQueryError),
+    /// The run's tracked memory peak exceeded its configured
+    /// [`flux_xml::MemoryBudget`] (checked post-run).
+    /// Boxed: the per-pool breakdown would otherwise dominate the size of
+    /// every `Result` on the hot path.
+    Budget(Box<flux_xml::BudgetExceeded>),
 }
 
 impl fmt::Display for BaselineError {
@@ -13,6 +18,7 @@ impl fmt::Display for BaselineError {
         match self {
             BaselineError::Xml(e) => write!(f, "{e}"),
             BaselineError::XQuery(e) => write!(f, "{e}"),
+            BaselineError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -22,6 +28,7 @@ impl std::error::Error for BaselineError {
         match self {
             BaselineError::Xml(e) => Some(e),
             BaselineError::XQuery(e) => Some(e),
+            BaselineError::Budget(e) => Some(e.as_ref()),
         }
     }
 }
@@ -35,6 +42,12 @@ impl From<flux_xml::XmlError> for BaselineError {
 impl From<flux_xquery::XQueryError> for BaselineError {
     fn from(e: flux_xquery::XQueryError) -> Self {
         BaselineError::XQuery(e)
+    }
+}
+
+impl From<flux_xml::BudgetExceeded> for BaselineError {
+    fn from(e: flux_xml::BudgetExceeded) -> Self {
+        BaselineError::Budget(Box::new(e))
     }
 }
 

@@ -4,12 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flux_bench::{Domain, Q3};
-use fluxquery_core::{AnyEngine, EngineKind};
+use fluxquery_core::{AnyEngine, EngineKind, Input};
+use std::sync::Arc;
 
 fn runtime_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_runtime_scaling");
     for &scale in &[1.0f64, 4.0, 16.0] {
-        let doc = Domain::BibWeak.document(scale, 42);
+        let doc = Arc::new(Domain::BibWeak.document(scale, 42).into_bytes());
         group.throughput(Throughput::Bytes(doc.len() as u64));
         for kind in EngineKind::all() {
             let engine = AnyEngine::compile(kind, Q3, Domain::BibWeak.dtd()).expect("compile");
@@ -19,7 +20,9 @@ fn runtime_scaling(c: &mut Criterion) {
                 |b, doc| {
                     b.iter(|| {
                         let mut out = Vec::new();
-                        engine.run(doc.as_bytes(), &mut out).expect("run");
+                        engine
+                            .run_input(Input::from_shared_bytes(Arc::clone(doc)), &mut out)
+                            .expect("run");
                         out.len()
                     })
                 },

@@ -2,19 +2,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flux_bench::catalog;
-use fluxquery_core::{AnyEngine, EngineKind};
+use fluxquery_core::{AnyEngine, EngineKind, Input};
+use std::sync::Arc;
 
 fn query_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_query_suite");
     for q in catalog() {
-        let doc = q.domain.document(1.0, 42);
+        let doc = Arc::new(q.domain.document(1.0, 42).into_bytes());
         group.throughput(Throughput::Bytes(doc.len() as u64));
         for kind in EngineKind::all() {
             let engine = AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
             group.bench_with_input(BenchmarkId::new(q.id, kind.label()), &doc, |b, doc| {
                 b.iter(|| {
                     let mut out = Vec::new();
-                    engine.run(doc.as_bytes(), &mut out).expect("run");
+                    engine
+                        .run_input(Input::from_shared_bytes(Arc::clone(doc)), &mut out)
+                        .expect("run");
                     out.len()
                 })
             });

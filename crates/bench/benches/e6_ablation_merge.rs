@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flux_bench::Domain;
-use fluxquery_core::{FluxEngine, Options};
+use fluxquery_core::{FluxEngine, Input, Options};
+use std::sync::Arc;
 
 const QUERY: &str = r#"<out>{ for $b in $ROOT/bib/book return
     <r>{ for $x in $b/publisher return <a>{$x}</a> }
@@ -11,7 +12,7 @@ const QUERY: &str = r#"<out>{ for $b in $ROOT/bib/book return
 
 fn ablation_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_ablation_merge");
-    let doc = Domain::BibFig1.document(8.0, 42);
+    let doc = Arc::new(Domain::BibFig1.document(8.0, 42).into_bytes());
     group.throughput(Throughput::Bytes(doc.len() as u64));
     for (label, options) in [
         ("optimized", Options::default()),
@@ -21,7 +22,9 @@ fn ablation_merge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(label, "fig1"), &doc, |b, doc| {
             b.iter(|| {
                 let mut out = Vec::new();
-                engine.run(doc.as_bytes(), &mut out).expect("run");
+                engine
+                    .run_input(Input::from_shared_bytes(Arc::clone(doc)), &mut out)
+                    .expect("run");
                 out.len()
             })
         });

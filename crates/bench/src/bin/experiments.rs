@@ -6,7 +6,8 @@
 use flux_bench::{catalog, fmt_bytes, run_engine, workloads, Domain, Q3};
 use flux_shard::{ShardConfig, ShardedReader};
 use flux_xmlgen::{bib_string, BibConfig};
-use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Options};
+use fluxquery_core::{AnyEngine, EngineKind, FluxEngine, Input, Options};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -140,7 +141,7 @@ fn e4_runtime_scaling() {
         "scale", "input", "fluxquery", "projection", "dom"
     );
     for &scale in &[1.0f64, 4.0, 16.0, 64.0] {
-        let doc = Domain::BibWeak.document(scale, 42);
+        let doc = Arc::new(Domain::BibWeak.document(scale, 42).into_bytes());
         let mut row = format!("{scale:<8} {:>10}", fmt_bytes(doc.len()));
         for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
             let engine = AnyEngine::compile(kind, Q3, Domain::BibWeak.dtd()).expect("compile");
@@ -149,7 +150,9 @@ fn e4_runtime_scaling() {
             for _ in 0..3 {
                 let mut out = Vec::new();
                 let start = Instant::now();
-                engine.run(doc.as_bytes(), &mut out).expect("run");
+                engine
+                    .run_input(Input::from_shared_bytes(Arc::clone(&doc)), &mut out)
+                    .expect("run");
                 best = best.min(start.elapsed());
             }
             row.push_str(&format!(" {:>14.2?}", best));
@@ -170,14 +173,16 @@ fn e5_query_suite() {
         "query", "input", "flux-mem", "proj-mem", "dom-mem", "flux-t", "proj-t", "dom-t"
     );
     for q in catalog() {
-        let doc = q.domain.document(2.0, 42);
+        let doc = Arc::new(q.domain.document(2.0, 42).into_bytes());
         let mut mems = Vec::new();
         let mut times = Vec::new();
         for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
             let engine = AnyEngine::compile(kind, q.query, q.domain.dtd()).expect("compile");
             let mut out = Vec::new();
             let start = Instant::now();
-            let stats = engine.run(doc.as_bytes(), &mut out).expect("run");
+            let stats = engine
+                .run_input(Input::from_shared_bytes(Arc::clone(&doc)), &mut out)
+                .expect("run");
             times.push(start.elapsed());
             mems.push(stats.peak_buffer_bytes);
         }
@@ -570,7 +575,7 @@ fn write_bench_events_json(
         )
     }
     let mut engines = String::new();
-    let engine_doc = Domain::BibWeak.document(8.0, 42);
+    let engine_doc = Arc::new(Domain::BibWeak.document(8.0, 42).into_bytes());
     for (i, kind) in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom]
         .into_iter()
         .enumerate()
@@ -579,7 +584,9 @@ fn write_bench_events_json(
         let mut peak = 0usize;
         let m = Measured::best_of(3, || {
             let mut out = Vec::new();
-            let stats = engine.run(engine_doc.as_bytes(), &mut out).expect("run");
+            let stats = engine
+                .run_input(Input::from_shared_bytes(Arc::clone(&engine_doc)), &mut out)
+                .expect("run");
             peak = stats.peak_buffer_bytes;
             stats.events
         });
@@ -612,7 +619,7 @@ fn write_bench_events_json(
             .expect("compile");
         let mut sink = Vec::new();
         let (_, report) = engine
-            .run_with_report(engine_doc.as_bytes(), &mut sink)
+            .run_input_with_report(Input::from_shared_bytes(Arc::clone(&engine_doc)), &mut sink)
             .expect("instrumented run");
         report
     };
@@ -737,7 +744,9 @@ fn workload_matrix_sections() -> String {
             let mut peak = 0usize;
             let flux = Measured::best_of(3, || {
                 let mut sink = Vec::new();
-                let stats = engine.run(doc.as_bytes(), &mut sink).expect("run");
+                let stats = engine
+                    .run_input(Input::from_bytes(doc.clone().into_bytes()), &mut sink)
+                    .expect("run");
                 peak = stats.peak_buffer_bytes;
                 stats.events
             });

@@ -6,7 +6,7 @@
 //! workspace integration tests.
 
 use flux_xmlgen::{auction_string, bib_string, AuctionConfig, BibConfig, AUCTION_DTD};
-use fluxquery_core::{AnyEngine, EngineKind, Error, Options, RunStats};
+use fluxquery_core::{EngineKind, Error, Input, Options, RunStats};
 
 pub mod workloads;
 
@@ -155,9 +155,28 @@ pub fn run_engine_with(
     document: &[u8],
     options: &Options,
 ) -> Result<RunOutcome, Error> {
-    let engine = AnyEngine::compile_with_options(kind, query, dtd, options)?;
+    run_engine_input(
+        kind,
+        query,
+        dtd,
+        Input::from_bytes(document.to_vec()),
+        options,
+    )
+}
+
+/// Compiles and runs one engine over a unified [`Input`] — the harness
+/// entry point for streamed (generator- or file-backed) workloads, where
+/// the document must never be materialised.
+pub fn run_engine_input(
+    kind: EngineKind,
+    query: &str,
+    dtd: &str,
+    input: Input,
+    options: &Options,
+) -> Result<RunOutcome, Error> {
+    let engine = options.compile(kind, query, dtd)?;
     let mut output = Vec::new();
-    let stats = engine.run(document, &mut output)?;
+    let stats = engine.run_input(input, &mut output)?;
     Ok(RunOutcome { output, stats })
 }
 
@@ -175,6 +194,7 @@ pub fn fmt_bytes(bytes: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fluxquery_core::AnyEngine;
 
     #[test]
     fn catalog_compiles_on_all_engines() {

@@ -21,10 +21,10 @@
 //! job, the proptest suites and one-off reproductions all drive the same
 //! assertions.
 
-use flux_bench::run_engine_with;
+use flux_bench::{run_engine_input, run_engine_with};
 use flux_shard::{ReplayMode, ShardConfig, ShardedReader};
 use flux_xml::{EventSource, Position, RawEvent, ReaderConfig, XmlEvent, XmlReader};
-use fluxquery_core::{EngineKind, Options, Parallelism, RunStats};
+use fluxquery_core::{EngineKind, Input, Options, Parallelism, RunStats};
 
 pub use flux_bench::{workload, workloads, Workload};
 pub use flux_xmlgen::{corpus, CorpusEntry};
@@ -215,6 +215,35 @@ pub fn assert_engines_equivalent(w: &Workload, scale: f64, seed: u64) {
             kind.label(),
             capped.stats,
             outcome.stats
+        );
+    }
+
+    // Streamed ingestion: the same document arriving through an opaque
+    // `Read` (generator-backed where the workload has one, a cursor
+    // otherwise) must be indistinguishable from the buffered slice —
+    // output and stats, sequentially and with incremental shard
+    // dispatch, which takes a different code path than buffered shards.
+    for parallelism in [Parallelism::Sequential, Parallelism::Shards(2)] {
+        let outcome = run_engine_input(
+            EngineKind::Flux,
+            query,
+            dtd,
+            Input::from_reader(w.stream(scale, seed)),
+            &options(parallelism, None),
+        )
+        .unwrap_or_else(|e| panic!("{}: flux streamed {parallelism:?} failed: {e}", w.id));
+        assert_eq!(
+            outcome.output, reference.output,
+            "{}: streamed ingestion diverged from buffered ({parallelism:?})",
+            w.id
+        );
+        assert_eq!(
+            stats_fingerprint(&outcome.stats),
+            stats_fingerprint(&reference.stats),
+            "{}: streamed ingestion stats diverged ({parallelism:?})\n  streamed: {}\n  buffered: {}",
+            w.id,
+            outcome.stats,
+            reference.stats
         );
     }
 

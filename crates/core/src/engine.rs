@@ -10,28 +10,32 @@ use flux_runtime::{
     execute_plan_with_report, Plan, RunReport, RunStats,
 };
 use flux_shard::{ShardConfig, ShardedReader};
+use flux_xml::{BudgetKind, Input, MemoryBudget, ResolvedInput};
 use flux_xsax::XsaxConfig;
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// How the engine parses its input stream.
 ///
-/// Sharded parsing buffers the whole input and fans tokenisation out over
-/// N threads (`flux_shard`); the query evaluator and the XSAX DFA still
-/// consume one stitched, exactly-sequential event stream, so results,
-/// validation verdicts and buffer accounting are identical to
-/// [`Parallelism::Sequential`] — only the parse work moves off the
-/// critical path. Prefer it for large in-memory documents on multi-core
-/// hosts; prefer `Sequential` for unbounded or latency-sensitive streams,
-/// where the paper's token-bounded memory guarantee matters. One visible
-/// difference on *malformed* input: sharded runs reject it up front
-/// (before emitting any output), while a sequential run may stream a
-/// partial result before hitting the flaw.
+/// Sharded parsing fans tokenisation out over N threads (`flux_shard`);
+/// the query evaluator and the XSAX DFA still consume one stitched,
+/// exactly-sequential event stream, so results, validation verdicts and
+/// buffer accounting are identical to [`Parallelism::Sequential`] — only
+/// the parse work moves off the critical path. An in-memory [`Input`]
+/// takes the zero-copy buffered shard path; a true stream (file, socket,
+/// stdin) is dispatched chunk by chunk with bounded in-flight memory and
+/// is never materialised. Prefer `Sequential` for latency-sensitive
+/// streams, where the paper's token-bounded memory guarantee is tightest.
+/// One visible difference on *malformed* input: buffered sharded runs
+/// reject it up front (before emitting any output), while sequential and
+/// streamed-sharded runs may stream a partial result before surfacing the
+/// same error at the same byte position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// One reader thread, token-bounded memory (the paper's model).
     #[default]
     Sequential,
-    /// Parse with up to N parallel shards (N ≥ 1; 1 still buffers but
+    /// Parse with up to N parallel shards (N ≥ 1; 1 still pipelines but
     /// parses on one thread).
     Shards(usize),
 }
@@ -66,6 +70,78 @@ impl Default for Options {
 impl Options {
     pub fn new() -> Options {
         Options::default()
+    }
+
+    /// Chainable: parse the input with `n` parallel shards (see
+    /// [`Parallelism::Shards`]).
+    pub fn shards(mut self, n: usize) -> Options {
+        self.parallelism = Parallelism::Shards(n);
+        self
+    }
+
+    /// Chainable: cap the stream interner at `cap` distinct names
+    /// (bounded-interner mode; see `ReaderConfig::max_symbols`). Past the
+    /// cap, names travel by literal spelling — memory stops growing and
+    /// query results are unchanged.
+    pub fn max_symbols(mut self, cap: usize) -> Options {
+        self.xsax.max_symbols = Some(cap);
+        self
+    }
+
+    /// Chainable: enable or disable the algebraic optimizer (ablation).
+    pub fn algebraic_optimizer(mut self, enabled: bool) -> Options {
+        self.optimizer = if enabled {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::disabled()
+        };
+        self
+    }
+
+    /// Chainable: enable or disable streaming handlers (the scheduling
+    /// ablation — disabled means buffer everything).
+    pub fn streaming(mut self, enabled: bool) -> Options {
+        self.disable_streaming = !enabled;
+        self
+    }
+
+    /// The one compilation entry point behind every architecture: compiles
+    /// `query` for `kind` under these options and returns the uniform
+    /// [`AnyEngine`] wrapper. The DTD is exploited only by the FluX
+    /// variants — the baselines cannot use it, which is the paper's point;
+    /// execution options (interner bound, parallelism) apply to every
+    /// architecture that supports them.
+    ///
+    /// ```no_run
+    /// # use fluxquery_core::{EngineKind, Input, Options};
+    /// # let (query, dtd, doc) = ("", "", Vec::new());
+    /// let engine = Options::new()
+    ///     .shards(4)
+    ///     .max_symbols(1 << 16)
+    ///     .compile(EngineKind::Flux, query, dtd)?;
+    /// engine.run_input(Input::from_bytes(doc), std::io::stdout())?;
+    /// # Ok::<(), fluxquery_core::Error>(())
+    /// ```
+    pub fn compile(&self, kind: EngineKind, query: &str, dtd_text: &str) -> Result<AnyEngine> {
+        match kind {
+            EngineKind::Flux => Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
+                query, dtd_text, self,
+            )?))),
+            EngineKind::FluxNoAlgebra => {
+                let options = self.clone().algebraic_optimizer(false);
+                Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
+                    query, dtd_text, &options,
+                )?)))
+            }
+            EngineKind::Dom => Ok(AnyEngine::Dom(
+                DomEngine::compile(query)?,
+                self.reader_config(),
+            )),
+            EngineKind::Projection => Ok(AnyEngine::Projection(
+                ProjectionEngine::compile(query)?,
+                self.reader_config(),
+            )),
+        }
     }
 
     fn compile_options(&self) -> CompileOptions {
@@ -171,84 +247,111 @@ impl FluxEngine {
     }
 
     /// Runs the query over `input`, streaming results to `output`.
-    ///
-    /// With [`Parallelism::Shards`] the input is buffered and parsed by N
-    /// shard threads; the evaluator consumes the stitched stream, so the
-    /// output and statistics match the sequential run.
-    pub fn run<R: Read, W: Write>(&self, mut input: R, output: W) -> Result<RunStats> {
-        match self.parallelism {
-            Parallelism::Sequential => Ok(execute_plan(
-                &self.plan,
-                &self.dtd,
-                input,
-                output,
-                self.xsax.clone(),
-            )?),
-            Parallelism::Shards(n) => {
-                let source = self.sharded_source(&mut input, n)?;
-                Ok(execute_plan_from_source(
-                    &self.plan,
-                    &self.dtd,
-                    source,
-                    output,
-                    self.xsax.clone(),
-                )?)
-            }
-        }
+    /// Equivalent to [`run_input`](Self::run_input) over
+    /// [`Input::from_reader`]; prefer `run_input` when the source is a
+    /// file, a buffer, or needs ingestion knobs (window, gzip, budget).
+    pub fn run<R: Read + Send + 'static, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        self.run_input(Input::from_reader(input), output)
     }
 
     /// [`run`](Self::run) plus the run's telemetry [`RunReport`] — every
     /// pipeline stage's counters, spans and (under sharded parsing) the
     /// per-shard timeline. Without the `telemetry` cargo feature the
     /// report is still structurally valid but carries no measurements.
-    pub fn run_with_report<R: Read, W: Write>(
+    pub fn run_with_report<R: Read + Send + 'static, W: Write>(
         &self,
-        mut input: R,
+        input: R,
         output: W,
     ) -> Result<(RunStats, RunReport)> {
-        match self.parallelism {
-            Parallelism::Sequential => Ok(execute_plan_with_report(
-                &self.plan,
-                &self.dtd,
-                input,
-                output,
-                self.xsax.clone(),
-            )?),
-            Parallelism::Shards(n) => {
-                let source = self.sharded_source(&mut input, n)?;
-                Ok(execute_plan_from_source_with_report(
-                    &self.plan,
-                    &self.dtd,
-                    source,
-                    output,
-                    self.xsax.clone(),
-                )?)
-            }
-        }
+        self.run_input_with_report(Input::from_reader(input), output)
     }
 
-    /// Buffers `input` and builds the N-shard parallel source over it.
-    fn sharded_source<R: Read>(&self, input: &mut R, shards: usize) -> Result<ShardedReader> {
-        let mut bytes = Vec::new();
-        input
-            .read_to_end(&mut bytes)
-            .map_err(|e| flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into())))?;
+    /// Runs the query over a unified [`Input`], streaming results to
+    /// `output`.
+    ///
+    /// The input's window and [`MemoryBudget`] are threaded into the
+    /// pipeline, and the budget (if any) is enforced after the run: the
+    /// run fails with a budget error if the tracked peak — scanner
+    /// windows, in-flight shard tapes and chunks, runtime buffers —
+    /// exceeded the limit. With [`Parallelism::Shards`], an in-memory
+    /// input takes the zero-copy buffered shard path while a reader is
+    /// dispatched incrementally and never materialised.
+    pub fn run_input<W: Write>(&self, input: Input, output: W) -> Result<RunStats> {
+        let budget = input.memory_budget().cloned();
+        let stats = match self.parallelism {
+            Parallelism::Sequential => {
+                let xsax = self.xsax_for(&input);
+                let reader = resolve(input)?.into_reader();
+                execute_plan(&self.plan, &self.dtd, reader, output, xsax)?
+            }
+            Parallelism::Shards(n) => {
+                let xsax = self.xsax_for(&input);
+                let source = self.sharded_source(input, n)?;
+                execute_plan_from_source(&self.plan, &self.dtd, source, output, xsax)?
+            }
+        };
+        enforce_budget(budget, &stats)?;
+        Ok(stats)
+    }
+
+    /// [`run_input`](Self::run_input) plus the telemetry [`RunReport`].
+    pub fn run_input_with_report<W: Write>(
+        &self,
+        input: Input,
+        output: W,
+    ) -> Result<(RunStats, RunReport)> {
+        let budget = input.memory_budget().cloned();
+        let (stats, report) = match self.parallelism {
+            Parallelism::Sequential => {
+                let xsax = self.xsax_for(&input);
+                let reader = resolve(input)?.into_reader();
+                execute_plan_with_report(&self.plan, &self.dtd, reader, output, xsax)?
+            }
+            Parallelism::Shards(n) => {
+                let xsax = self.xsax_for(&input);
+                let source = self.sharded_source(input, n)?;
+                execute_plan_from_source_with_report(&self.plan, &self.dtd, source, output, xsax)?
+            }
+        };
+        enforce_budget(budget, &stats)?;
+        Ok((stats, report))
+    }
+
+    /// The validation config for one run: compile-time XSAX options plus
+    /// the ingestion knobs the [`Input`] owns (window, budget).
+    fn xsax_for(&self, input: &Input) -> XsaxConfig {
+        let mut xsax = self.xsax.clone();
+        xsax.window = input.window_bytes();
+        xsax.budget = input.memory_budget().cloned();
+        xsax
+    }
+
+    /// Builds the N-shard parallel source: zero-copy over resolved bytes,
+    /// incremental chunk dispatch (bounded in-flight memory, input never
+    /// materialised) over a resolved reader.
+    fn sharded_source(&self, input: Input, shards: usize) -> Result<ShardedReader> {
         let mut shard_config = ShardConfig::new(shards);
         // Mirror the interner bound on the merged table; the seed
         // vocabulary always resolves, so only undeclared names overflow
         // (and travel by literal spelling).
         shard_config.max_symbols = self.xsax.max_symbols;
-        Ok(ShardedReader::with_symbols(
-            bytes,
-            shard_config,
-            flux_xsax::seeded_symbols(&self.dtd),
-        ))
+        shard_config.window = input.window_bytes();
+        shard_config.budget = input.memory_budget().cloned();
+        let symbols = flux_xsax::seeded_symbols(&self.dtd);
+        Ok(match resolve(input)? {
+            ResolvedInput::Bytes(bytes) => {
+                ShardedReader::with_shared_bytes(bytes, shard_config, symbols)
+            }
+            ResolvedInput::Reader(reader) => {
+                ShardedReader::from_stream_with_symbols(reader, shard_config, symbols)
+            }
+        })
     }
 
     /// Convenience: runs over a string, returning the output string.
     pub fn run_to_string(&self, input: &str) -> Result<(String, RunStats)> {
         let mut out = Vec::new();
-        let stats = self.run(input.as_bytes(), &mut out)?;
+        let stats = self.run_input(Input::from_bytes(input.as_bytes().to_vec()), &mut out)?;
         Ok((
             String::from_utf8(out).expect("output writer emits UTF-8"),
             stats,
@@ -278,6 +381,26 @@ impl FluxEngine {
         out.push_str(&self.plan.render_bdf());
         out
     }
+}
+
+/// Resolves an [`Input`] (opens the file, applies gzip detection), mapping
+/// I/O failures into the engine error chain at the point the sequential
+/// reader would surface them.
+fn resolve(input: Input) -> Result<ResolvedInput> {
+    input
+        .into_source()
+        .map_err(|e| flux_runtime::RuntimeError::from(flux_xsax::XsaxError::Xml(e.into())).into())
+}
+
+/// Post-run budget enforcement: folds the evaluator's buffer peak into the
+/// budget the pipeline charged its windows/tapes/chunks against, then
+/// fails the run if the tracked peak exceeded the limit.
+fn enforce_budget(budget: Option<Arc<MemoryBudget>>, stats: &RunStats) -> Result<()> {
+    if let Some(b) = budget {
+        b.record_peak(BudgetKind::Buffer, stats.peak_buffer_bytes as u64);
+        b.check().map_err(flux_runtime::RuntimeError::from)?;
+    }
+    Ok(())
 }
 
 /// Which engine architecture to use (for the experiment harness).
@@ -320,49 +443,36 @@ pub enum AnyEngine {
 
 impl AnyEngine {
     /// Compiles `query` for the chosen architecture with default options.
+    /// Shorthand for [`Options::compile`] on [`Options::new`].
     pub fn compile(kind: EngineKind, query: &str, dtd_text: &str) -> Result<AnyEngine> {
-        Self::compile_with_options(kind, query, dtd_text, &Options::new())
+        Options::new().compile(kind, query, dtd_text)
     }
 
-    /// Compiles `query` for the chosen architecture. The DTD is used only
-    /// by the FluX variants — the baselines cannot exploit it, which is
-    /// the paper's point. Execution options (interner bound, parallelism)
-    /// apply to every architecture that supports them.
+    /// Compiles `query` for the chosen architecture with explicit options.
+    #[deprecated(note = "use the builder path: `Options::compile(kind, query, dtd_text)`")]
     pub fn compile_with_options(
         kind: EngineKind,
         query: &str,
         dtd_text: &str,
         options: &Options,
     ) -> Result<AnyEngine> {
-        match kind {
-            EngineKind::Flux => Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
-                query, dtd_text, options,
-            )?))),
-            EngineKind::FluxNoAlgebra => {
-                let mut options = options.clone();
-                options.optimizer = OptimizerConfig::disabled();
-                Ok(AnyEngine::Flux(Box::new(FluxEngine::compile(
-                    query, dtd_text, &options,
-                )?)))
-            }
-            EngineKind::Dom => Ok(AnyEngine::Dom(
-                DomEngine::compile(query)?,
-                options.reader_config(),
-            )),
-            EngineKind::Projection => Ok(AnyEngine::Projection(
-                ProjectionEngine::compile(query)?,
-                options.reader_config(),
-            )),
-        }
+        options.compile(kind, query, dtd_text)
     }
 
-    pub fn run<R: Read, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+    /// Runs over a byte stream. Equivalent to
+    /// [`run_input`](Self::run_input) over [`Input::from_reader`].
+    pub fn run<R: Read + Send + 'static, W: Write>(&self, input: R, output: W) -> Result<RunStats> {
+        self.run_input(Input::from_reader(input), output)
+    }
+
+    /// Runs over a unified [`Input`] — the one execution entry point every
+    /// architecture shares. The input's window and budget apply to all
+    /// three engines; gzip sources are decompressed transparently.
+    pub fn run_input<W: Write>(&self, input: Input, output: W) -> Result<RunStats> {
         match self {
-            AnyEngine::Flux(e) => e.run(input, output),
-            AnyEngine::Dom(e, config) => Ok(e.run_with_config(input, output, config.clone())?),
-            AnyEngine::Projection(e, config) => {
-                Ok(e.run_with_config(input, output, config.clone())?)
-            }
+            AnyEngine::Flux(e) => e.run_input(input, output),
+            AnyEngine::Dom(e, config) => Ok(e.run_input(input, output, config.clone())?),
+            AnyEngine::Projection(e, config) => Ok(e.run_input(input, output, config.clone())?),
         }
     }
 }
@@ -464,9 +574,13 @@ mod tests {
         for options in [Options::new(), Options::with_shards(2)] {
             let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &options).unwrap();
             let mut out = Vec::new();
-            let (stats, report) = engine.run_with_report(doc.as_bytes(), &mut out).unwrap();
+            let (stats, report) = engine
+                .run_input_with_report(Input::from_bytes(doc.clone()), &mut out)
+                .unwrap();
             let mut plain = Vec::new();
-            let plain_stats = engine.run(doc.as_bytes(), &mut plain).unwrap();
+            let plain_stats = engine
+                .run_input(Input::from_bytes(doc.clone()), &mut plain)
+                .unwrap();
             assert_eq!(out, plain, "report assembly must not change output");
             assert_eq!(stats.peak_buffer_bytes, plain_stats.peak_buffer_bytes);
             let json = report.to_json();
@@ -475,6 +589,98 @@ mod tests {
             }
             // Text rendering never panics and carries the stats line.
             assert!(report.to_text().contains("run_stats:"));
+        }
+    }
+
+    #[test]
+    fn streamed_sharded_input_matches_sequential() {
+        // A reader Input under Parallelism::Shards takes the incremental
+        // dispatch path (never materialised); output and buffer accounting
+        // must still match the sequential run byte for byte.
+        let mut doc = String::from("<bib>");
+        for i in 0..800 {
+            doc.push_str(&format!(
+                "<book><author>Author {i} &amp; co</author><title>Title {i}</title></book>"
+            ));
+        }
+        doc.push_str("</bib>");
+        let sequential = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::new()).unwrap();
+        let (seq_out, seq_stats) = sequential.run_to_string(&doc).unwrap();
+        for shards in [1, 2, 4] {
+            let engine =
+                FluxEngine::compile(Q3, PAPER_WEAK_DTD, &Options::new().shards(shards)).unwrap();
+            let mut out = Vec::new();
+            let stats = engine
+                .run_input(
+                    Input::from_reader(std::io::Cursor::new(doc.clone().into_bytes())),
+                    &mut out,
+                )
+                .unwrap();
+            assert_eq!(String::from_utf8(out).unwrap(), seq_out, "{shards} shards");
+            assert_eq!(stats.peak_buffer_bytes, seq_stats.peak_buffer_bytes);
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_post_run() {
+        let mut doc = String::from("<bib>");
+        for i in 0..200 {
+            doc.push_str(&format!(
+                "<book><author>A{i}</author><title>T{i}</title></book>"
+            ));
+        }
+        doc.push_str("</bib>");
+        // A generous budget passes, in every parallelism and architecture.
+        for options in [Options::new(), Options::new().shards(2)] {
+            let engine = FluxEngine::compile(Q3, PAPER_WEAK_DTD, &options).unwrap();
+            let budget = MemoryBudget::new(64 * 1024 * 1024);
+            let mut out = Vec::new();
+            engine
+                .run_input(
+                    Input::from_reader(std::io::Cursor::new(doc.clone().into_bytes()))
+                        .budget(Arc::clone(&budget)),
+                    &mut out,
+                )
+                .unwrap();
+            assert!(budget.peak_total() > 0, "pipeline charged nothing");
+        }
+        // An absurdly small one fails post-run with a budget error naming
+        // the pool that grew — on the flux engine and both baselines.
+        for kind in EngineKind::all() {
+            let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD).unwrap();
+            let mut out = Vec::new();
+            let err = engine
+                .run_input(
+                    Input::from_bytes(doc.clone()).budget(MemoryBudget::new(16)),
+                    &mut out,
+                )
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("memory budget exceeded"),
+                "{}: {err}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn builder_path_compiles_every_architecture() {
+        let doc = "<bib><book><title>T</title><author>A</author></book></bib>";
+        for kind in [
+            EngineKind::Flux,
+            EngineKind::FluxNoAlgebra,
+            EngineKind::Dom,
+            EngineKind::Projection,
+        ] {
+            let engine = Options::new()
+                .max_symbols(1 << 12)
+                .compile(kind, Q3, PAPER_WEAK_DTD)
+                .unwrap();
+            let mut out = Vec::new();
+            engine
+                .run_input(Input::from_bytes(doc.as_bytes().to_vec()), &mut out)
+                .unwrap();
+            assert!(!out.is_empty(), "{}", kind.label());
         }
     }
 
@@ -501,7 +707,9 @@ mod tests {
         for kind in EngineKind::all() {
             let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD).unwrap();
             let mut out = Vec::new();
-            let stats = engine.run(doc.as_bytes(), &mut out).unwrap();
+            let stats = engine
+                .run_input(Input::from_bytes(doc.clone()), &mut out)
+                .unwrap();
             peaks.insert(kind.label(), stats.peak_buffer_bytes);
         }
         assert!(

@@ -14,6 +14,11 @@ pub enum RuntimeError {
     Output(flux_xml::XmlError),
     /// Inconsistent plan (compiler bug surfaced as an error).
     Plan { message: String },
+    /// The run's tracked memory peak exceeded its configured
+    /// [`flux_xml::MemoryBudget`] (checked post-run by the engine).
+    /// Boxed: the per-pool breakdown would otherwise dominate the size of
+    /// every `Result` on the hot path.
+    Budget(Box<flux_xml::BudgetExceeded>),
 }
 
 impl fmt::Display for RuntimeError {
@@ -23,6 +28,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Eval(e) => write!(f, "{e}"),
             RuntimeError::Output(e) => write!(f, "output error: {e}"),
             RuntimeError::Plan { message } => write!(f, "plan error: {message}"),
+            RuntimeError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -34,6 +40,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Eval(e) => Some(e),
             RuntimeError::Output(e) => Some(e),
             RuntimeError::Plan { .. } => None,
+            RuntimeError::Budget(e) => Some(e.as_ref()),
         }
     }
 }
@@ -53,6 +60,12 @@ impl From<XQueryError> for RuntimeError {
 impl From<flux_xml::XmlError> for RuntimeError {
     fn from(e: flux_xml::XmlError) -> Self {
         RuntimeError::Output(e)
+    }
+}
+
+impl From<flux_xml::BudgetExceeded> for RuntimeError {
+    fn from(e: flux_xml::BudgetExceeded) -> Self {
+        RuntimeError::Budget(Box::new(e))
     }
 }
 

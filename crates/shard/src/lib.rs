@@ -39,12 +39,25 @@
 //!    — the single piece of cross-shard state — so validation verdicts,
 //!    error positions and on-first fire points stay exactly sequential.
 //!
-//! The trade-off is explicit: sharding buffers the whole input (plus up to
-//! N in-flight shard tapes), trading the sequential reader's token-bounded
-//! memory for wall-clock throughput. Use it when the input is already a
-//! byte buffer and cores are idle; stay sequential for unbounded streams.
+//! Two ingestion modes share the replay machinery:
+//!
+//! * **Buffered** ([`ShardedReader::new`]): the input is a byte buffer,
+//!   split up-front by [`splitter::split_points`] into exactly N chunks.
+//!   Memory is the whole buffer plus up to N in-flight tapes — maximal
+//!   throughput when the bytes are already resident.
+//! * **Streamed** ([`ShardedReader::from_stream`]): the input is an
+//!   unbounded `Read`. A dispatcher thread cuts it incrementally at the
+//!   same safe boundaries (`splitter::find_boundary`) and a worker pool
+//!   parses chunks as they arrive, handing tapes over in *segments* of
+//!   [`ShardConfig::segment_events`] events. Every pool is bounded —
+//!   O(workers) chunks and O(segment × queue × workers) tape bytes in
+//!   flight — so multi-gigabyte documents stream through in constant
+//!   memory, optionally enforced by a [`flux_xml::MemoryBudget`]. The
+//!   replayed event stream, verdicts and error positions are byte-exact
+//!   the buffered (and sequential) ones.
 
 pub mod splitter;
+mod stream;
 mod worker;
 
 use flux_symbols::{Symbol, SymbolTable};
@@ -52,13 +65,15 @@ use flux_telemetry::{
     Journal, ReaderCounters, RunReport, ScanCounters, ShardLane, Stage, Stopwatch,
 };
 use flux_xml::{
-    EventSource, Position, RawEvent, RawEventKind, RawEventRef, ReaderConfig, Result, SymbolRemap,
-    XmlError,
+    BudgetCharge, EventSource, MemoryBudget, Position, RawEvent, RawEventKind, RawEventRef,
+    ReaderConfig, Result, SymbolRemap, XmlError,
 };
 use std::collections::BTreeMap;
+use std::io::Read;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
-use worker::{parse_fragment, ShardTape};
+use stream::{start_stream, ChunkMsg, StreamLaunch};
+use worker::{parse_fragment, Segment, ShardTape};
 
 /// When the consumer gets to see a finished shard tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,7 +86,9 @@ pub enum ReplayMode {
     /// Wait for every worker before replaying anything (the join-then-
     /// replay barrier, kept for equivalence testing and benchmarking).
     /// The event stream, errors and positions are identical to
-    /// [`ReplayMode::Pipelined`]; only the overlap differs.
+    /// [`ReplayMode::Pipelined`]; only the overlap differs. Buffered
+    /// ingestion only: a streamed run is always pipelined (joining an
+    /// unbounded stream would unbound memory) and ignores this setting.
     Joined,
 }
 
@@ -102,6 +119,30 @@ pub struct ShardConfig {
     /// [`SymbolTable::OVERFLOW`] plus the literal spelling, exactly like
     /// the sequential reader's bounded mode.
     pub max_symbols: Option<usize>,
+    /// Scanner window size for each fragment reader (see
+    /// [`ReaderConfig::window`]).
+    pub window: usize,
+    /// Memory budget shared by every pool the pipeline grows: fragment
+    /// scanner windows, in-flight streamed chunks and tape segments.
+    /// `None` (the default) disables the accounting entirely.
+    pub budget: Option<Arc<MemoryBudget>>,
+    /// Streamed mode only: target chunk size in bytes. Chunks extend past
+    /// the target to the next safe element-tag boundary.
+    pub chunk_bytes: usize,
+    /// Streamed mode only: workers hand over a partial tape every this
+    /// many events, bounding in-flight tape memory by
+    /// O(`segment_events` × [`ShardConfig::segment_queue`] × shards)
+    /// instead of chunk size.
+    pub segment_events: usize,
+    /// Streamed mode only: workers also flush a partial tape once its
+    /// arena reaches this many bytes, so payload-heavy content (long
+    /// text runs, fat attributes) cannot inflate the per-segment
+    /// footprint past the event-count bound's assumptions — the
+    /// in-flight tape pool is bounded in *bytes*, not just events.
+    pub segment_bytes: usize,
+    /// Streamed mode only: per-chunk bound on segments parsed ahead of
+    /// replay; the worker blocks once the consumer lags this far behind.
+    pub segment_queue: usize,
 }
 
 impl Default for ShardConfig {
@@ -125,6 +166,12 @@ impl ShardConfig {
             min_shard_bytes: 16 * 1024,
             mode: ReplayMode::default(),
             max_symbols: None,
+            window: flux_xml::DEFAULT_WINDOW,
+            budget: None,
+            chunk_bytes: 1024 * 1024,
+            segment_events: 16 * 1024,
+            segment_bytes: 256 * 1024,
+            segment_queue: 4,
         }
     }
 
@@ -137,6 +184,8 @@ impl ShardConfig {
             max_depth: self.max_depth,
             max_symbols: None,
             fragment: true,
+            window: self.window,
+            budget: self.budget.clone(),
         }
     }
 }
@@ -182,18 +231,54 @@ fn compose_error(err: XmlError, base: Position) -> XmlError {
     }
 }
 
-/// The shard currently being replayed.
+/// Where the bytes come from: a resident buffer split up-front, or an
+/// unbounded stream chunked incrementally.
+enum SourceKind {
+    Buffered(Arc<Vec<u8>>),
+    /// `Some` until the first pull launches the pipeline and hands the
+    /// reader to the dispatcher thread.
+    Stream(Option<Box<dyn Read + Send>>),
+}
+
+/// The shard currently being replayed. Buffered mode replays one tape per
+/// chunk; streamed mode replays a *chain* of tape segments per chunk,
+/// installing the next link when the current one is exhausted.
 struct ActiveShard {
+    /// The current tape: the whole chunk (buffered) or one segment
+    /// (streamed).
     shard: ShardTape,
-    /// Merged-table symbols for shard-local indices past the seed prefix.
+    /// Merged-table symbols for chunk-local indices past the seed prefix —
+    /// cumulative across the chunk's segments.
     remap: Vec<Symbol>,
+    /// Literal spellings behind `remap`, same cumulative indexing (the
+    /// side channel overflowed symbols resolve through at view time).
+    cum_names: Vec<String>,
     /// Global position of this chunk's first byte.
     base: Position,
-    /// Replay cursor into the tape.
+    /// Replay cursor into the current tape.
     next_event: usize,
-    /// Epoch-relative instant replay of this shard began (always 0 when
+    /// Epoch-relative instant replay of this chunk began (always 0 when
     /// telemetry is off).
     activated_at_ns: u64,
+    /// Whether no chunk follows this one — drives the end-of-input
+    /// re-checks (trailing-text suppression).
+    is_final_chunk: bool,
+    // Streamed-only state (inert in buffered mode).
+    /// The chunk's remaining segment chain.
+    seg_rx: Option<Receiver<Segment>>,
+    /// The current tape is the chunk's last segment (always true in
+    /// buffered mode).
+    seg_last: bool,
+    /// The chunk's bytes, for the whitespace-skip error replay.
+    bytes: Option<Arc<Vec<u8>>>,
+    /// One segment received ahead of replay (end-of-input lookahead).
+    pending_seg: Option<Segment>,
+    /// Budget charge for the chunk buffer; released at chunk end.
+    #[allow(dead_code)] // held for its Drop
+    charge: Option<BudgetCharge>,
+    /// Budget charge for the current segment's tape; released on handover.
+    #[allow(dead_code)] // held for its Drop
+    tape_charge: Option<BudgetCharge>,
 }
 
 /// What [`ShardedReader::view`] currently shows.
@@ -220,14 +305,16 @@ enum CurrentEvent {
 /// column — as the sequential reader's. Errors are terminal: after
 /// returning one, the reader reports end of stream.
 pub struct ShardedReader {
-    input: Arc<Vec<u8>>,
+    input: SourceKind,
     config: ShardConfig,
     symbols: SymbolTable,
     seed_len: usize,
     started: bool,
     total_shards: usize,
-    /// Live while workers may still deliver tapes.
+    /// Buffered mode: live while workers may still deliver tapes.
     rx: Option<Receiver<(usize, ShardTape)>>,
+    /// Streamed mode: the dispatcher's dispatch-ordered chunk stream.
+    chunk_rx: Option<Receiver<ChunkMsg>>,
     /// Tapes that arrived ahead of replay order.
     parked: BTreeMap<usize, ShardTape>,
     /// Index of the next shard to replay.
@@ -283,15 +370,48 @@ impl ShardedReader {
     /// with `flux_xsax::seeded_symbols(&dtd)` to feed
     /// `XsaxParser::from_source`.
     pub fn with_symbols(input: Vec<u8>, config: ShardConfig, symbols: SymbolTable) -> Self {
+        Self::build(SourceKind::Buffered(Arc::new(input)), config, symbols)
+    }
+
+    /// [`ShardedReader::with_symbols`] over an already-shared buffer,
+    /// without copying it — the zero-copy handoff for
+    /// `flux_xml::input::ResolvedInput::Bytes`.
+    pub fn with_shared_bytes(
+        input: Arc<Vec<u8>>,
+        config: ShardConfig,
+        symbols: SymbolTable,
+    ) -> Self {
+        Self::build(SourceKind::Buffered(input), config, symbols)
+    }
+
+    /// Creates a sharded reader over an unbounded byte stream with a fresh
+    /// symbol table — streamed ingestion ([`crate`] docs): constant memory
+    /// regardless of document size, same event stream, verdicts and error
+    /// positions as the buffered and sequential paths.
+    pub fn from_stream(src: impl Read + Send + 'static, config: ShardConfig) -> Self {
+        Self::from_stream_with_symbols(src, config, SymbolTable::new())
+    }
+
+    /// [`ShardedReader::from_stream`] with a seeded interner.
+    pub fn from_stream_with_symbols(
+        src: impl Read + Send + 'static,
+        config: ShardConfig,
+        symbols: SymbolTable,
+    ) -> Self {
+        Self::build(SourceKind::Stream(Some(Box::new(src))), config, symbols)
+    }
+
+    fn build(input: SourceKind, config: ShardConfig, symbols: SymbolTable) -> Self {
         let seed_len = symbols.len();
         ShardedReader {
-            input: Arc::new(input),
+            input,
             config,
             symbols,
             seed_len,
             started: false,
             total_shards: 0,
             rx: None,
+            chunk_rx: None,
             parked: BTreeMap::new(),
             next_shard: 0,
             active: None,
@@ -312,10 +432,11 @@ impl ShardedReader {
         }
     }
 
-    /// Slurps `src` and shards it. Sharding requires the whole buffer (the
-    /// splitter needs random access), so this constructor is explicit
-    /// about the memory trade-off.
-    pub fn from_reader(mut src: impl std::io::Read, config: ShardConfig) -> Result<Self> {
+    /// Slurps `src` into a buffer and shards it with the up-front
+    /// splitter. Prefer [`ShardedReader::from_stream`], which never
+    /// materialises the document; this constructor remains for callers
+    /// that want the buffered splitter's exact N-way chunking.
+    pub fn from_reader(mut src: impl Read, config: ShardConfig) -> Result<Self> {
         let mut input = Vec::new();
         src.read_to_end(&mut input)?;
         Ok(Self::new(input, config))
@@ -328,8 +449,9 @@ impl ShardedReader {
         &self.symbols
     }
 
-    /// Number of shards actually used. Zero until the first pull (the
-    /// parallel parse launches lazily).
+    /// Number of shards actually used: the up-front chunk count (buffered)
+    /// or the chunks dispatched so far (streamed). Zero until the first
+    /// pull (the parallel parse launches lazily).
     pub fn shard_count(&self) -> usize {
         self.total_shards
     }
@@ -349,9 +471,13 @@ impl ShardedReader {
     /// count, so no worker ever blocks on a slow consumer.
     fn start_workers(&mut self) {
         self.started = true;
-        let max_by_size = (self.input.len() / self.config.min_shard_bytes.max(1)).max(1);
+        let buf = match &self.input {
+            SourceKind::Buffered(b) => Arc::clone(b),
+            SourceKind::Stream(_) => unreachable!("buffered launch on a streamed source"),
+        };
+        let max_by_size = (buf.len() / self.config.min_shard_bytes.max(1)).max(1);
         let requested = self.config.shards.clamp(1, max_by_size);
-        let points = splitter::split_points(&self.input, requested);
+        let points = splitter::split_points(&buf, requested);
         self.total_shards = points.len();
         // The epoch starts when the pipeline does; telemetry stores are
         // preallocated here, before any replay, so the steady state
@@ -363,8 +489,8 @@ impl ShardedReader {
         let reader_config = self.config.reader_config();
         let (tx, rx) = sync_channel(points.len());
         for (i, &start) in points.iter().enumerate().skip(1) {
-            let end = points.get(i + 1).copied().unwrap_or(self.input.len());
-            let input = Arc::clone(&self.input);
+            let end = points.get(i + 1).copied().unwrap_or(buf.len());
+            let input = Arc::clone(&buf);
             let seed = self.symbols.clone();
             let cfg = reader_config.clone();
             let tx = tx.clone();
@@ -378,14 +504,33 @@ impl ShardedReader {
         }
         drop(tx);
         self.rx = Some(rx);
-        let end = points.get(1).copied().unwrap_or(self.input.len());
-        let tape0 = parse_fragment(
-            &self.input[..end],
-            &reader_config,
-            &self.symbols,
-            self.epoch,
-        );
+        let end = points.get(1).copied().unwrap_or(buf.len());
+        let tape0 = parse_fragment(&buf[..end], &reader_config, &self.symbols, self.epoch);
         self.parked.insert(0, tape0);
+    }
+
+    /// Launches the streamed pipeline: dispatcher + worker pool
+    /// ([`stream::start_stream`]). Chunk count is unknown up front;
+    /// `total_shards` grows as chunks are activated.
+    fn start_streaming(&mut self, source: Box<dyn Read + Send>) {
+        self.started = true;
+        self.total_shards = 0;
+        self.epoch = Stopwatch::start();
+        self.lanes = Vec::new();
+        self.journal = Journal::with_capacity(16);
+        let launch = StreamLaunch {
+            source,
+            reader_config: self.config.reader_config(),
+            seed: self.symbols.clone(),
+            epoch: self.epoch,
+            workers: self.config.shards.max(1),
+            chunk_bytes: self.config.chunk_bytes,
+            segment_events: self.config.segment_events,
+            segment_bytes: self.config.segment_bytes,
+            segment_queue: self.config.segment_queue,
+            budget: self.config.budget.clone(),
+        };
+        self.chunk_rx = Some(start_stream(launch));
     }
 
     /// Blocks until shard `index`'s tape is available. Out-of-order
@@ -426,6 +571,120 @@ impl ShardedReader {
         }
     }
 
+    /// Interns chunk-local names into the merged namespace (bounded when
+    /// [`ShardConfig::max_symbols`] caps the table).
+    fn merge_names(&mut self, names: &[String]) -> Vec<Symbol> {
+        names
+            .iter()
+            .map(|n| match self.config.max_symbols {
+                None => self.symbols.intern(n),
+                Some(cap) => self.symbols.intern_bounded(n, cap),
+            })
+            .collect()
+    }
+
+    /// Buffered activation: takes the next up-front chunk's tape. Returns
+    /// `false` when every chunk has been replayed.
+    fn activate_buffered(&mut self) -> bool {
+        if self.next_shard >= self.total_shards {
+            return false;
+        }
+        let mut shard = self.take_shard(self.next_shard);
+        self.journal
+            .record("shard_activated", self.next_shard as u64);
+        self.next_shard += 1;
+        let is_final_chunk = self.next_shard >= self.total_shards;
+        let cum_names = std::mem::take(&mut shard.new_names);
+        let remap = self.merge_names(&cum_names);
+        self.active = Some(ActiveShard {
+            shard,
+            remap,
+            cum_names,
+            base: self.chunk_base,
+            next_event: 0,
+            activated_at_ns: self.epoch.elapsed_ns(),
+            is_final_chunk,
+            seg_rx: None,
+            seg_last: true,
+            bytes: None,
+            pending_seg: None,
+            charge: None,
+            tape_charge: None,
+        });
+        true
+    }
+
+    /// Streamed activation: receives the next chunk handle (in dispatch
+    /// order) and its first tape segment. Returns `false` at end of input;
+    /// an I/O error from the byte source is terminal.
+    fn activate_streamed(&mut self) -> Result<bool> {
+        let Some(rx) = self.chunk_rx.as_ref() else {
+            return Ok(false);
+        };
+        let handle = match rx.recv() {
+            // Dispatcher done: every chunk has been delivered.
+            Err(_) => {
+                self.chunk_rx = None;
+                return Ok(false);
+            }
+            Ok(ChunkMsg::Io(e)) => {
+                self.chunk_rx = None;
+                self.finished = true;
+                return Err(e.into());
+            }
+            Ok(ChunkMsg::Chunk(handle)) => handle,
+        };
+        let mut seg = handle
+            .seg_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("shard worker panicked"));
+        self.journal
+            .record("shard_activated", self.next_shard as u64);
+        self.next_shard += 1;
+        self.total_shards += 1;
+        let cum_names = std::mem::take(&mut seg.tape.new_names);
+        let remap = self.merge_names(&cum_names);
+        self.active = Some(ActiveShard {
+            shard: seg.tape,
+            remap,
+            cum_names,
+            base: self.chunk_base,
+            next_event: 0,
+            activated_at_ns: self.epoch.elapsed_ns(),
+            is_final_chunk: handle.is_final,
+            seg_rx: Some(handle.seg_rx),
+            seg_last: seg.last,
+            bytes: Some(handle.bytes),
+            pending_seg: None,
+            charge: handle.charge,
+            tape_charge: seg.charge,
+        });
+        Ok(true)
+    }
+
+    /// Installs the next link of a streamed chunk's segment chain: extends
+    /// the cumulative remap with the segment's incremental names and swaps
+    /// the tapes (releasing the replayed segment's budget charge).
+    fn install_next_segment(&mut self) {
+        let mut a = self.active.take().expect("active shard ensured");
+        let mut seg = a.pending_seg.take().unwrap_or_else(|| {
+            a.seg_rx
+                .as_ref()
+                .expect("streamed chunk has a segment channel")
+                .recv()
+                .unwrap_or_else(|_| panic!("shard worker panicked"))
+        });
+        let incremental = std::mem::take(&mut seg.tape.new_names);
+        let mut merged = self.merge_names(&incremental);
+        a.remap.append(&mut merged);
+        a.cum_names.extend(incremental);
+        a.shard = seg.tape;
+        a.seg_last = seg.last;
+        a.tape_charge = seg.charge;
+        a.next_event = 0;
+        self.active = Some(a);
+    }
+
     fn wf(&self, message: impl Into<String>, pos: Position) -> XmlError {
         XmlError::WellFormedness {
             message: message.into(),
@@ -440,7 +699,20 @@ impl ShardedReader {
     /// text run starts with whitespace (or whitespace produced by entities,
     /// which the scanner does *not* skip: only literal bytes qualify).
     fn skip_input_whitespace(&self, mut pos: Position) -> Position {
-        while let Some(&b) = self.input.get(pos.offset as usize) {
+        // Buffered mode indexes the whole input at the global offset;
+        // streamed mode indexes the active chunk's bytes (safe: text runs
+        // never straddle chunk seams, so the run ends inside the chunk).
+        let (bytes, chunk_start): (&[u8], u64) = match &self.input {
+            SourceKind::Buffered(buf) => (buf, 0),
+            SourceKind::Stream(_) => match self.active.as_ref() {
+                Some(a) => match a.bytes.as_deref() {
+                    Some(b) => (b, a.base.offset),
+                    None => return pos,
+                },
+                None => return pos,
+            },
+        };
+        while let Some(&b) = bytes.get((pos.offset - chunk_start) as usize) {
             if !matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
                 break;
             }
@@ -462,7 +734,14 @@ impl ShardedReader {
             return Ok(false);
         }
         if !self.started {
-            self.start_workers();
+            let src = match &mut self.input {
+                SourceKind::Buffered(_) => None,
+                SourceKind::Stream(s) => Some(s.take().expect("stream launched once")),
+            };
+            match src {
+                None => self.start_workers(),
+                Some(s) => self.start_streaming(s),
+            }
         }
         if !self.emitted_start {
             self.emitted_start = true;
@@ -471,7 +750,11 @@ impl ShardedReader {
         }
         loop {
             if self.active.is_none() {
-                if self.next_shard >= self.total_shards {
+                let activated = match &self.input {
+                    SourceKind::Buffered(_) => self.activate_buffered(),
+                    SourceKind::Stream(_) => self.activate_streamed()?,
+                };
+                if !activated {
                     // End of the tape: the epilog checks.
                     self.finished = true;
                     self.last_pos = self.chunk_base;
@@ -490,39 +773,21 @@ impl ShardedReader {
                     self.current = CurrentEvent::Synthetic(RawEventKind::EndDocument);
                     return Ok(true);
                 }
-                let shard = self.take_shard(self.next_shard);
-                self.journal
-                    .record("shard_activated", self.next_shard as u64);
-                self.next_shard += 1;
-                // Merge shard-local names into the shared namespace; the
-                // remap makes every replayed symbol a merged-table symbol.
-                // In bounded mode the merged table stops growing at the
-                // cap; overflowed entries resolve through the remap's
-                // literal-name list at view time.
-                let remap: Vec<Symbol> = shard
-                    .new_names
-                    .iter()
-                    .map(|n| match self.config.max_symbols {
-                        None => self.symbols.intern(n),
-                        Some(cap) => self.symbols.intern_bounded(n, cap),
-                    })
-                    .collect();
-                self.active = Some(ActiveShard {
-                    shard,
-                    remap,
-                    base: self.chunk_base,
-                    next_event: 0,
-                    activated_at_ns: self.epoch.elapsed_ns(),
-                });
             }
 
-            // Tape exhausted: surface the shard's terminal error (after
-            // its valid prefix — the sequential delivery order) or move to
-            // the next chunk.
-            let exhausted = {
+            // Tape exhausted: chain to the chunk's next segment (streamed),
+            // or surface the chunk's terminal error (after its valid
+            // prefix — the sequential delivery order) and move to the next
+            // chunk.
+            let (exhausted, chained) = {
                 let a = self.active.as_ref().expect("active shard ensured");
-                a.next_event >= a.shard.tape.len()
+                let ex = a.next_event >= a.shard.tape.len();
+                (ex, ex && !a.seg_last)
             };
+            if chained {
+                self.install_next_segment();
+                continue;
+            }
             if exhausted {
                 let mut a = self.active.take().expect("active shard ensured");
                 // Close this shard's lane: replay span, then fold its
@@ -558,7 +823,7 @@ impl ShardedReader {
                 {
                     let v = a.shard.tape.view(
                         i,
-                        SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                        SymbolRemap::with_names(self.seed_len, &a.remap, &a.cum_names),
                     );
                     Some(v.target().to_string())
                 } else {
@@ -649,7 +914,7 @@ impl ShardedReader {
                     }
                 }
                 RawEventKind::Text if !self.stack.is_empty() => {
-                    // A final-shard text run that consumed the input right
+                    // A final-chunk text run that consumed the input right
                     // up to end-of-file (recorded position == chunk end;
                     // trailing suppressed comments/PIs would have moved the
                     // end past it, and a trailing parse error voids the
@@ -659,18 +924,46 @@ impl ShardedReader {
                     // only because more input could have followed in a next
                     // chunk, and there is none. Suppress it so the partial
                     // stream stays byte-exact sequential.
-                    let trailing_at_eof = self.next_shard >= self.total_shards && {
-                        let a = self.active.as_ref().expect("active shard ensured");
-                        a.next_event >= a.shard.tape.len()
-                            && a.shard.error.is_none()
-                            && a.shard.tape.position(i).offset == a.shard.end_pos.offset
+                    //
+                    // In streamed mode the current segment may not be the
+                    // chunk's last: look one segment ahead. An intermediate
+                    // segment is only ever shipped full, so "this text is
+                    // the chunk's final event" shows up as an *empty* last
+                    // segment whose end position equals the run's end.
+                    let trailing_at_eof = {
+                        let a = self.active.as_mut().expect("active shard ensured");
+                        a.is_final_chunk
+                            && a.next_event >= a.shard.tape.len()
+                            && if a.seg_last {
+                                a.shard.error.is_none()
+                                    && a.shard.tape.position(i).offset == a.shard.end_pos.offset
+                            } else {
+                                if a.pending_seg.is_none() {
+                                    let seg = a
+                                        .seg_rx
+                                        .as_ref()
+                                        .expect("streamed chunk has a segment channel")
+                                        .recv()
+                                        .unwrap_or_else(|_| panic!("shard worker panicked"));
+                                    a.pending_seg = Some(seg);
+                                }
+                                let p = a.pending_seg.as_ref().expect("just installed");
+                                p.last
+                                    && p.tape.tape.is_empty()
+                                    && p.tape.error.is_none()
+                                    && a.shard.tape.position(i).offset == p.tape.end_pos.offset
+                            }
                     };
                     if trailing_at_eof {
                         self.finished = true;
                         let a = self.active.as_ref().expect("active shard ensured");
+                        let end_pos = match a.pending_seg.as_ref() {
+                            Some(p) => p.tape.end_pos,
+                            None => a.shard.end_pos,
+                        };
                         return Err(XmlError::UnexpectedEof {
                             expected: "closing tags for open elements",
-                            pos: compose(a.base, a.shard.end_pos),
+                            pos: compose(a.base, end_pos),
                         });
                     }
                 }
@@ -679,7 +972,7 @@ impl ShardedReader {
                         let a = self.active.as_ref().expect("active shard ensured");
                         let v = a.shard.tape.view(
                             i,
-                            SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                            SymbolRemap::with_names(self.seed_len, &a.remap, &a.cum_names),
                         );
                         (v.is_whitespace_text(), v.is_text_synthetic())
                     };
@@ -730,7 +1023,7 @@ impl ShardedReader {
             CurrentEvent::Tape => match self.active.as_ref() {
                 Some(a) => a.shard.tape.view(
                     a.next_event - 1,
-                    SymbolRemap::with_names(self.seed_len, &a.remap, &a.shard.new_names),
+                    SymbolRemap::with_names(self.seed_len, &a.remap, &a.cum_names),
                 ),
                 // A terminal error already dropped the shard.
                 None => RawEventRef::bare(RawEventKind::EndDocument),
@@ -761,6 +1054,13 @@ impl ShardedReader {
         let mut pipeline = Stage::new("shard_pipeline");
         pipeline.counter("shards", self.total_shards as u64);
         pipeline.note("mode", format!("{:?}", self.config.mode));
+        pipeline.note(
+            "ingest",
+            match &self.input {
+                SourceKind::Buffered(_) => "buffered",
+                SourceKind::Stream(_) => "streamed",
+            },
+        );
         let mut totals = ShardLane::default();
         for lane in &self.lanes {
             totals.merge(lane);
@@ -1076,5 +1376,234 @@ mod tests {
             doc.push_str(tail);
             assert_prefix_and_error_match(&doc);
         }
+    }
+
+    // ---- streamed ingestion ----
+
+    /// A streamed config tightened so unit-test documents exercise many
+    /// chunks and many segments per chunk.
+    fn tight_stream_config(shards: usize) -> ShardConfig {
+        let mut config = ShardConfig::new(shards);
+        config.chunk_bytes = stream::MIN_CHUNK_BYTES;
+        config.segment_events = 7;
+        config.segment_queue = 2;
+        config
+    }
+
+    fn streamed_run(doc: &str, config: ShardConfig) -> (Vec<XmlEvent>, Option<XmlError>) {
+        let src = std::io::Cursor::new(doc.as_bytes().to_vec());
+        let mut reader = ShardedReader::from_stream(src, config);
+        let mut ev = RawEvent::new();
+        let mut events = Vec::new();
+        loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => events.push(ev.to_xml_event(reader.symbols())),
+                Ok(false) => return (events, None),
+                Err(e) => return (events, Some(e)),
+            }
+        }
+    }
+
+    /// A document large enough to stream through several chunks, with
+    /// late names, entities, comments and a multi-line shape.
+    fn streaming_doc() -> String {
+        let mut doc = String::from("<?xml version=\"1.0\"?>\n<bib>\n");
+        for i in 0..800 {
+            doc.push_str(&format!(
+                "<book year=\"19{:02}\"><title>T {i} &amp; U</title><!-- note --><price>{i}.50</price></book>\n",
+                i % 100
+            ));
+        }
+        doc.push_str("</bib>\n");
+        doc
+    }
+
+    #[test]
+    fn streamed_matches_sequential_events() {
+        let doc = streaming_doc();
+        let sequential = parse_to_events(&doc).expect("sequential parse");
+        for shards in [1, 2, 8] {
+            let (events, err) = streamed_run(&doc, tight_stream_config(shards));
+            assert!(err.is_none(), "streamed run errored: {err:?}");
+            assert_eq!(sequential, events, "shards: {shards}");
+        }
+    }
+
+    #[test]
+    fn streamed_matches_buffered_on_small_docs() {
+        let docs = [
+            "<a/>",
+            "<a><b>text</b><c/></a>",
+            "  <r>one<x/>two<y>three</y></r>  ",
+            "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]><r><s/></r>",
+        ];
+        for doc in docs {
+            let sequential = parse_to_events(doc).expect("sequential parse");
+            let (events, err) = streamed_run(doc, tight_stream_config(2));
+            assert!(err.is_none(), "doc {doc:?}: {err:?}");
+            assert_eq!(sequential, events, "doc: {doc:?}");
+        }
+    }
+
+    /// Streamed partial stream + terminal error (message *and* position)
+    /// are byte-exact the sequential reader's.
+    fn assert_streamed_prefix_and_error_match(doc: &str) {
+        let (seq_events, seq_err) = {
+            let mut reader = flux_xml::XmlReader::new(doc.as_bytes());
+            let mut ev = RawEvent::new();
+            let mut events = Vec::new();
+            let err = loop {
+                match reader.next_into(&mut ev) {
+                    Ok(true) => events.push(ev.to_xml_event(reader.symbols())),
+                    Ok(false) => panic!("sequential must reject"),
+                    Err(e) => break e,
+                }
+            };
+            (events, err)
+        };
+        for shards in [1, 2, 8] {
+            let (events, err) = streamed_run(doc, tight_stream_config(shards));
+            let err = err.expect("streamed must reject");
+            assert_eq!(events, seq_events, "partial stream diverged ({shards})");
+            assert_eq!(
+                err.to_string(),
+                seq_err.to_string(),
+                "error (incl. position) diverged ({shards} shards)"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_errors_match_sequential() {
+        // Small documents: single chunk, but the full epilog/prolog paths.
+        for doc in [
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "hello<a/>",
+            "<a/>hello",
+            "",
+            "&#32;<a/>",
+            "<a/>&#x20;",
+        ] {
+            assert_streamed_prefix_and_error_match(doc);
+        }
+        // A deep error behind many chunks and newlines.
+        let mut doc = String::from("<r>\n");
+        for i in 0..600 {
+            doc.push_str(&format!("<x{i}>text {i} padding padding padding</x{i}>\n"));
+        }
+        doc.push_str("<y></z></r>");
+        assert_streamed_prefix_and_error_match(&doc);
+    }
+
+    /// Input truncated inside a trailing text run: the streamed merger
+    /// must suppress the run at real end-of-input exactly like the
+    /// buffered one — including when the run is the last event of a
+    /// *non-final* segment (the lookahead path).
+    #[test]
+    fn streamed_truncated_text_matches_sequential() {
+        for filler in [30, 600] {
+            let mut doc = String::from("<r>");
+            for i in 0..filler {
+                doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+            }
+            doc.push_str("<open>trailing text with no close");
+            assert_streamed_prefix_and_error_match(&doc);
+        }
+        // And a *delivered* trailing run before suppressed markup.
+        let mut doc = String::from("<r>");
+        for i in 0..600 {
+            doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+        }
+        doc.push_str("<open>trailing text<!-- a comment -->");
+        assert_streamed_prefix_and_error_match(&doc);
+    }
+
+    #[test]
+    fn streamed_budget_tracks_all_pools() {
+        let doc = streaming_doc();
+        let budget = flux_xml::MemoryBudget::new(64 * 1024 * 1024);
+        let mut config = tight_stream_config(2);
+        config.budget = Some(Arc::clone(&budget));
+        let (events, err) = streamed_run(&doc, config);
+        assert!(err.is_none(), "{err:?}");
+        assert!(!events.is_empty());
+        assert!(
+            budget.peak(flux_xml::BudgetKind::Chunk) > 0,
+            "chunk pool untracked"
+        );
+        assert!(
+            budget.peak(flux_xml::BudgetKind::Tape) > 0,
+            "tape pool untracked"
+        );
+        assert!(
+            budget.peak(flux_xml::BudgetKind::Window) > 0,
+            "window pool untracked"
+        );
+        assert!(budget.peak_total() >= budget.peak(flux_xml::BudgetKind::Chunk));
+        budget.check().expect("well under the limit");
+        // All charges released: nothing outlives the run.
+        for kind in flux_xml::BudgetKind::all() {
+            assert_eq!(budget.current(kind), 0, "leaked charge in {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn streamed_seeded_symbols_are_preserved() {
+        let mut seed = SymbolTable::new();
+        let book = seed.intern("book");
+        let doc = streaming_doc();
+        let src = std::io::Cursor::new(doc.into_bytes());
+        let mut reader = ShardedReader::from_stream_with_symbols(src, tight_stream_config(2), seed);
+        let mut ev = RawEvent::new();
+        let mut seen = None;
+        while reader.next_into(&mut ev).unwrap() {
+            if ev.kind() == RawEventKind::StartElement && reader.symbols().name(ev.name()) == "book"
+            {
+                seen = Some(ev.name());
+            }
+        }
+        assert_eq!(seen, Some(book));
+        assert!(reader.shard_count() > 1, "doc should span several chunks");
+    }
+
+    /// An I/O failure mid-stream surfaces as a terminal error after the
+    /// prefix parsed so far.
+    #[test]
+    fn streamed_io_error_is_terminal() {
+        struct FailAfter {
+            data: std::io::Cursor<Vec<u8>>,
+        }
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.data.read(buf)?;
+                if n == 0 {
+                    return Err(std::io::Error::other("link dropped"));
+                }
+                Ok(n)
+            }
+        }
+        let mut doc = String::from("<r>");
+        for i in 0..600 {
+            doc.push_str(&format!("<x{i}>text {i}</x{i}>"));
+        }
+        // No closing tag: EOF would also error, but the I/O failure wins.
+        let src = FailAfter {
+            data: std::io::Cursor::new(doc.into_bytes()),
+        };
+        let mut reader = ShardedReader::from_stream(src, tight_stream_config(2));
+        let mut ev = RawEvent::new();
+        let err = loop {
+            match reader.next_into(&mut ev) {
+                Ok(true) => {}
+                Ok(false) => panic!("must surface the I/O error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, XmlError::Io(_)),
+            "expected an I/O error, got {err}"
+        );
+        assert!(!reader.next_into(&mut ev).unwrap(), "error is terminal");
     }
 }

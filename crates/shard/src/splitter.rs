@@ -79,7 +79,7 @@ impl<'a> LtFeed<'a> {
 /// `start` (the `<` of `<!DOCTYPE`), honouring quoted literals, the
 /// bracketed internal subset and comments inside it. `None` when the
 /// declaration is unterminated.
-fn doctype_end(input: &[u8], start: usize) -> Option<usize> {
+pub(crate) fn doctype_end(input: &[u8], start: usize) -> Option<usize> {
     let mut i = start + "<!DOCTYPE".len();
     let mut in_subset = false;
     while i < input.len() {
@@ -104,6 +104,78 @@ fn doctype_end(input: &[u8], start: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// Outcome of one incremental boundary scan over a growing buffer
+/// ([`find_boundary`]): the streaming chunker's resumable variant of the
+/// whole-buffer [`split_points`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BoundaryScan {
+    /// A safe element-tag `<` at this offset, at or after the requested
+    /// minimum.
+    Found(usize),
+    /// No safe boundary is determinable from the bytes seen so far.
+    /// Append more input and re-scan from `resume` — the start of the
+    /// unterminated (or not-yet-classifiable) construct, which is always
+    /// outside every construct, so re-scanning from it is safe.
+    NeedMore { resume: usize },
+}
+
+/// Finds the first safe element-tag `<` at or after `min_pos`, scanning
+/// forward from `from`. `from` must lie outside every comment, CDATA
+/// section, PI and DOCTYPE (position 0, a previous `resume`, or just past
+/// a previously found boundary all qualify). Boundary classification is
+/// identical to [`split_points`] — the buffered and streamed sharded
+/// paths must agree on what a safe seam is.
+pub(crate) fn find_boundary(input: &[u8], from: usize, min_pos: usize) -> BoundaryScan {
+    let mut pos = from;
+    while pos < input.len() {
+        let Some(rel) = find_byte(&input[pos..], b'<') else {
+            return BoundaryScan::NeedMore {
+                resume: input.len(),
+            };
+        };
+        let at = pos + rel;
+        let rest = &input[at..];
+        // A `<` too close to the buffer end to classify (`<!` may yet
+        // become a comment, CDATA or DOCTYPE once more bytes arrive).
+        if rest.len() < 9 && (rest.len() == 1 || rest[1] == b'!') {
+            return BoundaryScan::NeedMore { resume: at };
+        }
+        if rest.starts_with(b"<!--") {
+            match find_subslice(rest, b"-->") {
+                Some(end) => pos = at + end + 3,
+                None => return BoundaryScan::NeedMore { resume: at },
+            }
+        } else if rest.starts_with(b"<![CDATA[") {
+            match find_subslice(rest, b"]]>") {
+                Some(end) => pos = at + end + 3,
+                None => return BoundaryScan::NeedMore { resume: at },
+            }
+        } else if rest.starts_with(b"<!DOCTYPE") {
+            match doctype_end(input, at) {
+                Some(end) => pos = end,
+                None => return BoundaryScan::NeedMore { resume: at },
+            }
+        } else if rest.starts_with(b"<?") {
+            match find_subslice(rest, b"?>") {
+                Some(end) => pos = at + end + 2,
+                None => return BoundaryScan::NeedMore { resume: at },
+            }
+        } else if rest[1] == b'/' || is_name_start(rest[1]) {
+            if at >= min_pos && at > 0 {
+                return BoundaryScan::Found(at);
+            }
+            pos = at + 1;
+        } else {
+            // `<` followed by nothing we recognise — malformed input; let
+            // a fragment parser report it.
+            pos = at + 1;
+        }
+    }
+    BoundaryScan::NeedMore {
+        resume: input.len(),
+    }
 }
 
 /// Computes chunk start offsets for up to `shards` shards: the first chunk

@@ -22,6 +22,7 @@
 pub mod error;
 pub mod escape;
 pub mod event;
+pub mod input;
 pub mod reader;
 pub mod scan;
 mod scanner;
@@ -36,6 +37,10 @@ pub use event::{
     AttrRef, Attribute, AttrsIter, RawAttr, RawEvent, RawEventKind, RawEventRef, XmlEvent,
 };
 pub use flux_symbols::{Symbol, SymbolTable};
+pub use input::{
+    BudgetCharge, BudgetExceeded, BudgetKind, GzipMode, Input, MemoryBudget, ResolvedInput,
+    DEFAULT_WINDOW,
+};
 pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
 pub use simd::{active_isa_name, StructuralIndex};
 pub use source::EventSource;

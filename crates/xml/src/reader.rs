@@ -31,10 +31,12 @@
 use crate::error::{Position, Result, XmlError};
 use crate::escape::unescape_into;
 use crate::event::{RawEvent, RawEventKind, RawEventRef, XmlEvent};
+use crate::input::MemoryBudget;
 use crate::scanner::{Scanner, TagProbe};
 use flux_symbols::{Symbol, SymbolTable};
 use flux_telemetry::{ReaderCounters, RunReport, ScanCounters, Stage};
 use std::io::Read;
+use std::sync::Arc;
 
 /// Configuration for [`XmlReader`].
 #[derive(Debug, Clone)]
@@ -64,6 +66,16 @@ pub struct ReaderConfig {
     /// stitches fragments). At end of input, open elements are left on the
     /// stack ([`XmlReader::open_elements`]) instead of erroring.
     pub fragment: bool,
+    /// Scanner window size in bytes (default
+    /// [`crate::input::DEFAULT_WINDOW`]): the refill granularity and the
+    /// initial buffer capacity. The window still grows past this when a
+    /// single token is longer — memory stays bounded by the largest
+    /// token, not by the configured size.
+    pub window: usize,
+    /// Memory budget the scanner window is charged against for the
+    /// reader's lifetime (default `None` = untracked). Shared with the
+    /// engine's tape/chunk accounting in streamed runs.
+    pub budget: Option<Arc<MemoryBudget>>,
 }
 
 impl Default for ReaderConfig {
@@ -74,6 +86,8 @@ impl Default for ReaderConfig {
             max_depth: 10_000,
             max_symbols: None,
             fragment: false,
+            window: crate::input::DEFAULT_WINDOW,
+            budget: None,
         }
     }
 }
@@ -241,9 +255,10 @@ impl<R: Read> XmlReader<R> {
     /// directly comparable with schema symbols (clones preserve indices);
     /// names not in the seed are interned on first sight.
     pub fn with_symbols(src: R, config: ReaderConfig, symbols: SymbolTable) -> Self {
+        let scanner = Scanner::with_window(src, config.window, config.budget.clone());
         XmlReader {
             core: ReaderCore {
-                scanner: Scanner::new(src),
+                scanner,
                 config,
                 state: State::Fresh,
                 event_start: Position {
@@ -344,12 +359,19 @@ impl<R: Read> XmlReader<R> {
         if self.core.state == State::Done {
             return Ok(None);
         }
+        #[allow(deprecated)]
         self.next_event().map(Some)
     }
 
     /// Pulls the next event as an owned [`XmlEvent`]; calling after
-    /// `EndDocument` is an error. Allocates per event — prefer
-    /// [`XmlReader::next_into`] on hot paths.
+    /// `EndDocument` is an error. Allocates per event.
+    #[deprecated(
+        since = "0.1.0",
+        note = "legacy string-event wrapper; migrate to `XmlReader::next_into` \
+                (caller-owned recycled event) or `advance`/`view` (borrowed \
+                zero-copy view). Both deliver interned `Symbol` names; map \
+                them back with `XmlReader::symbols()` where strings are needed."
+    )]
     pub fn next_event(&mut self) -> Result<XmlEvent> {
         self.core.fill_event(&mut self.compat, false)?;
         Ok(self.compat.to_xml_event(&self.core.symbols))
@@ -373,6 +395,9 @@ impl<R: Read> XmlReader<R> {
     pub fn report_into(&self, report: &mut RunReport) {
         let mut scanner = Stage::new("scanner");
         scanner.note("isa", crate::simd::active_isa_name());
+        // The configured window size, so refill-behaviour regressions in a
+        // report are attributable to their knob.
+        scanner.counter("window_bytes", self.core.scanner.window_size() as u64);
         scanner.absorb(self.scan_telemetry().snapshot());
         report.stage(scanner);
         let mut reader = Stage::new("reader");
@@ -1238,6 +1263,7 @@ impl<R: Read> ReaderCore<R> {
 
 /// Convenience: parses a complete document from a string into an event list.
 /// Intended for tests and small inputs.
+#[allow(deprecated)] // the owned-event API is this helper's whole point
 pub fn parse_to_events(input: &str) -> Result<Vec<XmlEvent>> {
     let mut reader = XmlReader::new(input.as_bytes());
     let mut events = Vec::new();
@@ -1355,6 +1381,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn comments_emitted_when_configured() {
         let mut reader = XmlReader::with_config(
             "<a><!--c--></a>".as_bytes(),
@@ -1474,6 +1501,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn depth_limit_enforced() {
         let mut input = String::new();
         for _ in 0..50 {
@@ -1540,6 +1568,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn pi_emitted_when_configured() {
         let mut reader = XmlReader::with_config(
             "<a><?target some data?></a>".as_bytes(),
@@ -1824,6 +1853,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn mixed_raw_and_owned_pulls_agree() {
         let doc = "<a><b>x</b><c k=\"v\"/></a>";
         let mut reader = XmlReader::new(doc.as_bytes());

@@ -14,12 +14,12 @@
 //! **absolute input offsets**, so window compaction never invalidates them.
 
 use crate::error::{Position, Result, XmlError};
+use crate::input::{BudgetCharge, BudgetKind, MemoryBudget, MIN_WINDOW};
 use crate::scan::{find_byte, find_subslice};
 use crate::simd::{self, StructuralIndex};
 use flux_telemetry::ScanCounters;
 use std::io::Read;
-
-const CHUNK: usize = 8 * 1024;
+use std::sync::Arc;
 
 /// What [`Scanner::probe_tag`] learned about the markup construct at the
 /// window head.
@@ -50,13 +50,30 @@ pub struct Scanner<R: Read> {
     index: StructuralIndex,
     /// Refill/prescan counters (zero-sized unless telemetry is enabled).
     tel: ScanCounters,
+    /// Configured window size: the refill granularity and the initial
+    /// buffer capacity. The buffer still grows past it when one token is
+    /// longer than the window — the growth is charged to the budget.
+    window: usize,
+    /// Live charge for `buf`'s capacity against the attached budget.
+    charge: Option<BudgetCharge>,
 }
 
 impl<R: Read> Scanner<R> {
+    /// Default-window scanner without budget accounting (test convenience;
+    /// production callers thread the window through [`Scanner::with_window`]).
+    #[cfg(test)]
     pub fn new(src: R) -> Self {
+        Scanner::with_window(src, crate::input::DEFAULT_WINDOW, None)
+    }
+
+    /// A scanner with an explicit window size, optionally charging its
+    /// buffer against `budget` for the scanner's lifetime.
+    pub fn with_window(src: R, window: usize, budget: Option<Arc<MemoryBudget>>) -> Self {
+        let window = window.max(MIN_WINDOW);
+        let charge = budget.map(|b| b.charge(BudgetKind::Window, window as u64));
         Scanner {
             src,
-            buf: vec![0; CHUNK],
+            buf: vec![0; window],
             start: 0,
             end: 0,
             eof: false,
@@ -65,6 +82,20 @@ impl<R: Read> Scanner<R> {
             column: 1,
             index: StructuralIndex::new(),
             tel: ScanCounters::default(),
+            window,
+            charge,
+        }
+    }
+
+    /// The configured window size in bytes.
+    pub fn window_size(&self) -> usize {
+        self.window
+    }
+
+    /// Keeps the budget charge in sync with `buf`'s current size.
+    fn recharge(&mut self) {
+        if let Some(charge) = &mut self.charge {
+            charge.grow_to(self.buf.len() as u64);
         }
     }
 
@@ -102,11 +133,13 @@ impl<R: Read> Scanner<R> {
             self.index.release_consumed();
         }
         if self.buf.len() < n {
-            self.buf.resize(n.max(CHUNK), 0);
+            self.buf.resize(n.max(self.window), 0);
+            self.recharge();
         }
         while self.available() < n && !self.eof {
             if self.end == self.buf.len() {
                 self.buf.resize(self.buf.len() * 2, 0);
+                self.recharge();
             }
             let read = self.src.read(&mut self.buf[self.end..])?;
             if read == 0 {
@@ -492,6 +525,7 @@ impl<R: Read> Scanner<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::DEFAULT_WINDOW;
 
     fn scanner(s: &str) -> Scanner<&[u8]> {
         Scanner::new(s.as_bytes())
@@ -541,7 +575,7 @@ mod tests {
     #[test]
     fn read_until_delimiter_spanning_chunks() {
         // Force the delimiter to straddle refill boundaries by using a large prefix.
-        let prefix = "x".repeat(CHUNK * 2 + 3);
+        let prefix = "x".repeat(DEFAULT_WINDOW * 2 + 3);
         let input = format!("{prefix}-->tail");
         let mut sc = Scanner::new(input.as_bytes());
         let mut out = Vec::new();
@@ -584,14 +618,45 @@ mod tests {
 
     #[test]
     fn read_until_byte_spanning_chunks() {
-        let prefix = "y\n".repeat(CHUNK);
+        let prefix = "y\n".repeat(DEFAULT_WINDOW);
         let input = format!("{prefix}<tail");
         let mut sc = Scanner::new(input.as_bytes());
         let mut out = Vec::new();
         sc.read_until_byte(b'<', &mut out).unwrap();
         assert_eq!(out.len(), prefix.len());
-        assert_eq!(sc.position().line as usize, CHUNK + 1);
+        assert_eq!(sc.position().line as usize, DEFAULT_WINDOW + 1);
         assert_eq!(sc.peek().unwrap(), Some(b'<'));
+    }
+
+    #[test]
+    fn small_window_parses_and_charges_budget() {
+        let budget = crate::input::MemoryBudget::new(u64::MAX);
+        let input = "a".repeat(500) + "<rest";
+        {
+            let mut sc =
+                Scanner::with_window(input.as_bytes(), MIN_WINDOW, Some(Arc::clone(&budget)));
+            assert_eq!(sc.window_size(), MIN_WINDOW);
+            assert_eq!(budget.current(BudgetKind::Window), MIN_WINDOW as u64);
+            let mut out = Vec::new();
+            sc.read_until_byte(b'<', &mut out).unwrap();
+            assert_eq!(out.len(), 500);
+            // A 500-byte token through a 64-byte window forces refills and
+            // compactions but never a whole-input buffer.
+            assert!(budget.peak(BudgetKind::Window) < input.len() as u64);
+        }
+        // Scanner drop released the charge.
+        assert_eq!(budget.current(BudgetKind::Window), 0);
+    }
+
+    #[test]
+    fn tiny_window_long_token_grows_buffer_and_charge() {
+        let budget = crate::input::MemoryBudget::new(u64::MAX);
+        let tag = format!("<e a=\"{}\"/>", "v".repeat(4096));
+        let mut sc = Scanner::with_window(tag.as_bytes(), MIN_WINDOW, Some(Arc::clone(&budget)));
+        // Force the whole tag into the window, as probe_tag retries do.
+        while sc.fill_more().unwrap() {}
+        assert!(sc.window().len() >= tag.len());
+        assert!(budget.current(BudgetKind::Window) >= tag.len() as u64);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod auction;
 pub mod bib;
 pub mod corpus;
 pub mod pathological;
+pub mod stream;
 pub mod text;
 
 pub use auction::{auction_string, write_auction, AuctionConfig, AUCTION_DTD};
@@ -27,3 +28,4 @@ pub use pathological::{
     attr_heavy_string, deep_string, mint_string, text_heavy_string, AttrHeavyConfig, DeepConfig,
     MintConfig, TextHeavyConfig,
 };
+pub use stream::AuctionStream;

@@ -1,0 +1,169 @@
+//! Generator-backed unbounded streams: documents produced on the fly
+//! behind a plain [`Read`], never materialised.
+//!
+//! [`AuctionStream`] runs [`write_auction`] on a
+//! generator thread whose sink is a bounded channel of small chunks; the
+//! `Read` side drains them. The channel bound is backpressure — the
+//! generator can never run more than a few chunks ahead of the consumer —
+//! so total generator-side memory stays a few hundred KiB regardless of
+//! the configured document size, and multi-GB documents can be streamed
+//! through an engine on machines that could never hold them.
+//!
+//! The byte stream is exactly what `write_auction` would have written to a
+//! file: prefix-for-prefix identical per config, which is what the `slow`
+//! suite's streamed-vs-buffered identity checks rely on.
+
+use crate::auction::{write_auction, AuctionConfig};
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread;
+
+/// Chunk size the generator hands to the channel. Big enough to amortise
+/// channel traffic, small enough that `CHUNK × QUEUE` stays far below any
+/// realistic memory budget.
+const CHUNK: usize = 64 * 1024;
+
+/// Chunks the generator may run ahead of the consumer.
+const QUEUE: usize = 4;
+
+/// An auction document generated on demand behind a [`Read`]: the
+/// generator-streamed ingestion source for GB-scale workloads
+/// (`Input::from_reader(AuctionStream::target_bytes(..))`).
+pub struct AuctionStream {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl AuctionStream {
+    /// Streams the document `config` describes.
+    pub fn new(config: AuctionConfig) -> Self {
+        let (tx, rx) = sync_channel(QUEUE);
+        thread::spawn(move || {
+            let mut sink = ChunkSink {
+                tx,
+                buf: Vec::with_capacity(CHUNK),
+            };
+            // A send error means the reader was dropped mid-stream; the
+            // generator just stops. Generation itself cannot fail.
+            if write_auction(&config, &mut sink).is_ok() {
+                let _ = sink.flush();
+            }
+        });
+        AuctionStream {
+            rx,
+            pending: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Streams a document of roughly `bytes` bytes (within ~15%),
+    /// deterministic per seed — the GB-scale axis knob.
+    pub fn target_bytes(bytes: usize, seed: u64) -> Self {
+        Self::new(AuctionConfig::target_bytes(bytes, seed))
+    }
+}
+
+impl Read for AuctionStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                // Channel closed: the generator finished (or was told to
+                // stop); either way the stream is over.
+                Err(_) => {
+                    if !self.done {
+                        self.done = true;
+                        self.pending = Vec::new();
+                        self.pos = 0;
+                    }
+                    return Ok(0);
+                }
+            }
+        }
+        let rest = &self.pending[self.pos..];
+        let n = rest.len().min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// `Write` sink that ships full chunks through the bounded channel. The
+/// blocking `send` *is* the memory bound: the generator stalls while the
+/// consumer is behind.
+struct ChunkSink {
+    tx: SyncSender<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+impl Write for ChunkSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= CHUNK {
+            let full = std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK));
+            self.tx
+                .send(full)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "stream reader dropped"))?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            let rest = std::mem::take(&mut self.buf);
+            self.tx
+                .send(rest)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "stream reader dropped"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auction::auction_string;
+
+    #[test]
+    fn stream_matches_buffered_generation() {
+        let config = AuctionConfig::scale(0.5, 17);
+        let mut streamed = Vec::new();
+        AuctionStream::new(config.clone())
+            .read_to_end(&mut streamed)
+            .unwrap();
+        assert_eq!(streamed, auction_string(&config).into_bytes());
+    }
+
+    #[test]
+    fn early_drop_stops_the_generator() {
+        let mut stream = AuctionStream::new(AuctionConfig::scale(4.0, 3));
+        let mut head = [0u8; 1024];
+        stream.read_exact(&mut head).unwrap();
+        drop(stream); // must not hang or panic the generator thread
+        assert!(head.starts_with(b"<site>"));
+    }
+
+    #[test]
+    fn target_bytes_streams_the_requested_size() {
+        let mut stream = AuctionStream::target_bytes(1_048_576, 5);
+        let mut total = 0usize;
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = stream.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert!(
+            (800_000..=1_400_000).contains(&total),
+            "asked for ~1 MiB, got {total}"
+        );
+    }
+}

@@ -55,6 +55,12 @@ pub struct XsaxConfig {
     /// only affects undeclared names — which travel by literal spelling
     /// and never change validation verdicts or query output.
     pub max_symbols: Option<usize>,
+    /// Scanner window size for the underlying reader (see
+    /// [`flux_xml::ReaderConfig::window`]).
+    pub window: usize,
+    /// Memory budget threaded through to the reader's scanner (see
+    /// [`flux_xml::ReaderConfig::budget`]).
+    pub budget: Option<std::sync::Arc<flux_xml::MemoryBudget>>,
 }
 
 impl Default for XsaxConfig {
@@ -63,6 +69,8 @@ impl Default for XsaxConfig {
             strict_attributes: false,
             suppress_ignorable_whitespace: true,
             max_symbols: None,
+            window: flux_xml::DEFAULT_WINDOW,
+            budget: None,
         }
     }
 }
@@ -159,6 +167,8 @@ impl<'d, R: Read> XsaxParser<'d, XmlReader<R>> {
         // schema symbols and attribute validation is symbol equality too.
         let reader_config = flux_xml::ReaderConfig {
             max_symbols: config.max_symbols,
+            window: config.window,
+            budget: config.budget.clone(),
             ..Default::default()
         };
         let reader = XmlReader::with_symbols(src, reader_config, seeded_symbols(dtd));
@@ -399,8 +409,14 @@ impl<'d, S: EventSource> XsaxParser<'d, S> {
     }
 
     /// Pulls the next event as an owned [`XsaxEvent`], or `None` after
-    /// `EndDocument`. Allocates per event — prefer
-    /// [`XsaxParser::next_into`] on hot paths.
+    /// `EndDocument`. Allocates per event.
+    #[deprecated(
+        since = "0.1.0",
+        note = "legacy string-event wrapper; migrate to `XsaxParser::next_step` \
+                with `view()` (borrowed zero-copy view) or `next_into` \
+                (caller-owned recycled event). Both deliver interned `Symbol` \
+                names; map them back with `symbols()` where strings are needed."
+    )]
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<XsaxEvent>> {
         let mut ev = std::mem::take(&mut self.compat);
@@ -697,6 +713,7 @@ pub fn validate<R: Read>(src: R, dtd: &Dtd) -> Result<u64> {
 
 /// Convenience for tests: runs a document through XSAX with the given past
 /// registrations, returning a rendered event trace.
+#[allow(deprecated)] // diagnostic helper; the owned-event API is its point
 pub fn trace(
     input: &str,
     dtd: &Dtd,
@@ -723,6 +740,8 @@ pub fn trace(
 }
 #[cfg(test)]
 mod tests {
+    // Tests exercise the deprecated owned-event wrappers on purpose.
+    #![allow(deprecated)]
     use super::*;
     use flux_dtd::{PAPER_FIG1_DTD, PAPER_WEAK_DTD};
 

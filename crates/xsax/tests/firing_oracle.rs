@@ -7,6 +7,10 @@
 //!    incomplete — the bug class that matters for correctness);
 //! 3. the fire happens **at or before** the closing tag.
 
+// The oracle drives the deprecated owned-event wrapper on purpose: it is
+// the simplest full-fidelity view of the event stream under test.
+#![allow(deprecated)]
+
 use flux_dtd::{Dtd, Symbol};
 use flux_xml::XmlEvent;
 use flux_xsax::{PastLabels, XsaxEvent, XsaxParser};

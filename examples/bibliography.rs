@@ -5,7 +5,8 @@
 //! Run with: `cargo run --release --example bibliography`
 
 use fluxquery::xmlgen::{bib_string, BibConfig};
-use fluxquery::{AnyEngine, EngineKind, PAPER_WEAK_DTD};
+use fluxquery::{AnyEngine, EngineKind, Input, PAPER_WEAK_DTD};
+use std::sync::Arc;
 
 const Q3: &str = r#"<results>{ for $b in $ROOT/bib/book return
     <result>{$b/title}{$b/author}</result> }</results>"#;
@@ -14,11 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("engine        books    input-bytes    peak-buffer    runtime");
     println!("------        -----    -----------    -----------    -------");
     for &books in &[100usize, 1_000, 10_000] {
-        let doc = bib_string(&BibConfig::weak(books, 42));
+        let doc = Arc::new(bib_string(&BibConfig::weak(books, 42)).into_bytes());
         for kind in EngineKind::all() {
             let engine = AnyEngine::compile(kind, Q3, PAPER_WEAK_DTD)?;
             let mut out = Vec::new();
-            let stats = engine.run(doc.as_bytes(), &mut out)?;
+            let stats = engine.run_input(Input::from_shared_bytes(Arc::clone(&doc)), &mut out)?;
             println!(
                 "{:<12} {:>6}    {:>11}    {:>11}    {:>7.1?}",
                 kind.label(),

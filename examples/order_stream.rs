@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut stream = Vec::new();
         let input_bytes = write_orders(&mut stream, orders)?;
         let mut out = Vec::new();
-        let stats = engine.run(stream.as_slice(), &mut out)?;
+        let stats = engine.run_input(fluxquery::Input::from_bytes(stream), &mut out)?;
         let alerts = String::from_utf8(out)?.matches("<alert ").count();
         println!(
             "{orders:>7} orders  {input_bytes:>10} bytes in  {alerts:>6} alerts  \

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --example validate_stream`
 
 use fluxquery::dtd::{Dtd, PAPER_FIG1_DTD};
-use fluxquery::xml::XmlEvent;
-use fluxquery::xsax::{PastLabels, XsaxEvent, XsaxParser};
+use fluxquery::xml::RawEventKind;
+use fluxquery::xsax::{PastLabels, XsaxParser, XsaxStep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dtd = Dtd::parse(PAPER_FIG1_DTD)?;
@@ -21,16 +21,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let past = parser.register_past(book, PastLabels::labels([title, author]))?;
     println!("registered past(title, author) on book as {past:?}\n");
 
-    while let Some(event) = parser.next()? {
-        match event {
-            XsaxEvent::Sax(XmlEvent::StartElement { name, .. }) => println!("<{name}>"),
-            XsaxEvent::Sax(XmlEvent::EndElement { name }) => println!("</{name}>"),
-            XsaxEvent::Sax(XmlEvent::Text(t)) => println!("  {t:?}"),
-            XsaxEvent::OnFirstPast { id, depth } => {
+    // The zero-copy pull loop: `next_step` advances, `view` borrows the
+    // validated event in place.
+    while let Some(step) = parser.next_step()? {
+        match step {
+            XsaxStep::Sax => {
+                let v = parser.view();
+                match v.kind() {
+                    RawEventKind::StartElement => {
+                        println!("<{}>", v.name_str(parser.symbols()))
+                    }
+                    RawEventKind::EndElement => {
+                        println!("</{}>", v.name_str(parser.symbols()))
+                    }
+                    RawEventKind::Text => println!("  {:?}", v.text()),
+                    _ => {}
+                }
+            }
+            XsaxStep::Fire { id, depth } => {
                 println!(">>> on-first past(title,author) fired ({id:?}, depth {depth})");
                 println!(">>> the DTD now guarantees: no more titles or authors in this book");
             }
-            _ => {}
         }
     }
 
@@ -39,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                <publisher>P</publisher><price>1</price></book></bib>";
     let mut parser = XsaxParser::new(bad.as_bytes(), &dtd)?;
     let err = loop {
-        match parser.next() {
+        match parser.next_step() {
             Ok(Some(_)) => continue,
             Ok(None) => unreachable!("document is invalid"),
             Err(e) => break e,

@@ -7,11 +7,17 @@
 //! Options:
 //!   --query <FILE|STRING>   query file, or inline text when no such file exists
 //!   --dtd <FILE|STRING>     DTD file, or inline DTD text
-//!   --input <FILE>          input document (default: stdin)
+//!   --input <FILE|->        input document; `-` reads stdin (the default).
+//!                           `.gz` files are decompressed transparently
 //!   --output <FILE>         result stream (default: stdout)
 //!   --engine <flux|dom|projection>   engine architecture (default: flux)
-//!   --shards <N>            parse the input with N parallel shards
-//!                           (flux engine only; buffers the input)
+//!   --shards <N>            parse the input with N parallel shards (flux
+//!                           engine only; files and stdin are streamed
+//!                           chunk by chunk, never fully buffered)
+//!   --window <BYTES>        scanner window size (accepts k/m/g suffixes)
+//!   --memory-budget <BYTES> enforce a tracked-memory budget on the run:
+//!                           scanner windows + in-flight shard tapes and
+//!                           chunks + runtime buffers (k/m/g suffixes)
 //!   --explain               print the compilation report instead of running
 //!   --stats                 print run statistics to stderr
 //!   --report <json|text>    print the pipeline telemetry RunReport to stderr
@@ -20,8 +26,8 @@
 //!   --no-optimizer          disable the algebraic optimizer (ablation)
 //! ```
 
-use fluxquery::{AnyEngine, EngineKind, FluxEngine, Options, Parallelism};
-use std::io::{Read, Write};
+use fluxquery::{EngineKind, FluxEngine, Input, MemoryBudget, Options, Parallelism};
+use std::io::Write;
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -37,6 +43,8 @@ struct Args {
     output: Option<String>,
     engine: EngineKind,
     shards: Option<usize>,
+    window: Option<usize>,
+    memory_budget: Option<u64>,
     explain: bool,
     stats: bool,
     report: Option<ReportFormat>,
@@ -46,10 +54,23 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: fluxquery --query <FILE|STRING> --dtd <FILE|STRING> \
-         [--input FILE] [--output FILE] [--engine flux|dom|projection] \
-         [--shards N] [--explain] [--stats] [--report json|text] [--no-optimizer]"
+         [--input FILE|-] [--output FILE] [--engine flux|dom|projection] \
+         [--shards N] [--window BYTES] [--memory-budget BYTES] \
+         [--explain] [--stats] [--report json|text] [--no-optimizer]"
     );
     std::process::exit(2);
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (binary units).
+fn parse_bytes(value: &str) -> Option<u64> {
+    let value = value.trim();
+    let (digits, multiplier) = match value.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&value[..i], 1024),
+        (i, 'm') | (i, 'M') => (&value[..i], 1024 * 1024),
+        (i, 'g') | (i, 'G') => (&value[..i], 1024 * 1024 * 1024),
+        _ => (value, 1),
+    };
+    digits.parse::<u64>().ok().map(|n| n * multiplier)
 }
 
 fn parse_args() -> Args {
@@ -60,6 +81,8 @@ fn parse_args() -> Args {
         output: None,
         engine: EngineKind::Flux,
         shards: None,
+        window: None,
+        memory_budget: None,
         explain: false,
         stats: false,
         report: None,
@@ -89,6 +112,24 @@ fn parse_args() -> Args {
                     Ok(n) if n >= 1 => Some(n),
                     _ => {
                         eprintln!("--shards expects a positive integer");
+                        usage()
+                    }
+                }
+            }
+            "--window" => {
+                args.window = match parse_bytes(&value(&mut it)) {
+                    Some(n) if n > 0 => Some(n as usize),
+                    _ => {
+                        eprintln!("--window expects a byte count (k/m/g suffixes allowed)");
+                        usage()
+                    }
+                }
+            }
+            "--memory-budget" => {
+                args.memory_budget = match parse_bytes(&value(&mut it)) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--memory-budget expects a byte count (k/m/g suffixes allowed)");
                         usage()
                     }
                 }
@@ -145,12 +186,20 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let input: Box<dyn Read> = match &args.input {
-        Some(path) => {
-            Box::new(std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?)
-        }
-        None => Box::new(std::io::stdin()),
+    // The unified ingestion entry point: `-` (or no --input) streams
+    // stdin, paths get transparent `.gz` decompression, and the window /
+    // budget knobs ride along. Nothing below ever materialises the input.
+    let mut input = match args.input.as_deref() {
+        Some("-") | None => Input::from_reader(std::io::stdin()),
+        Some(path) => Input::from_path(path),
     };
+    if let Some(window) = args.window {
+        input = input.window(window);
+    }
+    let budget = args.memory_budget.map(MemoryBudget::new);
+    if let Some(b) = &budget {
+        input = input.budget(std::sync::Arc::clone(b));
+    }
     let output: Box<dyn Write> = match &args.output {
         Some(path) => {
             Box::new(std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?)
@@ -170,7 +219,7 @@ fn run() -> Result<(), String> {
             FluxEngine::compile_with_schema(&query, &dtd, &options).map_err(|e| e.to_string())?;
         if let Some(format) = args.report {
             let (stats, report) = engine
-                .run_with_report(input, output)
+                .run_input_with_report(input, output)
                 .map_err(|e| e.to_string())?;
             // The report goes to stderr like `--stats`, keeping stdout a
             // pure result stream.
@@ -180,7 +229,7 @@ fn run() -> Result<(), String> {
             }
             stats
         } else {
-            engine.run(input, output).map_err(|e| e.to_string())?
+            engine.run_input(input, output).map_err(|e| e.to_string())?
         }
     } else {
         if args.shards.is_some() {
@@ -189,9 +238,23 @@ fn run() -> Result<(), String> {
         if args.report.is_some() {
             return Err("--report is only supported by the flux engine".to_string());
         }
-        let engine = AnyEngine::compile(args.engine, &query, &dtd).map_err(|e| e.to_string())?;
-        engine.run(input, output).map_err(|e| e.to_string())?
+        let engine = Options::new()
+            .compile(args.engine, &query, &dtd)
+            .map_err(|e| e.to_string())?;
+        engine.run_input(input, output).map_err(|e| e.to_string())?
     };
+
+    if let Some(b) = &budget {
+        // The engine already failed the run if the budget was exceeded;
+        // on success, report how close it came when asked for stats.
+        if args.stats {
+            eprintln!(
+                "memory budget: peak {} of {} bytes",
+                b.peak_total(),
+                b.limit()
+            );
+        }
+    }
 
     if args.stats {
         eprintln!();

@@ -282,7 +282,7 @@ fn seed_sweep_deterministic() {
                 .unwrap_or_else(|e| panic!("ablated compile failed on seed {seed}:\n{query}\n{e}"));
             let mut out = Vec::new();
             ablated
-                .run(doc.as_bytes(), &mut out)
+                .run_input(fluxquery::Input::from_bytes(doc.clone()), &mut out)
                 .unwrap_or_else(|e| panic!("ablated run failed on seed {seed}:\n{query}\n{e}"));
             assert_eq!(
                 String::from_utf8_lossy(&out),

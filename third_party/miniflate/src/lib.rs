@@ -1,0 +1,708 @@
+//! Minimal streaming gzip (RFC 1952) / DEFLATE (RFC 1951) decoder.
+//!
+//! Vendored for the `flux_xml` `gzip` feature: the build environment has
+//! no registry access, so transparent `.gz` ingestion ships its own
+//! decoder. The design goal is *bounded memory on unbounded input*, not
+//! raw speed: [`GzDecoder`] wraps any [`Read`] and is itself a [`Read`],
+//! holding a fixed 32 KiB history ring, a small input buffer and a bounded
+//! pending-output buffer — decompressing a multi-GB member never
+//! materialises more than a few tens of KiB.
+//!
+//! Decoding is strict: CRC32 and ISIZE trailers are verified, and
+//! concatenated members (as produced by `cat a.gz b.gz`) are decoded
+//! back-to-back like `gzip -d` does.
+//!
+//! [`gzip_compress_stored`] is the matching encoder for tests and tools:
+//! it emits valid gzip using only *stored* (uncompressed) DEFLATE blocks,
+//! which every decoder — including this one — must accept.
+
+use std::io::{self, Read};
+
+/// Sliding-window size mandated by DEFLATE.
+const WINDOW: usize = 32 * 1024;
+/// Input read granularity.
+const IN_CHUNK: usize = 8 * 1024;
+/// Decode-ahead bound: one `fill` call stops appending once this much
+/// pending output is buffered (a single match may overshoot by ≤ 258).
+const PENDING_TARGET: usize = 32 * 1024;
+
+/// Order in which code-length-code lengths are stored (RFC 1951 §3.2.7).
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+/// Base match lengths for symbols 257..=285 and their extra-bit counts.
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Base distances for symbols 0..=29 and their extra-bit counts.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("gzip: {msg}"))
+}
+
+fn eof(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        format!("gzip: unexpected end of input ({msg})"),
+    )
+}
+
+/// The CRC-32 (IEEE 802.3) table, built once per decoder.
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// A canonical Huffman decoding table: per-length symbol counts plus the
+/// symbols sorted by (code length, symbol) — decoded one bit at a time
+/// with the canonical first-code walk. Compact and allocation-light; this
+/// decoder optimises for simplicity, not throughput.
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds a table from per-symbol code lengths (0 = unused).
+    fn new(lengths: &[u8]) -> io::Result<Huffman> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l as usize > 15 {
+                return Err(bad("code length exceeds 15"));
+            }
+            counts[l as usize] += 1;
+        }
+        // Over-subscribed codes are invalid; incomplete codes are legal
+        // only in degenerate cases the decode path rejects naturally.
+        let mut left = 1i32;
+        for &count in &counts[1..] {
+            left = (left << 1) - count as i32;
+            if left < 0 {
+                return Err(bad("over-subscribed Huffman code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        counts[0] = 0;
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// The fixed literal/length table (RFC 1951 §3.2.6).
+    fn fixed_literals() -> Huffman {
+        let mut lengths = [0u8; 288];
+        for (i, l) in lengths.iter_mut().enumerate() {
+            *l = match i {
+                0..=143 => 8,
+                144..=255 => 9,
+                256..=279 => 7,
+                _ => 8,
+            };
+        }
+        Huffman::new(&lengths).expect("fixed table is valid")
+    }
+
+    /// The fixed distance table: 32 five-bit codes.
+    fn fixed_distances() -> Huffman {
+        Huffman::new(&[5u8; 32]).expect("fixed table is valid")
+    }
+}
+
+/// Where the decoder is between `fill` calls. A match copy never spans
+/// states (≤ 258 bytes, appended whole), so this is all the resume state.
+enum BlockState {
+    /// Expecting a gzip member header (start of stream, or after a
+    /// member's trailer when the input continues).
+    Header,
+    /// Expecting the next DEFLATE block header inside a member.
+    BlockHeader { last_seen: bool },
+    /// Inside a stored block with `remaining` raw bytes to copy.
+    Stored { remaining: usize, last: bool },
+    /// Inside a Huffman-coded block.
+    Coded {
+        lit: Huffman,
+        dist: Huffman,
+        last: bool,
+    },
+    /// All members decoded; the underlying stream is exhausted.
+    Done,
+}
+
+/// A streaming gzip decoder: reads compressed bytes from `R`, serves
+/// decompressed bytes through [`Read`]. Fixed-size internal state — the
+/// 32 KiB DEFLATE window, an 8 KiB input buffer and a ≤ 32 KiB pending
+/// buffer — regardless of how large the compressed stream is.
+pub struct GzDecoder<R: Read> {
+    src: R,
+    /// Raw input buffer (compressed bytes).
+    inbuf: Vec<u8>,
+    inpos: usize,
+    inlen: usize,
+    src_eof: bool,
+    /// Bit accumulator over `inbuf` (LSB-first per RFC 1951).
+    bitbuf: u32,
+    bitcnt: u32,
+    /// History ring for back-references.
+    ring: Box<[u8]>,
+    rpos: usize,
+    rlen: usize,
+    /// Decoded bytes not yet served to the caller.
+    pending: Vec<u8>,
+    served: usize,
+    state: BlockState,
+    /// CRC/length of the current member's decoded output, for the trailer.
+    crc: u32,
+    crc_table: [u32; 256],
+    member_len: u32,
+    /// Whether at least one member has been fully decoded (a following
+    /// clean EOF is then a valid end of stream, not truncation).
+    member_done: bool,
+    /// Total decompressed bytes served (all members).
+    total_out: u64,
+}
+
+impl<R: Read> GzDecoder<R> {
+    pub fn new(src: R) -> GzDecoder<R> {
+        GzDecoder {
+            src,
+            inbuf: vec![0; IN_CHUNK],
+            inpos: 0,
+            inlen: 0,
+            src_eof: false,
+            bitbuf: 0,
+            bitcnt: 0,
+            ring: vec![0; WINDOW].into_boxed_slice(),
+            rpos: 0,
+            rlen: 0,
+            pending: Vec::with_capacity(PENDING_TARGET + 258),
+            served: 0,
+            state: BlockState::Header,
+            crc: 0xFFFF_FFFF,
+            crc_table: crc_table(),
+            member_len: 0,
+            member_done: false,
+            total_out: 0,
+        }
+    }
+
+    /// Total decompressed bytes produced so far.
+    pub fn total_out(&self) -> u64 {
+        self.total_out
+    }
+
+    fn next_input_byte(&mut self) -> io::Result<Option<u8>> {
+        if self.inpos == self.inlen {
+            if self.src_eof {
+                return Ok(None);
+            }
+            self.inpos = 0;
+            self.inlen = 0;
+            let n = self.src.read(&mut self.inbuf)?;
+            if n == 0 {
+                self.src_eof = true;
+                return Ok(None);
+            }
+            self.inlen = n;
+        }
+        let b = self.inbuf[self.inpos];
+        self.inpos += 1;
+        Ok(Some(b))
+    }
+
+    fn need_input_byte(&mut self, what: &str) -> io::Result<u8> {
+        self.next_input_byte()?.ok_or_else(|| eof(what))
+    }
+
+    /// `n` bits, LSB-first (header fields, extra bits). `n ≤ 16`.
+    fn bits(&mut self, n: u32) -> io::Result<u32> {
+        while self.bitcnt < n {
+            let b = self.need_input_byte("inside a DEFLATE block")?;
+            self.bitbuf |= (b as u32) << self.bitcnt;
+            self.bitcnt += 8;
+        }
+        let v = self.bitbuf & ((1u32 << n) - 1);
+        self.bitbuf >>= n;
+        self.bitcnt -= n;
+        Ok(v)
+    }
+
+    /// Decodes one Huffman symbol (bits are consumed MSB-of-code first).
+    fn decode(&mut self, table: &Huffman) -> io::Result<u16> {
+        let mut code = 0u32;
+        let mut first = 0u32;
+        let mut index = 0u32;
+        for len in 1..=15 {
+            code |= self.bits(1)?;
+            let count = table.counts[len] as u32;
+            if code < first + count {
+                return Ok(table.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(bad("invalid Huffman code"))
+    }
+
+    /// Appends one decoded byte to pending, the ring and the member CRC.
+    fn put(&mut self, b: u8) {
+        self.pending.push(b);
+        self.ring[self.rpos] = b;
+        self.rpos = (self.rpos + 1) & (WINDOW - 1);
+        self.rlen = (self.rlen + 1).min(WINDOW);
+        self.crc = self.crc_table[((self.crc ^ b as u32) & 0xFF) as usize] ^ (self.crc >> 8);
+        self.member_len = self.member_len.wrapping_add(1);
+    }
+
+    /// Parses a gzip member header. Returns `false` at clean end of input
+    /// (no further member).
+    fn read_header(&mut self, first_member: bool) -> io::Result<bool> {
+        let m1 = match self.next_input_byte()? {
+            Some(b) => b,
+            None if !first_member => return Ok(false),
+            None => return Err(eof("empty input")),
+        };
+        let m2 = self.need_input_byte("in the member header")?;
+        if m1 != 0x1F || m2 != 0x8B {
+            return Err(bad("bad magic number (not a gzip stream)"));
+        }
+        let method = self.need_input_byte("in the member header")?;
+        if method != 8 {
+            return Err(bad("unsupported compression method (not DEFLATE)"));
+        }
+        let flags = self.need_input_byte("in the member header")?;
+        if flags & 0xE0 != 0 {
+            return Err(bad("reserved header flag set"));
+        }
+        for _ in 0..6 {
+            // MTIME, XFL, OS — ignored.
+            self.need_input_byte("in the member header")?;
+        }
+        if flags & 0x04 != 0 {
+            // FEXTRA: little-endian length, then that many bytes.
+            let lo = self.need_input_byte("in the FEXTRA field")? as usize;
+            let hi = self.need_input_byte("in the FEXTRA field")? as usize;
+            for _ in 0..(hi << 8 | lo) {
+                self.need_input_byte("in the FEXTRA field")?;
+            }
+        }
+        if flags & 0x08 != 0 {
+            while self.need_input_byte("in the FNAME field")? != 0 {}
+        }
+        if flags & 0x10 != 0 {
+            while self.need_input_byte("in the FCOMMENT field")? != 0 {}
+        }
+        if flags & 0x02 != 0 {
+            // FHCRC: header CRC16, not verified.
+            self.need_input_byte("in the FHCRC field")?;
+            self.need_input_byte("in the FHCRC field")?;
+        }
+        self.crc = 0xFFFF_FFFF;
+        self.member_len = 0;
+        Ok(true)
+    }
+
+    /// Verifies the member trailer against the running CRC and length.
+    fn read_trailer(&mut self) -> io::Result<()> {
+        // The trailer is byte-aligned.
+        self.bitbuf = 0;
+        self.bitcnt = 0;
+        let mut crc = 0u32;
+        for i in 0..4 {
+            crc |= (self.need_input_byte("in the member trailer")? as u32) << (8 * i);
+        }
+        let mut isize = 0u32;
+        for i in 0..4 {
+            isize |= (self.need_input_byte("in the member trailer")? as u32) << (8 * i);
+        }
+        if crc != self.crc ^ 0xFFFF_FFFF {
+            return Err(bad("CRC32 mismatch"));
+        }
+        if isize != self.member_len {
+            return Err(bad("decompressed length mismatch (ISIZE)"));
+        }
+        self.member_done = true;
+        Ok(())
+    }
+
+    /// Reads the code-length-coded literal/distance tables of a dynamic
+    /// block (RFC 1951 §3.2.7).
+    fn read_dynamic_tables(&mut self) -> io::Result<(Huffman, Huffman)> {
+        let hlit = self.bits(5)? as usize + 257;
+        let hdist = self.bits(5)? as usize + 1;
+        let hclen = self.bits(4)? as usize + 4;
+        if hlit > 286 || hdist > 30 {
+            return Err(bad("too many literal/distance codes"));
+        }
+        let mut clen_lengths = [0u8; 19];
+        for &pos in CLEN_ORDER.iter().take(hclen) {
+            clen_lengths[pos] = self.bits(3)? as u8;
+        }
+        let clen = Huffman::new(&clen_lengths)?;
+        let mut lengths = vec![0u8; hlit + hdist];
+        let mut i = 0;
+        while i < lengths.len() {
+            let sym = self.decode(&clen)?;
+            match sym {
+                0..=15 => {
+                    lengths[i] = sym as u8;
+                    i += 1;
+                }
+                16 => {
+                    if i == 0 {
+                        return Err(bad("repeat with no previous code length"));
+                    }
+                    let prev = lengths[i - 1];
+                    let n = 3 + self.bits(2)? as usize;
+                    if i + n > lengths.len() {
+                        return Err(bad("code-length repeat overflows the table"));
+                    }
+                    for _ in 0..n {
+                        lengths[i] = prev;
+                        i += 1;
+                    }
+                }
+                17 | 18 => {
+                    let n = if sym == 17 {
+                        3 + self.bits(3)? as usize
+                    } else {
+                        11 + self.bits(7)? as usize
+                    };
+                    if i + n > lengths.len() {
+                        return Err(bad("code-length repeat overflows the table"));
+                    }
+                    i += n; // already zero
+                }
+                _ => return Err(bad("invalid code-length symbol")),
+            }
+        }
+        if lengths[256] == 0 {
+            return Err(bad("no end-of-block code"));
+        }
+        let lit = Huffman::new(&lengths[..hlit])?;
+        let dist = Huffman::new(&lengths[hlit..])?;
+        Ok((lit, dist))
+    }
+
+    /// Copies a `len`-byte match ending `dist` bytes back in the ring.
+    fn copy_match(&mut self, len: usize, dist: usize) -> io::Result<()> {
+        if dist == 0 || dist > self.rlen {
+            return Err(bad("match distance exceeds decoded history"));
+        }
+        let mut p = (self.rpos + WINDOW - dist) & (WINDOW - 1);
+        for _ in 0..len {
+            // Byte-at-a-time on purpose: overlapping matches (dist < len)
+            // must observe the bytes this very copy appends.
+            let b = self.ring[p];
+            p = (p + 1) & (WINDOW - 1);
+            self.put(b);
+        }
+        Ok(())
+    }
+
+    /// Decodes until at least one pending byte exists or the stream ends.
+    fn fill(&mut self) -> io::Result<()> {
+        loop {
+            if self.pending.len() > self.served || matches!(self.state, BlockState::Done) {
+                return Ok(());
+            }
+            match std::mem::replace(&mut self.state, BlockState::Done) {
+                BlockState::Done => return Ok(()),
+                BlockState::Header => {
+                    if self.read_header(!self.member_done)? {
+                        self.state = BlockState::BlockHeader { last_seen: false };
+                    } else {
+                        self.state = BlockState::Done;
+                    }
+                }
+                BlockState::BlockHeader { last_seen } => {
+                    if last_seen {
+                        self.read_trailer()?;
+                        self.state = BlockState::Header;
+                        continue;
+                    }
+                    let last = self.bits(1)? == 1;
+                    match self.bits(2)? {
+                        0 => {
+                            // Stored: align, then LEN/NLEN.
+                            self.bitbuf = 0;
+                            self.bitcnt = 0;
+                            let len = self.need_input_byte("in a stored block header")? as usize
+                                | (self.need_input_byte("in a stored block header")? as usize) << 8;
+                            let nlen = self.need_input_byte("in a stored block header")? as usize
+                                | (self.need_input_byte("in a stored block header")? as usize) << 8;
+                            if len != !nlen & 0xFFFF {
+                                return Err(bad("stored block length check failed"));
+                            }
+                            self.state = BlockState::Stored {
+                                remaining: len,
+                                last,
+                            };
+                        }
+                        1 => {
+                            self.state = BlockState::Coded {
+                                lit: Huffman::fixed_literals(),
+                                dist: Huffman::fixed_distances(),
+                                last,
+                            };
+                        }
+                        2 => {
+                            let (lit, dist) = self.read_dynamic_tables()?;
+                            self.state = BlockState::Coded { lit, dist, last };
+                        }
+                        _ => return Err(bad("invalid block type")),
+                    }
+                }
+                BlockState::Stored {
+                    mut remaining,
+                    last,
+                } => {
+                    while remaining > 0 && self.pending.len() < PENDING_TARGET {
+                        let b = self.need_input_byte("inside a stored block")?;
+                        self.put(b);
+                        remaining -= 1;
+                    }
+                    self.state = if remaining > 0 {
+                        BlockState::Stored { remaining, last }
+                    } else {
+                        BlockState::BlockHeader { last_seen: last }
+                    };
+                }
+                BlockState::Coded { lit, dist, last } => {
+                    let mut ended = false;
+                    while self.pending.len() < PENDING_TARGET {
+                        let sym = self.decode(&lit)?;
+                        match sym {
+                            0..=255 => self.put(sym as u8),
+                            256 => {
+                                ended = true;
+                                break;
+                            }
+                            257..=285 => {
+                                let idx = sym as usize - 257;
+                                let len = LEN_BASE[idx] as usize
+                                    + self.bits(LEN_EXTRA[idx] as u32)? as usize;
+                                let dsym = self.decode(&dist)? as usize;
+                                if dsym >= 30 {
+                                    return Err(bad("invalid distance symbol"));
+                                }
+                                let d = DIST_BASE[dsym] as usize
+                                    + self.bits(DIST_EXTRA[dsym] as u32)? as usize;
+                                self.copy_match(len, d)?;
+                            }
+                            _ => return Err(bad("invalid literal/length symbol")),
+                        }
+                    }
+                    self.state = if ended {
+                        BlockState::BlockHeader { last_seen: last }
+                    } else {
+                        BlockState::Coded { lit, dist, last }
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Read for GzDecoder<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.served == self.pending.len() {
+            self.pending.clear();
+            self.served = 0;
+            self.fill()?;
+            if self.pending.is_empty() {
+                return Ok(0); // clean EOF
+            }
+        }
+        let n = (self.pending.len() - self.served).min(buf.len());
+        buf[..n].copy_from_slice(&self.pending[self.served..self.served + n]);
+        self.served += n;
+        self.total_out += n as u64;
+        Ok(n)
+    }
+}
+
+/// Decompresses a whole in-memory gzip stream (tests and small inputs).
+pub fn gzip_decompress(bytes: &[u8]) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    GzDecoder::new(bytes).read_to_end(&mut out)?;
+    Ok(out)
+}
+
+/// Compresses `data` into a valid single-member gzip stream using only
+/// *stored* DEFLATE blocks (no compression — every decoder accepts it).
+/// The encoder half of the vendored pair, used by tests and generators.
+pub fn gzip_compress_stored(data: &[u8]) -> Vec<u8> {
+    let table = crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^= 0xFFFF_FFFF;
+    // Header: magic, DEFLATE, no flags, zero mtime, no XFL, unknown OS.
+    let mut out = vec![0x1F, 0x8B, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xFF];
+    let mut chunks = data.chunks(0xFFFF).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]); // final empty stored block
+    }
+    while let Some(chunk) = chunks.next() {
+        out.push(if chunks.peek().is_none() { 0x01 } else { 0x00 });
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip() {
+        for payload in [
+            b"".as_slice(),
+            b"hello world",
+            &[0xABu8; 100_000], // several stored blocks
+        ] {
+            let gz = gzip_compress_stored(payload);
+            assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn streaming_reads_match_whole_decode() {
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i * 7 + i / 251) as u8).collect();
+        let gz = gzip_compress_stored(&payload);
+        let mut dec = GzDecoder::new(gz.as_slice());
+        let mut out = Vec::new();
+        let mut small = [0u8; 97]; // deliberately awkward read size
+        loop {
+            let n = dec.read(&mut small).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&small[..n]);
+        }
+        assert_eq!(out, payload);
+        assert_eq!(dec.total_out(), payload.len() as u64);
+    }
+
+    #[test]
+    fn concatenated_members() {
+        let mut gz = gzip_compress_stored(b"first ");
+        gz.extend_from_slice(&gzip_compress_stored(b"second"));
+        assert_eq!(gzip_decompress(&gz).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn corrupt_crc_rejected() {
+        let mut gz = gzip_compress_stored(b"payload");
+        let n = gz.len();
+        gz[n - 5] ^= 0xFF; // flip a CRC byte
+        assert!(gzip_decompress(&gz).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let gz = gzip_compress_stored(b"payload");
+        assert!(gzip_decompress(&gz[..gz.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(gzip_decompress(b"not gzip at all").is_err());
+        assert!(gzip_decompress(&[]).is_err());
+    }
+
+    /// A fixed-Huffman stream produced by a reference encoder: "abcabcabc"
+    /// compressed with a literal run and a back-reference. Hand-assembled:
+    /// literals 'a' 'b' 'c', then length=6/dist=3 match, then end-of-block.
+    #[test]
+    fn fixed_huffman_with_overlapping_match() {
+        // Build the bitstream by hand (LSB-first packing).
+        let mut bits: Vec<bool> = Vec::new();
+        let push_code = |bits: &mut Vec<bool>, code: u32, len: u32| {
+            // Huffman codes are written MSB-first.
+            for i in (0..len).rev() {
+                bits.push((code >> i) & 1 == 1);
+            }
+        };
+        bits.push(true); // BFINAL
+        bits.push(true); // BTYPE = 01 (fixed), LSB first: bit 0 ...
+        bits.push(false); // ... then bit 1
+                          // Fixed codes: literals 0..=143 are 8 bits, 0x30 + lit.
+        for lit in [b'a', b'b', b'c'] {
+            push_code(&mut bits, 0x30 + lit as u32, 8);
+        }
+        // Length 6 => symbol 260 (base 6, no extra); codes 256..=279 are
+        // 7 bits valued symbol-256.
+        push_code(&mut bits, 260 - 256, 7);
+        // Distance 3 => symbol 2, 5 bits, no extra.
+        push_code(&mut bits, 2, 5);
+        // End of block: symbol 256, 7-bit code 0.
+        push_code(&mut bits, 0, 7);
+        let mut deflate = Vec::new();
+        for chunk in bits.chunks(8) {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    b |= 1 << i;
+                }
+            }
+            deflate.push(b);
+        }
+        let payload = b"abcabcabc";
+        let table = crc_table();
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in payload {
+            crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        let mut gz = vec![0x1F, 0x8B, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xFF];
+        gz.extend_from_slice(&deflate);
+        gz.extend_from_slice(&(crc ^ 0xFFFF_FFFF).to_le_bytes());
+        gz.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+    }
+}

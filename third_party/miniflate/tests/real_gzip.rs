@@ -1,0 +1,15 @@
+//! Decodes a stream produced by a real reference encoder (GNU gzip -9,
+//! dynamic Huffman blocks) — the committed fixture pins compatibility
+//! beyond our own stored-block encoder.
+use std::io::Read;
+
+#[test]
+fn dynamic_huffman_from_reference_encoder() {
+    let fixture: &[u8] = include_bytes!("fixtures/sample.xml.gz");
+    let mut out = Vec::new();
+    miniflate::GzDecoder::new(fixture)
+        .read_to_end(&mut out)
+        .expect("reference gzip stream decodes");
+    let expected: &[u8] = include_bytes!("fixtures/sample.xml");
+    assert_eq!(out, expected);
+}
