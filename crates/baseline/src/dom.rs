@@ -6,27 +6,55 @@
 //! ("contemporary XQuery engines consume main memory in large multiples of
 //! the actual size of the input documents", Sec. 1). Peak buffered memory
 //! is the full document size, independent of the query.
+//!
+//! Evaluation itself is the shared compile-then-stream pipeline: the query
+//! is compiled once against an engine-owned symbol table (every label
+//! interned at compile time), each run seeds both the reader and the tree
+//! from that table, and the cursor evaluator matches steps by integer
+//! symbol equality. The tree routes repeated short text payloads through
+//! the shared-text dictionary, so even this deliberately memory-hungry
+//! baseline does not pay per-node for recurring strings.
 
 use crate::error::Result;
 use flux_runtime::RunStats;
 use flux_xml::tree::{Document, TreeBuilder};
 use flux_xml::{RawEvent, ReaderConfig, SymbolTable, XmlReader, XmlWriter};
-use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
+use flux_xquery::{
+    compile_expr, normalize, parse_query, CompiledExpr, CursorEvaluator, SlotMap, ROOT_VAR,
+};
 use std::io::{Read, Write};
 use std::time::Instant;
 
 /// Compiled DOM-baseline query.
 pub struct DomEngine {
-    query: Expr,
+    compiled: CompiledExpr,
+    slots: SlotMap,
+    root_slot: usize,
+    /// Every query label, interned at compile time. Each run seeds the
+    /// reader and the materialised document from a clone, so path steps
+    /// compare as integers — a bounded-interner stream's overflowed names
+    /// re-resolve inside the document's table and land on the same seeded
+    /// symbols.
+    symbols: SymbolTable,
 }
 
 impl DomEngine {
-    /// Parses and normalizes the query. The DTD plays no role: this engine
-    /// does not exploit schema information — that is its defining handicap.
+    /// Parses, normalizes and compiles the query against an engine-owned
+    /// symbol table. The DTD plays no role: this engine does not exploit
+    /// schema information — that is its defining handicap.
     pub fn compile(query: &str) -> Result<Self> {
         let parsed = parse_query(query)?;
         let query = normalize(&parsed)?;
-        Ok(DomEngine { query })
+        let mut slots = SlotMap::new();
+        let root_slot = slots.slot(ROOT_VAR);
+        let mut symbols = SymbolTable::new();
+        let compiled = compile_expr(&query, &mut slots, &mut |label| Some(symbols.intern(label)))?;
+        Ok(DomEngine {
+            compiled,
+            slots,
+            root_slot,
+            symbols,
+        })
     }
 
     /// Loads the whole document, then evaluates. Parsing runs on the
@@ -63,8 +91,8 @@ impl DomEngine {
         config: ReaderConfig,
     ) -> Result<RunStats> {
         let start = Instant::now();
-        let mut reader = XmlReader::with_symbols(input, config, SymbolTable::new());
-        let mut builder = TreeBuilder::new();
+        let mut reader = XmlReader::with_symbols(input, config, self.symbols.clone());
+        let mut builder = TreeBuilder::with_symbols(self.symbols.clone()).with_shared_text();
         let mut events: u64 = 0;
         let mut ev = RawEvent::new();
         while reader.next_into(&mut ev)? {
@@ -76,10 +104,10 @@ impl DomEngine {
         let nodes = doc.node_count();
 
         let mut writer = XmlWriter::new(output);
-        let evaluator = TreeEvaluator::new(&doc);
-        let mut env = Env::new();
-        env.insert(ROOT_VAR.to_string(), doc.document_node());
-        evaluator.eval(&self.query, &mut env, &mut writer)?;
+        let mut evaluator = CursorEvaluator::new();
+        let mut slots = self.slots.make_slots();
+        slots[self.root_slot] = Some(doc.document_node());
+        evaluator.eval(&doc, &self.compiled, &mut slots, &mut writer)?;
         writer.finish()?;
 
         Ok(RunStats {
@@ -123,8 +151,10 @@ mod tests {
             DomEngine::compile("<r>{ for $b in $ROOT/bib/book return $b/title }</r>").unwrap();
         let small = DOC.to_string();
         let mut big = String::from("<bib>");
-        for _ in 0..100 {
-            big.push_str("<book><title>T</title><author>AAAAAAAAAA</author></book>");
+        for i in 0..100 {
+            big.push_str(&format!(
+                "<book><title>T{i}</title><author>A{i}AAAAAAAA</author></book>"
+            ));
         }
         big.push_str("</bib>");
         let mut sink = Vec::new();
@@ -136,6 +166,34 @@ mod tests {
             "DOM memory tracks document size: {} vs {}",
             s2.peak_buffer_bytes,
             s1.peak_buffer_bytes
+        );
+    }
+
+    #[test]
+    fn repeated_payloads_share_storage() {
+        // 100 identical author strings: with the shared-text dictionary the
+        // document charges the spelling a constant number of times, not per
+        // node.
+        let engine =
+            DomEngine::compile("<r>{ for $b in $ROOT/bib/book return $b/author }</r>").unwrap();
+        let body = "<book><title>T</title><author>Stevens, W. Richard</author></book>".repeat(100);
+        let shared = format!("<bib>{body}</bib>");
+        let mut sink = Vec::new();
+        let s = engine.run(shared.as_bytes(), &mut sink).unwrap();
+        let mut distinct = String::from("<bib>");
+        for i in 0..100 {
+            distinct.push_str(&format!(
+                "<book><title>T</title><author>Author nr. {i:07}</author></book>"
+            ));
+        }
+        distinct.push_str("</bib>");
+        sink.clear();
+        let d = engine.run(distinct.as_bytes(), &mut sink).unwrap();
+        assert!(
+            s.peak_buffer_bytes + 1000 < d.peak_buffer_bytes,
+            "shared {} must undercut distinct {}",
+            s.peak_buffer_bytes,
+            d.peak_buffer_bytes
         );
     }
 }

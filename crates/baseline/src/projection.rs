@@ -13,14 +13,18 @@ use crate::error::Result;
 use flux_runtime::bdf::{collect_needs, SpecArena, SpecView};
 use flux_runtime::RunStats;
 use flux_xml::tree::{Document, NodeId};
-use flux_xml::{RawEvent, RawEventKind, ReaderConfig, SymbolTable, XmlReader, XmlWriter};
-use flux_xquery::{normalize, parse_query, Env, Expr, TreeEvaluator, ROOT_VAR};
+use flux_xml::{RawEvent, RawEventKind, ReaderConfig, SymbolTable, TextGate, XmlReader, XmlWriter};
+use flux_xquery::{
+    compile_expr, normalize, parse_query, CompiledExpr, CursorEvaluator, SlotMap, ROOT_VAR,
+};
 use std::io::{Read, Write};
 use std::time::Instant;
 
 /// Compiled projection-baseline query.
 pub struct ProjectionEngine {
-    query: Expr,
+    compiled: CompiledExpr,
+    slots: SlotMap,
+    root_slot: usize,
     specs: SpecArena,
     root_spec: flux_runtime::SpecId,
     /// Every projection label, interned at compile time: the spec edges
@@ -45,8 +49,16 @@ impl ProjectionEngine {
             &[(ROOT_VAR.to_string(), root_spec)],
             &mut |label| Some(symbols.intern(label)),
         );
+        // The evaluator compiles against the same table the spec edges are
+        // keyed by: the projected document is seeded from it, so path steps
+        // match by the very integers that admitted the nodes.
+        let mut slots = SlotMap::new();
+        let root_slot = slots.slot(ROOT_VAR);
+        let compiled = compile_expr(&query, &mut slots, &mut |label| Some(symbols.intern(label)))?;
         Ok(ProjectionEngine {
-            query,
+            compiled,
+            slots,
+            root_slot,
             specs,
             root_spec,
             symbols,
@@ -107,6 +119,7 @@ impl ProjectionEngine {
             SpecView::Project(self.root_spec),
         ))];
         let mut ev = RawEvent::new();
+        let mut gate = TextGate::new();
         while reader.next_into(&mut ev)? {
             events += 1;
             match ev.kind() {
@@ -134,7 +147,10 @@ impl ProjectionEngine {
                 RawEventKind::Text => {
                     if let Some((node, view)) = stack.last().expect("inside document") {
                         if view.keeps_text(&self.specs) {
-                            let id = doc.create_text(ev.text());
+                            // Projected text is exactly the repetitive kind
+                            // (every author of every book): route it through
+                            // the shared dictionary.
+                            let id = doc.gated_text(&mut gate, ev.text());
                             doc.append_child(*node, id);
                         }
                     }
@@ -146,10 +162,10 @@ impl ProjectionEngine {
         let nodes = doc.node_count();
 
         let mut writer = XmlWriter::new(output);
-        let evaluator = TreeEvaluator::new(&doc);
-        let mut env = Env::new();
-        env.insert(ROOT_VAR.to_string(), doc.document_node());
-        evaluator.eval(&self.query, &mut env, &mut writer)?;
+        let mut evaluator = CursorEvaluator::new();
+        let mut slots = self.slots.make_slots();
+        slots[self.root_slot] = Some(doc.document_node());
+        evaluator.eval(&doc, &self.compiled, &mut slots, &mut writer)?;
         writer.finish()?;
 
         Ok(RunStats {

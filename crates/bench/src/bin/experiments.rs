@@ -602,6 +602,52 @@ fn write_bench_events_json(
             peak
         ));
     }
+    // The evaluator stage: the compiled cursor evaluator over an
+    // already-buffered document with a counting (non-writing) sink —
+    // isolates pure evaluation throughput from parsing and serialisation.
+    // "events" are output events produced per evaluation.
+    {
+        use flux_xml::tree::TreeBuilder;
+        use flux_xml::{RawEvent, ReaderConfig, SymbolTable, XmlReader};
+        let mut reader =
+            XmlReader::with_symbols(&engine_doc[..], ReaderConfig::default(), SymbolTable::new());
+        let mut builder = TreeBuilder::new().with_shared_text();
+        let mut ev = RawEvent::new();
+        while reader.next_into(&mut ev).expect("parse") {
+            builder.raw_event(reader.symbols(), &ev).expect("build");
+        }
+        let doc = builder.finish().expect("tree");
+        let parsed = flux_xquery::parse_query(Q3).expect("parse query");
+        let normalized = flux_xquery::normalize(&parsed).expect("normalize");
+        let mut slot_map = flux_xquery::SlotMap::new();
+        let root_slot = slot_map.slot(flux_xquery::ROOT_VAR);
+        let compiled = flux_xquery::compile_expr(&normalized, &mut slot_map, &mut |label| {
+            doc.symbols().lookup(label)
+        })
+        .expect("compile");
+        let mut slots = slot_map.make_slots();
+        slots[root_slot] = Some(doc.document_node());
+        let mut evaluator = flux_xquery::CursorEvaluator::new();
+        let m = Measured::best_of(3, || {
+            let mut sink = flux_xquery::CountingSink::default();
+            evaluator
+                .eval(&doc, &compiled, &mut slots, &mut sink)
+                .expect("eval");
+            sink.events
+        });
+        println!(
+            "cursor evaluator:    {:>8} output events in {:.2?}  ({:.0} events/s, buffered doc)",
+            m.events,
+            std::time::Duration::from_secs_f64(m.seconds),
+            m.events_per_sec(),
+        );
+        engines.push_str(&format!(
+            ",\n    \"evaluator\": {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",
+            m.events,
+            m.seconds,
+            m.events_per_sec()
+        ));
+    }
     let baseline = |&(events, seconds): &(u64, f64)| {
         format!(
             "{{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}",

@@ -275,6 +275,73 @@ pub fn assert_engines_equivalent(w: &Workload, scale: f64, seed: u64) {
     }
 }
 
+/// Materialises `bytes` into a plain DOM and evaluates `query` with the
+/// *reference* (materialising) evaluator — the oracle the streaming cursor
+/// evaluator is differential-tested against. Returns the rendered output,
+/// or the rendered error.
+pub fn reference_output(query: &str, bytes: &[u8]) -> Result<String, String> {
+    use flux_xml::tree::TreeBuilder;
+    use flux_xml::SymbolTable;
+    let parsed = flux_xquery::parse_query(query).map_err(|e| e.to_string())?;
+    let normalized = flux_xquery::normalize(&parsed).map_err(|e| e.to_string())?;
+    let mut reader = XmlReader::with_symbols(bytes, ReaderConfig::default(), SymbolTable::new());
+    let mut builder = TreeBuilder::new();
+    let mut ev = RawEvent::new();
+    while reader.next_into(&mut ev).map_err(|e| e.to_string())? {
+        builder
+            .raw_event(reader.symbols(), &ev)
+            .map_err(|e| e.to_string())?;
+    }
+    let doc = builder.finish().map_err(|e| e.to_string())?;
+    flux_xquery::reference_eval_to_string(&doc, &normalized).map_err(|e| e.to_string())
+}
+
+/// Pins the compiled cursor evaluator to the reference evaluator: every
+/// engine architecture, at shard counts {1, 2} with the interner unbounded
+/// and capped, must reproduce the reference output byte-for-byte, and each
+/// engine's run statistics must be invariant across the grid.
+pub fn assert_cursor_matches_reference(label: &str, query: &str, dtd: &str, bytes: &[u8]) {
+    let expected = reference_output(query, bytes)
+        .unwrap_or_else(|e| panic!("{label}: reference evaluation failed: {e}\n{query}"));
+    for kind in [EngineKind::Flux, EngineKind::Projection, EngineKind::Dom] {
+        let mut fingerprint = None;
+        for shards in [1usize, 2] {
+            for cap in [None, Some(TINY_CAP)] {
+                let outcome = run_engine_with(
+                    kind,
+                    query,
+                    dtd,
+                    bytes,
+                    &options(Parallelism::Shards(shards), cap),
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{label}: {} shards={shards} cap={cap:?} failed: {e}\n{query}",
+                        kind.label()
+                    )
+                });
+                assert_eq!(
+                    String::from_utf8_lossy(&outcome.output),
+                    expected,
+                    "{label}: {} diverged from the reference evaluator \
+                     (shards {shards}, cap {cap:?})\n{query}",
+                    kind.label()
+                );
+                let fp = stats_fingerprint(&outcome.stats);
+                match &fingerprint {
+                    None => fingerprint = Some(fp),
+                    Some(first) => assert_eq!(
+                        &fp,
+                        first,
+                        "{label}: {} stats moved across the grid (shards {shards}, cap {cap:?})",
+                        kind.label()
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

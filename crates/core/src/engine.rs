@@ -448,17 +448,6 @@ impl AnyEngine {
         Options::new().compile(kind, query, dtd_text)
     }
 
-    /// Compiles `query` for the chosen architecture with explicit options.
-    #[deprecated(note = "use the builder path: `Options::compile(kind, query, dtd_text)`")]
-    pub fn compile_with_options(
-        kind: EngineKind,
-        query: &str,
-        dtd_text: &str,
-        options: &Options,
-    ) -> Result<AnyEngine> {
-        options.compile(kind, query, dtd_text)
-    }
-
     /// Runs over a byte stream. Equivalent to
     /// [`run_input`](Self::run_input) over [`Input::from_reader`].
     pub fn run<R: Read + Send + 'static, W: Write>(&self, input: R, output: W) -> Result<RunStats> {

@@ -64,6 +64,22 @@ impl FluxQuery {
         self.flux.buffered_handler_count()
     }
 
+    /// Resolves a path label through the vocabulary interned at compile
+    /// time (sorted by label), falling back to `dtd` for labels outside
+    /// it. This is the resolver the physical plan compiles its
+    /// symbol-annotated handler bodies with: every label the query names
+    /// resolves against the same index space the stream's seeded interner
+    /// uses, so handler evaluation never hashes a declared label.
+    pub fn resolve_label(&self, dtd: &Dtd, label: &str) -> Option<Symbol> {
+        match self
+            .label_symbols
+            .binary_search_by(|(l, _)| l.as_str().cmp(label))
+        {
+            Ok(i) => self.label_symbols[i].1,
+            Err(_) => dtd.lookup(label),
+        }
+    }
+
     /// A human-readable report of every compilation stage.
     pub fn explain(&self) -> String {
         let mut out = String::new();

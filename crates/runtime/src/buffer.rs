@@ -21,10 +21,25 @@
 //! pool, so the steady-state buffer-and-free loop of a scoped query (one
 //! book at a time, in the paper's running example) performs **zero heap
 //! allocations**.
+//!
+//! Short text payloads the stream repeats (author names, recurring labels)
+//! go through a frequency gate ([`TextGate`]): once a payload has been
+//! seen often enough *within one scope generation* it interns into the
+//! arena document's shared-text dictionary and subsequent sightings buffer
+//! as an index instead of a copy. [`BufferArena::free_scope`] bumps the
+//! gate's generation, so only payloads whose copies are simultaneously
+//! live can cross — the one case where sharing lowers the live-byte peak.
+//! A payload that recurs once per freed scope never interns: it would
+//! grow the resident dictionary without ever saving a live byte.
+//! Dictionary bytes are charged to the tracker exactly like interned
+//! names — un-releasable, once per distinct payload — so the saving shows
+//! up honestly in `peak_buffer_bytes` rather than hiding in an unaccounted
+//! side table.
 
 use crate::stats::MemoryTracker;
 use flux_xml::tree::{Document, NodeAttr, NodeId, NodeKind};
-use flux_xml::{Attribute, RawEvent, RawEventRef, SymbolTable};
+use flux_xml::{Attribute, RawEvent, RawEventRef, SymbolTable, TextGate};
+use flux_xquery::{CompiledPath, CursorPool, ItemCursor, PathCursor};
 
 /// Arena of buffered nodes with recycling and byte accounting.
 pub struct BufferArena {
@@ -37,6 +52,10 @@ pub struct BufferArena {
     spare_attr_vecs: Vec<Vec<NodeAttr>>,
     /// Reusable traversal stack for [`BufferArena::free_scope`].
     free_stack: Vec<NodeId>,
+    /// Frequency gate deciding which short text payloads join the shared
+    /// dictionary. Fixed-size machine state, like the spare pools — not
+    /// buffered data, so not charged to the tracker.
+    gate: TextGate,
     tracker: MemoryTracker,
 }
 
@@ -61,6 +80,7 @@ impl BufferArena {
             spare_strings: Vec::new(),
             spare_attr_vecs: Vec::new(),
             free_stack: Vec::new(),
+            gate: TextGate::new(),
             tracker: MemoryTracker::new(),
         }
     }
@@ -111,6 +131,7 @@ impl BufferArena {
                     self.doc.create_element_sym(name, attributes)
                 }
                 NodeKind::Text(t) => self.doc.create_text(t),
+                NodeKind::SharedText(idx) => self.doc.create_shared_text(idx),
                 NodeKind::Document => unreachable!("arena never allocates document nodes"),
             },
         };
@@ -247,17 +268,47 @@ impl BufferArena {
         id
     }
 
-    /// Appends text under `parent`, merging with a trailing text sibling.
+    /// Appends text under `parent`, merging with a trailing text sibling
+    /// (a shared trailing sibling demotes to an owned copy — the merged
+    /// payload is a new spelling). New nodes route through the frequency
+    /// gate: payloads the stream repeats intern into the shared dictionary
+    /// and buffer as an index.
     pub fn append_text(&mut self, parent: NodeId, text: &str) {
         if let Some(&last) = self.doc.children(parent).last() {
-            if self.doc.append_to_text(last, text) {
-                self.tracker.grow(text.len());
+            let before = self.doc.node_heap_bytes(last);
+            let mut scratch = self.spare_strings.pop().unwrap_or_default();
+            let merged = self.doc.merge_text(last, text, &mut scratch);
+            self.spare_strings.push(scratch);
+            if merged {
+                self.tracker.grow(self.doc.node_heap_bytes(last) - before);
                 return;
             }
         }
-        let payload = self.pooled_string(text);
-        let id = self.alloc(NodeKind::Text(payload));
+        let kind = match self.shared_index(text) {
+            Some(idx) => NodeKind::SharedText(idx),
+            None => NodeKind::Text(self.pooled_string(text)),
+        };
+        let id = self.alloc(kind);
         self.doc.append_child(parent, id);
+    }
+
+    /// Dictionary index for `text` if it is (or just became) shared:
+    /// recurring short payloads pass the gate and intern once, with the
+    /// dictionary bytes charged to the tracker as un-releasable growth.
+    fn shared_index(&mut self, text: &str) -> Option<u32> {
+        if !TextGate::eligible(text) {
+            return None;
+        }
+        if let Some(idx) = self.doc.shared_text_lookup(text) {
+            return Some(idx);
+        }
+        if !self.gate.admit(text) {
+            return None;
+        }
+        let before = self.doc.shared_text_bytes();
+        let idx = self.doc.intern_shared_text(text);
+        self.tracker.grow(self.doc.shared_text_bytes() - before);
+        Some(idx)
     }
 
     /// Frees a detached scope subtree, recycling every node — and every
@@ -265,6 +316,10 @@ impl BufferArena {
     /// the allocator.
     pub fn free_scope(&mut self, root: NodeId) {
         debug_assert!(self.doc.parent(root).is_none(), "scope roots are detached");
+        // Freed copies can no longer benefit from sharing: start a new
+        // sighting generation so only intra-scope repetition (live
+        // duplicates) counts toward the dictionary gate.
+        self.gate.bump_generation();
         let mut stack = std::mem::take(&mut self.free_stack);
         stack.clear();
         stack.push(root);
@@ -285,11 +340,41 @@ impl BufferArena {
                     t.clear();
                     self.spare_strings.push(t);
                 }
+                // The payload lives in the run-long dictionary (already
+                // charged); the node itself carried no heap to harvest.
+                NodeKind::SharedText(_) => {}
                 NodeKind::Document => {}
             }
             self.free_slots.push(id);
         }
         self.free_stack = stack;
+    }
+
+    /// The child span of a buffered node — the raw slice cursors walk.
+    pub fn span(&self, id: NodeId) -> &[NodeId] {
+        self.doc.children(id)
+    }
+
+    /// A node cursor streaming the element steps of `path` out of the
+    /// arena, starting at `start`. Scratch comes from (and returns to)
+    /// `pool`, so steady-state construction allocates nothing.
+    pub fn node_cursor<'a>(
+        &'a self,
+        path: &CompiledPath,
+        start: NodeId,
+        pool: &mut CursorPool,
+    ) -> PathCursor<'a> {
+        PathCursor::new(&self.doc, path, start, pool)
+    }
+
+    /// An item cursor streaming `path` (tail included) out of the arena.
+    pub fn item_cursor<'a>(
+        &'a self,
+        path: &CompiledPath,
+        start: NodeId,
+        pool: &mut CursorPool,
+    ) -> ItemCursor<'a> {
+        ItemCursor::new(&self.doc, path, start, pool)
     }
 
     /// Current live buffered bytes.
@@ -452,28 +537,149 @@ mod tests {
 
     #[test]
     fn steady_state_recycling_reuses_buffers() {
-        // After the first scope, buffering the same shape again must not
-        // grow the arena (slots, strings and attribute vectors recycle).
+        // After warm-up, buffering the same shape again must not grow the
+        // arena (slots, strings and attribute vectors recycle). The
+        // payload repeats only *across* freed scopes — never two live
+        // copies at once — so it must stay out of the shared dictionary:
+        // interning it would grow resident bytes without ever saving a
+        // live byte. Accounting therefore closes to zero every round.
         let mut arena = BufferArena::new();
+        let payload = "A value that is long enough to matter";
         let mut floor = None;
         for round in 0..10 {
             let scope = arena.create_element("book", &[Attribute::new("year", "1994")]);
             let t = arena.append_element(scope, "title", &[]);
-            arena.append_text(t, "A value that is long enough to matter");
+            arena.append_text(t, payload);
             arena.free_scope(scope);
-            // After round 0 the name dictionary is complete: live bytes
-            // must return to exactly that floor every round.
-            let dict = *floor.get_or_insert(arena.current_bytes());
+            // The floor is the run-long interned-name charge from round 0
+            // ("book"/"year"/"title"); nothing may stack on top of it.
+            let names = *floor.get_or_insert(arena.current_bytes());
             assert_eq!(
                 arena.current_bytes(),
-                dict,
+                names,
                 "round {round} leaked accounting"
             );
         }
+        assert_eq!(arena.doc().shared_text_bytes(), 0);
+        assert!(
+            arena.doc().shared_text_lookup(payload).is_none(),
+            "cross-scope repetition must not intern (no live duplicates)"
+        );
         assert!(
             arena.doc().node_count() <= 4,
             "arena grew past one scope's nodes: {}",
             arena.doc().node_count()
         );
+    }
+
+    #[test]
+    fn gate_generations_reset_on_free() {
+        // Three sightings, free, three more: still owned (each generation
+        // starts the tally over). Four sightings inside a single scope
+        // cross the gate — that is the profitable case, four live copies
+        // sharing one dictionary entry.
+        let mut arena = BufferArena::new();
+        let payload = "Recurring Author Name";
+        for _ in 0..2 {
+            let scope = arena.create_element("bib", &[]);
+            for _ in 0..3 {
+                let e = arena.append_element(scope, "author", &[]);
+                arena.append_text(e, payload);
+            }
+            arena.free_scope(scope);
+        }
+        assert!(arena.doc().shared_text_lookup(payload).is_none());
+        let scope = arena.create_element("bib", &[]);
+        for _ in 0..4 {
+            let e = arena.append_element(scope, "author", &[]);
+            arena.append_text(e, payload);
+        }
+        assert!(
+            arena.doc().shared_text_lookup(payload).is_some(),
+            "4 live sightings in one generation must intern"
+        );
+        // The dictionary entry outlives the scope that earned it: later
+        // scopes buffer the payload as an index, charging the node struct
+        // but none of the content an owned copy of the same length pays.
+        arena.free_scope(scope);
+        let scope = arena.create_element("bib", &[]);
+        let e1 = arena.append_element(scope, "author", &[]);
+        let before = arena.current_bytes();
+        arena.append_text(e1, payload);
+        let grown_shared = arena.current_bytes() - before;
+        let e2 = arena.append_element(scope, "author", &[]);
+        let before = arena.current_bytes();
+        arena.append_text(e2, "Distinct Author NameX"); // same length, owned
+        let grown_owned = arena.current_bytes() - before;
+        assert_eq!(grown_owned - grown_shared, payload.len());
+        arena.free_scope(scope);
+    }
+
+    #[test]
+    fn repeated_text_shares_after_gate() {
+        // Live buffered payloads: before the gate opens, each sighting of
+        // a repeated string costs its full length; after interning, a
+        // sighting costs only the node struct — N live copies charge the
+        // dictionary once. Distinct long strings never intern.
+        let mut arena = BufferArena::new();
+        let parent = arena.create_element("bib", &[]);
+        let payload = "Recurring Author";
+        for _ in 0..4 {
+            let e = arena.append_element(parent, "author", &[]);
+            arena.append_text(e, payload);
+        }
+        assert!(
+            arena.doc().shared_text_lookup(payload).is_some(),
+            "4th sighting interned"
+        );
+        let shared_floor = arena.doc().shared_text_bytes();
+        assert_eq!(shared_floor, 2 * payload.len());
+        let before = arena.current_bytes();
+        for _ in 0..100 {
+            let e = arena.append_element(parent, "author", &[]);
+            arena.append_text(e, payload);
+        }
+        let grown_shared = arena.current_bytes() - before;
+        assert_eq!(arena.doc().shared_text_bytes(), shared_floor);
+        // Differential: the same shape with distinct same-length payloads
+        // (each seen once — they never pass the gate) additionally pays
+        // every payload's content bytes.
+        let before = arena.current_bytes();
+        for i in 0..100 {
+            let e = arena.append_element(parent, "author", &[]);
+            arena.append_text(e, &format!("Author {i:09}"));
+        }
+        let grown_owned = arena.current_bytes() - before;
+        assert_eq!(
+            grown_owned - grown_shared,
+            100 * payload.len(),
+            "shared sightings must charge node structs only"
+        );
+        // A long payload is ineligible however often it repeats.
+        let long = "L".repeat(100);
+        for _ in 0..8 {
+            let e = arena.append_element(parent, "author", &[]);
+            arena.append_text(e, &long);
+        }
+        assert!(arena.doc().shared_text_lookup(&long).is_none());
+    }
+
+    #[test]
+    fn merge_demotes_shared_trailing_text() {
+        // Merging new text into a shared trailing sibling demotes it to an
+        // owned copy (the merged spelling is new) and accounts the growth.
+        let mut arena = BufferArena::new();
+        let parent = arena.create_element("bib", &[]);
+        for _ in 0..4 {
+            let e = arena.append_element(parent, "a", &[]);
+            arena.append_text(e, "shared");
+        }
+        let e = arena.append_element(parent, "a", &[]);
+        arena.append_text(e, "shared"); // buffered as a dictionary reference
+        let before = arena.current_bytes();
+        arena.append_text(e, " plus more");
+        assert_eq!(arena.doc().string_value(e), "shared plus more");
+        // Growth covers the whole owned payload the demotion materialised.
+        assert_eq!(arena.current_bytes() - before, "shared plus more".len());
     }
 }

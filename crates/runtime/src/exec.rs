@@ -24,11 +24,10 @@ use flux_dtd::Dtd;
 use flux_lang::FluxQuery;
 use flux_telemetry::{RunReport, RuntimeCounters, Stage};
 use flux_xml::tree::NodeId;
-use flux_xml::{Attribute, EventSource, RawEventKind, RawEventRef, SymbolTable, XmlWriter};
-use flux_xquery::{Env, Expr, TreeEvaluator, VarName, ROOT_VAR};
+use flux_xml::{EventSource, RawEventKind, RawEventRef, SymbolTable, XmlWriter};
+use flux_xquery::{CompiledExpr, CursorEvaluator, Slots};
 use flux_xsax::{XsaxConfig, XsaxParser, XsaxStep};
 use std::io::{Read, Write};
-use std::rc::Rc;
 use std::time::Instant;
 
 use crate::bdf::SpecView;
@@ -44,8 +43,8 @@ struct ElementCtx {
     scopes: Vec<PsId>,
     /// Output end tags owed when this element closes.
     closers: usize,
-    /// Variable bindings to restore at close (name, shadowed value).
-    bindings: Vec<(VarName, Option<NodeId>)>,
+    /// Variable bindings to restore at close (slot, shadowed value).
+    bindings: Vec<(usize, Option<NodeId>)>,
     /// Scope shells to free at close.
     shells: Vec<NodeId>,
 }
@@ -184,7 +183,8 @@ fn run_events_inner<S: EventSource, W: Write>(
     let mut state = ExecState {
         plan,
         arena: BufferArena::with_symbols(parser.symbols().clone()),
-        env: Env::new(),
+        slots: plan.slots.make_slots(),
+        evaluator: CursorEvaluator::new(),
         writer: XmlWriter::new(output),
         stack: Vec::new(),
         events: 0,
@@ -246,7 +246,12 @@ fn assemble_report<S: EventSource, W: Write>(
 struct ExecState<'p, W: Write> {
     plan: &'p Plan,
     arena: BufferArena,
-    env: Env,
+    /// Variable bindings, indexed by the plan's slot numbering.
+    slots: Slots,
+    /// The streaming evaluator for handler bodies — persistent across
+    /// firings, so its cursor and string pools reach a steady state with
+    /// zero allocations per firing.
+    evaluator: CursorEvaluator,
     writer: XmlWriter<W>,
     stack: Vec<ElementCtx>,
     events: u64,
@@ -282,8 +287,9 @@ impl<'p, W: Write> ExecState<'p, W> {
             buf_targets: vec![(shell, SpecView::Project(self.plan.root_spec))],
             ..ElementCtx::default()
         };
-        let saved = self.env.insert(ROOT_VAR.to_string(), shell);
-        ctx.bindings.push((ROOT_VAR.to_string(), saved));
+        let root_slot = self.plan.root_slot;
+        let saved = self.slots[root_slot].replace(shell);
+        ctx.bindings.push((root_slot, saved));
         // Evaluate the top prelude (constants, wrappers) and install the
         // top-level process-stream. `self.plan` is a shared reference with
         // lifetime 'p, so plan data can be borrowed independently of self.
@@ -329,9 +335,10 @@ impl<'p, W: Write> ExecState<'p, W> {
                 let HandlerPlan::On {
                     label,
                     symbol,
-                    var,
+                    var_slot,
                     spec,
                     body,
+                    ..
                 } = handler
                 else {
                     continue;
@@ -356,8 +363,8 @@ impl<'p, W: Write> ExecState<'p, W> {
                     self.arena
                         .create_element_view_projected(symbols, ev, &spec_node.attrs)
                 };
-                let saved = self.env.insert(var.clone(), shell);
-                ctx.bindings.push((var.clone(), saved));
+                let saved = self.slots[*var_slot].replace(shell);
+                ctx.bindings.push((*var_slot, saved));
                 ctx.shells.push(shell);
                 if !self.plan.specs.is_empty_spec(*spec) {
                     ctx.buf_targets.push((shell, SpecView::Project(*spec)));
@@ -406,15 +413,8 @@ impl<'p, W: Write> ExecState<'p, W> {
     }
 
     fn close_ctx(&mut self, mut ctx: ElementCtx) {
-        for (var, saved) in ctx.bindings.drain(..).rev() {
-            match saved {
-                Some(node) => {
-                    self.env.insert(var, node);
-                }
-                None => {
-                    self.env.remove(&var);
-                }
-            }
+        for (slot, saved) in ctx.bindings.drain(..).rev() {
+            self.slots[slot] = saved;
         }
         for shell in ctx.shells.drain(..) {
             self.arena.free_scope(shell);
@@ -459,10 +459,18 @@ impl<'p, W: Write> ExecState<'p, W> {
         Ok(())
     }
 
-    /// Evaluates a buffered normal-form expression over the buffer store.
-    fn eval_buffered(&mut self, body: &Rc<Expr>) -> Result<()> {
-        let evaluator = TreeEvaluator::new(self.arena.doc());
-        evaluator.eval(body, &mut self.env, &mut self.writer)?;
+    /// Evaluates a compiled expression over the buffer store with the
+    /// persistent cursor evaluator. Split-field borrows keep the arena
+    /// document readable while the evaluator and writer are mutably held.
+    fn eval_buffered(&mut self, body: &CompiledExpr) -> Result<()> {
+        let ExecState {
+            arena,
+            evaluator,
+            slots,
+            writer,
+            ..
+        } = self;
+        evaluator.eval(arena.doc(), body, slots, writer)?;
         Ok(())
     }
 
@@ -482,10 +490,7 @@ impl<'p, W: Write> ExecState<'p, W> {
                 self.writer.text(s)?;
                 Ok(())
             }
-            PlanExpr::BufferedEval(e) => {
-                let e = Rc::clone(e);
-                self.eval_buffered(&e)
-            }
+            PlanExpr::BufferedEval(e) => self.eval_buffered(e),
             PlanExpr::Sequence(items) => {
                 for item in items {
                     self.enter_plan(item, ctx, current_child, symbols)?;
@@ -498,8 +503,22 @@ impl<'p, W: Write> ExecState<'p, W> {
                 content,
                 deferred_close,
             } => {
-                let attrs = self.eval_attributes(attributes)?;
-                self.writer.start_element(name, &attrs)?;
+                {
+                    let ExecState {
+                        arena,
+                        evaluator,
+                        slots,
+                        writer,
+                        ..
+                    } = self;
+                    evaluator.start_element_with_attrs(
+                        arena.doc(),
+                        name,
+                        attributes,
+                        slots,
+                        writer,
+                    )?;
+                }
                 self.enter_plan(content, ctx, current_child, symbols)?;
                 if *deferred_close {
                     ctx.closers += 1;
@@ -521,20 +540,6 @@ impl<'p, W: Write> ExecState<'p, W> {
                 Ok(())
             }
         }
-    }
-
-    /// Evaluates attribute templates against the buffer store.
-    fn eval_attributes(
-        &mut self,
-        templates: &Rc<Vec<flux_xquery::AttrConstructor>>,
-    ) -> Result<Vec<Attribute>> {
-        let evaluator = TreeEvaluator::new(self.arena.doc());
-        let mut out = Vec::with_capacity(templates.len());
-        for t in templates.iter() {
-            let value = evaluator.eval_attr_template(&t.value, &mut self.env)?;
-            out.push(Attribute::new(t.name.clone(), value));
-        }
-        Ok(out)
     }
 }
 #[cfg(test)]

@@ -5,12 +5,23 @@
 //! * the **BDF** (projection specs per scope variable, [`crate::bdf`]),
 //! * the list of **past queries** to register with XSAX, in firing order,
 //! * a mirrored plan tree with all schema lookups resolved.
+//!
+//! Handler bodies and attribute templates are not carried as AST: they
+//! compile here, once, into [`CompiledExpr`]s whose path steps and
+//! constructor names are pre-resolved [`Symbol`]s
+//! ([`FluxQuery::resolve_label`] — the vocabulary the query compiler
+//! interned against the DTD) and whose variables are dense slots in one
+//! plan-wide [`SlotMap`]. The executor evaluates them with the streaming
+//! cursor evaluator: no per-firing hash lookups for declared labels, no
+//! per-firing environment maps.
 
 use crate::bdf::{collect_needs, SpecArena, SpecId};
 use crate::error::{Result, RuntimeError};
 use flux_dtd::{Dtd, Symbol, SymbolTable};
 use flux_lang::{FluxExpr, FluxQuery, Handler, PastSet};
-use flux_xquery::{AttrConstructor, Expr, VarName, ROOT_VAR};
+use flux_xquery::{
+    compile_attr, compile_expr, CompiledAttr, CompiledExpr, Expr, SlotMap, VarName, ROOT_VAR,
+};
 use flux_xsax::PastLabels;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -24,12 +35,13 @@ pub enum PlanExpr {
     Empty,
     /// Constant text output.
     Text(String),
-    /// Evaluate a normal-form XQuery expression over the buffer store, now.
-    BufferedEval(Rc<Expr>),
+    /// Evaluate a compiled expression over the buffer store, now.
+    BufferedEval(Rc<CompiledExpr>),
     Sequence(Vec<PlanExpr>),
     Element {
         name: String,
-        attributes: Rc<Vec<AttrConstructor>>,
+        /// Attribute templates, compiled against the plan's slot map.
+        attributes: Rc<Vec<CompiledAttr>>,
         content: Box<PlanExpr>,
         /// True when the content contains a process-stream or stream-copy:
         /// the end tag is owed when the current child element closes.
@@ -53,6 +65,8 @@ pub enum HandlerPlan {
         /// dispatches on this by symbol equality, never by string.
         symbol: Option<Symbol>,
         var: VarName,
+        /// The bound variable's slot in the plan-wide [`SlotMap`].
+        var_slot: usize,
         /// Buffer spec for the bound variable's scope shell.
         spec: SpecId,
         body: PlanExpr,
@@ -65,7 +79,7 @@ pub enum HandlerPlan {
         past_reg: Option<usize>,
         /// For document-level handlers: fire before or after the root.
         doc_timing: DocTiming,
-        body: Rc<Expr>,
+        body: Rc<CompiledExpr>,
     },
 }
 
@@ -107,6 +121,11 @@ pub struct Plan {
     /// Spec root for the `$ROOT` document scope.
     pub root_spec: SpecId,
     pub past_regs: Vec<PastReg>,
+    /// Variable numbering shared by every compiled expression in the plan;
+    /// the executor's binding array is sized from this.
+    pub slots: SlotMap,
+    /// `$ROOT`'s slot (always allocated first).
+    pub root_slot: usize,
 }
 
 impl Plan {
@@ -133,29 +152,22 @@ impl Plan {
     }
 }
 
-/// Resolves a path label through the vocabulary `flux_lang` interned at
-/// compile time (sorted by label), falling back to the DTD for labels the
-/// vocabulary does not cover.
-fn resolve_label(labels: &[(String, Option<Symbol>)], dtd: &Dtd, label: &str) -> Option<Symbol> {
-    match labels.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
-        Ok(i) => labels[i].1,
-        Err(_) => dtd.lookup(label),
-    }
-}
-
-/// Compiles a FluX query into a physical plan. The BDF's edges are keyed
-/// by the symbols the query compiler interned against the DTD
-/// ([`FluxQuery::label_symbols`]) — the same index space the stream's
-/// seeded interner uses, so the executor never builds a per-run index.
+/// Compiles a FluX query into a physical plan. The BDF's edges and the
+/// compiled expressions' path steps are keyed by the symbols the query
+/// compiler interned against the DTD ([`FluxQuery::label_symbols`]) — the
+/// same index space the stream's seeded interner uses, so the executor
+/// never builds a per-run index and never hashes a declared label.
 pub fn compile_plan(query: &FluxQuery, dtd: &Dtd) -> Result<Plan> {
     let mut compiler = Compiler {
         dtd,
-        labels: &query.label_symbols,
+        query,
         specs: SpecArena::new(),
         ps: Vec::new(),
         past_regs: Vec::new(),
         scopes: Vec::new(),
+        slots: SlotMap::new(),
     };
+    let root_slot = compiler.slots.slot(ROOT_VAR);
     let root_spec = compiler.specs.new_root();
     compiler.scopes.push(ScopeEntry {
         var: ROOT_VAR.to_string(),
@@ -169,6 +181,8 @@ pub fn compile_plan(query: &FluxQuery, dtd: &Dtd) -> Result<Plan> {
         specs: compiler.specs,
         root_spec,
         past_regs: compiler.past_regs,
+        slots: compiler.slots,
+        root_slot,
     })
 }
 
@@ -180,12 +194,14 @@ struct ScopeEntry {
 
 struct Compiler<'d> {
     dtd: &'d Dtd,
-    /// Compile-time label vocabulary (sorted), from [`FluxQuery`].
-    labels: &'d [(String, Option<Symbol>)],
+    /// The compiled query, for its label vocabulary.
+    query: &'d FluxQuery,
     specs: SpecArena,
     ps: Vec<PsPlan>,
     past_regs: Vec<PastReg>,
     scopes: Vec<ScopeEntry>,
+    /// Plan-wide variable numbering for every compiled expression.
+    slots: SlotMap,
 }
 
 /// Whether a FluX subtree contains a process-stream or stream-copy (the
@@ -211,10 +227,17 @@ impl<'d> Compiler<'d> {
     /// through the compile-time vocabulary (DTD fallback).
     fn collect_buffered_needs(&mut self, e: &Expr) {
         let pairs = self.scope_pairs();
-        let (dtd, vocab) = (self.dtd, self.labels);
+        let (dtd, query) = (self.dtd, self.query);
         collect_needs(&mut self.specs, e, &pairs, &mut |label| {
-            resolve_label(vocab, dtd, label)
+            query.resolve_label(dtd, label)
         });
+    }
+
+    /// Compiles a buffered normal-form expression against the plan's slot
+    /// map and the query's label vocabulary.
+    fn compile_buffered(&mut self, e: &Expr) -> Result<CompiledExpr> {
+        let (dtd, query, slots) = (self.dtd, self.query, &mut self.slots);
+        compile_expr(e, slots, &mut |label| query.resolve_label(dtd, label)).map_err(Into::into)
     }
 
     fn compile(&mut self, expr: &FluxExpr) -> Result<PlanExpr> {
@@ -224,7 +247,7 @@ impl<'d> Compiler<'d> {
             FluxExpr::StreamCopy(_) => Ok(PlanExpr::StreamCopy),
             FluxExpr::Buffered(e) => {
                 self.collect_buffered_needs(e);
-                Ok(PlanExpr::BufferedEval(Rc::new(e.clone())))
+                Ok(PlanExpr::BufferedEval(Rc::new(self.compile_buffered(e)?)))
             }
             FluxExpr::Sequence(items) => Ok(PlanExpr::Sequence(
                 items
@@ -237,19 +260,26 @@ impl<'d> Compiler<'d> {
                 attributes,
                 content,
             } => {
-                // Attribute templates read buffered data: record their needs.
+                // Attribute templates read buffered data: record their
+                // needs, then compile them against the plan's slot map.
+                let mut compiled_attrs = Vec::with_capacity(attributes.len());
                 for attr in attributes {
                     for part in &attr.value {
                         if let flux_xquery::AttrPart::Expr(e) = part {
                             self.collect_buffered_needs(e);
                         }
                     }
+                    let (dtd, query, slots) = (self.dtd, self.query, &mut self.slots);
+                    compiled_attrs.push(
+                        compile_attr(attr, slots, &mut |label| query.resolve_label(dtd, label))
+                            .map_err(RuntimeError::from)?,
+                    );
                 }
                 let deferred_close = contains_spine(content);
                 let content = self.compile(content)?;
                 Ok(PlanExpr::Element {
                     name: name.clone(),
-                    attributes: Rc::new(attributes.clone()),
+                    attributes: Rc::new(compiled_attrs),
                     content: Box::new(content),
                     deferred_close,
                 })
@@ -281,6 +311,7 @@ impl<'d> Compiler<'d> {
                             body,
                         } => {
                             let spec = self.specs.new_root();
+                            let var_slot = self.slots.slot(v);
                             self.scopes.push(ScopeEntry {
                                 var: v.clone(),
                                 spec,
@@ -292,6 +323,7 @@ impl<'d> Compiler<'d> {
                                 label: label.clone(),
                                 symbol: self.dtd.lookup(label),
                                 var: v.clone(),
+                                var_slot,
                                 spec,
                                 body: body?,
                             });
@@ -327,7 +359,7 @@ impl<'d> Compiler<'d> {
                                 labels: labels.clone(),
                                 past_reg,
                                 doc_timing,
-                                body: Rc::new(e.clone()),
+                                body: Rc::new(self.compile_buffered(e)?),
                             });
                         }
                     }

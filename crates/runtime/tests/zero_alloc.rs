@@ -121,8 +121,13 @@ fn steady_state_buffering_is_allocation_free() {
          over 500 scopes"
     );
 
-    // Sanity: the loop really buffered content and the accounting closed.
+    // Sanity: the loop really buffered content and the accounting closed
+    // to zero. The payloads here repeat only across freed scopes — never
+    // two live copies at once — so the shared-text gate (whose sighting
+    // counts reset every `free_scope` generation) correctly keeps them
+    // out of the resident dictionary.
     assert_eq!(arena.current_bytes(), 0);
+    assert_eq!(arena.doc().shared_text_bytes(), 0);
     assert!(arena.peak_bytes() > 0);
     // The residency sampler ran inside the allocation-free window above —
     // its decimation must still have preserved the exact peak.

@@ -333,6 +333,12 @@ pub struct ShardedReader {
     /// mirrors the sequential reader's overflow stack so two overflowed
     /// names only balance when their spellings agree.
     overflow_stack: Vec<String>,
+    /// Recycled literal side-channel buffers: every overflowed name event
+    /// fills a pooled `String` instead of allocating, and balanced pairs
+    /// return both buffers. Bounded by the deepest concurrent overflow
+    /// nesting, so bounded+sharded streams stop paying one allocation per
+    /// overflowed tag.
+    spare_literals: Vec<String>,
     root_seen: bool,
     root_done: bool,
     /// Recorded position of the most recently delivered event.
@@ -420,6 +426,7 @@ impl ShardedReader {
             finished: false,
             stack: Vec::new(),
             overflow_stack: Vec::new(),
+            spare_literals: Vec::new(),
             root_seen: false,
             root_done: false,
             last_pos: START_POS,
@@ -808,7 +815,7 @@ impl ShardedReader {
                 continue;
             }
 
-            let (i, kind, pos, start, name, literal) = {
+            let (i, kind, pos, start, name, mut literal) = {
                 let a = self.active.as_mut().expect("active shard ensured");
                 let i = a.next_event;
                 a.next_event += 1;
@@ -825,7 +832,10 @@ impl ShardedReader {
                         i,
                         SymbolRemap::with_names(self.seed_len, &a.remap, &a.cum_names),
                     );
-                    Some(v.target().to_string())
+                    let mut buf = self.spare_literals.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.push_str(v.target());
+                    Some(buf)
                 } else {
                     None
                 };
@@ -860,8 +870,7 @@ impl ShardedReader {
                             return Err(self.wf(message, pos));
                         }
                         if name == SymbolTable::OVERFLOW {
-                            self.overflow_stack
-                                .push(literal.clone().unwrap_or_default());
+                            self.overflow_stack.push(literal.take().unwrap_or_default());
                         }
                         self.stack.push(name);
                         self.root_seen = true;
@@ -883,6 +892,7 @@ impl ShardedReader {
                                         );
                                         return Err(self.wf(message, pos));
                                     }
+                                    self.spare_literals.push(open_lit);
                                 }
                             }
                             Some(open) => {
@@ -910,6 +920,9 @@ impl ShardedReader {
                         }
                         if self.stack.is_empty() {
                             self.root_done = true;
+                        }
+                        if let Some(buf) = literal.take() {
+                            self.spare_literals.push(buf);
                         }
                     }
                 }

@@ -45,5 +45,5 @@ pub use reader::{is_name_start, parse_to_events, ReaderConfig, XmlReader};
 pub use simd::{active_isa_name, StructuralIndex};
 pub use source::EventSource;
 pub use tape::{EventTape, SymbolRemap};
-pub use tree::{Document, NodeAttr, NodeId, NodeKind, TreeBuilder};
+pub use tree::{Document, NodeAttr, NodeId, NodeKind, TextGate, TreeBuilder};
 pub use writer::{events_to_string, WriterConfig, XmlWriter};

@@ -22,6 +22,7 @@ use crate::event::{Attribute, RawEvent, RawEventKind, RawEventRef, XmlEvent};
 use crate::reader::XmlReader;
 use crate::writer::XmlWriter;
 use flux_symbols::{Symbol, SymbolTable};
+use std::collections::HashMap;
 use std::io::Read;
 
 /// Index of a node inside a [`Document`] arena.
@@ -56,6 +57,11 @@ pub enum NodeKind {
     },
     /// A text node.
     Text(String),
+    /// A text node whose payload lives in the owning [`Document`]'s
+    /// shared-text dictionary (see [`Document::intern_shared_text`]): one
+    /// copy per distinct payload, however many nodes carry it. The node
+    /// itself owns no content bytes.
+    SharedText(u32),
 }
 
 /// One node of the arena.
@@ -81,6 +87,9 @@ impl Node {
                     + attributes.iter().map(|a| a.value.len()).sum::<usize>()
             }
             NodeKind::Text(t) => t.len(),
+            // The one copy per distinct payload is charged on the
+            // document's dictionary, exactly like interned names.
+            NodeKind::SharedText(_) => 0,
         }
     }
 
@@ -108,6 +117,14 @@ pub struct Document {
     /// layout, reported by [`Document::memory_bytes`] and charged to the
     /// buffer accounting by the runtime's arena.
     interned_bytes: usize,
+    /// The shared-text dictionary: one owned copy per distinct payload
+    /// referenced by [`NodeKind::SharedText`] nodes.
+    shared_texts: Vec<String>,
+    /// Payload → dictionary index.
+    shared_lookup: HashMap<String, u32>,
+    /// Heap bytes of the dictionary, doubled like interned names (both the
+    /// payload copy and its lookup key), maintained incrementally.
+    shared_bytes: usize,
 }
 
 impl Default for Document {
@@ -138,6 +155,9 @@ impl Document {
             symbols,
             aligned,
             interned_bytes: 0,
+            shared_texts: Vec::new(),
+            shared_lookup: HashMap::new(),
+            shared_bytes: 0,
         }
     }
 
@@ -214,6 +234,7 @@ impl Document {
         self.nodes.len() * std::mem::size_of::<Node>()
             + self.nodes.iter().map(Node::heap_bytes).sum::<usize>()
             + self.interned_bytes
+            + self.shared_bytes
     }
 
     pub fn kind(&self, id: NodeId) -> &NodeKind {
@@ -241,10 +262,12 @@ impl Document {
         }
     }
 
-    /// Text content, or `None` for element/document nodes.
+    /// Text content, or `None` for element/document nodes. Shared-text
+    /// nodes resolve through the dictionary.
     pub fn text(&self, id: NodeId) -> Option<&str> {
         match self.kind(id) {
             NodeKind::Text(t) => Some(t),
+            NodeKind::SharedText(idx) => Some(&self.shared_texts[*idx as usize]),
             _ => None,
         }
     }
@@ -262,6 +285,12 @@ impl Document {
     /// comparisons.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
         let sym = self.symbols.lookup(name)?;
+        self.attribute_sym(id, sym)
+    }
+
+    /// Symbol-keyed variant of [`Document::attribute`]: no hashing, a pure
+    /// integer scan over the element's attributes.
+    pub fn attribute_sym(&self, id: NodeId, sym: Symbol) -> Option<&str> {
         self.attributes(id)
             .iter()
             .find(|a| a.name == sym)
@@ -300,9 +329,17 @@ impl Document {
         out
     }
 
+    /// [`Document::string_value`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free path once the buffer's capacity warms.
+    pub fn string_value_into(&self, id: NodeId, out: &mut String) {
+        out.clear();
+        self.collect_text(id, out);
+    }
+
     fn collect_text(&self, id: NodeId, out: &mut String) {
         match self.kind(id) {
             NodeKind::Text(t) => out.push_str(t),
+            NodeKind::SharedText(idx) => out.push_str(&self.shared_texts[*idx as usize]),
             _ => {
                 for &c in self.children(id) {
                     self.collect_text(c, out);
@@ -370,6 +407,54 @@ impl Document {
         self.push_node(NodeKind::Text(text.into()))
     }
 
+    /// Dictionary index of `text`, if it has been interned.
+    pub fn shared_text_lookup(&self, text: &str) -> Option<u32> {
+        self.shared_lookup.get(text).copied()
+    }
+
+    /// Interns a text payload into the shared dictionary, charging its
+    /// bytes (doubled, like interned names) on first sight.
+    pub fn intern_shared_text(&mut self, text: &str) -> u32 {
+        if let Some(idx) = self.shared_lookup.get(text) {
+            return *idx;
+        }
+        let idx = u32::try_from(self.shared_texts.len()).expect("shared-text dictionary too large");
+        self.shared_texts.push(text.to_string());
+        self.shared_lookup.insert(text.to_string(), idx);
+        self.shared_bytes += 2 * text.len();
+        idx
+    }
+
+    /// Heap bytes of the shared-text dictionary — each distinct payload
+    /// exactly once, however many nodes reference it.
+    pub fn shared_text_bytes(&self) -> usize {
+        self.shared_bytes
+    }
+
+    /// Creates a detached text node referencing a dictionary payload.
+    pub fn create_shared_text(&mut self, idx: u32) -> NodeId {
+        debug_assert!((idx as usize) < self.shared_texts.len());
+        self.push_node(NodeKind::SharedText(idx))
+    }
+
+    /// Creates a detached text node through the frequency gate: payloads
+    /// the gate has seen often enough intern into the shared dictionary
+    /// (one copy, charged once); everything else gets a plain owned node.
+    pub fn gated_text(&mut self, gate: &mut TextGate, text: &str) -> NodeId {
+        if !TextGate::eligible(text) {
+            return self.create_text(text);
+        }
+        if let Some(idx) = self.shared_text_lookup(text) {
+            return self.create_shared_text(idx);
+        }
+        if gate.admit(text) {
+            let idx = self.intern_shared_text(text);
+            self.create_shared_text(idx)
+        } else {
+            self.create_text(text)
+        }
+    }
+
     fn push_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
         self.nodes.push(Node {
@@ -422,6 +507,28 @@ impl Document {
         }
     }
 
+    /// Merges `more` into a trailing text node of either kind: plain text
+    /// appends in place; shared text first *demotes* to an owned copy (the
+    /// merged payload is a new spelling — sharing it would re-gate it).
+    /// Returns false for non-text nodes. `scratch` provides the owned
+    /// buffer for demotion so callers can recycle capacity.
+    pub fn merge_text(&mut self, id: NodeId, more: &str, scratch: &mut String) -> bool {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Text(t) => {
+                t.push_str(more);
+                true
+            }
+            NodeKind::SharedText(idx) => {
+                scratch.clear();
+                scratch.push_str(&self.shared_texts[*idx as usize]);
+                scratch.push_str(more);
+                self.nodes[id.index()].kind = NodeKind::Text(std::mem::take(scratch));
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Parses a complete document from a reader.
     pub fn parse_reader<R: Read>(reader: &mut XmlReader<R>) -> Result<Document> {
         let mut builder = TreeBuilder::new();
@@ -462,6 +569,7 @@ impl Document {
                 writer.end_element()
             }
             NodeKind::Text(t) => writer.text(t),
+            NodeKind::SharedText(idx) => writer.text(&self.shared_texts[*idx as usize]),
         }
     }
 
@@ -476,6 +584,110 @@ impl Document {
     }
 }
 
+/// Frequency gate deciding which text payloads are worth interning into a
+/// document's shared dictionary.
+///
+/// A fixed-size array of approximate counters (FNV-hashed, overwrite on
+/// collision): short payloads that keep recurring cross the gate and
+/// intern; one-off payloads never pay a dictionary charge. The table is a
+/// few KB, allocated once, never grows, and is deliberately *not* part of
+/// buffer accounting — like the arena's recycling pools, it is a bounded
+/// fixture of the machine, not data retained from the stream. Collisions
+/// only delay (or rarely, hasten) interning; they never affect content,
+/// because the dictionary itself is keyed by the full payload.
+///
+/// Sightings are scoped to a *generation* (see
+/// [`TextGate::bump_generation`]): a holder that frees its buffered
+/// content wholesale — the runtime's scoped arena — bumps the generation
+/// on every free, so only payloads repeated while their earlier copies
+/// are still live can cross the gate. Those are exactly the payloads
+/// whose sharing lowers peak buffered bytes; a string that recurs once
+/// per scope would charge the resident dictionary without ever saving a
+/// live byte. Full-document materialisation never bumps, keeping the
+/// plain whole-stream frequency semantics.
+#[derive(Debug, Clone)]
+pub struct TextGate {
+    /// `(payload hash, sightings, generation)` per slot.
+    slots: Vec<(u64, u32, u32)>,
+    /// Current generation; slots stamped with an older one are stale.
+    gen: u32,
+}
+
+/// Payloads longer than this never intern: long strings rarely repeat and
+/// a mistaken charge would be expensive.
+const SHARED_TEXT_MAX_LEN: usize = 64;
+/// Sightings before a payload is interned.
+const SHARED_TEXT_GATE: u32 = 4;
+/// Counter slots (power of two).
+const TEXT_GATE_SLOTS: usize = 1024;
+
+impl Default for TextGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextGate {
+    pub fn new() -> Self {
+        TextGate {
+            slots: vec![(0, 0, 0); TEXT_GATE_SLOTS],
+            gen: 0,
+        }
+    }
+
+    /// Starts a new sighting generation: every counter in the table is
+    /// (lazily) reset. Wrapping after 2^32 bumps can at worst resurrect a
+    /// stale count — the same benign delay/hasten effect as a hash
+    /// collision, never a content change.
+    pub fn bump_generation(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// Whether a payload is even a sharing candidate.
+    pub fn eligible(text: &str) -> bool {
+        !text.is_empty() && text.len() <= SHARED_TEXT_MAX_LEN
+    }
+
+    /// Records a sighting; true once the payload has recurred enough to be
+    /// worth interning.
+    pub fn admit(&mut self, text: &str) -> bool {
+        debug_assert!(Self::eligible(text));
+        let h = fnv1a(text.as_bytes());
+        let slot = &mut self.slots[(h as usize) & (TEXT_GATE_SLOTS - 1)];
+        if slot.2 != self.gen {
+            // Stale counter from an earlier generation: everything it saw
+            // has been freed, so the tally restarts at this sighting.
+            *slot = (h, 1, self.gen);
+            false
+        } else if slot.0 == h {
+            slot.1 = slot.1.saturating_add(1);
+            slot.1 >= SHARED_TEXT_GATE
+        } else if slot.1 == 0 {
+            *slot = (h, 1, self.gen);
+            false
+        } else {
+            // Misra–Gries-style decay on collision: the incumbent loses a
+            // sighting instead of being evicted outright, so genuinely
+            // frequent payloads survive churn from one-off strings (unique
+            // titles hashing into the same slot as a recurring author name
+            // no longer reset its count).
+            slot.1 -= 1;
+            false
+        }
+    }
+}
+
+/// Deterministic FNV-1a (the gate must behave identically across runs for
+/// reproducible buffer accounting).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
 /// Incremental tree construction from a stream of events.
 ///
 /// Also usable for fragments: feed any balanced event sequence; the nodes end
@@ -483,6 +695,8 @@ impl Document {
 pub struct TreeBuilder {
     doc: Document,
     stack: Vec<NodeId>,
+    /// When present, text nodes route through the shared-text dictionary.
+    gate: Option<TextGate>,
 }
 
 impl Default for TreeBuilder {
@@ -505,7 +719,16 @@ impl TreeBuilder {
         TreeBuilder {
             doc,
             stack: vec![root],
+            gate: None,
         }
+    }
+
+    /// Routes repeated short text payloads through the document's shared
+    /// dictionary (see [`TextGate`]): full-document materialisation stops
+    /// paying per-node for recurring strings.
+    pub fn with_shared_text(mut self) -> Self {
+        self.gate = Some(TextGate::new());
+        self
     }
 
     /// Current insertion parent.
@@ -536,11 +759,15 @@ impl TreeBuilder {
     fn text_node(&mut self, t: &str) {
         let parent = self.top();
         if let Some(&last) = self.doc.children(parent).last() {
-            if self.doc.append_to_text(last, t) {
+            let mut scratch = String::new();
+            if self.doc.merge_text(last, t, &mut scratch) {
                 return;
             }
         }
-        let id = self.doc.create_text(t);
+        let id = match &mut self.gate {
+            Some(gate) => self.doc.gated_text(gate, t),
+            None => self.doc.create_text(t),
+        };
         self.doc.append_child(parent, id);
     }
 

@@ -1,0 +1,464 @@
+//! Query compilation: the one-time translation from the normalized AST to
+//! a [`CompiledExpr`] whose names carry pre-resolved [`Symbol`]s and whose
+//! variables carry dense slot indices.
+//!
+//! The paper's premise is that everything a query needs to know about the
+//! schema is decided at compile time; this module applies the same rule to
+//! the evaluator itself. Each path step and element-constructor name is
+//! resolved against the *stream's* symbol table exactly once, so steady
+//! state evaluation compares interned integers instead of hashing label
+//! strings on every step of every firing. Names the compile-time table
+//! does not know (bounded-interner `OVERFLOW` spellings, labels outside
+//! the DTD) keep their literal spelling and fall back to one table lookup
+//! per cursor — the same contract BDF descent uses.
+
+use crate::ast::*;
+use crate::error::{Result, XQueryError};
+use flux_xml::tree::{Document, NodeId};
+use flux_xml::Symbol;
+use std::fmt;
+
+/// A name resolved once at compile time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledName {
+    /// The pre-resolved symbol, valid in any document seeded from (or
+    /// aligned with) the compile-time table. `None` when the compile-time
+    /// table declined the name.
+    pub sym: Option<Symbol>,
+    /// The literal spelling — the fallback identity for unresolved names.
+    pub literal: String,
+}
+
+impl CompiledName {
+    pub fn new(literal: &str, resolve: &mut dyn FnMut(&str) -> Option<Symbol>) -> Self {
+        CompiledName {
+            sym: resolve(literal),
+            literal: literal.to_string(),
+        }
+    }
+
+    /// The symbol this name denotes in `doc`'s index space: the compiled
+    /// symbol when one exists, else a single table lookup by spelling
+    /// (undeclared labels only — `None` means no node can match).
+    #[inline]
+    pub fn resolve(&self, doc: &Document) -> Option<Symbol> {
+        match self.sym {
+            Some(s) => Some(s),
+            None => doc.symbols().lookup(&self.literal),
+        }
+    }
+}
+
+/// Dense variable numbering for one compiled query. Bindings live in a
+/// flat `Slots` array indexed by these numbers, so runtime lookup is an
+/// array read instead of a hash probe, and shadowing is save/restore of
+/// one array cell.
+#[derive(Debug, Clone, Default)]
+pub struct SlotMap {
+    names: Vec<VarName>,
+}
+
+impl SlotMap {
+    pub fn new() -> Self {
+        SlotMap::default()
+    }
+
+    /// Slot of `name`, allocating one on first sight.
+    pub fn slot(&mut self, name: &str) -> usize {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name.to_string());
+                self.names.len() - 1
+            }
+        }
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    pub fn name(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// A fresh, unbound binding array sized for this map.
+    pub fn make_slots(&self) -> Slots {
+        vec![None; self.names.len()]
+    }
+}
+
+/// Runtime variable bindings: one optional node per slot.
+pub type Slots = Vec<Option<NodeId>>;
+
+/// The trailing non-element step of a path, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathTail {
+    /// Pure element path.
+    None,
+    /// `/@name` — attribute string values.
+    Attribute(CompiledName),
+    /// `/text()` — text-node children.
+    Text,
+}
+
+/// A path whose child steps are pre-resolved symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPath {
+    /// Slot of the start variable.
+    pub start_slot: usize,
+    /// Its name, kept for the unbound-variable diagnostic.
+    pub start_name: VarName,
+    /// The child steps (the tail excluded).
+    pub steps: Vec<CompiledName>,
+    pub tail: PathTail,
+    /// The AST rendering, kept verbatim for error-message parity with the
+    /// reference interpreter.
+    pub display: String,
+}
+
+impl fmt::Display for CompiledPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display)
+    }
+}
+
+/// One part of a compiled attribute value template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledAttrPart {
+    Literal(String),
+    // Boxed: a compiled expression dwarfs a literal, and attribute
+    // templates are cold compile-time data.
+    Expr(Box<CompiledExpr>),
+}
+
+/// A compiled attribute constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledAttr {
+    pub name: String,
+    pub value: Vec<CompiledAttrPart>,
+}
+
+/// A compiled condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledCond {
+    True,
+    False,
+    And(Box<CompiledCond>, Box<CompiledCond>),
+    Or(Box<CompiledCond>, Box<CompiledCond>),
+    Not(Box<CompiledCond>),
+    Exists(CompiledPath),
+    Empty(CompiledPath),
+    Cmp {
+        lhs: CompiledOperand,
+        op: CmpOp,
+        rhs: CompiledOperand,
+    },
+}
+
+/// A compiled comparison operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledOperand {
+    Path(CompiledPath),
+    StringLit(String),
+    NumberLit(String),
+}
+
+/// The compiled expression form evaluated by
+/// [`CursorEvaluator`](crate::eval::CursorEvaluator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledExpr {
+    Empty,
+    StringLit(String),
+    Var {
+        slot: usize,
+        name: VarName,
+    },
+    Path(CompiledPath),
+    Sequence(Vec<CompiledExpr>),
+    Element {
+        name: CompiledName,
+        attributes: Vec<CompiledAttr>,
+        content: Box<CompiledExpr>,
+    },
+    For {
+        var_slot: usize,
+        source: CompiledPath,
+        where_clause: Option<CompiledCond>,
+        body: Box<CompiledExpr>,
+    },
+    If {
+        cond: CompiledCond,
+        then_branch: Box<CompiledExpr>,
+        else_branch: Box<CompiledExpr>,
+    },
+}
+
+/// Compiles a normalized expression. `slots` accumulates variable numbering
+/// (callers pre-intern `$ROOT` and any externally bound variables);
+/// `resolve` maps a label spelling to its symbol in the stream's table —
+/// `None` marks the label as unknown, leaving the literal-spelling
+/// fallback in place.
+pub fn compile_expr(
+    expr: &Expr,
+    slots: &mut SlotMap,
+    resolve: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<CompiledExpr> {
+    Ok(match expr {
+        Expr::Empty => CompiledExpr::Empty,
+        Expr::StringLit(s) => CompiledExpr::StringLit(s.clone()),
+        Expr::Var(v) => CompiledExpr::Var {
+            slot: slots.slot(v),
+            name: v.clone(),
+        },
+        Expr::Path(p) => CompiledExpr::Path(compile_path(p, slots, resolve)?),
+        Expr::Sequence(items) => CompiledExpr::Sequence(
+            items
+                .iter()
+                .map(|e| compile_expr(e, slots, resolve))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Element {
+            name,
+            attributes,
+            content,
+        } => CompiledExpr::Element {
+            name: CompiledName::new(name, resolve),
+            attributes: attributes
+                .iter()
+                .map(|a| compile_attr(a, slots, resolve))
+                .collect::<Result<_>>()?,
+            content: Box::new(compile_expr(content, slots, resolve)?),
+        },
+        Expr::For {
+            var,
+            source,
+            where_clause,
+            body,
+        } => {
+            let source = compile_path(source, slots, resolve)?;
+            let var_slot = slots.slot(var);
+            CompiledExpr::For {
+                var_slot,
+                source,
+                where_clause: match where_clause {
+                    Some(c) => Some(compile_cond(c, slots, resolve)?),
+                    None => None,
+                },
+                body: Box::new(compile_expr(body, slots, resolve)?),
+            }
+        }
+        Expr::Let { .. } => {
+            return Err(XQueryError::eval(
+                "let must be inlined by normalization before evaluation",
+            ))
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => CompiledExpr::If {
+            cond: compile_cond(cond, slots, resolve)?,
+            then_branch: Box::new(compile_expr(then_branch, slots, resolve)?),
+            else_branch: Box::new(compile_expr(else_branch, slots, resolve)?),
+        },
+    })
+}
+
+/// Compiles a path. A non-final attribute or `text()` step is malformed in
+/// every context, so it is rejected here (the reference interpreter raises
+/// the same message lazily at evaluation time).
+pub fn compile_path(
+    path: &Path,
+    slots: &mut SlotMap,
+    resolve: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<CompiledPath> {
+    let (element_steps, tail) = match path.steps.last() {
+        Some(Step::Attribute(name)) => (
+            &path.steps[..path.steps.len() - 1],
+            PathTail::Attribute(CompiledName::new(name, resolve)),
+        ),
+        Some(Step::Text) => (&path.steps[..path.steps.len() - 1], PathTail::Text),
+        _ => (&path.steps[..], PathTail::None),
+    };
+    let mut steps = Vec::with_capacity(element_steps.len());
+    for step in element_steps {
+        let Step::Child(name) = step else {
+            return Err(XQueryError::eval(format!(
+                "non-final attribute/text step in {path}"
+            )));
+        };
+        steps.push(CompiledName::new(name, resolve));
+    }
+    Ok(CompiledPath {
+        start_slot: slots.slot(&path.start),
+        start_name: path.start.clone(),
+        steps,
+        tail,
+        display: path.to_string(),
+    })
+}
+
+/// Compiles one attribute constructor (name kept literal — constructed
+/// attributes are output-side, never matched against the stream).
+pub fn compile_attr(
+    attr: &AttrConstructor,
+    slots: &mut SlotMap,
+    resolve: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<CompiledAttr> {
+    Ok(CompiledAttr {
+        name: attr.name.clone(),
+        value: attr
+            .value
+            .iter()
+            .map(|part| {
+                Ok(match part {
+                    AttrPart::Literal(t) => CompiledAttrPart::Literal(t.clone()),
+                    AttrPart::Expr(e) => {
+                        CompiledAttrPart::Expr(Box::new(compile_expr(e, slots, resolve)?))
+                    }
+                })
+            })
+            .collect::<Result<_>>()?,
+    })
+}
+
+pub fn compile_cond(
+    cond: &Cond,
+    slots: &mut SlotMap,
+    resolve: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<CompiledCond> {
+    Ok(match cond {
+        Cond::True => CompiledCond::True,
+        Cond::False => CompiledCond::False,
+        Cond::And(a, b) => CompiledCond::And(
+            Box::new(compile_cond(a, slots, resolve)?),
+            Box::new(compile_cond(b, slots, resolve)?),
+        ),
+        Cond::Or(a, b) => CompiledCond::Or(
+            Box::new(compile_cond(a, slots, resolve)?),
+            Box::new(compile_cond(b, slots, resolve)?),
+        ),
+        Cond::Not(c) => CompiledCond::Not(Box::new(compile_cond(c, slots, resolve)?)),
+        Cond::Exists(p) => CompiledCond::Exists(compile_path(p, slots, resolve)?),
+        Cond::Empty(p) => CompiledCond::Empty(compile_path(p, slots, resolve)?),
+        Cond::Cmp { lhs, op, rhs } => CompiledCond::Cmp {
+            lhs: compile_operand(lhs, slots, resolve)?,
+            op: *op,
+            rhs: compile_operand(rhs, slots, resolve)?,
+        },
+    })
+}
+
+fn compile_operand(
+    op: &Operand,
+    slots: &mut SlotMap,
+    resolve: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<CompiledOperand> {
+    Ok(match op {
+        Operand::Path(p) => CompiledOperand::Path(compile_path(p, slots, resolve)?),
+        Operand::StringLit(s) => CompiledOperand::StringLit(s.clone()),
+        Operand::NumberLit(n) => CompiledOperand::NumberLit(n.clone()),
+    })
+}
+
+/// Compiles against a document's own symbol table — the whole-table
+/// resolver used when the evaluation target is already materialised.
+pub fn compile_for_document(
+    expr: &Expr,
+    doc: &Document,
+    slots: &mut SlotMap,
+) -> Result<CompiledExpr> {
+    compile_expr(expr, slots, &mut |label| doc.symbols().lookup(label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use flux_xml::SymbolTable;
+
+    fn compile(query: &str, table: &mut SymbolTable) -> (CompiledExpr, SlotMap) {
+        let expr = parse_query(query).unwrap();
+        let mut slots = SlotMap::new();
+        slots.slot(ROOT_VAR);
+        let compiled = compile_expr(&expr, &mut slots, &mut |l| Some(table.intern(l))).unwrap();
+        (compiled, slots)
+    }
+
+    #[test]
+    fn path_steps_carry_symbols() {
+        let mut table = SymbolTable::new();
+        let (compiled, slots) = compile(
+            r#"<r>{ for $b in $ROOT/bib/book return $b/title }</r>"#,
+            &mut table,
+        );
+        assert_eq!(slots.lookup(ROOT_VAR), Some(0));
+        let CompiledExpr::Element { content, .. } = compiled else {
+            panic!("element");
+        };
+        let CompiledExpr::For { source, body, .. } = *content else {
+            panic!("for");
+        };
+        assert_eq!(source.start_slot, 0);
+        assert!(source.steps.iter().all(|s| s.sym.is_some()));
+        assert_eq!(source.steps[0].literal, "bib");
+        let CompiledExpr::Path(p) = *body else {
+            panic!("path");
+        };
+        assert_eq!(p.steps[0].sym, Some(table.intern("title")));
+        assert_eq!(p.display, "$b/title");
+    }
+
+    #[test]
+    fn unknown_labels_keep_literal_fallback() {
+        let expr = parse_query(r#"<r>{$ROOT/mystery}</r>"#).unwrap();
+        let mut slots = SlotMap::new();
+        let compiled = compile_expr(&expr, &mut slots, &mut |_| None).unwrap();
+        let CompiledExpr::Element { content, .. } = compiled else {
+            panic!("element");
+        };
+        let CompiledExpr::Path(p) = *content else {
+            panic!("path");
+        };
+        assert_eq!(p.steps[0].sym, None);
+        assert_eq!(p.steps[0].literal, "mystery");
+    }
+
+    #[test]
+    fn shared_variable_names_share_slots() {
+        let mut table = SymbolTable::new();
+        let (_, slots) = compile(
+            r#"<r>{ for $b in $ROOT/bib/book return for $b in $b/author return $b }</r>"#,
+            &mut table,
+        );
+        // $ROOT and the (shadowed) $b: two slots, not three.
+        assert_eq!(slots.len(), 2);
+    }
+
+    #[test]
+    fn attribute_tail_is_compiled() {
+        let mut table = SymbolTable::new();
+        let (compiled, _) = compile(r#"<r>{$ROOT/book/@year}</r>"#, &mut table);
+        let CompiledExpr::Element { content, .. } = compiled else {
+            panic!("element");
+        };
+        let CompiledExpr::Path(p) = *content else {
+            panic!("path");
+        };
+        assert_eq!(p.steps.len(), 1);
+        let PathTail::Attribute(a) = &p.tail else {
+            panic!("attr tail");
+        };
+        assert_eq!(a.literal, "year");
+        assert_eq!(a.sym, Some(table.intern("year")));
+    }
+}

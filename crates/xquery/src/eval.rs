@@ -1,5 +1,5 @@
-//! Reference interpreter: evaluates the XQuery fragment over an in-memory
-//! [`Document`].
+//! The streaming cursor evaluator: runs a [`CompiledExpr`] over an
+//! in-memory [`Document`].
 //!
 //! Shared by three consumers with identical semantics:
 //! * the DOM baseline engine (whole document materialised),
@@ -7,15 +7,29 @@
 //! * the FluXQuery runtime's buffered execution (`on-first` handler bodies
 //!   run over the buffer arena).
 //!
+//! Evaluation is the second stage of the compile-then-stream pipeline
+//! (see [`compile`](crate::compile)): names arrive pre-resolved as
+//! [`Symbol`](flux_xml::Symbol)s, variables as dense slots, and sequences
+//! stream through [`SequenceCursor`]s instead of materialising `Vec`s —
+//! `for`-bodies iterate as matches surface, predicates short-circuit via
+//! cursor probing, and buffered subtrees copy out through the sink's
+//! symbol fast path. All scratch (cursor stacks, string values, attribute
+//! buffers) is pooled on the evaluator, so steady-state evaluation over
+//! already-buffered data allocates nothing.
+//!
 //! Comparison semantics are XPath-style *general comparisons*: `A op B`
 //! holds iff some pair of items satisfies `op`, numerically when both
 //! values parse as numbers, else by string comparison.
 
-use crate::ast::*;
+use crate::ast::{CmpOp, ROOT_VAR};
+use crate::compile::{
+    compile_for_document, CompiledAttr, CompiledAttrPart, CompiledCond, CompiledExpr,
+    CompiledOperand, CompiledPath, PathTail, SlotMap, Slots,
+};
+use crate::cursor::{CursorItem, CursorPool, ItemCursor, PathCursor, SequenceCursor};
 use crate::error::{Result, XQueryError};
 use flux_xml::tree::{Document, NodeId, NodeKind};
 use flux_xml::{Attribute, XmlWriter};
-use std::collections::HashMap;
 use std::io::Write;
 
 /// Output receiver for query results.
@@ -127,253 +141,296 @@ impl QuerySink for CountingSink {
     }
 }
 
-/// Variable bindings: every variable is bound to a single node.
-pub type Env = HashMap<VarName, NodeId>;
-
-/// One item of an evaluated sequence.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Item {
-    Node(NodeId),
-    Str(String),
+/// A growable list of string values whose buffers are reused in place
+/// (`clear` resets the length; the `String`s keep their capacity).
+#[derive(Debug, Default)]
+struct ValueBuf {
+    strings: Vec<String>,
+    len: usize,
 }
 
-/// Evaluator over one document arena.
-pub struct TreeEvaluator<'d> {
-    doc: &'d Document,
+impl ValueBuf {
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn push_slot(&mut self) -> &mut String {
+        if self.len == self.strings.len() {
+            self.strings.push(String::new());
+        }
+        let s = &mut self.strings[self.len];
+        s.clear();
+        self.len += 1;
+        s
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings[..self.len].iter().map(String::as_str)
+    }
 }
 
-impl<'d> TreeEvaluator<'d> {
-    pub fn new(doc: &'d Document) -> Self {
-        TreeEvaluator { doc }
+/// A growable attribute list whose `Attribute` strings are reused in place.
+#[derive(Debug, Default)]
+struct AttrBuf {
+    attrs: Vec<Attribute>,
+    len: usize,
+}
+
+impl AttrBuf {
+    fn clear(&mut self) {
+        self.len = 0;
     }
 
-    pub fn document(&self) -> &'d Document {
-        self.doc
+    fn push_slot(&mut self) -> &mut Attribute {
+        if self.len == self.attrs.len() {
+            self.attrs
+                .push(Attribute::new(String::new(), String::new()));
+        }
+        let a = &mut self.attrs[self.len];
+        a.name.clear();
+        a.value.clear();
+        self.len += 1;
+        a
     }
 
-    /// Evaluates `expr` under `env`, emitting results to `sink`.
-    pub fn eval(&self, expr: &Expr, env: &mut Env, sink: &mut impl QuerySink) -> Result<()> {
+    fn as_slice(&self) -> &[Attribute] {
+        &self.attrs[..self.len]
+    }
+}
+
+/// The streaming evaluator. Owns every piece of evaluation scratch —
+/// cursor stacks, atomization strings, comparison value lists, attribute
+/// buffers — and recycles all of it across calls, so a long-lived
+/// evaluator reaches an allocation-free steady state (proven by the
+/// counting-allocator suite).
+#[derive(Debug, Default)]
+pub struct CursorEvaluator {
+    pool: CursorPool,
+    /// Pooled scratch strings (atomized node values).
+    strings: Vec<String>,
+    /// Comparison operand values, left and right.
+    cmp_lhs: ValueBuf,
+    cmp_rhs: ValueBuf,
+    /// Pooled attribute lists for constructed elements.
+    attr_bufs: Vec<AttrBuf>,
+}
+
+impl CursorEvaluator {
+    pub fn new() -> Self {
+        CursorEvaluator::default()
+    }
+
+    /// Evaluates a compiled expression over `doc` under `slots`, emitting
+    /// results to `sink`.
+    pub fn eval(
+        &mut self,
+        doc: &Document,
+        expr: &CompiledExpr,
+        slots: &mut Slots,
+        sink: &mut impl QuerySink,
+    ) -> Result<()> {
         match expr {
-            Expr::Empty => Ok(()),
-            Expr::StringLit(s) => sink.text(s),
-            Expr::Var(v) => {
-                let node = self.bound(env, v)?;
-                self.copy_node(node, sink)
+            CompiledExpr::Empty => Ok(()),
+            CompiledExpr::StringLit(s) => sink.text(s),
+            CompiledExpr::Var { slot, name } => {
+                let node = bound(slots, *slot, name)?;
+                copy_node(doc, node, sink)
             }
-            Expr::Path(p) => {
-                for item in self.resolve_items(p, env)? {
-                    match item {
-                        Item::Node(n) => self.copy_node(n, sink)?,
-                        Item::Str(s) => sink.text(&s)?,
+            CompiledExpr::Path(p) => {
+                let start = bound(slots, p.start_slot, &p.start_name)?;
+                let mut cursor = ItemCursor::new(doc, p, start, &mut self.pool);
+                let result = loop {
+                    match cursor.next_item() {
+                        Some(CursorItem::Node(n)) => {
+                            if let Err(e) = copy_node(doc, n, sink) {
+                                break Err(e);
+                            }
+                        }
+                        Some(CursorItem::Str(s)) => {
+                            if let Err(e) = sink.text(s) {
+                                break Err(e);
+                            }
+                        }
+                        None => break Ok(()),
                     }
-                }
-                Ok(())
+                };
+                cursor.recycle(&mut self.pool);
+                result
             }
-            Expr::Sequence(items) => {
+            CompiledExpr::Sequence(items) => {
                 for item in items {
-                    self.eval(item, env, sink)?;
+                    self.eval(doc, item, slots, sink)?;
                 }
                 Ok(())
             }
-            Expr::Element {
+            CompiledExpr::Element {
                 name,
                 attributes,
                 content,
             } => {
-                let mut attrs = Vec::with_capacity(attributes.len());
-                for attr in attributes {
-                    attrs.push(Attribute::new(
-                        attr.name.clone(),
-                        self.eval_attr_template(&attr.value, env)?,
-                    ));
-                }
-                sink.start_element(name, &attrs)?;
-                self.eval(content, env, sink)?;
+                self.start_element_with_attrs(doc, &name.literal, attributes, slots, sink)?;
+                self.eval(doc, content, slots, sink)?;
                 sink.end_element()
             }
-            Expr::For {
-                var,
+            CompiledExpr::For {
+                var_slot,
                 source,
                 where_clause,
                 body,
             } => {
-                let nodes = self.resolve_nodes(source, env)?;
-                for node in nodes {
-                    let shadowed = env.insert(var.clone(), node);
-                    let keep = match where_clause {
-                        Some(cond) => self.eval_cond(cond, env)?,
-                        None => true,
-                    };
-                    if keep {
-                        self.eval(body, env, sink)?;
-                    }
-                    match shadowed {
-                        Some(old) => {
-                            env.insert(var.clone(), old);
-                        }
-                        None => {
-                            env.remove(var);
-                        }
-                    }
+                if source.tail != PathTail::None {
+                    return Err(XQueryError::eval(format!(
+                        "path {source} used where element nodes are required"
+                    )));
                 }
-                Ok(())
+                let start = bound(slots, source.start_slot, &source.start_name)?;
+                let mut cursor = PathCursor::new(doc, source, start, &mut self.pool);
+                let result = loop {
+                    let Some(node) = cursor.next_node() else {
+                        break Ok(());
+                    };
+                    let shadowed = slots[*var_slot].replace(node);
+                    let step = (|| -> Result<()> {
+                        let keep = match where_clause {
+                            Some(cond) => self.eval_cond(doc, cond, slots)?,
+                            None => true,
+                        };
+                        if keep {
+                            self.eval(doc, body, slots, sink)?;
+                        }
+                        Ok(())
+                    })();
+                    slots[*var_slot] = shadowed;
+                    if let Err(e) = step {
+                        break Err(e);
+                    }
+                };
+                cursor.recycle(&mut self.pool);
+                result
             }
-            Expr::Let { .. } => Err(XQueryError::eval(
-                "let must be inlined by normalization before evaluation",
-            )),
-            Expr::If {
+            CompiledExpr::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                if self.eval_cond(cond, env)? {
-                    self.eval(then_branch, env, sink)
+                if self.eval_cond(doc, cond, slots)? {
+                    self.eval(doc, then_branch, slots, sink)
                 } else {
-                    self.eval(else_branch, env, sink)
+                    self.eval(doc, else_branch, slots, sink)
                 }
             }
         }
     }
 
-    fn bound(&self, env: &Env, var: &str) -> Result<NodeId> {
-        env.get(var)
-            .copied()
-            .ok_or_else(|| XQueryError::eval(format!("unbound variable `${var}`")))
+    /// Evaluates attribute templates and opens an element — without the
+    /// matching end tag, for callers (the runtime's plan executor) that
+    /// close elements on their own schedule.
+    pub fn start_element_with_attrs(
+        &mut self,
+        doc: &Document,
+        name: &str,
+        attributes: &[CompiledAttr],
+        slots: &mut Slots,
+        sink: &mut impl QuerySink,
+    ) -> Result<()> {
+        if attributes.is_empty() {
+            return sink.start_element(name, &[]);
+        }
+        let mut buf = self.attr_bufs.pop().unwrap_or_default();
+        buf.clear();
+        let result = (|| -> Result<()> {
+            for attr in attributes {
+                let mut value = self.strings.pop().unwrap_or_default();
+                value.clear();
+                let filled = self.eval_attr_template(doc, &attr.value, slots, &mut value);
+                let slot = buf.push_slot();
+                slot.name.push_str(&attr.name);
+                slot.value.push_str(&value);
+                self.strings.push(value);
+                filled?;
+            }
+            sink.start_element(name, buf.as_slice())
+        })();
+        self.attr_bufs.push(buf);
+        result
     }
 
-    /// Resolves an element path to nodes in document order.
-    pub fn resolve_nodes(&self, path: &Path, env: &Env) -> Result<Vec<NodeId>> {
-        let mut current = vec![self.bound(env, &path.start)?];
-        for step in &path.steps {
-            match step {
-                Step::Child(name) => {
-                    let mut next = Vec::new();
-                    for node in current {
-                        next.extend(self.doc.children_named(node, name));
-                    }
-                    current = next;
-                }
-                Step::Attribute(_) | Step::Text => {
-                    return Err(XQueryError::eval(format!(
-                        "path {path} used where element nodes are required"
-                    )))
-                }
-            }
-        }
-        Ok(current)
-    }
-
-    /// Resolves any path to items (nodes, attribute strings, text pieces).
-    pub fn resolve_items(&self, path: &Path, env: &Env) -> Result<Vec<Item>> {
-        let (element_steps, tail) = match path.steps.last() {
-            Some(Step::Attribute(_)) | Some(Step::Text) => {
-                (&path.steps[..path.steps.len() - 1], path.steps.last())
-            }
-            _ => (&path.steps[..], None),
-        };
-        let mut current = vec![self.bound(env, &path.start)?];
-        for step in element_steps {
-            let Step::Child(name) = step else {
-                return Err(XQueryError::eval(format!(
-                    "non-final attribute/text step in {path}"
-                )));
-            };
-            let mut next = Vec::new();
-            for node in current {
-                next.extend(self.doc.children_named(node, name));
-            }
-            current = next;
-        }
-        match tail {
-            None => Ok(current.into_iter().map(Item::Node).collect()),
-            Some(Step::Attribute(name)) => Ok(current
-                .into_iter()
-                .filter_map(|n| {
-                    self.doc
-                        .attribute(n, name)
-                        .map(|v| Item::Str(v.to_string()))
-                })
-                .collect()),
-            Some(Step::Text) => {
-                let mut items = Vec::new();
-                for node in current {
-                    for &child in self.doc.children(node) {
-                        if let NodeKind::Text(t) = self.doc.kind(child) {
-                            items.push(Item::Str(t.clone()));
-                        }
-                    }
-                }
-                Ok(items)
-            }
-            Some(Step::Child(_)) => unreachable!("handled above"),
-        }
-    }
-
-    /// Copies a node's subtree to the sink. Element start tags go through
-    /// the sink's symbol fast path — no name strings materialise.
-    pub fn copy_node(&self, node: NodeId, sink: &mut impl QuerySink) -> Result<()> {
-        match self.doc.kind(node) {
-            NodeKind::Document => {
-                for &c in self.doc.children(node) {
-                    self.copy_node(c, sink)?;
-                }
-                Ok(())
-            }
-            NodeKind::Element { .. } => {
-                sink.start_element_node(self.doc, node)?;
-                for &c in self.doc.children(node) {
-                    self.copy_node(c, sink)?;
-                }
-                sink.end_element()
-            }
-            NodeKind::Text(t) => sink.text(t),
-        }
-    }
-
-    /// Evaluates an attribute value template to its string value (multiple
-    /// items joined with single spaces, per XQuery attribute semantics).
-    pub fn eval_attr_template(&self, parts: &[AttrPart], env: &mut Env) -> Result<String> {
-        let mut out = String::new();
+    /// Evaluates an attribute value template into `out` (cleared first).
+    /// Items within one expression part join with single spaces, per
+    /// XQuery attribute semantics.
+    pub fn eval_attr_template(
+        &mut self,
+        doc: &Document,
+        parts: &[CompiledAttrPart],
+        slots: &mut Slots,
+        out: &mut String,
+    ) -> Result<()> {
+        out.clear();
         for part in parts {
             match part {
-                AttrPart::Literal(t) => out.push_str(t),
-                AttrPart::Expr(e) => {
-                    let values = self.atomize(e, env)?;
-                    for (i, v) in values.iter().enumerate() {
-                        if i > 0 {
-                            out.push(' ');
-                        }
-                        out.push_str(v);
-                    }
+                CompiledAttrPart::Literal(t) => out.push_str(t),
+                CompiledAttrPart::Expr(e) => {
+                    let mut scratch = self.strings.pop().unwrap_or_default();
+                    let mut first = true;
+                    let r = self.atomize_into(doc, e, slots, out, &mut scratch, &mut first);
+                    self.strings.push(scratch);
+                    r?;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
-    /// String values of an atomizable expression (paths, strings, vars).
-    fn atomize(&self, expr: &Expr, env: &Env) -> Result<Vec<String>> {
-        match expr {
-            Expr::Empty => Ok(vec![]),
-            Expr::StringLit(s) => Ok(vec![s.clone()]),
-            Expr::Var(v) => {
-                let node = self.bound(env, v)?;
-                Ok(vec![self.doc.string_value(node)])
+    /// Streams the string values of an atomizable expression into `out`,
+    /// space-separated (`first` tracks whether a separator is due).
+    fn atomize_into(
+        &mut self,
+        doc: &Document,
+        expr: &CompiledExpr,
+        slots: &mut Slots,
+        out: &mut String,
+        scratch: &mut String,
+        first: &mut bool,
+    ) -> Result<()> {
+        fn emit(out: &mut String, first: &mut bool, value: &str) {
+            if !*first {
+                out.push(' ');
             }
-            Expr::Path(p) => Ok(self
-                .resolve_items(p, env)?
-                .into_iter()
-                .map(|item| match item {
-                    Item::Node(n) => self.doc.string_value(n),
-                    Item::Str(s) => s,
-                })
-                .collect()),
-            Expr::Sequence(items) => {
-                let mut out = Vec::new();
-                for item in items {
-                    out.extend(self.atomize(item, env)?);
+            *first = false;
+            out.push_str(value);
+        }
+        match expr {
+            CompiledExpr::Empty => Ok(()),
+            CompiledExpr::StringLit(s) => {
+                emit(out, first, s);
+                Ok(())
+            }
+            CompiledExpr::Var { slot, name } => {
+                let node = bound(slots, *slot, name)?;
+                doc.string_value_into(node, scratch);
+                emit(out, first, scratch);
+                Ok(())
+            }
+            CompiledExpr::Path(p) => {
+                let start = bound(slots, p.start_slot, &p.start_name)?;
+                let mut cursor = ItemCursor::new(doc, p, start, &mut self.pool);
+                while let Some(item) = cursor.next_item() {
+                    match item {
+                        CursorItem::Node(n) => {
+                            doc.string_value_into(n, scratch);
+                            emit(out, first, scratch);
+                        }
+                        CursorItem::Str(s) => emit(out, first, s),
+                    }
                 }
-                Ok(out)
+                cursor.recycle(&mut self.pool);
+                Ok(())
+            }
+            CompiledExpr::Sequence(items) => {
+                for item in items {
+                    self.atomize_into(doc, item, slots, out, scratch, first)?;
+                }
+                Ok(())
             }
             other => Err(XQueryError::eval(format!(
                 "expression cannot be atomized: {other:?}"
@@ -381,45 +438,112 @@ impl<'d> TreeEvaluator<'d> {
         }
     }
 
-    /// Evaluates a condition to a boolean.
-    pub fn eval_cond(&self, cond: &Cond, env: &Env) -> Result<bool> {
+    /// Evaluates a condition to a boolean. Existence probes pull at most
+    /// one item from their cursor.
+    pub fn eval_cond(
+        &mut self,
+        doc: &Document,
+        cond: &CompiledCond,
+        slots: &mut Slots,
+    ) -> Result<bool> {
         match cond {
-            Cond::True => Ok(true),
-            Cond::False => Ok(false),
-            Cond::And(a, b) => Ok(self.eval_cond(a, env)? && self.eval_cond(b, env)?),
-            Cond::Or(a, b) => Ok(self.eval_cond(a, env)? || self.eval_cond(b, env)?),
-            Cond::Not(c) => Ok(!self.eval_cond(c, env)?),
-            Cond::Exists(p) => Ok(!self.resolve_items(p, env)?.is_empty()),
-            Cond::Empty(p) => Ok(self.resolve_items(p, env)?.is_empty()),
-            Cond::Cmp { lhs, op, rhs } => {
-                let left = self.operand_values(lhs, env)?;
-                let right = self.operand_values(rhs, env)?;
-                Ok(left
-                    .iter()
-                    .any(|a| right.iter().any(|b| compare(a, b, *op))))
+            CompiledCond::True => Ok(true),
+            CompiledCond::False => Ok(false),
+            CompiledCond::And(a, b) => {
+                Ok(self.eval_cond(doc, a, slots)? && self.eval_cond(doc, b, slots)?)
+            }
+            CompiledCond::Or(a, b) => {
+                Ok(self.eval_cond(doc, a, slots)? || self.eval_cond(doc, b, slots)?)
+            }
+            CompiledCond::Not(c) => Ok(!self.eval_cond(doc, c, slots)?),
+            CompiledCond::Exists(p) => self.probe(doc, p, slots),
+            CompiledCond::Empty(p) => Ok(!self.probe(doc, p, slots)?),
+            CompiledCond::Cmp { lhs, op, rhs } => {
+                // Operand value lists are tiny (usually one item); the
+                // buffers are reused in place across comparisons.
+                let mut left = std::mem::take(&mut self.cmp_lhs);
+                let mut right = std::mem::take(&mut self.cmp_rhs);
+                let filled = self
+                    .operand_into(doc, lhs, slots, &mut left)
+                    .and_then(|()| self.operand_into(doc, rhs, slots, &mut right));
+                let held = filled.map(|()| {
+                    left.iter()
+                        .any(|a| right.iter().any(|b| compare(a, b, *op)))
+                });
+                self.cmp_lhs = left;
+                self.cmp_rhs = right;
+                held
             }
         }
     }
 
-    fn operand_values(&self, op: &Operand, env: &Env) -> Result<Vec<String>> {
+    /// True iff the path yields at least one item.
+    fn probe(&mut self, doc: &Document, path: &CompiledPath, slots: &mut Slots) -> Result<bool> {
+        let start = bound(slots, path.start_slot, &path.start_name)?;
+        let mut cursor = ItemCursor::new(doc, path, start, &mut self.pool);
+        let found = cursor.next_item().is_some();
+        cursor.recycle(&mut self.pool);
+        Ok(found)
+    }
+
+    /// Fills `values` with the string values of a comparison operand.
+    fn operand_into(
+        &mut self,
+        doc: &Document,
+        op: &CompiledOperand,
+        slots: &mut Slots,
+        values: &mut ValueBuf,
+    ) -> Result<()> {
+        values.clear();
         match op {
-            Operand::StringLit(s) => Ok(vec![s.clone()]),
-            Operand::NumberLit(n) => Ok(vec![n.clone()]),
-            Operand::Path(p) => {
-                if p.steps.is_empty() {
-                    let node = self.bound(env, &p.start)?;
-                    return Ok(vec![self.doc.string_value(node)]);
+            CompiledOperand::StringLit(s) | CompiledOperand::NumberLit(s) => {
+                values.push_slot().push_str(s);
+                Ok(())
+            }
+            CompiledOperand::Path(p) => {
+                let start = bound(slots, p.start_slot, &p.start_name)?;
+                let mut cursor = ItemCursor::new(doc, p, start, &mut self.pool);
+                while let Some(item) = cursor.next_item() {
+                    match item {
+                        CursorItem::Node(n) => doc.string_value_into(n, values.push_slot()),
+                        CursorItem::Str(s) => values.push_slot().push_str(s),
+                    }
                 }
-                Ok(self
-                    .resolve_items(p, env)?
-                    .into_iter()
-                    .map(|item| match item {
-                        Item::Node(n) => self.doc.string_value(n),
-                        Item::Str(s) => s,
-                    })
-                    .collect())
+                cursor.recycle(&mut self.pool);
+                Ok(())
             }
         }
+    }
+}
+
+/// The node bound in `slot`, or the unbound-variable diagnostic.
+#[inline]
+fn bound(slots: &Slots, slot: usize, name: &str) -> Result<NodeId> {
+    slots
+        .get(slot)
+        .copied()
+        .flatten()
+        .ok_or_else(|| XQueryError::eval(format!("unbound variable `${name}`")))
+}
+
+/// Copies a node's subtree to the sink. Element start tags go through the
+/// sink's symbol fast path — no name strings materialise.
+pub fn copy_node(doc: &Document, node: NodeId, sink: &mut impl QuerySink) -> Result<()> {
+    match doc.kind(node) {
+        NodeKind::Document => {
+            for &c in doc.children(node) {
+                copy_node(doc, c, sink)?;
+            }
+            Ok(())
+        }
+        NodeKind::Element { .. } => {
+            sink.start_element_node(doc, node)?;
+            for &c in doc.children(node) {
+                copy_node(doc, c, sink)?;
+            }
+            sink.end_element()
+        }
+        _ => sink.text(doc.text(node).expect("text node")),
     }
 }
 
@@ -446,15 +570,18 @@ pub fn compare(a: &str, b: &str, op: CmpOp) -> bool {
     }
 }
 
-/// Convenience for tests and baselines: evaluates `query` (already parsed)
-/// against a document, binding `$ROOT` to the document node, and returns
-/// the serialized output.
-pub fn eval_to_string(doc: &Document, expr: &Expr) -> Result<String> {
-    let evaluator = TreeEvaluator::new(doc);
-    let mut env = Env::new();
-    env.insert(ROOT_VAR.to_string(), doc.document_node());
+/// Convenience for tests and baselines: compiles `expr` against the
+/// document's own symbol table, binds `$ROOT` to the document node, and
+/// returns the serialized output.
+pub fn eval_to_string(doc: &Document, expr: &crate::ast::Expr) -> Result<String> {
+    let mut slot_map = SlotMap::new();
+    let root = slot_map.slot(ROOT_VAR);
+    let compiled = compile_for_document(expr, doc, &mut slot_map)?;
+    let mut slots = slot_map.make_slots();
+    slots[root] = Some(doc.document_node());
+    let mut evaluator = CursorEvaluator::new();
     let mut writer = XmlWriter::new(Vec::new());
-    evaluator.eval(expr, &mut env, &mut writer)?;
+    evaluator.eval(doc, &compiled, &mut slots, &mut writer)?;
     writer
         .finish()
         .map_err(|e| XQueryError::eval(format!("output error: {e}")))?;
@@ -466,13 +593,18 @@ mod tests {
     use super::*;
     use crate::normalize::normalize;
     use crate::parser::parse_query;
+    use crate::reference::reference_eval_to_string;
 
     const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP</title><author>Stevens</author><author>Wright</author><publisher>AW</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author>Abiteboul</author><publisher>MK</publisher><price>39.95</price></book></bib>"#;
 
     fn run(query: &str, doc_text: &str) -> String {
         let doc = Document::parse_str(doc_text).unwrap();
         let expr = parse_query(query).unwrap();
-        eval_to_string(&doc, &expr).unwrap()
+        let out = eval_to_string(&doc, &expr).unwrap();
+        // Every unit case doubles as a differential check against the
+        // materialising reference interpreter.
+        assert_eq!(out, reference_eval_to_string(&doc, &expr).unwrap());
+        out
     }
 
     fn run_normalized(query: &str, doc_text: &str) -> String {
@@ -612,20 +744,59 @@ mod tests {
     fn unbound_variable_is_error() {
         let doc = Document::parse_str("<a/>").unwrap();
         let expr = parse_query("<r>{$nope/x}</r>").unwrap();
-        assert!(eval_to_string(&doc, &expr).is_err());
+        let err = eval_to_string(&doc, &expr).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            reference_eval_to_string(&doc, &expr)
+                .unwrap_err()
+                .to_string()
+        );
     }
 
     #[test]
     fn counting_sink_counts() {
         let doc = Document::parse_str(BIB).unwrap();
         let expr = parse_query(r#"<r>{ for $b in $ROOT/bib/book return $b/title }</r>"#).unwrap();
-        let evaluator = TreeEvaluator::new(&doc);
-        let mut env = Env::new();
-        env.insert(ROOT_VAR.to_string(), doc.document_node());
+        let mut slot_map = SlotMap::new();
+        let root = slot_map.slot(ROOT_VAR);
+        let compiled = compile_for_document(&expr, &doc, &mut slot_map).unwrap();
+        let mut slots = slot_map.make_slots();
+        slots[root] = Some(doc.document_node());
+        let mut evaluator = CursorEvaluator::new();
         let mut sink = CountingSink::default();
-        evaluator.eval(&expr, &mut env, &mut sink).unwrap();
+        evaluator
+            .eval(&doc, &compiled, &mut slots, &mut sink)
+            .unwrap();
         assert!(sink.bytes > 0);
         assert!(sink.events >= 6);
+    }
+
+    #[test]
+    fn repeated_evaluation_reuses_scratch() {
+        // Steady state: the second and later evaluations draw all cursor
+        // stacks and string scratch from the evaluator's pools. (The
+        // allocation-free property itself is proven by the
+        // counting-allocator integration test; this pins pool plumbing.)
+        let doc = Document::parse_str(BIB).unwrap();
+        let expr = parse_query(
+            r#"<r>{ for $b in $ROOT/bib/book where $b/price < 100 return <x p="{$b/@year}">{$b/title}</x> }</r>"#,
+        )
+        .unwrap();
+        let mut slot_map = SlotMap::new();
+        let root = slot_map.slot(ROOT_VAR);
+        let compiled = compile_for_document(&expr, &doc, &mut slot_map).unwrap();
+        let mut slots = slot_map.make_slots();
+        slots[root] = Some(doc.document_node());
+        let mut evaluator = CursorEvaluator::new();
+        let mut first = None;
+        for _ in 0..3 {
+            let mut sink = CountingSink::default();
+            evaluator
+                .eval(&doc, &compiled, &mut slots, &mut sink)
+                .unwrap();
+            let snapshot = (sink.bytes, sink.events);
+            assert_eq!(*first.get_or_insert(snapshot), snapshot);
+        }
     }
 
     #[test]
